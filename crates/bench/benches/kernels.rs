@@ -1,0 +1,81 @@
+//! Microbenchmarks of the distance kernels — the per-instruction story
+//! behind the paper's Equation 12 vs 13 (register loads per distance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simdops::level::with_level;
+use simdops::{l2_sq, l2_sq_u8, lut16_batch, supported_levels, LUT_BATCH};
+use std::hint::black_box;
+
+fn deterministic_f32(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32) / 16777216.0 - 0.5
+        })
+        .collect()
+}
+
+fn deterministic_u8(n: usize, seed: u64, max: u16) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(7);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 48) as u16 % (max + 1)) as u8
+        })
+        .collect()
+}
+
+fn bench_l2_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l2_sq_f32");
+    group.sample_size(20).measurement_time(std::time::Duration::from_millis(800));
+    for dim in [256usize, 768, 1024] {
+        let a = deterministic_f32(dim, 1);
+        let b = deterministic_f32(dim, 2);
+        for level in supported_levels() {
+            group.bench_with_input(BenchmarkId::new(level.name(), dim), &dim, |bench, _| {
+                with_level(level, || {
+                    bench.iter(|| black_box(l2_sq(black_box(&a), black_box(&b))))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_u8_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l2_sq_u8");
+    group.sample_size(20).measurement_time(std::time::Duration::from_millis(500));
+    for dim in [256usize, 768] {
+        let a = deterministic_u8(dim, 3, 255);
+        let b = deterministic_u8(dim, 4, 255);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bench, _| {
+            bench.iter(|| black_box(l2_sq_u8(black_box(&a), black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lut_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flash_lut16_batch");
+    group.sample_size(20).measurement_time(std::time::Duration::from_millis(800));
+    for m in [8usize, 16, 32] {
+        let tables = deterministic_u8(m * 16, 5, 255);
+        let codes = deterministic_u8(m * 16, 6, 15);
+        for level in supported_levels() {
+            group.bench_with_input(BenchmarkId::new(level.name(), m), &m, |bench, &m| {
+                with_level(level, || {
+                    bench.iter(|| {
+                        let mut out = [0u16; LUT_BATCH];
+                        lut16_batch(black_box(&tables), black_box(&codes), m, &mut out);
+                        black_box(out)
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_l2_levels, bench_u8_distance, bench_lut_batch);
+criterion_main!(benches);

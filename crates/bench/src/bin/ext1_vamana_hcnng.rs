@@ -1,0 +1,79 @@
+//! Extension 1: generality beyond Figure 14 — Vamana (α-RNG / DiskANN) and
+//! HCNNG (MST family) built with and without Flash.
+//!
+//! Vamana shares the CA+NS skeleton, so the paper's argument predicts a
+//! Figure-14-like speedup. HCNNG has *no* candidate pools (its distances
+//! are partition tests and MST edge weights), so only the cheap-distance
+//! effect of compact codes applies — a useful boundary case for the claim
+//! that Flash's wins come from the CA/NS access pattern.
+
+use bench::{workload, Scale};
+use flash::{build_flash_hcnng, build_flash_vamana, FlashParams};
+use graphs::providers::FullPrecision;
+use graphs::{Hcnng, HcnngParams, Vamana, VamanaParams};
+use metrics::measure_qps;
+use std::time::Instant;
+use vecstore::{ground_truth, DatasetProfile};
+
+fn main() {
+    let scale = Scale::from_env();
+    let k = 10;
+    let (base, queries) = workload(DatasetProfile::LaionLike, scale);
+    let gt = ground_truth(&base, &queries, k);
+    let vparams = VamanaParams { r: scale.r, c: scale.c, alpha: 1.2, seed: 0xE1 };
+    let hparams = HcnngParams {
+        trees: 10,
+        leaf_size: (scale.n / 64).clamp(24, 96),
+        mst_degree: 3,
+        seed: 0xE2,
+    };
+    let mut fp = FlashParams::auto(base.dim());
+    fp.train_sample = (scale.n / 2).clamp(256, 10_000);
+
+    println!("# Ext 1: Vamana and HCNNG with/without Flash (n = {})\n", scale.n);
+    println!("| algorithm | build (s) | ef | recall@{k} | QPS |");
+    println!("|---|---:|---:|---:|---:|");
+
+    let report = |name: &str, secs: f64, search: &mut dyn FnMut(usize, usize) -> Vec<u32>| {
+        for ef in [64usize, 128] {
+            let mut found: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
+            let qps = measure_qps(queries.len(), |qi| found.push(search(qi, ef)));
+            let recall = metrics::recall_at_k(&found, &gt, k).recall();
+            println!("| {name} | {secs:.2} | {ef} | {recall:.4} | {:.0} |", qps.qps());
+        }
+    };
+
+    {
+        let t0 = Instant::now();
+        let v = Vamana::build(FullPrecision::new(base.clone()), vparams);
+        let secs = t0.elapsed().as_secs_f64();
+        report("Vamana", secs, &mut |qi, ef| {
+            v.search(queries.get(qi), k, ef).iter().map(|r| r.id).collect()
+        });
+    }
+    {
+        let t0 = Instant::now();
+        let v = build_flash_vamana(base.clone(), fp, vparams);
+        let secs = t0.elapsed().as_secs_f64();
+        report("Vamana-Flash", secs, &mut |qi, ef| {
+            v.search_rerank(queries.get(qi), k, ef, 8).iter().map(|r| r.id).collect()
+        });
+    }
+    {
+        let t0 = Instant::now();
+        let h = Hcnng::build(FullPrecision::new(base.clone()), hparams);
+        let secs = t0.elapsed().as_secs_f64();
+        report("HCNNG", secs, &mut |qi, ef| {
+            h.search(queries.get(qi), k, ef).iter().map(|r| r.id).collect()
+        });
+    }
+    {
+        let t0 = Instant::now();
+        let h = build_flash_hcnng(base.clone(), fp, hparams);
+        let secs = t0.elapsed().as_secs_f64();
+        report("HCNNG-Flash", secs, &mut |qi, ef| {
+            h.search_rerank(queries.get(qi), k, ef, 8).iter().map(|r| r.id).collect()
+        });
+    }
+    println!("\nexpected: Vamana speedup mirrors NSG/τ-MG (CA+NS family); HCNNG speedup is smaller (cheap distances only, no layout effect).");
+}

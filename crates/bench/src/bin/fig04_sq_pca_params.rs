@@ -1,0 +1,77 @@
+//! Figure 4: parameter effects on HNSW-SQ (a) and HNSW-PCA (b).
+//!
+//! (a) `L_SQ` ∈ {2, 4, 8, 16}: the paper finds a time minimum at 8 bits
+//! (sub-byte codes still occupy a `u8`; 16-bit codes double the traffic)
+//! while recall rises monotonically.
+//! (b) `d_PCA` sweep: indexing time rises with retained dimensionality,
+//! recall rises as well, with the sweet spot below the full dimension.
+
+use bench::{secs, workload, Scale};
+use graphs::providers::{PcaProvider, Sq16Provider, SqProvider};
+use graphs::Hnsw;
+use std::time::Instant;
+use vecstore::{ground_truth, DatasetProfile};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (base, queries) = workload(DatasetProfile::LaionLike, scale);
+    let k = 1;
+    let gt = ground_truth(&base, &queries, k);
+    let train = (scale.n / 2).clamp(256, 5_000);
+
+    let recall_of = |found: &[Vec<u32>]| metrics::recall_at_k(found, &gt, k).recall();
+
+    println!("# Figure 4a: L_SQ sweep (LAION-like, HNSW-SQ)\n");
+    println!("| L_SQ | indexing time (s) | recall@1 |");
+    println!("|---:|---:|---:|");
+    for bits in [2u8, 4, 8] {
+        let t0 = Instant::now();
+        let index = Hnsw::build(SqProvider::new(base.clone(), bits), scale.hnsw());
+        let took = t0.elapsed();
+        let found: Vec<Vec<u32>> = (0..queries.len())
+            .map(|qi| {
+                index
+                    .search_rerank(queries.get(qi), k, 64, 8)
+                    .iter()
+                    .map(|r| r.id)
+                    .collect()
+            })
+            .collect();
+        println!("| {bits} | {} | {:.3} |", secs(took), recall_of(&found));
+    }
+    {
+        let t0 = Instant::now();
+        let index = Hnsw::build(Sq16Provider::new(base.clone()), scale.hnsw());
+        let took = t0.elapsed();
+        let found: Vec<Vec<u32>> = (0..queries.len())
+            .map(|qi| {
+                index
+                    .search_rerank(queries.get(qi), k, 64, 8)
+                    .iter()
+                    .map(|r| r.id)
+                    .collect()
+            })
+            .collect();
+        println!("| 16 | {} | {:.3} |", secs(took), recall_of(&found));
+    }
+
+    println!("\n# Figure 4b: d_PCA sweep (LAION-like, HNSW-PCA)\n");
+    println!("| d_PCA | indexing time (s) | recall@1 |");
+    println!("|---:|---:|---:|");
+    for d in [64usize, 128, 256, 512, 768] {
+        let t0 = Instant::now();
+        let index = Hnsw::build(PcaProvider::new(base.clone(), d, train), scale.hnsw());
+        let took = t0.elapsed();
+        let found: Vec<Vec<u32>> = (0..queries.len())
+            .map(|qi| {
+                index
+                    .search_rerank(queries.get(qi), k, 64, 4)
+                    .iter()
+                    .map(|r| r.id)
+                    .collect()
+            })
+            .collect();
+        println!("| {d} | {} | {:.3} |", secs(took), recall_of(&found));
+    }
+    println!("\npaper: SQ time minimal at 8 bits; PCA time grows with d_PCA, recall too.");
+}

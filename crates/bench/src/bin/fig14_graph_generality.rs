@@ -1,0 +1,78 @@
+//! Figure 14: generality across graph algorithms — NSG and τ-MG built with
+//! and without Flash: indexing time plus QPS-recall.
+
+use bench::{workload, Scale};
+use flash::{build_flash_nsg, build_flash_taumg, FlashParams};
+use graphs::providers::FullPrecision;
+use graphs::{Nsg, NsgParams, TauMg, TauMgParams};
+use metrics::measure_qps;
+use std::time::Instant;
+use vecstore::{ground_truth, DatasetProfile};
+
+fn main() {
+    let scale = Scale::from_env();
+    let k = 10;
+    let (base, queries) = workload(DatasetProfile::LaionLike, scale);
+    let gt = ground_truth(&base, &queries, k);
+    let flat = NsgParams { r: scale.r, c: scale.c, seed: 0xF14 };
+    let mut fp = FlashParams::auto(base.dim());
+    fp.train_sample = (scale.n / 2).clamp(256, 10_000);
+
+    println!("# Figure 14: NSG and τ-MG with/without Flash (n = {})\n", scale.n);
+    println!("| algorithm | build (s) | ef | recall@{k} | QPS |");
+    println!("|---|---:|---:|---:|---:|");
+
+    let report = |name: &str, secs: f64, search: &mut dyn FnMut(usize, usize) -> Vec<u32>| {
+        for ef in [64usize, 128] {
+            let mut found: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
+            let qps = measure_qps(queries.len(), |qi| found.push(search(qi, ef)));
+            let recall = metrics::recall_at_k(&found, &gt, k).recall();
+            println!("| {name} | {secs:.2} | {ef} | {recall:.4} | {:.0} |", qps.qps());
+        }
+    };
+
+    {
+        let t0 = Instant::now();
+        let nsg = Nsg::build(FullPrecision::new(base.clone()), flat);
+        let secs = t0.elapsed().as_secs_f64();
+        report("NSG", secs, &mut |qi, ef| {
+            nsg.search(queries.get(qi), k, ef).iter().map(|r| r.id).collect()
+        });
+    }
+    {
+        let t0 = Instant::now();
+        let nsg = build_flash_nsg(base.clone(), fp, flat);
+        let secs = t0.elapsed().as_secs_f64();
+        report("NSG-Flash", secs, &mut |qi, ef| {
+            nsg.search_rerank(queries.get(qi), k, ef, 8).iter().map(|r| r.id).collect()
+        });
+    }
+    {
+        let t0 = Instant::now();
+        let tmg = TauMg::build(
+            FullPrecision::new(base.clone()),
+            TauMgParams { flat, tau: 0.5 },
+        );
+        let secs = t0.elapsed().as_secs_f64();
+        report("tau-MG", secs, &mut |qi, ef| {
+            tmg.search(queries.get(qi), k, ef).iter().map(|r| r.id).collect()
+        });
+    }
+    {
+        let t0 = Instant::now();
+        let tmg = build_flash_taumg(base.clone(), fp, TauMgParams { flat, tau: 0.5 });
+        let secs = t0.elapsed().as_secs_f64();
+        report("tau-MG-Flash", secs, &mut |qi, ef| {
+            // τ-MG has no rerank helper; rerank here with exact distances.
+            let pool = tmg.search(queries.get(qi), k * 8, ef);
+            let mut exact: Vec<(f32, u32)> = pool
+                .iter()
+                .map(|r| (simdops::l2_sq(queries.get(qi), base.get(r.id as usize)), r.id))
+                .collect();
+            exact.sort_by(|a, b| a.0.total_cmp(&b.0));
+            exact.truncate(k);
+            exact.into_iter().map(|(_, id)| id).collect()
+        });
+    }
+    println!("\npaper: Flash accelerates both builders ~11–12x with comparable QPS-recall.");
+}

@@ -1,0 +1,203 @@
+//! Shared harness for the per-figure/per-table experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (Section 4) at a scale controlled by environment
+//! variables, so the same code runs as a quick smoke test on CI and as a
+//! long-form reproduction on a large machine:
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `FLASH_N` | database vectors per dataset | `4000` |
+//! | `FLASH_QUERIES` | query count | `100` |
+//! | `FLASH_C` | HNSW `C` (efConstruction) | `128` |
+//! | `FLASH_R` | HNSW `R` (max neighbors) | `16` |
+//!
+//! Output is GitHub-flavored markdown, one row per configuration, matching
+//! the rows/series of the corresponding paper figure.
+
+use flash::{BuildFlash, FlashHnsw, FlashParams};
+use graphs::providers::{FullPrecision, PcaProvider, PqProvider, SqProvider};
+use graphs::{Hnsw, HnswParams, SearchResult};
+use std::time::{Duration, Instant};
+use vecstore::{generate, DatasetProfile, VectorSet};
+
+/// Experiment scale, read from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Database vectors per dataset.
+    pub n: usize,
+    /// Held-out queries.
+    pub queries: usize,
+    /// HNSW candidate bound `C`.
+    pub c: usize,
+    /// HNSW degree bound `R`.
+    pub r: usize,
+}
+
+impl Scale {
+    /// Reads `FLASH_N` / `FLASH_QUERIES` / `FLASH_C` / `FLASH_R`.
+    pub fn from_env() -> Self {
+        let get = |k: &str, d: usize| {
+            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+        };
+        Self {
+            n: get("FLASH_N", 4000),
+            queries: get("FLASH_QUERIES", 100),
+            c: get("FLASH_C", 128),
+            r: get("FLASH_R", 16),
+        }
+    }
+
+    /// The HNSW parameters for this scale.
+    pub fn hnsw(&self) -> HnswParams {
+        HnswParams { c: self.c, r: self.r, seed: 0xBEEF }
+    }
+}
+
+/// The five construction methods of the paper's main comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Baseline full-precision HNSW.
+    Hnsw,
+    /// HNSW-PQ (ADC/SDC).
+    HnswPq,
+    /// HNSW-SQ (8-bit integer codes).
+    HnswSq,
+    /// HNSW-PCA (0.9-variance projection).
+    HnswPca,
+    /// HNSW-Flash (the paper's method).
+    HnswFlash,
+}
+
+impl Method {
+    /// All methods, Flash first (paper figure order: A..E).
+    pub const ALL: [Method; 5] =
+        [Method::HnswFlash, Method::HnswPca, Method::HnswSq, Method::HnswPq, Method::Hnsw];
+
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Hnsw => "HNSW",
+            Method::HnswPq => "HNSW-PQ",
+            Method::HnswSq => "HNSW-SQ",
+            Method::HnswPca => "HNSW-PCA",
+            Method::HnswFlash => "HNSW-Flash",
+        }
+    }
+}
+
+/// A built index of any method, searchable uniformly.
+pub enum AnyIndex {
+    /// Baseline.
+    Full(Hnsw<FullPrecision>),
+    /// HNSW-PQ.
+    Pq(Hnsw<PqProvider>),
+    /// HNSW-SQ.
+    Sq(Hnsw<SqProvider>),
+    /// HNSW-PCA.
+    Pca(Hnsw<PcaProvider>),
+    /// HNSW-Flash.
+    Flash(FlashHnsw),
+}
+
+impl AnyIndex {
+    /// Builds `method` over `base`, returning the index and the wall-clock
+    /// indexing time (including coding preprocessing, as the paper does).
+    pub fn build(method: Method, base: VectorSet, scale: Scale) -> (AnyIndex, Duration) {
+        let dim = base.dim();
+        let params = scale.hnsw();
+        let train = (base.len() / 2).clamp(256, 10_000);
+        let t0 = Instant::now();
+        let index = match method {
+            Method::Hnsw => AnyIndex::Full(Hnsw::build(FullPrecision::new(base), params)),
+            Method::HnswPq => {
+                // M_PQ via the paper's convention: 1 subspace per ~48 dims,
+                // L_PQ = 8 (their tuned setting).
+                let m = (dim / 48).clamp(4, 64);
+                AnyIndex::Pq(Hnsw::build(PqProvider::new(base, m, 8, train, 0xA), params))
+            }
+            Method::HnswSq => AnyIndex::Sq(Hnsw::build(SqProvider::new(base, 8), params)),
+            Method::HnswPca => AnyIndex::Pca(Hnsw::build(
+                PcaProvider::with_variance(base, 0.9, train),
+                params,
+            )),
+            Method::HnswFlash => {
+                let mut fp = FlashParams::auto(dim);
+                fp.train_sample = train;
+                AnyIndex::Flash(FlashHnsw::build_flash(base, fp, params))
+            }
+        };
+        (index, t0.elapsed())
+    }
+
+    /// k-NN search with the method's standard pipeline (compressed methods
+    /// rerank on the original vectors, as the paper's Flash search does).
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<SearchResult> {
+        match self {
+            AnyIndex::Full(i) => i.search(query, k, ef),
+            AnyIndex::Pq(i) => i.search_rerank(query, k, ef, 8),
+            AnyIndex::Sq(i) => i.search_rerank(query, k, ef, 4),
+            AnyIndex::Pca(i) => i.search_rerank(query, k, ef, 4),
+            AnyIndex::Flash(i) => i.search_rerank(query, k, ef, 8),
+        }
+    }
+
+    /// Index size in bytes (adjacency + codes/vectors + payloads).
+    pub fn index_bytes(&self) -> usize {
+        match self {
+            AnyIndex::Full(i) => i.index_bytes(),
+            AnyIndex::Pq(i) => i.index_bytes(),
+            AnyIndex::Sq(i) => i.index_bytes(),
+            AnyIndex::Pca(i) => i.index_bytes(),
+            AnyIndex::Flash(i) => i.index_bytes(),
+        }
+    }
+}
+
+/// Generates the workload for one paper dataset at the harness scale.
+pub fn workload(profile: DatasetProfile, scale: Scale) -> (VectorSet, VectorSet) {
+    generate(&profile.spec(), scale.n, scale.queries, 0xDA7A)
+}
+
+/// Formats a duration as seconds with 2 decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+/// Computes recall@k of `index` on the given queries/ground truth.
+pub fn index_recall(
+    index: &AnyIndex,
+    queries: &VectorSet,
+    gt: &[Vec<vecstore::Neighbor>],
+    k: usize,
+    ef: usize,
+) -> f64 {
+    let found: Vec<Vec<u32>> = (0..queries.len())
+        .map(|qi| index.search(queries.get(qi), k, ef).iter().map(|r| r.id).collect())
+        .collect();
+    metrics::recall_at_k(&found, gt, k).recall()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults() {
+        let s = Scale::from_env();
+        assert!(s.n > 0 && s.queries > 0 && s.c >= s.r);
+    }
+
+    #[test]
+    fn all_methods_build_and_search_tiny() {
+        let scale = Scale { n: 300, queries: 5, c: 32, r: 8 };
+        let (base, queries) = workload(DatasetProfile::SsnppLike, scale);
+        for method in Method::ALL {
+            let (index, took) = AnyIndex::build(method, base.clone(), scale);
+            assert!(took.as_nanos() > 0);
+            let hits = index.search(queries.get(0), 3, 32);
+            assert_eq!(hits.len(), 3, "{}", method.name());
+            assert!(index.index_bytes() > 0);
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Set-associative LRU cache simulation.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line (block) size in bytes; must be a power of two.
+    pub line_bytes: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometry is inconsistent (see [`CacheSim::new`]).
+    pub fn sets(&self) -> usize {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.ways > 0, "associativity must be positive");
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(
+            lines % self.ways == 0 && lines > 0,
+            "size/line/ways geometry inconsistent"
+        );
+        let sets = lines / self.ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// Hit/miss counters of one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total line-granular accesses.
+    pub accesses: u64,
+    /// Accesses that missed this level.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`; zero when no accesses were recorded.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A single-level set-associative cache with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    config: CacheConfig,
+    line_shift: u32,
+    set_mask: u64,
+    /// Per set: tags ordered most-recently-used first.
+    sets: Vec<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl CacheSim {
+    /// Builds an empty cache.
+    ///
+    /// # Panics
+    /// Panics if `line_bytes` is not a power of two, `ways == 0`, or the set
+    /// count implied by the geometry is not a positive power of two.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Self {
+            config,
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: (sets - 1) as u64,
+            sets: vec![Vec::with_capacity(config.ways); sets],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Touches one byte address. Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set_idx = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        self.stats.accesses += 1;
+
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            // Move to MRU position.
+            let t = set.remove(pos);
+            set.insert(0, t);
+            true
+        } else {
+            self.stats.misses += 1;
+            if set.len() == self.config.ways {
+                set.pop(); // evict LRU
+            }
+            set.insert(0, tag);
+            false
+        }
+    }
+
+    /// Touches every line overlapped by `[addr, addr + len)`. Returns the
+    /// number of missed lines.
+    pub fn access_range(&mut self, addr: u64, len: usize) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = addr >> self.line_shift;
+        let last = (addr + len as u64 - 1) >> self.line_shift;
+        let mut missed = 0;
+        for line in first..=last {
+            if !self.access(line << self.line_shift) {
+                missed += 1;
+            }
+        }
+        missed
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.stats = CacheStats::default();
+    }
+}
+
+/// A small inclusive multi-level hierarchy: an access that misses level `i`
+/// is forwarded to level `i + 1`.
+#[derive(Debug, Clone)]
+pub struct MultiLevelCache {
+    levels: Vec<CacheSim>,
+}
+
+impl MultiLevelCache {
+    /// Builds a hierarchy from innermost (L1) to outermost configuration.
+    ///
+    /// # Panics
+    /// Panics if `configs` is empty or any geometry is invalid.
+    pub fn new(configs: &[CacheConfig]) -> Self {
+        assert!(!configs.is_empty(), "need at least one level");
+        Self { levels: configs.iter().map(|&c| CacheSim::new(c)).collect() }
+    }
+
+    /// Touches one byte address through the hierarchy. Returns the index of
+    /// the level that hit, or `None` if all levels missed (memory access).
+    pub fn access(&mut self, addr: u64) -> Option<usize> {
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            if level.access(addr) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Touches every line overlapped by `[addr, addr + len)`.
+    pub fn access_range(&mut self, addr: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let shift = self.levels[0].line_shift;
+        let first = addr >> shift;
+        let last = (addr + len as u64 - 1) >> shift;
+        for line in first..=last {
+            self.access(line << shift);
+        }
+    }
+
+    /// Stats of level `i` (0 = L1).
+    pub fn stats(&self, i: usize) -> CacheStats {
+        self.levels[i].stats()
+    }
+
+    /// Clears all levels.
+    pub fn reset(&mut self) {
+        for level in &mut self.levels {
+            level.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheSim {
+        // 4 sets x 2 ways x 16-byte lines = 128 bytes.
+        CacheSim::new(CacheConfig { size_bytes: 128, line_bytes: 16, ways: 2 })
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(15)); // same line
+        assert!(!c.access(16)); // next line
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Three tags mapping to set 0 (stride = sets * line = 64 bytes).
+        assert!(!c.access(0));
+        assert!(!c.access(64));
+        assert!(c.access(0)); // 0 now MRU
+        assert!(!c.access(128)); // evicts 64
+        assert!(c.access(0));
+        assert!(!c.access(64)); // was evicted
+    }
+
+    #[test]
+    fn sequential_scan_amortizes_misses() {
+        let mut c = tiny();
+        // Scan 64 bytes in 4-byte steps: 16 accesses, 4 lines → 4 misses.
+        for a in (0..64u64).step_by(4) {
+            c.access(a);
+        }
+        assert_eq!(c.stats().accesses, 16);
+        assert_eq!(c.stats().misses, 4);
+    }
+
+    #[test]
+    fn random_large_stride_thrashes() {
+        let mut c = tiny();
+        // Touch 64 distinct lines twice; working set (1 KiB) >> cache (128 B)
+        // with a pseudo-random order → second pass still misses mostly.
+        let order: Vec<u64> = (0..64u64).map(|i| (i * 37) % 64).collect();
+        for &i in &order {
+            c.access(i * 16);
+        }
+        for &i in &order {
+            c.access(i * 16);
+        }
+        assert!(c.stats().miss_rate() > 0.9, "miss rate {}", c.stats().miss_rate());
+    }
+
+    #[test]
+    fn access_range_touches_all_lines() {
+        let mut c = tiny();
+        let missed = c.access_range(8, 40); // bytes 8..48 → lines 0,1,2
+        assert_eq!(missed, 3);
+        assert_eq!(c.stats().accesses, 3);
+    }
+
+    #[test]
+    fn access_range_empty_is_noop() {
+        let mut c = tiny();
+        assert_eq!(c.access_range(0, 0), 0);
+        assert_eq!(c.stats().accesses, 0);
+    }
+
+    #[test]
+    fn reset_clears_contents() {
+        let mut c = tiny();
+        c.access(0);
+        c.reset();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(!c.access(0), "contents must be cold after reset");
+    }
+
+    #[test]
+    fn multi_level_forwards_misses() {
+        let l1 = CacheConfig { size_bytes: 64, line_bytes: 16, ways: 2 };
+        let l2 = CacheConfig { size_bytes: 256, line_bytes: 16, ways: 2 };
+        let mut h = MultiLevelCache::new(&[l1, l2]);
+        assert_eq!(h.access(0), None); // cold everywhere
+        assert_eq!(h.access(0), Some(0)); // L1 hit
+        // Evict line 0 from tiny L1 (set 0 strides: 4 sets * 16 = 64).
+        h.access(64);
+        h.access(128);
+        // L1 misses but L2 still holds it.
+        assert_eq!(h.access(0), Some(1));
+        assert!(h.stats(0).misses >= 3);
+    }
+
+    #[test]
+    fn default_geometries_are_valid() {
+        let _ = CacheSim::new(crate::l1d_default());
+        let _ = CacheSim::new(crate::l2_default());
+        assert_eq!(crate::l1d_default().sets(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = CacheSim::new(CacheConfig { size_bytes: 128, line_bytes: 12, ways: 2 });
+    }
+}

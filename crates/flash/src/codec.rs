@@ -1,0 +1,576 @@
+//! The Flash codec: PCA → subspace codebooks → shared-grid quantized
+//! distance tables (paper Sections 3.3.2 and 3.3.3).
+
+use quantizers::{kmeans, PcaCodec};
+use simdops::LUT_BATCH;
+use vecstore::VectorSet;
+
+/// Number of centroids per subspace. Fixed at 16 so one ADT (16 × 8-bit
+/// quantized distances) fills exactly one 128-bit register and codewords
+/// are 4 bits (`L_F = 4`).
+pub const K: usize = LUT_BATCH;
+
+/// Bits per quantized distance-table entry (`H` in the paper). Fixed at 8:
+/// with `K = 16` one subspace's ADT is `16 × 8 = 128` bits.
+pub const H_BITS: u32 = 8;
+
+/// Flash hyper-parameters (paper Section 3.3.6).
+#[derive(Debug, Clone, Copy)]
+pub struct FlashParams {
+    /// Dimensionality of retained principal components (`d_F`).
+    pub d_f: usize,
+    /// Number of subspaces (`M_F`).
+    pub m_f: usize,
+    /// Training-sample size for PCA and the codebooks.
+    pub train_sample: usize,
+    /// Lloyd iterations per codebook.
+    pub kmeans_iters: usize,
+    /// RNG seed for codebook initialization.
+    pub seed: u64,
+    /// Quantile of the per-subspace partial-distance distribution that maps
+    /// to the top of the 8-bit grid. `1.0` reproduces the paper's literal
+    /// `dist_max`; values below 1 trade resolution in the (irrelevant) far
+    /// tail — which clamps to 255 — for resolution in the near band where
+    /// the CA/NS comparisons actually happen.
+    pub grid_quantile: f64,
+}
+
+impl FlashParams {
+    /// Sensible defaults mirroring the paper's tuned settings
+    /// (`d_F = 64`, `M_F = 16` on their embedding datasets), clamped for
+    /// small input dimensionalities.
+    pub fn auto(dim: usize) -> Self {
+        let d_f = dim.min(64);
+        let m_f = d_f.min(16);
+        Self {
+            d_f,
+            m_f,
+            train_sample: 10_000,
+            kmeans_iters: 12,
+            seed: 0xF1A5,
+            grid_quantile: 0.5,
+        }
+    }
+
+    /// Overrides the grid quantile.
+    pub fn with_grid_quantile(mut self, q: f64) -> Self {
+        self.grid_quantile = q;
+        self
+    }
+
+    /// Overrides `d_F`.
+    pub fn with_d_f(mut self, d_f: usize) -> Self {
+        self.d_f = d_f;
+        self
+    }
+
+    /// Overrides `M_F`.
+    pub fn with_m_f(mut self, m_f: usize) -> Self {
+        self.m_f = m_f;
+        self
+    }
+}
+
+/// Subspace extent over the principal-component vector.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    start: usize,
+    len: usize,
+}
+
+/// A trained Flash codec.
+///
+/// Holds the PCA basis, the `M_F` codebooks of `K = 16` centroids, the
+/// shared quantization grid (`dist_min`, `Δ`), and the pre-quantized
+/// symmetric distance table (SDT) used by the Neighbor Selection stage.
+#[derive(Debug, Clone)]
+pub struct FlashCodec {
+    pca: PcaCodec,
+    spans: Vec<Span>,
+    /// Concatenated codebooks: subspace `s` holds `K * spans[s].len` floats
+    /// at `codebook_offsets[s]`.
+    codebooks: Vec<f32>,
+    codebook_offsets: Vec<usize>,
+    /// Quantization grid shared by ADT and SDT (paper: same `Δ` and `H` for
+    /// both so CA- and NS-stage values are comparable).
+    dist_min: f32,
+    inv_delta: f32,
+    /// Per-centroid mean squared residual, `M_F * K` floats (the correction
+    /// term making ADT and SDT unbiased estimates of true distances).
+    residuals: Vec<f32>,
+    /// Quantized SDT: `M_F * K * K` bytes; entry `s*256 + a*16 + b`.
+    sdt: Vec<u8>,
+}
+
+impl FlashCodec {
+    /// Trains PCA, the subspace codebooks, the quantization grid and the
+    /// SDT on (a sample of) `data`.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty, `m_f == 0`, `m_f > d_f`, or
+    /// `d_f > data.dim()`.
+    pub fn train(data: &VectorSet, params: FlashParams) -> Self {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        assert!(params.m_f >= 1, "M_F must be positive");
+        assert!(params.d_f >= params.m_f, "d_F must be at least M_F");
+        assert!(params.d_f <= data.dim(), "d_F cannot exceed the input dimensionality");
+
+        let sample = data.stride_sample(params.train_sample);
+        // PCA stabilizes with far fewer samples than the codebooks need, and
+        // its covariance pass is O(sample · D²) — fit it on a subsample.
+        let pca_sample = sample.stride_sample((4 * params.d_f).max(512));
+        let pca = PcaCodec::fit(&pca_sample, params.d_f);
+
+        // Project the sample once; codebooks are trained in PCA space.
+        let mut projected = VectorSet::with_capacity(params.d_f, sample.len());
+        for v in sample.iter() {
+            projected.push(&pca.project(v));
+        }
+
+        // Subspace partition (front-loads the remainder like PQ).
+        let base_len = params.d_f / params.m_f;
+        let extra = params.d_f % params.m_f;
+        let mut spans = Vec::with_capacity(params.m_f);
+        let mut start = 0;
+        for s in 0..params.m_f {
+            let len = base_len + usize::from(s < extra);
+            spans.push(Span { start, len });
+            start += len;
+        }
+
+        // Train one 16-centroid codebook per subspace, recording each
+        // centroid's mean squared residual. Table entries are *corrected*
+        // by these residual energies (E[δ²(x,y)] ≈ δ²(c_x,c_y) + r_x + r_y
+        // for independent cell residuals), which puts the asymmetric (one
+        // residual already exact) and symmetric (two residuals dropped)
+        // tables on the same scale — without it, SDT values systematically
+        // undershoot ADT values and the NS pruning rule over-fires.
+        let mut codebooks = Vec::new();
+        let mut codebook_offsets = Vec::with_capacity(params.m_f);
+        let mut residuals = vec![0.0f32; params.m_f * K];
+        for (s, span) in spans.iter().enumerate() {
+            let mut sub = Vec::with_capacity(projected.len() * span.len);
+            for v in projected.iter() {
+                sub.extend_from_slice(&v[span.start..span.start + span.len]);
+            }
+            let result = kmeans(&sub, span.len, K, params.kmeans_iters, params.seed + s as u64);
+            let mut sums = [0.0f64; K];
+            let mut counts = [0usize; K];
+            for (i, &a) in result.assignments.iter().enumerate() {
+                let point = &sub[i * span.len..(i + 1) * span.len];
+                sums[a as usize] +=
+                    f64::from(simdops::l2_sq(point, result.centroid(a as usize, span.len)));
+                counts[a as usize] += 1;
+            }
+            for c in 0..K {
+                residuals[s * K + c] = if counts[c] > 0 {
+                    (sums[c] / counts[c] as f64) as f32
+                } else {
+                    0.0
+                };
+            }
+            codebook_offsets.push(codebooks.len());
+            codebooks.extend_from_slice(&result.centroids);
+        }
+
+        // Shared quantization grid: dist_max = Σ_s max_s over both the
+        // sample→centroid (ADT-like) and centroid→centroid (SDT) distances;
+        // dist_min = min over subspaces (0 in practice: SDT diagonals).
+        let mut partial = Self {
+            pca,
+            spans,
+            codebooks,
+            codebook_offsets,
+            dist_min: 0.0,
+            inv_delta: 0.0,
+            residuals,
+            sdt: Vec::new(),
+        };
+        let q = params.grid_quantile.clamp(0.0, 1.0);
+        let mut dist_max_sum = 0.0f32;
+        let mut dist_min_all = f32::INFINITY;
+        let mut partials: Vec<f32> = Vec::with_capacity(projected.len() * K + K * K);
+        for s in 0..params.m_f {
+            partials.clear();
+            for v in projected.iter() {
+                let span = partial.spans[s];
+                let sub = &v[span.start..span.start + span.len];
+                for c in 0..K {
+                    partials.push(
+                        simdops::l2_sq(sub, partial.centroid(s, c)) + partial.residual(s, c),
+                    );
+                }
+            }
+            for a in 0..K {
+                for b in 0..K {
+                    partials.push(
+                        simdops::l2_sq(partial.centroid(s, a), partial.centroid(s, b))
+                            + partial.residual(s, a)
+                            + partial.residual(s, b),
+                    );
+                }
+            }
+            partials.sort_by(f32::total_cmp);
+            let smin = partials[0];
+            let idx = ((partials.len() - 1) as f64 * q) as usize;
+            let smax = partials[idx];
+            dist_max_sum += smax;
+            dist_min_all = dist_min_all.min(smin);
+        }
+        let delta = (dist_max_sum - dist_min_all).max(f32::MIN_POSITIVE);
+        partial.dist_min = dist_min_all;
+        partial.inv_delta = ((1u32 << H_BITS) - 1) as f32 / delta;
+
+        // Pre-quantized SDT, shared by every insertion (paper: resides in
+        // cache, eliminating NS-stage vector fetches).
+        let mut sdt = vec![0u8; params.m_f * K * K];
+        for s in 0..params.m_f {
+            for a in 0..K {
+                for b in 0..K {
+                    let d = simdops::l2_sq(partial.centroid(s, a), partial.centroid(s, b))
+                        + partial.residual(s, a)
+                        + partial.residual(s, b);
+                    sdt[s * K * K + a * K + b] = partial.quantize(d);
+                }
+            }
+        }
+        partial.sdt = sdt;
+        partial
+    }
+
+    /// Number of subspaces `M_F`.
+    pub fn subspaces(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Retained principal dimensions `d_F`.
+    pub fn d_f(&self) -> usize {
+        self.pca.kept_dims()
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        use quantizers::Codec as _;
+        self.pca.dim()
+    }
+
+    /// The quantized symmetric distance table (`M_F * 256` bytes).
+    pub fn sdt(&self) -> &[u8] {
+        &self.sdt
+    }
+
+    /// Mean squared residual of centroid `c` in subspace `s`.
+    #[inline]
+    fn residual(&self, s: usize, c: usize) -> f32 {
+        self.residuals[s * K + c]
+    }
+
+    #[inline]
+    fn centroid(&self, s: usize, c: usize) -> &[f32] {
+        let len = self.spans[s].len;
+        let off = self.codebook_offsets[s] + c * len;
+        &self.codebooks[off..off + len]
+    }
+
+    /// Quantizes one partial distance onto the shared 8-bit grid
+    /// (paper Equation 9), clamping out-of-range values.
+    #[inline]
+    pub fn quantize(&self, dist: f32) -> u8 {
+        let t = (dist - self.dist_min) * self.inv_delta;
+        t.clamp(0.0, 255.0) as u8
+    }
+
+    /// Projects a full-dimensional vector onto the principal components.
+    pub fn project(&self, v: &[f32]) -> Vec<f32> {
+        self.pca.project(v)
+    }
+
+    /// Encodes a *projected* vector, simultaneously emitting its codewords
+    /// (4-bit values stored one per byte) and its quantized ADT
+    /// (`M_F * 16` bytes, subspace-major) — the integrated implementation
+    /// the paper's Remark (2) describes: codeword selection and ADT
+    /// generation share the same centroid distance computations.
+    pub fn encode_projected(&self, projected: &[f32]) -> (Vec<u8>, Vec<u8>) {
+        assert_eq!(projected.len(), self.d_f(), "projected dimensionality mismatch");
+        let m = self.subspaces();
+        let mut codes = Vec::with_capacity(m);
+        let mut adt = vec![0u8; m * K];
+        for (s, span) in self.spans.iter().enumerate() {
+            let sub = &projected[span.start..span.start + span.len];
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..K {
+                let d = simdops::l2_sq(sub, self.centroid(s, c));
+                // Table entries estimate distances to *vectors* coded `c`,
+                // hence the residual correction; codeword selection stays
+                // on the raw centroid distance.
+                adt[s * K + c] = self.quantize(d + self.residual(s, c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            codes.push(best as u8);
+        }
+        (codes, adt)
+    }
+
+    /// Convenience: project then encode.
+    pub fn encode(&self, v: &[f32]) -> (Vec<u8>, Vec<u8>) {
+        self.encode_projected(&self.project(v))
+    }
+
+    /// Quantized symmetric distance between two code sequences (the
+    /// NS-stage distance; a pure SDT lookup, no vector access).
+    #[inline]
+    pub fn sdc_quantized(&self, a: &[u8], b: &[u8]) -> u16 {
+        debug_assert_eq!(a.len(), self.subspaces());
+        debug_assert_eq!(b.len(), self.subspaces());
+        let mut acc = 0u16;
+        for (s, (&ca, &cb)) in a.iter().zip(b.iter()).enumerate() {
+            acc += u16::from(self.sdt[s * K * K + usize::from(ca) * K + usize::from(cb)]);
+        }
+        acc
+    }
+
+    /// Reconstructs the derived vector in PCA space (centroid
+    /// concatenation), for the Theorem-1 error analysis.
+    pub fn reconstruct_projected(&self, codes: &[u8]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.d_f()];
+        for (s, &c) in codes.iter().enumerate() {
+            let span = self.spans[s];
+            out[span.start..span.start + span.len]
+                .copy_from_slice(self.centroid(s, usize::from(c)));
+        }
+        out
+    }
+
+    /// Bytes of shared codec state (codebooks as f32 + SDT + PCA basis).
+    pub fn shared_bytes(&self) -> usize {
+        let basis_bytes = self.input_dim() * self.d_f() * 4;
+        self.codebooks.len() * 4 + self.sdt.len() + basis_bytes
+    }
+}
+
+/// Implements the quantizers `Codec` trait so the Theorem-1 reliability
+/// estimator can evaluate Flash alongside PQ/SQ/PCA. Reconstruction lifts
+/// the centroid concatenation back through the PCA basis.
+impl quantizers::Codec for FlashCodec {
+    fn dim(&self) -> usize {
+        self.input_dim()
+    }
+
+    fn reconstruct(&self, v: &[f32]) -> Vec<f32> {
+        let (codes, _) = self.encode(v);
+        let in_pca = self.reconstruct_projected(&codes);
+        self.pca.lift(&in_pca)
+    }
+
+    fn code_bytes(&self) -> usize {
+        // 4-bit codewords, two per byte.
+        self.subspaces().div_ceil(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdops::lut16_single;
+
+    fn dataset(n: usize, dim: usize, seed: u64) -> VectorSet {
+        // Cluster-rich data matching the embedding workloads Flash targets.
+        let spec = vecstore::DatasetSpec::new(dim, 100, 0.96, 0.4, seed);
+        vecstore::generate(&spec, n, 1, seed).0
+    }
+
+    fn codec(dim: usize, d_f: usize, m_f: usize) -> (FlashCodec, VectorSet) {
+        let data = dataset(500, dim, 11);
+        let params = FlashParams {
+            d_f,
+            m_f,
+            train_sample: 400,
+            kmeans_iters: 10,
+            seed: 1,
+            grid_quantile: 0.5,
+        };
+        (FlashCodec::train(&data, params), data)
+    }
+
+    #[test]
+    fn codes_fit_four_bits() {
+        let (c, data) = codec(64, 32, 8);
+        for i in 0..50 {
+            let (codes, adt) = c.encode(data.get(i));
+            assert_eq!(codes.len(), 8);
+            assert_eq!(adt.len(), 8 * 16);
+            assert!(codes.iter().all(|&x| x < 16));
+        }
+    }
+
+    #[test]
+    fn adt_lookup_of_own_code_is_minimal() {
+        // The codeword is the argmin centroid, so the ADT entry at the own
+        // codeword must be the subspace minimum.
+        let (c, data) = codec(64, 32, 8);
+        let (codes, adt) = c.encode(data.get(3));
+        for s in 0..8 {
+            let own = adt[s * 16 + usize::from(codes[s])];
+            let min = *adt[s * 16..(s + 1) * 16].iter().min().unwrap();
+            assert_eq!(own, min, "subspace {s}");
+        }
+    }
+
+    #[test]
+    fn quantized_distances_preserve_gross_ordering() {
+        // Rank correlation between quantized ADC distances and exact
+        // distances must be strongly positive. Use quantile 1.0 so no pair
+        // falls in the (deliberately) clamped far band.
+        let data = dataset(500, 64, 11);
+        let c = FlashCodec::train(
+            &data,
+            FlashParams {
+                d_f: 48,
+                m_f: 12,
+                train_sample: 400,
+                kmeans_iters: 10,
+                seed: 1,
+                grid_quantile: 1.0,
+            },
+        );
+        let q = data.get(0);
+        let (_, adt) = c.encode(q);
+        let m = c.subspaces();
+        let mut pairs: Vec<(u16, f32)> = (1..200)
+            .map(|i| {
+                let (codes, _) = c.encode(data.get(i));
+                let approx = lut16_single(&adt, &codes, m);
+                let exact = simdops::l2_sq(q, data.get(i));
+                (approx, exact)
+            })
+            .collect();
+        // Count concordant pairs on a subsample.
+        let mut concordant = 0usize;
+        let mut total = 0usize;
+        pairs.truncate(80);
+        for i in 0..pairs.len() {
+            for j in (i + 1)..pairs.len() {
+                let (qa, ea) = pairs[i];
+                let (qb, eb) = pairs[j];
+                // Only score pairs whose exact distances are meaningfully
+                // apart; ordering within a near-tie band is below the
+                // resolution any 4-bit codec can promise (Theorem 1 needs
+                // |e·u − b| ≥ |E|, which near-ties violate by definition).
+                if (ea - eb).abs() < 0.2 * ea.min(eb) {
+                    continue;
+                }
+                total += 1;
+                if (qa < qb) == (ea < eb) || qa == qb {
+                    concordant += 1;
+                }
+            }
+        }
+        let tau = concordant as f64 / total as f64;
+        assert!(tau > 0.8, "concordance {tau} too low");
+    }
+
+    #[test]
+    fn sdc_symmetric_and_small_diagonal() {
+        let (c, data) = codec(64, 32, 8);
+        let (a, _) = c.encode(data.get(1));
+        let (b, _) = c.encode(data.get(2));
+        assert_eq!(c.sdc_quantized(&a, &b), c.sdc_quantized(&b, &a));
+        // The diagonal is the residual-correction floor (2·r per subspace),
+        // not zero — it estimates the distance between two distinct vectors
+        // sharing a code. It must still sit well below typical distances.
+        let self_d = c.sdc_quantized(&a, &a);
+        let max_d = (0..60)
+            .map(|i| c.sdc_quantized(&a, &c.encode(data.get(i)).0))
+            .max()
+            .unwrap();
+        assert!(self_d <= max_d / 2, "diag {self_d} vs max {max_d}");
+    }
+
+    #[test]
+    fn adt_and_sdt_share_a_grid() {
+        // For a vector that coincides with its centroid, the ADT entry for
+        // centroid t is η(δ²(c_code, c_t) + r_t) while the SDT entry
+        // (code, t) is η(δ²(c_code, c_t) + r_code + r_t): on a shared grid
+        // they must differ by exactly the quantized residual of the own
+        // code (±2 for the two independent floor roundings).
+        let (c, data) = codec(64, 32, 8);
+        let (codes, _) = c.encode(data.get(0));
+        let projected = c.reconstruct_projected(&codes);
+        let (codes2, adt2) = c.encode_projected(&projected);
+        assert_eq!(codes, codes2, "reconstruction must encode to itself");
+        for s in 0..c.subspaces() {
+            let own = usize::from(codes[s]);
+            let shift = (c.residual(s, own) * c.inv_delta).round() as i16;
+            for t in 0..K {
+                let via_adt = i16::from(adt2[s * K + t]);
+                let via_sdt = i16::from(c.sdt()[s * K * K + own * K + t]);
+                // SDT saturates at 255; skip clamped entries.
+                if via_sdt == 255 || via_adt == 255 {
+                    continue;
+                }
+                assert!(
+                    ((via_sdt - via_adt) - shift).abs() <= 2,
+                    "subspace {s} centroid {t}: adt {via_adt}, sdt {via_sdt}, shift {shift}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reliability_estimator_accepts_flash() {
+        let (c, data) = codec(64, 48, 12);
+        let report = quantizers::comparison_reliability(&c, &data.slice(0, 120), 100, 5);
+        assert_eq!(report.total, 100);
+        // Triples pit each vector's two *nearest* neighbors against each
+        // other — the hardest comparisons in the workload (their bisector
+        // hyperplane passes right next to the anchor). Agreement well above
+        // chance is what Theorem 1 needs; CA/NS comparisons against the
+        // wider candidate set are far easier than this worst case.
+        assert!(
+            report.agreement_fraction() > 0.6,
+            "agreement {}",
+            report.agreement_fraction()
+        );
+    }
+
+    #[test]
+    fn more_principal_dims_reduce_reconstruction_error() {
+        let data = dataset(400, 64, 13);
+        let small = FlashCodec::train(
+            &data,
+            FlashParams { d_f: 8, m_f: 8, train_sample: 300, kmeans_iters: 8, seed: 2, grid_quantile: 0.9 },
+        );
+        let large = FlashCodec::train(
+            &data,
+            FlashParams { d_f: 48, m_f: 8, train_sample: 300, kmeans_iters: 8, seed: 2, grid_quantile: 0.9 },
+        );
+        use quantizers::Codec as _;
+        let err = |c: &FlashCodec| -> f32 {
+            (0..60)
+                .map(|i| simdops::l2_sq(data.get(i), &c.reconstruct(data.get(i))))
+                .sum()
+        };
+        assert!(err(&large) < err(&small));
+    }
+
+    #[test]
+    fn code_bytes_packs_nibbles() {
+        let (c, _) = codec(64, 32, 8);
+        use quantizers::Codec as _;
+        assert_eq!(c.code_bytes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "d_F must be at least M_F")]
+    fn rejects_m_f_above_d_f() {
+        let data = dataset(50, 16, 15);
+        let _ = FlashCodec::train(
+            &data,
+            FlashParams { d_f: 4, m_f: 8, train_sample: 50, kmeans_iters: 4, seed: 3, grid_quantile: 0.9 },
+        );
+    }
+}

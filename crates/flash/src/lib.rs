@@ -1,0 +1,221 @@
+//! **Flash** — the paper's compact coding strategy and access-aware memory
+//! layout for graph index construction (Section 3.3).
+//!
+//! Flash combines four ingredients, each targeting a specific CPU-level
+//! bottleneck that Section 2.2 identifies in HNSW construction:
+//!
+//! | Ingredient | Bottleneck attacked |
+//! |---|---|
+//! | PCA to `d_F` principal components | wasted codeword bits on low-variance axes |
+//! | `M_F` subspaces × 16 centroids (4-bit codewords) | ADT must fit one SIMD register |
+//! | 8-bit shared-grid quantization of ADT and SDT | register-resident tables, CA/NS comparability |
+//! | neighbor codewords stored *with* neighbor IDs, in subspace-major batches of 16 | random memory accesses to fetch neighbor vectors |
+//!
+//! The crate plugs into the generic graph builders of the `graphs` crate via
+//! [`FlashProvider`], which overrides the batched neighbor-distance hook
+//! with the `pshufb` lookup kernel and maintains the per-node codeword
+//! blocks through the payload-sync hook. [`FlashHnsw`], [`FlashNsg`] and
+//! [`FlashTauMg`] are ready-made index types.
+//!
+//! ```
+//! use flash::{BuildFlash, FlashHnsw, FlashParams};
+//! use graphs::HnswParams;
+//! use vecstore::{generate, DatasetProfile};
+//!
+//! let (base, queries) = generate(&DatasetProfile::SsnppLike.spec(), 500, 4, 42);
+//! let index = FlashHnsw::build_flash(
+//!     base,
+//!     FlashParams::auto(256),
+//!     HnswParams { c: 64, r: 8, seed: 1 },
+//! );
+//! let hits = index.search_rerank(queries.get(0), 3, 32, 4);
+//! assert_eq!(hits.len(), 3);
+//! ```
+
+pub mod codec;
+pub mod provider;
+pub mod tune;
+
+pub use codec::{FlashCodec, FlashParams};
+pub use provider::{FlashBlocks, FlashCtx, FlashProvider};
+pub use tune::{tune_flash_params, TuneOptions, TuneOutcome};
+
+use graphs::{
+    Hcnng, HcnngParams, Hnsw, HnswParams, Nsg, NsgParams, TauMg, TauMgParams, Vamana,
+    VamanaParams,
+};
+use vecstore::VectorSet;
+
+/// HNSW built and searched through Flash codes (the paper's HNSW-Flash).
+pub type FlashHnsw = Hnsw<FlashProvider>;
+
+/// NSG on Flash codes (Figure 14 generality experiment).
+pub type FlashNsg = Nsg<FlashProvider>;
+
+/// τ-MG on Flash codes (Figure 14 generality experiment).
+pub type FlashTauMg = TauMg<FlashProvider>;
+
+/// Vamana (DiskANN) on Flash codes — generality beyond the paper's
+/// Figure 14, exercising the α-RNG pruning rule.
+pub type FlashVamana = Vamana<FlashProvider>;
+
+/// HCNNG on Flash codes — the MST construction family; only the
+/// cheap-distance effect applies (no candidate pools to batch).
+pub type FlashHcnng = Hcnng<FlashProvider>;
+
+/// Builds an HNSW-Flash index over `base`.
+pub trait BuildFlash: Sized {
+    /// Trains the codec, encodes the dataset, and runs construction.
+    fn build_flash(base: VectorSet, flash: FlashParams, params: HnswParams) -> Self;
+}
+
+impl BuildFlash for FlashHnsw {
+    fn build_flash(base: VectorSet, flash: FlashParams, params: HnswParams) -> Self {
+        let provider = FlashProvider::new(base, flash);
+        Hnsw::build(provider, params)
+    }
+}
+
+/// Builds an NSG-Flash index over `base`.
+pub fn build_flash_nsg(base: VectorSet, flash: FlashParams, params: NsgParams) -> FlashNsg {
+    let provider = FlashProvider::new(base, flash);
+    Nsg::build(provider, params)
+}
+
+/// Builds a τ-MG-Flash index over `base`.
+pub fn build_flash_taumg(base: VectorSet, flash: FlashParams, params: TauMgParams) -> FlashTauMg {
+    let provider = FlashProvider::new(base, flash);
+    TauMg::build(provider, params)
+}
+
+/// Builds a Vamana-Flash index over `base`.
+pub fn build_flash_vamana(
+    base: VectorSet,
+    flash: FlashParams,
+    params: VamanaParams,
+) -> FlashVamana {
+    let provider = FlashProvider::new(base, flash);
+    Vamana::build(provider, params)
+}
+
+/// Builds an HCNNG-Flash index over `base`.
+pub fn build_flash_hcnng(base: VectorSet, flash: FlashParams, params: HcnngParams) -> FlashHcnng {
+    let provider = FlashProvider::new(base, flash);
+    Hcnng::build(provider, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::DistanceProvider;
+
+    #[test]
+    fn end_to_end_hnsw_flash() {
+        let (base, queries) =
+            vecstore::generate(&vecstore::DatasetProfile::SsnppLike.spec(), 600, 8, 3);
+        let gt = vecstore::ground_truth(&base, &queries, 1);
+        let index = FlashHnsw::build_flash(
+            base,
+            FlashParams::auto(256),
+            HnswParams { c: 64, r: 8, seed: 2 },
+        );
+        let mut hits = 0;
+        for (qi, truth) in gt.iter().enumerate() {
+            let found = index.search_rerank(queries.get(qi), 1, 64, 8);
+            if found.first().map(|h| h.id) == Some(truth[0].id) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 6, "top-1 recall {hits}/8 too low");
+    }
+
+    #[test]
+    fn flash_index_smaller_than_raw_vectors() {
+        let (base, _) = vecstore::generate(&vecstore::DatasetProfile::SsnppLike.spec(), 400, 1, 5);
+        let raw_bytes = base.payload_bytes();
+        let index = FlashHnsw::build_flash(
+            base,
+            FlashParams::auto(256),
+            HnswParams { c: 32, r: 8, seed: 2 },
+        );
+        assert!(index.provider().aux_bytes() < raw_bytes);
+    }
+
+    #[test]
+    fn nsg_flash_builds_and_searches() {
+        let (base, queries) =
+            vecstore::generate(&vecstore::DatasetProfile::SsnppLike.spec(), 400, 4, 7);
+        let nsg = build_flash_nsg(
+            base,
+            FlashParams::auto(256),
+            NsgParams { r: 8, c: 48, seed: 3 },
+        );
+        let hits = nsg.search_rerank(queries.get(0), 3, 48, 4);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn from_codec_matches_fresh_training() {
+        let (base, _) =
+            vecstore::generate(&vecstore::DatasetProfile::SsnppLike.spec(), 500, 1, 31);
+        let params = FlashParams::auto(256);
+        let fresh = FlashProvider::new(base.clone(), params);
+        let shared = FlashProvider::from_codec(base, fresh.codec().clone());
+        // Identical codec ⇒ identical distances.
+        let ctx_a = fresh.prepare_insert(7);
+        let ctx_b = shared.prepare_insert(7);
+        for id in [0u32, 13, 99, 400] {
+            assert_eq!(fresh.dist_to(&ctx_a, id), shared.dist_to(&ctx_b, id));
+            assert_eq!(fresh.dist_between(7, id), shared.dist_between(7, id));
+        }
+        // Sharing skips training, so coding time must shrink.
+        assert!(shared.coding_ns() < fresh.coding_ns());
+    }
+
+    #[test]
+    fn vamana_flash_builds_and_searches() {
+        let (base, queries) =
+            vecstore::generate(&vecstore::DatasetProfile::SsnppLike.spec(), 400, 4, 21);
+        let gt = vecstore::ground_truth(&base, &queries, 1);
+        let index = build_flash_vamana(
+            base,
+            FlashParams::auto(256),
+            VamanaParams { r: 10, c: 48, alpha: 1.2, seed: 5 },
+        );
+        let mut hits = 0;
+        for (qi, truth) in gt.iter().enumerate() {
+            let found = index.search_rerank(queries.get(qi), 1, 48, 8);
+            if found.first().map(|h| h.id) == Some(truth[0].id) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 3, "Vamana-Flash top-1 recall {hits}/4 too low");
+    }
+
+    #[test]
+    fn hcnng_flash_builds_and_searches() {
+        let (base, queries) =
+            vecstore::generate(&vecstore::DatasetProfile::SsnppLike.spec(), 400, 4, 23);
+        let index = build_flash_hcnng(
+            base,
+            FlashParams::auto(256),
+            HcnngParams { trees: 6, leaf_size: 32, mst_degree: 3, seed: 5 },
+        );
+        let hits = index.search_rerank(queries.get(0), 3, 48, 4);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(index.graph().reachable_from_entry(), 400);
+    }
+
+    #[test]
+    fn taumg_flash_builds_and_searches() {
+        let (base, queries) =
+            vecstore::generate(&vecstore::DatasetProfile::SsnppLike.spec(), 300, 4, 9);
+        let index = build_flash_taumg(
+            base,
+            FlashParams::auto(256),
+            TauMgParams::default(),
+        );
+        let hits = index.search(queries.get(1), 2, 32);
+        assert_eq!(hits.len(), 2);
+    }
+}

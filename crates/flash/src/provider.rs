@@ -1,0 +1,351 @@
+//! The Flash [`DistanceProvider`]: register-resident ADT distances in the
+//! CA stage, cached SDT lookups in the NS stage, and the access-aware
+//! neighbor-codeword layout (paper Sections 3.3.4 and 3.3.5).
+
+use crate::codec::{FlashCodec, FlashParams, K};
+use graphs::provider::DistanceProvider;
+use simdops::{lut16_batch, lut16_single, LUT_BATCH};
+use vecstore::VectorSet;
+
+/// Per-insert / per-query context: the quantized asymmetric distance table.
+pub struct FlashCtx {
+    /// `M_F * 16` bytes, subspace-major — each 16-byte run is one
+    /// register-resident ADT.
+    pub adt: Vec<u8>,
+}
+
+/// Per-node payload: the inserted vertex's neighbor codewords, grouped in
+/// subspace-major batches of [`LUT_BATCH`] so one register load fetches one
+/// (batch, subspace) pair.
+///
+/// Layout for a neighbor list of length `L` with `M_F` subspaces:
+/// `ceil(L / 16)` blocks, each `M_F * 16` bytes; within block `b`, byte
+/// `s*16 + j` is the codeword of neighbor `16b + j` in subspace `s`
+/// (zero-padded past the end of the list).
+#[derive(Default)]
+pub struct FlashBlocks {
+    bytes: Vec<u8>,
+}
+
+impl FlashBlocks {
+    /// Raw block bytes (for tests and the cache-simulation harness).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Distance provider implementing the paper's Flash strategy.
+pub struct FlashProvider {
+    base: VectorSet,
+    codec: FlashCodec,
+    /// Global per-vector codewords: `n * M_F` bytes (one 4-bit codeword per
+    /// byte, shuffle-ready). Source of truth for payload rebuilds and
+    /// NS-stage SDT lookups.
+    codes: Vec<u8>,
+    /// Wall-clock nanoseconds spent training the codec and encoding the
+    /// dataset (the paper's "coding time", Table 4).
+    coding_ns: u64,
+    /// When false, the scalar LUT path is forced (Table 3's SIMD ablation)
+    /// regardless of the global `simdops` dispatch level.
+    use_simd: bool,
+}
+
+impl FlashProvider {
+    /// Trains the codec on `base` and encodes every vector.
+    pub fn new(base: VectorSet, params: FlashParams) -> Self {
+        let t0 = std::time::Instant::now();
+        let codec = FlashCodec::train(&base, params);
+        let m = codec.subspaces();
+        let mut codes = Vec::with_capacity(base.len() * m);
+        for v in base.iter() {
+            let (c, _) = codec.encode(v);
+            codes.extend_from_slice(&c);
+        }
+        let coding_ns = t0.elapsed().as_nanos() as u64;
+        Self { base, codec, codes, coding_ns, use_simd: true }
+    }
+
+    /// Builds a provider over `base` with an already-trained codec.
+    ///
+    /// Training is a fixed per-index cost, so deployments that build *many*
+    /// small indexes over one corpus — per-label specialized partitions,
+    /// LSM segments — should train once on the full distribution and share
+    /// the codec; only encoding is paid per partition. `coding_ns` then
+    /// covers encoding alone.
+    pub fn from_codec(base: VectorSet, codec: FlashCodec) -> Self {
+        let t0 = std::time::Instant::now();
+        let m = codec.subspaces();
+        let mut codes = Vec::with_capacity(base.len() * m);
+        for v in base.iter() {
+            let (c, _) = codec.encode(v);
+            codes.extend_from_slice(&c);
+        }
+        let coding_ns = t0.elapsed().as_nanos() as u64;
+        Self { base, codec, codes, coding_ns, use_simd: true }
+    }
+
+    /// Forces the scalar lookup path (the paper's Table 3 "w/o SIMD" row).
+    pub fn with_simd(mut self, enabled: bool) -> Self {
+        self.use_simd = enabled;
+        self
+    }
+
+    /// The trained codec.
+    pub fn codec(&self) -> &FlashCodec {
+        &self.codec
+    }
+
+    /// Nanoseconds spent in codec training + dataset encoding.
+    pub fn coding_ns(&self) -> u64 {
+        self.coding_ns
+    }
+
+    /// Codewords of vector `id` (`M_F` bytes).
+    #[inline]
+    pub fn codes_of(&self, id: u32) -> &[u8] {
+        let m = self.codec.subspaces();
+        &self.codes[id as usize * m..(id as usize + 1) * m]
+    }
+}
+
+impl DistanceProvider for FlashProvider {
+    type QueryCtx = FlashCtx;
+    type NodePayload = FlashBlocks;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn base(&self) -> &VectorSet {
+        &self.base
+    }
+
+    fn prepare_insert(&self, id: u32) -> FlashCtx {
+        // The ADT is rebuilt from the original vector: projection + one
+        // distance per centroid, shared with codeword selection at encode
+        // time (here the codes already exist, so only the ADT is needed).
+        let (_, adt) = self.codec.encode(self.base.get(id as usize));
+        FlashCtx { adt }
+    }
+
+    fn prepare_query(&self, v: &[f32]) -> FlashCtx {
+        let (_, adt) = self.codec.encode(v);
+        FlashCtx { adt }
+    }
+
+    #[inline]
+    fn dist_to(&self, ctx: &FlashCtx, id: u32) -> f32 {
+        f32::from(lut16_single(&ctx.adt, self.codes_of(id), self.codec.subspaces()))
+    }
+
+    #[inline]
+    fn dist_between(&self, a: u32, b: u32) -> f32 {
+        f32::from(self.codec.sdc_quantized(self.codes_of(a), self.codes_of(b)))
+    }
+
+    fn dist_to_neighbors(
+        &self,
+        ctx: &FlashCtx,
+        ids: &[u32],
+        payload: &FlashBlocks,
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        let m = self.codec.subspaces();
+        let block_bytes = m * LUT_BATCH;
+        let blocks_available = payload.bytes.len() / block_bytes.max(1);
+        let mut batch = [0u16; LUT_BATCH];
+        let mut produced = 0usize;
+        for b in 0..ids.len().div_ceil(LUT_BATCH) {
+            let take = (ids.len() - produced).min(LUT_BATCH);
+            if b < blocks_available {
+                let block = &payload.bytes[b * block_bytes..(b + 1) * block_bytes];
+                if self.use_simd {
+                    lut16_batch(&ctx.adt, block, m, &mut batch);
+                } else {
+                    simdops::lut::lut16_batch_scalar(&ctx.adt, block, m, &mut batch);
+                }
+                out.extend(batch[..take].iter().map(|&d| f32::from(d)));
+            } else {
+                // Payload lagging the id list (possible transiently between
+                // lock regions elsewhere): fall back to single lookups.
+                out.extend(
+                    ids[produced..produced + take]
+                        .iter()
+                        .map(|&id| self.dist_to(ctx, id)),
+                );
+            }
+            produced += take;
+        }
+    }
+
+    fn sync_payload(&self, payload: &mut FlashBlocks, ids: &[u32]) {
+        let m = self.codec.subspaces();
+        let block_bytes = m * LUT_BATCH;
+        let blocks = ids.len().div_ceil(LUT_BATCH);
+        payload.bytes.clear();
+        payload.bytes.resize(blocks * block_bytes, 0);
+        for (j, &id) in ids.iter().enumerate() {
+            let block = j / LUT_BATCH;
+            let lane = j % LUT_BATCH;
+            let codes = self.codes_of(id);
+            let dst = &mut payload.bytes[block * block_bytes..(block + 1) * block_bytes];
+            for (s, &c) in codes.iter().enumerate() {
+                dst[s * LUT_BATCH + lane] = c;
+            }
+        }
+    }
+
+    fn aux_bytes(&self) -> usize {
+        // Global codewords replace the original vectors; shared codec state
+        // (codebooks, SDT, PCA basis) is counted once.
+        self.codes.len() + self.codec.shared_bytes()
+    }
+
+    fn payload_bytes(&self, cap: usize) -> usize {
+        cap.div_ceil(LUT_BATCH) * self.codec.subspaces() * LUT_BATCH
+    }
+}
+
+/// Checks the block layout invariant used by `dist_to_neighbors`: byte
+/// `(b, s, j)` equals the codeword of `ids[16b + j]` in subspace `s`.
+/// Exposed for tests and the cache-simulation harness.
+pub fn blocks_consistent(provider: &FlashProvider, payload: &FlashBlocks, ids: &[u32]) -> bool {
+    let m = provider.codec().subspaces();
+    let block_bytes = m * K;
+    for (j, &id) in ids.iter().enumerate() {
+        let block = j / K;
+        let lane = j % K;
+        let codes = provider.codes_of(id);
+        for s in 0..m {
+            if payload.bytes[block * block_bytes + s * K + lane] != codes[s] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn provider(n: usize) -> FlashProvider {
+        let (base, _) = vecstore::generate(&vecstore::DatasetProfile::SsnppLike.spec(), n, 1, 21);
+        FlashProvider::new(
+            base,
+            FlashParams { d_f: 32, m_f: 8, train_sample: n.min(400), kmeans_iters: 8, seed: 4, grid_quantile: 0.9 },
+        )
+    }
+
+    #[test]
+    fn batch_distances_match_single_lookups() {
+        let p = provider(300);
+        let ctx = p.prepare_insert(0);
+        let ids: Vec<u32> = (1..40).collect();
+        let mut payload = FlashBlocks::default();
+        p.sync_payload(&mut payload, &ids);
+        let mut batched = Vec::new();
+        p.dist_to_neighbors(&ctx, &ids, &payload, &mut batched);
+        assert_eq!(batched.len(), ids.len());
+        for (&id, &d) in ids.iter().zip(batched.iter()) {
+            assert_eq!(d, p.dist_to(&ctx, id), "id {id}");
+        }
+    }
+
+    #[test]
+    fn scalar_and_simd_paths_agree() {
+        let p_simd = provider(200);
+        let ctx = p_simd.prepare_insert(5);
+        let ids: Vec<u32> = (10..58).collect();
+        let mut payload = FlashBlocks::default();
+        p_simd.sync_payload(&mut payload, &ids);
+
+        let mut simd_out = Vec::new();
+        p_simd.dist_to_neighbors(&ctx, &ids, &payload, &mut simd_out);
+
+        let p_scalar = provider(200).with_simd(false);
+        let ctx2 = p_scalar.prepare_insert(5);
+        let mut payload2 = FlashBlocks::default();
+        p_scalar.sync_payload(&mut payload2, &ids);
+        let mut scalar_out = Vec::new();
+        p_scalar.dist_to_neighbors(&ctx2, &ids, &payload2, &mut scalar_out);
+
+        assert_eq!(simd_out, scalar_out);
+    }
+
+    #[test]
+    fn sync_payload_layout_invariant() {
+        let p = provider(150);
+        let ids: Vec<u32> = vec![3, 77, 12, 99, 140, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17];
+        let mut payload = FlashBlocks::default();
+        p.sync_payload(&mut payload, &ids);
+        assert!(blocks_consistent(&p, &payload, &ids));
+        // Two blocks for 18 ids with M_F = 8: 2 * 8 * 16 bytes.
+        assert_eq!(payload.as_bytes().len(), 2 * 8 * 16);
+    }
+
+    #[test]
+    fn payload_lag_falls_back_to_single_lookups() {
+        let p = provider(100);
+        let ctx = p.prepare_insert(0);
+        let ids: Vec<u32> = (1..20).collect();
+        let empty = FlashBlocks::default();
+        let mut out = Vec::new();
+        p.dist_to_neighbors(&ctx, &ids, &empty, &mut out);
+        assert_eq!(out.len(), ids.len());
+        for (&id, &d) in ids.iter().zip(out.iter()) {
+            assert_eq!(d, p.dist_to(&ctx, id));
+        }
+    }
+
+    #[test]
+    fn ca_and_ns_distances_on_one_grid() {
+        // dist_to of a vector to itself ~ its quantization floor; SDT of its
+        // code pair is exactly 0. The two stages must be on the same scale:
+        // dist_to(self) must be much smaller than dist_to(random far id).
+        let p = provider(300);
+        let ctx = p.prepare_insert(42);
+        let self_d = p.dist_to(&ctx, 42);
+        let far: f32 = (0..300u32)
+            .map(|i| p.dist_to(&ctx, i))
+            .fold(0.0f32, f32::max);
+        assert!(self_d <= far * 0.5, "self {self_d} vs farthest {far}");
+        // dist_between(x, x) is the residual floor, not zero — it estimates
+        // the distance between two *distinct* vectors sharing x's codes.
+        let far_between: f32 = (0..300u32)
+            .map(|i| p.dist_between(42, i))
+            .fold(0.0f32, f32::max);
+        assert!(
+            p.dist_between(42, 42) <= far_between * 0.5,
+            "self-SDT {} vs farthest {}",
+            p.dist_between(42, 42),
+            far_between
+        );
+    }
+
+    #[test]
+    fn aux_bytes_well_below_full_precision() {
+        let p = provider(400);
+        assert!(
+            p.aux_bytes() < p.base().payload_bytes() / 4,
+            "aux {} vs raw {}",
+            p.aux_bytes(),
+            p.base().payload_bytes()
+        );
+    }
+
+    #[test]
+    fn coding_time_recorded() {
+        let p = provider(100);
+        assert!(p.coding_ns() > 0);
+    }
+
+    #[test]
+    fn payload_bytes_matches_layout() {
+        let p = provider(50);
+        assert_eq!(p.payload_bytes(32), 2 * 8 * 16);
+        assert_eq!(p.payload_bytes(1), 8 * 16);
+        assert_eq!(p.payload_bytes(0), 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! The paper's Section 3.1 parameter-tuning procedure, automated.
+//!
+//! *"A random sample of vectors is drawn from the dataset, and each
+//! vector's top nearest neighbors are determined, forming a triple
+//! (u, v, w) … By tuning the parameters, one can maximize the proportion
+//! of triples that satisfy |e·u − b| ≥ |E| while minimizing the vector
+//! size."*
+//!
+//! [`tune_flash_params`] runs that loop over a candidate grid of
+//! `(d_F, M_F)` pairs: each candidate trains a codec on the sample,
+//! measures its comparison reliability with the Theorem-1 estimator, and
+//! the cheapest candidate whose *measured agreement* reaches the target
+//! wins. Ties in code size prefer smaller `d_F` (cheaper training and
+//! encoding). If nothing reaches the target, the most reliable candidate
+//! is returned with `met_target = false` so callers can decide whether to
+//! proceed or widen the grid.
+
+use crate::codec::{FlashCodec, FlashParams};
+use quantizers::{comparison_reliability, ReliabilityReport};
+use vecstore::VectorSet;
+
+/// Search space and acceptance criteria for [`tune_flash_params`].
+#[derive(Debug, Clone)]
+pub struct TuneOptions {
+    /// Candidate principal-component counts (filtered to `≤ dim`).
+    pub d_f_grid: Vec<usize>,
+    /// Candidate subspace counts (filtered to divisors of the paired `d_F`).
+    pub m_f_grid: Vec<usize>,
+    /// Required fraction of sampled triples whose comparison survives
+    /// compression (the paper tunes until comparisons are "effectively"
+    /// preserved; 0.9 is a practical default).
+    pub target_agreement: f64,
+    /// Triples sampled per candidate.
+    pub triples: usize,
+    /// Vectors sampled from the dataset for training + estimation.
+    pub sample: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        Self {
+            d_f_grid: vec![16, 32, 48, 64, 96, 128],
+            m_f_grid: vec![4, 8, 16, 32],
+            target_agreement: 0.9,
+            triples: 400,
+            sample: 2_000,
+            seed: 0x7E57,
+        }
+    }
+}
+
+/// One evaluated candidate configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneCandidate {
+    /// Principal components kept.
+    pub d_f: usize,
+    /// Subspaces (= stored code bytes per vector, one nibble-per-byte).
+    pub m_f: usize,
+    /// The Theorem-1 estimator's verdict for this configuration.
+    pub report: ReliabilityReport,
+}
+
+/// Result of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// The chosen parameters (other fields copied from the base params).
+    pub params: FlashParams,
+    /// Whether the chosen candidate reached `target_agreement`.
+    pub met_target: bool,
+    /// Every evaluated candidate, in evaluation order (cheapest first).
+    pub candidates: Vec<TuneCandidate>,
+}
+
+/// Runs the Section-3.1 tuning loop over `data`.
+///
+/// `base` supplies the non-tuned fields (training sample size, k-means
+/// iterations, seed, grid quantile); its `d_f`/`m_f` are ignored.
+///
+/// # Panics
+/// Panics if `data` has fewer than 3 vectors (no triples can be formed)
+/// or the filtered grid is empty.
+pub fn tune_flash_params(
+    data: &VectorSet,
+    base: FlashParams,
+    opts: &TuneOptions,
+) -> TuneOutcome {
+    assert!(data.len() >= 3, "tuning needs at least 3 vectors");
+    let dim = data.dim();
+    let sample = data.stride_sample(opts.sample.max(3));
+
+    // Candidate grid: valid pairs sorted cheapest-first (code bytes = M_F,
+    // then d_F for training cost).
+    let mut grid: Vec<(usize, usize)> = Vec::new();
+    for &m_f in &opts.m_f_grid {
+        for &d_f in &opts.d_f_grid {
+            if d_f <= dim && m_f <= d_f && d_f % m_f == 0 {
+                grid.push((m_f, d_f));
+            }
+        }
+    }
+    grid.sort_unstable();
+    grid.dedup();
+    assert!(!grid.is_empty(), "no valid (d_F, M_F) candidates for dim {dim}");
+
+    let mut candidates = Vec::with_capacity(grid.len());
+    let mut chosen: Option<(usize, usize)> = None;
+    let mut best_fallback: Option<((usize, usize), f64)> = None;
+
+    for &(m_f, d_f) in &grid {
+        let mut params = base;
+        params.d_f = d_f;
+        params.m_f = m_f;
+        params.train_sample = params.train_sample.min(sample.len()).max(3);
+        let codec = FlashCodec::train(&sample, params);
+        let report = comparison_reliability(&codec, &sample, opts.triples, opts.seed);
+        candidates.push(TuneCandidate { d_f, m_f, report });
+
+        let agreement = report.agreement_fraction();
+        if chosen.is_none() && agreement >= opts.target_agreement {
+            chosen = Some((m_f, d_f));
+        }
+        if best_fallback.is_none_or(|(_, best)| agreement > best) {
+            best_fallback = Some(((m_f, d_f), agreement));
+        }
+    }
+
+    let (met_target, (m_f, d_f)) = match chosen {
+        Some(pair) => (true, pair),
+        None => (false, best_fallback.expect("grid is non-empty").0),
+    };
+    let mut params = base;
+    params.d_f = d_f;
+    params.m_f = m_f;
+    TuneOutcome { params, met_target, candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecstore::{generate, DatasetProfile};
+
+    fn opts_small() -> TuneOptions {
+        TuneOptions {
+            d_f_grid: vec![16, 32, 64],
+            m_f_grid: vec![4, 8, 16],
+            target_agreement: 0.85,
+            triples: 150,
+            sample: 600,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn picks_a_valid_candidate_meeting_target() {
+        let (data, _) = generate(&DatasetProfile::SsnppLike.spec(), 800, 1, 3);
+        let outcome = tune_flash_params(&data, FlashParams::auto(256), &opts_small());
+        assert!(outcome.params.d_f % outcome.params.m_f == 0);
+        assert!(outcome.params.d_f <= 256);
+        assert!(!outcome.candidates.is_empty());
+        // Well-structured embedding-like data should be tunable to 0.85.
+        assert!(outcome.met_target, "no candidate reached the target");
+    }
+
+    #[test]
+    fn chosen_candidate_is_cheapest_qualifying() {
+        let (data, _) = generate(&DatasetProfile::SsnppLike.spec(), 800, 1, 5);
+        let opts = opts_small();
+        let outcome = tune_flash_params(&data, FlashParams::auto(256), &opts);
+        if outcome.met_target {
+            // No *cheaper* candidate (fewer code bytes, i.e. smaller m_f;
+            // then smaller d_f) may also meet the target.
+            let chosen = (outcome.params.m_f, outcome.params.d_f);
+            for c in &outcome.candidates {
+                let key = (c.m_f, c.d_f);
+                if key < chosen {
+                    assert!(
+                        c.report.agreement_fraction() < opts.target_agreement,
+                        "cheaper qualifying candidate {key:?} was skipped"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_filters_invalid_pairs() {
+        let (data, _) = generate(&DatasetProfile::SsnppLike.spec(), 400, 1, 9);
+        let opts = TuneOptions {
+            d_f_grid: vec![24, 512], // 512 > dim 256: filtered
+            m_f_grid: vec![8, 48],   // 48 > 24: filtered; 24 % 8 == 0 stays
+            target_agreement: 0.0,
+            triples: 50,
+            sample: 300,
+            seed: 1,
+        };
+        let outcome = tune_flash_params(&data, FlashParams::auto(256), &opts);
+        assert_eq!(outcome.candidates.len(), 1);
+        assert_eq!(outcome.params.d_f, 24);
+        assert_eq!(outcome.params.m_f, 8);
+    }
+
+    #[test]
+    fn unreachable_target_falls_back_to_best() {
+        let (data, _) = generate(&DatasetProfile::SsnppLike.spec(), 500, 1, 11);
+        let mut opts = opts_small();
+        opts.target_agreement = 1.01; // unsatisfiable by construction
+        let outcome = tune_flash_params(&data, FlashParams::auto(256), &opts);
+        assert!(!outcome.met_target);
+        let best = outcome
+            .candidates
+            .iter()
+            .map(|c| c.report.agreement_fraction())
+            .fold(0.0f64, f64::max);
+        let chosen = outcome
+            .candidates
+            .iter()
+            .find(|c| c.d_f == outcome.params.d_f && c.m_f == outcome.params.m_f)
+            .unwrap();
+        assert!(
+            (chosen.report.agreement_fraction() - best).abs() < 1e-12,
+            "fallback must be the most reliable candidate"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_vectors_rejected() {
+        let mut data = VectorSet::new(4);
+        data.push(&[0.0; 4]);
+        let _ = tune_flash_params(&data, FlashParams::auto(4), &TuneOptions::default());
+    }
+}

@@ -1,0 +1,256 @@
+//! ADSampling search (Gao & Long 2023), reproduced for the paper's
+//! Figure 13 generality experiment.
+//!
+//! ADSampling rotates the space by a random orthogonal matrix and evaluates
+//! distances *progressively*: after the first `d` coordinates the partial
+//! squared distance is an unbiased `d/D` fraction of the total, so a
+//! candidate provably worse than the current threshold can be abandoned
+//! early with a hypothesis test. The construction path of the index is the
+//! standard one — which is exactly why Flash composes with it.
+//!
+//! Implementation notes vs. the original: rotation is applied in blocks of
+//! ≤ 64 dimensions (orthogonal per block, distance-preserving, O(64·D) per
+//! vector instead of O(D²)); the test uses the original paper's
+//! `(1 + ε₀/√d)²` inflation factor at fixed checkpoints.
+
+use crate::graph::GraphLayers;
+use crate::hnsw::SearchResult;
+use crate::OrdF32;
+use linalg::random_orthogonal;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use vecstore::VectorSet;
+
+/// A searcher holding block-rotated vectors and the abandon test settings.
+pub struct AdSampler {
+    rotated: VectorSet,
+    block: usize,
+    rotation: linalg::Matrix,
+    /// Confidence inflation ε₀ (the original paper suggests ~2.1).
+    pub epsilon0: f32,
+    /// Dimensions evaluated between hypothesis tests.
+    pub delta_d: usize,
+}
+
+/// Counters describing how much work the progressive evaluation skipped.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AdStats {
+    /// Distance evaluations started.
+    pub evals: u64,
+    /// Evaluations abandoned before the last dimension.
+    pub abandoned: u64,
+}
+
+impl AdSampler {
+    /// Rotates `base` and prepares the searcher.
+    pub fn new(base: &VectorSet, epsilon0: f32, delta_d: usize, seed: u64) -> Self {
+        let d = base.dim();
+        let block = d.min(64);
+        let rotation = random_orthogonal(block, seed);
+        let mut rotated = VectorSet::with_capacity(d, base.len());
+        let mut buf = vec![0.0f32; d];
+        for v in base.iter() {
+            rotate_into(&rotation, block, v, &mut buf);
+            rotated.push(&buf);
+        }
+        Self { rotated, block, rotation, epsilon0, delta_d: delta_d.max(8) }
+    }
+
+    /// Rotates a query into the sampler's basis.
+    pub fn rotate_query(&self, q: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; q.len()];
+        rotate_into(&self.rotation, self.block, q, &mut out);
+        out
+    }
+
+    /// Progressive distance with early abandon: returns `None` when the
+    /// hypothesis test concludes the true distance exceeds `threshold`.
+    pub fn dist_or_abandon(&self, q_rot: &[f32], id: u32, threshold: f32) -> Option<f32> {
+        let v = self.rotated.get(id as usize);
+        let d_total = v.len();
+        let mut partial = 0.0f32;
+        let mut d_seen = 0usize;
+        while d_seen < d_total {
+            let step = self.delta_d.min(d_total - d_seen);
+            partial += simdops::l2_sq(
+                &q_rot[d_seen..d_seen + step],
+                &v[d_seen..d_seen + step],
+            );
+            d_seen += step;
+            if d_seen < d_total && threshold.is_finite() {
+                // Abandon if the scaled partial already clears the inflated
+                // threshold: partial > thr * (d/D) * (1 + ε0/√d)².
+                let ratio = d_seen as f32 / d_total as f32;
+                let infl = 1.0 + self.epsilon0 / (d_seen as f32).sqrt();
+                if partial > threshold * ratio * infl * infl {
+                    return None;
+                }
+            }
+        }
+        Some(partial)
+    }
+
+    /// HNSW-style search over a frozen graph with progressive distances.
+    /// Returns the hits and the abandon statistics.
+    pub fn search(
+        &self,
+        graph: &GraphLayers,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+    ) -> (Vec<SearchResult>, AdStats) {
+        let mut stats = AdStats::default();
+        if graph.is_empty() {
+            return (Vec::new(), stats);
+        }
+        let ef = ef.max(k);
+        let q_rot = self.rotate_query(query);
+
+        // Greedy descent through upper layers with full distances (cheap:
+        // few hops) — abandonment only pays off in the base-layer beam.
+        let mut cur = graph.entry;
+        let mut cur_d = simdops::l2_sq(&q_rot, self.rotated.get(cur as usize));
+        for layer in (1..=graph.max_layer).rev() {
+            loop {
+                let mut improved = false;
+                for &nb in graph.neighbors(layer, cur) {
+                    let d = simdops::l2_sq(&q_rot, self.rotated.get(nb as usize));
+                    stats.evals += 1;
+                    if d < cur_d {
+                        cur = nb;
+                        cur_d = d;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+
+        // Base-layer beam with early abandon.
+        let mut visited = vec![false; graph.len()];
+        visited[cur as usize] = true;
+        let mut top: BinaryHeap<(OrdF32, u32)> = BinaryHeap::with_capacity(ef + 1);
+        let mut frontier: BinaryHeap<(Reverse<OrdF32>, u32)> = BinaryHeap::new();
+        top.push((OrdF32(cur_d), cur));
+        frontier.push((Reverse(OrdF32(cur_d)), cur));
+
+        while let Some((Reverse(OrdF32(d)), u)) = frontier.pop() {
+            let worst = top.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
+            if d > worst && top.len() >= ef {
+                break;
+            }
+            for &nb in graph.neighbors(0, u) {
+                if visited[nb as usize] {
+                    continue;
+                }
+                visited[nb as usize] = true;
+                let threshold = if top.len() >= ef {
+                    top.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY)
+                } else {
+                    f32::INFINITY
+                };
+                stats.evals += 1;
+                match self.dist_or_abandon(&q_rot, nb, threshold) {
+                    Some(nd) => {
+                        if top.len() < ef || nd < threshold {
+                            top.push((OrdF32(nd), nb));
+                            if top.len() > ef {
+                                top.pop();
+                            }
+                            frontier.push((Reverse(OrdF32(nd)), nb));
+                        }
+                    }
+                    None => stats.abandoned += 1,
+                }
+            }
+        }
+
+        let mut out: Vec<SearchResult> = top
+            .into_iter()
+            .map(|(OrdF32(dist), id)| SearchResult { id, dist })
+            .collect();
+        out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        out.truncate(k);
+        (out, stats)
+    }
+}
+
+/// Applies the block rotation to `v`, writing into `out` (tail dimensions
+/// beyond the last full block are copied unrotated).
+fn rotate_into(rotation: &linalg::Matrix, block: usize, v: &[f32], out: &mut [f32]) {
+    let mut i = 0;
+    while i + block <= v.len() {
+        let rotated = rotation.matvec(&v[i..i + block]);
+        out[i..i + block].copy_from_slice(&rotated);
+        i += block;
+    }
+    out[i..].copy_from_slice(&v[i..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hnsw::{Hnsw, HnswParams};
+    use crate::providers::FullPrecision;
+
+    fn grid(side: usize) -> VectorSet {
+        let mut s = VectorSet::new(4);
+        for i in 0..side {
+            for j in 0..side {
+                s.push(&[i as f32, j as f32, (i + j) as f32 * 0.5, 0.0]);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn rotation_preserves_distances() {
+        let base = grid(8);
+        let sampler = AdSampler::new(&base, 2.1, 16, 1);
+        let q = [1.5f32, 2.5, 2.0, 0.0];
+        let q_rot = sampler.rotate_query(&q);
+        for id in 0..10u32 {
+            let exact = simdops::l2_sq(&q, base.get(id as usize));
+            let rotated = sampler
+                .dist_or_abandon(&q_rot, id, f32::INFINITY)
+                .expect("infinite threshold never abandons");
+            assert!((exact - rotated).abs() < 1e-3 * (1.0 + exact), "{exact} vs {rotated}");
+        }
+    }
+
+    #[test]
+    fn abandons_far_points_with_tight_threshold() {
+        // Need D > delta_d so intermediate checkpoints exist.
+        let mut base = VectorSet::new(32);
+        base.push(&[0.0; 32]); // the query's twin
+        base.push(&[100.0; 32]); // a very far point
+        let sampler = AdSampler::new(&base, 2.1, 8, 2);
+        let q_rot = sampler.rotate_query(&[0.0; 32]);
+        assert!(
+            sampler.dist_or_abandon(&q_rot, 1, 0.01).is_none(),
+            "far point must abandon under a tight threshold"
+        );
+        assert!(
+            sampler.dist_or_abandon(&q_rot, 0, 0.01).is_some(),
+            "the exact match must complete"
+        );
+    }
+
+    #[test]
+    fn search_matches_plain_hnsw_top1() {
+        let base = grid(12);
+        let index = Hnsw::build(
+            FullPrecision::new(base.clone()),
+            HnswParams { c: 48, r: 8, seed: 4 },
+        );
+        let graph = index.freeze();
+        let sampler = AdSampler::new(&base, 2.1, 16, 5);
+        for q in [[3.2f32, 4.1, 3.6, 0.0], [7.9, 0.2, 4.0, 0.0]] {
+            let plain = index.search(&q, 1, 48);
+            let (ad, _) = sampler.search(&graph, &q, 1, 48);
+            assert_eq!(plain[0].id, ad[0].id);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Plain adjacency containers produced by the builders.
+//!
+//! Builders work on locked node records; once construction finishes they
+//! freeze into these read-only structures, which the search routines (and
+//! the ADSampling / VBase variants) traverse without synchronization.
+
+/// A frozen multi-layer graph (HNSW shape).
+///
+/// `layers[l][node]` is the neighbor list of `node` at layer `l`; nodes
+/// absent from a layer have empty lists. Layer 0 contains every node.
+#[derive(Debug, Clone)]
+pub struct GraphLayers {
+    /// Adjacency per layer; `layers[0]` is the base layer.
+    pub layers: Vec<Vec<Vec<u32>>>,
+    /// Entry point for searches (highest-layer node).
+    pub entry: u32,
+    /// Index of the highest non-empty layer.
+    pub max_layer: usize,
+}
+
+impl GraphLayers {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.len())
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Neighbor list of `node` at `layer`.
+    #[inline]
+    pub fn neighbors(&self, layer: usize, node: u32) -> &[u32] {
+        &self.layers[layer][node as usize]
+    }
+
+    /// Total directed edges in the base layer.
+    pub fn base_edges(&self) -> usize {
+        self.layers[0].iter().map(|l| l.len()).sum()
+    }
+
+    /// Adjacency memory in bytes (ids only): the graph part of the paper's
+    /// index-size metric.
+    pub fn adjacency_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .flat_map(|layer| layer.iter())
+            .map(|l| l.len() * std::mem::size_of::<u32>())
+            .sum()
+    }
+}
+
+/// A frozen single-layer graph (NSG / τ-MG shape) with a designated entry
+/// (the medoid for NSG).
+#[derive(Debug, Clone)]
+pub struct FlatGraph {
+    /// Adjacency: `adj[node]` is the neighbor list.
+    pub adj: Vec<Vec<u32>>,
+    /// Search entry point.
+    pub entry: u32,
+}
+
+impl FlatGraph {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Neighbor list of `node`.
+    #[inline]
+    pub fn neighbors(&self, node: u32) -> &[u32] {
+        &self.adj[node as usize]
+    }
+
+    /// Total directed edges.
+    pub fn edges(&self) -> usize {
+        self.adj.iter().map(|l| l.len()).sum()
+    }
+
+    /// Adjacency memory in bytes (ids only).
+    pub fn adjacency_bytes(&self) -> usize {
+        self.adj.iter().map(|l| l.len() * std::mem::size_of::<u32>()).sum()
+    }
+
+    /// Checks every node can reach every other via BFS from `entry`
+    /// (treating edges as directed). Returns the number of reachable nodes.
+    pub fn reachable_from_entry(&self) -> usize {
+        let n = self.adj.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[self.entry as usize] = true;
+        queue.push_back(self.entry);
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u as usize] {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> FlatGraph {
+        FlatGraph { adj: vec![vec![1], vec![2], vec![0]], entry: 0 }
+    }
+
+    #[test]
+    fn flat_graph_accounting() {
+        let g = triangle();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edges(), 3);
+        assert_eq!(g.adjacency_bytes(), 12);
+    }
+
+    #[test]
+    fn reachability_full_cycle() {
+        assert_eq!(triangle().reachable_from_entry(), 3);
+    }
+
+    #[test]
+    fn reachability_detects_islands() {
+        let g = FlatGraph { adj: vec![vec![1], vec![0], vec![]], entry: 0 };
+        assert_eq!(g.reachable_from_entry(), 2);
+    }
+
+    #[test]
+    fn layers_accounting() {
+        let g = GraphLayers {
+            layers: vec![vec![vec![1], vec![0], vec![0, 1]], vec![vec![], vec![], vec![]]],
+            entry: 2,
+            max_layer: 0,
+        };
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.base_edges(), 4);
+        assert_eq!(g.adjacency_bytes(), 16);
+        assert_eq!(g.neighbors(0, 2), &[0, 1]);
+    }
+}

@@ -1,0 +1,423 @@
+//! HCNNG — Hierarchical Clustering-based Nearest Neighbor Graph (Muñoz et
+//! al., Pattern Recognition 2019), the MST-family builder the paper's
+//! Section 2.1.1 lists alongside the MRNG-family graphs.
+//!
+//! HCNNG builds its graph from **minimum spanning trees over random
+//! hierarchical clusterings**: each of `T` passes recursively bipartitions
+//! the dataset with two random pivots until clusters fall below a leaf
+//! size, computes a degree-bounded MST inside every leaf, and the union of
+//! all trees' edges (made bidirectional) is the final graph. Unlike the
+//! CA+NS family, there is no beam search during construction — but every
+//! edge weight is still a distance computation, and those route through
+//! [`DistanceProvider::dist_between`], so compact-coding providers (Flash
+//! included) accelerate HCNNG construction too. This makes HCNNG a useful
+//! *contrast* workload: its distance pattern is candidate-pool-free, so
+//! layout-level optimizations (neighbor-codeword batches) do not apply and
+//! only the cheap-distance effect remains.
+
+use crate::flat_build::search_flat;
+use crate::graph::FlatGraph;
+use crate::hnsw::SearchResult;
+use crate::provider::DistanceProvider;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// HCNNG construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HcnngParams {
+    /// Number of random clustering passes `T` (each contributes one forest).
+    pub trees: usize,
+    /// Maximum leaf size before an MST is computed.
+    pub leaf_size: usize,
+    /// Maximum degree a vertex may reach *within one tree's MST*
+    /// (the original paper uses 3).
+    pub mst_degree: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HcnngParams {
+    fn default() -> Self {
+        Self { trees: 10, leaf_size: 48, mst_degree: 3, seed: 0x5eed }
+    }
+}
+
+/// A built HCNNG index.
+pub struct Hcnng<P: DistanceProvider> {
+    provider: P,
+    graph: FlatGraph,
+    params: HcnngParams,
+}
+
+impl<P: DistanceProvider> Hcnng<P> {
+    /// Builds the index: `T` parallel random clusterings, a degree-bounded
+    /// MST per leaf, union of edges, medoid entry point.
+    pub fn build(provider: P, params: HcnngParams) -> Self {
+        assert!(params.trees >= 1, "at least one clustering pass required");
+        assert!(params.leaf_size >= 2, "leaf size must allow an edge");
+        assert!(params.mst_degree >= 1, "MST degree bound must be positive");
+        let n = provider.len();
+        if n == 0 {
+            return Self {
+                provider,
+                graph: FlatGraph { adj: Vec::new(), entry: 0 },
+                params,
+            };
+        }
+
+        // Each pass produces its own edge list; passes are independent.
+        let provider_ref = &provider;
+        let forests: Vec<Vec<(u32, u32)>> = (0..params.trees)
+            .into_par_iter()
+            .map(|t| {
+                let mut rng = SmallRng::seed_from_u64(params.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                let mut ids: Vec<u32> = (0..n as u32).collect();
+                let mut edges = Vec::new();
+                cluster_recurse(provider_ref, &mut ids, params, &mut rng, &mut edges);
+                edges
+            })
+            .collect();
+
+        // Union into bidirectional adjacency sets.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for edges in forests {
+            for (a, b) in edges {
+                if !adj[a as usize].contains(&b) {
+                    adj[a as usize].push(b);
+                }
+                if !adj[b as usize].contains(&a) {
+                    adj[b as usize].push(a);
+                }
+            }
+        }
+
+        // Medoid entry: vector nearest the dataset mean.
+        let entry = {
+            let base = provider.base();
+            let dim = base.dim();
+            let mut mean = vec![0.0f64; dim];
+            for v in base.iter() {
+                for (m, &x) in mean.iter_mut().zip(v.iter()) {
+                    *m += f64::from(x);
+                }
+            }
+            let mean_f32: Vec<f32> = mean.iter().map(|&m| (m / n as f64) as f32).collect();
+            let ctx = provider.prepare_query(&mean_f32);
+            (0..n as u32)
+                .map(|i| (provider.dist_to(&ctx, i), i))
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .map(|(_, i)| i)
+                .unwrap_or(0)
+        };
+
+        let mut graph = FlatGraph { adj, entry };
+        attach_unreachable(&mut graph);
+        Self { provider, graph, params }
+    }
+
+    /// The navigating graph.
+    pub fn graph(&self) -> &FlatGraph {
+        &self.graph
+    }
+
+    /// The distance provider.
+    pub fn provider(&self) -> &P {
+        &self.provider
+    }
+
+    /// Construction parameters.
+    pub fn params(&self) -> &HcnngParams {
+        &self.params
+    }
+
+    /// k-NN search from the medoid entry point.
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<SearchResult> {
+        search_flat(&self.provider, &self.graph, query, k, ef)
+    }
+
+    /// Search with exact reranking on the original vectors.
+    pub fn search_rerank(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        rerank_factor: usize,
+    ) -> Vec<SearchResult> {
+        let pool = self.search(query, (k * rerank_factor.max(1)).max(k), ef);
+        let base = self.provider.base();
+        let mut exact: Vec<SearchResult> = pool
+            .into_iter()
+            .map(|r| SearchResult {
+                id: r.id,
+                dist: simdops::l2_sq(query, base.get(r.id as usize)),
+            })
+            .collect();
+        exact.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        exact.truncate(k);
+        exact
+    }
+
+    /// Index size: adjacency + provider auxiliary bytes.
+    pub fn index_bytes(&self) -> usize {
+        self.graph.adjacency_bytes() + self.provider.aux_bytes()
+    }
+}
+
+/// Recursively bipartitions `ids` with two random pivots; emits MST edges
+/// at the leaves. Partitioning distances and MST weights both go through
+/// the provider.
+fn cluster_recurse<P: DistanceProvider>(
+    provider: &P,
+    ids: &mut [u32],
+    params: HcnngParams,
+    rng: &mut SmallRng,
+    edges: &mut Vec<(u32, u32)>,
+) {
+    if ids.len() <= params.leaf_size {
+        leaf_mst(provider, ids, params.mst_degree, edges);
+        return;
+    }
+    // Two distinct random pivots.
+    let pa = ids[rng.gen_range(0..ids.len())];
+    let pb = loop {
+        let c = ids[rng.gen_range(0..ids.len())];
+        if c != pa {
+            break c;
+        }
+    };
+    // Partition in place: closer-to-pa first. Ties break by id parity so a
+    // degenerate metric (all-equal points) still splits roughly in half.
+    let mut left = 0usize;
+    let mut right = ids.len();
+    let mut i = 0usize;
+    while i < right {
+        let x = ids[i];
+        let da = provider.dist_between(x, pa);
+        let db = provider.dist_between(x, pb);
+        let to_left = if da != db { da < db } else { x.is_multiple_of(2) };
+        if to_left {
+            ids.swap(i, left);
+            left += 1;
+            i = i.max(left);
+        } else {
+            right -= 1;
+            ids.swap(i, right);
+        }
+    }
+    // Guard against degenerate splits (all points identical to one pivot).
+    if left == 0 || left == ids.len() {
+        let mid = ids.len() / 2;
+        let (a, b) = ids.split_at_mut(mid);
+        cluster_recurse(provider, a, params, rng, edges);
+        cluster_recurse(provider, b, params, rng, edges);
+        return;
+    }
+    let (a, b) = ids.split_at_mut(left);
+    cluster_recurse(provider, a, params, rng, edges);
+    cluster_recurse(provider, b, params, rng, edges);
+}
+
+/// Degree-bounded MST inside one leaf: Kruskal over all pairwise edges,
+/// accepting an edge only if both endpoints stay under the degree bound
+/// and the edge merges two components.
+fn leaf_mst<P: DistanceProvider>(
+    provider: &P,
+    ids: &[u32],
+    max_degree: usize,
+    edges: &mut Vec<(u32, u32)>,
+) {
+    let m = ids.len();
+    if m < 2 {
+        return;
+    }
+    let mut all: Vec<(f32, u32, u32)> = Vec::with_capacity(m * (m - 1) / 2);
+    for i in 0..m {
+        for j in (i + 1)..m {
+            all.push((provider.dist_between(ids[i], ids[j]), ids[i], ids[j]));
+        }
+    }
+    all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    // Union-find over leaf-local indices.
+    let index_of = |id: u32| ids.iter().position(|&x| x == id).unwrap();
+    let mut parent: Vec<usize> = (0..m).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    let mut degree = vec![0usize; m];
+    let mut accepted = 0;
+    for (_, a, b) in all {
+        if accepted == m - 1 {
+            break;
+        }
+        let (ia, ib) = (index_of(a), index_of(b));
+        if degree[ia] >= max_degree || degree[ib] >= max_degree {
+            continue;
+        }
+        let (ra, rb) = (find(&mut parent, ia), find(&mut parent, ib));
+        if ra == rb {
+            continue;
+        }
+        parent[ra] = rb;
+        degree[ia] += 1;
+        degree[ib] += 1;
+        edges.push((a, b));
+        accepted += 1;
+    }
+}
+
+/// The degree bound can leave a leaf's forest (and hence the union graph)
+/// disconnected; link any unreachable vertex from the entry.
+fn attach_unreachable(graph: &mut FlatGraph) {
+    let n = graph.len();
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    seen[graph.entry as usize] = true;
+    queue.push_back(graph.entry);
+    while let Some(u) = queue.pop_front() {
+        for &v in &graph.adj[u as usize] {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    let entry = graph.entry as usize;
+    let orphans: Vec<usize> = seen.iter().enumerate().filter(|(_, &s)| !s).map(|(x, _)| x).collect();
+    for x in orphans {
+        graph.adj[entry].push(x as u32);
+        graph.adj[x].push(entry as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::providers::FullPrecision;
+    use vecstore::VectorSet;
+
+    fn grid(side: usize) -> VectorSet {
+        let mut s = VectorSet::new(2);
+        for i in 0..side {
+            for j in 0..side {
+                s.push(&[i as f32, j as f32]);
+            }
+        }
+        s
+    }
+
+    fn build_grid(side: usize) -> Hcnng<FullPrecision> {
+        Hcnng::build(
+            FullPrecision::new(grid(side)),
+            HcnngParams { trees: 6, leaf_size: 24, mst_degree: 3, seed: 13 },
+        )
+    }
+
+    #[test]
+    fn finds_nearest_on_grid() {
+        let index = build_grid(10);
+        let hits = index.search(&[7.1, 2.2], 1, 32);
+        assert_eq!(hits[0].id, 72, "expected grid point (7,2)");
+    }
+
+    #[test]
+    fn graph_is_bidirectional() {
+        let index = build_grid(9);
+        let g = index.graph();
+        for (u, nbrs) in g.adj.iter().enumerate() {
+            for &v in nbrs {
+                assert!(
+                    g.adj[v as usize].contains(&(u as u32)),
+                    "edge {u}→{v} missing its reverse"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fully_reachable() {
+        let index = build_grid(9);
+        assert_eq!(index.graph().reachable_from_entry(), 81);
+    }
+
+    #[test]
+    fn more_trees_add_edges() {
+        let base = grid(10);
+        let few = Hcnng::build(
+            FullPrecision::new(base.clone()),
+            HcnngParams { trees: 2, leaf_size: 24, mst_degree: 3, seed: 1 },
+        );
+        let many = Hcnng::build(
+            FullPrecision::new(base),
+            HcnngParams { trees: 12, leaf_size: 24, mst_degree: 3, seed: 1 },
+        );
+        assert!(many.graph().edges() > few.graph().edges());
+    }
+
+    #[test]
+    fn mst_degree_bound_respected_single_tree() {
+        // With one tree and no repair edges, every vertex degree must be
+        // ≤ mst_degree (union of passes may exceed it; one pass may not).
+        let base = grid(8);
+        let index = Hcnng::build(
+            FullPrecision::new(base),
+            HcnngParams { trees: 1, leaf_size: 64, mst_degree: 3, seed: 5 },
+        );
+        let entry = index.graph().entry as usize;
+        for (i, nbrs) in index.graph().adj.iter().enumerate() {
+            if i == entry {
+                continue; // connectivity repair may oversize the entry
+            }
+            assert!(nbrs.len() <= 3 + 1, "degree {} at {i}", nbrs.len());
+        }
+    }
+
+    #[test]
+    fn recall_reasonable_on_grid() {
+        let base = grid(12);
+        let index = Hcnng::build(
+            FullPrecision::new(base.clone()),
+            HcnngParams { trees: 8, leaf_size: 32, mst_degree: 3, seed: 9 },
+        );
+        let gt = vecstore::ground_truth(&base, &base.slice(0, 30), 3);
+        let mut hit = 0;
+        for (qi, truth) in gt.iter().enumerate() {
+            let found = index.search(base.get(qi), 3, 64);
+            let ids: Vec<u32> = found.iter().map(|r| r.id).collect();
+            hit += truth.iter().filter(|t| ids.contains(&t.id)).count();
+        }
+        let recall = hit as f64 / 90.0;
+        assert!(recall > 0.85, "recall {recall}");
+    }
+
+    #[test]
+    fn empty_and_single_vector() {
+        let empty = Hcnng::build(FullPrecision::new(VectorSet::new(3)), HcnngParams::default());
+        assert!(empty.search(&[0.0; 3], 2, 8).is_empty());
+
+        let mut one = VectorSet::new(2);
+        one.push(&[1.0, 2.0]);
+        let index = Hcnng::build(FullPrecision::new(one), HcnngParams::default());
+        assert_eq!(index.search(&[0.0, 0.0], 1, 4)[0].id, 0);
+    }
+
+    #[test]
+    fn identical_points_do_not_hang() {
+        // Degenerate metric: every point identical — the parity tiebreak
+        // and the split guard must still terminate recursion.
+        let mut s = VectorSet::new(2);
+        for _ in 0..100 {
+            s.push(&[1.0, 1.0]);
+        }
+        let index = Hcnng::build(
+            FullPrecision::new(s),
+            HcnngParams { trees: 2, leaf_size: 8, mst_degree: 3, seed: 3 },
+        );
+        assert_eq!(index.graph().len(), 100);
+    }
+}

@@ -1,0 +1,260 @@
+//! KGraph — approximate K-nearest-neighbor graphs via NN-descent
+//! (Dong, Charikar & Li, WWW 2011; the paradigm behind the paper's KGraph
+//! and NGT citations).
+//!
+//! NN-descent refines random initial neighbor lists by the *local join*:
+//! any two vertices sharing a neighbor are likely neighbors themselves, so
+//! each round compares neighbors-of-neighbors and keeps improvements. All
+//! distances route through [`DistanceProvider`], so the builder benefits
+//! from compact codes exactly like the other graph algorithms — and a
+//! KNN graph is the classical substrate NSG-style builders start from.
+
+use crate::provider::DistanceProvider;
+use crate::OrdF32;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Parameters of the NN-descent construction.
+#[derive(Debug, Clone, Copy)]
+pub struct KGraphParams {
+    /// Neighbors per vertex (`K`).
+    pub k: usize,
+    /// Maximum NN-descent rounds.
+    pub iters: usize,
+    /// Per-round sample of candidates considered per vertex; bounds the
+    /// local-join cost (ρ·K in the original paper's notation).
+    pub sample: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KGraphParams {
+    fn default() -> Self {
+        Self { k: 16, iters: 8, sample: 24, seed: 0x6E0 }
+    }
+}
+
+/// An approximate KNN graph: `neighbors[v]` holds up to `K` (distance, id)
+/// pairs sorted ascending.
+pub struct KGraph {
+    /// Sorted neighbor lists.
+    pub neighbors: Vec<Vec<(f32, u32)>>,
+    /// Rounds actually run.
+    pub rounds: usize,
+}
+
+impl KGraph {
+    /// Builds the KNN graph with NN-descent over the provider's distances.
+    pub fn build<P: DistanceProvider>(provider: &P, params: KGraphParams) -> Self {
+        let n = provider.len();
+        let k = params.k.min(n.saturating_sub(1));
+        if n == 0 || k == 0 {
+            return Self { neighbors: vec![Vec::new(); n], rounds: 0 };
+        }
+
+        // Random initialization.
+        let mut rng = SmallRng::seed_from_u64(params.seed);
+        let mut neighbors: Vec<Vec<(f32, u32)>> = (0..n as u32)
+            .map(|v| {
+                let mut list = Vec::with_capacity(k);
+                let mut seen = vec![v];
+                while list.len() < k {
+                    let cand = rng.gen_range(0..n) as u32;
+                    if seen.contains(&cand) {
+                        continue;
+                    }
+                    seen.push(cand);
+                    list.push((provider.dist_between(v, cand), cand));
+                }
+                list.sort_by(|a, b| a.0.total_cmp(&b.0));
+                list
+            })
+            .collect();
+
+        let mut rounds = 0;
+        for iter in 0..params.iters {
+            rounds = iter + 1;
+            // Reverse lists: who points at v.
+            let mut reverse: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for (v, list) in neighbors.iter().enumerate() {
+                for &(_, u) in list {
+                    reverse[u as usize].push(v as u32);
+                }
+            }
+
+            // Local join: for each vertex, gather forward + reverse
+            // neighbors (bounded sample) and propose cross pairs.
+            let seed = params.seed.wrapping_add(iter as u64);
+            let proposals: Vec<Vec<(u32, u32)>> = (0..n)
+                .into_par_iter()
+                .map(|v| {
+                    let mut local: Vec<u32> =
+                        neighbors[v].iter().map(|&(_, u)| u).collect();
+                    local.extend(reverse[v].iter().copied());
+                    local.sort_unstable();
+                    local.dedup();
+                    if local.len() > params.sample {
+                        // Deterministic subsample.
+                        let mut lrng =
+                            SmallRng::seed_from_u64(seed.wrapping_add(v as u64));
+                        for i in (1..local.len()).rev() {
+                            local.swap(i, lrng.gen_range(0..=i));
+                        }
+                        local.truncate(params.sample);
+                    }
+                    let mut out = Vec::new();
+                    for (i, &a) in local.iter().enumerate() {
+                        for &b in local.iter().skip(i + 1) {
+                            if a != b {
+                                out.push((a, b));
+                            }
+                        }
+                    }
+                    out
+                })
+                .collect();
+
+            // Apply improvements serially (lists are small; the join above
+            // carried the parallel distance work via dist_between below —
+            // evaluate distances in parallel first).
+            let scored: Vec<(u32, u32, f32)> = proposals
+                .par_iter()
+                .flat_map_iter(|pairs| pairs.iter().copied())
+                .map(|(a, b)| (a, b, provider.dist_between(a, b)))
+                .collect();
+
+            let mut updates = 0usize;
+            for (a, b, d) in scored {
+                updates += usize::from(try_insert(&mut neighbors[a as usize], k, d, b));
+                updates += usize::from(try_insert(&mut neighbors[b as usize], k, d, a));
+            }
+            if updates == 0 {
+                break;
+            }
+        }
+
+        Self { neighbors, rounds }
+    }
+
+    /// Exact-KNN agreement of the lists against brute force, averaged over
+    /// a sample of vertices (graph-quality diagnostic).
+    pub fn knn_recall<P: DistanceProvider>(&self, provider: &P, sample: usize) -> f64 {
+        let n = provider.len();
+        if n < 2 {
+            return 1.0;
+        }
+        let step = (n / sample.max(1)).max(1);
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for v in (0..n).step_by(step) {
+            let k = self.neighbors[v].len();
+            if k == 0 {
+                continue;
+            }
+            let mut exact: Vec<(OrdF32, u32)> = (0..n as u32)
+                .filter(|&u| u != v as u32)
+                .map(|u| (OrdF32(provider.dist_between(v as u32, u)), u))
+                .collect();
+            exact.sort();
+            let truth: Vec<u32> = exact[..k].iter().map(|&(_, u)| u).collect();
+            for &(_, u) in &self.neighbors[v] {
+                total += 1;
+                if truth.contains(&u) {
+                    hit += 1;
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            hit as f64 / total as f64
+        }
+    }
+}
+
+/// Inserts `(d, id)` into a sorted bounded list; returns true if inserted.
+fn try_insert(list: &mut Vec<(f32, u32)>, k: usize, d: f32, id: u32) -> bool {
+    if list.iter().any(|&(_, u)| u == id) {
+        return false;
+    }
+    if list.len() >= k && d >= list[list.len() - 1].0 {
+        return false;
+    }
+    let pos = list.partition_point(|&(ld, _)| ld < d);
+    list.insert(pos, (d, id));
+    if list.len() > k {
+        list.pop();
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::providers::FullPrecision;
+    use vecstore::VectorSet;
+
+    fn grid(side: usize) -> VectorSet {
+        let mut s = VectorSet::new(2);
+        for i in 0..side {
+            for j in 0..side {
+                s.push(&[i as f32, j as f32]);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn nn_descent_converges_on_grid() {
+        let provider = FullPrecision::new(grid(12));
+        let g = KGraph::build(&provider, KGraphParams { k: 8, iters: 10, sample: 24, seed: 3 });
+        let recall = g.knn_recall(&provider, 30);
+        assert!(recall > 0.9, "KNN recall {recall}");
+    }
+
+    #[test]
+    fn lists_are_sorted_and_unique() {
+        let provider = FullPrecision::new(grid(8));
+        let g = KGraph::build(&provider, KGraphParams { k: 6, iters: 5, sample: 16, seed: 5 });
+        for (v, list) in g.neighbors.iter().enumerate() {
+            assert_eq!(list.len(), 6);
+            for w in list.windows(2) {
+                assert!(w[0].0 <= w[1].0);
+            }
+            let mut ids: Vec<u32> = list.iter().map(|&(_, u)| u).collect();
+            assert!(!ids.contains(&(v as u32)), "self loop at {v}");
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 6, "duplicates at {v}");
+        }
+    }
+
+    #[test]
+    fn better_than_random_after_one_round() {
+        let provider = FullPrecision::new(grid(10));
+        let random = KGraph::build(&provider, KGraphParams { k: 8, iters: 0, sample: 0, seed: 7 });
+        let refined =
+            KGraph::build(&provider, KGraphParams { k: 8, iters: 2, sample: 24, seed: 7 });
+        assert!(refined.knn_recall(&provider, 25) > random.knn_recall(&provider, 25));
+    }
+
+    #[test]
+    fn tiny_inputs_are_safe() {
+        let mut s = VectorSet::new(2);
+        s.push(&[0.0, 0.0]);
+        let provider = FullPrecision::new(s);
+        let g = KGraph::build(&provider, KGraphParams::default());
+        assert_eq!(g.neighbors.len(), 1);
+        assert!(g.neighbors[0].is_empty());
+    }
+
+    #[test]
+    fn try_insert_respects_bound_and_order() {
+        let mut list = vec![(1.0, 1), (2.0, 2)];
+        assert!(try_insert(&mut list, 2, 1.5, 3));
+        assert_eq!(list, vec![(1.0, 1), (1.5, 3)]);
+        assert!(!try_insert(&mut list, 2, 9.0, 4), "worse than tail must be rejected");
+        assert!(!try_insert(&mut list, 2, 0.5, 1), "duplicate id must be rejected");
+    }
+}

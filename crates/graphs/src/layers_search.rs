@@ -1,0 +1,170 @@
+//! Standard HNSW beam search over a frozen [`GraphLayers`] topology.
+//!
+//! [`crate::Hnsw::search`] traverses the index's internal locked node
+//! records; this module provides the same search over the *persisted*
+//! representation ([`GraphLayers`], the format `persist` writes), so a
+//! topology built overnight can be reloaded and served without carrying
+//! the builder's data structures — the deployment the paper's maintenance
+//! scenario implies. Any [`DistanceProvider`] works: rebuild the provider
+//! deterministically from the dataset (codecs re-train/encode from the
+//! same seed) and pair it with the loaded graph.
+
+use crate::graph::GraphLayers;
+use crate::hnsw::SearchResult;
+use crate::provider::DistanceProvider;
+use crate::OrdF32;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// k-NN beam search (greedy upper-layer descent, `ef`-wide base beam)
+/// over a frozen topology.
+pub fn search_layers<P: DistanceProvider>(
+    provider: &P,
+    graph: &GraphLayers,
+    query: &[f32],
+    k: usize,
+    ef: usize,
+) -> Vec<SearchResult> {
+    if graph.is_empty() {
+        return Vec::new();
+    }
+    let ef = ef.max(k).max(1);
+    let ctx = provider.prepare_query(query);
+
+    // Greedy descent through the upper layers.
+    let mut cur = graph.entry;
+    let mut cur_d = provider.dist_to(&ctx, cur);
+    for layer in (1..=graph.max_layer).rev() {
+        loop {
+            let mut improved = false;
+            for &nb in graph.neighbors(layer, cur) {
+                let d = provider.dist_to(&ctx, nb);
+                if d < cur_d {
+                    cur = nb;
+                    cur_d = d;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+
+    // Base-layer beam.
+    let mut visited = vec![false; graph.len()];
+    visited[cur as usize] = true;
+    let mut top: BinaryHeap<(OrdF32, u32)> = BinaryHeap::with_capacity(ef + 1);
+    let mut frontier: BinaryHeap<(Reverse<OrdF32>, u32)> = BinaryHeap::new();
+    top.push((OrdF32(cur_d), cur));
+    frontier.push((Reverse(OrdF32(cur_d)), cur));
+
+    while let Some((Reverse(OrdF32(d)), u)) = frontier.pop() {
+        let worst = top.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
+        if d > worst && top.len() >= ef {
+            break;
+        }
+        for &nb in graph.neighbors(0, u) {
+            if visited[nb as usize] {
+                continue;
+            }
+            visited[nb as usize] = true;
+            let nd = provider.dist_to(&ctx, nb);
+            let worst = top.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
+            // `<=`: quantized providers tie heavily (see hnsw::search_layer).
+            if top.len() < ef || nd <= worst {
+                top.push((OrdF32(nd), nb));
+                if top.len() > ef {
+                    top.pop();
+                }
+                frontier.push((Reverse(OrdF32(nd)), nb));
+            }
+        }
+    }
+
+    let mut out: Vec<SearchResult> =
+        top.into_iter().map(|(OrdF32(dist), id)| SearchResult { id, dist }).collect();
+    out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    out.truncate(k);
+    out
+}
+
+/// [`search_layers`] followed by exact reranking on the provider's raw
+/// vectors (the paper's Flash search pipeline).
+pub fn search_layers_rerank<P: DistanceProvider>(
+    provider: &P,
+    graph: &GraphLayers,
+    query: &[f32],
+    k: usize,
+    ef: usize,
+    rerank_factor: usize,
+) -> Vec<SearchResult> {
+    let pool = search_layers(provider, graph, query, (k * rerank_factor.max(1)).max(k), ef);
+    let base = provider.base();
+    let mut exact: Vec<SearchResult> = pool
+        .into_iter()
+        .map(|r| SearchResult { id: r.id, dist: simdops::l2_sq(query, base.get(r.id as usize)) })
+        .collect();
+    exact.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    exact.truncate(k);
+    exact
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hnsw::{Hnsw, HnswParams};
+    use crate::providers::FullPrecision;
+    use vecstore::VectorSet;
+
+    fn grid(side: usize) -> VectorSet {
+        let mut s = VectorSet::new(2);
+        for i in 0..side {
+            for j in 0..side {
+                s.push(&[i as f32, j as f32]);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn frozen_search_matches_live_search() {
+        let base = grid(12);
+        let index = Hnsw::build(
+            FullPrecision::new(base.clone()),
+            HnswParams { c: 48, r: 8, seed: 5 },
+        );
+        let frozen = index.freeze();
+        let provider = FullPrecision::new(base);
+        for q in [[3.2f32, 7.1], [0.1, 0.1], [11.0, 11.0], [5.5, 5.5]] {
+            let live: Vec<u32> =
+                index.search(&q, 5, 48).iter().map(|r| r.id).collect();
+            let cold: Vec<u32> =
+                search_layers(&provider, &frozen, &q, 5, 48).iter().map(|r| r.id).collect();
+            assert_eq!(live, cold, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_returns_nothing() {
+        let g = GraphLayers { layers: vec![vec![]], entry: 0, max_layer: 0 };
+        let provider = FullPrecision::new(VectorSet::new(2));
+        assert!(search_layers(&provider, &g, &[0.0, 0.0], 3, 8).is_empty());
+    }
+
+    #[test]
+    fn rerank_orders_exactly() {
+        let base = grid(9);
+        let index = Hnsw::build(
+            FullPrecision::new(base.clone()),
+            HnswParams { c: 32, r: 8, seed: 9 },
+        );
+        let frozen = index.freeze();
+        let provider = FullPrecision::new(base);
+        let hits = search_layers_rerank(&provider, &frozen, &[4.4, 4.4], 4, 32, 3);
+        assert_eq!(hits[0].id, 4 * 9 + 4);
+        for w in hits.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Graph-based ANNS algorithms with pluggable distance computation.
+//!
+//! Every graph method the paper touches — HNSW, NSG, τ-MG — shares the same
+//! construction skeleton (Section 2.1.1): **Candidate Acquisition** (CA,
+//! a greedy beam search collecting the top-`C` candidates for each inserted
+//! vertex) followed by **Neighbor Selection** (NS, a pruning heuristic that
+//! keeps at most `R` diverse neighbors). Distance computation inside CA and
+//! NS is the 90 %+ cost the paper attacks, so this crate routes *every*
+//! distance through the [`DistanceProvider`] trait:
+//!
+//! * [`providers::FullPrecision`] — the standard float path (baseline HNSW);
+//! * [`providers::PqProvider`] — HNSW-PQ (ADC in CA, SDC in NS);
+//! * [`providers::SqProvider`] — HNSW-SQ (integer codes);
+//! * [`providers::PcaProvider`] — HNSW-PCA (projected vectors);
+//! * `flash::FlashProvider` (in the `flash` crate) — the paper's method,
+//!   which additionally overrides the *batched* neighbor-distance hook and
+//!   maintains per-node codeword blocks through [`DistanceProvider::sync_payload`].
+//!
+//! Search-side optimizations evaluated in the paper's Figure 13 live in
+//! [`adsampling`] and [`vbase`]; both operate on an already-built
+//! [`GraphLayers`] and are orthogonal to the construction path.
+
+pub mod adsampling;
+pub mod filtered;
+pub mod flat_build;
+pub mod graph;
+pub mod hcnng;
+pub mod hnsw;
+pub mod kgraph;
+pub mod layers_search;
+pub mod nsg;
+pub mod persist;
+pub mod provider;
+pub mod providers;
+pub mod stats;
+pub mod taumg;
+pub mod vamana;
+pub mod vbase;
+mod visited;
+
+pub use filtered::{LabeledHnsw, LabeledParams};
+pub use graph::{FlatGraph, GraphLayers};
+pub use hcnng::{Hcnng, HcnngParams};
+pub use hnsw::{Hnsw, HnswParams, SearchResult};
+pub use kgraph::{KGraph, KGraphParams};
+pub use layers_search::{search_layers, search_layers_rerank};
+pub use nsg::{Nsg, NsgParams};
+pub use provider::DistanceProvider;
+pub use taumg::{TauMg, TauMgParams};
+pub use vamana::{Vamana, VamanaParams};
+
+/// `f32` wrapper with a total order (via `f32::total_cmp`) so distances can
+/// live in heaps. NaNs sort greatest; construction never produces them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF32(pub f32);
+
+impl Eq for OrdF32 {}
+
+impl PartialOrd for OrdF32 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF32 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordf32_orders_like_floats() {
+        let mut v = vec![OrdF32(3.0), OrdF32(-1.0), OrdF32(0.5)];
+        v.sort();
+        assert_eq!(v, vec![OrdF32(-1.0), OrdF32(0.5), OrdF32(3.0)]);
+    }
+
+    #[test]
+    fn ordf32_handles_infinities() {
+        assert!(OrdF32(f32::NEG_INFINITY) < OrdF32(0.0));
+        assert!(OrdF32(f32::INFINITY) > OrdF32(1e30));
+    }
+}

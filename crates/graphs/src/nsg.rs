@@ -1,0 +1,143 @@
+//! NSG — the Navigating Spreading-out Graph (Fu et al., reproduced for the
+//! paper's Figure 14 generality experiment).
+//!
+//! NSG builds a single-layer graph by pruning per-vertex candidate pools
+//! with the MRNG rule and navigating from a medoid entry point. Its CA and
+//! NS stages route through the same [`DistanceProvider`] as HNSW, so the
+//! Flash provider accelerates NSG construction unchanged.
+
+use crate::flat_build::{build_flat, search_flat, FlatParams, MrngRule};
+use crate::graph::FlatGraph;
+use crate::hnsw::SearchResult;
+use crate::provider::DistanceProvider;
+
+/// NSG construction parameters.
+pub type NsgParams = FlatParams;
+
+/// A built NSG index.
+pub struct Nsg<P: DistanceProvider> {
+    provider: P,
+    graph: FlatGraph,
+    params: NsgParams,
+}
+
+impl<P: DistanceProvider> Nsg<P> {
+    /// Builds the index (helper-HNSW CA, MRNG NS, connectivity repair).
+    pub fn build(provider: P, params: NsgParams) -> Self {
+        let (graph, provider) = build_flat(provider, params, &MrngRule);
+        Self { provider, graph, params }
+    }
+
+    /// The navigating graph.
+    pub fn graph(&self) -> &FlatGraph {
+        &self.graph
+    }
+
+    /// The distance provider.
+    pub fn provider(&self) -> &P {
+        &self.provider
+    }
+
+    /// Construction parameters.
+    pub fn params(&self) -> &NsgParams {
+        &self.params
+    }
+
+    /// k-NN search from the medoid.
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<SearchResult> {
+        search_flat(&self.provider, &self.graph, query, k, ef)
+    }
+
+    /// Search with exact rerank on the original vectors.
+    pub fn search_rerank(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        rerank_factor: usize,
+    ) -> Vec<SearchResult> {
+        let pool = self.search(query, (k * rerank_factor.max(1)).max(k), ef);
+        let base = self.provider.base();
+        let mut exact: Vec<SearchResult> = pool
+            .into_iter()
+            .map(|r| SearchResult {
+                id: r.id,
+                dist: simdops::l2_sq(query, base.get(r.id as usize)),
+            })
+            .collect();
+        exact.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        exact.truncate(k);
+        exact
+    }
+
+    /// Index size: adjacency + provider auxiliary bytes.
+    pub fn index_bytes(&self) -> usize {
+        self.graph.adjacency_bytes() + self.provider.aux_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::providers::FullPrecision;
+    use vecstore::VectorSet;
+
+    fn grid(side: usize) -> VectorSet {
+        let mut s = VectorSet::new(2);
+        for i in 0..side {
+            for j in 0..side {
+                s.push(&[i as f32, j as f32]);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn nsg_finds_nearest_on_grid() {
+        let nsg = Nsg::build(
+            FullPrecision::new(grid(10)),
+            NsgParams { r: 8, c: 32, seed: 3 },
+        );
+        let hits = nsg.search(&[4.1, 6.2], 1, 32);
+        assert_eq!(hits[0].id, 46);
+    }
+
+    #[test]
+    fn nsg_is_fully_reachable() {
+        let nsg = Nsg::build(
+            FullPrecision::new(grid(9)),
+            NsgParams { r: 6, c: 24, seed: 5 },
+        );
+        assert_eq!(nsg.graph().reachable_from_entry(), 81);
+    }
+
+    #[test]
+    fn degrees_bounded_modulo_repair() {
+        let nsg = Nsg::build(
+            FullPrecision::new(grid(8)),
+            NsgParams { r: 6, c: 24, seed: 7 },
+        );
+        // Connectivity repair may add a few extra edges beyond R.
+        for nbrs in &nsg.graph().adj {
+            assert!(nbrs.len() <= 6 + 4, "degree {} too large", nbrs.len());
+        }
+    }
+
+    #[test]
+    fn recall_reasonable_on_grid() {
+        let base = grid(12);
+        let nsg = Nsg::build(
+            FullPrecision::new(base.clone()),
+            NsgParams { r: 8, c: 48, seed: 9 },
+        );
+        let gt = vecstore::ground_truth(&base, &base.slice(0, 30), 3);
+        let mut hit = 0;
+        for (qi, truth) in gt.iter().enumerate() {
+            let found = nsg.search(base.get(qi), 3, 48);
+            let ids: Vec<u32> = found.iter().map(|r| r.id).collect();
+            hit += truth.iter().filter(|t| ids.contains(&t.id)).count();
+        }
+        let recall = hit as f64 / (30.0 * 3.0);
+        assert!(recall > 0.9, "recall {recall}");
+    }
+}

@@ -1,0 +1,254 @@
+//! Binary persistence for frozen graphs.
+//!
+//! The paper's motivating deployment rebuilds indexes overnight and serves
+//! them immediately after; that requires writing the built topology to disk
+//! and mapping it back without re-running construction. This module gives
+//! [`GraphLayers`] and [`FlatGraph`] a compact little-endian on-disk format
+//! (magic + version + adjacency), dependency-free.
+//!
+//! Vector data and codec state are *not* stored here: providers re-derive
+//! them from the dataset (codes re-encode deterministically from the same
+//! codec seed), matching how segment files and index files are managed
+//! separately in LSM-style vector stores.
+
+use crate::graph::{FlatGraph, GraphLayers};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"HFGRAPH1";
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn write_adjacency(w: &mut impl Write, adj: &[Vec<u32>]) -> io::Result<()> {
+    write_u32(w, adj.len() as u32)?;
+    for list in adj {
+        write_u32(w, list.len() as u32)?;
+        for &id in list {
+            write_u32(w, id)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_adjacency(r: &mut impl Read, max_id: u32) -> io::Result<Vec<Vec<u32>>> {
+    let n = read_u32(r)? as usize;
+    let mut adj = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = read_u32(r)? as usize;
+        if len > max_id as usize {
+            return Err(bad("neighbor list longer than the graph"));
+        }
+        let mut list = Vec::with_capacity(len);
+        for _ in 0..len {
+            let id = read_u32(r)?;
+            if id >= max_id {
+                return Err(bad("edge target out of range"));
+            }
+            list.push(id);
+        }
+        adj.push(list);
+    }
+    Ok(adj)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl GraphLayers {
+    /// Serializes the multi-layer graph to `path`.
+    ///
+    /// # Errors
+    /// Returns any underlying I/O error.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        w.write_all(b"ML")?;
+        write_u32(&mut w, self.entry)?;
+        write_u32(&mut w, self.max_layer as u32)?;
+        write_u32(&mut w, self.layers.len() as u32)?;
+        for layer in &self.layers {
+            write_adjacency(&mut w, layer)?;
+        }
+        w.flush()
+    }
+
+    /// Loads a multi-layer graph from `path`, validating the header and all
+    /// edge targets.
+    ///
+    /// # Errors
+    /// Returns an error on I/O failure or a malformed/corrupt file.
+    pub fn load(path: &Path) -> io::Result<GraphLayers> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut header = [0u8; 10];
+        r.read_exact(&mut header)?;
+        if &header[..8] != MAGIC || &header[8..] != b"ML" {
+            return Err(bad("not a multi-layer graph file"));
+        }
+        let entry = read_u32(&mut r)?;
+        let max_layer = read_u32(&mut r)? as usize;
+        let n_layers = read_u32(&mut r)? as usize;
+        if n_layers == 0 || max_layer >= n_layers {
+            return Err(bad("inconsistent layer header"));
+        }
+        let mut layers = Vec::with_capacity(n_layers);
+        let mut n_nodes = u32::MAX;
+        for _ in 0..n_layers {
+            let layer = read_adjacency(&mut r, n_nodes)?;
+            if n_nodes == u32::MAX {
+                n_nodes = layer.len() as u32; // base layer defines the node count
+                if entry >= n_nodes {
+                    return Err(bad("entry point out of range"));
+                }
+                // Re-validate base-layer edges against the real bound.
+                for list in &layer {
+                    if list.iter().any(|&id| id >= n_nodes) {
+                        return Err(bad("edge target out of range"));
+                    }
+                }
+            } else if layer.len() as u32 != n_nodes {
+                return Err(bad("layer node counts differ"));
+            }
+            layers.push(layer);
+        }
+        Ok(GraphLayers { layers, entry, max_layer })
+    }
+}
+
+impl FlatGraph {
+    /// Serializes the flat graph to `path`.
+    ///
+    /// # Errors
+    /// Returns any underlying I/O error.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        w.write_all(b"FL")?;
+        write_u32(&mut w, self.entry)?;
+        write_adjacency(&mut w, &self.adj)?;
+        w.flush()
+    }
+
+    /// Loads a flat graph from `path`.
+    ///
+    /// # Errors
+    /// Returns an error on I/O failure or a malformed/corrupt file.
+    pub fn load(path: &Path) -> io::Result<FlatGraph> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut header = [0u8; 10];
+        r.read_exact(&mut header)?;
+        if &header[..8] != MAGIC || &header[8..] != b"FL" {
+            return Err(bad("not a flat graph file"));
+        }
+        let entry = read_u32(&mut r)?;
+        let adj = read_adjacency(&mut r, u32::MAX)?;
+        let n = adj.len() as u32;
+        if entry >= n {
+            return Err(bad("entry point out of range"));
+        }
+        for list in &adj {
+            if list.iter().any(|&id| id >= n) {
+                return Err(bad("edge target out of range"));
+            }
+        }
+        Ok(FlatGraph { adj, entry })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hnsw_flash_persist_{}_{name}", std::process::id()));
+        p
+    }
+
+    fn sample_layers() -> GraphLayers {
+        GraphLayers {
+            layers: vec![
+                vec![vec![1, 2], vec![0], vec![0, 1]],
+                vec![vec![], vec![2], vec![1]],
+            ],
+            entry: 2,
+            max_layer: 1,
+        }
+    }
+
+    #[test]
+    fn layers_roundtrip() {
+        let path = tmp("a.graph");
+        let g = sample_layers();
+        g.save(&path).unwrap();
+        let back = GraphLayers::load(&path).unwrap();
+        assert_eq!(back.entry, g.entry);
+        assert_eq!(back.max_layer, g.max_layer);
+        assert_eq!(back.layers, g.layers);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let path = tmp("b.graph");
+        let g = FlatGraph { adj: vec![vec![1], vec![2, 0], vec![]], entry: 1 };
+        g.save(&path).unwrap();
+        let back = FlatGraph::load(&path).unwrap();
+        assert_eq!(back.adj, g.adj);
+        assert_eq!(back.entry, g.entry);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let path = tmp("c.graph");
+        std::fs::write(&path, b"NOTAGRAPHFILE").unwrap();
+        assert!(GraphLayers::load(&path).is_err());
+        assert!(FlatGraph::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_type_confusion() {
+        let path = tmp("d.graph");
+        sample_layers().save(&path).unwrap();
+        assert!(FlatGraph::load(&path).is_err(), "ML file must not load as FL");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_out_of_range_edges() {
+        let path = tmp("e.graph");
+        // Hand-craft a flat file with an edge to node 9 in a 2-node graph.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(b"FL");
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // entry
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // n
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // len of list 0
+        bytes.extend_from_slice(&9u32.to_le_bytes()); // bad edge
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // len of list 1
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(FlatGraph::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_an_error() {
+        let path = tmp("f.graph");
+        sample_layers().save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(GraphLayers::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

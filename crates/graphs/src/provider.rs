@@ -1,0 +1,81 @@
+//! The distance-computation abstraction shared by all graph builders.
+
+use vecstore::VectorSet;
+
+/// Supplies every distance the CA and NS stages need, plus two hooks that
+/// let a codec co-locate per-node data with the adjacency lists (the heart
+/// of Flash's access-aware layout, Section 3.3.4 of the paper).
+///
+/// Implementations must be cheap to call concurrently: construction inserts
+/// vertices from many threads, each holding its own [`Self::QueryCtx`].
+pub trait DistanceProvider: Sync + Send {
+    /// Per-insert / per-query scratch state. For PQ and Flash this is the
+    /// asymmetric distance table of the inserted vector; for the
+    /// full-precision path it is just the query vector itself.
+    type QueryCtx: Send;
+
+    /// Per-node data stored *inside* the graph's node records, mutated under
+    /// the node's lock. Flash keeps its subspace-major neighbor codeword
+    /// blocks here; baseline providers use `()`.
+    type NodePayload: Send + Sync + Default;
+
+    /// Number of database vectors.
+    fn len(&self) -> usize;
+
+    /// Whether the provider holds no vectors.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The raw vectors (used for reranking, medoid computation, and the
+    /// final recall evaluation — never inside the CA/NS hot loops).
+    fn base(&self) -> &VectorSet;
+
+    /// Builds the scratch state for inserting database vector `id`.
+    fn prepare_insert(&self, id: u32) -> Self::QueryCtx;
+
+    /// Builds the scratch state for an external query vector.
+    fn prepare_query(&self, v: &[f32]) -> Self::QueryCtx;
+
+    /// CA-stage distance from the prepared vector to database vector `id`.
+    fn dist_to(&self, ctx: &Self::QueryCtx, id: u32) -> f32;
+
+    /// NS-stage distance between two database vectors.
+    fn dist_between(&self, a: u32, b: u32) -> f32;
+
+    /// Batched CA-stage distances from the prepared vector to all of `ids`
+    /// (a visited vertex's neighbor list). `payload` is the visited vertex's
+    /// node payload, whose layout mirrors `ids` (see [`Self::sync_payload`]).
+    ///
+    /// The default implementation loops over [`Self::dist_to`] — one random
+    /// memory access per neighbor, exactly the baseline behaviour the paper
+    /// profiles. Flash overrides this with register-resident table lookups.
+    fn dist_to_neighbors(
+        &self,
+        ctx: &Self::QueryCtx,
+        ids: &[u32],
+        _payload: &Self::NodePayload,
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        out.extend(ids.iter().map(|&id| self.dist_to(ctx, id)));
+    }
+
+    /// Called (under the owning node's lock) whenever a node's neighbor list
+    /// changes, so payload-carrying providers can rebuild the co-located
+    /// codeword blocks for the new `ids`.
+    fn sync_payload(&self, _payload: &mut Self::NodePayload, _ids: &[u32]) {}
+
+    /// Bytes of compressed per-vector state this provider stores globally
+    /// (codes, tables) — for index-size accounting. Excludes node payloads,
+    /// which the graph accounts separately.
+    fn aux_bytes(&self) -> usize {
+        0
+    }
+
+    /// Bytes one node payload occupies for a neighbor list of capacity
+    /// `cap`. Used for index-size accounting (Figure 7).
+    fn payload_bytes(&self, _cap: usize) -> usize {
+        0
+    }
+}

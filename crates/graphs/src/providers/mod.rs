@@ -1,0 +1,26 @@
+//! Distance providers for the baseline methods of the paper.
+//!
+//! * [`FullPrecision`] — standard HNSW: every distance streams full `f32`
+//!   vectors through SIMD registers;
+//! * [`PqProvider`] — HNSW-PQ (Section 3.2.1): per-insert ADC tables in the
+//!   CA stage, precomputed SDC tables in the NS stage;
+//! * [`SqProvider`] — HNSW-SQ (Section 3.2.2): `u8` codes compared with
+//!   integer SIMD kernels;
+//! * [`PcaProvider`] — HNSW-PCA (Section 3.2.3): distances on the projected
+//!   `d_PCA`-dimensional vectors.
+//!
+//! None of these change the *memory-access pattern* of construction — each
+//! neighbor visit still random-accesses that neighbor's code — which is the
+//! "lesson learned" that motivates Flash.
+
+mod full;
+mod opq;
+mod pca;
+mod pq;
+mod sq;
+
+pub use full::FullPrecision;
+pub use opq::OpqProvider;
+pub use pca::PcaProvider;
+pub use pq::PqProvider;
+pub use sq::{Sq16Provider, SqProvider};

@@ -1,0 +1,169 @@
+//! VBase-style search termination (Zhang et al., OSDI 2023), reproduced for
+//! the paper's Figure 13 generality experiment.
+//!
+//! VBase's observation ("relaxed monotonicity"): once a graph traversal has
+//! entered the query's neighborhood, the distances of newly expanded
+//! vertices stop improving on the running result set; instead of expanding
+//! until the fixed `ef` beam is exhausted, terminate when a window of `W`
+//! consecutive expansions yields no improvement to the top-k. Construction
+//! is untouched, so Flash-built graphs benefit directly.
+
+use crate::graph::GraphLayers;
+use crate::hnsw::SearchResult;
+use crate::provider::DistanceProvider;
+use crate::OrdF32;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Search with relaxed-monotonicity termination.
+///
+/// Expands vertices best-first; terminates when either the frontier is
+/// exhausted or the last `window` expansions failed to improve the k-th
+/// best distance. `window` plays the role the beam width `ef` plays in
+/// standard HNSW search (bigger → higher recall, slower).
+pub fn search_vbase<P: DistanceProvider>(
+    provider: &P,
+    graph: &GraphLayers,
+    query: &[f32],
+    k: usize,
+    window: usize,
+) -> Vec<SearchResult> {
+    if graph.is_empty() {
+        return Vec::new();
+    }
+    let window = window.max(1);
+    let ctx = provider.prepare_query(query);
+
+    // Greedy descent through upper layers.
+    let mut cur = graph.entry;
+    let mut cur_d = provider.dist_to(&ctx, cur);
+    for layer in (1..=graph.max_layer).rev() {
+        loop {
+            let mut improved = false;
+            for &nb in graph.neighbors(layer, cur) {
+                let d = provider.dist_to(&ctx, nb);
+                if d < cur_d {
+                    cur = nb;
+                    cur_d = d;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+
+    // Base-layer expansion with windowed termination.
+    let mut visited = vec![false; graph.len()];
+    visited[cur as usize] = true;
+    let mut topk: BinaryHeap<(OrdF32, u32)> = BinaryHeap::with_capacity(k + 1);
+    let mut frontier: BinaryHeap<(Reverse<OrdF32>, u32)> = BinaryHeap::new();
+    topk.push((OrdF32(cur_d), cur));
+    frontier.push((Reverse(OrdF32(cur_d)), cur));
+
+    let mut since_improvement = 0usize;
+    while let Some((Reverse(OrdF32(_)), u)) = frontier.pop() {
+        if since_improvement >= window {
+            break;
+        }
+        let mut improved = false;
+        for &nb in graph.neighbors(0, u) {
+            if visited[nb as usize] {
+                continue;
+            }
+            visited[nb as usize] = true;
+            let nd = provider.dist_to(&ctx, nb);
+            let kth = topk.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
+            if topk.len() < k || nd < kth {
+                topk.push((OrdF32(nd), nb));
+                if topk.len() > k {
+                    topk.pop();
+                }
+                improved = true;
+            }
+            // Frontier admission stays generous so the walk can cross
+            // plateaus; the window handles termination.
+            frontier.push((Reverse(OrdF32(nd)), nb));
+        }
+        if improved {
+            since_improvement = 0;
+        } else {
+            since_improvement += 1;
+        }
+    }
+
+    let mut out: Vec<SearchResult> = topk
+        .into_iter()
+        .map(|(OrdF32(dist), id)| SearchResult { id, dist })
+        .collect();
+    out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hnsw::{Hnsw, HnswParams};
+    use crate::providers::FullPrecision;
+    use vecstore::VectorSet;
+
+    fn grid(side: usize) -> VectorSet {
+        let mut s = VectorSet::new(2);
+        for i in 0..side {
+            for j in 0..side {
+                s.push(&[i as f32, j as f32]);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn finds_nearest_with_reasonable_window() {
+        let base = grid(12);
+        let index = Hnsw::build(
+            FullPrecision::new(base.clone()),
+            HnswParams { c: 48, r: 8, seed: 2 },
+        );
+        let graph = index.freeze();
+        let hits = search_vbase(index.provider(), &graph, &[6.2, 3.9], 1, 24);
+        assert_eq!(hits[0].id, 6 * 12 + 4);
+    }
+
+    #[test]
+    fn bigger_window_never_hurts_recall() {
+        let base = grid(14);
+        let index = Hnsw::build(
+            FullPrecision::new(base.clone()),
+            HnswParams { c: 48, r: 8, seed: 3 },
+        );
+        let graph = index.freeze();
+        let gt = vecstore::ground_truth(&base, &base.slice(0, 20), 5);
+        let recall = |window: usize| -> f64 {
+            let mut hit = 0;
+            for (qi, truth) in gt.iter().enumerate() {
+                let found = search_vbase(index.provider(), &graph, base.get(qi), 5, window);
+                let ids: Vec<u32> = found.iter().map(|r| r.id).collect();
+                hit += truth.iter().filter(|t| ids.contains(&t.id)).count();
+            }
+            hit as f64 / (20.0 * 5.0)
+        };
+        let small = recall(2);
+        let large = recall(40);
+        assert!(large >= small, "window 40 recall {large} < window 2 recall {small}");
+        assert!(large > 0.9, "large-window recall {large}");
+    }
+
+    #[test]
+    fn returns_at_most_k() {
+        let base = grid(6);
+        let index = Hnsw::build(
+            FullPrecision::new(base.clone()),
+            HnswParams { c: 16, r: 4, seed: 4 },
+        );
+        let graph = index.freeze();
+        let hits = search_vbase(index.provider(), &graph, &[2.0, 2.0], 3, 16);
+        assert!(hits.len() <= 3);
+        assert!(!hits.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Reusable epoch-stamped visited sets.
+//!
+//! Every CA search needs a "have I seen this vertex" set. Allocating a
+//! bitmap per insert would dominate small-graph builds, so we pool
+//! epoch-stamped arrays: marking writes the current epoch, and a new
+//! traversal just bumps the epoch instead of clearing.
+
+use parking_lot::Mutex;
+
+/// One epoch-stamped visited array.
+pub struct VisitedList {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitedList {
+    fn new(n: usize) -> Self {
+        Self { stamps: vec![0; n], epoch: 0 }
+    }
+
+    /// Starts a fresh traversal (O(1) except on epoch wrap).
+    pub fn begin(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: clear once every 2^32 traversals.
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks `id` visited; returns `true` if it was already visited.
+    #[inline]
+    pub fn check_and_mark(&mut self, id: u32) -> bool {
+        let slot = &mut self.stamps[id as usize];
+        let seen = *slot == self.epoch;
+        *slot = self.epoch;
+        seen
+    }
+
+    /// Whether `id` is marked in the current traversal.
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[inline]
+    pub fn is_visited(&self, id: u32) -> bool {
+        self.stamps[id as usize] == self.epoch
+    }
+}
+
+/// Pool of [`VisitedList`]s shared across builder threads.
+pub struct VisitedPool {
+    n: usize,
+    free: Mutex<Vec<VisitedList>>,
+}
+
+impl VisitedPool {
+    /// Creates a pool for graphs of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { n, free: Mutex::new(Vec::new()) }
+    }
+
+    /// Borrows a list (allocating if the pool is dry). Return it with
+    /// [`VisitedPool::put`].
+    pub fn take(&self) -> VisitedList {
+        let mut list = self.free.lock().pop().unwrap_or_else(|| VisitedList::new(self.n));
+        list.begin(self.n);
+        list
+    }
+
+    /// Returns a list to the pool.
+    pub fn put(&self, list: VisitedList) {
+        self.free.lock().push(list);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_and_checks() {
+        let pool = VisitedPool::new(10);
+        let mut v = pool.take();
+        assert!(!v.check_and_mark(3));
+        assert!(v.check_and_mark(3));
+        assert!(v.is_visited(3));
+        assert!(!v.is_visited(4));
+    }
+
+    #[test]
+    fn reuse_resets_marks() {
+        let pool = VisitedPool::new(4);
+        let mut v = pool.take();
+        v.check_and_mark(1);
+        pool.put(v);
+        let v2 = pool.take();
+        assert!(!v2.is_visited(1), "recycled list must start clean");
+    }
+
+    #[test]
+    fn epoch_wrap_is_safe() {
+        let mut v = VisitedList::new(3);
+        v.epoch = u32::MAX - 1;
+        v.begin(3);
+        v.check_and_mark(0);
+        v.begin(3); // wraps to 0 → cleared, epoch = 1
+        assert!(!v.is_visited(0));
+        assert!(!v.check_and_mark(0));
+        assert!(v.is_visited(0));
+    }
+
+    #[test]
+    fn grows_for_larger_graphs() {
+        let mut v = VisitedList::new(2);
+        v.begin(10);
+        assert!(!v.check_and_mark(9));
+    }
+}

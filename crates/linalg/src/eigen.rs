@@ -1,0 +1,390 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! PCA (Section 3.3.2 of the paper) needs the eigenvalues and eigenvectors of
+//! the data covariance matrix — always symmetric positive semi-definite.
+//! The cyclic Jacobi algorithm is a good fit: it is simple, numerically
+//! robust (it works directly with orthogonal rotations), and for the matrix
+//! sizes in this workload (D ≤ ~1024) its O(D³) sweeps are acceptable as a
+//! one-off preprocessing cost.
+//!
+//! Computation runs in `f64` regardless of the `f32` public interface.
+
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition `A = V Λ Vᵀ`.
+///
+/// Eigenpairs are sorted by **descending** eigenvalue, which is the order PCA
+/// consumes them in (largest-variance component first).
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, descending.
+    pub eigenvalues: Vec<f32>,
+    /// Eigenvectors as matrix **columns**: `eigenvectors.column j` pairs with
+    /// `eigenvalues[j]`. Stored as a `d x d` matrix whose `(i, j)` entry is
+    /// the `i`-th coordinate of the `j`-th eigenvector.
+    pub eigenvectors: Matrix,
+}
+
+impl EigenDecomposition {
+    /// Extracts eigenvector `j` as an owned vector.
+    pub fn eigenvector(&self, j: usize) -> Vec<f32> {
+        (0..self.eigenvectors.rows()).map(|i| self.eigenvectors[(i, j)]).collect()
+    }
+
+    /// Returns the basis of the top `k` eigenvectors as a `d x k` matrix
+    /// (columns are eigenvectors), i.e. the PCA projection matrix `A_{1:k}`.
+    pub fn top_k_basis(&self, k: usize) -> Matrix {
+        let d = self.eigenvectors.rows();
+        assert!(k <= d, "requested {k} components from a {d}-dimensional decomposition");
+        let mut basis = Matrix::zeros(d, k);
+        for i in 0..d {
+            for j in 0..k {
+                basis[(i, j)] = self.eigenvectors[(i, j)];
+            }
+        }
+        basis
+    }
+}
+
+/// Maximum number of full Jacobi sweeps before giving up. Convergence for
+/// well-conditioned covariance matrices typically takes 6–12 sweeps.
+const MAX_SWEEPS: usize = 48;
+
+/// Off-diagonal Frobenius-norm threshold (relative to the matrix norm) at
+/// which we declare convergence. PCA only needs the leading subspace to a
+/// few decimal digits, so this is deliberately loose.
+const CONVERGENCE_EPS: f64 = 1e-9;
+
+/// Computes the eigendecomposition of a symmetric matrix with cyclic Jacobi
+/// rotations.
+///
+/// # Panics
+/// Panics if the matrix is not square. Symmetry is assumed (only the upper
+/// triangle drives the rotations); passing a non-symmetric matrix yields the
+/// decomposition of its symmetric part.
+pub fn symmetric_eigen(matrix: &Matrix) -> EigenDecomposition {
+    let n = matrix.rows();
+    assert_eq!(n, matrix.cols(), "eigendecomposition requires a square matrix");
+
+    // Work in f64. `a` is the matrix being diagonalized, `v` accumulates the
+    // rotations (columns end up as eigenvectors).
+    let mut a: Vec<f64> = matrix.as_slice().iter().map(|&x| f64::from(x)).collect();
+    // Symmetrize defensively so tiny asymmetries from f32 covariance
+    // accumulation cannot stall convergence.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = 0.5 * (a[i * n + j] + a[j * n + i]);
+            a[i * n + j] = s;
+            a[j * n + i] = s;
+        }
+    }
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let norm: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt().max(f64::MIN_POSITIVE);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off: f64 = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i * n + j] * a[i * n + j];
+            }
+        }
+        if off.sqrt() <= CONVERGENCE_EPS * norm {
+            break;
+        }
+
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() <= f64::MIN_POSITIVE {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                // Classic Jacobi rotation angle selection.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // A <- Jᵀ A J applied to rows/cols p and q.
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+                // Accumulate the rotation into V.
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract, sort by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let eigs: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
+    order.sort_by(|&x, &y| eigs[y].partial_cmp(&eigs[x]).expect("eigenvalue NaN"));
+
+    let mut eigenvalues = Vec::with_capacity(n);
+    let mut eigenvectors = Matrix::zeros(n, n);
+    for (dst, &src) in order.iter().enumerate() {
+        eigenvalues.push(eigs[src] as f32);
+        for i in 0..n {
+            eigenvectors[(i, dst)] = v[i * n + src] as f32;
+        }
+    }
+
+    EigenDecomposition { eigenvalues, eigenvectors }
+}
+
+/// Computes the top-`k` eigenpairs of a symmetric PSD matrix by subspace
+/// (block power) iteration — `O(k · d² · iters)` instead of Jacobi's
+/// `O(d³ · sweeps)`, which matters when `k ≪ d` (PCA keeping 64 of 768
+/// dimensions, the Flash configuration).
+///
+/// Also returns the matrix trace, which equals the *total* eigenvalue mass
+/// and lets callers compute cumulative-variance fractions without the full
+/// spectrum.
+///
+/// # Panics
+/// Panics if the matrix is not square or `k` is zero or exceeds the
+/// dimension.
+pub fn symmetric_eigen_topk(matrix: &Matrix, k: usize, seed: u64) -> (EigenDecomposition, f64) {
+    let n = matrix.rows();
+    assert_eq!(n, matrix.cols(), "eigendecomposition requires a square matrix");
+    assert!(k >= 1 && k <= n, "k must be in 1..=n");
+
+    let a: Vec<f64> = matrix.as_slice().iter().map(|&x| f64::from(x)).collect();
+    let trace: f64 = (0..n).map(|i| a[i * n + i]).sum();
+
+    // Column-major working basis, randomly initialized then orthonormalized.
+    let mut rng_state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(13);
+    let mut next = move || {
+        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((rng_state >> 33) as f64) / (1u64 << 31) as f64 - 1.0
+    };
+    let mut q: Vec<Vec<f64>> = (0..k).map(|_| (0..n).map(|_| next()).collect()).collect();
+    orthonormalize(&mut q);
+
+    const ITERS: usize = 20;
+    let mut z: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
+    for _ in 0..ITERS {
+        // Z = A·Q (A symmetric, row-major walk).
+        for (zc, qc) in z.iter_mut().zip(q.iter()) {
+            for i in 0..n {
+                let row = &a[i * n..(i + 1) * n];
+                zc[i] = row.iter().zip(qc.iter()).map(|(&r, &x)| r * x).sum();
+            }
+        }
+        std::mem::swap(&mut q, &mut z);
+        orthonormalize(&mut q);
+    }
+
+    // Rayleigh quotients for eigenvalues; project for a final cleanup.
+    let mut pairs: Vec<(f64, Vec<f64>)> = q
+        .into_iter()
+        .map(|qc| {
+            let mut aq = vec![0.0f64; n];
+            for i in 0..n {
+                let row = &a[i * n..(i + 1) * n];
+                aq[i] = row.iter().zip(qc.iter()).map(|(&r, &x)| r * x).sum();
+            }
+            let lambda: f64 = aq.iter().zip(qc.iter()).map(|(&x, &y)| x * y).sum();
+            (lambda, qc)
+        })
+        .collect();
+    pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("eigenvalue NaN"));
+
+    let mut eigenvalues = Vec::with_capacity(k);
+    let mut eigenvectors = Matrix::zeros(n, k);
+    for (j, (lambda, vec)) in pairs.into_iter().enumerate() {
+        eigenvalues.push(lambda as f32);
+        for (i, &x) in vec.iter().enumerate() {
+            eigenvectors[(i, j)] = x as f32;
+        }
+    }
+    (EigenDecomposition { eigenvalues, eigenvectors }, trace)
+}
+
+/// Modified Gram–Schmidt over column vectors, re-randomizing degenerate
+/// columns (probability ~0 for random PSD inputs).
+fn orthonormalize(cols: &mut [Vec<f64>]) {
+    let k = cols.len();
+    for j in 0..k {
+        for prev in 0..j {
+            let dot: f64 = cols[j].iter().zip(cols[prev].iter()).map(|(a, b)| a * b).sum();
+            let (left, right) = cols.split_at_mut(j);
+            for (x, &p) in right[0].iter_mut().zip(left[prev].iter()) {
+                *x -= dot * p;
+            }
+        }
+        let norm: f64 = cols[j].iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            // Degenerate: replace with a unit basis vector not yet spanned.
+            for (i, x) in cols[j].iter_mut().enumerate() {
+                *x = if i == j { 1.0 } else { 0.0 };
+            }
+        } else {
+            for x in &mut cols[j] {
+                *x /= norm;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(dec: &EigenDecomposition) -> Matrix {
+        // V Λ Vᵀ
+        let n = dec.eigenvalues.len();
+        let mut lambda = Matrix::zeros(n, n);
+        for i in 0..n {
+            lambda[(i, i)] = dec.eigenvalues[i];
+        }
+        dec.eigenvectors.matmul(&lambda).matmul(&dec.eigenvectors.transpose())
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 2.0]]);
+        let dec = symmetric_eigen(&m);
+        assert_eq!(dec.eigenvalues, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let dec = symmetric_eigen(&m);
+        assert!((dec.eigenvalues[0] - 3.0).abs() < 1e-5);
+        assert!((dec.eigenvalues[1] - 1.0).abs() < 1e-5);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = dec.eigenvector(0);
+        assert!((v0[0].abs() - std::f32::consts::FRAC_1_SQRT_2).abs() < 1e-5);
+        assert!((v0[0] - v0[1]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let m = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5, 0.0],
+            &[1.0, 3.0, 0.0, 0.2],
+            &[0.5, 0.0, 2.0, 0.1],
+            &[0.0, 0.2, 0.1, 1.0],
+        ]);
+        let dec = symmetric_eigen(&m);
+        let r = reconstruct(&dec);
+        assert!(m.max_abs_diff(&r) < 1e-4, "reconstruction error too high: {:?}", r);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = Matrix::from_rows(&[
+            &[5.0, 2.0, 1.0],
+            &[2.0, 4.0, 0.5],
+            &[1.0, 0.5, 3.0],
+        ]);
+        let dec = symmetric_eigen(&m);
+        let vtv = dec.eigenvectors.transpose().matmul(&dec.eigenvectors);
+        let id = Matrix::identity(3);
+        assert!(vtv.max_abs_diff(&id) < 1e-5);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let m = Matrix::from_rows(&[
+            &[1.0, 0.3, 0.0, 0.0],
+            &[0.3, 7.0, 0.1, 0.0],
+            &[0.0, 0.1, 4.0, 0.2],
+            &[0.0, 0.0, 0.2, 2.0],
+        ]);
+        let dec = symmetric_eigen(&m);
+        for w in dec.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn top_k_basis_shape() {
+        let m = Matrix::identity(5);
+        let dec = symmetric_eigen(&m);
+        let b = dec.top_k_basis(2);
+        assert_eq!(b.rows(), 5);
+        assert_eq!(b.cols(), 2);
+    }
+
+    #[test]
+    fn topk_matches_jacobi_on_leading_pairs() {
+        let m = Matrix::from_rows(&[
+            &[5.0, 2.0, 1.0, 0.0],
+            &[2.0, 4.0, 0.5, 0.3],
+            &[1.0, 0.5, 3.0, 0.1],
+            &[0.0, 0.3, 0.1, 1.0],
+        ]);
+        let full = symmetric_eigen(&m);
+        let (top, trace) = symmetric_eigen_topk(&m, 2, 7);
+        assert!((trace - 13.0).abs() < 1e-9, "trace {trace}");
+        for j in 0..2 {
+            assert!(
+                (top.eigenvalues[j] - full.eigenvalues[j]).abs() < 1e-2,
+                "eigenvalue {j}: {} vs {}",
+                top.eigenvalues[j],
+                full.eigenvalues[j]
+            );
+            // Eigenvectors up to sign.
+            let a = top.eigenvector(j);
+            let b = full.eigenvector(j);
+            let dot: f32 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+            assert!(dot.abs() > 0.99, "eigenvector {j} misaligned: |dot| = {}", dot.abs());
+        }
+    }
+
+    #[test]
+    fn topk_basis_is_orthonormal() {
+        let m = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, 0.0],
+            &[0.5, 0.0, 2.0],
+        ]);
+        let (top, _) = symmetric_eigen_topk(&m, 3, 1);
+        let vtv = top.eigenvectors.transpose().matmul(&top.eigenvectors);
+        assert!(vtv.max_abs_diff(&Matrix::identity(3)) < 1e-4);
+    }
+
+    #[test]
+    fn handles_rank_deficient_matrix() {
+        // Rank-1: outer product of (1,2,3) with itself.
+        let v = [1.0f32, 2.0, 3.0];
+        let mut m = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                m[(i, j)] = v[i] * v[j];
+            }
+        }
+        let dec = symmetric_eigen(&m);
+        // One eigenvalue = |v|^2 = 14, others ~ 0.
+        assert!((dec.eigenvalues[0] - 14.0).abs() < 1e-4);
+        assert!(dec.eigenvalues[1].abs() < 1e-4);
+        assert!(dec.eigenvalues[2].abs() < 1e-4);
+    }
+}

@@ -1,0 +1,27 @@
+//! Dense linear-algebra substrate for the `hnsw-flash` workspace.
+//!
+//! The paper's reference implementation uses the C++ Eigen library for all
+//! matrix manipulation (principal-component extraction, codebook generation,
+//! distance-table creation). This crate provides the small, dependency-free
+//! subset that the reproduction needs:
+//!
+//! * [`Matrix`] — a row-major dense `f32` matrix with the usual products,
+//! * [`stats`] — mean / centering / covariance of a sample matrix,
+//! * [`eigen`] — a cyclic-Jacobi eigendecomposition for symmetric matrices
+//!   (exactly what PCA needs: covariance matrices are symmetric PSD),
+//! * [`rotation`] — random orthonormal matrices (Gram–Schmidt of a Gaussian
+//!   ensemble), used by the ADSampling search variant.
+//!
+//! Internally, reductions accumulate in `f64` for numerical stability, while
+//! the public storage type stays `f32` to match the vector-data types used
+//! throughout the ANNS stack.
+
+pub mod eigen;
+pub mod matrix;
+pub mod rotation;
+pub mod stats;
+
+pub use eigen::{symmetric_eigen, symmetric_eigen_topk, EigenDecomposition};
+pub use matrix::Matrix;
+pub use rotation::random_orthogonal;
+pub use stats::{covariance, mean_vector};

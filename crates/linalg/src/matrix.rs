@@ -1,0 +1,300 @@
+//! Row-major dense matrix over `f32`.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f32` values.
+///
+/// This is deliberately minimal: the ANNS pipeline only needs construction,
+/// element access, matrix products, transposes and row views. All reductions
+/// accumulate in `f64` so that covariance/eigen computations on `f32` vector
+/// data stay numerically stable for dimensionalities up to a few thousand.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "cannot build a matrix from zero rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Consumes the matrix, returning the row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Dense matrix product `self * rhs`.
+    ///
+    /// Straightforward ikj-ordered triple loop; the inner dimension is walked
+    /// contiguously for both operands, which the compiler auto-vectorizes.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                let o_row = out.row_mut(i);
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch");
+        (0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v.iter())
+                    .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                    .sum::<f64>() as f32
+            })
+            .collect()
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * v` without materializing the
+    /// transpose. This is the hot operation when projecting a vector onto a
+    /// PCA basis stored column-wise.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.rows()`.
+    pub fn matvec_t(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.rows, "vector length mismatch");
+        let mut out = vec![0.0f64; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            for (o, &r) in out.iter_mut().zip(row.iter()) {
+                *o += f64::from(vi) * f64::from(r);
+            }
+        }
+        out.into_iter().map(|x| x as f32).collect()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute difference from another matrix (same shape required).
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", &self.row(i)[..self.cols.min(8)])?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c[(0, 0)], 58.0);
+        assert_eq!(c[(0, 1)], 64.0);
+        assert_eq!(c[(1, 0)], 139.0);
+        assert_eq!(c[(1, 1)], 154.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 4.0], &[3.0, 3.0]]);
+        let v = [2.0, 1.0];
+        let got = a.matvec(&v);
+        assert_eq!(got, vec![0.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0, 0.0], &[0.5, 4.0, 1.0]]);
+        let v = [3.0, -1.0];
+        let expect = a.transpose().matvec(&v);
+        let got = a.matvec_t(&v);
+        for (g, e) in got.iter().zip(expect.iter()) {
+            assert!((g - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn row_views_are_contiguous() {
+        let mut a = Matrix::zeros(3, 4);
+        a.row_mut(1).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.row(1), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.row(0), &[0.0; 4]);
+        assert_eq!(a.as_slice()[4..8], [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_simple() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+}

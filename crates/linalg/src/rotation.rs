@@ -1,0 +1,100 @@
+//! Random orthonormal matrices.
+//!
+//! The ADSampling search variant (reproduced for the paper's Figure 13)
+//! requires a random orthogonal rotation of the vector space so that a prefix
+//! of coordinates is an unbiased sample of the full squared distance. We
+//! generate one by Gram–Schmidt orthonormalization of a Gaussian ensemble,
+//! which yields a Haar-distributed orthogonal matrix.
+
+use crate::matrix::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples a Haar-random `n x n` orthogonal matrix, deterministically from
+/// `seed`.
+///
+/// Uses modified Gram–Schmidt on a matrix of standard normal entries
+/// (Box–Muller generated), re-drawing any column that degenerates — an event
+/// of probability zero in exact arithmetic and vanishingly rare in `f64`.
+pub fn random_orthogonal(n: usize, seed: u64) -> Matrix {
+    assert!(n > 0, "rotation dimension must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Columns stored as f64 until the end.
+    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(n);
+    while cols.len() < n {
+        let mut candidate: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        // Modified Gram–Schmidt against the accepted columns.
+        for prev in &cols {
+            let dot: f64 = candidate.iter().zip(prev.iter()).map(|(a, b)| a * b).sum();
+            for (c, &p) in candidate.iter_mut().zip(prev.iter()) {
+                *c -= dot * p;
+            }
+        }
+        let norm: f64 = candidate.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-10 {
+            continue; // degenerate draw; resample
+        }
+        for c in &mut candidate {
+            *c /= norm;
+        }
+        cols.push(candidate);
+    }
+
+    let mut m = Matrix::zeros(n, n);
+    for (j, col) in cols.iter().enumerate() {
+        for (i, &x) in col.iter().enumerate() {
+            m[(i, j)] = x as f32;
+        }
+    }
+    m
+}
+
+/// One standard normal sample via Box–Muller.
+fn standard_normal(rng: &mut SmallRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_orthonormal() {
+        let q = random_orthogonal(16, 42);
+        let qtq = q.transpose().matmul(&q);
+        let id = Matrix::identity(16);
+        assert!(qtq.max_abs_diff(&id) < 1e-5, "QᵀQ deviates from identity");
+    }
+
+    #[test]
+    fn rotation_preserves_norms() {
+        let q = random_orthogonal(8, 7);
+        let v = [1.0, -2.0, 0.5, 3.0, 0.0, 1.5, -1.0, 2.0];
+        let rotated = q.matvec(&v);
+        let n0: f32 = v.iter().map(|x| x * x).sum();
+        let n1: f32 = rotated.iter().map(|x| x * x).sum();
+        assert!((n0 - n1).abs() < 1e-3, "norm changed: {n0} vs {n1}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = random_orthogonal(6, 99);
+        let b = random_orthogonal(6, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_orthogonal(6, 1);
+        let b = random_orthogonal(6, 2);
+        assert!(a.max_abs_diff(&b) > 1e-3);
+    }
+}

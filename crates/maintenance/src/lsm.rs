@@ -1,0 +1,337 @@
+//! The user-facing LSM vector index: memtable + sealed segments + rebuild.
+
+use crate::memtable::MemTable;
+use crate::segment::Segment;
+use crate::Hit;
+use flash::FlashParams;
+use graphs::HnswParams;
+use std::time::{Duration, Instant};
+use vecstore::VectorSet;
+
+/// Configuration of the LSM pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct LsmConfig {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Memtable capacity; reaching it seals the buffer into a segment.
+    pub memtable_cap: usize,
+    /// Flash coding parameters for sealed segments.
+    pub flash: FlashParams,
+    /// HNSW construction parameters for sealed segments.
+    pub hnsw: HnswParams,
+}
+
+impl LsmConfig {
+    /// Defaults scaled for tests and examples: a 2 048-vector memtable and
+    /// the paper's tuned Flash settings for `dim`.
+    pub fn for_dim(dim: usize) -> Self {
+        Self {
+            dim,
+            memtable_cap: 2048,
+            flash: FlashParams::auto(dim),
+            hnsw: HnswParams { c: 96, r: 12, seed: 0x11FE },
+        }
+    }
+}
+
+/// Point-in-time shape of the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsmStats {
+    /// Sealed segments currently serving queries.
+    pub segments: usize,
+    /// Live vectors across segments + memtable.
+    pub live: usize,
+    /// Tombstoned vectors still occupying graph vertices.
+    pub dead: usize,
+    /// Vectors in the mutable buffer.
+    pub memtable: usize,
+}
+
+/// Outcome of a rebuild (the paper's "overnight reconstruction").
+#[derive(Debug, Clone, Copy)]
+pub struct RebuildReport {
+    /// Wall-clock spent rebuilding (dominated by Flash construction).
+    pub duration: Duration,
+    /// Live vectors compacted into the new segment.
+    pub vectors: usize,
+    /// Tombstones reclaimed.
+    pub reclaimed: usize,
+}
+
+/// An LSM-maintained ANN index over Flash segments.
+///
+/// Inserts are `O(1)` appends until the memtable seals; deletes tombstone
+/// in place; searches fan out over the memtable scan and a filtered graph
+/// search per segment, merging by exact distance. Over many update cycles
+/// the segment count and tombstone fraction grow and search quality decays;
+/// [`Self::rebuild`] compacts everything into one fresh segment, which is
+/// exactly the operation whose cost determines whether the maintenance
+/// window fits — and which Flash accelerates by an order of magnitude.
+pub struct LsmVectorIndex {
+    config: LsmConfig,
+    memtable: MemTable,
+    segments: Vec<Segment>,
+    next_id: u64,
+}
+
+impl LsmVectorIndex {
+    /// An empty index.
+    pub fn new(config: LsmConfig) -> Self {
+        assert!(config.memtable_cap >= 1, "memtable capacity must be positive");
+        Self {
+            memtable: MemTable::new(config.dim),
+            segments: Vec::new(),
+            next_id: 0,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LsmConfig {
+        &self.config
+    }
+
+    /// Reassembles an index from persisted parts (see
+    /// [`Self::load`](LsmVectorIndex::load)).
+    pub fn restore(
+        config: LsmConfig,
+        memtable: MemTable,
+        segments: Vec<Segment>,
+        next_id: u64,
+    ) -> Self {
+        Self { config, memtable, segments, next_id }
+    }
+
+    /// The sealed segments, oldest first.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The next external id that [`Self::insert`] will assign.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Inserts a vector, returning its stable external id. Seals the
+    /// memtable into a segment when it reaches capacity.
+    ///
+    /// # Panics
+    /// Panics if `v`'s length differs from the configured dimension.
+    pub fn insert(&mut self, v: &[f32]) -> u64 {
+        assert_eq!(v.len(), self.config.dim, "dimension mismatch");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.memtable.insert(id, v);
+        if self.memtable.len() >= self.config.memtable_cap {
+            self.flush();
+        }
+        id
+    }
+
+    /// Tombstones `id` wherever it lives; returns whether it was found.
+    pub fn delete(&mut self, id: u64) -> bool {
+        if self.memtable.delete(id) {
+            return true;
+        }
+        self.segments.iter_mut().any(|s| s.delete(id))
+    }
+
+    /// Whether `id` is live anywhere.
+    pub fn contains(&self, id: u64) -> bool {
+        self.memtable.contains(id) || self.segments.iter().any(|s| s.contains(id))
+    }
+
+    /// k-NN across memtable and all segments, merged by exact distance.
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<Hit> {
+        let mut hits = self.memtable.search(query, k);
+        for seg in &self.segments {
+            hits.extend(seg.search(query, k, ef));
+        }
+        hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        hits.dedup_by_key(|h| h.id);
+        hits.truncate(k);
+        hits
+    }
+
+    /// Seals the memtable into a segment (no-op when it holds no live
+    /// vectors).
+    pub fn flush(&mut self) {
+        if self.memtable.live() == 0 {
+            // Nothing worth sealing; clear any all-tombstone residue.
+            let _ = self.memtable.drain_live();
+            return;
+        }
+        let (vectors, ids) = self.memtable.drain_live();
+        self.segments.push(Segment::build(vectors, ids, self.config.flash, self.config.hnsw));
+    }
+
+    /// Compacts every live vector (segments + memtable) into one fresh
+    /// Flash segment, dropping all tombstones. This is the periodic
+    /// reconstruction the paper's introduction describes; its duration is
+    /// dominated by graph construction, so Flash shrinks the maintenance
+    /// window directly.
+    pub fn rebuild(&mut self) -> RebuildReport {
+        let start = Instant::now();
+        let reclaimed: usize = self.segments.iter().map(|s| s.dead()).sum();
+        let mut all = VectorSet::new(self.config.dim);
+        let mut ids = Vec::new();
+        for seg in &self.segments {
+            let (v, i) = seg.export_live();
+            all.extend_from(&v);
+            ids.extend(i);
+        }
+        for (id, v) in self.memtable.iter_live() {
+            all.push(v);
+            ids.push(id);
+        }
+        self.segments.clear();
+        let _ = self.memtable.drain_live();
+        let vectors = ids.len();
+        if vectors > 0 {
+            self.segments.push(Segment::build(all, ids, self.config.flash, self.config.hnsw));
+        }
+        RebuildReport { duration: start.elapsed(), vectors, reclaimed }
+    }
+
+    /// Current shape of the index.
+    pub fn stats(&self) -> LsmStats {
+        LsmStats {
+            segments: self.segments.len(),
+            live: self.memtable.live() + self.segments.iter().map(|s| s.live()).sum::<usize>(),
+            dead: self.segments.iter().map(|s| s.dead()).sum(),
+            memtable: self.memtable.len(),
+        }
+    }
+
+    /// Total bytes across memtable and segments.
+    pub fn bytes(&self) -> usize {
+        self.memtable.bytes() + self.segments.iter().map(|s| s.bytes()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn config(dim: usize, cap: usize) -> LsmConfig {
+        let mut c = LsmConfig::for_dim(dim);
+        c.memtable_cap = cap;
+        c.hnsw = HnswParams { c: 48, r: 8, seed: 3 };
+        c
+    }
+
+    fn random_vec(rng: &mut SmallRng, dim: usize) -> Vec<f32> {
+        (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn ids_are_stable_and_monotonic() {
+        let mut index = LsmVectorIndex::new(config(8, 64));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = index.insert(&random_vec(&mut rng, 8));
+        let b = index.insert(&random_vec(&mut rng, 8));
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert!(index.contains(a));
+    }
+
+    #[test]
+    fn memtable_seals_at_capacity() {
+        let mut index = LsmVectorIndex::new(config(8, 128));
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..300 {
+            index.insert(&random_vec(&mut rng, 8));
+        }
+        let stats = index.stats();
+        assert_eq!(stats.segments, 2, "two seals at cap 128 after 300 inserts");
+        assert_eq!(stats.live, 300);
+        assert_eq!(stats.memtable, 300 - 256);
+    }
+
+    #[test]
+    fn search_spans_memtable_and_segments() {
+        let mut index = LsmVectorIndex::new(config(4, 64));
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..80 {
+            index.insert(&random_vec(&mut rng, 4));
+        }
+        // 64 sealed + 16 in memtable. Plant one distinctive vector in each.
+        let sealed_probe = index.search(&[0.0; 4], 1, 32); // whatever is closest
+        assert!(!sealed_probe.is_empty());
+        let special = index.insert(&[9.0, 9.0, 9.0, 9.0]);
+        let hits = index.search(&[9.0, 9.0, 9.0, 9.0], 1, 32);
+        assert_eq!(hits[0].id, special, "memtable vector must be findable");
+    }
+
+    #[test]
+    fn delete_across_tiers() {
+        let mut index = LsmVectorIndex::new(config(4, 32));
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut ids = Vec::new();
+        for _ in 0..48 {
+            ids.push(index.insert(&random_vec(&mut rng, 4)));
+        }
+        // ids[0] is sealed; the last insert is still buffered.
+        assert!(index.delete(ids[0]));
+        assert!(index.delete(*ids.last().unwrap()));
+        assert!(!index.delete(9999));
+        assert!(!index.contains(ids[0]));
+        let stats = index.stats();
+        assert_eq!(stats.live, 46);
+    }
+
+    #[test]
+    fn rebuild_compacts_to_single_segment() {
+        let mut index = LsmVectorIndex::new(config(8, 64));
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut ids = Vec::new();
+        for _ in 0..200 {
+            ids.push(index.insert(&random_vec(&mut rng, 8)));
+        }
+        for id in ids.iter().take(40) {
+            index.delete(*id);
+        }
+        let before = index.stats();
+        assert!(before.segments >= 3);
+        assert_eq!(before.dead + before.live, 200);
+
+        let report = index.rebuild();
+        assert_eq!(report.vectors, 160);
+        let after = index.stats();
+        assert_eq!(after.segments, 1);
+        assert_eq!(after.live, 160);
+        assert_eq!(after.dead, 0);
+
+        // Deleted ids stay gone; survivors stay findable.
+        assert!(!index.contains(ids[0]));
+        assert!(index.contains(ids[100]));
+    }
+
+    #[test]
+    fn rebuild_of_empty_index_is_harmless() {
+        let mut index = LsmVectorIndex::new(config(4, 16));
+        let report = index.rebuild();
+        assert_eq!(report.vectors, 0);
+        assert_eq!(index.stats().segments, 0);
+        assert!(index.search(&[0.0; 4], 3, 16).is_empty());
+    }
+
+    #[test]
+    fn search_never_returns_tombstoned_ids() {
+        let mut index = LsmVectorIndex::new(config(4, 64));
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut ids = Vec::new();
+        for _ in 0..128 {
+            ids.push(index.insert(&random_vec(&mut rng, 4)));
+        }
+        for id in ids.iter().step_by(3) {
+            index.delete(*id);
+        }
+        let q = random_vec(&mut rng, 4);
+        for hit in index.search(&q, 10, 64) {
+            assert!(index.contains(hit.id), "dead id {} returned", hit.id);
+        }
+    }
+}

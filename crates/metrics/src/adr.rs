@@ -1,0 +1,105 @@
+//! Average Distance Ratio (paper Section 4.1.4, after Patella & Ciaccia).
+//!
+//! `ADR = mean over queries of (1/k) Σᵢ δ(q, retrievedᵢ) / δ(q, gtᵢ)` with
+//! both result lists sorted ascending. A perfect search scores 1.0; larger
+//! values mean the retrieved vectors are farther than the true neighbors.
+//! The paper uses ADR (Figure 9) because two methods at equal recall can
+//! return very different false positives.
+
+use vecstore::Neighbor;
+
+/// Computes ADR from *squared* L2 distances (the convention everywhere in
+/// this workspace); ratios are taken on real distances via square roots.
+///
+/// Queries where any ground-truth distance is zero (query collides with a
+/// database vector) contribute a per-pair ratio of 1 when the retrieved
+/// distance is also zero and are otherwise scored against a tiny epsilon,
+/// keeping the metric finite.
+///
+/// # Panics
+/// Panics if slice lengths differ or `k == 0`.
+pub fn average_distance_ratio(
+    found_dists_sq: &[Vec<f32>],
+    truth: &[Vec<Neighbor>],
+    k: usize,
+) -> f64 {
+    assert_eq!(found_dists_sq.len(), truth.len(), "query count mismatch");
+    assert!(k > 0, "k must be positive");
+    if found_dists_sq.is_empty() {
+        return 0.0;
+    }
+    const EPS: f64 = 1e-12;
+    let mut per_query_sum = 0.0f64;
+    for (f, t) in found_dists_sq.iter().zip(truth.iter()) {
+        let kk = k.min(f.len()).min(t.len());
+        if kk == 0 {
+            continue;
+        }
+        let mut ratio_sum = 0.0f64;
+        for i in 0..kk {
+            let fd = f64::from(f[i]).max(0.0).sqrt();
+            let td = f64::from(t[i].dist_sq).max(0.0).sqrt();
+            ratio_sum += if td <= EPS {
+                if fd <= EPS {
+                    1.0
+                } else {
+                    fd / EPS.sqrt()
+                }
+            } else {
+                fd / td
+            };
+        }
+        per_query_sum += ratio_sum / kk as f64;
+    }
+    per_query_sum / found_dists_sq.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(dists: &[f32]) -> Vec<Neighbor> {
+        dists
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Neighbor { id: i as u32, dist_sq: d })
+            .collect()
+    }
+
+    #[test]
+    fn exact_retrieval_scores_one() {
+        let found = vec![vec![1.0, 4.0, 9.0]];
+        let truth = vec![t(&[1.0, 4.0, 9.0])];
+        assert!((average_distance_ratio(&found, &truth, 3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worse_retrieval_scores_above_one() {
+        let found = vec![vec![4.0, 16.0]];
+        let truth = vec![t(&[1.0, 4.0])];
+        let adr = average_distance_ratio(&found, &truth, 2);
+        assert!((adr - 2.0).abs() < 1e-9, "sqrt ratios are 2 and 2 → {adr}");
+    }
+
+    #[test]
+    fn averages_across_queries() {
+        let found = vec![vec![1.0], vec![9.0]];
+        let truth = vec![t(&[1.0]), t(&[1.0])];
+        let adr = average_distance_ratio(&found, &truth, 1);
+        assert!((adr - 2.0).abs() < 1e-9, "(1 + 3)/2 = 2 → {adr}");
+    }
+
+    #[test]
+    fn zero_truth_distance_handled() {
+        let found = vec![vec![0.0]];
+        let truth = vec![t(&[0.0])];
+        assert_eq!(average_distance_ratio(&found, &truth, 1), 1.0);
+    }
+
+    #[test]
+    fn k_clamps_to_available_results() {
+        let found = vec![vec![1.0]];
+        let truth = vec![t(&[1.0, 4.0])];
+        assert!((average_distance_ratio(&found, &truth, 5) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,16 @@
+//! Evaluation metrics for the experiment harness (paper Section 4.1.4).
+//!
+//! * [`recall`] — `Recall = |G ∩ S| / k` against exact ground truth;
+//! * [`adr`] — the average distance ratio of retrieved vs. true neighbors;
+//! * [`qps`] — queries-per-second / latency measurement;
+//! * [`PhaseTimer`] — named wall-clock phases for indexing-time breakdowns.
+
+pub mod adr;
+pub mod qps;
+pub mod recall;
+mod timer;
+
+pub use adr::average_distance_ratio;
+pub use qps::{measure_qps, QpsReport};
+pub use recall::{recall_at_k, RecallReport};
+pub use timer::PhaseTimer;

@@ -1,0 +1,71 @@
+//! Queries-per-second and latency measurement.
+
+use std::time::Instant;
+
+/// Throughput/latency summary of one search sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QpsReport {
+    /// Queries executed.
+    pub queries: usize,
+    /// Total wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl QpsReport {
+    /// Queries per second.
+    pub fn qps(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / self.seconds
+        }
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.seconds * 1000.0 / self.queries as f64
+        }
+    }
+}
+
+/// Runs `search` once per query index and reports wall-clock throughput.
+/// The closure owns all per-query state (the harness captures its index and
+/// query set by reference).
+pub fn measure_qps(n_queries: usize, mut search: impl FnMut(usize)) -> QpsReport {
+    let t0 = Instant::now();
+    for qi in 0..n_queries {
+        search(qi);
+    }
+    QpsReport { queries: n_queries, seconds: t0.elapsed().as_secs_f64() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_queries_and_time() {
+        let mut ran = 0;
+        let r = measure_qps(10, |_| ran += 1);
+        assert_eq!(ran, 10);
+        assert_eq!(r.queries, 10);
+        assert!(r.seconds >= 0.0);
+    }
+
+    #[test]
+    fn qps_and_latency_consistent() {
+        let r = QpsReport { queries: 100, seconds: 2.0 };
+        assert_eq!(r.qps(), 50.0);
+        assert_eq!(r.mean_latency_ms(), 20.0);
+    }
+
+    #[test]
+    fn zero_queries_safe() {
+        let r = measure_qps(0, |_| {});
+        assert_eq!(r.qps(), 0.0);
+        assert_eq!(r.mean_latency_ms(), 0.0);
+    }
+}

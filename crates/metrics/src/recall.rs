@@ -1,0 +1,102 @@
+//! Recall against exact ground truth.
+
+use vecstore::Neighbor;
+
+/// Aggregated recall over a query batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecallReport {
+    /// Ground-truth neighbors found.
+    pub hits: usize,
+    /// Total ground-truth neighbors (`queries * k`).
+    pub total: usize,
+}
+
+impl RecallReport {
+    /// `|G ∩ S| / k` averaged over queries.
+    pub fn recall(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+/// Computes recall@k: `found[q]` are the ids returned for query `q`,
+/// `truth[q]` the exact neighbors (only the first `k` of each are used).
+///
+/// # Panics
+/// Panics if the two slices have different lengths or `k == 0`.
+pub fn recall_at_k(found: &[Vec<u32>], truth: &[Vec<Neighbor>], k: usize) -> RecallReport {
+    assert_eq!(found.len(), truth.len(), "query count mismatch");
+    assert!(k > 0, "k must be positive");
+    let mut hits = 0;
+    let mut total = 0;
+    for (f, t) in found.iter().zip(truth.iter()) {
+        let f_top = &f[..f.len().min(k)];
+        for gt in t.iter().take(k) {
+            total += 1;
+            if f_top.contains(&gt.id) {
+                hits += 1;
+            }
+        }
+    }
+    RecallReport { hits, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(ids: &[&[u32]]) -> Vec<Vec<Neighbor>> {
+        ids.iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(i, &id)| Neighbor { id, dist_sq: i as f32 })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_recall() {
+        let found = vec![vec![1, 2, 3]];
+        let t = truth(&[&[1, 2, 3]]);
+        assert_eq!(recall_at_k(&found, &t, 3).recall(), 1.0);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let found = vec![vec![3, 1, 2]];
+        let t = truth(&[&[1, 2, 3]]);
+        assert_eq!(recall_at_k(&found, &t, 3).recall(), 1.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        let found = vec![vec![1, 9, 8]];
+        let t = truth(&[&[1, 2, 3]]);
+        let r = recall_at_k(&found, &t, 3);
+        assert_eq!(r.hits, 1);
+        assert_eq!(r.total, 3);
+    }
+
+    #[test]
+    fn k_truncates_both_sides() {
+        // Beyond-k results must not count.
+        let found = vec![vec![9, 1]];
+        let t = truth(&[&[1, 2]]);
+        let r = recall_at_k(&found, &t, 1);
+        assert_eq!(r.hits, 0, "1 is in found but outside top-1");
+        assert_eq!(r.total, 1);
+    }
+
+    #[test]
+    fn averages_over_queries() {
+        let found = vec![vec![1], vec![5]];
+        let t = truth(&[&[1], &[2]]);
+        let r = recall_at_k(&found, &t, 1);
+        assert_eq!(r.recall(), 0.5);
+    }
+}

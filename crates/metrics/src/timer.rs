@@ -1,0 +1,94 @@
+//! Named wall-clock phases for indexing-time breakdowns (Figures 1, 15;
+//! Table 4).
+
+use std::time::{Duration, Instant};
+
+/// Accumulates named phase durations; phases can repeat and accumulate.
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    phases: Vec<(String, Duration)>,
+}
+
+impl PhaseTimer {
+    /// Creates an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f`, accumulating into phase `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add(name, t0.elapsed());
+        out
+    }
+
+    /// Adds an externally measured duration to phase `name`.
+    pub fn add(&mut self, name: &str, d: Duration) {
+        if let Some(slot) = self.phases.iter_mut().find(|(n, _)| n == name) {
+            slot.1 += d;
+        } else {
+            self.phases.push((name.to_string(), d));
+        }
+    }
+
+    /// Accumulated duration of `name` (zero if never recorded).
+    pub fn get(&self, name: &str) -> Duration {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+            .unwrap_or_default()
+    }
+
+    /// Total across phases.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Fraction of the total spent in `name`.
+    pub fn fraction(&self, name: &str) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.get(name).as_secs_f64() / total
+        }
+    }
+
+    /// `(name, duration)` pairs in insertion order.
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_repeated_phases() {
+        let mut t = PhaseTimer::new();
+        t.add("a", Duration::from_millis(10));
+        t.add("a", Duration::from_millis(5));
+        t.add("b", Duration::from_millis(5));
+        assert_eq!(t.get("a"), Duration::from_millis(15));
+        assert_eq!(t.total(), Duration::from_millis(20));
+        assert!((t.fraction("a") - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let mut t = PhaseTimer::new();
+        let v = t.time("work", || 42);
+        assert_eq!(v, 42);
+        assert!(t.get("work") >= Duration::ZERO);
+    }
+
+    #[test]
+    fn missing_phase_is_zero() {
+        let t = PhaseTimer::new();
+        assert_eq!(t.get("nope"), Duration::ZERO);
+        assert_eq!(t.fraction("nope"), 0.0);
+    }
+}

@@ -1,0 +1,427 @@
+//! OPQ — Optimized Product Quantization (Ge et al., CVPR 2013).
+//!
+//! The paper's "lessons learned" (Section 3.2.4) note that optimized
+//! variants of PQ/SQ/PCA *"may be integrated into HNSW to further speed up
+//! index construction"* provided they avoid excessive processing overhead.
+//! OPQ is the canonical such variant: it learns an **orthogonal rotation**
+//! `Q` jointly with the PQ codebooks so that the subspace decomposition
+//! lands on a basis where quantization error is minimized (a data-adaptive
+//! generalization of Flash's fixed PCA rotation).
+//!
+//! We implement the non-parametric alternation (OPQ-NP):
+//!
+//! 1. fix `Q`, train PQ codebooks on the rotated data;
+//! 2. fix the codes, reconstruct `Y`, and solve the orthogonal Procrustes
+//!    problem `argmin_Q Σᵢ ‖Q xᵢ − yᵢ‖²` — the maximizer of `tr(Q M)` with
+//!    `M = Σᵢ xᵢ yᵢᵀ` is `Q = V Uᵀ` from the SVD `M = U Σ Vᵀ`.
+//!
+//! The SVD is computed from the workspace's Jacobi eigensolver
+//! (`MᵀM = V Σ² Vᵀ`, then `uⱼ = M vⱼ / σⱼ`), so no new numerical
+//! dependency is introduced. Rank-deficient directions (σ ≈ 0) are
+//! completed by Gram–Schmidt against the canonical basis — for those
+//! directions any orthogonal completion is optimal.
+
+use crate::pq::ProductQuantizer;
+use crate::Codec;
+use linalg::{symmetric_eigen, Matrix};
+use vecstore::VectorSet;
+
+/// Product quantizer with a learned orthogonal pre-rotation.
+pub struct OptimizedProductQuantizer {
+    /// The learned D×D orthogonal rotation; vectors are encoded as
+    /// `pq.encode(Q · v)`.
+    rotation: Matrix,
+    pq: ProductQuantizer,
+    dim: usize,
+}
+
+/// Singular values below this fraction of the largest are treated as zero
+/// during the Procrustes completion.
+const RANK_EPS: f64 = 1e-9;
+
+impl OptimizedProductQuantizer {
+    /// Trains OPQ with `opq_iters` alternations of codebook training and
+    /// Procrustes rotation updates. `m` and `bits` are the PQ shape
+    /// (`M_PQ`, `L_PQ`); each alternation retrains the codebooks with
+    /// `pq_iters` Lloyd iterations.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or its dimension is not divisible by `m`.
+    pub fn train(
+        data: &VectorSet,
+        m: usize,
+        bits: u8,
+        opq_iters: usize,
+        pq_iters: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!data.is_empty(), "OPQ needs training vectors");
+        let dim = data.dim();
+        assert_eq!(dim % m, 0, "dimension {dim} must be divisible by m = {m}");
+
+        let mut rotation = Matrix::identity(dim);
+        let mut pq;
+        for iter in 0..opq_iters {
+            // Rotate the data with the current Q.
+            let mut rotated = VectorSet::with_capacity(dim, data.len());
+            for v in data.iter() {
+                rotated.push(&rotation.matvec(v));
+            }
+            // (1) codebooks on rotated data.
+            pq = ProductQuantizer::train(&rotated, m, bits, pq_iters, seed ^ iter as u64);
+            // (2) Procrustes update: M = Σ xᵢ yᵢᵀ with yᵢ the reconstruction
+            // of the *rotated* vector.
+            let mut mmat = Matrix::zeros(dim, dim);
+            for (x, xr) in data.iter().zip(rotated.iter()) {
+                let y = pq.decode(&pq.encode(xr));
+                for (i, &xi) in x.iter().enumerate() {
+                    let row = mmat.row_mut(i);
+                    for (j, &yj) in y.iter().enumerate() {
+                        row[j] += xi * yj;
+                    }
+                }
+            }
+            rotation = procrustes_rotation(&mmat);
+        }
+        // Final codebooks under the final rotation.
+        let mut rotated = VectorSet::with_capacity(dim, data.len());
+        for v in data.iter() {
+            rotated.push(&rotation.matvec(v));
+        }
+        pq = ProductQuantizer::train(&rotated, m, bits, pq_iters, seed ^ 0xD1CE);
+        Self { rotation, pq, dim }
+    }
+
+    /// The learned rotation matrix `Q`.
+    pub fn rotation(&self) -> &Matrix {
+        &self.rotation
+    }
+
+    /// The underlying product quantizer (operating in the rotated space).
+    pub fn quantizer(&self) -> &ProductQuantizer {
+        &self.pq
+    }
+
+    /// Number of subspaces.
+    pub fn subspaces(&self) -> usize {
+        self.pq.subspaces()
+    }
+
+    /// Applies the learned rotation to `v`.
+    pub fn rotate(&self, v: &[f32]) -> Vec<f32> {
+        self.rotation.matvec(v)
+    }
+
+    /// Encodes `v` (rotation + PQ encoding).
+    pub fn encode(&self, v: &[f32]) -> Vec<u8> {
+        self.pq.encode(&self.rotate(v))
+    }
+
+    /// ADC lookup table for a query (rotated once, then per-subspace
+    /// centroid distances — same contract as [`ProductQuantizer::adc_table`]).
+    pub fn adc_table(&self, query: &[f32]) -> Vec<f32> {
+        self.pq.adc_table(&self.rotate(query))
+    }
+
+    /// Asymmetric distance from a prepared table to a code.
+    pub fn adc_distance(&self, table: &[f32], codes: &[u8]) -> f32 {
+        self.pq.adc_distance(table, codes)
+    }
+
+    /// Symmetric centroid-to-centroid tables.
+    pub fn sdc_tables(&self) -> Vec<f32> {
+        self.pq.sdc_tables()
+    }
+
+    /// Symmetric distance between two codes.
+    pub fn sdc_distance(&self, tables: &[f32], a: &[u8], b: &[u8]) -> f32 {
+        self.pq.sdc_distance(tables, a, b)
+    }
+
+    /// Mean squared reconstruction error over `data` (the OPQ training
+    /// objective; lower is better).
+    pub fn quantization_error(&self, data: &VectorSet) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0f64;
+        for v in data.iter() {
+            let rec = self.reconstruct(v);
+            total += v
+                .iter()
+                .zip(rec.iter())
+                .map(|(&a, &b)| f64::from(a - b) * f64::from(a - b))
+                .sum::<f64>();
+        }
+        total / data.len() as f64
+    }
+}
+
+impl Codec for OptimizedProductQuantizer {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn reconstruct(&self, v: &[f32]) -> Vec<f32> {
+        let rotated = self.rotate(v);
+        let decoded = self.pq.decode(&self.pq.encode(&rotated));
+        // Back-rotate: Q is orthogonal, so Q⁻¹ = Qᵀ.
+        self.rotation.matvec_t(&decoded)
+    }
+
+    fn code_bytes(&self) -> usize {
+        self.pq.code_bytes()
+    }
+}
+
+/// Solves `argmax_Q tr(Q M)` over orthogonal `Q` via `Q = V Uᵀ` with
+/// `M = U Σ Vᵀ`, computing the SVD from the Jacobi eigendecomposition of
+/// `MᵀM`.
+fn procrustes_rotation(m: &Matrix) -> Matrix {
+    let d = m.rows();
+    let mtm = m.transpose().matmul(m);
+    let eig = symmetric_eigen(&mtm);
+
+    let sigma_max = eig
+        .eigenvalues
+        .first()
+        .map(|&l| f64::from(l.max(0.0)).sqrt())
+        .unwrap_or(0.0)
+        .max(f64::MIN_POSITIVE);
+
+    // U columns: uⱼ = M vⱼ / σⱼ, accepted through modified Gram–Schmidt so
+    // near-degenerate directions (whose raw image is numerically noise)
+    // never break orthonormality — they fall through to the completion.
+    let mut u = Matrix::zeros(d, d);
+    let mut filled = vec![false; d];
+    let mut accepted: Vec<Vec<f64>> = Vec::with_capacity(d);
+    for j in 0..d {
+        let vj = eig.eigenvector(j);
+        let mut col: Vec<f64> = m.matvec(&vj).iter().map(|&x| f64::from(x)).collect();
+        for h in &accepted {
+            let dot: f64 = col.iter().zip(h.iter()).map(|(a, b)| a * b).sum();
+            for (c, &hv) in col.iter_mut().zip(h.iter()) {
+                *c -= dot * hv;
+            }
+        }
+        let norm: f64 = col.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm / sigma_max < RANK_EPS {
+            continue;
+        }
+        for c in col.iter_mut() {
+            *c /= norm;
+        }
+        for i in 0..d {
+            u[(i, j)] = col[i] as f32;
+        }
+        filled[j] = true;
+        accepted.push(col);
+    }
+    complete_orthonormal(&mut u, &filled);
+
+    // Q = V Uᵀ.
+    eig.eigenvectors.matmul(&u.transpose())
+}
+
+/// Fills unfilled columns of `u` with vectors orthonormal to the filled
+/// ones (Gram–Schmidt against canonical basis candidates).
+fn complete_orthonormal(u: &mut Matrix, filled: &[bool]) {
+    let d = u.rows();
+    let mut have: Vec<Vec<f64>> = (0..d)
+        .filter(|&j| filled[j])
+        .map(|j| (0..d).map(|i| f64::from(u[(i, j)])).collect())
+        .collect();
+    let mut next_canonical = 0usize;
+    for j in 0..d {
+        if filled[j] {
+            continue;
+        }
+        // Try canonical basis vectors until one survives orthogonalization.
+        let col = loop {
+            assert!(next_canonical < 2 * d, "orthonormal completion failed");
+            let k = next_canonical % d;
+            next_canonical += 1;
+            let mut cand = vec![0.0f64; d];
+            cand[k] = 1.0;
+            for h in &have {
+                let dot: f64 = cand.iter().zip(h.iter()).map(|(a, b)| a * b).sum();
+                for (c, &hv) in cand.iter_mut().zip(h.iter()) {
+                    *c -= dot * hv;
+                }
+            }
+            let norm: f64 = cand.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 1e-6 {
+                for c in cand.iter_mut() {
+                    *c /= norm;
+                }
+                break cand;
+            }
+        };
+        for i in 0..d {
+            u[(i, j)] = col[i] as f32;
+        }
+        have.push(col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Correlated data: PQ's axis-aligned subspaces are a poor fit, so the
+    /// learned rotation has something to gain.
+    fn correlated_set(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut s = VectorSet::with_capacity(dim, n);
+        for _ in 0..n {
+            let shared: f32 = rng.gen_range(-2.0..2.0);
+            let v: Vec<f32> = (0..dim)
+                .map(|i| shared * (1.0 + i as f32 * 0.1) + rng.gen_range(-0.2..0.2))
+                .collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    #[test]
+    fn rotation_is_orthogonal() {
+        let data = correlated_set(300, 8, 1);
+        let opq = OptimizedProductQuantizer::train(&data, 4, 4, 4, 8, 2);
+        let q = opq.rotation();
+        let qtq = q.transpose().matmul(q);
+        let eye = Matrix::identity(8);
+        assert!(
+            qtq.max_abs_diff(&eye) < 1e-3,
+            "QᵀQ deviates from I by {}",
+            qtq.max_abs_diff(&eye)
+        );
+    }
+
+    #[test]
+    fn rotation_preserves_distances() {
+        let data = correlated_set(200, 8, 3);
+        let opq = OptimizedProductQuantizer::train(&data, 4, 4, 3, 6, 4);
+        let a = data.get(0);
+        let b = data.get(1);
+        let exact = simdops::l2_sq(a, b);
+        let rotated = simdops::l2_sq(&opq.rotate(a), &opq.rotate(b));
+        assert!(
+            (exact - rotated).abs() < 1e-3 * (1.0 + exact),
+            "rotation changed distance: {exact} vs {rotated}"
+        );
+    }
+
+    #[test]
+    fn opq_error_not_worse_than_pq() {
+        let data = correlated_set(400, 8, 5);
+        let opq = OptimizedProductQuantizer::train(&data, 4, 4, 6, 10, 6);
+        let pq = ProductQuantizer::train(&data, 4, 4, 10, 6);
+        let pq_err: f64 = data
+            .iter()
+            .map(|v| {
+                let rec = pq.decode(&pq.encode(v));
+                v.iter()
+                    .zip(rec.iter())
+                    .map(|(&a, &b)| f64::from(a - b) * f64::from(a - b))
+                    .sum::<f64>()
+            })
+            .sum::<f64>()
+            / data.len() as f64;
+        let opq_err = opq.quantization_error(&data);
+        // The rotation is optimized for exactly this objective; allow a
+        // small tolerance for k-means seeding noise.
+        assert!(
+            opq_err <= pq_err * 1.05,
+            "OPQ error {opq_err} worse than PQ error {pq_err}"
+        );
+    }
+
+    #[test]
+    fn adc_approximates_true_distance() {
+        let data = correlated_set(300, 8, 7);
+        let opq = OptimizedProductQuantizer::train(&data, 4, 6, 3, 8, 8);
+        let table = opq.adc_table(data.get(0));
+        let approx = opq.adc_distance(&table, &opq.encode(data.get(1)));
+        let exact = simdops::l2_sq(data.get(0), data.get(1));
+        assert!(
+            (approx - exact).abs() < 0.5 * (1.0 + exact),
+            "approx {approx} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn sdc_distance_symmetric() {
+        let data = correlated_set(200, 8, 9);
+        let opq = OptimizedProductQuantizer::train(&data, 4, 4, 2, 6, 10);
+        let tables = opq.sdc_tables();
+        let ca = opq.encode(data.get(2));
+        let cb = opq.encode(data.get(17));
+        assert_eq!(opq.sdc_distance(&tables, &ca, &cb), opq.sdc_distance(&tables, &cb, &ca));
+    }
+
+    #[test]
+    fn reconstruct_round_trips_dimension() {
+        let data = correlated_set(150, 8, 11);
+        let opq = OptimizedProductQuantizer::train(&data, 2, 4, 2, 6, 12);
+        let rec = opq.reconstruct(data.get(0));
+        assert_eq!(rec.len(), 8);
+        assert_eq!(opq.dim(), 8);
+        // Two 4-bit codewords pack into one byte.
+        assert_eq!(opq.code_bytes(), 1);
+    }
+
+    #[test]
+    fn procrustes_recovers_known_rotation() {
+        // If Y = Q₀ X exactly, Procrustes must recover Q₀ (up to fp error):
+        // M = Σ x (Q₀x)ᵀ … argmax tr(QM) at Q = Q₀.
+        let d = 4;
+        // A simple orthogonal matrix: rotation in the (0,1) plane + swap of (2,3).
+        let theta = 0.7f32;
+        let mut q0 = Matrix::identity(d);
+        q0[(0, 0)] = theta.cos();
+        q0[(0, 1)] = -theta.sin();
+        q0[(1, 0)] = theta.sin();
+        q0[(1, 1)] = theta.cos();
+        q0[(2, 2)] = 0.0;
+        q0[(2, 3)] = 1.0;
+        q0[(3, 2)] = 1.0;
+        q0[(3, 3)] = 0.0;
+
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut m = Matrix::zeros(d, d);
+        for _ in 0..200 {
+            let x: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let y = q0.matvec(&x);
+            for i in 0..d {
+                for j in 0..d {
+                    m[(i, j)] += x[i] * y[j];
+                }
+            }
+        }
+        let q = procrustes_rotation(&m);
+        // Q should satisfy Q x ≈ Q₀ x, i.e. Qᵀ = Q₀ ⇒ compare Qᵀ to Q₀.
+        // (procrustes maximizes tr(QM) with M = Σ x yᵀ = Σ x xᵀ Q₀ᵀ,
+        // giving Q = Q₀ᵀ… verify via action on vectors instead of layout.)
+        let x: Vec<f32> = vec![0.3, -0.8, 0.5, 0.1];
+        let want = q0.matvec(&x);
+        let got_fwd = q.matvec(&x);
+        let got_bwd = q.matvec_t(&x);
+        let err_fwd: f32 =
+            want.iter().zip(got_fwd.iter()).map(|(a, b)| (a - b).abs()).sum();
+        let err_bwd: f32 =
+            want.iter().zip(got_bwd.iter()).map(|(a, b)| (a - b).abs()).sum();
+        assert!(
+            err_fwd.min(err_bwd) < 1e-3,
+            "neither Q ({err_fwd}) nor Qᵀ ({err_bwd}) matches Q₀'s action"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_dimension_rejected() {
+        let data = correlated_set(50, 6, 15);
+        let _ = OptimizedProductQuantizer::train(&data, 4, 4, 1, 2, 1);
+    }
+}

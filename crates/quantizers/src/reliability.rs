@@ -1,0 +1,277 @@
+//! The Theorem-1 comparison-reliability estimator.
+//!
+//! The paper's key theoretical insight (Lemma 1 + Theorem 1): the distance
+//! comparison `δ(u,v) vs δ(u,w)` reduces to the sign of `e·u − b` (the side
+//! of the perpendicular-bisector hyperplane of `v` and `w` that `u` falls
+//! on), and compressing all three vectors preserves the comparison whenever
+//!
+//! ```text
+//! |e·u − b| ≥ |E|
+//! ```
+//!
+//! with `E` the error aggregate of Equation (1). Section 3.1 turns this into
+//! a tuning procedure: sample vectors, take each sample's two nearest
+//! neighbors to form triples `(u, v, w)`, and measure the fraction of
+//! triples satisfying the inequality under a candidate codec configuration.
+//! This module implements that estimator for any [`Codec`].
+
+use crate::Codec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simdops::{inner_product, l2_sq, norm_sq};
+use vecstore::VectorSet;
+
+/// Outcome of a reliability estimation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityReport {
+    /// Triples satisfying `|e·u − b| ≥ |E|` (comparison provably preserved).
+    pub satisfied: usize,
+    /// Triples where the *actual* compressed comparison agreed with the
+    /// exact comparison (a superset of `satisfied`: the bound is
+    /// sufficient, not necessary).
+    pub agreeing: usize,
+    /// Total triples evaluated.
+    pub total: usize,
+}
+
+impl ReliabilityReport {
+    /// Fraction of triples with the guarantee satisfied.
+    pub fn guaranteed_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.satisfied as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of triples whose comparison actually survived compression.
+    pub fn agreement_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.agreeing as f64 / self.total as f64
+        }
+    }
+}
+
+/// Left-hand side `e·u − b` of Lemma 1 for the triple `(u, v, w)`.
+///
+/// Positive means `δ(u,v) > δ(u,w)`; the hyperplane is `e·u = b` with
+/// `e = w − v`, `b = (‖w‖² − ‖v‖²)/2`.
+pub fn hyperplane_side(u: &[f32], v: &[f32], w: &[f32]) -> f32 {
+    let e: Vec<f32> = w.iter().zip(v.iter()).map(|(&wi, &vi)| wi - vi).collect();
+    let b = 0.5 * (norm_sq(w) - norm_sq(v));
+    inner_product(&e, u) - b
+}
+
+/// The error aggregate `E` of the paper's Equation (1).
+pub fn error_aggregate(
+    u: &[f32],
+    v: &[f32],
+    w: &[f32],
+    eu: &[f32],
+    ev: &[f32],
+    ew: &[f32],
+) -> f32 {
+    let ew_minus_ev: Vec<f32> = ew.iter().zip(ev.iter()).map(|(&a, &b)| a - b).collect();
+    let w_minus_v: Vec<f32> = w.iter().zip(v.iter()).map(|(&a, &b)| a - b).collect();
+    inner_product(&ew_minus_ev, u)
+        + inner_product(&w_minus_v, eu)
+        + inner_product(ev, eu)
+        - inner_product(ew, eu)
+        + 0.5 * norm_sq(ew)
+        - 0.5 * norm_sq(ev)
+        + inner_product(v, ev)
+        - inner_product(w, ew)
+}
+
+/// Estimates comparison reliability of `codec` on `sample`.
+///
+/// For each of `n_triples` randomly chosen anchors `u`, the two nearest
+/// *other* sample vectors become `(v, w)` (ordered so `v` is nearer, like
+/// the candidate-set comparisons during construction). Reports both the
+/// Theorem-1 guarantee rate and the empirical agreement rate.
+///
+/// # Panics
+/// Panics if the sample has fewer than 3 vectors.
+pub fn comparison_reliability<C: Codec>(
+    codec: &C,
+    sample: &VectorSet,
+    n_triples: usize,
+    seed: u64,
+) -> ReliabilityReport {
+    assert!(sample.len() >= 3, "need at least 3 sample vectors for triples");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut report = ReliabilityReport { satisfied: 0, agreeing: 0, total: 0 };
+
+    for _ in 0..n_triples {
+        let ui = rng.gen_range(0..sample.len());
+        let u = sample.get(ui);
+
+        // Two nearest neighbors of u within the sample (exact scan).
+        let (mut best, mut second) = (None::<(usize, f32)>, None::<(usize, f32)>);
+        for j in 0..sample.len() {
+            if j == ui {
+                continue;
+            }
+            let d = l2_sq(u, sample.get(j));
+            match best {
+                Some((_, bd)) if d >= bd => match second {
+                    Some((_, sd)) if d >= sd => {}
+                    _ => second = Some((j, d)),
+                },
+                _ => {
+                    second = best;
+                    best = Some((j, d));
+                }
+            }
+        }
+        let (vi, _) = best.expect("sample >= 3 guarantees a neighbor");
+        let (wi, _) = second.expect("sample >= 3 guarantees two neighbors");
+        let v = sample.get(vi);
+        let w = sample.get(wi);
+
+        let lhs = hyperplane_side(u, v, w);
+
+        let ur = codec.reconstruct(u);
+        let vr = codec.reconstruct(v);
+        let wr = codec.reconstruct(w);
+        let eu: Vec<f32> = u.iter().zip(ur.iter()).map(|(&a, &b)| a - b).collect();
+        let ev: Vec<f32> = v.iter().zip(vr.iter()).map(|(&a, &b)| a - b).collect();
+        let ew: Vec<f32> = w.iter().zip(wr.iter()).map(|(&a, &b)| a - b).collect();
+        let e_agg = error_aggregate(u, v, w, &eu, &ev, &ew);
+
+        report.total += 1;
+        if lhs.abs() >= e_agg.abs() {
+            report.satisfied += 1;
+        }
+        // Empirical agreement on the compressed representatives.
+        let compressed_side = hyperplane_side(&ur, &vr, &wr);
+        if compressed_side == 0.0 || lhs == 0.0 || (compressed_side > 0.0) == (lhs > 0.0) {
+            report.agreeing += 1;
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pq::ProductQuantizer;
+    use crate::sq::{ScalarQuantizer, SqRange};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Lossless codec for sanity checks.
+    struct IdentityCodec(usize);
+    impl Codec for IdentityCodec {
+        fn dim(&self) -> usize {
+            self.0
+        }
+        fn reconstruct(&self, v: &[f32]) -> Vec<f32> {
+            v.to_vec()
+        }
+        fn code_bytes(&self) -> usize {
+            self.0 * 4
+        }
+    }
+
+    fn random_set(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut s = VectorSet::with_capacity(dim, n);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    #[test]
+    fn lemma1_sign_matches_distance_comparison() {
+        let s = random_set(60, 8, 1);
+        for i in 0..20 {
+            let u = s.get(i);
+            let v = s.get(i + 20);
+            let w = s.get(i + 40);
+            let side = hyperplane_side(u, v, w);
+            let dv = l2_sq(u, v);
+            let dw = l2_sq(u, w);
+            if (dv - dw).abs() > 1e-5 {
+                assert_eq!(side > 0.0, dv > dw, "Lemma 1 violated at triple {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_codec_is_fully_reliable() {
+        let s = random_set(50, 6, 2);
+        let r = comparison_reliability(&IdentityCodec(6), &s, 100, 3);
+        assert_eq!(r.satisfied, r.total);
+        assert_eq!(r.agreeing, r.total);
+    }
+
+    #[test]
+    fn error_aggregate_zero_for_lossless() {
+        let s = random_set(10, 5, 4);
+        let zero = vec![0.0f32; 5];
+        let e = error_aggregate(s.get(0), s.get(1), s.get(2), &zero, &zero, &zero);
+        assert_eq!(e, 0.0);
+    }
+
+    #[test]
+    fn theorem1_equation6_identity_holds() {
+        // e'·u' − b' must equal (e·u − b) − E for arbitrary error vectors.
+        let s = random_set(6, 7, 5);
+        let u = s.get(0);
+        let v = s.get(1);
+        let w = s.get(2);
+        let eu: Vec<f32> = s.get(3).iter().map(|&x| 0.1 * x).collect();
+        let ev: Vec<f32> = s.get(4).iter().map(|&x| 0.1 * x).collect();
+        let ew: Vec<f32> = s.get(5).iter().map(|&x| 0.1 * x).collect();
+        let ur: Vec<f32> = u.iter().zip(&eu).map(|(&a, &e)| a - e).collect();
+        let vr: Vec<f32> = v.iter().zip(&ev).map(|(&a, &e)| a - e).collect();
+        let wr: Vec<f32> = w.iter().zip(&ew).map(|(&a, &e)| a - e).collect();
+
+        let lhs_exact = hyperplane_side(u, v, w);
+        let lhs_compressed = hyperplane_side(&ur, &vr, &wr);
+        let e_agg = error_aggregate(u, v, w, &eu, &ev, &ew);
+        assert!(
+            (lhs_compressed - (lhs_exact - e_agg)).abs() < 1e-3 * (1.0 + lhs_exact.abs()),
+            "Eq. 6 identity broken: {lhs_compressed} vs {}",
+            lhs_exact - e_agg
+        );
+    }
+
+    #[test]
+    fn guarantee_implies_agreement_for_sq() {
+        let s = random_set(80, 8, 6);
+        let sq = ScalarQuantizer::train(&s, 8, SqRange::PerDimension);
+        let r = comparison_reliability(&sq, &s, 200, 7);
+        // Theorem 1 is a sufficient condition, so agreement ≥ guarantee.
+        assert!(r.agreeing >= r.satisfied, "{r:?}");
+        assert!(r.total == 200);
+    }
+
+    #[test]
+    fn finer_quantization_is_more_reliable() {
+        let s = random_set(100, 8, 8);
+        let coarse = ScalarQuantizer::train(&s, 2, SqRange::PerDimension);
+        let fine = ScalarQuantizer::train(&s, 8, SqRange::PerDimension);
+        let rc = comparison_reliability(&coarse, &s, 300, 9);
+        let rf = comparison_reliability(&fine, &s, 300, 9);
+        assert!(
+            rf.guaranteed_fraction() > rc.guaranteed_fraction(),
+            "fine {rf:?} vs coarse {rc:?}"
+        );
+    }
+
+    #[test]
+    fn pq_reliability_is_measurable() {
+        let s = random_set(120, 8, 10);
+        let pq = ProductQuantizer::train(&s, 4, 4, 10, 11);
+        let r = comparison_reliability(&pq, &s, 150, 12);
+        assert_eq!(r.total, 150);
+        assert!(r.guaranteed_fraction() > 0.0);
+    }
+}

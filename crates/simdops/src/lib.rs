@@ -1,0 +1,30 @@
+//! Runtime-dispatched SIMD kernels for the `hnsw-flash` workspace.
+//!
+//! The paper identifies two CPU-level bottlenecks in graph indexing:
+//! excessive register loads when streaming full-precision vectors through
+//! narrow SIMD registers, and serial table lookups that cannot use SIMD at
+//! all. This crate provides the kernels both sides of that comparison need:
+//!
+//! * [`f32dist`] — full-precision L2² / inner-product kernels (the baseline
+//!   HNSW distance path) in scalar, SSE (128-bit), AVX2 (256-bit) and
+//!   AVX-512 variants;
+//! * [`u8dist`] — distances over scalar-quantized `u8` codes (HNSW-SQ path);
+//! * [`lut`] — the Flash kernel: 16-entry 8-bit lookup tables resident in a
+//!   SIMD register, indexed by 4-bit codewords via byte-shuffle instructions
+//!   (`pshufb` / `vpshufb`), producing 16 partial distances per instruction;
+//! * [`level`] — feature detection plus a process-wide dispatch override so
+//!   the benchmark harness can force SSE/AVX2/AVX-512 paths (paper Fig. 12)
+//!   and fully disable SIMD (paper Table 3).
+//!
+//! All public entry points are safe; `unsafe` is confined to the
+//! `#[target_feature]` implementations, each guarded by runtime detection.
+
+pub mod f32dist;
+pub mod level;
+pub mod lut;
+pub mod u8dist;
+
+pub use f32dist::{inner_product, l2_sq, norm_sq};
+pub use level::{current_level, detect_level, set_level_override, supported_levels, SimdLevel};
+pub use lut::{lut16_batch, lut16_single, LUT_BATCH};
+pub use u8dist::l2_sq_u8;

@@ -1,0 +1,279 @@
+//! Seeded synthetic embedding generators.
+//!
+//! The paper's datasets are deep-model embeddings (Table 1): LAION/CLIP
+//! image-text vectors (768-d), wiki sentence embeddings (1024-d), SSNPP
+//! descriptors (256-d), and so on. Embedding matrices share two structural
+//! properties that matter for this paper:
+//!
+//! 1. **Cluster structure** — semantically similar items form dense local
+//!    neighborhoods, which is what makes graph indexes navigable;
+//! 2. **Skewed variance spectrum** — variance concentrates in a small number
+//!    of principal directions (the paper reports 90 % cumulative variance at
+//!    `d_PCA = 420` of 768 on LAION). Flash's PCA stage exploits exactly
+//!    this.
+//!
+//! The generator therefore samples from a mixture of Gaussians whose axis
+//! variances decay geometrically, then applies a fixed random rotation so
+//! the principal directions are not axis-aligned (otherwise PCA would be
+//! trivially the identity and its cost would be misrepresented).
+
+use crate::set::VectorSet;
+use linalg::random_orthogonal;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Named generation profiles mirroring the paper's eight datasets.
+///
+/// The `*_LIKE` names keep the correspondence to Table 1 obvious; volumes
+/// are chosen by the caller (the paper's 10M–1B scale is out of reach for a
+/// single-core CI box, but construction-cost *shape* is volume-independent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetProfile {
+    /// ARGILLA (1024-d persona embeddings).
+    ArgillaLike,
+    /// ANTON (1024-d wiki embeddings).
+    AntonLike,
+    /// LAION (768-d CLIP embeddings).
+    LaionLike,
+    /// IMAGENET (768-d image embeddings).
+    ImagenetLike,
+    /// COHERE (768-d multilingual wiki embeddings).
+    CohereLike,
+    /// DATACOMP (768-d CLIP embeddings).
+    DatacompLike,
+    /// BIGCODE (768-d code embeddings).
+    BigcodeLike,
+    /// SSNPP (256-d similarity-search descriptors).
+    SsnppLike,
+}
+
+impl DatasetProfile {
+    /// All eight profiles in the order the paper's figures list them.
+    pub const ALL: [DatasetProfile; 8] = [
+        DatasetProfile::SsnppLike,
+        DatasetProfile::LaionLike,
+        DatasetProfile::CohereLike,
+        DatasetProfile::BigcodeLike,
+        DatasetProfile::ImagenetLike,
+        DatasetProfile::DatacompLike,
+        DatasetProfile::AntonLike,
+        DatasetProfile::ArgillaLike,
+    ];
+
+    /// Display name used in harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetProfile::ArgillaLike => "ARGILLA-like",
+            DatasetProfile::AntonLike => "ANTON-like",
+            DatasetProfile::LaionLike => "LAION-like",
+            DatasetProfile::ImagenetLike => "IMAGENET-like",
+            DatasetProfile::CohereLike => "COHERE-like",
+            DatasetProfile::DatacompLike => "DATACOMP-like",
+            DatasetProfile::BigcodeLike => "BIGCODE-like",
+            DatasetProfile::SsnppLike => "SSNPP-like",
+        }
+    }
+
+    /// Full dataset spec for this profile.
+    ///
+    /// Per-profile knobs vary cluster counts and spectral decay so the eight
+    /// workloads are not clones of one another (the paper's datasets show
+    /// visibly different compression/recall behaviour).
+    pub fn spec(self) -> DatasetSpec {
+        // Cluster counts are in the hundreds: deep-embedding corpora have
+        // many fine-grained semantic neighborhoods, and this local-manifold
+        // structure is what product-quantization-style codecs rely on.
+        match self {
+            DatasetProfile::ArgillaLike => DatasetSpec::new(1024, 320, 0.992, 0.35, 101),
+            DatasetProfile::AntonLike => DatasetSpec::new(1024, 256, 0.990, 0.40, 102),
+            DatasetProfile::LaionLike => DatasetSpec::new(768, 300, 0.990, 0.45, 103),
+            DatasetProfile::ImagenetLike => DatasetSpec::new(768, 400, 0.988, 0.40, 104),
+            DatasetProfile::CohereLike => DatasetSpec::new(768, 256, 0.991, 0.40, 105),
+            DatasetProfile::DatacompLike => DatasetSpec::new(768, 288, 0.989, 0.45, 106),
+            DatasetProfile::BigcodeLike => DatasetSpec::new(768, 224, 0.990, 0.50, 107),
+            DatasetProfile::SsnppLike => DatasetSpec::new(256, 200, 0.975, 0.50, 108),
+        }
+    }
+}
+
+/// Parameters of the synthetic embedding distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSpec {
+    /// Vector dimensionality `D`.
+    pub dim: usize,
+    /// Number of Gaussian mixture components.
+    pub clusters: usize,
+    /// Geometric per-axis variance decay `r` (axis `i` has std `r^i` before
+    /// rotation). Values near 1 mean a flatter spectrum.
+    pub variance_decay: f64,
+    /// Within-cluster noise scale relative to the global spread.
+    pub cluster_tightness: f64,
+    /// Base seed; combined with the caller's seed for reproducibility.
+    pub profile_seed: u64,
+}
+
+impl DatasetSpec {
+    /// Creates a spec; see field docs for parameter meanings.
+    pub fn new(
+        dim: usize,
+        clusters: usize,
+        variance_decay: f64,
+        cluster_tightness: f64,
+        profile_seed: u64,
+    ) -> Self {
+        assert!(dim > 0 && clusters > 0);
+        assert!((0.0..=1.0).contains(&variance_decay));
+        Self { dim, clusters, variance_decay, cluster_tightness, profile_seed }
+    }
+}
+
+/// Generates `n` database vectors plus `n_queries` held-out query vectors
+/// from the same distribution.
+///
+/// Queries are drawn from the mixture (not copied from the database), so
+/// exact-duplicate shortcuts cannot inflate recall.
+pub fn generate(spec: &DatasetSpec, n: usize, n_queries: usize, seed: u64) -> (VectorSet, VectorSet) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ spec.profile_seed.wrapping_mul(0x9e37));
+    let d = spec.dim;
+
+    // Per-axis standard deviations with geometric decay, floored so no axis
+    // is exactly degenerate.
+    let stds: Vec<f64> = (0..d)
+        .map(|i| spec.variance_decay.powi(i as i32).max(1e-3))
+        .collect();
+
+    // Cluster centers: drawn from the anisotropic Gaussian, scaled up so
+    // between-cluster spread dominates within-cluster noise.
+    let centers: Vec<Vec<f64>> = (0..spec.clusters)
+        .map(|_| stds.iter().map(|s| 2.0 * s * normal(&mut rng)).collect())
+        .collect();
+
+    // A fixed rotation tied to the profile (not the caller seed) so database
+    // and query batches of any size share the same principal directions.
+    // Rotating in blocks of at most 64 dims keeps generation O(D·64) per
+    // vector while still mixing axes within each block enough that PCA has
+    // real work to do.
+    // Block size < D so the geometric decay *across* blocks survives the
+    // rotation (energy within a block is preserved by orthogonality).
+    let block = (d / 2).clamp(1, 64);
+    let rotation = random_orthogonal(block, spec.profile_seed);
+
+    let sample = |rng: &mut SmallRng| -> Vec<f32> {
+        let c = rng.gen_range(0..spec.clusters);
+        let center = &centers[c];
+        let mut v: Vec<f64> = center
+            .iter()
+            .zip(stds.iter())
+            .map(|(&mu, &s)| mu + spec.cluster_tightness * s * normal(rng))
+            .collect();
+        // Rotate each 64-dim block in place.
+        let mut buf = vec![0.0f32; block];
+        for chunk in v.chunks_mut(block) {
+            if chunk.len() < block {
+                break; // leave the ragged tail unrotated
+            }
+            for (b, &x) in buf.iter_mut().zip(chunk.iter()) {
+                *b = x as f32;
+            }
+            let rotated = rotation.matvec(&buf);
+            for (x, r) in chunk.iter_mut().zip(rotated.iter()) {
+                *x = f64::from(*r);
+            }
+        }
+        v.into_iter().map(|x| x as f32).collect()
+    };
+
+    let mut base = VectorSet::with_capacity(d, n);
+    for _ in 0..n {
+        base.push(&sample(&mut rng));
+    }
+    let mut queries = VectorSet::with_capacity(d, n_queries);
+    for _ in 0..n_queries {
+        queries.push(&sample(&mut rng));
+    }
+    (base, queries)
+}
+
+/// Standard normal via Box–Muller.
+fn normal(rng: &mut SmallRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_correct() {
+        let spec = DatasetSpec::new(32, 4, 0.95, 0.4, 1);
+        let (base, queries) = generate(&spec, 100, 10, 7);
+        assert_eq!(base.len(), 100);
+        assert_eq!(base.dim(), 32);
+        assert_eq!(queries.len(), 10);
+        assert_eq!(queries.dim(), 32);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let spec = DatasetProfile::SsnppLike.spec();
+        let (a, _) = generate(&spec, 50, 5, 42);
+        let (b, _) = generate(&spec, 50, 5, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = DatasetProfile::SsnppLike.spec();
+        let (a, _) = generate(&spec, 50, 5, 1);
+        let (b, _) = generate(&spec, 50, 5, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn variance_spectrum_is_skewed() {
+        // The empirical variance of the leading block should dominate the
+        // trailing block — the property Flash's PCA stage exploits.
+        let spec = DatasetSpec::new(64, 8, 0.93, 0.4, 3);
+        let (base, _) = generate(&spec, 800, 1, 11);
+        let d = base.dim();
+        let mut var = vec![0.0f64; d];
+        let mut mean = vec![0.0f64; d];
+        for v in base.iter() {
+            for (m, &x) in mean.iter_mut().zip(v.iter()) {
+                *m += f64::from(x);
+            }
+        }
+        for m in &mut mean {
+            *m /= base.len() as f64;
+        }
+        for v in base.iter() {
+            for i in 0..d {
+                let c = f64::from(v[i]) - mean[i];
+                var[i] += c * c;
+            }
+        }
+        let total: f64 = var.iter().sum();
+        // Not axis-aligned (we rotated), so compare block energies.
+        let head: f64 = var[..d / 2].iter().sum();
+        assert!(
+            head / total > 0.7,
+            "expected skewed spectrum, head fraction = {}",
+            head / total
+        );
+    }
+
+    #[test]
+    fn profiles_have_paper_dimensions() {
+        assert_eq!(DatasetProfile::LaionLike.spec().dim, 768);
+        assert_eq!(DatasetProfile::ArgillaLike.spec().dim, 1024);
+        assert_eq!(DatasetProfile::SsnppLike.spec().dim, 256);
+        assert_eq!(DatasetProfile::ALL.len(), 8);
+    }
+}

@@ -1,0 +1,123 @@
+//! Exact brute-force k-nearest-neighbor ground truth.
+//!
+//! The paper generates ground truth "through a linear scan" (Section 4.1.1);
+//! this module is that linear scan, parallelized over queries with rayon.
+
+use crate::set::VectorSet;
+use rayon::prelude::*;
+use simdops::l2_sq;
+
+/// One exact neighbor: vector id plus squared L2 distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index into the database [`VectorSet`].
+    pub id: u32,
+    /// Squared Euclidean distance to the query.
+    pub dist_sq: f32,
+}
+
+/// Computes the exact top-`k` neighbors of every query by linear scan.
+///
+/// Results per query are sorted by ascending distance (ties broken by id so
+/// output is deterministic).
+///
+/// # Panics
+/// Panics if dimensionalities differ or `k == 0`.
+pub fn ground_truth(base: &VectorSet, queries: &VectorSet, k: usize) -> Vec<Vec<Neighbor>> {
+    assert_eq!(base.dim(), queries.dim(), "dimensionality mismatch");
+    assert!(k > 0, "k must be positive");
+    let k = k.min(base.len());
+
+    (0..queries.len())
+        .into_par_iter()
+        .map(|qi| {
+            let q = queries.get(qi);
+            let mut heap: Vec<Neighbor> = Vec::with_capacity(k + 1);
+            for (id, v) in base.iter().enumerate() {
+                let d = l2_sq(q, v);
+                if heap.len() < k {
+                    heap.push(Neighbor { id: id as u32, dist_sq: d });
+                    if heap.len() == k {
+                        heap.sort_by(cmp_neighbor);
+                    }
+                } else if d < heap[k - 1].dist_sq {
+                    // Insert in sorted position, drop the tail.
+                    let pos = heap
+                        .partition_point(|n| (n.dist_sq, n.id) < (d, id as u32));
+                    heap.insert(pos, Neighbor { id: id as u32, dist_sq: d });
+                    heap.pop();
+                }
+            }
+            heap.sort_by(cmp_neighbor);
+            heap
+        })
+        .collect()
+}
+
+fn cmp_neighbor(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+    (a.dist_sq, a.id)
+        .partial_cmp(&(b.dist_sq, b.id))
+        .expect("NaN distance in ground truth")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d() -> VectorSet {
+        // Points 0, 1, ..., 9 on a line.
+        VectorSet::from_flat(1, (0..10).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn finds_exact_neighbors_on_a_line() {
+        let base = grid_1d();
+        let queries = VectorSet::from_flat(1, vec![3.2]);
+        let gt = ground_truth(&base, &queries, 3);
+        let ids: Vec<u32> = gt[0].iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn distances_are_sorted() {
+        let base = grid_1d();
+        let queries = VectorSet::from_flat(1, vec![7.9, 0.1]);
+        let gt = ground_truth(&base, &queries, 5);
+        for per_query in &gt {
+            for w in per_query.windows(2) {
+                assert!(w[0].dist_sq <= w[1].dist_sq);
+            }
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_dataset_size() {
+        let base = VectorSet::from_flat(1, vec![1.0, 2.0]);
+        let queries = VectorSet::from_flat(1, vec![0.0]);
+        let gt = ground_truth(&base, &queries, 10);
+        assert_eq!(gt[0].len(), 2);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        // Two points equidistant from the query.
+        let base = VectorSet::from_flat(1, vec![-1.0, 1.0]);
+        let queries = VectorSet::from_flat(1, vec![0.0]);
+        let gt = ground_truth(&base, &queries, 2);
+        assert_eq!(gt[0][0].id, 0);
+        assert_eq!(gt[0][1].id, 1);
+    }
+
+    #[test]
+    fn multi_dimensional_case() {
+        let base = VectorSet::from_flat(2, vec![0.0, 0.0, 3.0, 4.0, 1.0, 1.0]);
+        let queries = VectorSet::from_flat(2, vec![0.5, 0.5]);
+        let gt = ground_truth(&base, &queries, 3);
+        // (0,0) and (1,1) are both at squared distance 0.5; tie breaks by id.
+        assert_eq!(gt[0][0].id, 0);
+        assert_eq!(gt[0][1].id, 2);
+        assert_eq!(gt[0][2].id, 1);
+        assert!((gt[0][0].dist_sq - 0.5).abs() < 1e-6);
+        assert!((gt[0][1].dist_sq - 0.5).abs() < 1e-6);
+    }
+}

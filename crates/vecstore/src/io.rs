@@ -1,0 +1,221 @@
+//! `fvecs` / `ivecs` / `bvecs` file formats.
+//!
+//! These are the de-facto interchange formats of the ANNS benchmark
+//! ecosystem (TEXMEX, Big-ANN-Benchmarks): each record is a little-endian
+//! `u32` dimensionality followed by `dim` elements (`f32`, `i32`, or `u8`).
+//! Supporting them means the synthetic workloads in [`crate::gen`] can be
+//! swapped for the paper's real datasets without touching the harness.
+
+use crate::set::VectorSet;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads an `.fvecs` file into a [`VectorSet`].
+///
+/// # Errors
+/// Returns an error on I/O failure, inconsistent dimensionality between
+/// records, or a truncated record.
+pub fn read_fvecs(path: &Path) -> io::Result<VectorSet> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut dim: Option<usize> = None;
+    let mut data: Vec<f32> = Vec::new();
+    loop {
+        let mut head = [0u8; 4];
+        match reader.read_exact(&mut head) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let d = u32::from_le_bytes(head) as usize;
+        if d == 0 {
+            return Err(bad_data("zero-dimensional record"));
+        }
+        match dim {
+            None => dim = Some(d),
+            Some(expect) if expect != d => {
+                return Err(bad_data(format!(
+                    "inconsistent dimensionality: {expect} then {d}"
+                )))
+            }
+            _ => {}
+        }
+        let mut buf = vec![0u8; d * 4];
+        reader.read_exact(&mut buf)?;
+        data.extend(buf.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])));
+    }
+    let dim = dim.ok_or_else(|| bad_data("empty fvecs file"))?;
+    Ok(VectorSet::from_flat(dim, data))
+}
+
+/// Writes a [`VectorSet`] as `.fvecs`.
+///
+/// # Errors
+/// Returns any underlying I/O error.
+pub fn write_fvecs(path: &Path, set: &VectorSet) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let dim_le = (set.dim() as u32).to_le_bytes();
+    for v in set.iter() {
+        w.write_all(&dim_le)?;
+        for &x in v {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads an `.ivecs` file (ground-truth id lists) as rows of `i32`.
+///
+/// # Errors
+/// Returns an error on I/O failure or malformed records.
+pub fn read_ivecs(path: &Path) -> io::Result<Vec<Vec<i32>>> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut rows = Vec::new();
+    loop {
+        let mut head = [0u8; 4];
+        match reader.read_exact(&mut head) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let d = u32::from_le_bytes(head) as usize;
+        let mut buf = vec![0u8; d * 4];
+        reader.read_exact(&mut buf)?;
+        rows.push(
+            buf.chunks_exact(4)
+                .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect(),
+        );
+    }
+    Ok(rows)
+}
+
+/// Writes ground-truth id rows as `.ivecs`.
+///
+/// # Errors
+/// Returns any underlying I/O error.
+pub fn write_ivecs(path: &Path, rows: &[Vec<i32>]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for row in rows {
+        w.write_all(&(row.len() as u32).to_le_bytes())?;
+        for &x in row {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads a `.bvecs` file (byte vectors, e.g. SIFT1B) widening to `f32`.
+///
+/// # Errors
+/// Returns an error on I/O failure or malformed records.
+pub fn read_bvecs(path: &Path) -> io::Result<VectorSet> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut dim: Option<usize> = None;
+    let mut data: Vec<f32> = Vec::new();
+    loop {
+        let mut head = [0u8; 4];
+        match reader.read_exact(&mut head) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let d = u32::from_le_bytes(head) as usize;
+        if d == 0 {
+            return Err(bad_data("zero-dimensional record"));
+        }
+        if let Some(expect) = dim {
+            if expect != d {
+                return Err(bad_data("inconsistent dimensionality"));
+            }
+        } else {
+            dim = Some(d);
+        }
+        let mut buf = vec![0u8; d];
+        reader.read_exact(&mut buf)?;
+        data.extend(buf.iter().map(|&b| f32::from(b)));
+    }
+    let dim = dim.ok_or_else(|| bad_data("empty bvecs file"))?;
+    Ok(VectorSet::from_flat(dim, data))
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hnsw_flash_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn fvecs_roundtrip() {
+        let path = tmp("a.fvecs");
+        let set = VectorSet::from_flat(3, vec![1.0, 2.0, 3.0, -4.0, 5.5, 0.0]);
+        write_fvecs(&path, &set).unwrap();
+        let back = read_fvecs(&path).unwrap();
+        assert_eq!(back, set);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ivecs_roundtrip() {
+        let path = tmp("b.ivecs");
+        let rows = vec![vec![1, 2, 3], vec![9, 8, 7]];
+        write_ivecs(&path, &rows).unwrap();
+        let back = read_ivecs(&path).unwrap();
+        assert_eq!(back, rows);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_fvecs_is_an_error() {
+        let path = tmp("c.fvecs");
+        std::fs::write(&path, b"").unwrap();
+        assert!(read_fvecs(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let path = tmp("d.fvecs");
+        // Claims 4 dims but provides only 2 floats.
+        let mut bytes = 4u32.to_le_bytes().to_vec();
+        bytes.extend(1.0f32.to_le_bytes());
+        bytes.extend(2.0f32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_fvecs(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inconsistent_dim_is_an_error() {
+        let path = tmp("e.fvecs");
+        let mut bytes = Vec::new();
+        bytes.extend(1u32.to_le_bytes());
+        bytes.extend(1.0f32.to_le_bytes());
+        bytes.extend(2u32.to_le_bytes());
+        bytes.extend(1.0f32.to_le_bytes());
+        bytes.extend(2.0f32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_fvecs(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bvecs_widens_to_f32() {
+        let path = tmp("f.bvecs");
+        let mut bytes = Vec::new();
+        bytes.extend(2u32.to_le_bytes());
+        bytes.extend([7u8, 255u8]);
+        std::fs::write(&path, &bytes).unwrap();
+        let set = read_bvecs(&path).unwrap();
+        assert_eq!(set.get(0), &[7.0, 255.0]);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,26 @@
+//! Vector dataset substrate for the `hnsw-flash` workspace.
+//!
+//! The paper evaluates on eight real embedding datasets (Table 1) that we
+//! cannot ship. This crate provides:
+//!
+//! * [`VectorSet`] — contiguous row-major storage for `f32` vectors, the
+//!   common currency of every other crate;
+//! * [`gen`] — seeded synthetic generators whose spectra mimic deep-embedding
+//!   data (clustered Gaussians with geometrically decaying per-axis
+//!   variance), with one named profile per paper dataset;
+//! * [`io`] — `fvecs`/`ivecs`/`bvecs` readers and writers so the real
+//!   datasets can be dropped in where available;
+//! * [`groundtruth`] — exact brute-force k-NN for recall evaluation;
+//! * [`segments`] — dataset sharding used by the paper's Figure 11
+//!   (multi-segment) scalability experiment.
+
+pub mod gen;
+pub mod groundtruth;
+pub mod io;
+pub mod segments;
+pub mod set;
+
+pub use gen::{generate, DatasetProfile, DatasetSpec};
+pub use groundtruth::{ground_truth, Neighbor};
+pub use segments::split_into_segments;
+pub use set::VectorSet;

@@ -1,0 +1,88 @@
+//! Dataset sharding for the multi-segment scalability experiment.
+//!
+//! Modern vector databases shard large collections into segments of tens of
+//! millions of vectors and build one graph index per segment (paper
+//! Section 2.1.4 and Figure 11). This module provides the deterministic
+//! splitting used by that experiment.
+
+use crate::set::VectorSet;
+
+/// Splits a dataset into `segments` contiguous shards of near-equal size.
+///
+/// The first `len % segments` shards receive one extra vector, matching how
+/// LSM-style systems cap segment sizes. Order is preserved.
+///
+/// # Panics
+/// Panics if `segments == 0` or `segments > set.len()`.
+pub fn split_into_segments(set: &VectorSet, segments: usize) -> Vec<VectorSet> {
+    assert!(segments > 0, "need at least one segment");
+    assert!(
+        segments <= set.len(),
+        "cannot split {} vectors into {segments} segments",
+        set.len()
+    );
+    let n = set.len();
+    let base = n / segments;
+    let extra = n % segments;
+    let mut out = Vec::with_capacity(segments);
+    let mut start = 0;
+    for i in 0..segments {
+        let size = base + usize::from(i < extra);
+        out.push(set.slice(start, start + size));
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> VectorSet {
+        VectorSet::from_flat(1, (0..n).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn even_split() {
+        let set = line(10);
+        let segs = split_into_segments(&set, 5);
+        assert_eq!(segs.len(), 5);
+        assert!(segs.iter().all(|s| s.len() == 2));
+        assert_eq!(segs[0].get(0)[0], 0.0);
+        assert_eq!(segs[4].get(1)[0], 9.0);
+    }
+
+    #[test]
+    fn uneven_split_front_loads_extras() {
+        let set = line(11);
+        let segs = split_into_segments(&set, 3);
+        let sizes: Vec<usize> = segs.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 3]);
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, 11);
+    }
+
+    #[test]
+    fn single_segment_is_whole_set() {
+        let set = line(7);
+        let segs = split_into_segments(&set, 1);
+        assert_eq!(segs[0], set);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_segments_panics() {
+        let _ = split_into_segments(&line(5), 0);
+    }
+
+    #[test]
+    fn segments_preserve_order_and_cover_everything() {
+        let set = line(23);
+        let segs = split_into_segments(&set, 7);
+        let mut rebuilt = VectorSet::new(1);
+        for s in &segs {
+            rebuilt.extend_from(s);
+        }
+        assert_eq!(rebuilt, set);
+    }
+}

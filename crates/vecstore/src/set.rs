@@ -1,0 +1,225 @@
+//! Contiguous row-major vector storage.
+
+/// A set of `f32` vectors of equal dimensionality stored in one contiguous
+/// buffer — the memory layout the paper's baseline HNSW uses for vector data
+/// (vertex `i`'s vector lives at offset `i * dim`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorSet {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl VectorSet {
+    /// Creates an empty set of the given dimensionality.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        Self { dim, data: Vec::new() }
+    }
+
+    /// Creates an empty set with capacity for `n` vectors.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        Self { dim, data: Vec::with_capacity(dim * n) }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not a multiple of `dim`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(data.len().is_multiple_of(dim), "buffer not a multiple of dim={dim}");
+        Self { dim, data }
+    }
+
+    /// Vector dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vectors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the set holds no vectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow vector `i`.
+    ///
+    /// # Panics
+    /// Panics (via slice indexing) if `i` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mutably borrow vector `i`.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Appends one vector.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.dim()`.
+    pub fn push(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "vector dimensionality mismatch");
+        self.data.extend_from_slice(v);
+    }
+
+    /// Appends all vectors from another set of the same dimensionality.
+    pub fn extend_from(&mut self, other: &VectorSet) {
+        assert_eq!(other.dim, self.dim, "dimensionality mismatch");
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Iterator over vector slices.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[f32]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// The raw row-major buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Extracts a sub-range `[start, end)` of vectors as a new set.
+    pub fn slice(&self, start: usize, end: usize) -> VectorSet {
+        assert!(start <= end && end <= self.len(), "range out of bounds");
+        VectorSet {
+            dim: self.dim,
+            data: self.data[start * self.dim..end * self.dim].to_vec(),
+        }
+    }
+
+    /// Takes a deterministic sample of `k` vectors (stride sampling), used
+    /// for codebook training. Returns all vectors if `k >= len`.
+    pub fn stride_sample(&self, k: usize) -> VectorSet {
+        let n = self.len();
+        if k >= n || k == 0 {
+            return self.clone();
+        }
+        let mut out = VectorSet::with_capacity(self.dim, k);
+        // Walk with a fixed stride so the sample spans the whole set.
+        let stride = n as f64 / k as f64;
+        for i in 0..k {
+            out.push(self.get((i as f64 * stride) as usize));
+        }
+        out
+    }
+
+    /// L2-normalizes every vector in place (zero vectors are left
+    /// untouched). After normalization, squared L2 distance is a monotone
+    /// transform of cosine distance (`‖a − b‖² = 2 − 2·cos(a, b)`), so
+    /// *every* provider — Flash included — serves cosine/IP workloads by
+    /// normalizing the base and the queries.
+    pub fn normalize(&mut self) {
+        if self.dim() == 0 {
+            return;
+        }
+        for i in 0..self.len() {
+            let v = self.get_mut(i);
+            let norm = v.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                let inv = (1.0 / norm) as f32;
+                for x in v.iter_mut() {
+                    *x *= inv;
+                }
+            }
+        }
+    }
+
+    /// Returns an L2-normalized copy (see [`Self::normalize`]).
+    pub fn normalized(&self) -> VectorSet {
+        let mut out = self.clone();
+        out.normalize();
+        out
+    }
+
+    /// Total bytes of vector payload (excluding the container overhead) —
+    /// used for index-size accounting (paper Figure 7).
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut s = VectorSet::new(3);
+        s.push(&[1.0, 2.0, 3.0]);
+        s.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.get(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn push_wrong_dim_panics() {
+        let mut s = VectorSet::new(3);
+        s.push(&[1.0]);
+    }
+
+    #[test]
+    fn from_flat_validates_length() {
+        let s = VectorSet::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_flat_rejects_ragged() {
+        let _ = VectorSet::from_flat(3, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn iter_yields_rows() {
+        let s = VectorSet::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let rows: Vec<&[f32]> = s.iter().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+
+    #[test]
+    fn slice_extracts_range() {
+        let s = VectorSet::from_flat(1, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        let mid = s.slice(1, 4);
+        assert_eq!(mid.as_flat(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn stride_sample_spans_set() {
+        let s = VectorSet::from_flat(1, (0..100).map(|i| i as f32).collect());
+        let sample = s.stride_sample(10);
+        assert_eq!(sample.len(), 10);
+        assert_eq!(sample.get(0)[0], 0.0);
+        assert!(sample.get(9)[0] >= 90.0);
+    }
+
+    #[test]
+    fn stride_sample_degenerate_cases() {
+        let s = VectorSet::from_flat(1, vec![1.0, 2.0]);
+        assert_eq!(s.stride_sample(10).len(), 2);
+        assert_eq!(s.stride_sample(0).len(), 2);
+    }
+
+    #[test]
+    fn payload_bytes_counts_f32() {
+        let s = VectorSet::from_flat(4, vec![0.0; 40]);
+        assert_eq!(s.payload_bytes(), 160);
+    }
+}

@@ -1,0 +1,73 @@
+//! Attribute-constrained (hybrid) search: vectors carry a categorical
+//! label and queries must return only matching vectors.
+//!
+//! ```text
+//! cargo run --release --example filtered_search
+//! ```
+//!
+//! Demonstrates both deployment shapes the paper's introduction alludes to:
+//! one shared graph with a query-time predicate, and specialized per-label
+//! sub-indexes whose construction cost Flash compresses.
+
+use hnsw_flash::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    let n = 12_000;
+    let labels_count = 8u32;
+    let k = 5;
+
+    println!("generating {n} vectors (LAION-like, 768-d) with {labels_count} labels...");
+    let (base, queries) = generate(&DatasetProfile::LaionLike.spec(), n, 20, 9);
+    let mut rng = SmallRng::seed_from_u64(0xAB);
+    let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..labels_count)).collect();
+
+    // --- shape 1: one shared graph + query-time filter -----------------
+    let t0 = Instant::now();
+    let shared = Hnsw::build(
+        FullPrecision::new(base.clone()),
+        HnswParams { c: 128, r: 16, seed: 1 },
+    );
+    println!("shared graph built in {:.2?}", t0.elapsed());
+
+    let want = 3u32;
+    let labels_ref = &labels;
+    let accept = move |id: u32| labels_ref[id as usize] == want;
+    let hits = shared.search_filtered(queries.get(0), k, 128, &accept);
+    println!("\nfiltered search (label = {want}) on the shared graph:");
+    for h in &hits {
+        assert_eq!(labels[h.id as usize], want);
+        println!("  id {:>6}  label {}  dist {:.4}", h.id, labels[h.id as usize], h.dist);
+    }
+
+    // --- shape 2: specialized per-label indexes, Flash-accelerated -----
+    let lp = LabeledParams { hnsw: HnswParams { c: 96, r: 12, seed: 2 }, min_graph_size: 64 };
+
+    let t0 = Instant::now();
+    let specialized_full = LabeledHnsw::build(&base, &labels, lp, FullPrecision::new);
+    let t_full = t0.elapsed();
+
+    // Train the Flash codec once on the whole corpus; every partition
+    // shares it and only pays encoding.
+    let t0 = Instant::now();
+    let mut fp = FlashParams::auto(base.dim());
+    fp.train_sample = (base.len() / 2).clamp(64, 10_000);
+    let codec = FlashCodec::train(&base, fp);
+    let specialized_flash =
+        LabeledHnsw::build(&base, &labels, lp, |subset| FlashProvider::from_codec(subset, codec.clone()));
+    let t_flash = t0.elapsed();
+
+    println!("\nspecialized per-label builds ({} partitions):", specialized_full.partitions());
+    println!("  full-precision: {t_full:.2?}");
+    println!("  Flash:          {t_flash:.2?}  ({:.1}x faster)",
+        t_full.as_secs_f64() / t_flash.as_secs_f64().max(1e-9));
+
+    let hits = specialized_flash.search(queries.get(0), want, k, 96);
+    println!("\nsame query on the specialized Flash index:");
+    for h in &hits {
+        assert_eq!(labels[h.id as usize], want);
+        println!("  id {:>6}  label {}  dist {:.4}", h.id, labels[h.id as usize], h.dist);
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: build an HNSW-Flash index and search it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a synthetic embedding dataset, builds the index two ways
+//! (baseline full-precision HNSW and HNSW-Flash), and compares build time
+//! and top-10 recall on held-out queries.
+
+use hnsw_flash::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n = 20_000;
+    let n_queries = 200;
+    let k = 10;
+
+    println!("generating {n} vectors (SSNPP-like, 256-d) + {n_queries} queries...");
+    let (base, queries) = generate(&DatasetProfile::SsnppLike.spec(), n, n_queries, 42);
+    let gt = ground_truth(&base, &queries, k);
+
+    let params = HnswParams { c: 128, r: 16, seed: 7 };
+
+    // --- baseline: full-precision HNSW --------------------------------
+    let t0 = Instant::now();
+    let baseline = Hnsw::build(FullPrecision::new(base.clone()), params);
+    let t_full = t0.elapsed();
+
+    // --- HNSW-Flash ----------------------------------------------------
+    let t0 = Instant::now();
+    let flash_index = FlashHnsw::build_flash(base, FlashParams::auto(256), params);
+    let t_flash = t0.elapsed();
+
+    // --- evaluate ------------------------------------------------------
+    let recall_of = |found: &[Vec<u32>]| recall_at_k(found, &gt, k).recall();
+
+    let found_full: Vec<Vec<u32>> = (0..n_queries)
+        .map(|qi| {
+            baseline
+                .search(queries.get(qi), k, 128)
+                .iter()
+                .map(|r| r.id)
+                .collect()
+        })
+        .collect();
+    let found_flash: Vec<Vec<u32>> = (0..n_queries)
+        .map(|qi| {
+            flash_index
+                .search_rerank(queries.get(qi), k, 128, 8)
+                .iter()
+                .map(|r| r.id)
+                .collect()
+        })
+        .collect();
+
+    println!();
+    println!("| method      | build time | recall@{k} | index bytes |");
+    println!("|-------------|-----------:|----------:|------------:|");
+    println!(
+        "| HNSW        | {:>9.2?} | {:>9.4} | {:>11} |",
+        t_full,
+        recall_of(&found_full),
+        baseline.index_bytes()
+    );
+    println!(
+        "| HNSW-Flash  | {:>9.2?} | {:>9.4} | {:>11} |",
+        t_flash,
+        recall_of(&found_flash),
+        flash_index.index_bytes()
+    );
+    println!(
+        "\nspeedup: {:.1}x",
+        t_full.as_secs_f64() / t_flash.as_secs_f64()
+    );
+}

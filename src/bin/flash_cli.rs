@@ -1,0 +1,457 @@
+//! `flash_cli` — command-line front end for the library: generate
+//! datasets, build indexes, persist topologies, and serve/evaluate
+//! queries, all over the standard `fvecs`/`ivecs` formats.
+//!
+//! ```text
+//! # 1. synthesize a corpus (or bring your own fvecs files)
+//! flash_cli generate --profile laion-like --n 20000 --nq 200 --k 10 \
+//!     --base base.fvecs --queries q.fvecs --gt gt.ivecs
+//!
+//! # 2. build an index and persist the topology
+//! flash_cli build --base base.fvecs --method flash --c 128 --r 16 \
+//!     --graph index.hfg
+//!
+//! # 3. serve queries from the persisted topology and score them
+//! flash_cli search --base base.fvecs --graph index.hfg --method flash \
+//!     --queries q.fvecs --k 10 --ef 128 --gt gt.ivecs --out results.ivecs
+//! ```
+//!
+//! The topology file stores only adjacency (see `graphs::persist`);
+//! providers are rebuilt deterministically from the base vectors and the
+//! seed, so codes never need separate storage.
+
+use hnsw_flash::prelude::*;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+use vecstore::io::{read_fvecs, read_ivecs, write_fvecs, write_ivecs};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "build" => cmd_build(&opts),
+        "search" => cmd_search(&opts),
+        "info" => cmd_info(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+flash_cli — build and serve Flash-accelerated graph ANN indexes
+
+USAGE:
+  flash_cli generate --profile <name> --n <N> --base <out.fvecs>
+                     [--nq <N> --queries <out.fvecs>] [--k <K> --gt <out.ivecs>]
+                     [--seed <u64>]
+  flash_cli build    --base <in.fvecs> --graph <out.hfg>
+                     [--method flash|hnsw|pq|sq|pca] [--c <C>] [--r <R>]
+                     [--df <d_F>] [--mf <M_F>] [--seed <u64>]
+  flash_cli search   --base <in.fvecs> --graph <in.hfg> --queries <in.fvecs>
+                     [--method ...same as build...] [--k <K>] [--ef <EF>]
+                     [--gt <in.ivecs>] [--out <out.ivecs>]
+  flash_cli info     --graph <in.hfg>
+
+PROFILES: argilla-like anton-like laion-like imagenet-like cohere-like
+          datacomp-like bigcode-like ssnpp-like";
+
+/// Parsed `--key value` options.
+struct Opts {
+    map: HashMap<String, String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --option, got `{key}`"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} requires a value"))?;
+            if map.insert(name.to_string(), value.clone()).is_some() {
+                return Err(format!("--{name} given twice"));
+            }
+        }
+        Ok(Self { map })
+    }
+
+    fn str(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.str(key).ok_or_else(|| format!("--{key} is required"))
+    }
+
+    fn path(&self, key: &str) -> Result<PathBuf, String> {
+        Ok(PathBuf::from(self.required(key)?))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.str(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`")),
+        }
+    }
+}
+
+fn profile_by_name(name: &str) -> Result<DatasetProfile, String> {
+    Ok(match name {
+        "argilla-like" => DatasetProfile::ArgillaLike,
+        "anton-like" => DatasetProfile::AntonLike,
+        "laion-like" => DatasetProfile::LaionLike,
+        "imagenet-like" => DatasetProfile::ImagenetLike,
+        "cohere-like" => DatasetProfile::CohereLike,
+        "datacomp-like" => DatasetProfile::DatacompLike,
+        "bigcode-like" => DatasetProfile::BigcodeLike,
+        "ssnpp-like" => DatasetProfile::SsnppLike,
+        other => return Err(format!("unknown profile `{other}` (see PROFILES in --help)")),
+    })
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let profile = profile_by_name(opts.required("profile")?)?;
+    let n: usize = opts.num("n", 10_000)?;
+    let nq: usize = opts.num("nq", 100)?;
+    let seed: u64 = opts.num("seed", 42u64)?;
+    let base_path = opts.path("base")?;
+
+    eprintln!("generating {n} vectors ({})...", profile.name());
+    let (base, queries) = generate(&profile.spec(), n, nq, seed);
+    write_fvecs(&base_path, &base).map_err(io_err("write base"))?;
+    eprintln!("wrote {} vectors x {} dims to {}", base.len(), base.dim(), base_path.display());
+
+    if let Some(qp) = opts.str("queries") {
+        write_fvecs(Path::new(qp), &queries).map_err(io_err("write queries"))?;
+        eprintln!("wrote {} queries to {qp}", queries.len());
+        if let Some(gtp) = opts.str("gt") {
+            let k: usize = opts.num("k", 10)?;
+            eprintln!("computing exact top-{k} ground truth...");
+            let gt = ground_truth(&base, &queries, k);
+            let rows: Vec<Vec<i32>> = gt
+                .iter()
+                .map(|nbrs| nbrs.iter().map(|n| n.id as i32).collect())
+                .collect();
+            write_ivecs(Path::new(gtp), &rows).map_err(io_err("write gt"))?;
+            eprintln!("wrote ground truth to {gtp}");
+        }
+    }
+    Ok(())
+}
+
+/// Everything needed to rebuild a provider deterministically at serve time.
+struct BuildSpec {
+    method: String,
+    c: usize,
+    r: usize,
+    d_f: usize,
+    m_f: usize,
+    seed: u64,
+}
+
+impl BuildSpec {
+    fn from_opts(opts: &Opts, dim: usize) -> Result<Self, String> {
+        let auto = FlashParams::auto(dim);
+        Ok(Self {
+            method: opts.str("method").unwrap_or("flash").to_string(),
+            c: opts.num("c", 128)?,
+            r: opts.num("r", 16)?,
+            d_f: opts.num("df", auto.d_f)?,
+            m_f: opts.num("mf", auto.m_f)?,
+            seed: opts.num("seed", 0x5EEDu64)?,
+        })
+    }
+
+    fn hnsw(&self) -> HnswParams {
+        HnswParams { c: self.c, r: self.r, seed: self.seed }
+    }
+
+    fn flash(&self, dim: usize, n: usize) -> FlashParams {
+        let mut fp = FlashParams::auto(dim);
+        fp.d_f = self.d_f;
+        fp.m_f = self.m_f;
+        fp.seed = self.seed;
+        fp.train_sample = (n / 2).clamp(256, 10_000);
+        fp
+    }
+}
+
+/// A built (or rebuilt-for-serving) index of any CLI method.
+enum CliIndex {
+    Flash(FlashHnsw),
+    Full(Hnsw<FullPrecision>),
+    Pq(Hnsw<PqProvider>),
+    Sq(Hnsw<SqProvider>),
+    Pca(Hnsw<PcaProvider>),
+}
+
+impl CliIndex {
+    fn build(base: VectorSet, spec: &BuildSpec) -> Result<Self, String> {
+        let dim = base.dim();
+        let n = base.len();
+        let train = (n / 2).clamp(256, 10_000);
+        Ok(match spec.method.as_str() {
+            "flash" => CliIndex::Flash(FlashHnsw::build_flash(
+                base,
+                spec.flash(dim, n),
+                spec.hnsw(),
+            )),
+            "hnsw" => CliIndex::Full(Hnsw::build(FullPrecision::new(base), spec.hnsw())),
+            "pq" => {
+                let m = (dim / 48).clamp(4, 64);
+                CliIndex::Pq(Hnsw::build(
+                    PqProvider::new(base, m, 8, train, spec.seed),
+                    spec.hnsw(),
+                ))
+            }
+            "sq" => CliIndex::Sq(Hnsw::build(SqProvider::new(base, 8), spec.hnsw())),
+            "pca" => CliIndex::Pca(Hnsw::build(
+                PcaProvider::with_variance(base, 0.9, train),
+                spec.hnsw(),
+            )),
+            other => return Err(format!("unknown method `{other}`")),
+        })
+    }
+
+    fn freeze(&self) -> graphs::GraphLayers {
+        match self {
+            CliIndex::Flash(i) => i.freeze(),
+            CliIndex::Full(i) => i.freeze(),
+            CliIndex::Pq(i) => i.freeze(),
+            CliIndex::Sq(i) => i.freeze(),
+            CliIndex::Pca(i) => i.freeze(),
+        }
+    }
+
+    fn index_bytes(&self) -> usize {
+        match self {
+            CliIndex::Flash(i) => i.index_bytes(),
+            CliIndex::Full(i) => i.index_bytes(),
+            CliIndex::Pq(i) => i.index_bytes(),
+            CliIndex::Sq(i) => i.index_bytes(),
+            CliIndex::Pca(i) => i.index_bytes(),
+        }
+    }
+
+    /// Searches the *loaded* topology through the rebuilt provider.
+    fn search_layers(
+        &self,
+        graph: &graphs::GraphLayers,
+        q: &[f32],
+        k: usize,
+        ef: usize,
+    ) -> Vec<u32> {
+        use graphs::{search_layers, search_layers_rerank};
+        let hits = match self {
+            CliIndex::Full(i) => search_layers(i.provider(), graph, q, k, ef),
+            CliIndex::Flash(i) => search_layers_rerank(i.provider(), graph, q, k, ef, 8),
+            CliIndex::Pq(i) => search_layers_rerank(i.provider(), graph, q, k, ef, 8),
+            CliIndex::Sq(i) => search_layers_rerank(i.provider(), graph, q, k, ef, 4),
+            CliIndex::Pca(i) => search_layers_rerank(i.provider(), graph, q, k, ef, 4),
+        };
+        hits.into_iter().map(|r| r.id).collect()
+    }
+}
+
+fn cmd_build(opts: &Opts) -> Result<(), String> {
+    let base = read_fvecs(&opts.path("base")?).map_err(io_err("read base"))?;
+    if base.is_empty() {
+        return Err("base dataset is empty".into());
+    }
+    let spec = BuildSpec::from_opts(opts, base.dim())?;
+    let graph_path = opts.path("graph")?;
+
+    eprintln!(
+        "building method={} over {} vectors (C={}, R={})...",
+        spec.method,
+        base.len(),
+        spec.c,
+        spec.r
+    );
+    let t0 = Instant::now();
+    let index = CliIndex::build(base, &spec)?;
+    let took = t0.elapsed();
+    let frozen = index.freeze();
+    frozen.save(&graph_path).map_err(io_err("write graph"))?;
+    eprintln!(
+        "built in {took:.2?}: {} base edges, {:.1} MB in memory, topology -> {}",
+        frozen.base_edges(),
+        index.index_bytes() as f64 / 1e6,
+        graph_path.display()
+    );
+    Ok(())
+}
+
+fn cmd_search(opts: &Opts) -> Result<(), String> {
+    let base = read_fvecs(&opts.path("base")?).map_err(io_err("read base"))?;
+    let queries = read_fvecs(&opts.path("queries")?).map_err(io_err("read queries"))?;
+    if base.is_empty() || queries.is_empty() {
+        return Err("base/query dataset is empty".into());
+    }
+    if base.dim() != queries.dim() {
+        return Err(format!(
+            "dimension mismatch: base {} vs queries {}",
+            base.dim(),
+            queries.dim()
+        ));
+    }
+    let spec = BuildSpec::from_opts(opts, base.dim())?;
+    let k: usize = opts.num("k", 10)?;
+    let ef: usize = opts.num("ef", 128)?;
+    let graph = graphs::GraphLayers::load(&opts.path("graph")?).map_err(io_err("read graph"))?;
+    if graph.len() != base.len() {
+        return Err(format!(
+            "graph covers {} nodes but base has {} vectors",
+            graph.len(),
+            base.len()
+        ));
+    }
+
+    eprintln!("re-deriving {} provider over {} vectors...", spec.method, base.len());
+    // Rebuilding the index also re-derives the provider; we discard the
+    // fresh topology and serve the loaded one.
+    let index = CliIndex::build(base, &spec)?;
+
+    eprintln!("searching {} queries (k={k}, ef={ef})...", queries.len());
+    let mut found: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
+    let qps = measure_qps(queries.len(), |qi| {
+        found.push(index.search_layers(&graph, queries.get(qi), k, ef));
+    });
+    println!("QPS: {:.0}  mean latency: {:.3} ms", qps.qps(), qps.mean_latency_ms());
+
+    if let Some(gtp) = opts.str("gt") {
+        let rows = read_ivecs(Path::new(gtp)).map_err(io_err("read gt"))?;
+        if rows.len() != queries.len() {
+            return Err(format!(
+                "ground truth has {} rows for {} queries",
+                rows.len(),
+                queries.len()
+            ));
+        }
+        let truth: Vec<Vec<vecstore::Neighbor>> = rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&id| vecstore::Neighbor { id: id as u32, dist_sq: 0.0 })
+                    .collect()
+            })
+            .collect();
+        let recall = recall_at_k(&found, &truth, k).recall();
+        println!("recall@{k}: {recall:.4}");
+    }
+
+    if let Some(outp) = opts.str("out") {
+        let rows: Vec<Vec<i32>> = found
+            .iter()
+            .map(|ids| ids.iter().map(|&id| id as i32).collect())
+            .collect();
+        write_ivecs(Path::new(outp), &rows).map_err(io_err("write results"))?;
+        eprintln!("wrote result ids to {outp}");
+    }
+    Ok(())
+}
+
+fn cmd_info(opts: &Opts) -> Result<(), String> {
+    let path = opts.path("graph")?;
+    let graph = graphs::GraphLayers::load(&path).map_err(io_err("read graph"))?;
+    println!("topology: {}", path.display());
+    println!("  nodes:       {}", graph.len());
+    println!("  layers:      {}", graph.max_layer + 1);
+    println!("  entry point: {}", graph.entry);
+    println!("  base edges:  {}", graph.base_edges());
+    println!(
+        "  mean degree: {:.2}",
+        graph.base_edges() as f64 / graph.len().max(1) as f64
+    );
+    println!("  adjacency:   {:.1} MB", graph.adjacency_bytes() as f64 / 1e6);
+    Ok(())
+}
+
+fn io_err(what: &'static str) -> impl Fn(std::io::Error) -> String {
+    move |e| format!("{what}: {e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(pairs: &[(&str, &str)]) -> Opts {
+        let args: Vec<String> = pairs
+            .iter()
+            .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+            .collect();
+        Opts::parse(&args).unwrap()
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let o = opts(&[("n", "500"), ("base", "x.fvecs")]);
+        assert_eq!(o.num("n", 0usize).unwrap(), 500);
+        assert_eq!(o.required("base").unwrap(), "x.fvecs");
+        assert!(o.str("missing").is_none());
+        assert_eq!(o.num("missing", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed_args() {
+        assert!(Opts::parse(&["n".into()]).is_err(), "missing --");
+        assert!(Opts::parse(&["--n".into()]).is_err(), "missing value");
+        assert!(
+            Opts::parse(&["--n".into(), "1".into(), "--n".into(), "2".into()]).is_err(),
+            "duplicate option"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_numbers_and_profiles() {
+        let o = opts(&[("n", "abc")]);
+        assert!(o.num("n", 0usize).is_err());
+        assert!(profile_by_name("nope").is_err());
+        assert!(profile_by_name("laion-like").is_ok());
+    }
+
+    #[test]
+    fn build_spec_defaults_follow_auto() {
+        let o = opts(&[]);
+        let spec = BuildSpec::from_opts(&o, 256).unwrap();
+        assert_eq!(spec.method, "flash");
+        let auto = FlashParams::auto(256);
+        assert_eq!(spec.d_f, auto.d_f);
+        assert_eq!(spec.m_f, auto.m_f);
+    }
+
+    #[test]
+    fn unknown_method_is_an_error() {
+        let mut s = VectorSet::new(4);
+        s.push(&[0.0; 4]);
+        let o = opts(&[("method", "bogus")]);
+        let spec = BuildSpec::from_opts(&o, 4).unwrap();
+        assert!(CliIndex::build(s, &spec).is_err());
+    }
+}

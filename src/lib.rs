@@ -1,0 +1,74 @@
+//! # hnsw-flash
+//!
+//! A Rust reproduction of **"Accelerating Graph Indexing for ANNS on Modern
+//! CPUs"** (SIGMOD 2025): the **Flash** compact coding strategy and
+//! access-aware memory layout that speed up HNSW/NSG/τ-MG construction by
+//! an order of magnitude, plus every baseline and substrate the paper's
+//! evaluation depends on.
+//!
+//! This crate is a facade re-exporting the workspace's public API:
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`flash`] | the paper's contribution: `FlashCodec`, `FlashProvider`, `FlashHnsw` |
+//! | [`graphs`] | generic HNSW, NSG, τ-MG, Vamana, HCNNG; filtered search; ADSampling & VBase search variants |
+//! | [`quantizers`] | PQ / SQ / PCA baselines, OPQ, + the Theorem-1 reliability estimator |
+//! | [`maintenance`] | LSM lifecycle: memtable, Flash segments, tombstones, rebuild |
+//! | [`vecstore`] | datasets, generators, `fvecs` I/O, ground truth |
+//! | [`simdops`] | runtime-dispatched SIMD kernels (SSE/AVX2/AVX-512) |
+//! | [`metrics`] | recall, ADR, QPS, phase timers |
+//! | [`cachesim`] | the software cache model used for the memory ablations |
+//! | [`linalg`] | dense matrices, covariance, Jacobi eigendecomposition |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hnsw_flash::prelude::*;
+//!
+//! // Synthetic stand-in for an embedding dataset (see `vecstore::gen`).
+//! let (base, queries) = generate(&DatasetProfile::SsnppLike.spec(), 1_000, 10, 7);
+//!
+//! // Build HNSW through Flash codes: PCA → 4-bit subspace codewords →
+//! // register-resident distance tables.
+//! let index = FlashHnsw::build_flash(
+//!     base,
+//!     FlashParams::auto(256),
+//!     HnswParams { c: 96, r: 12, seed: 1 },
+//! );
+//!
+//! // Search with exact reranking on the original vectors.
+//! let hits = index.search_rerank(queries.get(0), 5, 64, 8);
+//! assert_eq!(hits.len(), 5);
+//! ```
+
+pub use cachesim;
+pub use flash;
+pub use graphs;
+pub use linalg;
+pub use maintenance;
+pub use metrics;
+pub use quantizers;
+pub use simdops;
+pub use vecstore;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use flash::{
+        build_flash_hcnng, build_flash_nsg, build_flash_taumg, build_flash_vamana,
+        tune_flash_params, BuildFlash, FlashCodec, FlashHcnng, FlashHnsw, FlashNsg, FlashParams,
+        FlashProvider, FlashTauMg, FlashVamana, TuneOptions, TuneOutcome,
+    };
+    pub use graphs::providers::{FullPrecision, OpqProvider, PcaProvider, PqProvider, SqProvider};
+    pub use graphs::{
+        DistanceProvider, Hcnng, HcnngParams, Hnsw, HnswParams, LabeledHnsw, LabeledParams, Nsg,
+        NsgParams, SearchResult, TauMg, TauMgParams, Vamana, VamanaParams,
+    };
+    pub use maintenance::{CycleWorkload, LsmConfig, LsmVectorIndex};
+    pub use metrics::{average_distance_ratio, measure_qps, recall_at_k, PhaseTimer};
+    pub use quantizers::{
+        comparison_reliability, OptimizedProductQuantizer, PcaCodec, ProductQuantizer,
+        ScalarQuantizer,
+    };
+    pub use simdops::{set_level_override, SimdLevel};
+    pub use vecstore::{generate, ground_truth, DatasetProfile, DatasetSpec, VectorSet};
+}

@@ -1,0 +1,191 @@
+//! Failure injection: persistence and dataset I/O must reject corrupt,
+//! truncated, or mismatched inputs with errors — never panic, never return
+//! silently wrong data. These are the failure modes an overnight-rebuild
+//! pipeline actually hits (partial writes from a crashed rebuild, version
+//! skew between the writer and the reader).
+
+use graphs::providers::FullPrecision;
+use graphs::{FlatGraph, GraphLayers, Hnsw, HnswParams};
+use std::fs;
+use std::path::PathBuf;
+use vecstore::io::{read_fvecs, read_ivecs, write_fvecs, write_ivecs};
+use vecstore::VectorSet;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hnsw_flash_failure_tests");
+    fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn grid(side: usize) -> VectorSet {
+    let mut s = VectorSet::new(2);
+    for i in 0..side {
+        for j in 0..side {
+            s.push(&[i as f32, j as f32]);
+        }
+    }
+    s
+}
+
+fn sample_layers() -> GraphLayers {
+    let index = Hnsw::build(FullPrecision::new(grid(8)), HnswParams { c: 32, r: 8, seed: 1 });
+    index.freeze()
+}
+
+#[test]
+fn graph_roundtrip_is_exact() {
+    let g = sample_layers();
+    let path = tmp("roundtrip.bin");
+    g.save(&path).unwrap();
+    let loaded = GraphLayers::load(&path).unwrap();
+    assert_eq!(loaded.entry, g.entry);
+    assert_eq!(loaded.max_layer, g.max_layer);
+    assert_eq!(loaded.layers, g.layers);
+}
+
+#[test]
+fn truncated_graph_file_is_rejected_at_every_length() {
+    let g = sample_layers();
+    let path = tmp("truncate_src.bin");
+    g.save(&path).unwrap();
+    let bytes = fs::read(&path).unwrap();
+    // Cut the file at a spread of prefix lengths; every one must error.
+    for frac in [0usize, 1, 4, 9, 16, 64] {
+        let cut = (bytes.len() * frac / 100).min(bytes.len().saturating_sub(1));
+        let path = tmp("truncated.bin");
+        fs::write(&path, &bytes[..cut]).unwrap();
+        assert!(
+            GraphLayers::load(&path).is_err(),
+            "truncation to {cut}/{} bytes must fail",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let g = sample_layers();
+    let path = tmp("magic.bin");
+    g.save(&path).unwrap();
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[0] ^= 0xFF;
+    fs::write(&path, &bytes).unwrap();
+    let err = GraphLayers::load(&path).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn flat_and_layered_formats_are_not_interchangeable() {
+    let g = sample_layers();
+    let path = tmp("kind_confusion.bin");
+    g.save(&path).unwrap();
+    assert!(
+        FlatGraph::load(&path).is_err(),
+        "a multi-layer file must not load as a flat graph"
+    );
+
+    let flat = FlatGraph { adj: vec![vec![1], vec![0]], entry: 0 };
+    let path2 = tmp("kind_confusion2.bin");
+    flat.save(&path2).unwrap();
+    assert!(
+        GraphLayers::load(&path2).is_err(),
+        "a flat file must not load as a multi-layer graph"
+    );
+}
+
+#[test]
+fn corrupt_edge_target_is_rejected_not_crashing() {
+    let flat = FlatGraph { adj: vec![vec![1], vec![0]], entry: 0 };
+    let path = tmp("bad_edge.bin");
+    flat.save(&path).unwrap();
+    let mut bytes = fs::read(&path).unwrap();
+    // The last u32 is an edge target; point it far out of range.
+    let n = bytes.len();
+    bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+    fs::write(&path, &bytes).unwrap();
+    let err = FlatGraph::load(&path).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let err = GraphLayers::load(&tmp("does_not_exist.bin")).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+}
+
+#[test]
+fn fvecs_roundtrip_then_truncation_fails() {
+    let set = grid(6);
+    let path = tmp("vectors.fvecs");
+    write_fvecs(&path, &set).unwrap();
+    let loaded = read_fvecs(&path).unwrap();
+    assert_eq!(loaded.len(), set.len());
+    assert_eq!(loaded.dim(), set.dim());
+    assert_eq!(loaded.get(17), set.get(17));
+
+    let bytes = fs::read(&path).unwrap();
+    let path2 = tmp("vectors_cut.fvecs");
+    // Cut mid-record: a dimension header promising data that is not there.
+    fs::write(&path2, &bytes[..bytes.len() - 5]).unwrap();
+    assert!(read_fvecs(&path2).is_err(), "mid-record truncation must fail");
+}
+
+#[test]
+fn fvecs_with_absurd_dimension_header_is_rejected() {
+    let path = tmp("absurd_dim.fvecs");
+    // Dimension header of 2^30 with no payload.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(1u32 << 30).to_le_bytes());
+    bytes.extend_from_slice(&1.0f32.to_le_bytes());
+    fs::write(&path, &bytes).unwrap();
+    assert!(read_fvecs(&path).is_err());
+}
+
+#[test]
+fn ivecs_truncation_fails() {
+    let path = tmp("truth.ivecs");
+    write_ivecs(&path, &[vec![1, 2, 3], vec![4, 5, 6]]).unwrap();
+    let ok = read_ivecs(&path).unwrap();
+    assert_eq!(ok, vec![vec![1, 2, 3], vec![4, 5, 6]]);
+
+    let bytes = fs::read(&path).unwrap();
+    let path2 = tmp("truth_cut.ivecs");
+    fs::write(&path2, &bytes[..bytes.len() - 2]).unwrap();
+    assert!(read_ivecs(&path2).is_err());
+}
+
+#[test]
+fn empty_file_is_rejected_everywhere() {
+    let path = tmp("empty.bin");
+    fs::write(&path, b"").unwrap();
+    assert!(GraphLayers::load(&path).is_err());
+    assert!(FlatGraph::load(&path).is_err());
+    // An empty fvecs file is a legal empty dataset per the de-facto format —
+    // but must come back as 0 vectors rather than erroring or panicking.
+    let loaded = read_fvecs(&path);
+    match loaded {
+        Ok(set) => assert_eq!(set.len(), 0),
+        Err(_) => {} // also acceptable; never a panic
+    }
+}
+
+#[test]
+fn saved_graph_survives_load_and_search_pipeline() {
+    // End-to-end: build, persist, reload, verify the reloaded topology
+    // searches identically through the flat search path.
+    let base = grid(10);
+    let index = Hnsw::build(
+        FullPrecision::new(base.clone()),
+        HnswParams { c: 48, r: 8, seed: 3 },
+    );
+    let frozen = index.freeze();
+    let path = tmp("pipeline.bin");
+    frozen.save(&path).unwrap();
+    let reloaded = GraphLayers::load(&path).unwrap();
+
+    // Same adjacency ⇒ same greedy routes. Spot-check base-layer equality
+    // plus entry metadata rather than re-running a full search stack.
+    assert_eq!(reloaded.base_edges(), frozen.base_edges());
+    assert_eq!(reloaded.entry, frozen.entry);
+    assert_eq!(reloaded.adjacency_bytes(), frozen.adjacency_bytes());
+}

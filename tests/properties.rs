@@ -1,0 +1,204 @@
+//! Property-based tests over the core data structures and the invariants
+//! the paper's correctness rests on.
+
+use hnsw_flash::prelude::*;
+use proptest::prelude::*;
+use simdops::{lut::lut16_batch_scalar, lut16_batch, LUT_BATCH};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SIMD LUT kernel is bit-identical to the scalar oracle for any
+    /// table/code contents and any subspace count.
+    #[test]
+    fn lut_kernel_matches_scalar(
+        m in 1usize..24,
+        tables in proptest::collection::vec(any::<u8>(), 24 * 16),
+        codes in proptest::collection::vec(0u8..16, 24 * 16),
+    ) {
+        let tables = &tables[..m * 16];
+        let codes = &codes[..m * 16];
+        let mut simd = [0u16; LUT_BATCH];
+        let mut scalar = [0u16; LUT_BATCH];
+        lut16_batch(tables, codes, m, &mut simd);
+        lut16_batch_scalar(tables, codes, m, &mut scalar);
+        prop_assert_eq!(simd, scalar);
+    }
+
+    /// f32 L2 kernels agree across dispatch tiers within float tolerance.
+    #[test]
+    fn l2_kernels_agree_across_levels(
+        v in proptest::collection::vec(-100.0f32..100.0, 1..200),
+        w in proptest::collection::vec(-100.0f32..100.0, 1..200),
+    ) {
+        let n = v.len().min(w.len());
+        let (a, b) = (&v[..n], &w[..n]);
+        let reference = simdops::f32dist::l2_sq_scalar(a, b);
+        for level in simdops::level::supported_levels() {
+            let got = simdops::level::with_level(level, || simdops::l2_sq(a, b));
+            let tol = 1e-3 * (1.0 + reference.abs());
+            prop_assert!((got - reference).abs() <= tol,
+                "level {:?}: {} vs {}", level, got, reference);
+        }
+    }
+
+    /// SQ round-trip error is bounded by half a quantization step per
+    /// dimension.
+    #[test]
+    fn sq_roundtrip_error_bounded(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-50.0f32..50.0, 8), 2..40),
+    ) {
+        let dim = 8;
+        let mut set = VectorSet::new(dim);
+        for r in &rows {
+            set.push(r);
+        }
+        let sq = ScalarQuantizer::train(&set, 8, quantizers::sq::SqRange::PerDimension);
+        for v in set.iter() {
+            let rec = quantizers::Codec::reconstruct(&sq, v);
+            for (i, (&x, &y)) in v.iter().zip(rec.iter()).enumerate() {
+                // Per-dim delta = range / 255; worst error is delta/2.
+                let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+                for r in set.iter() {
+                    lo = lo.min(r[i]);
+                    hi = hi.max(r[i]);
+                }
+                let delta = (hi - lo) / 255.0;
+                prop_assert!((x - y).abs() <= delta * 0.5 + 1e-4);
+            }
+        }
+    }
+
+    /// Ground truth is sorted ascending with unique ids, and its first hit
+    /// is at least as close as any database vector.
+    #[test]
+    fn ground_truth_invariants(
+        flat in proptest::collection::vec(-10.0f32..10.0, 30..120),
+        q in proptest::collection::vec(-10.0f32..10.0, 3),
+    ) {
+        let n = flat.len() / 3;
+        let set = VectorSet::from_flat(3, flat[..n * 3].to_vec());
+        let mut queries = VectorSet::new(3);
+        queries.push(&q);
+        let gt = ground_truth(&set, &queries, 5);
+        let row = &gt[0];
+        for w in row.windows(2) {
+            prop_assert!(w[0].dist_sq <= w[1].dist_sq);
+        }
+        let mut ids: Vec<u32> = row.iter().map(|x| x.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), row.len());
+        // Exactness: no vector beats the reported nearest.
+        for v in set.iter() {
+            prop_assert!(simdops::l2_sq(&q, v) >= row[0].dist_sq - 1e-4);
+        }
+    }
+
+    /// Splitting into segments preserves content and order.
+    #[test]
+    fn segments_cover_everything(
+        n in 1usize..200,
+        segs in 1usize..10,
+    ) {
+        prop_assume!(segs <= n);
+        let set = VectorSet::from_flat(1, (0..n).map(|i| i as f32).collect());
+        let parts = vecstore::split_into_segments(&set, segs);
+        prop_assert_eq!(parts.len(), segs);
+        let mut rebuilt = VectorSet::new(1);
+        for p in &parts {
+            rebuilt.extend_from(p);
+        }
+        prop_assert_eq!(rebuilt, set);
+    }
+
+    /// The Lemma-1 hyperplane side predicts the exact distance comparison
+    /// for arbitrary triples.
+    #[test]
+    fn lemma1_holds_for_arbitrary_triples(
+        u in proptest::collection::vec(-5.0f32..5.0, 6),
+        v in proptest::collection::vec(-5.0f32..5.0, 6),
+        w in proptest::collection::vec(-5.0f32..5.0, 6),
+    ) {
+        let side = quantizers::reliability::hyperplane_side(&u, &v, &w);
+        let dv = simdops::l2_sq(&u, &v);
+        let dw = simdops::l2_sq(&u, &w);
+        if (dv - dw).abs() > 1e-3 {
+            prop_assert_eq!(side > 0.0, dv > dw);
+        }
+    }
+
+    /// The cache model never reports more misses than accesses, and a
+    /// repeated scan of a cache-sized region has a strictly lower miss rate
+    /// than its cold first pass.
+    #[test]
+    fn cache_model_sanity(addresses in proptest::collection::vec(0u64..4096, 1..300)) {
+        let mut sim = cachesim::CacheSim::new(cachesim::CacheConfig {
+            size_bytes: 8 * 1024,
+            line_bytes: 64,
+            ways: 4,
+        });
+        for &a in &addresses {
+            sim.access(a);
+        }
+        let first = sim.stats();
+        prop_assert!(first.misses <= first.accesses);
+        // Region ≤ cache size → second pass hits everywhere.
+        for &a in &addresses {
+            sim.access(a);
+        }
+        let second = sim.stats();
+        prop_assert_eq!(second.misses, first.misses, "warm pass must not miss");
+    }
+
+    /// Flash codeword blocks always mirror the neighbor-id list they were
+    /// synced from (the layout invariant behind the batched CA kernel).
+    #[test]
+    fn flash_payload_mirrors_ids(pick in proptest::collection::vec(0u32..200, 0..40)) {
+        use graphs::DistanceProvider as _;
+        // A fixed small provider is enough; the property is about layout.
+        let (base, _) = generate(&DatasetSpec::new(32, 20, 0.95, 0.4, 5), 200, 1, 9);
+        let provider = FlashProvider::new(
+            base,
+            FlashParams {
+                d_f: 16,
+                m_f: 4,
+                train_sample: 150,
+                kmeans_iters: 5,
+                seed: 3,
+                grid_quantile: 0.5,
+            },
+        );
+        let mut payload = flash::FlashBlocks::default();
+        provider.sync_payload(&mut payload, &pick);
+        prop_assert!(flash::provider::blocks_consistent(&provider, &payload, &pick));
+    }
+}
+
+/// Non-proptest exhaustive check: FlashCodec's scalar quantizer η is
+/// monotone over its whole input range.
+#[test]
+fn flash_quantize_is_monotone() {
+    let (base, _) = generate(&DatasetSpec::new(32, 20, 0.95, 0.4, 5), 300, 1, 4);
+    let codec = FlashCodec::train(
+        &base,
+        FlashParams {
+            d_f: 16,
+            m_f: 4,
+            train_sample: 200,
+            kmeans_iters: 5,
+            seed: 6,
+            grid_quantile: 0.5,
+        },
+    );
+    let mut prev = 0u8;
+    let mut d = 0.0f32;
+    while d < 1e6 {
+        let q = codec.quantize(d);
+        assert!(q >= prev, "quantize not monotone at {d}");
+        prev = q;
+        d = (d * 1.3).max(d + 1e-3);
+    }
+    assert_eq!(codec.quantize(f32::MAX), 255);
+}
