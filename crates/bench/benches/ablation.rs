@@ -36,7 +36,9 @@ fn bench_batch_vs_single(c: &mut Criterion) {
     p.sync_payload(&mut payload, &ids);
 
     let mut group = c.benchmark_group("ablation_layout");
-    group.sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("batched_blocks", |bench| {
         let mut out = Vec::new();
         bench.iter(|| {
@@ -56,7 +58,9 @@ fn bench_batch_vs_single(c: &mut Criterion) {
 /// SIMD vs scalar LUT walks through the full provider path.
 fn bench_simd_vs_scalar_provider(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_simd_provider");
-    group.sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2));
     for (name, use_simd) in [("simd", true), ("scalar", false)] {
         let p = provider(use_simd);
         let ctx = p.prepare_insert(0);
@@ -111,7 +115,9 @@ fn bench_pca_vs_raw(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("ablation_encode");
-    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("flash_encode_pca_first", |bench| {
         bench.iter(|| black_box(pca_codec.encode(black_box(base.get(7)))))
     });

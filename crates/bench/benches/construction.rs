@@ -7,7 +7,12 @@ use std::hint::black_box;
 use vecstore::{generate, DatasetProfile};
 
 fn bench_builds(c: &mut Criterion) {
-    let scale = Scale { n: 1_000, queries: 1, c: 64, r: 8 };
+    let scale = Scale {
+        n: 1_000,
+        queries: 1,
+        c: 64,
+        r: 8,
+    };
     let (base, _) = generate(&DatasetProfile::SsnppLike.spec(), scale.n, 1, 0xBE);
     let mut group = c.benchmark_group("index_construction_1k_256d");
     group
@@ -30,7 +35,12 @@ fn bench_builds(c: &mut Criterion) {
 }
 
 fn bench_search(c: &mut Criterion) {
-    let scale = Scale { n: 2_000, queries: 16, c: 64, r: 8 };
+    let scale = Scale {
+        n: 2_000,
+        queries: 16,
+        c: 64,
+        r: 8,
+    };
     let (base, queries) = generate(&DatasetProfile::SsnppLike.spec(), scale.n, 16, 0xBF);
     let mut group = c.benchmark_group("search_2k_256d_ef64");
     group

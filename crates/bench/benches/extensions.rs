@@ -23,12 +23,19 @@ fn bench_ext_builders(c: &mut Criterion) {
     fp.train_sample = 600;
 
     let mut group = c.benchmark_group("ext_builders");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     group.bench_function("vamana_full", |b| {
         b.iter(|| {
             let v = Vamana::build(
                 FullPrecision::new(base.clone()),
-                VamanaParams { r: 10, c: 48, alpha: 1.2, seed: 1 },
+                VamanaParams {
+                    r: 10,
+                    c: 48,
+                    alpha: 1.2,
+                    seed: 1,
+                },
             );
             black_box(v.graph().edges())
         })
@@ -37,7 +44,12 @@ fn bench_ext_builders(c: &mut Criterion) {
         b.iter(|| {
             let v = Vamana::build(
                 FlashProvider::new(base.clone(), fp),
-                VamanaParams { r: 10, c: 48, alpha: 1.2, seed: 1 },
+                VamanaParams {
+                    r: 10,
+                    c: 48,
+                    alpha: 1.2,
+                    seed: 1,
+                },
             );
             black_box(v.graph().edges())
         })
@@ -46,7 +58,12 @@ fn bench_ext_builders(c: &mut Criterion) {
         b.iter(|| {
             let h = Hcnng::build(
                 FullPrecision::new(base.clone()),
-                HcnngParams { trees: 6, leaf_size: 48, mst_degree: 3, seed: 1 },
+                HcnngParams {
+                    trees: 6,
+                    leaf_size: 48,
+                    mst_degree: 3,
+                    seed: 1,
+                },
             );
             black_box(h.graph().edges())
         })
@@ -55,7 +72,12 @@ fn bench_ext_builders(c: &mut Criterion) {
         b.iter(|| {
             let h = Hcnng::build(
                 FlashProvider::new(base.clone(), fp),
-                HcnngParams { trees: 6, leaf_size: 48, mst_degree: 3, seed: 1 },
+                HcnngParams {
+                    trees: 6,
+                    leaf_size: 48,
+                    mst_degree: 3,
+                    seed: 1,
+                },
             );
             black_box(h.graph().edges())
         })
@@ -68,15 +90,15 @@ fn bench_ext_builders(c: &mut Criterion) {
 fn bench_opq_vs_pq_training(c: &mut Criterion) {
     let base = small_base(800);
     let mut group = c.benchmark_group("ext_opq_training");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     group.bench_function("pq_train", |b| {
         b.iter(|| black_box(ProductQuantizer::train(&base, 8, 4, 10, 7)))
     });
     for iters in [1usize, 4] {
         group.bench_with_input(BenchmarkId::new("opq_train", iters), &iters, |b, &iters| {
-            b.iter(|| {
-                black_box(OptimizedProductQuantizer::train(&base, 8, 4, iters, 10, 7))
-            })
+            b.iter(|| black_box(OptimizedProductQuantizer::train(&base, 8, 4, iters, 10, 7)))
         });
     }
     group.finish();
@@ -88,10 +110,16 @@ fn bench_filtered_search(c: &mut Criterion) {
     let queries = generate(&DatasetProfile::SsnppLike.spec(), 1, 16, 0xF).1;
     let index = Hnsw::build(
         FullPrecision::new(base),
-        HnswParams { c: 64, r: 12, seed: 3 },
+        HnswParams {
+            c: 64,
+            r: 12,
+            seed: 3,
+        },
     );
     let mut group = c.benchmark_group("ext_filtered_search");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("unfiltered", |b| {
         b.iter(|| {
             let mut n = 0;
@@ -110,7 +138,9 @@ fn bench_filtered_search(c: &mut Criterion) {
                 b.iter(|| {
                     let mut n = 0;
                     for qi in 0..queries.len() {
-                        n += index.search_filtered(queries.get(qi), 10, 64, &accept).len();
+                        n += index
+                            .search_filtered(queries.get(qi), 10, 64, &accept)
+                            .len();
                     }
                     black_box(n)
                 })
@@ -124,13 +154,19 @@ fn bench_filtered_search(c: &mut Criterion) {
 fn bench_lsm_ops(c: &mut Criterion) {
     let dim = 32;
     let mut group = c.benchmark_group("ext_lsm");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
 
     group.bench_function("insert_1k_with_seals", |b| {
         b.iter(|| {
             let mut config = LsmConfig::for_dim(dim);
             config.memtable_cap = 256;
-            config.hnsw = HnswParams { c: 32, r: 8, seed: 1 };
+            config.hnsw = HnswParams {
+                c: 32,
+                r: 8,
+                seed: 1,
+            };
             let mut index = LsmVectorIndex::new(config);
             for i in 0..1_000u32 {
                 let v: Vec<f32> = (0..dim).map(|d| ((i + d as u32) % 17) as f32).collect();
@@ -147,11 +183,14 @@ fn bench_lsm_ops(c: &mut Criterion) {
             || {
                 let mut config = LsmConfig::for_dim(dim);
                 config.memtable_cap = 256;
-                config.hnsw = HnswParams { c: 32, r: 8, seed: 2 };
+                config.hnsw = HnswParams {
+                    c: 32,
+                    r: 8,
+                    seed: 2,
+                };
                 let mut index = LsmVectorIndex::new(config);
                 for i in 0..1_000u32 {
-                    let v: Vec<f32> =
-                        (0..dim).map(|d| ((i * 3 + d as u32) % 23) as f32).collect();
+                    let v: Vec<f32> = (0..dim).map(|d| ((i * 3 + d as u32) % 23) as f32).collect();
                     index.insert(&v);
                 }
                 for id in (0..1_000u64).step_by(4) {

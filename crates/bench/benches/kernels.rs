@@ -10,7 +10,9 @@ fn deterministic_f32(n: usize, seed: u64) -> Vec<f32> {
     let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 40) as f32) / 16777216.0 - 0.5
         })
         .collect()
@@ -20,7 +22,9 @@ fn deterministic_u8(n: usize, seed: u64, max: u16) -> Vec<u8> {
     let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(7);
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 48) as u16 % (max + 1)) as u8
         })
         .collect()
@@ -28,7 +32,9 @@ fn deterministic_u8(n: usize, seed: u64, max: u16) -> Vec<u8> {
 
 fn bench_l2_levels(c: &mut Criterion) {
     let mut group = c.benchmark_group("l2_sq_f32");
-    group.sample_size(20).measurement_time(std::time::Duration::from_millis(800));
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800));
     for dim in [256usize, 768, 1024] {
         let a = deterministic_f32(dim, 1);
         let b = deterministic_f32(dim, 2);
@@ -45,7 +51,9 @@ fn bench_l2_levels(c: &mut Criterion) {
 
 fn bench_u8_distance(c: &mut Criterion) {
     let mut group = c.benchmark_group("l2_sq_u8");
-    group.sample_size(20).measurement_time(std::time::Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(500));
     for dim in [256usize, 768] {
         let a = deterministic_u8(dim, 3, 255);
         let b = deterministic_u8(dim, 4, 255);
@@ -58,7 +66,9 @@ fn bench_u8_distance(c: &mut Criterion) {
 
 fn bench_lut_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("flash_lut16_batch");
-    group.sample_size(20).measurement_time(std::time::Duration::from_millis(800));
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800));
     for m in [8usize, 16, 32] {
         let tables = deterministic_u8(m * 16, 5, 255);
         let codes = deterministic_u8(m * 16, 6, 15);

@@ -20,7 +20,12 @@ fn main() {
     let k = 10;
     let (base, queries) = workload(DatasetProfile::LaionLike, scale);
     let gt = ground_truth(&base, &queries, k);
-    let vparams = VamanaParams { r: scale.r, c: scale.c, alpha: 1.2, seed: 0xE1 };
+    let vparams = VamanaParams {
+        r: scale.r,
+        c: scale.c,
+        alpha: 1.2,
+        seed: 0xE1,
+    };
     let hparams = HcnngParams {
         trees: 10,
         leaf_size: (scale.n / 64).clamp(24, 96),
@@ -30,7 +35,10 @@ fn main() {
     let mut fp = FlashParams::auto(base.dim());
     fp.train_sample = (scale.n / 2).clamp(256, 10_000);
 
-    println!("# Ext 1: Vamana and HCNNG with/without Flash (n = {})\n", scale.n);
+    println!(
+        "# Ext 1: Vamana and HCNNG with/without Flash (n = {})\n",
+        scale.n
+    );
     println!("| algorithm | build (s) | ef | recall@{k} | QPS |");
     println!("|---|---:|---:|---:|---:|");
 
@@ -39,7 +47,10 @@ fn main() {
             let mut found: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
             let qps = measure_qps(queries.len(), |qi| found.push(search(qi, ef)));
             let recall = metrics::recall_at_k(&found, &gt, k).recall();
-            println!("| {name} | {secs:.2} | {ef} | {recall:.4} | {:.0} |", qps.qps());
+            println!(
+                "| {name} | {secs:.2} | {ef} | {recall:.4} | {:.0} |",
+                qps.qps()
+            );
         }
     };
 
@@ -48,7 +59,10 @@ fn main() {
         let v = Vamana::build(FullPrecision::new(base.clone()), vparams);
         let secs = t0.elapsed().as_secs_f64();
         report("Vamana", secs, &mut |qi, ef| {
-            v.search(queries.get(qi), k, ef).iter().map(|r| r.id).collect()
+            v.search(queries.get(qi), k, ef)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         });
     }
     {
@@ -56,7 +70,10 @@ fn main() {
         let v = build_flash_vamana(base.clone(), fp, vparams);
         let secs = t0.elapsed().as_secs_f64();
         report("Vamana-Flash", secs, &mut |qi, ef| {
-            v.search_rerank(queries.get(qi), k, ef, 8).iter().map(|r| r.id).collect()
+            v.search_rerank(queries.get(qi), k, ef, 8)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         });
     }
     {
@@ -64,7 +81,10 @@ fn main() {
         let h = Hcnng::build(FullPrecision::new(base.clone()), hparams);
         let secs = t0.elapsed().as_secs_f64();
         report("HCNNG", secs, &mut |qi, ef| {
-            h.search(queries.get(qi), k, ef).iter().map(|r| r.id).collect()
+            h.search(queries.get(qi), k, ef)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         });
     }
     {
@@ -72,7 +92,10 @@ fn main() {
         let h = build_flash_hcnng(base.clone(), fp, hparams);
         let secs = t0.elapsed().as_secs_f64();
         report("HCNNG-Flash", secs, &mut |qi, ef| {
-            h.search_rerank(queries.get(qi), k, ef, 8).iter().map(|r| r.id).collect()
+            h.search_rerank(queries.get(qi), k, ef, 8)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         });
     }
     println!("\nexpected: Vamana speedup mirrors NSG/τ-MG (CA+NS family); HCNNG speedup is smaller (cheap distances only, no layout effect).");

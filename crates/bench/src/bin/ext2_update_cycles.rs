@@ -24,7 +24,11 @@ fn main() {
 
     let mut config = LsmConfig::for_dim(dim);
     config.memtable_cap = (n / 8).max(256);
-    config.hnsw = HnswParams { c: scale.c.min(96), r: scale.r.min(12), seed: 0x10 };
+    config.hnsw = HnswParams {
+        c: scale.c.min(96),
+        r: scale.r.min(12),
+        seed: 0x10,
+    };
 
     let workload = |rebuild_every| CycleWorkload {
         n,
@@ -61,8 +65,12 @@ fn main() {
 
     // Rebuild-window comparison on a fresh corpus of the same size.
     println!("\n## Rebuild window: full-precision HNSW vs HNSW-Flash over the live set\n");
-    let (base, _) =
-        vecstore::generate(&vecstore::DatasetSpec::new(dim, 8, 0.98, 0.25, 0xB11D), n, 1, 7);
+    let (base, _) = vecstore::generate(
+        &vecstore::DatasetSpec::new(dim, 8, 0.98, 0.25, 0xB11D),
+        n,
+        1,
+        7,
+    );
     let params = config.hnsw;
     let t0 = Instant::now();
     let _full = Hnsw::build(FullPrecision::new(base.clone()), params);
@@ -75,6 +83,9 @@ fn main() {
     println!("| method | rebuild (s) | speedup |");
     println!("|---|---:|---:|");
     println!("| HNSW (full precision) | {full_s:.2} | 1.0x |");
-    println!("| HNSW-Flash | {flash_s:.2} | {:.1}x |", full_s / flash_s.max(1e-9));
+    println!(
+        "| HNSW-Flash | {flash_s:.2} | {:.1}x |",
+        full_s / flash_s.max(1e-9)
+    );
     println!("\nexpected: no-rebuild recall drifts down as tombstones/segments accumulate; rebuild resets it; Flash cuts the rebuild window by the Figure-6 factor.");
 }

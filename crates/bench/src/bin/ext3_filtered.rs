@@ -32,7 +32,10 @@ fn main() {
     let mut fp = FlashParams::auto(base.dim());
     fp.train_sample = (scale.n / 2).clamp(256, 10_000);
 
-    println!("# Ext 3: attribute-constrained ANNS (n = {}, {} labels swept)\n", scale.n, 3);
+    println!(
+        "# Ext 3: attribute-constrained ANNS (n = {}, {} labels swept)\n",
+        scale.n, 3
+    );
 
     // --- Shape 1: shared graph, filtered search -------------------------
     println!("## Shared graph + query-time filter (one standard build)\n");
@@ -43,8 +46,9 @@ fn main() {
     println!("| labels | selectivity | filtered recall@{k} | QPS |");
     println!("|---:|---:|---:|---:|");
     for labels in [4usize, 16, 64] {
-        let assignment: Vec<u32> =
-            (0..base.len()).map(|_| rng.gen_range(0..labels as u32)).collect();
+        let assignment: Vec<u32> = (0..base.len())
+            .map(|_| rng.gen_range(0..labels as u32))
+            .collect();
         // Filtered ground truth per query for label 0.
         let accept_label = 0u32;
         let gt: Vec<Vec<u32>> = (0..queries.len())
@@ -66,7 +70,7 @@ fn main() {
                 shared
                     .search_filtered(queries.get(qi), k, 128, &accept)
                     .iter()
-                    .map(|r| r.id)
+                    .map(|r| r.id as u32)
                     .collect(),
             )
         });
@@ -76,7 +80,11 @@ fn main() {
             total += t.len();
             hit += t.iter().filter(|id| f.contains(id)).count();
         }
-        let recall = if total == 0 { 1.0 } else { hit as f64 / total as f64 };
+        let recall = if total == 0 {
+            1.0
+        } else {
+            hit as f64 / total as f64
+        };
         println!(
             "| {labels} | {:.3} | {recall:.4} | {:.0} |",
             1.0 / labels as f64,
@@ -93,9 +101,13 @@ fn main() {
     println!("|---:|---:|---:|---:|---:|");
     let codec = flash::FlashCodec::train(&base, fp);
     for labels in [4usize, 16] {
-        let assignment: Vec<u32> =
-            (0..base.len()).map(|_| rng.gen_range(0..labels as u32)).collect();
-        let lp = LabeledParams { hnsw: params, min_graph_size: 32 };
+        let assignment: Vec<u32> = (0..base.len())
+            .map(|_| rng.gen_range(0..labels as u32))
+            .collect();
+        let lp = LabeledParams {
+            hnsw: params,
+            min_graph_size: 32,
+        };
 
         let t0 = Instant::now();
         let _full = LabeledHnsw::build(&base, &assignment, lp, FullPrecision::new);

@@ -25,7 +25,10 @@ fn main() {
     let m = (dim / 32).clamp(4, 64);
     let train = (scale.n / 2).clamp(256, 4_000);
 
-    println!("# Ext 4: HNSW-OPQ vs HNSW-PQ vs HNSW-Flash (SSNPP-like, n = {})\n", scale.n);
+    println!(
+        "# Ext 4: HNSW-OPQ vs HNSW-PQ vs HNSW-Flash (SSNPP-like, n = {})\n",
+        scale.n
+    );
     println!("| method | indexing time (s) | ef | recall@{k} | QPS |");
     println!("|---|---:|---:|---:|---:|");
 
@@ -34,7 +37,10 @@ fn main() {
             let mut found: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
             let qps = measure_qps(queries.len(), |qi| found.push(search(qi, ef)));
             let recall = metrics::recall_at_k(&found, &gt, k).recall();
-            println!("| {name} | {secs:.2} | {ef} | {recall:.4} | {:.0} |", qps.qps());
+            println!(
+                "| {name} | {secs:.2} | {ef} | {recall:.4} | {:.0} |",
+                qps.qps()
+            );
         }
     };
 
@@ -43,7 +49,11 @@ fn main() {
         let index = Hnsw::build(PqProvider::new(base.clone(), m, 8, train, 0xA1), params);
         let secs = t0.elapsed().as_secs_f64();
         report("HNSW-PQ", secs, &mut |qi, ef| {
-            index.search_rerank(queries.get(qi), k, ef, 8).iter().map(|r| r.id).collect()
+            index
+                .search_rerank(queries.get(qi), k, ef, 8)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         });
     }
     {
@@ -51,7 +61,11 @@ fn main() {
         let index = Hnsw::build(OpqProvider::new(base.clone(), m, 8, 4, train, 0xA2), params);
         let secs = t0.elapsed().as_secs_f64();
         report("HNSW-OPQ", secs, &mut |qi, ef| {
-            index.search_rerank(queries.get(qi), k, ef, 8).iter().map(|r| r.id).collect()
+            index
+                .search_rerank(queries.get(qi), k, ef, 8)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         });
     }
     {
@@ -61,7 +75,11 @@ fn main() {
         let index = FlashHnsw::build_flash(base.clone(), fp, params);
         let secs = t0.elapsed().as_secs_f64();
         report("HNSW-Flash", secs, &mut |qi, ef| {
-            index.search_rerank(queries.get(qi), k, ef, 8).iter().map(|r| r.id).collect()
+            index
+                .search_rerank(queries.get(qi), k, ef, 8)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         });
     }
     println!("\nexpected: OPQ's rotation buys some recall over PQ at the same code size but pays a visible training overhead; Flash dominates on indexing time (paper Remark 1).");

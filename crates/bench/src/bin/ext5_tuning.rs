@@ -16,7 +16,10 @@ fn main() {
     let mut base_params = FlashParams::auto(base.dim());
     base_params.train_sample = (scale.n / 2).clamp(256, 10_000);
 
-    println!("# Ext 5: Theorem-1 parameter tuning (LAION-like, n = {})\n", scale.n);
+    println!(
+        "# Ext 5: Theorem-1 parameter tuning (LAION-like, n = {})\n",
+        scale.n
+    );
 
     let opts = TuneOptions {
         d_f_grid: vec![16, 32, 48, 64, 96, 128],
@@ -47,7 +50,11 @@ fn main() {
         outcome.params.d_f,
         outcome.params.m_f,
         opts.target_agreement,
-        if outcome.met_target { "met" } else { "NOT met — best effort" },
+        if outcome.met_target {
+            "met"
+        } else {
+            "NOT met — best effort"
+        },
     );
 
     // Validate: build at the tuned vs the default parameters.
@@ -60,11 +67,18 @@ fn main() {
         let secs = t0.elapsed().as_secs_f64();
         let found: Vec<Vec<u32>> = (0..queries.len())
             .map(|qi| {
-                index.search_rerank(queries.get(qi), k, 128, 8).iter().map(|r| r.id).collect()
+                index
+                    .search_rerank(queries.get(qi), k, 128, 8)
+                    .iter()
+                    .map(|r| r.id as u32)
+                    .collect()
             })
             .collect();
         let recall = metrics::recall_at_k(&found, &gt, k).recall();
-        println!("| {name} | {} | {} | {secs:.2} | {recall:.4} |", params.d_f, params.m_f);
+        println!(
+            "| {name} | {} | {} | {secs:.2} | {recall:.4} |",
+            params.d_f, params.m_f
+        );
     }
     println!("\nexpected: the estimator picks a small config whose end-to-end recall matches the default at equal or lower build cost — the paper's 'appropriate compression error' made operational.");
 }

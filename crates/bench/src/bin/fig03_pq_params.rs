@@ -19,14 +19,17 @@ fn main() {
 
     let run = |m: usize, bits: u8| {
         let t0 = Instant::now();
-        let index = Hnsw::build(PqProvider::new(base.clone(), m, bits, train, 3), scale.hnsw());
+        let index = Hnsw::build(
+            PqProvider::new(base.clone(), m, bits, train, 3),
+            scale.hnsw(),
+        );
         let took = t0.elapsed();
         let found: Vec<Vec<u32>> = (0..queries.len())
             .map(|qi| {
                 index
                     .search_rerank(queries.get(qi), k, 64, 8)
                     .iter()
-                    .map(|r| r.id)
+                    .map(|r| r.id as u32)
                     .collect()
             })
             .collect();

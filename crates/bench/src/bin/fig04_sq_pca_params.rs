@@ -33,7 +33,7 @@ fn main() {
                 index
                     .search_rerank(queries.get(qi), k, 64, 8)
                     .iter()
-                    .map(|r| r.id)
+                    .map(|r| r.id as u32)
                     .collect()
             })
             .collect();
@@ -48,7 +48,7 @@ fn main() {
                 index
                     .search_rerank(queries.get(qi), k, 64, 8)
                     .iter()
-                    .map(|r| r.id)
+                    .map(|r| r.id as u32)
                     .collect()
             })
             .collect();
@@ -67,7 +67,7 @@ fn main() {
                 index
                     .search_rerank(queries.get(qi), k, 64, 4)
                     .iter()
-                    .map(|r| r.id)
+                    .map(|r| r.id as u32)
                     .collect()
             })
             .collect();

@@ -14,7 +14,11 @@ fn main() {
     let profiles: Vec<DatasetProfile> = if std::env::var("FLASH_ALL").is_ok() {
         DatasetProfile::ALL.to_vec()
     } else {
-        vec![DatasetProfile::SsnppLike, DatasetProfile::LaionLike, DatasetProfile::ArgillaLike]
+        vec![
+            DatasetProfile::SsnppLike,
+            DatasetProfile::LaionLike,
+            DatasetProfile::ArgillaLike,
+        ]
     };
 
     println!("# Figure 8: QPS–recall (k = {k}, n = {})\n", scale.n);
@@ -30,11 +34,19 @@ fn main() {
                 let mut found: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
                 let qps = measure_qps(queries.len(), |qi| {
                     found.push(
-                        index.search(queries.get(qi), k, ef).iter().map(|r| r.id).collect(),
+                        index
+                            .search(queries.get(qi), k, ef)
+                            .iter()
+                            .map(|r| r.id as u32)
+                            .collect(),
                     );
                 });
                 let recall = metrics::recall_at_k(&found, &gt, k).recall();
-                println!("| {} | {ef} | {recall:.4} | {:.0} |", method.name(), qps.qps());
+                println!(
+                    "| {} | {ef} | {recall:.4} | {:.0} |",
+                    method.name(),
+                    qps.qps()
+                );
             }
         }
         println!();

@@ -41,5 +41,7 @@ fn main() {
         }
         println!();
     }
-    println!("paper: Flash attains the lowest ADR at a given QPS (results closest to ground truth).");
+    println!(
+        "paper: Flash attains the lowest ADR at a given QPS (results closest to ground truth)."
+    );
 }

@@ -12,7 +12,10 @@ fn main() {
         println!("| n | HNSW (s) | HNSW-Flash (s) | speedup |");
         println!("|---:|---:|---:|---:|");
         for mult in 1..=5usize {
-            let scale = Scale { n: base_scale.n * mult, ..base_scale };
+            let scale = Scale {
+                n: base_scale.n * mult,
+                ..base_scale
+            };
             let (base, _) = workload(profile, scale);
             let (_, t_full) = AnyIndex::build(Method::Hnsw, base.clone(), scale);
             let (_, t_flash) = AnyIndex::build(Method::HnswFlash, base, scale);

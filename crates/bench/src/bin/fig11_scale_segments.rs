@@ -7,7 +7,10 @@ use vecstore::{generate, split_into_segments, DatasetProfile};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("# Figure 11: scaling over segment count (segment size = {})\n", scale.n);
+    println!(
+        "# Figure 11: scaling over segment count (segment size = {})\n",
+        scale.n
+    );
     for profile in [DatasetProfile::LaionLike, DatasetProfile::SsnppLike] {
         println!("## {}\n", profile.name());
         println!("| segments | HNSW total (s) | Flash total (s) | speedup |");

@@ -10,7 +10,10 @@ use vecstore::DatasetProfile;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("# Figure 12: Flash indexing time per SIMD tier (n = {})\n", scale.n);
+    println!(
+        "# Figure 12: Flash indexing time per SIMD tier (n = {})\n",
+        scale.n
+    );
     for profile in [DatasetProfile::LaionLike, DatasetProfile::SsnppLike] {
         println!("## {}\n", profile.name());
         println!("| tier | register bits | indexing time (s) |");
@@ -29,5 +32,7 @@ fn main() {
         set_level_override(None);
         println!();
     }
-    println!("paper: wider registers are faster, sub-linearly (memory effects + instruction latencies).");
+    println!(
+        "paper: wider registers are faster, sub-linearly (memory effects + instruction latencies)."
+    );
 }

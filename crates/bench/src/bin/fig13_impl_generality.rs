@@ -45,10 +45,13 @@ fn main() {
             let mut found: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
             let qps = measure_qps(queries.len(), |qi| {
                 let (hits, _) = sampler.search(graph, queries.get(qi), k, ef);
-                found.push(hits.iter().map(|r| r.id).collect());
+                found.push(hits.iter().map(|r| r.id as u32).collect());
             });
             let recall = metrics::recall_at_k(&found, &gt, k).recall();
-            println!("| ADSampling | {graph_name} | {ef} | {recall:.4} | {:.0} |", qps.qps());
+            println!(
+                "| ADSampling | {graph_name} | {ef} | {recall:.4} | {:.0} |",
+                qps.qps()
+            );
         }
     }
 
@@ -58,10 +61,13 @@ fn main() {
             let mut found: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
             let qps = measure_qps(queries.len(), |qi| {
                 let hits = search_vbase(&full_provider, graph, queries.get(qi), k, window);
-                found.push(hits.iter().map(|r| r.id).collect());
+                found.push(hits.iter().map(|r| r.id as u32).collect());
             });
             let recall = metrics::recall_at_k(&found, &gt, k).recall();
-            println!("| VBase | {graph_name} | {window} | {recall:.4} | {:.0} |", qps.qps());
+            println!(
+                "| VBase | {graph_name} | {window} | {recall:.4} | {:.0} |",
+                qps.qps()
+            );
         }
     }
     let _ = full_provider.len();

@@ -14,11 +14,18 @@ fn main() {
     let k = 10;
     let (base, queries) = workload(DatasetProfile::LaionLike, scale);
     let gt = ground_truth(&base, &queries, k);
-    let flat = NsgParams { r: scale.r, c: scale.c, seed: 0xF14 };
+    let flat = NsgParams {
+        r: scale.r,
+        c: scale.c,
+        seed: 0xF14,
+    };
     let mut fp = FlashParams::auto(base.dim());
     fp.train_sample = (scale.n / 2).clamp(256, 10_000);
 
-    println!("# Figure 14: NSG and τ-MG with/without Flash (n = {})\n", scale.n);
+    println!(
+        "# Figure 14: NSG and τ-MG with/without Flash (n = {})\n",
+        scale.n
+    );
     println!("| algorithm | build (s) | ef | recall@{k} | QPS |");
     println!("|---|---:|---:|---:|---:|");
 
@@ -27,7 +34,10 @@ fn main() {
             let mut found: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
             let qps = measure_qps(queries.len(), |qi| found.push(search(qi, ef)));
             let recall = metrics::recall_at_k(&found, &gt, k).recall();
-            println!("| {name} | {secs:.2} | {ef} | {recall:.4} | {:.0} |", qps.qps());
+            println!(
+                "| {name} | {secs:.2} | {ef} | {recall:.4} | {:.0} |",
+                qps.qps()
+            );
         }
     };
 
@@ -36,7 +46,10 @@ fn main() {
         let nsg = Nsg::build(FullPrecision::new(base.clone()), flat);
         let secs = t0.elapsed().as_secs_f64();
         report("NSG", secs, &mut |qi, ef| {
-            nsg.search(queries.get(qi), k, ef).iter().map(|r| r.id).collect()
+            nsg.search(queries.get(qi), k, ef)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         });
     }
     {
@@ -44,7 +57,10 @@ fn main() {
         let nsg = build_flash_nsg(base.clone(), fp, flat);
         let secs = t0.elapsed().as_secs_f64();
         report("NSG-Flash", secs, &mut |qi, ef| {
-            nsg.search_rerank(queries.get(qi), k, ef, 8).iter().map(|r| r.id).collect()
+            nsg.search_rerank(queries.get(qi), k, ef, 8)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         });
     }
     {
@@ -55,7 +71,10 @@ fn main() {
         );
         let secs = t0.elapsed().as_secs_f64();
         report("tau-MG", secs, &mut |qi, ef| {
-            tmg.search(queries.get(qi), k, ef).iter().map(|r| r.id).collect()
+            tmg.search(queries.get(qi), k, ef)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         });
     }
     {
@@ -67,7 +86,12 @@ fn main() {
             let pool = tmg.search(queries.get(qi), k * 8, ef);
             let mut exact: Vec<(f32, u32)> = pool
                 .iter()
-                .map(|r| (simdops::l2_sq(queries.get(qi), base.get(r.id as usize)), r.id))
+                .map(|r| {
+                    (
+                        simdops::l2_sq(queries.get(qi), base.get(r.id as usize)),
+                        r.id as u32,
+                    )
+                })
                 .collect();
             exact.sort_by(|a, b| a.0.total_cmp(&b.0));
             exact.truncate(k);

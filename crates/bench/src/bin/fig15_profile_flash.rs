@@ -10,7 +10,10 @@ use vecstore::DatasetProfile;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("# Figure 15: HNSW-Flash construction profile (n = {})\n", scale.n);
+    println!(
+        "# Figure 15: HNSW-Flash construction profile (n = {})\n",
+        scale.n
+    );
     println!("| dataset | graph-build (s) | distance % | layout-sync % | other % |");
     println!("|---|---:|---:|---:|---:|");
     for profile in [DatasetProfile::LaionLike, DatasetProfile::ArgillaLike] {
@@ -31,5 +34,7 @@ fn main() {
             (100.0 - dist_pct - sync_pct).max(0.0),
         );
     }
-    println!("\npaper: distance computation is ~12 % of Flash's graph-construction time (was >90 %).");
+    println!(
+        "\npaper: distance computation is ~12 % of Flash's graph-construction time (was >90 %)."
+    );
 }

@@ -29,7 +29,7 @@ fn main() {
                 index
                     .search_rerank(queries.get(qi), k, 64, 8)
                     .iter()
-                    .map(|r| r.id)
+                    .map(|r| r.id as u32)
                     .collect()
             })
             .collect();

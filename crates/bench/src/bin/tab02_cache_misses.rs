@@ -19,7 +19,10 @@ use vecstore::DatasetProfile;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("# Table 2: simulated L1 miss rate during CA traversals (n = {})\n", scale.n);
+    println!(
+        "# Table 2: simulated L1 miss rate during CA traversals (n = {})\n",
+        scale.n
+    );
     println!("| dataset | w/o Flash layout | w. Flash layout |");
     println!("|---|---:|---:|");
 
@@ -89,7 +92,10 @@ fn main() {
                     sim_base.access_range(VECTORS + a as u64 * vec_bytes as u64, vec_bytes);
                     sim_base.access_range(VECTORS + b as u64 * vec_bytes as u64, vec_bytes);
                     for s in 0..m_f {
-                        sim_flash.access_range(SDT + (s * 256 + (a as usize % 16) * 16 + b as usize % 16) as u64, 1);
+                        sim_flash.access_range(
+                            SDT + (s * 256 + (a as usize % 16) * 16 + b as usize % 16) as u64,
+                            1,
+                        );
                     }
                 }
             }

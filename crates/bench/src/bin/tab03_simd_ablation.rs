@@ -9,7 +9,10 @@ use vecstore::DatasetProfile;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("# Table 3: indexing time w/o vs w. SIMD lookups (n = {})\n", scale.n);
+    println!(
+        "# Table 3: indexing time w/o vs w. SIMD lookups (n = {})\n",
+        scale.n
+    );
     println!("| dataset | w/o SIMD (s) | w. SIMD (s) | reduction |");
     println!("|---|---:|---:|---:|");
     for profile in DatasetProfile::ALL {

@@ -10,7 +10,10 @@ use vecstore::DatasetProfile;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("# Table 4: coding time vs total indexing time (n = {})\n", scale.n);
+    println!(
+        "# Table 4: coding time vs total indexing time (n = {})\n",
+        scale.n
+    );
     println!("| dataset | CT (s) | TIT (s) | CT/TIT |");
     println!("|---|---:|---:|---:|");
     for profile in DatasetProfile::ALL {

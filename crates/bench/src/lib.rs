@@ -38,7 +38,10 @@ impl Scale {
     /// Reads `FLASH_N` / `FLASH_QUERIES` / `FLASH_C` / `FLASH_R`.
     pub fn from_env() -> Self {
         let get = |k: &str, d: usize| {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
         };
         Self {
             n: get("FLASH_N", 4000),
@@ -50,7 +53,11 @@ impl Scale {
 
     /// The HNSW parameters for this scale.
     pub fn hnsw(&self) -> HnswParams {
-        HnswParams { c: self.c, r: self.r, seed: 0xBEEF }
+        HnswParams {
+            c: self.c,
+            r: self.r,
+            seed: 0xBEEF,
+        }
     }
 }
 
@@ -71,8 +78,13 @@ pub enum Method {
 
 impl Method {
     /// All methods, Flash first (paper figure order: A..E).
-    pub const ALL: [Method; 5] =
-        [Method::HnswFlash, Method::HnswPca, Method::HnswSq, Method::HnswPq, Method::Hnsw];
+    pub const ALL: [Method; 5] = [
+        Method::HnswFlash,
+        Method::HnswPca,
+        Method::HnswSq,
+        Method::HnswPq,
+        Method::Hnsw,
+    ];
 
     /// Figure label.
     pub fn name(self) -> &'static str {
@@ -173,7 +185,13 @@ pub fn index_recall(
     ef: usize,
 ) -> f64 {
     let found: Vec<Vec<u32>> = (0..queries.len())
-        .map(|qi| index.search(queries.get(qi), k, ef).iter().map(|r| r.id).collect())
+        .map(|qi| {
+            index
+                .search(queries.get(qi), k, ef)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
+        })
         .collect();
     metrics::recall_at_k(&found, gt, k).recall()
 }
@@ -190,7 +208,12 @@ mod tests {
 
     #[test]
     fn all_methods_build_and_search_tiny() {
-        let scale = Scale { n: 300, queries: 5, c: 32, r: 8 };
+        let scale = Scale {
+            n: 300,
+            queries: 5,
+            c: 32,
+            r: 8,
+        };
         let (base, queries) = workload(DatasetProfile::SsnppLike, scale);
         for method in Method::ALL {
             let (index, took) = AnyIndex::build(method, base.clone(), scale);

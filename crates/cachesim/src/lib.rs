@@ -20,10 +20,18 @@ pub use lru::{CacheConfig, CacheSim, CacheStats, MultiLevelCache};
 /// The default L1-data-cache geometry used by the Table 2 experiment:
 /// 32 KB, 64-byte lines, 8-way — the geometry of the paper's Xeon E5-2620 v3.
 pub fn l1d_default() -> CacheConfig {
-    CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 8 }
+    CacheConfig {
+        size_bytes: 32 * 1024,
+        line_bytes: 64,
+        ways: 8,
+    }
 }
 
 /// A 256 KB, 8-way L2 with 64-byte lines (paper's test machine).
 pub fn l2_default() -> CacheConfig {
-    CacheConfig { size_bytes: 256 * 1024, line_bytes: 64, ways: 8 }
+    CacheConfig {
+        size_bytes: 256 * 1024,
+        line_bytes: 64,
+        ways: 8,
+    }
 }

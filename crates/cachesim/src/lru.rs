@@ -17,7 +17,10 @@ impl CacheConfig {
     /// # Panics
     /// Panics if the geometry is inconsistent (see [`CacheSim::new`]).
     pub fn sets(&self) -> usize {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.ways > 0, "associativity must be positive");
         let lines = self.size_bytes / self.line_bytes;
         assert!(
@@ -151,7 +154,9 @@ impl MultiLevelCache {
     /// Panics if `configs` is empty or any geometry is invalid.
     pub fn new(configs: &[CacheConfig]) -> Self {
         assert!(!configs.is_empty(), "need at least one level");
-        Self { levels: configs.iter().map(|&c| CacheSim::new(c)).collect() }
+        Self {
+            levels: configs.iter().map(|&c| CacheSim::new(c)).collect(),
+        }
     }
 
     /// Touches one byte address through the hierarchy. Returns the index of
@@ -197,7 +202,11 @@ mod tests {
 
     fn tiny() -> CacheSim {
         // 4 sets x 2 ways x 16-byte lines = 128 bytes.
-        CacheSim::new(CacheConfig { size_bytes: 128, line_bytes: 16, ways: 2 })
+        CacheSim::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 16,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -246,7 +255,11 @@ mod tests {
         for &i in &order {
             c.access(i * 16);
         }
-        assert!(c.stats().miss_rate() > 0.9, "miss rate {}", c.stats().miss_rate());
+        assert!(
+            c.stats().miss_rate() > 0.9,
+            "miss rate {}",
+            c.stats().miss_rate()
+        );
     }
 
     #[test]
@@ -275,12 +288,20 @@ mod tests {
 
     #[test]
     fn multi_level_forwards_misses() {
-        let l1 = CacheConfig { size_bytes: 64, line_bytes: 16, ways: 2 };
-        let l2 = CacheConfig { size_bytes: 256, line_bytes: 16, ways: 2 };
+        let l1 = CacheConfig {
+            size_bytes: 64,
+            line_bytes: 16,
+            ways: 2,
+        };
+        let l2 = CacheConfig {
+            size_bytes: 256,
+            line_bytes: 16,
+            ways: 2,
+        };
         let mut h = MultiLevelCache::new(&[l1, l2]);
         assert_eq!(h.access(0), None); // cold everywhere
         assert_eq!(h.access(0), Some(0)); // L1 hit
-        // Evict line 0 from tiny L1 (set 0 strides: 4 sets * 16 = 64).
+                                          // Evict line 0 from tiny L1 (set 0 strides: 4 sets * 16 = 64).
         h.access(64);
         h.access(128);
         // L1 misses but L2 still holds it.
@@ -298,6 +319,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_line_size_panics() {
-        let _ = CacheSim::new(CacheConfig { size_bytes: 128, line_bytes: 12, ways: 2 });
+        let _ = CacheSim::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 12,
+            ways: 2,
+        });
     }
 }

@@ -1,0 +1,173 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment cannot fetch crates.io, so this crate keeps the
+//! benchmark suites *compiling and runnable*: each benchmark closure is
+//! executed once with wall-clock timing printed, rather than being
+//! statistically sampled. Swapping back to real criterion is a one-line
+//! change in the workspace manifests; no bench source changes.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs one benchmark body.
+pub struct Bencher {
+    last: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (upstream: many sampled runs).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t0 = Instant::now();
+        black_box(routine());
+        self.last = t0.elapsed();
+    }
+
+    /// Times one execution of `routine` on a fresh `setup()` input, with
+    /// the setup excluded from the measurement.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        self.last = t0.elapsed();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    fn run(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            last: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("bench {}/{id}: {:?} (single smoke run)", self.name, b.last);
+    }
+
+    /// Sampling size — accepted and ignored by the stand-in.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement budget — accepted and ignored by the stand-in.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Warm-up budget — accepted and ignored by the stand-in.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {}
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            last: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("bench {id}: {:?} (single smoke run)", b.last);
+        self
+    }
+}
+
+/// Declares a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,218 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRng;
+use rand::{Rng, SampleUniform};
+
+/// A generator of random values for property tests. Unlike upstream
+/// proptest there is no value tree / shrinking — `generate` draws one
+/// concrete value per call.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters generated values; sampling retries until `f` accepts (with
+    /// a retry cap to keep pathological filters from hanging).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+
+    /// Type-erases the strategy (for heterogeneous unions).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 consecutive samples",
+            self.whence
+        );
+    }
+}
+
+/// Uniform choice among boxed strategies (built by `prop_oneof!`).
+pub struct Union<V> {
+    choices: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `choices`.
+    ///
+    /// # Panics
+    /// Panics if `choices` is empty.
+    pub fn new(choices: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(
+            !choices.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        Self { choices }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.choices.len());
+        self.choices[i].generate(rng)
+    }
+}
+
+/// Numeric ranges are strategies over their contents.
+impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// `Just`-style constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn range_strategy_in_bounds() {
+        let mut rng = TestRng::for_case(1);
+        for _ in 0..1000 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn map_and_tuple() {
+        let mut rng = TestRng::for_case(2);
+        let s = (0u32..10, 0u32..10).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng) < 20);
+        }
+    }
+
+    #[test]
+    fn union_draws_from_all_choices() {
+        let mut rng = TestRng::for_case(3);
+        let u = Union::new(vec![(0u32..1).boxed(), (10u32..11).boxed()]);
+        let mut saw = [false, false];
+        for _ in 0..100 {
+            match u.generate(&mut rng) {
+                0 => saw[0] = true,
+                10 => saw[1] = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(saw[0] && saw[1]);
+    }
+}

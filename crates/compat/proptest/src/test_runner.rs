@@ -1,0 +1,24 @@
+//! The per-case RNG driving strategy generation.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic per-case generator: case `n` of every test in a process
+/// uses the same stream, so failures reproduce without a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// The RNG for case number `case`.
+    pub fn for_case(case: u64) -> Self {
+        Self(SmallRng::seed_from_u64(
+            0x9027_7E57 ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+        ))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

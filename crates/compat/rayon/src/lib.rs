@@ -1,0 +1,176 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot fetch crates.io, so this crate provides the
+//! `par_iter` / `into_par_iter` / `par_iter_mut` entry points the workspace
+//! uses, executing **sequentially** on the calling thread. Each adapter
+//! returns the corresponding standard iterator, so every downstream
+//! combinator (`map`, `filter`, `for_each`, `collect`, `sum`, …) is the
+//! `std::iter` one.
+//!
+//! Sequential execution is a feature here, not just a fallback: graph
+//! construction becomes fully deterministic for a given seed, which the
+//! engine-parity tests in `tests/engine_api.rs` rely on. When a real
+//! `rayon` is available again, swapping the path dependency back restores
+//! parallelism without touching any call site (the parity tests then
+//! compare like-built indexes, so they keep passing).
+
+pub mod iter {
+    //! Sequential "parallel iterator" entry points.
+
+    /// A sequential iterator posing as a rayon parallel iterator.
+    ///
+    /// Delegates [`Iterator`] wholesale; the inherent `map` / `filter` /
+    /// `reduce` mirror the rayon signatures that differ from `std` (rayon's
+    /// `reduce` takes an identity closure), staying inside `SeqIter` so the
+    /// rayon-shaped methods remain reachable mid-chain.
+    pub struct SeqIter<I>(pub I);
+
+    impl<I: Iterator> Iterator for SeqIter<I> {
+        type Item = I::Item;
+        fn next(&mut self) -> Option<I::Item> {
+            self.0.next()
+        }
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.0.size_hint()
+        }
+    }
+
+    impl<I: Iterator> SeqIter<I> {
+        /// rayon-compatible `map`.
+        pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> SeqIter<std::iter::Map<I, F>> {
+            SeqIter(self.0.map(f))
+        }
+
+        /// rayon-compatible `filter`.
+        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> SeqIter<std::iter::Filter<I, F>> {
+            SeqIter(self.0.filter(f))
+        }
+
+        /// rayon's `flat_map_iter` (sequentially identical to `flat_map`).
+        pub fn flat_map_iter<U, F>(self, f: F) -> SeqIter<std::iter::FlatMap<I, U, F>>
+        where
+            U: IntoIterator,
+            F: FnMut(I::Item) -> U,
+        {
+            SeqIter(self.0.flat_map(f))
+        }
+
+        /// rayon's identity-seeded reduce.
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: Fn(I::Item, I::Item) -> I::Item,
+        {
+            self.0.fold(identity(), op)
+        }
+    }
+
+    /// By-value conversion, mirroring `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item;
+        /// The (sequential) iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Converts `self` into an iterator; upstream this is the parallel
+        /// entry point, here it is `into_iter`.
+        fn into_par_iter(self) -> SeqIter<Self::Iter>;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> SeqIter<Self::Iter> {
+            SeqIter(self.into_iter())
+        }
+    }
+
+    /// By-shared-reference conversion, mirroring
+    /// `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The element type.
+        type Item: 'data;
+        /// The (sequential) iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterates `&self`.
+        fn par_iter(&'data self) -> SeqIter<Self::Iter>;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> SeqIter<Self::Iter> {
+            SeqIter(self.into_iter())
+        }
+    }
+
+    /// By-mutable-reference conversion, mirroring
+    /// `rayon::iter::IntoParallelRefMutIterator`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The element type.
+        type Item: 'data;
+        /// The (sequential) iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterates `&mut self`.
+        fn par_iter_mut(&'data mut self) -> SeqIter<Self::Iter>;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Item = <&'data mut C as IntoIterator>::Item;
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> SeqIter<Self::Iter> {
+            SeqIter(self.into_iter())
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything call sites import via `use rayon::prelude::*`.
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+}
+
+/// Runs both closures (sequentially) and returns both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (oper_a(), oper_b())
+}
+
+/// Number of "worker threads": always 1 in the sequential stand-in.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_over_range() {
+        let total: u32 = (0u32..10).into_par_iter().filter(|&x| x % 2 == 0).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn par_iter_and_mut() {
+        let mut v = vec![1, 2, 3];
+        let s: i32 = v.par_iter().sum();
+        assert_eq!(s, 6);
+        v.par_iter_mut().for_each(|x| *x *= 2);
+        assert_eq!(v, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+    }
+}

@@ -1,0 +1,366 @@
+//! One constructor for the whole graph × coding matrix.
+
+use crate::indexes::{FlatVariant, FrozenIndex, GraphIndex};
+use crate::kinds::{Coding, GraphKind};
+use crate::AnnIndex;
+use flash::{FlashCodec, FlashParams, FlashProvider};
+use graphs::flat_build::FlatParams;
+use graphs::providers::{FullPrecision, OpqProvider, PcaProvider, PqProvider, SqProvider};
+use graphs::{
+    GraphLayers, Hcnng, HcnngParams, Hnsw, HnswParams, LabeledHnsw, LabeledParams, Nsg, TauMg,
+    TauMgParams, Vamana, VamanaParams,
+};
+use vecstore::VectorSet;
+
+/// Builds any [`GraphKind`] × [`Coding`] combination into a
+/// `Box<dyn AnnIndex>`, subsuming the per-type constructors
+/// (`Hnsw::build`, `build_flash_nsg`, …) behind one fluent surface.
+///
+/// Unset knobs fall back to the same defaults the legacy constructors
+/// used, so a builder configured with only `(graph, coding, c, r, seed)`
+/// produces an index identical to the corresponding legacy call — the
+/// property `tests/engine_api.rs` locks in for all 30 combinations.
+#[derive(Debug, Clone)]
+pub struct IndexBuilder {
+    graph: GraphKind,
+    coding: Coding,
+    c: usize,
+    r: usize,
+    seed: u64,
+    alpha: f32,
+    tau: f32,
+    trees: usize,
+    leaf_size: usize,
+    mst_degree: usize,
+    flash: Option<FlashParams>,
+    sq_bits: u8,
+    pq_m: Option<usize>,
+    pq_bits: u8,
+    opq_iters: usize,
+    pca_variance: f64,
+    train_sample: Option<usize>,
+}
+
+impl IndexBuilder {
+    /// A builder for the given combination with the workspace defaults.
+    pub fn new(graph: GraphKind, coding: Coding) -> Self {
+        Self {
+            graph,
+            coding,
+            c: 128,
+            r: 16,
+            seed: 0x5eed,
+            alpha: 1.2,
+            tau: 0.1,
+            trees: 10,
+            leaf_size: 48,
+            mst_degree: 3,
+            flash: None,
+            sq_bits: 8,
+            pq_m: None,
+            pq_bits: 8,
+            opq_iters: 8,
+            pca_variance: 0.9,
+            train_sample: None,
+        }
+    }
+
+    /// Candidate-pool bound `C` (a.k.a. `efConstruction` / DiskANN's `L`).
+    pub fn c(mut self, c: usize) -> Self {
+        self.c = c;
+        self
+    }
+
+    /// Degree bound `R`.
+    pub fn r(mut self, r: usize) -> Self {
+        self.r = r;
+        self
+    }
+
+    /// RNG seed shared by level sampling and codec training.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Vamana's α slack (ignored by other graphs).
+    pub fn alpha(mut self, alpha: f32) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// τ-MG's monotonicity slack (ignored by other graphs).
+    pub fn tau(mut self, tau: f32) -> Self {
+        self.tau = tau;
+        self
+    }
+
+    /// HCNNG's clustering passes / leaf size / MST degree (ignored by
+    /// other graphs).
+    pub fn hcnng(mut self, trees: usize, leaf_size: usize, mst_degree: usize) -> Self {
+        self.trees = trees;
+        self.leaf_size = leaf_size;
+        self.mst_degree = mst_degree;
+        self
+    }
+
+    /// Full Flash parameter override (default: `FlashParams::auto(dim)`
+    /// with this builder's seed and training-sample size).
+    pub fn flash_params(mut self, params: FlashParams) -> Self {
+        self.flash = Some(params);
+        self
+    }
+
+    /// SQ code width in bits.
+    pub fn sq_bits(mut self, bits: u8) -> Self {
+        self.sq_bits = bits;
+        self
+    }
+
+    /// PQ/OPQ subspace count (default: `(dim / 48).clamp(4, 64)`).
+    pub fn pq_m(mut self, m: usize) -> Self {
+        self.pq_m = Some(m);
+        self
+    }
+
+    /// PQ/OPQ codeword bits.
+    pub fn pq_bits(mut self, bits: u8) -> Self {
+        self.pq_bits = bits;
+        self
+    }
+
+    /// OPQ alternation iterations.
+    pub fn opq_iters(mut self, iters: usize) -> Self {
+        self.opq_iters = iters;
+        self
+    }
+
+    /// PCA retained-variance fraction.
+    pub fn pca_variance(mut self, alpha: f64) -> Self {
+        self.pca_variance = alpha;
+        self
+    }
+
+    /// Codec training-sample size (default: `(n / 2).clamp(256, 10_000)`).
+    pub fn train_sample(mut self, n: usize) -> Self {
+        self.train_sample = Some(n);
+        self
+    }
+
+    /// The configured graph kind.
+    pub fn graph_kind(&self) -> GraphKind {
+        self.graph
+    }
+
+    /// The configured coding.
+    pub fn coding(&self) -> Coding {
+        self.coding
+    }
+
+    fn hnsw_params(&self) -> HnswParams {
+        HnswParams {
+            c: self.c,
+            r: self.r,
+            seed: self.seed,
+        }
+    }
+
+    fn flat_params(&self) -> FlatParams {
+        FlatParams {
+            r: self.r,
+            c: self.c,
+            seed: self.seed,
+        }
+    }
+
+    fn training_sample_for(&self, n: usize) -> usize {
+        self.train_sample.unwrap_or((n / 2).clamp(256, 10_000))
+    }
+
+    fn derived_flash(&self, dim: usize, n: usize) -> FlashParams {
+        self.flash.unwrap_or_else(|| {
+            let mut fp = FlashParams::auto(dim);
+            fp.seed = self.seed;
+            fp.train_sample = self.training_sample_for(n);
+            fp
+        })
+    }
+
+    fn derived_pq_m(&self, dim: usize) -> usize {
+        self.pq_m.unwrap_or((dim / 48).clamp(4, 64))
+    }
+
+    /// Trains the configured coding over `base` and builds the configured
+    /// graph through it.
+    pub fn build(&self, base: VectorSet) -> Box<dyn AnnIndex> {
+        let (dim, n) = (base.dim(), base.len());
+        let ts = self.training_sample_for(n);
+        match self.coding {
+            Coding::Full => self.finish(FullPrecision::new(base)),
+            Coding::Sq => self.finish(SqProvider::new(base, self.sq_bits)),
+            Coding::Pca => self.finish(PcaProvider::with_variance(base, self.pca_variance, ts)),
+            Coding::Pq => {
+                let m = self.derived_pq_m(dim);
+                self.finish(PqProvider::new(base, m, self.pq_bits, ts, self.seed))
+            }
+            Coding::Opq => {
+                let m = self.derived_pq_m(dim);
+                self.finish(OpqProvider::new(
+                    base,
+                    m,
+                    self.pq_bits,
+                    self.opq_iters,
+                    ts,
+                    self.seed,
+                ))
+            }
+            Coding::Flash => {
+                let fp = self.derived_flash(dim, n);
+                self.finish(FlashProvider::new(base, fp))
+            }
+        }
+    }
+
+    fn finish<P: DistanceProviderExt>(&self, provider: P) -> Box<dyn AnnIndex> {
+        match self.graph {
+            GraphKind::Hnsw => Box::new(GraphIndex::new(Hnsw::build(provider, self.hnsw_params()))),
+            GraphKind::Nsg => Box::new(FlatVariant::new(Nsg::build(provider, self.flat_params()))),
+            GraphKind::TauMg => Box::new(FlatVariant::new(TauMg::build(
+                provider,
+                TauMgParams {
+                    flat: self.flat_params(),
+                    tau: self.tau,
+                },
+            ))),
+            GraphKind::Vamana => Box::new(FlatVariant::new(Vamana::build(
+                provider,
+                VamanaParams {
+                    r: self.r,
+                    c: self.c,
+                    alpha: self.alpha,
+                    seed: self.seed,
+                },
+            ))),
+            GraphKind::Hcnng => Box::new(FlatVariant::new(Hcnng::build(
+                provider,
+                HcnngParams {
+                    trees: self.trees,
+                    leaf_size: self.leaf_size,
+                    mst_degree: self.mst_degree,
+                    seed: self.seed,
+                },
+            ))),
+        }
+    }
+
+    /// Serves a persisted topology: re-derives the provider over `base`
+    /// (deterministic for a given seed) and pairs it with `graph` in a
+    /// [`FrozenIndex`]. Works for any graph kind — flat topologies are
+    /// single-layer [`GraphLayers`].
+    pub fn serve(&self, base: VectorSet, graph: GraphLayers) -> Result<Box<dyn AnnIndex>, String> {
+        if base.len() != graph.len() {
+            return Err(format!(
+                "topology covers {} nodes but base has {} vectors",
+                graph.len(),
+                base.len()
+            ));
+        }
+        let (dim, n) = (base.dim(), base.len());
+        let ts = self.training_sample_for(n);
+        Ok(match self.coding {
+            Coding::Full => Box::new(FrozenIndex::new(FullPrecision::new(base), graph)),
+            Coding::Sq => Box::new(FrozenIndex::new(SqProvider::new(base, self.sq_bits), graph)),
+            Coding::Pca => Box::new(FrozenIndex::new(
+                PcaProvider::with_variance(base, self.pca_variance, ts),
+                graph,
+            )),
+            Coding::Pq => {
+                let m = self.derived_pq_m(dim);
+                Box::new(FrozenIndex::new(
+                    PqProvider::new(base, m, self.pq_bits, ts, self.seed),
+                    graph,
+                ))
+            }
+            Coding::Opq => {
+                let m = self.derived_pq_m(dim);
+                Box::new(FrozenIndex::new(
+                    OpqProvider::new(base, m, self.pq_bits, self.opq_iters, ts, self.seed),
+                    graph,
+                ))
+            }
+            Coding::Flash => {
+                let fp = self.derived_flash(dim, n);
+                Box::new(FrozenIndex::new(FlashProvider::new(base, fp), graph))
+            }
+        })
+    }
+
+    /// Builds one specialized sub-index per label value (HNSW only — the
+    /// specialization the paper's hybrid-search motivation describes).
+    /// Codec-backed codings train once on the whole corpus and share the
+    /// codec across partitions.
+    pub fn build_labeled(
+        &self,
+        base: &VectorSet,
+        labels: &[u32],
+        min_graph_size: usize,
+    ) -> Result<Box<dyn AnnIndex>, String> {
+        if self.graph != GraphKind::Hnsw {
+            return Err(format!(
+                "per-label specialization is HNSW-based; got graph kind `{}`",
+                self.graph
+            ));
+        }
+        let params = LabeledParams {
+            hnsw: self.hnsw_params(),
+            min_graph_size,
+        };
+        let (dim, n) = (base.dim(), base.len());
+        Ok(match self.coding {
+            Coding::Full => Box::new(LabeledHnsw::build(base, labels, params, FullPrecision::new)),
+            Coding::Sq => {
+                let bits = self.sq_bits;
+                Box::new(LabeledHnsw::build(base, labels, params, move |subset| {
+                    SqProvider::new(subset, bits)
+                }))
+            }
+            Coding::Pca => {
+                let alpha = self.pca_variance;
+                Box::new(LabeledHnsw::build(base, labels, params, move |subset| {
+                    let ts = (subset.len() / 2).clamp(16, 10_000);
+                    PcaProvider::with_variance(subset, alpha, ts)
+                }))
+            }
+            Coding::Pq => {
+                let (m, bits, seed) = (self.derived_pq_m(dim), self.pq_bits, self.seed);
+                Box::new(LabeledHnsw::build(base, labels, params, move |subset| {
+                    let ts = (subset.len() / 2).clamp(16, 10_000);
+                    PqProvider::new(subset, m, bits, ts, seed)
+                }))
+            }
+            Coding::Opq => {
+                let (m, bits, iters, seed) = (
+                    self.derived_pq_m(dim),
+                    self.pq_bits,
+                    self.opq_iters,
+                    self.seed,
+                );
+                Box::new(LabeledHnsw::build(base, labels, params, move |subset| {
+                    let ts = (subset.len() / 2).clamp(16, 10_000);
+                    OpqProvider::new(subset, m, bits, iters, ts, seed)
+                }))
+            }
+            Coding::Flash => {
+                // Train once on the whole corpus; partitions only encode.
+                let codec = FlashCodec::train(base, self.derived_flash(dim, n));
+                Box::new(LabeledHnsw::build(base, labels, params, move |subset| {
+                    FlashProvider::from_codec(subset, codec.clone())
+                }))
+            }
+        })
+    }
+}
+
+/// `DistanceProvider + 'static`, nameable as one bound.
+trait DistanceProviderExt: graphs::DistanceProvider + 'static {}
+impl<T: graphs::DistanceProvider + 'static> DistanceProviderExt for T {}

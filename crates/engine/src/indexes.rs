@@ -1,0 +1,524 @@
+//! [`AnnIndex`](crate::AnnIndex) implementations for every index shape in
+//! the workspace.
+
+use crate::request::{AdSamplingOptions, SearchRequest, SearchResponse, SearchStats};
+use crate::AnnIndex;
+use graphs::adsampling::AdSampler;
+use graphs::flat_build::{search_flat, search_flat_filtered};
+use graphs::vbase::search_vbase;
+use graphs::{
+    search_layers, search_layers_filtered, search_layers_rerank, DistanceProvider, FlatGraph,
+    GraphLayers, Hcnng, Hit, Hnsw, LabeledHnsw, Nsg, TauMg, Vamana,
+};
+use maintenance::LsmVectorIndex;
+use std::sync::{Arc, OnceLock, RwLock};
+use vecstore::VectorSet;
+
+// ---------------------------------------------------------------------
+// Shared machinery
+// ---------------------------------------------------------------------
+
+/// Applies the request's post-retrieval steps (predicate filter → exact
+/// rerank → truncate) to a candidate pool of `pool_k` hits.
+fn finish_pool(
+    base: &VectorSet,
+    req: &SearchRequest,
+    mut pool: Vec<Hit>,
+    already_filtered: bool,
+) -> Vec<Hit> {
+    if !already_filtered {
+        if let Some(f) = &req.filter {
+            pool.retain(|h| f(h.id));
+        }
+    }
+    if req.wants_rerank() {
+        graphs::rerank_exact(base, &req.query, pool, req.k)
+    } else {
+        pool.truncate(req.k);
+        pool
+    }
+}
+
+type SamplerKey = (u32, usize, u64);
+
+/// Lazily built, parameter-keyed [`AdSampler`]s (the rotated dataset copy
+/// is expensive; one is kept per option set, capped so hostile request
+/// streams cannot grow the cache without bound).
+#[derive(Default)]
+struct SamplerCache {
+    entries: RwLock<Vec<(SamplerKey, Arc<AdSampler>)>>,
+}
+
+/// Distinct ADSampling option sets cached per index.
+const SAMPLER_CACHE_CAP: usize = 8;
+
+impl SamplerCache {
+    fn get(&self, base: &VectorSet, opts: &AdSamplingOptions) -> Arc<AdSampler> {
+        let key: SamplerKey = (opts.epsilon0.to_bits(), opts.delta_d, opts.seed);
+        if let Some((_, s)) = self.entries.read().unwrap().iter().find(|(k, _)| *k == key) {
+            return Arc::clone(s);
+        }
+        let sampler = Arc::new(AdSampler::new(base, opts.epsilon0, opts.delta_d, opts.seed));
+        let mut entries = self.entries.write().unwrap();
+        if let Some((_, s)) = entries.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(s); // raced: another thread built it first
+        }
+        if entries.len() >= SAMPLER_CACHE_CAP {
+            entries.remove(0); // evict the oldest entry
+        }
+        entries.push((key, Arc::clone(&sampler)));
+        sampler
+    }
+}
+
+/// The unified serving pipeline over a frozen topology: dispatches to
+/// ADSampling, VBase, filtered, reranked, or plain beam search according
+/// to the request.
+fn serve_layers<P: DistanceProvider>(
+    provider: &P,
+    layers: &GraphLayers,
+    samplers: &SamplerCache,
+    req: &SearchRequest,
+) -> SearchResponse {
+    let q = &req.query[..];
+    let (k, ef) = (req.k, req.ef);
+    if let Some(opts) = &req.adsampling {
+        let sampler = samplers.get(provider.base(), opts);
+        // The filter (if any) applies after retrieval here, so fetch a
+        // widened pool; post_filter_pool == pool_k when no filter is set.
+        let (pool, stats) = sampler.search(layers, q, post_filter_pool(req), ef);
+        let hits = finish_pool(provider.base(), req, pool, false);
+        return SearchResponse {
+            hits,
+            stats: SearchStats {
+                evaluated: stats.evals,
+                abandoned: stats.abandoned,
+            },
+        };
+    }
+    if let Some(window) = req.vbase_window {
+        let pool = search_vbase(provider, layers, q, post_filter_pool(req), window);
+        return SearchResponse::from_hits(finish_pool(provider.base(), req, pool, false));
+    }
+    if let Some(f) = &req.filter {
+        let f = Arc::clone(f);
+        let accept = move |id: u32| f(u64::from(id));
+        let pool = search_layers_filtered(provider, layers, q, req.pool_k(), ef, &accept);
+        return SearchResponse::from_hits(finish_pool(provider.base(), req, pool, true));
+    }
+    if req.wants_rerank() {
+        return SearchResponse::from_hits(search_layers_rerank(
+            provider, layers, q, k, ef, req.rerank,
+        ));
+    }
+    SearchResponse::from_hits(search_layers(provider, layers, q, k, ef))
+}
+
+// ---------------------------------------------------------------------
+// HNSW-backed indexes
+// ---------------------------------------------------------------------
+
+/// [`Hnsw`] behind the engine API: plain/filtered/reranked requests serve
+/// straight from the live index (bit-identical to the legacy inherent
+/// methods); VBase and ADSampling requests serve from a lazily frozen
+/// topology snapshot.
+pub struct GraphIndex<P: DistanceProvider> {
+    inner: Hnsw<P>,
+    frozen: RwLock<Option<Arc<GraphLayers>>>,
+    samplers: SamplerCache,
+}
+
+impl<P: DistanceProvider> GraphIndex<P> {
+    /// Wraps a built index.
+    pub fn new(inner: Hnsw<P>) -> Self {
+        Self {
+            inner,
+            frozen: RwLock::new(None),
+            samplers: SamplerCache::default(),
+        }
+    }
+
+    /// The wrapped index (construction-time APIs: `insert`, `freeze`, …).
+    ///
+    /// Streaming inserts through this handle are visible to plain /
+    /// filtered / reranked searches immediately, but VBase, ADSampling,
+    /// and [`AnnIndex::export_graph`] read the frozen topology snapshot —
+    /// call [`Self::refresh_topology`] after an ingest batch to refresh
+    /// those paths.
+    pub fn inner(&self) -> &Hnsw<P> {
+        &self.inner
+    }
+
+    /// Drops the cached topology snapshot (and any ADSampling rotations
+    /// derived from it) so the next frozen-path search re-freezes the
+    /// current graph.
+    pub fn refresh_topology(&self) {
+        *self.frozen.write().unwrap() = None;
+        self.samplers.entries.write().unwrap().clear();
+    }
+
+    fn frozen(&self) -> Arc<GraphLayers> {
+        if let Some(g) = self.frozen.read().unwrap().as_ref() {
+            return Arc::clone(g);
+        }
+        let mut slot = self.frozen.write().unwrap();
+        if let Some(g) = slot.as_ref() {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(self.inner.freeze());
+        *slot = Some(Arc::clone(&g));
+        g
+    }
+}
+
+impl<P: DistanceProvider + 'static> AnnIndex for GraphIndex<P> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.inner.provider().base().dim()
+    }
+
+    fn search(&self, req: &SearchRequest) -> SearchResponse {
+        if req.adsampling.is_some() || req.vbase_window.is_some() {
+            return serve_layers(self.inner.provider(), &self.frozen(), &self.samplers, req);
+        }
+        let q = &req.query[..];
+        let (k, ef) = (req.k, req.ef);
+        if let Some(f) = &req.filter {
+            // finish_pool applies the rerank step to the filtered pool.
+            let f = Arc::clone(f);
+            let accept = move |id: u32| f(u64::from(id));
+            let pool = self.inner.search_filtered(q, req.pool_k(), ef, &accept);
+            SearchResponse::from_hits(finish_pool(self.inner.provider().base(), req, pool, true))
+        } else if req.wants_rerank() {
+            SearchResponse::from_hits(self.inner.search_rerank(q, k, ef, req.rerank))
+        } else {
+            SearchResponse::from_hits(self.inner.search(q, k, ef))
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.index_bytes()
+    }
+
+    fn export_graph(&self) -> Option<GraphLayers> {
+        Some((*self.frozen()).clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flat-graph (single-layer) indexes: NSG, τ-MG, Vamana, HCNNG
+// ---------------------------------------------------------------------
+
+/// Uniform access to the four flat-graph index families.
+pub trait FlatAnn: Send + Sync {
+    /// The distance provider type.
+    type P: DistanceProvider;
+    /// The provider.
+    fn provider(&self) -> &Self::P;
+    /// The navigating graph.
+    fn graph(&self) -> &FlatGraph;
+    /// Index size in bytes.
+    fn index_bytes(&self) -> usize;
+}
+
+macro_rules! flat_ann {
+    ($($ty:ident),*) => {$(
+        impl<P: DistanceProvider> FlatAnn for $ty<P> {
+            type P = P;
+            fn provider(&self) -> &P {
+                $ty::provider(self)
+            }
+            fn graph(&self) -> &FlatGraph {
+                $ty::graph(self)
+            }
+            fn index_bytes(&self) -> usize {
+                $ty::index_bytes(self)
+            }
+        }
+    )*};
+}
+
+flat_ann!(Nsg, TauMg, Vamana, Hcnng);
+
+/// A flat-graph index behind the engine API. Plain/filtered/reranked
+/// requests run the same `search_flat` the legacy inherent methods use;
+/// VBase/ADSampling requests view the flat graph as a single-layer
+/// topology (built lazily, once).
+pub struct FlatVariant<I: FlatAnn> {
+    inner: I,
+    layers: OnceLock<GraphLayers>,
+    samplers: SamplerCache,
+}
+
+impl<I: FlatAnn> FlatVariant<I> {
+    /// Wraps a built flat-graph index.
+    pub fn new(inner: I) -> Self {
+        Self {
+            inner,
+            layers: OnceLock::new(),
+            samplers: SamplerCache::default(),
+        }
+    }
+
+    /// The wrapped index.
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    fn layers(&self) -> &GraphLayers {
+        self.layers.get_or_init(|| {
+            let g = self.inner.graph();
+            GraphLayers {
+                layers: vec![g.adj.clone()],
+                entry: g.entry,
+                max_layer: 0,
+            }
+        })
+    }
+}
+
+impl<I: FlatAnn + 'static> AnnIndex for FlatVariant<I> {
+    fn len(&self) -> usize {
+        self.inner.provider().len()
+    }
+
+    fn dim(&self) -> usize {
+        self.inner.provider().base().dim()
+    }
+
+    fn search(&self, req: &SearchRequest) -> SearchResponse {
+        if req.adsampling.is_some() || req.vbase_window.is_some() {
+            return serve_layers(self.inner.provider(), self.layers(), &self.samplers, req);
+        }
+        let (provider, graph) = (self.inner.provider(), self.inner.graph());
+        let q = &req.query[..];
+        let ef = req.ef;
+        if let Some(f) = &req.filter {
+            let f = Arc::clone(f);
+            let accept = move |id: u32| f(u64::from(id));
+            let pool = search_flat_filtered(provider, graph, q, req.pool_k(), ef, &accept);
+            return SearchResponse::from_hits(finish_pool(provider.base(), req, pool, true));
+        }
+        if req.wants_rerank() {
+            let pool = search_flat(provider, graph, q, req.pool_k(), ef);
+            return SearchResponse::from_hits(graphs::rerank_exact(
+                provider.base(),
+                q,
+                pool,
+                req.k,
+            ));
+        }
+        SearchResponse::from_hits(search_flat(provider, graph, q, req.k, ef))
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.index_bytes()
+    }
+
+    fn export_graph(&self) -> Option<GraphLayers> {
+        Some(self.layers().clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frozen (reloaded-topology) serving
+// ---------------------------------------------------------------------
+
+/// Serves a persisted topology through a deterministically re-derived
+/// provider — the reload path of `flash_cli search` and the
+/// `persisted_serving` example. Handles every request option through the
+/// unified frozen-layer pipeline.
+pub struct FrozenIndex<P: DistanceProvider> {
+    provider: P,
+    graph: GraphLayers,
+    samplers: SamplerCache,
+}
+
+impl<P: DistanceProvider> FrozenIndex<P> {
+    /// Pairs a provider with a loaded topology.
+    ///
+    /// # Panics
+    /// Panics if the provider and topology disagree on the vector count.
+    pub fn new(provider: P, graph: GraphLayers) -> Self {
+        assert_eq!(
+            provider.len(),
+            graph.len(),
+            "provider covers {} vectors, topology {}",
+            provider.len(),
+            graph.len()
+        );
+        Self {
+            provider,
+            graph,
+            samplers: SamplerCache::default(),
+        }
+    }
+
+    /// The provider.
+    pub fn provider(&self) -> &P {
+        &self.provider
+    }
+
+    /// The served topology.
+    pub fn graph(&self) -> &GraphLayers {
+        &self.graph
+    }
+}
+
+impl<P: DistanceProvider + 'static> AnnIndex for FrozenIndex<P> {
+    fn len(&self) -> usize {
+        self.provider.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.provider.base().dim()
+    }
+
+    fn search(&self, req: &SearchRequest) -> SearchResponse {
+        serve_layers(&self.provider, &self.graph, &self.samplers, req)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.graph.adjacency_bytes() + self.provider.aux_bytes()
+    }
+
+    fn export_graph(&self) -> Option<GraphLayers> {
+        Some(self.graph.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Brute-force baseline
+// ---------------------------------------------------------------------
+
+/// Exact linear-scan baseline: the reference point every approximate
+/// index is measured against, served through the same API. Ignores the
+/// traversal options (`ef`, rerank, VBase, ADSampling) — results are
+/// exact by construction.
+pub struct FlatIndex {
+    base: VectorSet,
+}
+
+impl FlatIndex {
+    /// Wraps the dataset.
+    pub fn new(base: VectorSet) -> Self {
+        Self { base }
+    }
+
+    /// The underlying vectors.
+    pub fn base(&self) -> &VectorSet {
+        &self.base
+    }
+}
+
+impl AnnIndex for FlatIndex {
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    fn search(&self, req: &SearchRequest) -> SearchResponse {
+        let accept = |id: u64| req.filter.as_ref().is_none_or(|f| f(id));
+        let mut hits: Vec<Hit> = self
+            .base
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| accept(*i as u64))
+            .map(|(i, v)| Hit {
+                id: i as u64,
+                dist: simdops::l2_sq(&req.query, v),
+            })
+            .collect();
+        hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        hits.truncate(req.k);
+        SearchResponse::from_hits(hits)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.base.payload_bytes()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Composite indexes defined elsewhere in the workspace
+// ---------------------------------------------------------------------
+
+/// Pool size for search paths that can only filter *after* retrieval
+/// (the VBase/ADSampling traversals and the composite LSM / per-label
+/// indexes): with a predicate present, fetch well past `k` so selective
+/// filters still fill the result set. Plain graph requests filter
+/// natively during traversal and do not need this.
+fn post_filter_pool(req: &SearchRequest) -> usize {
+    if req.filter.is_some() {
+        req.pool_k().max(req.k * 16).max(req.ef)
+    } else {
+        req.pool_k()
+    }
+}
+
+/// The LSM maintenance index serves through the same API: memtable scan +
+/// per-segment filtered graph searches, merged by exact distance. Ids are
+/// the stable external ids; `rerank` only widens the merge pool (distances
+/// are already exact); VBase/ADSampling are ignored. A predicate filter is
+/// applied after the merge over a pool widened to `max(k*16, ef)`, so very
+/// selective predicates (rarer than ~1 in 16 within the query's
+/// neighborhood) can still under-fill the response.
+impl AnnIndex for LsmVectorIndex {
+    fn len(&self) -> usize {
+        self.stats().live
+    }
+
+    fn dim(&self) -> usize {
+        self.config().dim
+    }
+
+    fn search(&self, req: &SearchRequest) -> SearchResponse {
+        let mut hits = LsmVectorIndex::search(self, &req.query, post_filter_pool(req), req.ef);
+        if let Some(f) = &req.filter {
+            hits.retain(|h| f(h.id));
+        }
+        hits.truncate(req.k);
+        SearchResponse::from_hits(hits)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.bytes()
+    }
+}
+
+/// The specialized per-label index: requests must carry
+/// [`SearchRequest::label`]; an unlabeled request (or an unknown label)
+/// returns no hits, mirroring the inherent `search` contract. Reported
+/// distances come from the sub-index provider (exact for tiny flat
+/// partitions), so `rerank` only widens the pool.
+impl<P: DistanceProvider + 'static> AnnIndex for LabeledHnsw<P> {
+    fn len(&self) -> usize {
+        LabeledHnsw::len(self)
+    }
+
+    fn dim(&self) -> usize {
+        LabeledHnsw::dim(self)
+    }
+
+    fn search(&self, req: &SearchRequest) -> SearchResponse {
+        let Some(label) = req.label else {
+            return SearchResponse::default();
+        };
+        let mut hits = LabeledHnsw::search(self, &req.query, label, post_filter_pool(req), req.ef);
+        if let Some(f) = &req.filter {
+            hits.retain(|h| f(h.id));
+        }
+        hits.truncate(req.k);
+        SearchResponse::from_hits(hits)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.index_bytes()
+    }
+}

@@ -1,0 +1,247 @@
+//! The graph × coding matrix and its name parsers.
+
+use std::fmt;
+use std::str::FromStr;
+
+macro_rules! fmt_name {
+    () => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(self.name())
+        }
+    };
+}
+/// The graph construction algorithm behind an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphKind {
+    /// Hierarchical Navigable Small World (multi-layer).
+    Hnsw,
+    /// Navigating Spreading-out Graph (single layer, medoid entry).
+    Nsg,
+    /// τ-monotonic graph (single layer, relaxed pruning).
+    TauMg,
+    /// DiskANN's Vamana (single layer, α-RNG pruning).
+    Vamana,
+    /// Hierarchical Clustering NNG (single layer, MST family).
+    Hcnng,
+}
+
+impl GraphKind {
+    /// Every supported graph kind.
+    pub const ALL: [GraphKind; 5] = [
+        GraphKind::Hnsw,
+        GraphKind::Nsg,
+        GraphKind::TauMg,
+        GraphKind::Vamana,
+        GraphKind::Hcnng,
+    ];
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphKind::Hnsw => "hnsw",
+            GraphKind::Nsg => "nsg",
+            GraphKind::TauMg => "taumg",
+            GraphKind::Vamana => "vamana",
+            GraphKind::Hcnng => "hcnng",
+        }
+    }
+}
+
+impl fmt::Display for GraphKind {
+    fmt_name!();
+}
+
+impl FromStr for GraphKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "hnsw" => Ok(GraphKind::Hnsw),
+            "nsg" => Ok(GraphKind::Nsg),
+            "taumg" | "tau-mg" | "tau_mg" | "tmg" => Ok(GraphKind::TauMg),
+            "vamana" | "diskann" => Ok(GraphKind::Vamana),
+            "hcnng" => Ok(GraphKind::Hcnng),
+            other => Err(format!(
+                "unknown graph kind `{other}` (accepted: hnsw, nsg, taumg, vamana, hcnng)"
+            )),
+        }
+    }
+}
+
+/// The vector-coding method distances are computed through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Coding {
+    /// Full-precision `f32` vectors (the baseline).
+    Full,
+    /// Scalar quantization to integer codes.
+    Sq,
+    /// PCA projection.
+    Pca,
+    /// Product quantization (ADC/SDC tables).
+    Pq,
+    /// Optimized product quantization (learned rotation + PQ).
+    Opq,
+    /// The paper's Flash coding (PCA → 4-bit subspace codewords →
+    /// register-resident quantized tables).
+    Flash,
+}
+
+impl Coding {
+    /// Every supported coding.
+    pub const ALL: [Coding; 6] = [
+        Coding::Full,
+        Coding::Sq,
+        Coding::Pca,
+        Coding::Pq,
+        Coding::Opq,
+        Coding::Flash,
+    ];
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Coding::Full => "full",
+            Coding::Sq => "sq",
+            Coding::Pca => "pca",
+            Coding::Pq => "pq",
+            Coding::Opq => "opq",
+            Coding::Flash => "flash",
+        }
+    }
+
+    /// The exact-rerank factor serving deployments conventionally pair
+    /// with this coding (compressed distances need a rerank pool; exact
+    /// distances do not). Used by `flash_cli` defaults.
+    pub fn default_rerank(self) -> usize {
+        match self {
+            Coding::Full => 1,
+            Coding::Sq | Coding::Pca => 4,
+            Coding::Pq | Coding::Opq | Coding::Flash => 8,
+        }
+    }
+}
+
+impl fmt::Display for Coding {
+    fmt_name!();
+}
+
+impl FromStr for Coding {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "full" | "float" | "f32" => Ok(Coding::Full),
+            "sq" => Ok(Coding::Sq),
+            "pca" => Ok(Coding::Pca),
+            "pq" => Ok(Coding::Pq),
+            "opq" => Ok(Coding::Opq),
+            "flash" => Ok(Coding::Flash),
+            other => Err(format!(
+                "unknown coding `{other}` (accepted: full, sq, pca, pq, opq, flash)"
+            )),
+        }
+    }
+}
+
+/// Parses a CLI-style method string into `(GraphKind, Coding)`.
+///
+/// Accepted forms:
+/// * legacy single tokens, all HNSW-based: `flash`, `hnsw` (= full
+///   precision), `full`, `pq`, `sq`, `pca`, `opq`;
+/// * an explicit pair `<graph>:<coding>` or `<graph>-<coding>`, e.g.
+///   `nsg:flash`, `vamana-full`, `taumg:pq`.
+///
+/// The error message enumerates the accepted set, so callers can validate
+/// up front and fail with a self-explanatory message.
+pub fn parse_method(s: &str) -> Result<(GraphKind, Coding), String> {
+    let lower = s.to_ascii_lowercase();
+    // Legacy single tokens (the pre-engine CLI surface).
+    match lower.as_str() {
+        "hnsw" => return Ok((GraphKind::Hnsw, Coding::Full)),
+        "full" | "flash" | "pq" | "sq" | "pca" | "opq" => {
+            return Ok((GraphKind::Hnsw, lower.parse()?))
+        }
+        _ => {}
+    }
+    // Explicit `<graph>:<coding>` (also `-` as separator; try every split
+    // position so aliases containing `-`, like `tau-mg`, keep working).
+    let candidates: Vec<(usize, char)> = lower
+        .char_indices()
+        .filter(|&(_, c)| c == ':' || c == '-')
+        .collect();
+    for (i, _) in candidates {
+        let (g, c) = (&lower[..i], &lower[i + 1..]);
+        if let (Ok(graph), Ok(coding)) = (g.parse::<GraphKind>(), c.parse::<Coding>()) {
+            return Ok((graph, coding));
+        }
+    }
+    Err(format!(
+        "unknown method `{s}`; accepted: flash | hnsw | full | pq | sq | pca | opq \
+         (HNSW-based shorthands), or <graph>:<coding> with graph in \
+         {{hnsw, nsg, taumg, vamana, hcnng}} and coding in \
+         {{full, sq, pca, pq, opq, flash}}"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_tokens_map_to_hnsw() {
+        assert_eq!(
+            parse_method("flash").unwrap(),
+            (GraphKind::Hnsw, Coding::Flash)
+        );
+        assert_eq!(
+            parse_method("hnsw").unwrap(),
+            (GraphKind::Hnsw, Coding::Full)
+        );
+        assert_eq!(parse_method("pq").unwrap(), (GraphKind::Hnsw, Coding::Pq));
+        assert_eq!(parse_method("opq").unwrap(), (GraphKind::Hnsw, Coding::Opq));
+    }
+
+    #[test]
+    fn pair_forms_parse() {
+        assert_eq!(
+            parse_method("nsg:flash").unwrap(),
+            (GraphKind::Nsg, Coding::Flash)
+        );
+        assert_eq!(
+            parse_method("vamana-full").unwrap(),
+            (GraphKind::Vamana, Coding::Full)
+        );
+        assert_eq!(
+            parse_method("tau-mg:pq").unwrap(),
+            (GraphKind::TauMg, Coding::Pq)
+        );
+        assert_eq!(
+            parse_method("tau-mg-sq").unwrap(),
+            (GraphKind::TauMg, Coding::Sq)
+        );
+        assert_eq!(
+            parse_method("HCNNG:FLASH").unwrap(),
+            (GraphKind::Hcnng, Coding::Flash)
+        );
+    }
+
+    #[test]
+    fn errors_enumerate_accepted_set() {
+        let err = parse_method("bogus").unwrap_err();
+        assert!(err.contains("flash | hnsw"));
+        assert!(err.contains("nsg"));
+        assert!(err.contains("opq"));
+        assert!(parse_method("nsg:bogus").is_err());
+        assert!(parse_method("bogus:flash").is_err());
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_names() {
+        for g in GraphKind::ALL {
+            assert_eq!(g.name().parse::<GraphKind>().unwrap(), g);
+        }
+        for c in Coding::ALL {
+            assert_eq!(c.name().parse::<Coding>().unwrap(), c);
+            let (g, parsed) = parse_method(&format!("nsg:{}", c.name())).unwrap();
+            assert_eq!((g, parsed), (GraphKind::Nsg, c));
+        }
+    }
+}

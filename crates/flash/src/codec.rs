@@ -113,7 +113,10 @@ impl FlashCodec {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         assert!(params.m_f >= 1, "M_F must be positive");
         assert!(params.d_f >= params.m_f, "d_F must be at least M_F");
-        assert!(params.d_f <= data.dim(), "d_F cannot exceed the input dimensionality");
+        assert!(
+            params.d_f <= data.dim(),
+            "d_F cannot exceed the input dimensionality"
+        );
 
         let sample = data.stride_sample(params.train_sample);
         // PCA stabilizes with far fewer samples than the codebooks need, and
@@ -153,7 +156,13 @@ impl FlashCodec {
             for v in projected.iter() {
                 sub.extend_from_slice(&v[span.start..span.start + span.len]);
             }
-            let result = kmeans(&sub, span.len, K, params.kmeans_iters, params.seed + s as u64);
+            let result = kmeans(
+                &sub,
+                span.len,
+                K,
+                params.kmeans_iters,
+                params.seed + s as u64,
+            );
             let mut sums = [0.0f64; K];
             let mut counts = [0usize; K];
             for (i, &a) in result.assignments.iter().enumerate() {
@@ -196,9 +205,8 @@ impl FlashCodec {
                 let span = partial.spans[s];
                 let sub = &v[span.start..span.start + span.len];
                 for c in 0..K {
-                    partials.push(
-                        simdops::l2_sq(sub, partial.centroid(s, c)) + partial.residual(s, c),
-                    );
+                    partials
+                        .push(simdops::l2_sq(sub, partial.centroid(s, c)) + partial.residual(s, c));
                 }
             }
             for a in 0..K {
@@ -291,7 +299,11 @@ impl FlashCodec {
     /// the paper's Remark (2) describes: codeword selection and ADT
     /// generation share the same centroid distance computations.
     pub fn encode_projected(&self, projected: &[f32]) -> (Vec<u8>, Vec<u8>) {
-        assert_eq!(projected.len(), self.d_f(), "projected dimensionality mismatch");
+        assert_eq!(
+            projected.len(),
+            self.d_f(),
+            "projected dimensionality mismatch"
+        );
         let m = self.subspaces();
         let mut codes = Vec::with_capacity(m);
         let mut adt = vec![0u8; m * K];
@@ -408,15 +420,27 @@ mod tests {
     }
 
     #[test]
-    fn adt_lookup_of_own_code_is_minimal() {
-        // The codeword is the argmin centroid, so the ADT entry at the own
-        // codeword must be the subspace minimum.
+    fn own_code_is_argmin_centroid() {
+        // Per subspace, the emitted codeword must be the centroid
+        // minimizing the raw projected distance. (The ADT entry at the own
+        // codeword is *not* necessarily the row minimum: table entries
+        // carry the per-centroid residual correction while codeword
+        // selection deliberately stays on the raw centroid distance.)
         let (c, data) = codec(64, 32, 8);
-        let (codes, adt) = c.encode(data.get(3));
-        for s in 0..8 {
-            let own = adt[s * 16 + usize::from(codes[s])];
-            let min = *adt[s * 16..(s + 1) * 16].iter().min().unwrap();
-            assert_eq!(own, min, "subspace {s}");
+        let projected = c.project(data.get(3));
+        let (codes, _adt) = c.encode(data.get(3));
+        for (s, span) in c.spans.iter().enumerate() {
+            let sub = &projected[span.start..span.start + span.len];
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for cand in 0..K {
+                let d = simdops::l2_sq(sub, c.centroid(s, cand));
+                if d < best_d {
+                    best_d = d;
+                    best = cand;
+                }
+            }
+            assert_eq!(usize::from(codes[s]), best, "subspace {s}");
         }
     }
 
@@ -542,11 +566,25 @@ mod tests {
         let data = dataset(400, 64, 13);
         let small = FlashCodec::train(
             &data,
-            FlashParams { d_f: 8, m_f: 8, train_sample: 300, kmeans_iters: 8, seed: 2, grid_quantile: 0.9 },
+            FlashParams {
+                d_f: 8,
+                m_f: 8,
+                train_sample: 300,
+                kmeans_iters: 8,
+                seed: 2,
+                grid_quantile: 0.9,
+            },
         );
         let large = FlashCodec::train(
             &data,
-            FlashParams { d_f: 48, m_f: 8, train_sample: 300, kmeans_iters: 8, seed: 2, grid_quantile: 0.9 },
+            FlashParams {
+                d_f: 48,
+                m_f: 8,
+                train_sample: 300,
+                kmeans_iters: 8,
+                seed: 2,
+                grid_quantile: 0.9,
+            },
         );
         use quantizers::Codec as _;
         let err = |c: &FlashCodec| -> f32 {
@@ -570,7 +608,14 @@ mod tests {
         let data = dataset(50, 16, 15);
         let _ = FlashCodec::train(
             &data,
-            FlashParams { d_f: 4, m_f: 8, train_sample: 50, kmeans_iters: 4, seed: 3, grid_quantile: 0.9 },
+            FlashParams {
+                d_f: 4,
+                m_f: 8,
+                train_sample: 50,
+                kmeans_iters: 4,
+                seed: 3,
+                grid_quantile: 0.9,
+            },
         );
     }
 }

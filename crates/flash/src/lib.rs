@@ -41,8 +41,7 @@ pub use provider::{FlashBlocks, FlashCtx, FlashProvider};
 pub use tune::{tune_flash_params, TuneOptions, TuneOutcome};
 
 use graphs::{
-    Hcnng, HcnngParams, Hnsw, HnswParams, Nsg, NsgParams, TauMg, TauMgParams, Vamana,
-    VamanaParams,
+    Hcnng, HcnngParams, Hnsw, HnswParams, Nsg, NsgParams, TauMg, TauMgParams, Vamana, VamanaParams,
 };
 use vecstore::VectorSet;
 
@@ -117,12 +116,16 @@ mod tests {
         let index = FlashHnsw::build_flash(
             base,
             FlashParams::auto(256),
-            HnswParams { c: 64, r: 8, seed: 2 },
+            HnswParams {
+                c: 64,
+                r: 8,
+                seed: 2,
+            },
         );
         let mut hits = 0;
         for (qi, truth) in gt.iter().enumerate() {
             let found = index.search_rerank(queries.get(qi), 1, 64, 8);
-            if found.first().map(|h| h.id) == Some(truth[0].id) {
+            if found.first().map(|h| h.id) == Some(u64::from(truth[0].id)) {
                 hits += 1;
             }
         }
@@ -136,7 +139,11 @@ mod tests {
         let index = FlashHnsw::build_flash(
             base,
             FlashParams::auto(256),
-            HnswParams { c: 32, r: 8, seed: 2 },
+            HnswParams {
+                c: 32,
+                r: 8,
+                seed: 2,
+            },
         );
         assert!(index.provider().aux_bytes() < raw_bytes);
     }
@@ -148,7 +155,11 @@ mod tests {
         let nsg = build_flash_nsg(
             base,
             FlashParams::auto(256),
-            NsgParams { r: 8, c: 48, seed: 3 },
+            NsgParams {
+                r: 8,
+                c: 48,
+                seed: 3,
+            },
         );
         let hits = nsg.search_rerank(queries.get(0), 3, 48, 4);
         assert_eq!(hits.len(), 3);
@@ -156,8 +167,7 @@ mod tests {
 
     #[test]
     fn from_codec_matches_fresh_training() {
-        let (base, _) =
-            vecstore::generate(&vecstore::DatasetProfile::SsnppLike.spec(), 500, 1, 31);
+        let (base, _) = vecstore::generate(&vecstore::DatasetProfile::SsnppLike.spec(), 500, 1, 31);
         let params = FlashParams::auto(256);
         let fresh = FlashProvider::new(base.clone(), params);
         let shared = FlashProvider::from_codec(base, fresh.codec().clone());
@@ -180,12 +190,17 @@ mod tests {
         let index = build_flash_vamana(
             base,
             FlashParams::auto(256),
-            VamanaParams { r: 10, c: 48, alpha: 1.2, seed: 5 },
+            VamanaParams {
+                r: 10,
+                c: 48,
+                alpha: 1.2,
+                seed: 5,
+            },
         );
         let mut hits = 0;
         for (qi, truth) in gt.iter().enumerate() {
             let found = index.search_rerank(queries.get(qi), 1, 48, 8);
-            if found.first().map(|h| h.id) == Some(truth[0].id) {
+            if found.first().map(|h| h.id) == Some(u64::from(truth[0].id)) {
                 hits += 1;
             }
         }
@@ -199,7 +214,12 @@ mod tests {
         let index = build_flash_hcnng(
             base,
             FlashParams::auto(256),
-            HcnngParams { trees: 6, leaf_size: 32, mst_degree: 3, seed: 5 },
+            HcnngParams {
+                trees: 6,
+                leaf_size: 32,
+                mst_degree: 3,
+                seed: 5,
+            },
         );
         let hits = index.search_rerank(queries.get(0), 3, 48, 4);
         assert_eq!(hits.len(), 3);
@@ -210,11 +230,7 @@ mod tests {
     fn taumg_flash_builds_and_searches() {
         let (base, queries) =
             vecstore::generate(&vecstore::DatasetProfile::SsnppLike.spec(), 300, 4, 9);
-        let index = build_flash_taumg(
-            base,
-            FlashParams::auto(256),
-            TauMgParams::default(),
-        );
+        let index = build_flash_taumg(base, FlashParams::auto(256), TauMgParams::default());
         let hits = index.search(queries.get(1), 2, 32);
         assert_eq!(hits.len(), 2);
     }

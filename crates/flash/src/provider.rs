@@ -62,7 +62,13 @@ impl FlashProvider {
             codes.extend_from_slice(&c);
         }
         let coding_ns = t0.elapsed().as_nanos() as u64;
-        Self { base, codec, codes, coding_ns, use_simd: true }
+        Self {
+            base,
+            codec,
+            codes,
+            coding_ns,
+            use_simd: true,
+        }
     }
 
     /// Builds a provider over `base` with an already-trained codec.
@@ -81,7 +87,13 @@ impl FlashProvider {
             codes.extend_from_slice(&c);
         }
         let coding_ns = t0.elapsed().as_nanos() as u64;
-        Self { base, codec, codes, coding_ns, use_simd: true }
+        Self {
+            base,
+            codec,
+            codes,
+            coding_ns,
+            use_simd: true,
+        }
     }
 
     /// Forces the scalar lookup path (the paper's Table 3 "w/o SIMD" row).
@@ -135,7 +147,11 @@ impl DistanceProvider for FlashProvider {
 
     #[inline]
     fn dist_to(&self, ctx: &FlashCtx, id: u32) -> f32 {
-        f32::from(lut16_single(&ctx.adt, self.codes_of(id), self.codec.subspaces()))
+        f32::from(lut16_single(
+            &ctx.adt,
+            self.codes_of(id),
+            self.codec.subspaces(),
+        ))
     }
 
     #[inline]
@@ -217,8 +233,8 @@ pub fn blocks_consistent(provider: &FlashProvider, payload: &FlashBlocks, ids: &
         let block = j / K;
         let lane = j % K;
         let codes = provider.codes_of(id);
-        for s in 0..m {
-            if payload.bytes[block * block_bytes + s * K + lane] != codes[s] {
+        for (s, &code) in codes.iter().enumerate().take(m) {
+            if payload.bytes[block * block_bytes + s * K + lane] != code {
                 return false;
             }
         }
@@ -234,7 +250,14 @@ mod tests {
         let (base, _) = vecstore::generate(&vecstore::DatasetProfile::SsnppLike.spec(), n, 1, 21);
         FlashProvider::new(
             base,
-            FlashParams { d_f: 32, m_f: 8, train_sample: n.min(400), kmeans_iters: 8, seed: 4, grid_quantile: 0.9 },
+            FlashParams {
+                d_f: 32,
+                m_f: 8,
+                train_sample: n.min(400),
+                kmeans_iters: 8,
+                seed: 4,
+                grid_quantile: 0.9,
+            },
         )
     }
 
@@ -277,7 +300,9 @@ mod tests {
     #[test]
     fn sync_payload_layout_invariant() {
         let p = provider(150);
-        let ids: Vec<u32> = vec![3, 77, 12, 99, 140, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17];
+        let ids: Vec<u32> = vec![
+            3, 77, 12, 99, 140, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17,
+        ];
         let mut payload = FlashBlocks::default();
         p.sync_payload(&mut payload, &ids);
         assert!(blocks_consistent(&p, &payload, &ids));

@@ -14,7 +14,7 @@
 //! `(1 + ε₀/√d)²` inflation factor at fixed checkpoints.
 
 use crate::graph::GraphLayers;
-use crate::hnsw::SearchResult;
+use crate::Hit;
 use crate::OrdF32;
 use linalg::random_orthogonal;
 use std::cmp::Reverse;
@@ -53,7 +53,13 @@ impl AdSampler {
             rotate_into(&rotation, block, v, &mut buf);
             rotated.push(&buf);
         }
-        Self { rotated, block, rotation, epsilon0, delta_d: delta_d.max(8) }
+        Self {
+            rotated,
+            block,
+            rotation,
+            epsilon0,
+            delta_d: delta_d.max(8),
+        }
     }
 
     /// Rotates a query into the sampler's basis.
@@ -72,10 +78,7 @@ impl AdSampler {
         let mut d_seen = 0usize;
         while d_seen < d_total {
             let step = self.delta_d.min(d_total - d_seen);
-            partial += simdops::l2_sq(
-                &q_rot[d_seen..d_seen + step],
-                &v[d_seen..d_seen + step],
-            );
+            partial += simdops::l2_sq(&q_rot[d_seen..d_seen + step], &v[d_seen..d_seen + step]);
             d_seen += step;
             if d_seen < d_total && threshold.is_finite() {
                 // Abandon if the scaled partial already clears the inflated
@@ -98,7 +101,7 @@ impl AdSampler {
         query: &[f32],
         k: usize,
         ef: usize,
-    ) -> (Vec<SearchResult>, AdStats) {
+    ) -> (Vec<Hit>, AdStats) {
         let mut stats = AdStats::default();
         if graph.is_empty() {
             return (Vec::new(), stats);
@@ -167,9 +170,12 @@ impl AdSampler {
             }
         }
 
-        let mut out: Vec<SearchResult> = top
+        let mut out: Vec<Hit> = top
             .into_iter()
-            .map(|(OrdF32(dist), id)| SearchResult { id, dist })
+            .map(|(OrdF32(dist), id)| Hit {
+                id: u64::from(id),
+                dist,
+            })
             .collect();
         out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         out.truncate(k);
@@ -216,7 +222,10 @@ mod tests {
             let rotated = sampler
                 .dist_or_abandon(&q_rot, id, f32::INFINITY)
                 .expect("infinite threshold never abandons");
-            assert!((exact - rotated).abs() < 1e-3 * (1.0 + exact), "{exact} vs {rotated}");
+            assert!(
+                (exact - rotated).abs() < 1e-3 * (1.0 + exact),
+                "{exact} vs {rotated}"
+            );
         }
     }
 
@@ -243,7 +252,11 @@ mod tests {
         let base = grid(12);
         let index = Hnsw::build(
             FullPrecision::new(base.clone()),
-            HnswParams { c: 48, r: 8, seed: 4 },
+            HnswParams {
+                c: 48,
+                r: 8,
+                seed: 4,
+            },
         );
         let graph = index.freeze();
         let sampler = AdSampler::new(&base, 2.1, 16, 5);

@@ -20,8 +20,9 @@
 //!    machinery, a Flash factory accelerates the specialized build the
 //!    same way it accelerates a standard one.
 
-use crate::hnsw::{Hnsw, HnswParams, SearchResult};
+use crate::hnsw::{Hnsw, HnswParams};
 use crate::provider::DistanceProvider;
+use crate::Hit;
 use vecstore::VectorSet;
 
 /// Parameters of the per-label specialized build.
@@ -37,7 +38,10 @@ pub struct LabeledParams {
 
 impl Default for LabeledParams {
     fn default() -> Self {
-        Self { hnsw: HnswParams::default(), min_graph_size: 32 }
+        Self {
+            hnsw: HnswParams::default(),
+            min_graph_size: 32,
+        }
     }
 }
 
@@ -100,6 +104,14 @@ impl<P: DistanceProvider> LabeledHnsw<P> {
         self.partitions.len()
     }
 
+    /// Vector dimensionality (0 when the index covers no vectors).
+    pub fn dim(&self) -> usize {
+        self.partitions.first().map_or(0, |p| match &p.index {
+            PartitionIndex::Graph(h) => h.provider().base().dim(),
+            PartitionIndex::Flat(v) => v.dim(),
+        })
+    }
+
     /// Total vectors across all partitions.
     pub fn len(&self) -> usize {
         self.partitions.iter().map(|p| p.ids.len()).sum()
@@ -125,7 +137,7 @@ impl<P: DistanceProvider> LabeledHnsw<P> {
 
     /// k-NN among vectors whose label equals `label`. Results carry
     /// *global* ids. Unknown labels return no hits.
-    pub fn search(&self, query: &[f32], label: u32, k: usize, ef: usize) -> Vec<SearchResult> {
+    pub fn search(&self, query: &[f32], label: u32, k: usize, ef: usize) -> Vec<Hit> {
         let Some(part) = self.partitions.iter().find(|p| p.label == label) else {
             return Vec::new();
         };
@@ -133,14 +145,17 @@ impl<P: DistanceProvider> LabeledHnsw<P> {
             PartitionIndex::Graph(hnsw) => hnsw
                 .search(query, k, ef)
                 .into_iter()
-                .map(|r| SearchResult { id: part.ids[r.id as usize], dist: r.dist })
+                .map(|r| Hit {
+                    id: u64::from(part.ids[r.id as usize]),
+                    dist: r.dist,
+                })
                 .collect(),
             PartitionIndex::Flat(vectors) => {
-                let mut hits: Vec<SearchResult> = vectors
+                let mut hits: Vec<Hit> = vectors
                     .iter()
                     .enumerate()
-                    .map(|(i, v)| SearchResult {
-                        id: part.ids[i],
+                    .map(|(i, v)| Hit {
+                        id: u64::from(part.ids[i]),
                         dist: simdops::l2_sq(query, v),
                     })
                     .collect();
@@ -194,7 +209,14 @@ mod tests {
         let index = LabeledHnsw::build(
             &base,
             &labels,
-            LabeledParams { hnsw: HnswParams { c: 48, r: 8, seed: 2 }, min_graph_size: 16 },
+            LabeledParams {
+                hnsw: HnswParams {
+                    c: 48,
+                    r: 8,
+                    seed: 2,
+                },
+                min_graph_size: 16,
+            },
             FullPrecision::new,
         );
         // Query near cluster 1's center but constrained to label 0 must
@@ -229,7 +251,14 @@ mod tests {
         let index = LabeledHnsw::build(
             &base,
             &labels,
-            LabeledParams { hnsw: HnswParams { c: 32, r: 8, seed: 4 }, min_graph_size: 10 },
+            LabeledParams {
+                hnsw: HnswParams {
+                    c: 32,
+                    r: 8,
+                    seed: 4,
+                },
+                min_graph_size: 10,
+            },
             FullPrecision::new,
         );
         let hits = index.search(&[1.2, 50.0], 1, 1, 8);
@@ -243,13 +272,20 @@ mod tests {
         let index = LabeledHnsw::build(
             &base,
             &labels,
-            LabeledParams { hnsw: HnswParams { c: 48, r: 8, seed: 5 }, min_graph_size: 16 },
+            LabeledParams {
+                hnsw: HnswParams {
+                    c: 48,
+                    r: 8,
+                    seed: 5,
+                },
+                min_graph_size: 16,
+            },
             FullPrecision::new,
         );
         // Querying with an exact database vector must return its global id.
         let probe = 90usize; // a label-1 vector (global ids 60..120)
         let hits = index.search(base.get(probe), 1, 1, 32);
-        assert_eq!(hits[0].id, probe as u32);
+        assert_eq!(hits[0].id, probe as u64);
         assert!(hits[0].dist < 1e-6);
     }
 
@@ -271,7 +307,11 @@ mod tests {
         let (base, labels) = labeled_clusters(80, 4, 11);
         let shared = Hnsw::build(
             FullPrecision::new(base.clone()),
-            HnswParams { c: 48, r: 8, seed: 6 },
+            HnswParams {
+                c: 48,
+                r: 8,
+                seed: 6,
+            },
         );
         let labels_ref = &labels;
         let accept = move |id: u32| labels_ref[id as usize] == 1;
@@ -279,7 +319,11 @@ mod tests {
         let hits = shared.search_filtered(&q, 5, 64, &accept);
         assert!(!hits.is_empty());
         for hit in &hits {
-            assert_eq!(labels[hit.id as usize], 1, "predicate violated for id {}", hit.id);
+            assert_eq!(
+                labels[hit.id as usize], 1,
+                "predicate violated for id {}",
+                hit.id
+            );
         }
     }
 
@@ -288,7 +332,11 @@ mod tests {
         let (base, labels) = labeled_clusters(100, 4, 13);
         let shared = Hnsw::build(
             FullPrecision::new(base.clone()),
-            HnswParams { c: 64, r: 8, seed: 8 },
+            HnswParams {
+                c: 64,
+                r: 8,
+                seed: 8,
+            },
         );
         let labels_ref = &labels;
         let accept = move |id: u32| labels_ref[id as usize] == 0;
@@ -301,8 +349,8 @@ mod tests {
             .collect();
         exact.sort_by(|a, b| a.0.total_cmp(&b.0));
         let top: Vec<u32> = exact.iter().take(3).map(|&(_, i)| i).collect();
-        let got: Vec<u32> = hits.iter().map(|h| h.id).collect();
-        let overlap = got.iter().filter(|id| top.contains(id)).count();
+        let got: Vec<u64> = hits.iter().map(|h| h.id).collect();
+        let overlap = got.iter().filter(|&&id| top.contains(&(id as u32))).count();
         assert!(overlap >= 2, "filtered recall too low: {got:?} vs {top:?}");
     }
 }

@@ -16,8 +16,9 @@
 //! accelerates NSG and τ-MG exactly as the paper's Figure 14 reports.
 
 use crate::graph::FlatGraph;
-use crate::hnsw::{Hnsw, HnswParams, SearchResult};
+use crate::hnsw::{Hnsw, HnswParams};
 use crate::provider::DistanceProvider;
+use crate::Hit;
 use crate::OrdF32;
 use rayon::prelude::*;
 use std::cmp::Reverse;
@@ -36,7 +37,11 @@ pub struct FlatParams {
 
 impl Default for FlatParams {
     fn default() -> Self {
-        Self { r: 16, c: 128, seed: 0x5eed }
+        Self {
+            r: 16,
+            c: 128,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -91,7 +96,9 @@ impl AlphaRule {
     /// Builds the rule from the DiskANN-style α (distance units, `α ≥ 1`).
     pub fn new(alpha: f32) -> Self {
         assert!(alpha >= 1.0, "Vamana requires α ≥ 1, got {alpha}");
-        Self { alpha_sq: alpha * alpha }
+        Self {
+            alpha_sq: alpha * alpha,
+        }
     }
 }
 
@@ -111,13 +118,23 @@ pub fn build_flat<P: DistanceProvider, Rule: PruneRule>(
 ) -> (FlatGraph, P) {
     let n = provider.len();
     if n == 0 {
-        return (FlatGraph { adj: Vec::new(), entry: 0 }, provider);
+        return (
+            FlatGraph {
+                adj: Vec::new(),
+                entry: 0,
+            },
+            provider,
+        );
     }
 
     // Step 1: helper HNSW supplies the candidate pools.
     let helper = Hnsw::build(
         provider,
-        HnswParams { c: params.c, r: params.r.max(8), seed: params.seed },
+        HnswParams {
+            c: params.c,
+            r: params.r.max(8),
+            seed: params.seed,
+        },
     );
 
     // Step 2: medoid = vector nearest the dataset mean.
@@ -132,7 +149,7 @@ pub fn build_flat<P: DistanceProvider, Rule: PruneRule>(
         }
         let mean_f32: Vec<f32> = mean.iter().map(|&m| (m / n as f64) as f32).collect();
         let hits = helper.search(&mean_f32, 1, params.c);
-        hits.first().map(|h| h.id).unwrap_or(0)
+        hits.first().map(|h| h.id as u32).unwrap_or(0)
     };
 
     // Step 3: per-vertex CA (beam search from the medoid side via the
@@ -142,19 +159,18 @@ pub fn build_flat<P: DistanceProvider, Rule: PruneRule>(
         .into_par_iter()
         .map(|x| {
             let base = helper_ref.provider().base();
-            let pool: Vec<SearchResult> =
-                helper_ref.search(base.get(x as usize), params.c, params.c);
+            let pool: Vec<Hit> = helper_ref.search(base.get(x as usize), params.c, params.c);
             let provider = helper_ref.provider();
             let mut selected: Vec<(f32, u32)> = Vec::with_capacity(params.r);
-            for hit in pool.iter().filter(|h| h.id != x) {
+            for hit in pool.iter().filter(|h| h.id != u64::from(x)) {
                 if selected.len() >= params.r {
                     break;
                 }
-                let dominated = selected
-                    .iter()
-                    .any(|&(_, u)| rule.dominated(hit.dist, provider.dist_between(u, hit.id)));
+                let dominated = selected.iter().any(|&(_, u)| {
+                    rule.dominated(hit.dist, provider.dist_between(u, hit.id as u32))
+                });
                 if !dominated {
-                    selected.push((hit.dist, hit.id));
+                    selected.push((hit.dist, hit.id as u32));
                 }
             }
             selected.into_iter().map(|(_, v)| v).collect()
@@ -176,8 +192,8 @@ pub fn build_flat<P: DistanceProvider, Rule: PruneRule>(
             let pool = helper.search(base.get(x as usize), params.c, params.c);
             let anchor = pool
                 .iter()
-                .find(|h| h.id != x && reached[h.id as usize])
-                .map(|h| h.id)
+                .find(|h| h.id != u64::from(x) && reached[h.id as usize])
+                .map(|h| h.id as u32)
                 .unwrap_or(medoid);
             graph.adj[anchor as usize].push(x);
         }
@@ -210,7 +226,7 @@ pub fn search_flat<P: DistanceProvider>(
     query: &[f32],
     k: usize,
     ef: usize,
-) -> Vec<SearchResult> {
+) -> Vec<Hit> {
     if graph.is_empty() {
         return Vec::new();
     }
@@ -249,9 +265,82 @@ pub fn search_flat<P: DistanceProvider>(
         }
     }
 
-    let mut out: Vec<SearchResult> = top
+    let mut out: Vec<Hit> = top
         .into_iter()
-        .map(|(OrdF32(dist), id)| SearchResult { id, dist })
+        .map(|(OrdF32(dist), id)| Hit {
+            id: u64::from(id),
+            dist,
+        })
+        .collect();
+    out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    out.truncate(k);
+    out
+}
+
+/// [`search_flat`] restricted to vectors accepted by `accept`: the beam
+/// traverses every vertex, only accepted ones enter the result set (same
+/// contract as [`crate::Hnsw::search_filtered`]).
+pub fn search_flat_filtered<P: DistanceProvider>(
+    provider: &P,
+    graph: &FlatGraph,
+    query: &[f32],
+    k: usize,
+    ef: usize,
+    accept: &(dyn Fn(u32) -> bool + Sync),
+) -> Vec<Hit> {
+    if graph.is_empty() {
+        return Vec::new();
+    }
+    let ef = ef.max(k);
+    let ctx = provider.prepare_query(query);
+    let mut visited = vec![false; graph.len()];
+    let entry = graph.entry;
+    let d0 = provider.dist_to(&ctx, entry);
+    visited[entry as usize] = true;
+
+    let mut results: BinaryHeap<(OrdF32, u32)> = BinaryHeap::with_capacity(ef + 1);
+    let mut frontier: BinaryHeap<(Reverse<OrdF32>, u32)> = BinaryHeap::new();
+    if accept(entry) {
+        results.push((OrdF32(d0), entry));
+    }
+    frontier.push((Reverse(OrdF32(d0)), entry));
+
+    while let Some((Reverse(OrdF32(d)), u)) = frontier.pop() {
+        let worst = results
+            .peek()
+            .map(|&(OrdF32(w), _)| w)
+            .unwrap_or(f32::INFINITY);
+        if d > worst && results.len() >= ef {
+            break;
+        }
+        for &nb in graph.neighbors(u) {
+            if visited[nb as usize] {
+                continue;
+            }
+            visited[nb as usize] = true;
+            let nd = provider.dist_to(&ctx, nb);
+            let worst = results
+                .peek()
+                .map(|&(OrdF32(w), _)| w)
+                .unwrap_or(f32::INFINITY);
+            if results.len() < ef || nd <= worst {
+                if accept(nb) {
+                    results.push((OrdF32(nd), nb));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+                frontier.push((Reverse(OrdF32(nd)), nb));
+            }
+        }
+    }
+
+    let mut out: Vec<Hit> = results
+        .into_iter()
+        .map(|(OrdF32(dist), id)| Hit {
+            id: u64::from(id),
+            dist,
+        })
         .collect();
     out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
     out.truncate(k);

@@ -85,7 +85,10 @@ impl FlatGraph {
 
     /// Adjacency memory in bytes (ids only).
     pub fn adjacency_bytes(&self) -> usize {
-        self.adj.iter().map(|l| l.len() * std::mem::size_of::<u32>()).sum()
+        self.adj
+            .iter()
+            .map(|l| l.len() * std::mem::size_of::<u32>())
+            .sum()
     }
 
     /// Checks every node can reach every other via BFS from `entry`
@@ -118,7 +121,10 @@ mod tests {
     use super::*;
 
     fn triangle() -> FlatGraph {
-        FlatGraph { adj: vec![vec![1], vec![2], vec![0]], entry: 0 }
+        FlatGraph {
+            adj: vec![vec![1], vec![2], vec![0]],
+            entry: 0,
+        }
     }
 
     #[test]
@@ -136,14 +142,20 @@ mod tests {
 
     #[test]
     fn reachability_detects_islands() {
-        let g = FlatGraph { adj: vec![vec![1], vec![0], vec![]], entry: 0 };
+        let g = FlatGraph {
+            adj: vec![vec![1], vec![0], vec![]],
+            entry: 0,
+        };
         assert_eq!(g.reachable_from_entry(), 2);
     }
 
     #[test]
     fn layers_accounting() {
         let g = GraphLayers {
-            layers: vec![vec![vec![1], vec![0], vec![0, 1]], vec![vec![], vec![], vec![]]],
+            layers: vec![
+                vec![vec![1], vec![0], vec![0, 1]],
+                vec![vec![], vec![], vec![]],
+            ],
             entry: 2,
             max_layer: 0,
         };

@@ -17,8 +17,8 @@
 
 use crate::flat_build::search_flat;
 use crate::graph::FlatGraph;
-use crate::hnsw::SearchResult;
 use crate::provider::DistanceProvider;
+use crate::Hit;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -39,7 +39,12 @@ pub struct HcnngParams {
 
 impl Default for HcnngParams {
     fn default() -> Self {
-        Self { trees: 10, leaf_size: 48, mst_degree: 3, seed: 0x5eed }
+        Self {
+            trees: 10,
+            leaf_size: 48,
+            mst_degree: 3,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -61,7 +66,10 @@ impl<P: DistanceProvider> Hcnng<P> {
         if n == 0 {
             return Self {
                 provider,
-                graph: FlatGraph { adj: Vec::new(), entry: 0 },
+                graph: FlatGraph {
+                    adj: Vec::new(),
+                    entry: 0,
+                },
                 params,
             };
         }
@@ -71,7 +79,9 @@ impl<P: DistanceProvider> Hcnng<P> {
         let forests: Vec<Vec<(u32, u32)>> = (0..params.trees)
             .into_par_iter()
             .map(|t| {
-                let mut rng = SmallRng::seed_from_u64(params.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                let mut rng = SmallRng::seed_from_u64(
+                    params.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                );
                 let mut ids: Vec<u32> = (0..n as u32).collect();
                 let mut edges = Vec::new();
                 cluster_recurse(provider_ref, &mut ids, params, &mut rng, &mut edges);
@@ -113,7 +123,11 @@ impl<P: DistanceProvider> Hcnng<P> {
 
         let mut graph = FlatGraph { adj, entry };
         attach_unreachable(&mut graph);
-        Self { provider, graph, params }
+        Self {
+            provider,
+            graph,
+            params,
+        }
     }
 
     /// The navigating graph.
@@ -132,7 +146,7 @@ impl<P: DistanceProvider> Hcnng<P> {
     }
 
     /// k-NN search from the medoid entry point.
-    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<SearchResult> {
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<Hit> {
         search_flat(&self.provider, &self.graph, query, k, ef)
     }
 
@@ -143,19 +157,9 @@ impl<P: DistanceProvider> Hcnng<P> {
         k: usize,
         ef: usize,
         rerank_factor: usize,
-    ) -> Vec<SearchResult> {
+    ) -> Vec<Hit> {
         let pool = self.search(query, (k * rerank_factor.max(1)).max(k), ef);
-        let base = self.provider.base();
-        let mut exact: Vec<SearchResult> = pool
-            .into_iter()
-            .map(|r| SearchResult {
-                id: r.id,
-                dist: simdops::l2_sq(query, base.get(r.id as usize)),
-            })
-            .collect();
-        exact.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-        exact.truncate(k);
-        exact
+        crate::rerank_exact(self.provider.base(), query, pool, k)
     }
 
     /// Index size: adjacency + provider auxiliary bytes.
@@ -195,7 +199,11 @@ fn cluster_recurse<P: DistanceProvider>(
         let x = ids[i];
         let da = provider.dist_between(x, pa);
         let db = provider.dist_between(x, pb);
-        let to_left = if da != db { da < db } else { x.is_multiple_of(2) };
+        let to_left = if da != db {
+            da < db
+        } else {
+            x.is_multiple_of(2)
+        };
         if to_left {
             ids.swap(i, left);
             left += 1;
@@ -288,7 +296,12 @@ fn attach_unreachable(graph: &mut FlatGraph) {
         }
     }
     let entry = graph.entry as usize;
-    let orphans: Vec<usize> = seen.iter().enumerate().filter(|(_, &s)| !s).map(|(x, _)| x).collect();
+    let orphans: Vec<usize> = seen
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| !s)
+        .map(|(x, _)| x)
+        .collect();
     for x in orphans {
         graph.adj[entry].push(x as u32);
         graph.adj[x].push(entry as u32);
@@ -314,7 +327,12 @@ mod tests {
     fn build_grid(side: usize) -> Hcnng<FullPrecision> {
         Hcnng::build(
             FullPrecision::new(grid(side)),
-            HcnngParams { trees: 6, leaf_size: 24, mst_degree: 3, seed: 13 },
+            HcnngParams {
+                trees: 6,
+                leaf_size: 24,
+                mst_degree: 3,
+                seed: 13,
+            },
         )
     }
 
@@ -350,11 +368,21 @@ mod tests {
         let base = grid(10);
         let few = Hcnng::build(
             FullPrecision::new(base.clone()),
-            HcnngParams { trees: 2, leaf_size: 24, mst_degree: 3, seed: 1 },
+            HcnngParams {
+                trees: 2,
+                leaf_size: 24,
+                mst_degree: 3,
+                seed: 1,
+            },
         );
         let many = Hcnng::build(
             FullPrecision::new(base),
-            HcnngParams { trees: 12, leaf_size: 24, mst_degree: 3, seed: 1 },
+            HcnngParams {
+                trees: 12,
+                leaf_size: 24,
+                mst_degree: 3,
+                seed: 1,
+            },
         );
         assert!(many.graph().edges() > few.graph().edges());
     }
@@ -366,7 +394,12 @@ mod tests {
         let base = grid(8);
         let index = Hcnng::build(
             FullPrecision::new(base),
-            HcnngParams { trees: 1, leaf_size: 64, mst_degree: 3, seed: 5 },
+            HcnngParams {
+                trees: 1,
+                leaf_size: 64,
+                mst_degree: 3,
+                seed: 5,
+            },
         );
         let entry = index.graph().entry as usize;
         for (i, nbrs) in index.graph().adj.iter().enumerate() {
@@ -382,14 +415,22 @@ mod tests {
         let base = grid(12);
         let index = Hcnng::build(
             FullPrecision::new(base.clone()),
-            HcnngParams { trees: 8, leaf_size: 32, mst_degree: 3, seed: 9 },
+            HcnngParams {
+                trees: 8,
+                leaf_size: 32,
+                mst_degree: 3,
+                seed: 9,
+            },
         );
         let gt = vecstore::ground_truth(&base, &base.slice(0, 30), 3);
         let mut hit = 0;
         for (qi, truth) in gt.iter().enumerate() {
             let found = index.search(base.get(qi), 3, 64);
-            let ids: Vec<u32> = found.iter().map(|r| r.id).collect();
-            hit += truth.iter().filter(|t| ids.contains(&t.id)).count();
+            let ids: Vec<u64> = found.iter().map(|r| r.id).collect();
+            hit += truth
+                .iter()
+                .filter(|t| ids.contains(&u64::from(t.id)))
+                .count();
         }
         let recall = hit as f64 / 90.0;
         assert!(recall > 0.85, "recall {recall}");
@@ -397,7 +438,10 @@ mod tests {
 
     #[test]
     fn empty_and_single_vector() {
-        let empty = Hcnng::build(FullPrecision::new(VectorSet::new(3)), HcnngParams::default());
+        let empty = Hcnng::build(
+            FullPrecision::new(VectorSet::new(3)),
+            HcnngParams::default(),
+        );
         assert!(empty.search(&[0.0; 3], 2, 8).is_empty());
 
         let mut one = VectorSet::new(2);
@@ -416,7 +460,12 @@ mod tests {
         }
         let index = Hcnng::build(
             FullPrecision::new(s),
-            HcnngParams { trees: 2, leaf_size: 8, mst_degree: 3, seed: 3 },
+            HcnngParams {
+                trees: 2,
+                leaf_size: 8,
+                mst_degree: 3,
+                seed: 3,
+            },
         );
         assert_eq!(index.graph().len(), 100);
     }

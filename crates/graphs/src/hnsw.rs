@@ -19,7 +19,7 @@
 use crate::graph::GraphLayers;
 use crate::provider::DistanceProvider;
 use crate::visited::{VisitedList, VisitedPool};
-use crate::OrdF32;
+use crate::{Hit, OrdF32};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -41,7 +41,11 @@ pub struct HnswParams {
 
 impl Default for HnswParams {
     fn default() -> Self {
-        Self { c: 128, r: 16, seed: 0x5eed }
+        Self {
+            c: 128,
+            r: 16,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -55,16 +59,6 @@ impl HnswParams {
             self.r
         }
     }
-}
-
-/// One search hit.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SearchResult {
-    /// Database vector id.
-    pub id: u32,
-    /// Distance reported by the provider (squared L2; approximate for
-    /// compressed providers unless reranked).
-    pub dist: f32,
 }
 
 /// Hard cap on sampled levels; with `ml = 1/ln(R)` even billion-scale
@@ -124,7 +118,11 @@ impl<P: DistanceProvider> Hnsw<P> {
             params,
             levels,
             nodes,
-            entry: RwLock::new(EntryPoint { node: 0, level: 0, initialized: false }),
+            entry: RwLock::new(EntryPoint {
+                node: 0,
+                level: 0,
+                initialized: false,
+            }),
             visited: VisitedPool::new(n),
         }
     }
@@ -143,7 +141,12 @@ impl<P: DistanceProvider> Hnsw<P> {
     /// Panics if the provider and graph disagree on the vector count.
     pub fn from_frozen(provider: P, params: HnswParams, graph: &GraphLayers) -> Self {
         let n = provider.len();
-        assert_eq!(n, graph.len(), "provider covers {n} vectors, graph {}", graph.len());
+        assert_eq!(
+            n,
+            graph.len(),
+            "provider covers {n} vectors, graph {}",
+            graph.len()
+        );
         let mut levels = vec![0u8; n];
         for (l, layer) in graph.layers.iter().enumerate().skip(1) {
             for (i, nbrs) in layer.iter().enumerate() {
@@ -153,8 +156,7 @@ impl<P: DistanceProvider> Hnsw<P> {
             }
         }
         if n > 0 {
-            levels[graph.entry as usize] =
-                levels[graph.entry as usize].max(graph.max_layer as u8);
+            levels[graph.entry as usize] = levels[graph.entry as usize].max(graph.max_layer as u8);
         }
         let nodes: Vec<Mutex<NodeData<P::NodePayload>>> = levels
             .iter()
@@ -174,7 +176,10 @@ impl<P: DistanceProvider> Hnsw<P> {
                     neighbors.push(nbrs);
                     payloads.push(payload);
                 }
-                Mutex::new(NodeData { neighbors, payloads })
+                Mutex::new(NodeData {
+                    neighbors,
+                    payloads,
+                })
             })
             .collect();
         Self {
@@ -202,9 +207,12 @@ impl<P: DistanceProvider> Hnsw<P> {
         // always finds an initialized entry point.
         let seed_node = (0..n).max_by_key(|&i| index.levels[i]).unwrap() as u32;
         index.insert(seed_node);
-        (0..n as u32).into_par_iter().filter(|&i| i != seed_node).for_each(|i| {
-            index.insert(i);
-        });
+        (0..n as u32)
+            .into_par_iter()
+            .filter(|&i| i != seed_node)
+            .for_each(|i| {
+                index.insert(i);
+            });
         index
     }
 
@@ -276,7 +284,10 @@ impl<P: DistanceProvider> Hnsw<P> {
             {
                 let mut node = self.nodes[id as usize].lock();
                 node.neighbors[l] = selected.clone();
-                let NodeData { neighbors, payloads } = &mut *node;
+                let NodeData {
+                    neighbors,
+                    payloads,
+                } = &mut *node;
                 self.provider.sync_payload(&mut payloads[l], &neighbors[l]);
             }
             // Reverse edges (line 7 of Algorithm 1).
@@ -338,7 +349,8 @@ impl<P: DistanceProvider> Hnsw<P> {
             return;
         }
         ids.extend_from_slice(&guard.neighbors[layer]);
-        self.provider.dist_to_neighbors(ctx, ids, &guard.payloads[layer], dists);
+        self.provider
+            .dist_to_neighbors(ctx, ids, &guard.payloads[layer], dists);
     }
 
     /// Beam search at one layer (the Candidate Acquisition stage): returns
@@ -387,8 +399,7 @@ impl<P: DistanceProvider> Hnsw<P> {
             }
         }
 
-        let mut out: Vec<(f32, u32)> =
-            top.into_iter().map(|(OrdF32(d), id)| (d, id)).collect();
+        let mut out: Vec<(f32, u32)> = top.into_iter().map(|(OrdF32(d), id)| (d, id)).collect();
         out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         out
     }
@@ -437,13 +448,17 @@ impl<P: DistanceProvider> Hnsw<P> {
             cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             node.neighbors[layer] = self.select_neighbors(&cands, cap);
         }
-        let NodeData { neighbors, payloads } = &mut *node;
-        self.provider.sync_payload(&mut payloads[layer], &neighbors[layer]);
+        let NodeData {
+            neighbors,
+            payloads,
+        } = &mut *node;
+        self.provider
+            .sync_payload(&mut payloads[layer], &neighbors[layer]);
     }
 
     /// k-NN search (the paper's search procedure: greedy descent, then a
     /// base-layer beam search with `ef`, reporting provider distances).
-    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<SearchResult> {
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<Hit> {
         let ep = self.entry.read();
         if !ep.initialized {
             return Vec::new();
@@ -461,7 +476,10 @@ impl<P: DistanceProvider> Hnsw<P> {
         found
             .into_iter()
             .take(k)
-            .map(|(dist, id)| SearchResult { id, dist })
+            .map(|(dist, id)| Hit {
+                id: u64::from(id),
+                dist,
+            })
             .collect()
     }
 
@@ -476,7 +494,7 @@ impl<P: DistanceProvider> Hnsw<P> {
         k: usize,
         ef: usize,
         accept: &(dyn Fn(u32) -> bool + Sync),
-    ) -> Vec<SearchResult> {
+    ) -> Vec<Hit> {
         let ep = self.entry.read();
         if !ep.initialized {
             return Vec::new();
@@ -505,7 +523,10 @@ impl<P: DistanceProvider> Hnsw<P> {
         let mut ids = Vec::new();
         let mut dists = Vec::new();
         while let Some((Reverse(OrdF32(d)), u)) = frontier.pop() {
-            let worst = results.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
+            let worst = results
+                .peek()
+                .map(|&(OrdF32(w), _)| w)
+                .unwrap_or(f32::INFINITY);
             if d > worst && results.len() >= ef {
                 break;
             }
@@ -514,8 +535,10 @@ impl<P: DistanceProvider> Hnsw<P> {
                 if visited.check_and_mark(id) {
                     continue;
                 }
-                let worst =
-                    results.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
+                let worst = results
+                    .peek()
+                    .map(|&(OrdF32(w), _)| w)
+                    .unwrap_or(f32::INFINITY);
                 if results.len() < ef || nd <= worst {
                     if accept(id) {
                         results.push((OrdF32(nd), id));
@@ -529,9 +552,12 @@ impl<P: DistanceProvider> Hnsw<P> {
         }
         self.visited.put(visited);
 
-        let mut out: Vec<SearchResult> = results
+        let mut out: Vec<Hit> = results
             .into_iter()
-            .map(|(OrdF32(dist), id)| SearchResult { id, dist })
+            .map(|(OrdF32(dist), id)| Hit {
+                id: u64::from(id),
+                dist,
+            })
             .collect();
         out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         out.truncate(k);
@@ -545,7 +571,7 @@ impl<P: DistanceProvider> Hnsw<P> {
         queries: &vecstore::VectorSet,
         k: usize,
         ef: usize,
-    ) -> Vec<Vec<SearchResult>> {
+    ) -> Vec<Vec<Hit>> {
         (0..queries.len())
             .into_par_iter()
             .map(|qi| self.search(queries.get(qi), k, ef))
@@ -561,16 +587,9 @@ impl<P: DistanceProvider> Hnsw<P> {
         k: usize,
         ef: usize,
         rerank_factor: usize,
-    ) -> Vec<SearchResult> {
+    ) -> Vec<Hit> {
         let pool = self.search(query, (k * rerank_factor.max(1)).max(k), ef);
-        let base = self.provider.base();
-        let mut exact: Vec<SearchResult> = pool
-            .into_iter()
-            .map(|r| SearchResult { id: r.id, dist: simdops::l2_sq(query, base.get(r.id as usize)) })
-            .collect();
-        exact.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-        exact.truncate(k);
-        exact
+        crate::rerank_exact(self.provider.base(), query, pool, k)
     }
 
     /// Freezes the adjacency into a read-only [`GraphLayers`] (used by the
@@ -588,7 +607,11 @@ impl<P: DistanceProvider> Hnsw<P> {
                 }
             }
         }
-        GraphLayers { layers, entry: ep.node, max_layer }
+        GraphLayers {
+            layers,
+            entry: ep.node,
+            max_layer,
+        }
     }
 
     /// Total index size in bytes: adjacency ids + provider auxiliary state +
@@ -633,7 +656,14 @@ mod tests {
 
     fn build_grid(side: usize) -> Hnsw<FullPrecision> {
         let base = grid_2d(side);
-        Hnsw::build(FullPrecision::new(base), HnswParams { c: 32, r: 8, seed: 7 })
+        Hnsw::build(
+            FullPrecision::new(base),
+            HnswParams {
+                c: 32,
+                r: 8,
+                seed: 7,
+            },
+        )
     }
 
     #[test]
@@ -657,10 +687,10 @@ mod tests {
         let mut total = 0;
         for (qi, truth) in gt.iter().enumerate() {
             let found = index.search(queries.get(qi), 5, 48);
-            let found_ids: Vec<u32> = found.iter().map(|r| r.id).collect();
+            let found_ids: Vec<u64> = found.iter().map(|r| r.id).collect();
             for t in truth {
                 total += 1;
-                if found_ids.contains(&t.id) {
+                if found_ids.contains(&u64::from(t.id)) {
                     hit += 1;
                 }
             }
@@ -722,10 +752,7 @@ mod tests {
 
     #[test]
     fn empty_index_searches_empty() {
-        let index = Hnsw::build(
-            FullPrecision::new(VectorSet::new(2)),
-            HnswParams::default(),
-        );
+        let index = Hnsw::build(FullPrecision::new(VectorSet::new(2)), HnswParams::default());
         assert!(index.search(&[0.0, 0.0], 3, 8).is_empty());
     }
 
@@ -762,17 +789,17 @@ mod tests {
         let base = grid_2d(12);
         let built = Hnsw::build(
             FullPrecision::new(base.clone()),
-            HnswParams { c: 48, r: 8, seed: 21 },
+            HnswParams {
+                c: 48,
+                r: 8,
+                seed: 21,
+            },
         );
         let frozen = built.freeze();
-        let restored = Hnsw::from_frozen(
-            FullPrecision::new(base),
-            *built.params(),
-            &frozen,
-        );
+        let restored = Hnsw::from_frozen(FullPrecision::new(base), *built.params(), &frozen);
         for q in [[3.3f32, 8.8], [0.0, 0.0], [11.5, 2.2]] {
-            let a: Vec<u32> = built.search(&q, 5, 48).iter().map(|r| r.id).collect();
-            let b: Vec<u32> = restored.search(&q, 5, 48).iter().map(|r| r.id).collect();
+            let a: Vec<u64> = built.search(&q, 5, 48).iter().map(|r| r.id).collect();
+            let b: Vec<u64> = restored.search(&q, 5, 48).iter().map(|r| r.id).collect();
             assert_eq!(a, b, "query {q:?}");
         }
         // The restored index stays insertable: freeze/restore/insert must
@@ -782,7 +809,11 @@ mod tests {
 
     #[test]
     fn from_frozen_empty_graph() {
-        let g = GraphLayers { layers: vec![vec![]], entry: 0, max_layer: 0 };
+        let g = GraphLayers {
+            layers: vec![vec![]],
+            entry: 0,
+            max_layer: 0,
+        };
         let restored = Hnsw::from_frozen(
             FullPrecision::new(VectorSet::new(2)),
             HnswParams::default(),
@@ -797,7 +828,11 @@ mod tests {
         let base = grid_2d(4);
         let built = Hnsw::build(
             FullPrecision::new(base),
-            HnswParams { c: 16, r: 4, seed: 2 },
+            HnswParams {
+                c: 16,
+                r: 4,
+                seed: 2,
+            },
         );
         let frozen = built.freeze();
         let _ = Hnsw::from_frozen(

@@ -31,7 +31,12 @@ pub struct KGraphParams {
 
 impl Default for KGraphParams {
     fn default() -> Self {
-        Self { k: 16, iters: 8, sample: 24, seed: 0x6E0 }
+        Self {
+            k: 16,
+            iters: 8,
+            sample: 24,
+            seed: 0x6E0,
+        }
     }
 }
 
@@ -50,7 +55,10 @@ impl KGraph {
         let n = provider.len();
         let k = params.k.min(n.saturating_sub(1));
         if n == 0 || k == 0 {
-            return Self { neighbors: vec![Vec::new(); n], rounds: 0 };
+            return Self {
+                neighbors: vec![Vec::new(); n],
+                rounds: 0,
+            };
         }
 
         // Random initialization.
@@ -89,15 +97,13 @@ impl KGraph {
             let proposals: Vec<Vec<(u32, u32)>> = (0..n)
                 .into_par_iter()
                 .map(|v| {
-                    let mut local: Vec<u32> =
-                        neighbors[v].iter().map(|&(_, u)| u).collect();
+                    let mut local: Vec<u32> = neighbors[v].iter().map(|&(_, u)| u).collect();
                     local.extend(reverse[v].iter().copied());
                     local.sort_unstable();
                     local.dedup();
                     if local.len() > params.sample {
                         // Deterministic subsample.
-                        let mut lrng =
-                            SmallRng::seed_from_u64(seed.wrapping_add(v as u64));
+                        let mut lrng = SmallRng::seed_from_u64(seed.wrapping_add(v as u64));
                         for i in (1..local.len()).rev() {
                             local.swap(i, lrng.gen_range(0..=i));
                         }
@@ -208,7 +214,15 @@ mod tests {
     #[test]
     fn nn_descent_converges_on_grid() {
         let provider = FullPrecision::new(grid(12));
-        let g = KGraph::build(&provider, KGraphParams { k: 8, iters: 10, sample: 24, seed: 3 });
+        let g = KGraph::build(
+            &provider,
+            KGraphParams {
+                k: 8,
+                iters: 10,
+                sample: 24,
+                seed: 3,
+            },
+        );
         let recall = g.knn_recall(&provider, 30);
         assert!(recall > 0.9, "KNN recall {recall}");
     }
@@ -216,7 +230,15 @@ mod tests {
     #[test]
     fn lists_are_sorted_and_unique() {
         let provider = FullPrecision::new(grid(8));
-        let g = KGraph::build(&provider, KGraphParams { k: 6, iters: 5, sample: 16, seed: 5 });
+        let g = KGraph::build(
+            &provider,
+            KGraphParams {
+                k: 6,
+                iters: 5,
+                sample: 16,
+                seed: 5,
+            },
+        );
         for (v, list) in g.neighbors.iter().enumerate() {
             assert_eq!(list.len(), 6);
             for w in list.windows(2) {
@@ -233,9 +255,24 @@ mod tests {
     #[test]
     fn better_than_random_after_one_round() {
         let provider = FullPrecision::new(grid(10));
-        let random = KGraph::build(&provider, KGraphParams { k: 8, iters: 0, sample: 0, seed: 7 });
-        let refined =
-            KGraph::build(&provider, KGraphParams { k: 8, iters: 2, sample: 24, seed: 7 });
+        let random = KGraph::build(
+            &provider,
+            KGraphParams {
+                k: 8,
+                iters: 0,
+                sample: 0,
+                seed: 7,
+            },
+        );
+        let refined = KGraph::build(
+            &provider,
+            KGraphParams {
+                k: 8,
+                iters: 2,
+                sample: 24,
+                seed: 7,
+            },
+        );
         assert!(refined.knn_recall(&provider, 25) > random.knn_recall(&provider, 25));
     }
 
@@ -254,7 +291,13 @@ mod tests {
         let mut list = vec![(1.0, 1), (2.0, 2)];
         assert!(try_insert(&mut list, 2, 1.5, 3));
         assert_eq!(list, vec![(1.0, 1), (1.5, 3)]);
-        assert!(!try_insert(&mut list, 2, 9.0, 4), "worse than tail must be rejected");
-        assert!(!try_insert(&mut list, 2, 0.5, 1), "duplicate id must be rejected");
+        assert!(
+            !try_insert(&mut list, 2, 9.0, 4),
+            "worse than tail must be rejected"
+        );
+        assert!(
+            !try_insert(&mut list, 2, 0.5, 1),
+            "duplicate id must be rejected"
+        );
     }
 }

@@ -10,8 +10,8 @@
 //! same seed) and pair it with the loaded graph.
 
 use crate::graph::GraphLayers;
-use crate::hnsw::SearchResult;
 use crate::provider::DistanceProvider;
+use crate::Hit;
 use crate::OrdF32;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -24,14 +24,32 @@ pub fn search_layers<P: DistanceProvider>(
     query: &[f32],
     k: usize,
     ef: usize,
-) -> Vec<SearchResult> {
+) -> Vec<Hit> {
+    // The filtered beam with an accept-all predicate *is* the plain beam:
+    // every admitted vertex enters the result set, so the two loops are
+    // identical. Delegating keeps one copy of the descent + beam.
+    search_layers_filtered(provider, graph, query, k, ef, &|_| true)
+}
+
+/// k-NN beam search over a frozen topology restricted to vectors accepted
+/// by `accept` (the frozen-graph counterpart of
+/// [`crate::Hnsw::search_filtered`]): the beam *traverses* every vertex —
+/// rejected vertices still route the search — but only accepted vertices
+/// enter the result set.
+pub fn search_layers_filtered<P: DistanceProvider>(
+    provider: &P,
+    graph: &GraphLayers,
+    query: &[f32],
+    k: usize,
+    ef: usize,
+    accept: &(dyn Fn(u32) -> bool + Sync),
+) -> Vec<Hit> {
     if graph.is_empty() {
         return Vec::new();
     }
     let ef = ef.max(k).max(1);
     let ctx = provider.prepare_query(query);
 
-    // Greedy descent through the upper layers.
     let mut cur = graph.entry;
     let mut cur_d = provider.dist_to(&ctx, cur);
     for layer in (1..=graph.max_layer).rev() {
@@ -51,17 +69,22 @@ pub fn search_layers<P: DistanceProvider>(
         }
     }
 
-    // Base-layer beam.
     let mut visited = vec![false; graph.len()];
     visited[cur as usize] = true;
-    let mut top: BinaryHeap<(OrdF32, u32)> = BinaryHeap::with_capacity(ef + 1);
+    // `results` holds only accepted vertices; `frontier` expands all.
+    let mut results: BinaryHeap<(OrdF32, u32)> = BinaryHeap::with_capacity(ef + 1);
     let mut frontier: BinaryHeap<(Reverse<OrdF32>, u32)> = BinaryHeap::new();
-    top.push((OrdF32(cur_d), cur));
+    if accept(cur) {
+        results.push((OrdF32(cur_d), cur));
+    }
     frontier.push((Reverse(OrdF32(cur_d)), cur));
 
     while let Some((Reverse(OrdF32(d)), u)) = frontier.pop() {
-        let worst = top.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
-        if d > worst && top.len() >= ef {
+        let worst = results
+            .peek()
+            .map(|&(OrdF32(w), _)| w)
+            .unwrap_or(f32::INFINITY);
+        if d > worst && results.len() >= ef {
             break;
         }
         for &nb in graph.neighbors(0, u) {
@@ -70,20 +93,29 @@ pub fn search_layers<P: DistanceProvider>(
             }
             visited[nb as usize] = true;
             let nd = provider.dist_to(&ctx, nb);
-            let worst = top.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
-            // `<=`: quantized providers tie heavily (see hnsw::search_layer).
-            if top.len() < ef || nd <= worst {
-                top.push((OrdF32(nd), nb));
-                if top.len() > ef {
-                    top.pop();
+            let worst = results
+                .peek()
+                .map(|&(OrdF32(w), _)| w)
+                .unwrap_or(f32::INFINITY);
+            if results.len() < ef || nd <= worst {
+                if accept(nb) {
+                    results.push((OrdF32(nd), nb));
+                    if results.len() > ef {
+                        results.pop();
+                    }
                 }
                 frontier.push((Reverse(OrdF32(nd)), nb));
             }
         }
     }
 
-    let mut out: Vec<SearchResult> =
-        top.into_iter().map(|(OrdF32(dist), id)| SearchResult { id, dist }).collect();
+    let mut out: Vec<Hit> = results
+        .into_iter()
+        .map(|(OrdF32(dist), id)| Hit {
+            id: u64::from(id),
+            dist,
+        })
+        .collect();
     out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
     out.truncate(k);
     out
@@ -98,16 +130,15 @@ pub fn search_layers_rerank<P: DistanceProvider>(
     k: usize,
     ef: usize,
     rerank_factor: usize,
-) -> Vec<SearchResult> {
-    let pool = search_layers(provider, graph, query, (k * rerank_factor.max(1)).max(k), ef);
-    let base = provider.base();
-    let mut exact: Vec<SearchResult> = pool
-        .into_iter()
-        .map(|r| SearchResult { id: r.id, dist: simdops::l2_sq(query, base.get(r.id as usize)) })
-        .collect();
-    exact.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-    exact.truncate(k);
-    exact
+) -> Vec<Hit> {
+    let pool = search_layers(
+        provider,
+        graph,
+        query,
+        (k * rerank_factor.max(1)).max(k),
+        ef,
+    );
+    crate::rerank_exact(provider.base(), query, pool, k)
 }
 
 #[cfg(test)]
@@ -132,22 +163,31 @@ mod tests {
         let base = grid(12);
         let index = Hnsw::build(
             FullPrecision::new(base.clone()),
-            HnswParams { c: 48, r: 8, seed: 5 },
+            HnswParams {
+                c: 48,
+                r: 8,
+                seed: 5,
+            },
         );
         let frozen = index.freeze();
         let provider = FullPrecision::new(base);
         for q in [[3.2f32, 7.1], [0.1, 0.1], [11.0, 11.0], [5.5, 5.5]] {
-            let live: Vec<u32> =
-                index.search(&q, 5, 48).iter().map(|r| r.id).collect();
-            let cold: Vec<u32> =
-                search_layers(&provider, &frozen, &q, 5, 48).iter().map(|r| r.id).collect();
+            let live: Vec<u64> = index.search(&q, 5, 48).iter().map(|r| r.id).collect();
+            let cold: Vec<u64> = search_layers(&provider, &frozen, &q, 5, 48)
+                .iter()
+                .map(|r| r.id)
+                .collect();
             assert_eq!(live, cold, "query {q:?}");
         }
     }
 
     #[test]
     fn empty_graph_returns_nothing() {
-        let g = GraphLayers { layers: vec![vec![]], entry: 0, max_layer: 0 };
+        let g = GraphLayers {
+            layers: vec![vec![]],
+            entry: 0,
+            max_layer: 0,
+        };
         let provider = FullPrecision::new(VectorSet::new(2));
         assert!(search_layers(&provider, &g, &[0.0, 0.0], 3, 8).is_empty());
     }
@@ -157,7 +197,11 @@ mod tests {
         let base = grid(9);
         let index = Hnsw::build(
             FullPrecision::new(base.clone()),
-            HnswParams { c: 32, r: 8, seed: 9 },
+            HnswParams {
+                c: 32,
+                r: 8,
+                seed: 9,
+            },
         );
         let frozen = index.freeze();
         let provider = FullPrecision::new(base);

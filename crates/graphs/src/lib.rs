@@ -41,13 +41,60 @@ mod visited;
 pub use filtered::{LabeledHnsw, LabeledParams};
 pub use graph::{FlatGraph, GraphLayers};
 pub use hcnng::{Hcnng, HcnngParams};
-pub use hnsw::{Hnsw, HnswParams, SearchResult};
+pub use hnsw::{Hnsw, HnswParams};
 pub use kgraph::{KGraph, KGraphParams};
-pub use layers_search::{search_layers, search_layers_rerank};
+pub use layers_search::{search_layers, search_layers_filtered, search_layers_rerank};
 pub use nsg::{Nsg, NsgParams};
 pub use provider::DistanceProvider;
 pub use taumg::{TauMg, TauMgParams};
 pub use vamana::{Vamana, VamanaParams};
+
+/// One search hit: a database vector id and its distance to the query.
+///
+/// This is the **single result type of the whole workspace**: every graph
+/// search in this crate, the LSM maintenance layer, and the `engine`
+/// serving API return it (it used to be split into `graphs::SearchResult`
+/// with `u32` ids and `maintenance::Hit` with `u64` ids). Ids are `u64` so
+/// externally-stable LSM ids and in-graph positional ids share one type;
+/// in-graph ids always fit, since graphs address vertices with `u32`.
+///
+/// Every search path returns hits sorted ascending by `(dist, id)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Database vector id (graph-positional, or the stable external id for
+    /// LSM searches).
+    pub id: u64,
+    /// Distance reported by the search path (squared L2; approximate for
+    /// compressed providers unless reranked).
+    pub dist: f32,
+}
+
+/// Deprecated alias for [`Hit`], kept so pre-engine call sites and the
+/// paper-figure binaries keep compiling. New code should name [`Hit`].
+pub type SearchResult = Hit;
+
+/// Exact rerank shared by every search path in the workspace: rescore
+/// `pool` with full-precision squared-L2 distances against `base`, sort
+/// ascending by `(dist, id)`, and keep the best `k`. Centralized here so
+/// the legacy inherent `search_rerank` methods, the frozen-topology
+/// serving path, and the `engine` crate all share one formula.
+pub fn rerank_exact(
+    base: &vecstore::VectorSet,
+    query: &[f32],
+    pool: Vec<Hit>,
+    k: usize,
+) -> Vec<Hit> {
+    let mut exact: Vec<Hit> = pool
+        .into_iter()
+        .map(|h| Hit {
+            id: h.id,
+            dist: simdops::l2_sq(query, base.get(h.id as usize)),
+        })
+        .collect();
+    exact.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    exact.truncate(k);
+    exact
+}
 
 /// `f32` wrapper with a total order (via `f32::total_cmp`) so distances can
 /// live in heaps. NaNs sort greatest; construction never produces them.

@@ -8,8 +8,8 @@
 
 use crate::flat_build::{build_flat, search_flat, FlatParams, MrngRule};
 use crate::graph::FlatGraph;
-use crate::hnsw::SearchResult;
 use crate::provider::DistanceProvider;
+use crate::Hit;
 
 /// NSG construction parameters.
 pub type NsgParams = FlatParams;
@@ -25,7 +25,11 @@ impl<P: DistanceProvider> Nsg<P> {
     /// Builds the index (helper-HNSW CA, MRNG NS, connectivity repair).
     pub fn build(provider: P, params: NsgParams) -> Self {
         let (graph, provider) = build_flat(provider, params, &MrngRule);
-        Self { provider, graph, params }
+        Self {
+            provider,
+            graph,
+            params,
+        }
     }
 
     /// The navigating graph.
@@ -44,7 +48,7 @@ impl<P: DistanceProvider> Nsg<P> {
     }
 
     /// k-NN search from the medoid.
-    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<SearchResult> {
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<Hit> {
         search_flat(&self.provider, &self.graph, query, k, ef)
     }
 
@@ -55,19 +59,9 @@ impl<P: DistanceProvider> Nsg<P> {
         k: usize,
         ef: usize,
         rerank_factor: usize,
-    ) -> Vec<SearchResult> {
+    ) -> Vec<Hit> {
         let pool = self.search(query, (k * rerank_factor.max(1)).max(k), ef);
-        let base = self.provider.base();
-        let mut exact: Vec<SearchResult> = pool
-            .into_iter()
-            .map(|r| SearchResult {
-                id: r.id,
-                dist: simdops::l2_sq(query, base.get(r.id as usize)),
-            })
-            .collect();
-        exact.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-        exact.truncate(k);
-        exact
+        crate::rerank_exact(self.provider.base(), query, pool, k)
     }
 
     /// Index size: adjacency + provider auxiliary bytes.
@@ -96,7 +90,11 @@ mod tests {
     fn nsg_finds_nearest_on_grid() {
         let nsg = Nsg::build(
             FullPrecision::new(grid(10)),
-            NsgParams { r: 8, c: 32, seed: 3 },
+            NsgParams {
+                r: 8,
+                c: 32,
+                seed: 3,
+            },
         );
         let hits = nsg.search(&[4.1, 6.2], 1, 32);
         assert_eq!(hits[0].id, 46);
@@ -106,7 +104,11 @@ mod tests {
     fn nsg_is_fully_reachable() {
         let nsg = Nsg::build(
             FullPrecision::new(grid(9)),
-            NsgParams { r: 6, c: 24, seed: 5 },
+            NsgParams {
+                r: 6,
+                c: 24,
+                seed: 5,
+            },
         );
         assert_eq!(nsg.graph().reachable_from_entry(), 81);
     }
@@ -115,7 +117,11 @@ mod tests {
     fn degrees_bounded_modulo_repair() {
         let nsg = Nsg::build(
             FullPrecision::new(grid(8)),
-            NsgParams { r: 6, c: 24, seed: 7 },
+            NsgParams {
+                r: 6,
+                c: 24,
+                seed: 7,
+            },
         );
         // Connectivity repair may add a few extra edges beyond R.
         for nbrs in &nsg.graph().adj {
@@ -128,14 +134,21 @@ mod tests {
         let base = grid(12);
         let nsg = Nsg::build(
             FullPrecision::new(base.clone()),
-            NsgParams { r: 8, c: 48, seed: 9 },
+            NsgParams {
+                r: 8,
+                c: 48,
+                seed: 9,
+            },
         );
         let gt = vecstore::ground_truth(&base, &base.slice(0, 30), 3);
         let mut hit = 0;
         for (qi, truth) in gt.iter().enumerate() {
             let found = nsg.search(base.get(qi), 3, 48);
-            let ids: Vec<u32> = found.iter().map(|r| r.id).collect();
-            hit += truth.iter().filter(|t| ids.contains(&t.id)).count();
+            let ids: Vec<u64> = found.iter().map(|r| r.id).collect();
+            hit += truth
+                .iter()
+                .filter(|t| ids.contains(&u64::from(t.id)))
+                .count();
         }
         let recall = hit as f64 / (30.0 * 3.0);
         assert!(recall > 0.9, "recall {recall}");

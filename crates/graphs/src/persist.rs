@@ -120,7 +120,11 @@ impl GraphLayers {
             }
             layers.push(layer);
         }
-        Ok(GraphLayers { layers, entry, max_layer })
+        Ok(GraphLayers {
+            layers,
+            entry,
+            max_layer,
+        })
     }
 }
 
@@ -200,7 +204,10 @@ mod tests {
     #[test]
     fn flat_roundtrip() {
         let path = tmp("b.graph");
-        let g = FlatGraph { adj: vec![vec![1], vec![2, 0], vec![]], entry: 1 };
+        let g = FlatGraph {
+            adj: vec![vec![1], vec![2, 0], vec![]],
+            entry: 1,
+        };
         g.save(&path).unwrap();
         let back = FlatGraph::load(&path).unwrap();
         assert_eq!(back.adj, g.adj);
@@ -221,7 +228,10 @@ mod tests {
     fn rejects_type_confusion() {
         let path = tmp("d.graph");
         sample_layers().save(&path).unwrap();
-        assert!(FlatGraph::load(&path).is_err(), "ML file must not load as FL");
+        assert!(
+            FlatGraph::load(&path).is_err(),
+            "ML file must not load as FL"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -39,7 +39,12 @@ impl OpqProvider {
             codes.extend_from_slice(&opq.encode(v));
         }
         let sdc = opq.sdc_tables();
-        Self { base, opq, codes, sdc }
+        Self {
+            base,
+            opq,
+            codes,
+            sdc,
+        }
     }
 
     /// The trained quantizer.
@@ -82,7 +87,8 @@ impl DistanceProvider for OpqProvider {
 
     #[inline]
     fn dist_between(&self, a: u32, b: u32) -> f32 {
-        self.opq.sdc_distance(&self.sdc, self.codes_of(a), self.codes_of(b))
+        self.opq
+            .sdc_distance(&self.sdc, self.codes_of(a), self.codes_of(b))
     }
 
     fn aux_bytes(&self) -> usize {
@@ -140,14 +146,18 @@ mod tests {
         let base = correlated_set(400, 8, 5);
         let index = Hnsw::build(
             OpqProvider::new(base.clone(), 4, 6, 3, 300, 6),
-            HnswParams { c: 48, r: 8, seed: 7 },
+            HnswParams {
+                c: 48,
+                r: 8,
+                seed: 7,
+            },
         );
         // Rerank fixes residual quantization error; top-1 should mostly hit.
         let mut hits = 0;
         let gt = vecstore::ground_truth(&base, &base.slice(0, 10), 1);
         for (qi, truth) in gt.iter().enumerate() {
             let found = index.search_rerank(base.get(qi), 1, 48, 8);
-            if found.first().map(|h| h.id) == Some(truth[0].id) {
+            if found.first().map(|h| h.id) == Some(u64::from(truth[0].id)) {
                 hits += 1;
             }
         }

@@ -34,7 +34,11 @@ impl PcaProvider {
         for v in base.iter() {
             projected.push(&pca.project(v));
         }
-        Self { base, pca, projected }
+        Self {
+            base,
+            pca,
+            projected,
+        }
     }
 
     /// The fitted codec.
@@ -76,7 +80,10 @@ impl DistanceProvider for PcaProvider {
 
     #[inline]
     fn dist_between(&self, a: u32, b: u32) -> f32 {
-        simdops::l2_sq(self.projected.get(a as usize), self.projected.get(b as usize))
+        simdops::l2_sq(
+            self.projected.get(a as usize),
+            self.projected.get(b as usize),
+        )
     }
 
     fn aux_bytes(&self) -> usize {

@@ -30,7 +30,12 @@ impl PqProvider {
             codes.extend_from_slice(&pq.encode(v));
         }
         let sdc = pq.sdc_tables();
-        Self { base, pq, codes, sdc }
+        Self {
+            base,
+            pq,
+            codes,
+            sdc,
+        }
     }
 
     /// The trained quantizer.
@@ -73,7 +78,8 @@ impl DistanceProvider for PqProvider {
 
     #[inline]
     fn dist_between(&self, a: u32, b: u32) -> f32 {
-        self.pq.sdc_distance(&self.sdc, self.codes_of(a), self.codes_of(b))
+        self.pq
+            .sdc_distance(&self.sdc, self.codes_of(a), self.codes_of(b))
     }
 
     fn aux_bytes(&self) -> usize {

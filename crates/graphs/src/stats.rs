@@ -228,7 +228,11 @@ mod tests {
     fn stats_of_built_graph() {
         let index = Hnsw::build(
             FullPrecision::new(grid(10)),
-            HnswParams { c: 32, r: 8, seed: 1 },
+            HnswParams {
+                c: 32,
+                r: 8,
+                seed: 1,
+            },
         );
         let stats = GraphStats::from_layers(&index.freeze());
         assert_eq!(stats.nodes, 100);
@@ -241,7 +245,14 @@ mod tests {
     #[test]
     fn instrumented_counts_distance_work() {
         let provider = Instrumented::new(FullPrecision::new(grid(8)));
-        let index = Hnsw::build(provider, HnswParams { c: 16, r: 4, seed: 2 });
+        let index = Hnsw::build(
+            provider,
+            HnswParams {
+                c: 16,
+                r: 4,
+                seed: 2,
+            },
+        );
         let t = index.provider().timings();
         assert!(t.dist_calls > 0, "construction must compute distances");
         assert!(t.dist_ns > 0);

@@ -10,8 +10,8 @@
 
 use crate::flat_build::{build_flat, search_flat, FlatParams, TauRule};
 use crate::graph::FlatGraph;
-use crate::hnsw::SearchResult;
 use crate::provider::DistanceProvider;
+use crate::Hit;
 
 /// τ-MG construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -24,7 +24,10 @@ pub struct TauMgParams {
 
 impl Default for TauMgParams {
     fn default() -> Self {
-        Self { flat: FlatParams::default(), tau: 0.1 }
+        Self {
+            flat: FlatParams::default(),
+            tau: 0.1,
+        }
     }
 }
 
@@ -40,7 +43,11 @@ impl<P: DistanceProvider> TauMg<P> {
     pub fn build(provider: P, params: TauMgParams) -> Self {
         let rule = TauRule { tau: params.tau };
         let (graph, provider) = build_flat(provider, params.flat, &rule);
-        Self { provider, graph, params }
+        Self {
+            provider,
+            graph,
+            params,
+        }
     }
 
     /// The navigating graph.
@@ -59,7 +66,7 @@ impl<P: DistanceProvider> TauMg<P> {
     }
 
     /// k-NN search from the medoid.
-    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<SearchResult> {
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<Hit> {
         search_flat(&self.provider, &self.graph, query, k, ef)
     }
 
@@ -90,7 +97,14 @@ mod tests {
     fn taumg_finds_nearest_on_grid() {
         let index = TauMg::build(
             FullPrecision::new(grid(10)),
-            TauMgParams { flat: FlatParams { r: 8, c: 32, seed: 3 }, tau: 0.2 },
+            TauMgParams {
+                flat: FlatParams {
+                    r: 8,
+                    c: 32,
+                    seed: 3,
+                },
+                tau: 0.2,
+            },
         );
         let hits = index.search(&[7.2, 2.9], 1, 32);
         assert_eq!(hits[0].id, 73);
@@ -100,7 +114,14 @@ mod tests {
     fn taumg_connected() {
         let index = TauMg::build(
             FullPrecision::new(grid(9)),
-            TauMgParams { flat: FlatParams { r: 8, c: 24, seed: 5 }, tau: 0.2 },
+            TauMgParams {
+                flat: FlatParams {
+                    r: 8,
+                    c: 24,
+                    seed: 5,
+                },
+                tau: 0.2,
+            },
         );
         assert_eq!(index.graph().reachable_from_entry(), 81);
     }
@@ -110,11 +131,22 @@ mod tests {
         let base = grid(10);
         let nsg = Nsg::build(
             FullPrecision::new(base.clone()),
-            NsgParams { r: 8, c: 32, seed: 11 },
+            NsgParams {
+                r: 8,
+                c: 32,
+                seed: 11,
+            },
         );
         let taumg = TauMg::build(
             FullPrecision::new(base),
-            TauMgParams { flat: FlatParams { r: 8, c: 32, seed: 11 }, tau: 0.5 },
+            TauMgParams {
+                flat: FlatParams {
+                    r: 8,
+                    c: 32,
+                    seed: 11,
+                },
+                tau: 0.5,
+            },
         );
         assert!(
             taumg.graph().edges() >= nsg.graph().edges(),

@@ -21,8 +21,8 @@
 
 use crate::flat_build::{build_flat, search_flat, AlphaRule, FlatParams, PruneRule};
 use crate::graph::FlatGraph;
-use crate::hnsw::SearchResult;
 use crate::provider::DistanceProvider;
+use crate::Hit;
 use rayon::prelude::*;
 
 /// Vamana construction parameters.
@@ -42,7 +42,12 @@ pub struct VamanaParams {
 
 impl Default for VamanaParams {
     fn default() -> Self {
-        Self { r: 16, c: 128, alpha: 1.2, seed: 0x5eed }
+        Self {
+            r: 16,
+            c: 128,
+            alpha: 1.2,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -56,13 +61,21 @@ pub struct Vamana<P: DistanceProvider> {
 impl<P: DistanceProvider> Vamana<P> {
     /// Builds the index: pass 1 with `α = 1`, pass 2 with `params.alpha`.
     pub fn build(provider: P, params: VamanaParams) -> Self {
-        let flat = FlatParams { r: params.r, c: params.c, seed: params.seed };
+        let flat = FlatParams {
+            r: params.r,
+            c: params.c,
+            seed: params.seed,
+        };
         let (mut graph, provider) = build_flat(provider, flat, &AlphaRule::new(1.0));
         if graph.len() > 2 {
             alpha_pass(&provider, &mut graph, params);
             repair_connectivity(&mut graph);
         }
-        Self { provider, graph, params }
+        Self {
+            provider,
+            graph,
+            params,
+        }
     }
 
     /// The navigating graph.
@@ -81,7 +94,7 @@ impl<P: DistanceProvider> Vamana<P> {
     }
 
     /// k-NN search from the medoid entry point.
-    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<SearchResult> {
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<Hit> {
         search_flat(&self.provider, &self.graph, query, k, ef)
     }
 
@@ -92,19 +105,9 @@ impl<P: DistanceProvider> Vamana<P> {
         k: usize,
         ef: usize,
         rerank_factor: usize,
-    ) -> Vec<SearchResult> {
+    ) -> Vec<Hit> {
         let pool = self.search(query, (k * rerank_factor.max(1)).max(k), ef);
-        let base = self.provider.base();
-        let mut exact: Vec<SearchResult> = pool
-            .into_iter()
-            .map(|r| SearchResult {
-                id: r.id,
-                dist: simdops::l2_sq(query, base.get(r.id as usize)),
-            })
-            .collect();
-        exact.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-        exact.truncate(k);
-        exact
+        crate::rerank_exact(self.provider.base(), query, pool, k)
     }
 
     /// Index size: adjacency + provider auxiliary bytes.
@@ -134,8 +137,10 @@ fn alpha_pass<P: DistanceProvider>(provider: &P, graph: &mut FlatGraph, params: 
             pool.sort_unstable();
             pool.dedup();
             pool.retain(|&v| v != x);
-            let mut cands: Vec<(f32, u32)> =
-                pool.iter().map(|&v| (provider.dist_between(x, v), v)).collect();
+            let mut cands: Vec<(f32, u32)> = pool
+                .iter()
+                .map(|&v| (provider.dist_between(x, v), v))
+                .collect();
             cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             robust_prune(provider, &rule, &cands, params.r)
         })
@@ -176,8 +181,9 @@ fn robust_prune<P: DistanceProvider>(
         if selected.len() >= r {
             break;
         }
-        let dominated =
-            selected.iter().any(|&(_, u)| rule.dominated(d, provider.dist_between(u, v)));
+        let dominated = selected
+            .iter()
+            .any(|&(_, u)| rule.dominated(d, provider.dist_between(u, v)));
         if !dominated {
             selected.push((d, v));
         }
@@ -203,8 +209,12 @@ fn repair_connectivity(graph: &mut FlatGraph) {
         }
     }
     let entry = graph.entry as usize;
-    let orphans: Vec<u32> =
-        seen.iter().enumerate().filter(|(_, &s)| !s).map(|(x, _)| x as u32).collect();
+    let orphans: Vec<u32> = seen
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| !s)
+        .map(|(x, _)| x as u32)
+        .collect();
     graph.adj[entry].extend(orphans);
 }
 
@@ -227,7 +237,12 @@ mod tests {
     fn build_grid(side: usize, alpha: f32) -> Vamana<FullPrecision> {
         Vamana::build(
             FullPrecision::new(grid(side)),
-            VamanaParams { r: 8, c: 32, alpha, seed: 11 },
+            VamanaParams {
+                r: 8,
+                c: 32,
+                alpha,
+                seed: 11,
+            },
         )
     }
 
@@ -275,14 +290,22 @@ mod tests {
         let base = grid(12);
         let index = Vamana::build(
             FullPrecision::new(base.clone()),
-            VamanaParams { r: 8, c: 48, alpha: 1.2, seed: 3 },
+            VamanaParams {
+                r: 8,
+                c: 48,
+                alpha: 1.2,
+                seed: 3,
+            },
         );
         let gt = vecstore::ground_truth(&base, &base.slice(0, 30), 3);
         let mut hit = 0;
         for (qi, truth) in gt.iter().enumerate() {
             let found = index.search(base.get(qi), 3, 48);
-            let ids: Vec<u32> = found.iter().map(|r| r.id).collect();
-            hit += truth.iter().filter(|t| ids.contains(&t.id)).count();
+            let ids: Vec<u64> = found.iter().map(|r| r.id).collect();
+            hit += truth
+                .iter()
+                .filter(|t| ids.contains(&u64::from(t.id)))
+                .count();
         }
         let recall = hit as f64 / 90.0;
         assert!(recall > 0.9, "recall {recall}");
@@ -290,7 +313,10 @@ mod tests {
 
     #[test]
     fn empty_and_single_vector() {
-        let empty = Vamana::build(FullPrecision::new(VectorSet::new(2)), VamanaParams::default());
+        let empty = Vamana::build(
+            FullPrecision::new(VectorSet::new(2)),
+            VamanaParams::default(),
+        );
         assert!(empty.search(&[0.0, 0.0], 1, 8).is_empty());
 
         let mut one = VectorSet::new(2);

@@ -9,8 +9,8 @@
 //! is untouched, so Flash-built graphs benefit directly.
 
 use crate::graph::GraphLayers;
-use crate::hnsw::SearchResult;
 use crate::provider::DistanceProvider;
+use crate::Hit;
 use crate::OrdF32;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -27,7 +27,7 @@ pub fn search_vbase<P: DistanceProvider>(
     query: &[f32],
     k: usize,
     window: usize,
-) -> Vec<SearchResult> {
+) -> Vec<Hit> {
     if graph.is_empty() {
         return Vec::new();
     }
@@ -74,7 +74,10 @@ pub fn search_vbase<P: DistanceProvider>(
             }
             visited[nb as usize] = true;
             let nd = provider.dist_to(&ctx, nb);
-            let kth = topk.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
+            let kth = topk
+                .peek()
+                .map(|&(OrdF32(w), _)| w)
+                .unwrap_or(f32::INFINITY);
             if topk.len() < k || nd < kth {
                 topk.push((OrdF32(nd), nb));
                 if topk.len() > k {
@@ -93,9 +96,12 @@ pub fn search_vbase<P: DistanceProvider>(
         }
     }
 
-    let mut out: Vec<SearchResult> = topk
+    let mut out: Vec<Hit> = topk
         .into_iter()
-        .map(|(OrdF32(dist), id)| SearchResult { id, dist })
+        .map(|(OrdF32(dist), id)| Hit {
+            id: u64::from(id),
+            dist,
+        })
         .collect();
     out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
     out
@@ -123,7 +129,11 @@ mod tests {
         let base = grid(12);
         let index = Hnsw::build(
             FullPrecision::new(base.clone()),
-            HnswParams { c: 48, r: 8, seed: 2 },
+            HnswParams {
+                c: 48,
+                r: 8,
+                seed: 2,
+            },
         );
         let graph = index.freeze();
         let hits = search_vbase(index.provider(), &graph, &[6.2, 3.9], 1, 24);
@@ -135,7 +145,11 @@ mod tests {
         let base = grid(14);
         let index = Hnsw::build(
             FullPrecision::new(base.clone()),
-            HnswParams { c: 48, r: 8, seed: 3 },
+            HnswParams {
+                c: 48,
+                r: 8,
+                seed: 3,
+            },
         );
         let graph = index.freeze();
         let gt = vecstore::ground_truth(&base, &base.slice(0, 20), 5);
@@ -143,14 +157,20 @@ mod tests {
             let mut hit = 0;
             for (qi, truth) in gt.iter().enumerate() {
                 let found = search_vbase(index.provider(), &graph, base.get(qi), 5, window);
-                let ids: Vec<u32> = found.iter().map(|r| r.id).collect();
-                hit += truth.iter().filter(|t| ids.contains(&t.id)).count();
+                let ids: Vec<u64> = found.iter().map(|r| r.id).collect();
+                hit += truth
+                    .iter()
+                    .filter(|t| ids.contains(&u64::from(t.id)))
+                    .count();
             }
             hit as f64 / (20.0 * 5.0)
         };
         let small = recall(2);
         let large = recall(40);
-        assert!(large >= small, "window 40 recall {large} < window 2 recall {small}");
+        assert!(
+            large >= small,
+            "window 40 recall {large} < window 2 recall {small}"
+        );
         assert!(large > 0.9, "large-window recall {large}");
     }
 
@@ -159,7 +179,11 @@ mod tests {
         let base = grid(6);
         let index = Hnsw::build(
             FullPrecision::new(base.clone()),
-            HnswParams { c: 16, r: 4, seed: 4 },
+            HnswParams {
+                c: 16,
+                r: 4,
+                seed: 4,
+            },
         );
         let graph = index.freeze();
         let hits = search_vbase(index.provider(), &graph, &[2.0, 2.0], 3, 16);

@@ -15,7 +15,10 @@ pub struct VisitedList {
 
 impl VisitedList {
     fn new(n: usize) -> Self {
-        Self { stamps: vec![0; n], epoch: 0 }
+        Self {
+            stamps: vec![0; n],
+            epoch: 0,
+        }
     }
 
     /// Starts a fresh traversal (O(1) except on epoch wrap).
@@ -57,13 +60,20 @@ pub struct VisitedPool {
 impl VisitedPool {
     /// Creates a pool for graphs of `n` nodes.
     pub fn new(n: usize) -> Self {
-        Self { n, free: Mutex::new(Vec::new()) }
+        Self {
+            n,
+            free: Mutex::new(Vec::new()),
+        }
     }
 
     /// Borrows a list (allocating if the pool is dry). Return it with
     /// [`VisitedPool::put`].
     pub fn take(&self) -> VisitedList {
-        let mut list = self.free.lock().pop().unwrap_or_else(|| VisitedList::new(self.n));
+        let mut list = self
+            .free
+            .lock()
+            .pop()
+            .unwrap_or_else(|| VisitedList::new(self.n));
         list.begin(self.n);
         list
     }

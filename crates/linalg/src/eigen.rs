@@ -28,14 +28,19 @@ pub struct EigenDecomposition {
 impl EigenDecomposition {
     /// Extracts eigenvector `j` as an owned vector.
     pub fn eigenvector(&self, j: usize) -> Vec<f32> {
-        (0..self.eigenvectors.rows()).map(|i| self.eigenvectors[(i, j)]).collect()
+        (0..self.eigenvectors.rows())
+            .map(|i| self.eigenvectors[(i, j)])
+            .collect()
     }
 
     /// Returns the basis of the top `k` eigenvectors as a `d x k` matrix
     /// (columns are eigenvectors), i.e. the PCA projection matrix `A_{1:k}`.
     pub fn top_k_basis(&self, k: usize) -> Matrix {
         let d = self.eigenvectors.rows();
-        assert!(k <= d, "requested {k} components from a {d}-dimensional decomposition");
+        assert!(
+            k <= d,
+            "requested {k} components from a {d}-dimensional decomposition"
+        );
         let mut basis = Matrix::zeros(d, k);
         for i in 0..d {
             for j in 0..k {
@@ -64,7 +69,11 @@ const CONVERGENCE_EPS: f64 = 1e-9;
 /// decomposition of its symmetric part.
 pub fn symmetric_eigen(matrix: &Matrix) -> EigenDecomposition {
     let n = matrix.rows();
-    assert_eq!(n, matrix.cols(), "eigendecomposition requires a square matrix");
+    assert_eq!(
+        n,
+        matrix.cols(),
+        "eigendecomposition requires a square matrix"
+    );
 
     // Work in f64. `a` is the matrix being diagonalized, `v` accumulates the
     // rotations (columns end up as eigenvectors).
@@ -83,7 +92,12 @@ pub fn symmetric_eigen(matrix: &Matrix) -> EigenDecomposition {
         v[i * n + i] = 1.0;
     }
 
-    let norm: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt().max(f64::MIN_POSITIVE);
+    let norm: f64 = a
+        .iter()
+        .map(|x| x * x)
+        .sum::<f64>()
+        .sqrt()
+        .max(f64::MIN_POSITIVE);
 
     for _sweep in 0..MAX_SWEEPS {
         let mut off: f64 = 0.0;
@@ -152,7 +166,10 @@ pub fn symmetric_eigen(matrix: &Matrix) -> EigenDecomposition {
         }
     }
 
-    EigenDecomposition { eigenvalues, eigenvectors }
+    EigenDecomposition {
+        eigenvalues,
+        eigenvectors,
+    }
 }
 
 /// Computes the top-`k` eigenpairs of a symmetric PSD matrix by subspace
@@ -169,7 +186,11 @@ pub fn symmetric_eigen(matrix: &Matrix) -> EigenDecomposition {
 /// dimension.
 pub fn symmetric_eigen_topk(matrix: &Matrix, k: usize, seed: u64) -> (EigenDecomposition, f64) {
     let n = matrix.rows();
-    assert_eq!(n, matrix.cols(), "eigendecomposition requires a square matrix");
+    assert_eq!(
+        n,
+        matrix.cols(),
+        "eigendecomposition requires a square matrix"
+    );
     assert!(k >= 1 && k <= n, "k must be in 1..=n");
 
     let a: Vec<f64> = matrix.as_slice().iter().map(|&x| f64::from(x)).collect();
@@ -178,7 +199,9 @@ pub fn symmetric_eigen_topk(matrix: &Matrix, k: usize, seed: u64) -> (EigenDecom
     // Column-major working basis, randomly initialized then orthonormalized.
     let mut rng_state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(13);
     let mut next = move || {
-        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng_state = rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((rng_state >> 33) as f64) / (1u64 << 31) as f64 - 1.0
     };
     let mut q: Vec<Vec<f64>> = (0..k).map(|_| (0..n).map(|_| next()).collect()).collect();
@@ -221,7 +244,13 @@ pub fn symmetric_eigen_topk(matrix: &Matrix, k: usize, seed: u64) -> (EigenDecom
             eigenvectors[(i, j)] = x as f32;
         }
     }
-    (EigenDecomposition { eigenvalues, eigenvectors }, trace)
+    (
+        EigenDecomposition {
+            eigenvalues,
+            eigenvectors,
+        },
+        trace,
+    )
 }
 
 /// Modified Gram–Schmidt over column vectors, re-randomizing degenerate
@@ -230,7 +259,11 @@ fn orthonormalize(cols: &mut [Vec<f64>]) {
     let k = cols.len();
     for j in 0..k {
         for prev in 0..j {
-            let dot: f64 = cols[j].iter().zip(cols[prev].iter()).map(|(a, b)| a * b).sum();
+            let dot: f64 = cols[j]
+                .iter()
+                .zip(cols[prev].iter())
+                .map(|(a, b)| a * b)
+                .sum();
             let (left, right) = cols.split_at_mut(j);
             for (x, &p) in right[0].iter_mut().zip(left[prev].iter()) {
                 *x -= dot * p;
@@ -261,7 +294,9 @@ mod tests {
         for i in 0..n {
             lambda[(i, i)] = dec.eigenvalues[i];
         }
-        dec.eigenvectors.matmul(&lambda).matmul(&dec.eigenvectors.transpose())
+        dec.eigenvectors
+            .matmul(&lambda)
+            .matmul(&dec.eigenvectors.transpose())
     }
 
     #[test]
@@ -294,16 +329,16 @@ mod tests {
         ]);
         let dec = symmetric_eigen(&m);
         let r = reconstruct(&dec);
-        assert!(m.max_abs_diff(&r) < 1e-4, "reconstruction error too high: {:?}", r);
+        assert!(
+            m.max_abs_diff(&r) < 1e-4,
+            "reconstruction error too high: {:?}",
+            r
+        );
     }
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let m = Matrix::from_rows(&[
-            &[5.0, 2.0, 1.0],
-            &[2.0, 4.0, 0.5],
-            &[1.0, 0.5, 3.0],
-        ]);
+        let m = Matrix::from_rows(&[&[5.0, 2.0, 1.0], &[2.0, 4.0, 0.5], &[1.0, 0.5, 3.0]]);
         let dec = symmetric_eigen(&m);
         let vtv = dec.eigenvectors.transpose().matmul(&dec.eigenvectors);
         let id = Matrix::identity(3);
@@ -355,17 +390,17 @@ mod tests {
             let a = top.eigenvector(j);
             let b = full.eigenvector(j);
             let dot: f32 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
-            assert!(dot.abs() > 0.99, "eigenvector {j} misaligned: |dot| = {}", dot.abs());
+            assert!(
+                dot.abs() > 0.99,
+                "eigenvector {j} misaligned: |dot| = {}",
+                dot.abs()
+            );
         }
     }
 
     #[test]
     fn topk_basis_is_orthonormal() {
-        let m = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.0],
-            &[0.5, 0.0, 2.0],
-        ]);
+        let m = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.0], &[0.5, 0.0, 2.0]]);
         let (top, _) = symmetric_eigen_topk(&m, 3, 1);
         let vtv = top.eigenvectors.transpose().matmul(&top.eigenvectors);
         assert!(vtv.max_abs_diff(&Matrix::identity(3)) < 1e-4);

@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -57,7 +61,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -178,7 +186,11 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&x| f64::from(x) * f64::from(x))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Maximum absolute difference from another matrix (same shape required).

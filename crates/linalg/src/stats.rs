@@ -59,7 +59,11 @@ pub fn covariance(samples: &Matrix) -> Matrix {
     let mut acc = vec![0.0f32; d * d];
     let mut centered = vec![0.0f32; d];
     for i in 0..n {
-        for ((c, &x), &m) in centered.iter_mut().zip(samples.row(i).iter()).zip(mean.iter()) {
+        for ((c, &x), &m) in centered
+            .iter_mut()
+            .zip(samples.row(i).iter())
+            .zip(mean.iter())
+        {
             *c = x - m;
         }
         for j in 0..d {

@@ -60,7 +60,10 @@ pub fn simulate_cycles(
     mut fresh: impl FnMut(&mut SmallRng) -> Vec<f32>,
 ) -> Vec<CyclePoint> {
     assert!(workload.n > 0, "empty initial corpus");
-    assert!((0.0..=1.0).contains(&workload.churn), "churn must be a fraction");
+    assert!(
+        (0.0..=1.0).contains(&workload.churn),
+        "churn must be a fraction"
+    );
     let mut rng = SmallRng::seed_from_u64(workload.seed);
     let mut index = LsmVectorIndex::new(config);
     let mut live_ids: Vec<u64> = Vec::with_capacity(workload.n);
@@ -75,7 +78,14 @@ pub fn simulate_cycles(
     index.flush();
 
     let mut points = Vec::with_capacity(workload.cycles + 1);
-    points.push(measure(&index, &vectors_by_id, &workload, &mut rng, 0, Duration::ZERO));
+    points.push(measure(
+        &index,
+        &vectors_by_id,
+        &workload,
+        &mut rng,
+        0,
+        Duration::ZERO,
+    ));
 
     let per_cycle = ((workload.n as f64 * workload.churn).round() as usize).max(1);
     for cycle in 1..=workload.cycles {
@@ -98,14 +108,20 @@ pub fn simulate_cycles(
         }
         index.flush();
 
-        let rebuild_time =
-            if workload.rebuild_every > 0 && cycle % workload.rebuild_every == 0 {
-                index.rebuild().duration
-            } else {
-                Duration::ZERO
-            };
+        let rebuild_time = if workload.rebuild_every > 0 && cycle % workload.rebuild_every == 0 {
+            index.rebuild().duration
+        } else {
+            Duration::ZERO
+        };
 
-        points.push(measure(&index, &vectors_by_id, &workload, &mut rng, cycle, rebuild_time));
+        points.push(measure(
+            &index,
+            &vectors_by_id,
+            &workload,
+            &mut rng,
+            cycle,
+            rebuild_time,
+        ));
     }
     points
 }
@@ -127,8 +143,10 @@ fn measure(
         // Query = a live vector plus small noise, so ground truth is
         // non-trivial but anchored to the current corpus.
         let (_, anchor) = &live[rng.gen_range(0..live.len())];
-        let q: Vec<f32> =
-            anchor.iter().map(|&x| x + rng.gen_range(-0.05..0.05f32)).collect();
+        let q: Vec<f32> = anchor
+            .iter()
+            .map(|&x| x + rng.gen_range(-0.05..0.05f32))
+            .collect();
 
         let truth = exact_topk(live, &q, workload.k);
         let start = std::time::Instant::now();
@@ -141,7 +159,11 @@ fn measure(
     let stats = index.stats();
     CyclePoint {
         cycle,
-        recall: if total == 0 { 1.0 } else { hit as f64 / total as f64 },
+        recall: if total == 0 {
+            1.0
+        } else {
+            hit as f64 / total as f64
+        },
         latency: elapsed / workload.queries.max(1) as u32,
         segments: stats.segments,
         dead: stats.dead,
@@ -153,7 +175,10 @@ fn measure(
 fn exact_topk(live: &[(u64, Vec<f32>)], q: &[f32], k: usize) -> Vec<Hit> {
     let mut all: Vec<Hit> = live
         .iter()
-        .map(|(id, v)| Hit { id: *id, dist: simdops::l2_sq(q, v) })
+        .map(|(id, v)| Hit {
+            id: *id,
+            dist: simdops::l2_sq(q, v),
+        })
         .collect();
     all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
     all.truncate(k);
@@ -173,7 +198,9 @@ pub fn gaussian_generator(dim: usize) -> impl FnMut(&mut SmallRng) -> Vec<f32> {
         .collect();
     move |rng: &mut SmallRng| {
         let c = &centers[rng.gen_range(0..centers.len())];
-        c.iter().map(|&x| x + rng.gen_range(-0.25..0.25f32)).collect()
+        c.iter()
+            .map(|&x| x + rng.gen_range(-0.25..0.25f32))
+            .collect()
     }
 }
 
@@ -208,7 +235,11 @@ mod tests {
     fn config() -> LsmConfig {
         let mut c = LsmConfig::for_dim(16);
         c.memtable_cap = 256;
-        c.hnsw = graphs::HnswParams { c: 48, r: 8, seed: 9 };
+        c.hnsw = graphs::HnswParams {
+            c: 48,
+            r: 8,
+            seed: 9,
+        };
         c
     }
 
@@ -223,7 +254,11 @@ mod tests {
     #[test]
     fn initial_recall_is_high() {
         let points = simulate_cycles(config(), workload(0, 0), gaussian_generator(16));
-        assert!(points[0].recall >= 0.85, "initial recall {}", points[0].recall);
+        assert!(
+            points[0].recall >= 0.85,
+            "initial recall {}",
+            points[0].recall
+        );
     }
 
     #[test]

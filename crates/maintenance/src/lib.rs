@@ -41,8 +41,8 @@
 
 pub mod cycles;
 pub mod lsm;
-pub mod persist;
 pub mod memtable;
+pub mod persist;
 pub mod segment;
 
 pub use cycles::{simulate_cycles, CyclePoint, CycleWorkload};
@@ -50,13 +50,7 @@ pub use lsm::{LsmConfig, LsmStats, LsmVectorIndex, RebuildReport};
 pub use memtable::MemTable;
 pub use segment::Segment;
 
-/// One merged search hit carrying a stable external id and the exact
+/// The workspace-wide search hit type (re-exported from `graphs`): for
+/// LSM searches `id` is the stable external id and `dist` the exact
 /// (full-precision) squared L2 distance.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Hit {
-    /// External (user-visible) vector id — stable across flushes, rebuilds
-    /// and compactions.
-    pub id: u64,
-    /// Exact squared L2 distance to the query.
-    pub dist: f32,
-}
+pub use graphs::Hit;

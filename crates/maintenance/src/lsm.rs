@@ -29,7 +29,11 @@ impl LsmConfig {
             dim,
             memtable_cap: 2048,
             flash: FlashParams::auto(dim),
-            hnsw: HnswParams { c: 96, r: 12, seed: 0x11FE },
+            hnsw: HnswParams {
+                c: 96,
+                r: 12,
+                seed: 0x11FE,
+            },
         }
     }
 }
@@ -77,7 +81,10 @@ pub struct LsmVectorIndex {
 impl LsmVectorIndex {
     /// An empty index.
     pub fn new(config: LsmConfig) -> Self {
-        assert!(config.memtable_cap >= 1, "memtable capacity must be positive");
+        assert!(
+            config.memtable_cap >= 1,
+            "memtable capacity must be positive"
+        );
         Self {
             memtable: MemTable::new(config.dim),
             segments: Vec::new(),
@@ -99,7 +106,12 @@ impl LsmVectorIndex {
         segments: Vec<Segment>,
         next_id: u64,
     ) -> Self {
-        Self { config, memtable, segments, next_id }
+        Self {
+            config,
+            memtable,
+            segments,
+            next_id,
+        }
     }
 
     /// The sealed segments, oldest first.
@@ -162,7 +174,12 @@ impl LsmVectorIndex {
             return;
         }
         let (vectors, ids) = self.memtable.drain_live();
-        self.segments.push(Segment::build(vectors, ids, self.config.flash, self.config.hnsw));
+        self.segments.push(Segment::build(
+            vectors,
+            ids,
+            self.config.flash,
+            self.config.hnsw,
+        ));
     }
 
     /// Compacts every live vector (segments + memtable) into one fresh
@@ -188,9 +205,18 @@ impl LsmVectorIndex {
         let _ = self.memtable.drain_live();
         let vectors = ids.len();
         if vectors > 0 {
-            self.segments.push(Segment::build(all, ids, self.config.flash, self.config.hnsw));
+            self.segments.push(Segment::build(
+                all,
+                ids,
+                self.config.flash,
+                self.config.hnsw,
+            ));
         }
-        RebuildReport { duration: start.elapsed(), vectors, reclaimed }
+        RebuildReport {
+            duration: start.elapsed(),
+            vectors,
+            reclaimed,
+        }
     }
 
     /// Current shape of the index.
@@ -218,7 +244,11 @@ mod tests {
     fn config(dim: usize, cap: usize) -> LsmConfig {
         let mut c = LsmConfig::for_dim(dim);
         c.memtable_cap = cap;
-        c.hnsw = HnswParams { c: 48, r: 8, seed: 3 };
+        c.hnsw = HnswParams {
+            c: 48,
+            r: 8,
+            seed: 3,
+        };
         c
     }
 

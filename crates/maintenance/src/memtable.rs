@@ -20,7 +20,12 @@ pub struct MemTable {
 impl MemTable {
     /// An empty buffer for `dim`-dimensional vectors.
     pub fn new(dim: usize) -> Self {
-        Self { vectors: VectorSet::new(dim), ids: Vec::new(), dead: Vec::new(), live: 0 }
+        Self {
+            vectors: VectorSet::new(dim),
+            ids: Vec::new(),
+            dead: Vec::new(),
+            live: 0,
+        }
     }
 
     /// Number of buffered vectors (live + tombstoned).
@@ -60,7 +65,10 @@ impl MemTable {
 
     /// Whether `id` is present and live.
     pub fn contains(&self, id: u64) -> bool {
-        self.ids.iter().enumerate().any(|(i, &eid)| eid == id && !self.dead[i])
+        self.ids
+            .iter()
+            .enumerate()
+            .any(|(i, &eid)| eid == id && !self.dead[i])
     }
 
     /// Brute-force k-NN over the live vectors.
@@ -70,7 +78,10 @@ impl MemTable {
             .iter()
             .enumerate()
             .filter(|(i, _)| !self.dead[*i])
-            .map(|(i, v)| Hit { id: self.ids[i], dist: simdops::l2_sq(query, v) })
+            .map(|(i, v)| Hit {
+                id: self.ids[i],
+                dist: simdops::l2_sq(query, v),
+            })
             .collect();
         hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         hits.truncate(k);

@@ -204,12 +204,22 @@ impl LsmVectorIndex {
             return Err(bad("corrupt LSM meta"));
         }
 
-        let config = LsmConfig { dim, memtable_cap, flash, hnsw };
+        let config = LsmConfig {
+            dim,
+            memtable_cap,
+            flash,
+            hnsw,
+        };
         let mut segments = Vec::with_capacity(n_segments);
         for i in 0..n_segments {
             segments.push(Segment::load(&dir.join(format!("seg{i:03}")))?);
         }
-        Ok(LsmVectorIndex::restore(config, MemTable::new(dim), segments, next_id))
+        Ok(LsmVectorIndex::restore(
+            config,
+            MemTable::new(dim),
+            segments,
+            next_id,
+        ))
     }
 }
 
@@ -221,7 +231,9 @@ mod tests {
     use std::path::PathBuf;
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join("hnsw_flash_lsm_persist").join(name);
+        let dir = std::env::temp_dir()
+            .join("hnsw_flash_lsm_persist")
+            .join(name);
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -229,7 +241,11 @@ mod tests {
     fn populated_index(n: usize, seed: u64) -> LsmVectorIndex {
         let mut config = LsmConfig::for_dim(16);
         config.memtable_cap = 200;
-        config.hnsw = HnswParams { c: 48, r: 8, seed: 5 };
+        config.hnsw = HnswParams {
+            c: 48,
+            r: 8,
+            seed: 5,
+        };
         let mut index = LsmVectorIndex::new(config);
         let mut rng = SmallRng::seed_from_u64(seed);
         for _ in 0..n {
@@ -249,7 +265,11 @@ mod tests {
             base,
             ids,
             FlashParams::auto(256),
-            HnswParams { c: 48, r: 8, seed: 3 },
+            HnswParams {
+                c: 48,
+                r: 8,
+                seed: 3,
+            },
         );
         seg.delete(10);
         seg.save(&dir).unwrap();

@@ -28,18 +28,20 @@ impl Segment {
     ///
     /// # Panics
     /// Panics if `vectors` and `ids` disagree in length or are empty.
-    pub fn build(
-        vectors: VectorSet,
-        ids: Vec<u64>,
-        flash: FlashParams,
-        hnsw: HnswParams,
-    ) -> Self {
+    pub fn build(vectors: VectorSet, ids: Vec<u64>, flash: FlashParams, hnsw: HnswParams) -> Self {
         assert_eq!(vectors.len(), ids.len(), "one external id per vector");
         assert!(!ids.is_empty(), "segments must be non-empty");
         let n = ids.len();
         let provider = FlashProvider::new(vectors, flash);
         let index = Hnsw::build(provider, hnsw);
-        Self { index, ids, dead: vec![false; n], live: n, flash, hnsw }
+        Self {
+            index,
+            ids,
+            dead: vec![false; n],
+            live: n,
+            flash,
+            hnsw,
+        }
     }
 
     /// Reassembles a segment from persisted parts: the codec retrains
@@ -62,7 +64,14 @@ impl Segment {
         let provider = FlashProvider::new(vectors, flash);
         let index = Hnsw::from_frozen(provider, hnsw, &topology);
         let live = dead.iter().filter(|&&d| !d).count();
-        Self { index, ids, dead, live, flash, hnsw }
+        Self {
+            index,
+            ids,
+            dead,
+            live,
+            flash,
+            hnsw,
+        }
     }
 
     /// The raw vectors the segment covers (persisted as fvecs).
@@ -198,7 +207,11 @@ mod tests {
             base,
             ids,
             FlashParams::auto(256),
-            HnswParams { c: 48, r: 8, seed: 7 },
+            HnswParams {
+                c: 48,
+                r: 8,
+                seed: 7,
+            },
         );
         (seg, queries)
     }
@@ -209,7 +222,11 @@ mod tests {
         let hits = seg.search(queries.get(0), 5, 48);
         assert_eq!(hits.len(), 5);
         for h in &hits {
-            assert!(h.id >= 1000 && h.id < 1300, "unexpected external id {}", h.id);
+            assert!(
+                h.id >= 1000 && h.id < 1300,
+                "unexpected external id {}",
+                h.id
+            );
         }
         for w in hits.windows(2) {
             assert!(w[0].dist <= w[1].dist, "hits must be distance-sorted");

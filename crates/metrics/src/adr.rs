@@ -62,7 +62,10 @@ mod tests {
         dists
             .iter()
             .enumerate()
-            .map(|(i, &d)| Neighbor { id: i as u32, dist_sq: d })
+            .map(|(i, &d)| Neighbor {
+                id: i as u32,
+                dist_sq: d,
+            })
             .collect()
     }
 

@@ -39,7 +39,10 @@ pub fn measure_qps(n_queries: usize, mut search: impl FnMut(usize)) -> QpsReport
     for qi in 0..n_queries {
         search(qi);
     }
-    QpsReport { queries: n_queries, seconds: t0.elapsed().as_secs_f64() }
+    QpsReport {
+        queries: n_queries,
+        seconds: t0.elapsed().as_secs_f64(),
+    }
 }
 
 #[cfg(test)]
@@ -57,7 +60,10 @@ mod tests {
 
     #[test]
     fn qps_and_latency_consistent() {
-        let r = QpsReport { queries: 100, seconds: 2.0 };
+        let r = QpsReport {
+            queries: 100,
+            seconds: 2.0,
+        };
         assert_eq!(r.qps(), 50.0);
         assert_eq!(r.mean_latency_ms(), 20.0);
     }

@@ -53,7 +53,10 @@ mod tests {
             .map(|row| {
                 row.iter()
                     .enumerate()
-                    .map(|(i, &id)| Neighbor { id, dist_sq: i as f32 })
+                    .map(|(i, &id)| Neighbor {
+                        id,
+                        dist_sq: i as f32,
+                    })
                     .collect()
             })
             .collect()

@@ -42,7 +42,10 @@ impl KMeansResult {
 /// points.
 pub fn kmeans(points: &[f32], dim: usize, k: usize, max_iters: usize, seed: u64) -> KMeansResult {
     assert!(dim > 0 && k > 0, "dim and k must be positive");
-    assert!(points.len().is_multiple_of(dim), "points not a multiple of dim");
+    assert!(
+        points.len().is_multiple_of(dim),
+        "points not a multiple of dim"
+    );
     let n = points.len() / dim;
     assert!(n > 0, "k-means needs at least one point");
     let point = |i: usize| &points[i * dim..(i + 1) * dim];
@@ -123,7 +126,10 @@ pub fn kmeans(points: &[f32], dim: usize, k: usize, max_iters: usize, seed: u64)
                         let a = assignments[i] as usize;
                         (i, l2_sq(point(i), &centroids[a * dim..(a + 1) * dim]))
                     })
-                    .reduce(|| (0, f32::NEG_INFINITY), |x, y| if x.1 >= y.1 { x } else { y })
+                    .reduce(
+                        || (0, f32::NEG_INFINITY),
+                        |x, y| if x.1 >= y.1 { x } else { y },
+                    )
                     .0;
                 centroids[c * dim..(c + 1) * dim].copy_from_slice(point(worst));
             } else {
@@ -151,7 +157,12 @@ pub fn kmeans(points: &[f32], dim: usize, k: usize, max_iters: usize, seed: u64)
         .sum::<f64>()
         / n as f64;
 
-    KMeansResult { centroids, assignments, inertia, iterations }
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
 }
 
 #[cfg(test)]

@@ -358,7 +358,10 @@ mod tests {
         let tables = opq.sdc_tables();
         let ca = opq.encode(data.get(2));
         let cb = opq.encode(data.get(17));
-        assert_eq!(opq.sdc_distance(&tables, &ca, &cb), opq.sdc_distance(&tables, &cb, &ca));
+        assert_eq!(
+            opq.sdc_distance(&tables, &ca, &cb),
+            opq.sdc_distance(&tables, &cb, &ca)
+        );
     }
 
     #[test]
@@ -408,10 +411,16 @@ mod tests {
         let want = q0.matvec(&x);
         let got_fwd = q.matvec(&x);
         let got_bwd = q.matvec_t(&x);
-        let err_fwd: f32 =
-            want.iter().zip(got_fwd.iter()).map(|(a, b)| (a - b).abs()).sum();
-        let err_bwd: f32 =
-            want.iter().zip(got_bwd.iter()).map(|(a, b)| (a - b).abs()).sum();
+        let err_fwd: f32 = want
+            .iter()
+            .zip(got_fwd.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        let err_bwd: f32 = want
+            .iter()
+            .zip(got_bwd.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         assert!(
             err_fwd.min(err_bwd) < 1e-3,
             "neither Q ({err_fwd}) nor Qᵀ ({err_bwd}) matches Q₀'s action"

@@ -98,7 +98,10 @@ impl PcaCodec {
     /// # Panics
     /// Panics if `keep` is zero or exceeds the number of solved components.
     pub fn with_dims(mut self, keep: usize) -> Self {
-        assert!(keep >= 1 && keep <= self.basis.cols(), "keep exceeds solved components");
+        assert!(
+            keep >= 1 && keep <= self.basis.cols(),
+            "keep exceeds solved components"
+        );
         self.keep = keep;
         self
     }
@@ -127,7 +130,11 @@ impl PcaCodec {
     /// Projects `v` to the retained `d_PCA` coordinates (the compact code).
     pub fn project(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(v.len(), self.mean.len(), "dimensionality mismatch");
-        let centered: Vec<f32> = v.iter().zip(self.mean.iter()).map(|(&x, &m)| x - m).collect();
+        let centered: Vec<f32> = v
+            .iter()
+            .zip(self.mean.iter())
+            .map(|(&x, &m)| x - m)
+            .collect();
         // basisᵀ · centered, truncated to the first `keep` components.
         let mut out = self.basis.matvec_t(&centered);
         out.truncate(self.keep);
@@ -144,8 +151,7 @@ impl PcaCodec {
         assert_eq!(projected.len(), self.keep, "projection length mismatch");
         let d = self.mean.len();
         let mut out = self.mean.clone();
-        for j in 0..self.keep {
-            let pj = projected[j];
+        for (j, &pj) in projected.iter().enumerate() {
             if pj == 0.0 {
                 continue;
             }
@@ -203,7 +209,10 @@ mod tests {
     fn two_components_capture_planar_data() {
         let data = planar_data(500, 3);
         let pca = PcaCodec::fit(&data, 6);
-        assert!(pca.dims_for_variance(0.99) <= 2, "planar data needs <= 2 dims");
+        assert!(
+            pca.dims_for_variance(0.99) <= 2,
+            "planar data needs <= 2 dims"
+        );
     }
 
     #[test]

@@ -78,7 +78,15 @@ impl ProductQuantizer {
             codebooks.extend_from_slice(&result.centroids);
         }
 
-        Self { dim, m, k, bits, spans, codebooks, codebook_offsets }
+        Self {
+            dim,
+            m,
+            k,
+            bits,
+            spans,
+            codebooks,
+            codebook_offsets,
+        }
     }
 
     /// Number of subspaces `M_PQ`.

@@ -65,19 +65,10 @@ pub fn hyperplane_side(u: &[f32], v: &[f32], w: &[f32]) -> f32 {
 }
 
 /// The error aggregate `E` of the paper's Equation (1).
-pub fn error_aggregate(
-    u: &[f32],
-    v: &[f32],
-    w: &[f32],
-    eu: &[f32],
-    ev: &[f32],
-    ew: &[f32],
-) -> f32 {
+pub fn error_aggregate(u: &[f32], v: &[f32], w: &[f32], eu: &[f32], ev: &[f32], ew: &[f32]) -> f32 {
     let ew_minus_ev: Vec<f32> = ew.iter().zip(ev.iter()).map(|(&a, &b)| a - b).collect();
     let w_minus_v: Vec<f32> = w.iter().zip(v.iter()).map(|(&a, &b)| a - b).collect();
-    inner_product(&ew_minus_ev, u)
-        + inner_product(&w_minus_v, eu)
-        + inner_product(ev, eu)
+    inner_product(&ew_minus_ev, u) + inner_product(&w_minus_v, eu) + inner_product(ev, eu)
         - inner_product(ew, eu)
         + 0.5 * norm_sq(ew)
         - 0.5 * norm_sq(ev)
@@ -100,9 +91,16 @@ pub fn comparison_reliability<C: Codec>(
     n_triples: usize,
     seed: u64,
 ) -> ReliabilityReport {
-    assert!(sample.len() >= 3, "need at least 3 sample vectors for triples");
+    assert!(
+        sample.len() >= 3,
+        "need at least 3 sample vectors for triples"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut report = ReliabilityReport { satisfied: 0, agreeing: 0, total: 0 };
+    let mut report = ReliabilityReport {
+        satisfied: 0,
+        agreeing: 0,
+        total: 0,
+    };
 
     for _ in 0..n_triples {
         let ui = rng.gen_range(0..sample.len());

@@ -82,7 +82,13 @@ impl ScalarQuantizer {
             }
         };
 
-        Self { dim, bits, range, mins, deltas }
+        Self {
+            dim,
+            bits,
+            range,
+            mins,
+            deltas,
+        }
     }
 
     /// Codeword bits `L_SQ`.
@@ -214,10 +220,7 @@ mod tests {
     use super::*;
 
     fn data() -> VectorSet {
-        VectorSet::from_flat(
-            2,
-            vec![0.0, 10.0, 1.0, 20.0, 0.5, 15.0, 0.25, 12.0],
-        )
+        VectorSet::from_flat(2, vec![0.0, 10.0, 1.0, 20.0, 0.5, 15.0, 0.25, 12.0])
     }
 
     #[test]
@@ -240,7 +243,9 @@ mod tests {
         let sq2 = ScalarQuantizer::train(&d, 2, SqRange::Global);
         let sq8 = ScalarQuantizer::train(&d, 8, SqRange::Global);
         let err = |sq: &ScalarQuantizer| -> f32 {
-            d.iter().map(|v| simdops::l2_sq(v, &sq.reconstruct(v))).sum()
+            d.iter()
+                .map(|v| simdops::l2_sq(v, &sq.reconstruct(v)))
+                .sum()
         };
         assert!(err(&sq8) < err(&sq2));
     }
@@ -253,7 +258,10 @@ mod tests {
         let b = sq.encode_u8(d.get(1));
         let via_codes = sq.dist_sq_u8(&a, &b);
         let decoded = simdops::l2_sq(&sq.reconstruct(d.get(0)), &sq.reconstruct(d.get(1)));
-        assert!((via_codes - decoded).abs() < 1e-4, "{via_codes} vs {decoded}");
+        assert!(
+            (via_codes - decoded).abs() < 1e-4,
+            "{via_codes} vs {decoded}"
+        );
     }
 
     #[test]

@@ -16,7 +16,13 @@ use crate::level::{current_level, SimdLevel};
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dimension mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     match current_level() {
         SimdLevel::Scalar => l2_sq_scalar(a, b),
         #[cfg(target_arch = "x86_64")]
@@ -36,7 +42,13 @@ pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn inner_product(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dimension mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     match current_level() {
         SimdLevel::Scalar => ip_scalar(a, b),
         #[cfg(target_arch = "x86_64")]
@@ -239,9 +251,13 @@ mod tests {
         let mut b = Vec::with_capacity(n);
         let mut state = 0x9e3779b97f4a7c15u64;
         for _ in 0..n {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             a.push(((state >> 40) as f32) / 16777216.0 - 0.5);
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             b.push(((state >> 40) as f32) / 16777216.0 - 0.5);
         }
         (a, b)

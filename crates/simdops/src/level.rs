@@ -131,10 +131,15 @@ pub fn with_level<T>(level: SimdLevel, f: impl FnOnce() -> T) -> T {
 /// harness to enumerate runnable configurations.
 pub fn supported_levels() -> Vec<SimdLevel> {
     let top = detect_level();
-    [SimdLevel::Scalar, SimdLevel::Sse, SimdLevel::Avx2, SimdLevel::Avx512]
-        .into_iter()
-        .filter(|&l| l <= top)
-        .collect()
+    [
+        SimdLevel::Scalar,
+        SimdLevel::Sse,
+        SimdLevel::Avx2,
+        SimdLevel::Avx512,
+    ]
+    .into_iter()
+    .filter(|&l| l <= top)
+    .collect()
 }
 
 #[cfg(test)]
@@ -165,7 +170,12 @@ mod tests {
 
     #[test]
     fn register_bits_monotone() {
-        let levels = [SimdLevel::Scalar, SimdLevel::Sse, SimdLevel::Avx2, SimdLevel::Avx512];
+        let levels = [
+            SimdLevel::Scalar,
+            SimdLevel::Sse,
+            SimdLevel::Avx2,
+            SimdLevel::Avx512,
+        ];
         for w in levels.windows(2) {
             assert!(w[0].register_bits() < w[1].register_bits());
         }

@@ -177,7 +177,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(7);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 48) as u16 % (max + 1)) as u8
             })
             .collect()

@@ -16,7 +16,13 @@ use crate::level::{current_level, SimdLevel};
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn l2_sq_u8(a: &[u8], b: &[u8]) -> u32 {
-    assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dimension mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     match current_level() {
         SimdLevel::Scalar => l2_sq_u8_scalar(a, b),
         #[cfg(target_arch = "x86_64")]
@@ -116,7 +122,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 56) as u8
             })
             .collect()

@@ -123,7 +123,13 @@ impl DatasetSpec {
     ) -> Self {
         assert!(dim > 0 && clusters > 0);
         assert!((0.0..=1.0).contains(&variance_decay));
-        Self { dim, clusters, variance_decay, cluster_tightness, profile_seed }
+        Self {
+            dim,
+            clusters,
+            variance_decay,
+            cluster_tightness,
+            profile_seed,
+        }
     }
 }
 
@@ -132,7 +138,12 @@ impl DatasetSpec {
 ///
 /// Queries are drawn from the mixture (not copied from the database), so
 /// exact-duplicate shortcuts cannot inflate recall.
-pub fn generate(spec: &DatasetSpec, n: usize, n_queries: usize, seed: u64) -> (VectorSet, VectorSet) {
+pub fn generate(
+    spec: &DatasetSpec,
+    n: usize,
+    n_queries: usize,
+    seed: u64,
+) -> (VectorSet, VectorSet) {
     let mut rng = SmallRng::seed_from_u64(seed ^ spec.profile_seed.wrapping_mul(0x9e37));
     let d = spec.dim;
 

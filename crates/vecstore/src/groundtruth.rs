@@ -36,15 +36,23 @@ pub fn ground_truth(base: &VectorSet, queries: &VectorSet, k: usize) -> Vec<Vec<
             for (id, v) in base.iter().enumerate() {
                 let d = l2_sq(q, v);
                 if heap.len() < k {
-                    heap.push(Neighbor { id: id as u32, dist_sq: d });
+                    heap.push(Neighbor {
+                        id: id as u32,
+                        dist_sq: d,
+                    });
                     if heap.len() == k {
                         heap.sort_by(cmp_neighbor);
                     }
                 } else if d < heap[k - 1].dist_sq {
                     // Insert in sorted position, drop the tail.
-                    let pos = heap
-                        .partition_point(|n| (n.dist_sq, n.id) < (d, id as u32));
-                    heap.insert(pos, Neighbor { id: id as u32, dist_sq: d });
+                    let pos = heap.partition_point(|n| (n.dist_sq, n.id) < (d, id as u32));
+                    heap.insert(
+                        pos,
+                        Neighbor {
+                            id: id as u32,
+                            dist_sq: d,
+                        },
+                    );
                     heap.pop();
                 }
             }

@@ -42,7 +42,10 @@ pub fn read_fvecs(path: &Path) -> io::Result<VectorSet> {
         }
         let mut buf = vec![0u8; d * 4];
         reader.read_exact(&mut buf)?;
-        data.extend(buf.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])));
+        data.extend(
+            buf.chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
     }
     let dim = dim.ok_or_else(|| bad_data("empty fvecs file"))?;
     Ok(VectorSet::from_flat(dim, data))

@@ -16,13 +16,19 @@ impl VectorSet {
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
-        Self { dim, data: Vec::new() }
+        Self {
+            dim,
+            data: Vec::new(),
+        }
     }
 
     /// Creates an empty set with capacity for `n` vectors.
     pub fn with_capacity(dim: usize, n: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
-        Self { dim, data: Vec::with_capacity(dim * n) }
+        Self {
+            dim,
+            data: Vec::with_capacity(dim * n),
+        }
     }
 
     /// Wraps an existing row-major buffer.
@@ -31,7 +37,10 @@ impl VectorSet {
     /// Panics if the buffer length is not a multiple of `dim`.
     pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
-        assert!(data.len().is_multiple_of(dim), "buffer not a multiple of dim={dim}");
+        assert!(
+            data.len().is_multiple_of(dim),
+            "buffer not a multiple of dim={dim}"
+        );
         Self { dim, data }
     }
 
@@ -130,7 +139,11 @@ impl VectorSet {
         }
         for i in 0..self.len() {
             let v = self.get_mut(i);
-            let norm = v.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt();
+            let norm = v
+                .iter()
+                .map(|&x| f64::from(x) * f64::from(x))
+                .sum::<f64>()
+                .sqrt();
             if norm > 0.0 {
                 let inv = (1.0 / norm) as f32;
                 for x in v.iter_mut() {

@@ -5,13 +5,16 @@
 //! cargo run --release --example filtered_search
 //! ```
 //!
-//! Demonstrates both deployment shapes the paper's introduction alludes to:
-//! one shared graph with a query-time predicate, and specialized per-label
-//! sub-indexes whose construction cost Flash compresses.
+//! Demonstrates both deployment shapes the paper's introduction alludes to,
+//! both served through the engine's one request model: one shared graph
+//! with a query-time predicate (`SearchRequest::filter`), and specialized
+//! per-label sub-indexes (`IndexBuilder::build_labeled` +
+//! `SearchRequest::label`) whose construction cost Flash compresses.
 
 use hnsw_flash::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -23,51 +26,69 @@ fn main() {
     let (base, queries) = generate(&DatasetProfile::LaionLike.spec(), n, 20, 9);
     let mut rng = SmallRng::seed_from_u64(0xAB);
     let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..labels_count)).collect();
+    let labels = Arc::new(labels);
 
     // --- shape 1: one shared graph + query-time filter -----------------
     let t0 = Instant::now();
-    let shared = Hnsw::build(
-        FullPrecision::new(base.clone()),
-        HnswParams { c: 128, r: 16, seed: 1 },
-    );
+    let shared = IndexBuilder::new(GraphKind::Hnsw, Coding::Full)
+        .c(128)
+        .r(16)
+        .seed(1)
+        .build(base.clone());
     println!("shared graph built in {:.2?}", t0.elapsed());
 
     let want = 3u32;
-    let labels_ref = &labels;
-    let accept = move |id: u32| labels_ref[id as usize] == want;
-    let hits = shared.search_filtered(queries.get(0), k, 128, &accept);
+    let labels_for_filter = Arc::clone(&labels);
+    let request = SearchRequest::new(queries.get(0), k)
+        .ef(128)
+        .filter(move |id| labels_for_filter[id as usize] == want);
+    let hits = shared.search(&request).hits;
     println!("\nfiltered search (label = {want}) on the shared graph:");
     for h in &hits {
         assert_eq!(labels[h.id as usize], want);
-        println!("  id {:>6}  label {}  dist {:.4}", h.id, labels[h.id as usize], h.dist);
+        println!(
+            "  id {:>6}  label {}  dist {:.4}",
+            h.id, labels[h.id as usize], h.dist
+        );
     }
 
     // --- shape 2: specialized per-label indexes, Flash-accelerated -----
-    let lp = LabeledParams { hnsw: HnswParams { c: 96, r: 12, seed: 2 }, min_graph_size: 64 };
-
     let t0 = Instant::now();
-    let specialized_full = LabeledHnsw::build(&base, &labels, lp, FullPrecision::new);
+    let specialized_full = IndexBuilder::new(GraphKind::Hnsw, Coding::Full)
+        .c(96)
+        .r(12)
+        .seed(2)
+        .build_labeled(&base, &labels, 64)
+        .unwrap();
     let t_full = t0.elapsed();
 
-    // Train the Flash codec once on the whole corpus; every partition
+    // The Flash codec trains once on the whole corpus; every partition
     // shares it and only pays encoding.
     let t0 = Instant::now();
-    let mut fp = FlashParams::auto(base.dim());
-    fp.train_sample = (base.len() / 2).clamp(64, 10_000);
-    let codec = FlashCodec::train(&base, fp);
-    let specialized_flash =
-        LabeledHnsw::build(&base, &labels, lp, |subset| FlashProvider::from_codec(subset, codec.clone()));
+    let specialized_flash = IndexBuilder::new(GraphKind::Hnsw, Coding::Flash)
+        .c(96)
+        .r(12)
+        .seed(2)
+        .build_labeled(&base, &labels, 64)
+        .unwrap();
     let t_flash = t0.elapsed();
 
-    println!("\nspecialized per-label builds ({} partitions):", specialized_full.partitions());
+    println!("\nspecialized per-label builds:");
     println!("  full-precision: {t_full:.2?}");
-    println!("  Flash:          {t_flash:.2?}  ({:.1}x faster)",
-        t_full.as_secs_f64() / t_flash.as_secs_f64().max(1e-9));
+    println!(
+        "  Flash:          {t_flash:.2?}  ({:.1}x faster)",
+        t_full.as_secs_f64() / t_flash.as_secs_f64().max(1e-9)
+    );
+    assert_eq!(specialized_full.len(), n);
 
-    let hits = specialized_flash.search(queries.get(0), want, k, 96);
+    let request = SearchRequest::new(queries.get(0), k).ef(96).label(want);
+    let hits = specialized_flash.search(&request).hits;
     println!("\nsame query on the specialized Flash index:");
     for h in &hits {
         assert_eq!(labels[h.id as usize], want);
-        println!("  id {:>6}  label {}  dist {:.4}", h.id, labels[h.id as usize], h.dist);
+        println!(
+            "  id {:>6}  label {}  dist {:.4}",
+            h.id, labels[h.id as usize], h.dist
+        );
     }
 }

@@ -7,11 +7,11 @@
 //! Vector databases built on the LSM paradigm periodically reconstruct
 //! per-segment graph indexes after data or embedding-model updates; the
 //! paper motivates Flash with rebuild windows that must fit in a few
-//! overnight hours. This example reproduces that workflow: a collection is
-//! split into segments, each segment's index is rebuilt with baseline HNSW
-//! and with HNSW-Flash, and the end-to-end rebuild wall-clock is compared
-//! — including a post-rebuild recall check so the faster rebuild is shown
-//! to preserve search quality.
+//! overnight hours. This example reproduces that workflow through the
+//! engine: a collection is split into segments, each segment's index is
+//! rebuilt with baseline HNSW and with HNSW-Flash via `IndexBuilder`, and
+//! the end-to-end rebuild wall-clock is compared — including a
+//! post-rebuild recall check over the scatter-gathered `AnnIndex` shards.
 
 use hnsw_flash::prelude::*;
 use std::time::{Duration, Instant};
@@ -27,64 +27,63 @@ fn main() {
     let (base, queries) = generate(&DatasetProfile::LaionLike.spec(), n_total, n_queries, 23);
     let segments = split_into_segments(&base, n_segments);
     let gt = ground_truth(&base, &queries, k);
-    let params = HnswParams { c: 128, r: 16, seed: 9 };
 
-    // --- rebuild all segments, baseline -------------------------------
-    let mut t_full = Duration::ZERO;
-    let mut full_indexes = Vec::new();
-    for seg in &segments {
-        let t0 = Instant::now();
-        full_indexes.push(Hnsw::build(FullPrecision::new(seg.clone()), params));
-        t_full += t0.elapsed();
-    }
+    // --- rebuild all segments with one builder per method --------------
+    let rebuild_all = |coding: Coding| -> (Duration, Vec<Box<dyn AnnIndex>>) {
+        let mut total = Duration::ZERO;
+        let mut shards = Vec::new();
+        for seg in &segments {
+            let t0 = Instant::now();
+            shards.push(
+                IndexBuilder::new(GraphKind::Hnsw, coding)
+                    .c(128)
+                    .r(16)
+                    .seed(9)
+                    .build(seg.clone()),
+            );
+            total += t0.elapsed();
+        }
+        (total, shards)
+    };
 
-    // --- rebuild all segments, Flash -----------------------------------
-    let mut t_flash = Duration::ZERO;
-    let mut flash_indexes = Vec::new();
-    for seg in &segments {
-        let t0 = Instant::now();
-        flash_indexes.push(FlashHnsw::build_flash(
-            seg.clone(),
-            FlashParams::auto(768),
-            params,
-        ));
-        t_flash += t0.elapsed();
-    }
+    let (t_full, full_shards) = rebuild_all(Coding::Full);
+    let (t_flash, flash_shards) = rebuild_all(Coding::Flash);
 
     // --- scatter-gather search across segments ------------------------
     // Segment s holds global ids [offset_s, offset_s + len_s); merge the
     // per-segment top-k by exact distance.
-    let offsets: Vec<u32> = segments
+    let offsets: Vec<u64> = segments
         .iter()
-        .scan(0u32, |acc, s| {
+        .scan(0u64, |acc, s| {
             let start = *acc;
-            *acc += s.len() as u32;
+            *acc += s.len() as u64;
             Some(start)
         })
         .collect();
 
-    let search_all = |search_segment: &dyn Fn(usize, &[f32]) -> Vec<SearchResult>,
-                      qi: usize|
-     -> Vec<u32> {
-        let q = queries.get(qi);
-        let mut merged: Vec<SearchResult> = (0..n_segments)
-            .flat_map(|s| {
+    let search_all = |shards: &[Box<dyn AnnIndex>], rerank: usize, qi: usize| -> Vec<u32> {
+        let request = SearchRequest::new(queries.get(qi), k).ef(96).rerank(rerank);
+        let mut merged: Vec<Hit> = shards
+            .iter()
+            .enumerate()
+            .flat_map(|(s, shard)| {
                 let off = offsets[s];
-                search_segment(s, q)
-                    .into_iter()
-                    .map(move |r| SearchResult { id: r.id + off, dist: r.dist })
+                shard.search(&request).hits.into_iter().map(move |h| Hit {
+                    id: h.id + off,
+                    dist: h.dist,
+                })
             })
             .collect();
         merged.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         merged.truncate(k);
-        merged.into_iter().map(|r| r.id).collect()
+        merged.into_iter().map(|h| h.id as u32).collect()
     };
 
     let found_full: Vec<Vec<u32>> = (0..n_queries)
-        .map(|qi| search_all(&|s, q| full_indexes[s].search(q, k, 96), qi))
+        .map(|qi| search_all(&full_shards, 1, qi))
         .collect();
     let found_flash: Vec<Vec<u32>> = (0..n_queries)
-        .map(|qi| search_all(&|s, q| flash_indexes[s].search_rerank(q, k, 96, 8), qi))
+        .map(|qi| search_all(&flash_shards, 8, qi))
         .collect();
 
     let r_full = recall_at_k(&found_full, &gt, k).recall();

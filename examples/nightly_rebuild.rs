@@ -8,7 +8,10 @@
 //! Drives an LSM vector index (memtable + sealed HNSW-Flash segments)
 //! through a day of churn, shows the accumulated fragmentation, then runs
 //! the rebuild and reports how the Flash-built compaction restores a
-//! single clean segment.
+//! single clean segment. Queries go through the engine's `AnnIndex`
+//! trait — the same serving surface every graph index uses — while the
+//! mutation API (`insert` / `delete` / `rebuild`) stays on the concrete
+//! LSM type.
 
 use hnsw_flash::prelude::*;
 use rand::rngs::SmallRng;
@@ -21,7 +24,11 @@ fn main() {
 
     let mut config = LsmConfig::for_dim(dim);
     config.memtable_cap = 1_024;
-    config.hnsw = HnswParams { c: 96, r: 12, seed: 3 };
+    config.hnsw = HnswParams {
+        c: 96,
+        r: 12,
+        seed: 3,
+    };
     let mut index = LsmVectorIndex::new(config);
 
     let mut rng = SmallRng::seed_from_u64(0xDA7);
@@ -54,9 +61,11 @@ fn main() {
         index.bytes() as f64 / 1e6
     );
 
-    // A probe query before and after, to show results stay consistent.
+    // A probe query before and after, to show results stay consistent —
+    // served through the engine trait.
     let q = fresh();
-    let hits_before = index.search(&q, 5, 96);
+    let probe = SearchRequest::new(q, 5).ef(96);
+    let hits_before = AnnIndex::search(&index, &probe).hits;
 
     println!("\nrunning the overnight rebuild (Flash-accelerated compaction)...");
     let report = index.rebuild();
@@ -74,10 +83,13 @@ fn main() {
         index.bytes() as f64 / 1e6
     );
 
-    let hits_after = index.search(&q, 5, 96);
+    let hits_after = AnnIndex::search(&index, &probe).hits;
     println!("\ntop-5 for a probe query (before → after):");
     for (a, b) in hits_before.iter().zip(hits_after.iter()) {
-        println!("  {:>7} (d {:.4})  →  {:>7} (d {:.4})", a.id, a.dist, b.id, b.dist);
+        println!(
+            "  {:>7} (d {:.4})  →  {:>7} (d {:.4})",
+            a.id, a.dist, b.id, b.dist
+        );
     }
     assert_eq!(after.segments, 1);
     assert_eq!(after.dead, 0);

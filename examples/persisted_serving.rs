@@ -5,12 +5,13 @@
 //! cargo run --release --example persisted_serving
 //! ```
 //!
-//! Demonstrates the two persistence layers:
-//! * `graphs::persist` + `Hnsw::from_frozen` for a single index (codes are
-//!   re-derived deterministically from the dataset — only adjacency is
-//!   stored);
+//! Demonstrates the two persistence layers, both serving through the
+//! engine:
+//! * `AnnIndex::export_graph` + `IndexBuilder::serve` for a single index
+//!   (codes are re-derived deterministically from the dataset — only
+//!   adjacency is stored);
 //! * `maintenance`'s directory format for a whole LSM index (segments,
-//!   tombstones, id counter).
+//!   tombstones, id counter), searched through the same trait.
 
 use hnsw_flash::prelude::*;
 use hnsw_flash::{graphs, maintenance};
@@ -26,30 +27,43 @@ fn main() {
     println!("building HNSW-Flash over {n} vectors (SSNPP-like, 256-d)...");
     let (base, queries) = generate(&DatasetProfile::SsnppLike.spec(), n, 50, 17);
     let gt = ground_truth(&base, &queries, 10);
-    let flash_params = FlashParams::auto(256);
-    let hnsw_params = HnswParams { c: 128, r: 16, seed: 11 };
+    let builder = IndexBuilder::new(GraphKind::Hnsw, Coding::Flash)
+        .c(128)
+        .r(16)
+        .seed(11);
 
     let t0 = Instant::now();
-    let built = FlashHnsw::build_flash(base.clone(), flash_params, hnsw_params);
+    let built = builder.clone().build(base.clone());
     println!("built in {:.2?}", t0.elapsed());
 
     let graph_path = dir.join("index.hfg");
-    built.freeze().save(&graph_path).unwrap();
-    println!("topology saved to {} ({} bytes)", graph_path.display(),
-        std::fs::metadata(&graph_path).unwrap().len());
+    built.export_graph().unwrap().save(&graph_path).unwrap();
+    println!(
+        "topology saved to {} ({} bytes)",
+        graph_path.display(),
+        std::fs::metadata(&graph_path).unwrap().len()
+    );
     drop(built); // "process exits"
 
     // "New process": re-derive the provider (deterministic: same data,
-    // same seed) and restore the index around the loaded topology.
+    // same seed) and serve the loaded topology — no graph construction.
     let t0 = Instant::now();
     let topology = graphs::GraphLayers::load(&graph_path).unwrap();
-    let provider = FlashProvider::new(base, flash_params);
-    let served = graphs::Hnsw::from_frozen(provider, hnsw_params, &topology);
-    println!("reloaded + re-encoded in {:.2?} (no graph construction)", t0.elapsed());
+    let served = builder.serve(base, topology).unwrap();
+    println!(
+        "reloaded + re-encoded in {:.2?} (no graph construction)",
+        t0.elapsed()
+    );
 
     let found: Vec<Vec<u32>> = (0..queries.len())
         .map(|qi| {
-            served.search_rerank(queries.get(qi), 10, 128, 8).iter().map(|r| r.id).collect()
+            let request = SearchRequest::new(queries.get(qi), 10).ef(128).rerank(8);
+            served
+                .search(&request)
+                .hits
+                .iter()
+                .map(|h| h.id as u32)
+                .collect()
         })
         .collect();
     let recall = recall_at_k(&found, &gt, 10).recall();
@@ -72,14 +86,17 @@ fn main() {
 
     let reloaded = maintenance::LsmVectorIndex::load(&lsm_dir).unwrap();
     let after = reloaded.stats();
-    println!("live vectors: {} before save, {} after reload", before.live, after.live);
+    println!(
+        "live vectors: {} before save, {} after reload",
+        before.live, after.live
+    );
     assert_eq!(before.live, after.live);
 
     // Same query against the pre-save and reloaded index must agree hit
-    // for hit — the reloaded segments serve the identical graph.
-    let probe = data.get(8); // id 8 survives the step_by(7) deletes
-    let before_hits: Vec<u64> = lsm.search(probe, 5, 192).iter().map(|h| h.id).collect();
-    let after_hits: Vec<u64> = reloaded.search(probe, 5, 192).iter().map(|h| h.id).collect();
+    // for hit — both served through the engine trait.
+    let probe = SearchRequest::new(data.get(8), 5).ef(192); // id 8 survives the deletes
+    let before_hits = AnnIndex::search(&lsm, &probe).ids();
+    let after_hits = AnnIndex::search(&reloaded, &probe).ids();
     println!("self-query top-5 before save: {before_hits:?}");
     println!("self-query top-5 after load:  {after_hits:?}");
     assert_eq!(before_hits, after_hits);

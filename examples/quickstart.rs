@@ -1,12 +1,13 @@
-//! Quickstart: build an HNSW-Flash index and search it.
+//! Quickstart: build an HNSW-Flash index through the engine and search it.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
 //! Generates a synthetic embedding dataset, builds the index two ways
-//! (baseline full-precision HNSW and HNSW-Flash), and compares build time
-//! and top-10 recall on held-out queries.
+//! (baseline full-precision HNSW and HNSW-Flash) through the unified
+//! `IndexBuilder`, and compares build time and top-10 recall on held-out
+//! queries — both indexes serving through the same `AnnIndex` trait.
 
 use hnsw_flash::prelude::*;
 use std::time::Instant;
@@ -20,39 +21,44 @@ fn main() {
     let (base, queries) = generate(&DatasetProfile::SsnppLike.spec(), n, n_queries, 42);
     let gt = ground_truth(&base, &queries, k);
 
-    let params = HnswParams { c: 128, r: 16, seed: 7 };
-
     // --- baseline: full-precision HNSW --------------------------------
     let t0 = Instant::now();
-    let baseline = Hnsw::build(FullPrecision::new(base.clone()), params);
+    let baseline = IndexBuilder::new(GraphKind::Hnsw, Coding::Full)
+        .c(128)
+        .r(16)
+        .seed(7)
+        .build(base.clone());
     let t_full = t0.elapsed();
 
     // --- HNSW-Flash ----------------------------------------------------
     let t0 = Instant::now();
-    let flash_index = FlashHnsw::build_flash(base, FlashParams::auto(256), params);
+    let flash_index = IndexBuilder::new(GraphKind::Hnsw, Coding::Flash)
+        .c(128)
+        .r(16)
+        .seed(7)
+        .build(base);
     let t_flash = t0.elapsed();
 
-    // --- evaluate ------------------------------------------------------
+    // --- evaluate: same request model for both ------------------------
     let recall_of = |found: &[Vec<u32>]| recall_at_k(found, &gt, k).recall();
+    let search_ids = |index: &dyn AnnIndex, rerank: usize| -> Vec<Vec<u32>> {
+        (0..n_queries)
+            .map(|qi| {
+                let request = SearchRequest::new(queries.get(qi), k)
+                    .ef(128)
+                    .rerank(rerank);
+                index
+                    .search(&request)
+                    .hits
+                    .iter()
+                    .map(|h| h.id as u32)
+                    .collect()
+            })
+            .collect()
+    };
 
-    let found_full: Vec<Vec<u32>> = (0..n_queries)
-        .map(|qi| {
-            baseline
-                .search(queries.get(qi), k, 128)
-                .iter()
-                .map(|r| r.id)
-                .collect()
-        })
-        .collect();
-    let found_flash: Vec<Vec<u32>> = (0..n_queries)
-        .map(|qi| {
-            flash_index
-                .search_rerank(queries.get(qi), k, 128, 8)
-                .iter()
-                .map(|r| r.id)
-                .collect()
-        })
-        .collect();
+    let found_full = search_ids(baseline.as_ref(), 1);
+    let found_flash = search_ids(flash_index.as_ref(), 8);
 
     println!();
     println!("| method      | build time | recall@{k} | index bytes |");
@@ -61,13 +67,13 @@ fn main() {
         "| HNSW        | {:>9.2?} | {:>9.4} | {:>11} |",
         t_full,
         recall_of(&found_full),
-        baseline.index_bytes()
+        baseline.memory_bytes()
     );
     println!(
         "| HNSW-Flash  | {:>9.2?} | {:>9.4} | {:>11} |",
         t_flash,
         recall_of(&found_flash),
-        flash_index.index_bytes()
+        flash_index.memory_bytes()
     );
     println!(
         "\nspeedup: {:.1}x",

@@ -1,4 +1,5 @@
-//! Streaming insertion: HNSW's native add support, preserved by Flash.
+//! Streaming insertion: HNSW's native add support, preserved by Flash and
+//! served through the engine.
 //!
 //! ```text
 //! cargo run --release --example streaming_add
@@ -8,10 +9,11 @@
 //! attempts weakened or discarded HNSW's native incremental insertion.
 //! Flash does not: vertices can keep arriving after the initial build,
 //! because inserting through the codec only appends codes and updates
-//! neighbor blocks. This example builds an index on the first half of a
-//! stream, serves queries, inserts the second half, and shows recall over
-//! the full collection afterwards.
+//! neighbor blocks. This example wraps a streaming HNSW-Flash index in
+//! the engine's `GraphIndex` adapter — queries go through `AnnIndex`
+//! while inserts keep flowing through the wrapped index underneath.
 
+use engine::GraphIndex;
 use hnsw_flash::prelude::*;
 
 fn main() {
@@ -25,45 +27,52 @@ fn main() {
 
     // Train the codec on the full collection the stream will reach (in
     // production this is the previous snapshot; codebooks are stable under
-    // distribution drift far larger than one ingest cycle).
+    // distribution drift far larger than one ingest cycle). `GraphIndex`
+    // is the engine's delegating wrapper: `inner()` exposes the streaming
+    // construction API, the trait serves queries.
     let provider = FlashProvider::new(base.clone(), FlashParams::auto(768));
-    let index = Hnsw::new(provider, HnswParams { c: 96, r: 16, seed: 13 });
+    let index = GraphIndex::new(Hnsw::new(
+        provider,
+        HnswParams {
+            c: 96,
+            r: 16,
+            seed: 13,
+        },
+    ));
+    let serving: &dyn AnnIndex = &index;
 
     println!("phase 1: inserting the initial {n_initial} vectors...");
     for id in 0..n_initial as u32 {
-        index.insert(id);
+        index.inner().insert(id);
     }
 
+    let search_ids = |qi: usize| -> Vec<u32> {
+        let request = SearchRequest::new(queries.get(qi), k).ef(96).rerank(8);
+        serving
+            .search(&request)
+            .hits
+            .iter()
+            .map(|h| h.id as u32)
+            .collect()
+    };
+
     let gt_initial = ground_truth(&base.slice(0, n_initial), &queries, k);
-    let found: Vec<Vec<u32>> = (0..n_queries)
-        .map(|qi| {
-            index
-                .search_rerank(queries.get(qi), k, 96, 8)
-                .iter()
-                .map(|r| r.id)
-                .collect()
-        })
-        .collect();
+    let found: Vec<Vec<u32>> = (0..n_queries).map(search_ids).collect();
     println!(
         "  recall@{k} against the first {n_initial}: {:.4}",
         recall_at_k(&found, &gt_initial, k).recall()
     );
 
-    println!("phase 2: streaming in the remaining {} vectors...", n_total - n_initial);
+    println!(
+        "phase 2: streaming in the remaining {} vectors...",
+        n_total - n_initial
+    );
     for id in n_initial as u32..n_total as u32 {
-        index.insert(id);
+        index.inner().insert(id);
     }
 
     let gt_full = ground_truth(&base, &queries, k);
-    let found: Vec<Vec<u32>> = (0..n_queries)
-        .map(|qi| {
-            index
-                .search_rerank(queries.get(qi), k, 96, 8)
-                .iter()
-                .map(|r| r.id)
-                .collect()
-        })
-        .collect();
+    let found: Vec<Vec<u32>> = (0..n_queries).map(search_ids).collect();
     println!(
         "  recall@{k} against all {n_total}: {:.4}",
         recall_at_k(&found, &gt_full, k).recall()

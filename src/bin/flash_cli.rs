@@ -68,12 +68,17 @@ USAGE:
                      [--nq <N> --queries <out.fvecs>] [--k <K> --gt <out.ivecs>]
                      [--seed <u64>]
   flash_cli build    --base <in.fvecs> --graph <out.hfg>
-                     [--method flash|hnsw|pq|sq|pca] [--c <C>] [--r <R>]
+                     [--method flash|hnsw|full|pq|sq|pca|opq|<graph>:<coding>]
+                     [--c <C>] [--r <R>]
                      [--df <d_F>] [--mf <M_F>] [--seed <u64>]
   flash_cli search   --base <in.fvecs> --graph <in.hfg> --queries <in.fvecs>
                      [--method ...same as build...] [--k <K>] [--ef <EF>]
                      [--gt <in.ivecs>] [--out <out.ivecs>]
   flash_cli info     --graph <in.hfg>
+
+METHODS:  legacy HNSW shorthands: flash hnsw full pq sq pca opq
+          or <graph>:<coding> with graph in {hnsw nsg taumg vamana hcnng}
+          and coding in {full sq pca pq opq flash}, e.g. nsg:flash
 
 PROFILES: argilla-like anton-like laion-like imagenet-like cohere-like
           datacomp-like bigcode-like ssnpp-like";
@@ -116,7 +121,9 @@ impl Opts {
     fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.str(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse `{v}`")),
         }
     }
 }
@@ -131,7 +138,11 @@ fn profile_by_name(name: &str) -> Result<DatasetProfile, String> {
         "datacomp-like" => DatasetProfile::DatacompLike,
         "bigcode-like" => DatasetProfile::BigcodeLike,
         "ssnpp-like" => DatasetProfile::SsnppLike,
-        other => return Err(format!("unknown profile `{other}` (see PROFILES in --help)")),
+        other => {
+            return Err(format!(
+                "unknown profile `{other}` (see PROFILES in --help)"
+            ))
+        }
     })
 }
 
@@ -145,7 +156,12 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     eprintln!("generating {n} vectors ({})...", profile.name());
     let (base, queries) = generate(&profile.spec(), n, nq, seed);
     write_fvecs(&base_path, &base).map_err(io_err("write base"))?;
-    eprintln!("wrote {} vectors x {} dims to {}", base.len(), base.dim(), base_path.display());
+    eprintln!(
+        "wrote {} vectors x {} dims to {}",
+        base.len(),
+        base.dim(),
+        base_path.display()
+    );
 
     if let Some(qp) = opts.str("queries") {
         write_fvecs(Path::new(qp), &queries).map_err(io_err("write queries"))?;
@@ -166,149 +182,103 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
 }
 
 /// Everything needed to rebuild a provider deterministically at serve time.
+/// The method string is validated against the engine's `GraphKind` /
+/// `Coding` parsers **before** any dataset is read, so a typo fails fast
+/// with the accepted set spelled out.
+#[derive(Debug)]
 struct BuildSpec {
-    method: String,
+    graph_kind: GraphKind,
+    coding: Coding,
     c: usize,
     r: usize,
-    d_f: usize,
-    m_f: usize,
+    /// `--df` override; `FlashParams::auto(dim)` default applies at build
+    /// time (the dataset dimensionality is unknown during validation).
+    d_f: Option<usize>,
+    /// `--mf` override; auto default applies at build time.
+    m_f: Option<usize>,
     seed: u64,
 }
 
 impl BuildSpec {
-    fn from_opts(opts: &Opts, dim: usize) -> Result<Self, String> {
-        let auto = FlashParams::auto(dim);
+    fn from_opts(opts: &Opts) -> Result<Self, String> {
+        let (graph_kind, coding) = parse_method(opts.str("method").unwrap_or("flash"))?;
         Ok(Self {
-            method: opts.str("method").unwrap_or("flash").to_string(),
+            graph_kind,
+            coding,
             c: opts.num("c", 128)?,
             r: opts.num("r", 16)?,
-            d_f: opts.num("df", auto.d_f)?,
-            m_f: opts.num("mf", auto.m_f)?,
+            d_f: opts
+                .str("df")
+                .map(str::parse)
+                .transpose()
+                .map_err(|_| "--df: not a number")?,
+            m_f: opts
+                .str("mf")
+                .map(str::parse)
+                .transpose()
+                .map_err(|_| "--mf: not a number")?,
             seed: opts.num("seed", 0x5EEDu64)?,
         })
     }
 
-    fn hnsw(&self) -> HnswParams {
-        HnswParams { c: self.c, r: self.r, seed: self.seed }
+    fn method_name(&self) -> String {
+        format!("{}:{}", self.graph_kind.name(), self.coding.name())
     }
 
-    fn flash(&self, dim: usize, n: usize) -> FlashParams {
-        let mut fp = FlashParams::auto(dim);
-        fp.d_f = self.d_f;
-        fp.m_f = self.m_f;
-        fp.seed = self.seed;
-        fp.train_sample = (n / 2).clamp(256, 10_000);
-        fp
-    }
-}
-
-/// A built (or rebuilt-for-serving) index of any CLI method.
-enum CliIndex {
-    Flash(FlashHnsw),
-    Full(Hnsw<FullPrecision>),
-    Pq(Hnsw<PqProvider>),
-    Sq(Hnsw<SqProvider>),
-    Pca(Hnsw<PcaProvider>),
-}
-
-impl CliIndex {
-    fn build(base: VectorSet, spec: &BuildSpec) -> Result<Self, String> {
-        let dim = base.dim();
-        let n = base.len();
-        let train = (n / 2).clamp(256, 10_000);
-        Ok(match spec.method.as_str() {
-            "flash" => CliIndex::Flash(FlashHnsw::build_flash(
-                base,
-                spec.flash(dim, n),
-                spec.hnsw(),
-            )),
-            "hnsw" => CliIndex::Full(Hnsw::build(FullPrecision::new(base), spec.hnsw())),
-            "pq" => {
-                let m = (dim / 48).clamp(4, 64);
-                CliIndex::Pq(Hnsw::build(
-                    PqProvider::new(base, m, 8, train, spec.seed),
-                    spec.hnsw(),
-                ))
-            }
-            "sq" => CliIndex::Sq(Hnsw::build(SqProvider::new(base, 8), spec.hnsw())),
-            "pca" => CliIndex::Pca(Hnsw::build(
-                PcaProvider::with_variance(base, 0.9, train),
-                spec.hnsw(),
-            )),
-            other => return Err(format!("unknown method `{other}`")),
-        })
-    }
-
-    fn freeze(&self) -> graphs::GraphLayers {
-        match self {
-            CliIndex::Flash(i) => i.freeze(),
-            CliIndex::Full(i) => i.freeze(),
-            CliIndex::Pq(i) => i.freeze(),
-            CliIndex::Sq(i) => i.freeze(),
-            CliIndex::Pca(i) => i.freeze(),
+    /// The engine builder for this spec.
+    fn builder(&self, dim: usize, n: usize) -> IndexBuilder {
+        let mut builder = IndexBuilder::new(self.graph_kind, self.coding)
+            .c(self.c)
+            .r(self.r)
+            .seed(self.seed);
+        if self.coding == Coding::Flash {
+            let mut fp = FlashParams::auto(dim);
+            fp.d_f = self.d_f.unwrap_or(fp.d_f);
+            fp.m_f = self.m_f.unwrap_or(fp.m_f);
+            fp.seed = self.seed;
+            fp.train_sample = (n / 2).clamp(256, 10_000);
+            builder = builder.flash_params(fp);
         }
-    }
-
-    fn index_bytes(&self) -> usize {
-        match self {
-            CliIndex::Flash(i) => i.index_bytes(),
-            CliIndex::Full(i) => i.index_bytes(),
-            CliIndex::Pq(i) => i.index_bytes(),
-            CliIndex::Sq(i) => i.index_bytes(),
-            CliIndex::Pca(i) => i.index_bytes(),
-        }
-    }
-
-    /// Searches the *loaded* topology through the rebuilt provider.
-    fn search_layers(
-        &self,
-        graph: &graphs::GraphLayers,
-        q: &[f32],
-        k: usize,
-        ef: usize,
-    ) -> Vec<u32> {
-        use graphs::{search_layers, search_layers_rerank};
-        let hits = match self {
-            CliIndex::Full(i) => search_layers(i.provider(), graph, q, k, ef),
-            CliIndex::Flash(i) => search_layers_rerank(i.provider(), graph, q, k, ef, 8),
-            CliIndex::Pq(i) => search_layers_rerank(i.provider(), graph, q, k, ef, 8),
-            CliIndex::Sq(i) => search_layers_rerank(i.provider(), graph, q, k, ef, 4),
-            CliIndex::Pca(i) => search_layers_rerank(i.provider(), graph, q, k, ef, 4),
-        };
-        hits.into_iter().map(|r| r.id).collect()
+        builder
     }
 }
 
 fn cmd_build(opts: &Opts) -> Result<(), String> {
+    // Validate method/options before touching the (possibly huge) dataset.
+    let spec = BuildSpec::from_opts(opts)?;
+    let graph_path = opts.path("graph")?;
     let base = read_fvecs(&opts.path("base")?).map_err(io_err("read base"))?;
     if base.is_empty() {
         return Err("base dataset is empty".into());
     }
-    let spec = BuildSpec::from_opts(opts, base.dim())?;
-    let graph_path = opts.path("graph")?;
 
     eprintln!(
         "building method={} over {} vectors (C={}, R={})...",
-        spec.method,
+        spec.method_name(),
         base.len(),
         spec.c,
         spec.r
     );
+    let (dim, n) = (base.dim(), base.len());
     let t0 = Instant::now();
-    let index = CliIndex::build(base, &spec)?;
+    let index = spec.builder(dim, n).build(base);
     let took = t0.elapsed();
-    let frozen = index.freeze();
+    let frozen = index
+        .export_graph()
+        .ok_or("built index exposes no topology to persist")?;
     frozen.save(&graph_path).map_err(io_err("write graph"))?;
     eprintln!(
         "built in {took:.2?}: {} base edges, {:.1} MB in memory, topology -> {}",
         frozen.base_edges(),
-        index.index_bytes() as f64 / 1e6,
+        index.memory_bytes() as f64 / 1e6,
         graph_path.display()
     );
     Ok(())
 }
 
 fn cmd_search(opts: &Opts) -> Result<(), String> {
+    // Validate method/options before touching the (possibly huge) datasets.
+    let spec = BuildSpec::from_opts(opts)?;
     let base = read_fvecs(&opts.path("base")?).map_err(io_err("read base"))?;
     let queries = read_fvecs(&opts.path("queries")?).map_err(io_err("read queries"))?;
     if base.is_empty() || queries.is_empty() {
@@ -321,7 +291,6 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
             queries.dim()
         ));
     }
-    let spec = BuildSpec::from_opts(opts, base.dim())?;
     let k: usize = opts.num("k", 10)?;
     let ef: usize = opts.num("ef", 128)?;
     let graph = graphs::GraphLayers::load(&opts.path("graph")?).map_err(io_err("read graph"))?;
@@ -333,17 +302,36 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
         ));
     }
 
-    eprintln!("re-deriving {} provider over {} vectors...", spec.method, base.len());
-    // Rebuilding the index also re-derives the provider; we discard the
-    // fresh topology and serve the loaded one.
-    let index = CliIndex::build(base, &spec)?;
+    eprintln!(
+        "re-deriving {} provider over {} vectors...",
+        spec.method_name(),
+        base.len()
+    );
+    let (dim, n) = (base.dim(), base.len());
+    let rerank = spec.coding.default_rerank();
+    let index = spec.builder(dim, n).serve(base, graph)?;
 
-    eprintln!("searching {} queries (k={k}, ef={ef})...", queries.len());
+    eprintln!(
+        "searching {} queries (k={k}, ef={ef}, rerank={rerank})...",
+        queries.len()
+    );
     let mut found: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
     let qps = measure_qps(queries.len(), |qi| {
-        found.push(index.search_layers(&graph, queries.get(qi), k, ef));
+        let request = SearchRequest::new(queries.get(qi), k).ef(ef).rerank(rerank);
+        found.push(
+            index
+                .search(&request)
+                .hits
+                .iter()
+                .map(|h| h.id as u32)
+                .collect(),
+        );
     });
-    println!("QPS: {:.0}  mean latency: {:.3} ms", qps.qps(), qps.mean_latency_ms());
+    println!(
+        "QPS: {:.0}  mean latency: {:.3} ms",
+        qps.qps(),
+        qps.mean_latency_ms()
+    );
 
     if let Some(gtp) = opts.str("gt") {
         let rows = read_ivecs(Path::new(gtp)).map_err(io_err("read gt"))?;
@@ -358,7 +346,10 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
             .iter()
             .map(|row| {
                 row.iter()
-                    .map(|&id| vecstore::Neighbor { id: id as u32, dist_sq: 0.0 })
+                    .map(|&id| vecstore::Neighbor {
+                        id: id as u32,
+                        dist_sq: 0.0,
+                    })
                     .collect()
             })
             .collect();
@@ -389,7 +380,10 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
         "  mean degree: {:.2}",
         graph.base_edges() as f64 / graph.len().max(1) as f64
     );
-    println!("  adjacency:   {:.1} MB", graph.adjacency_bytes() as f64 / 1e6);
+    println!(
+        "  adjacency:   {:.1} MB",
+        graph.adjacency_bytes() as f64 / 1e6
+    );
     Ok(())
 }
 
@@ -439,19 +433,34 @@ mod tests {
     #[test]
     fn build_spec_defaults_follow_auto() {
         let o = opts(&[]);
-        let spec = BuildSpec::from_opts(&o, 256).unwrap();
-        assert_eq!(spec.method, "flash");
-        let auto = FlashParams::auto(256);
-        assert_eq!(spec.d_f, auto.d_f);
-        assert_eq!(spec.m_f, auto.m_f);
+        let spec = BuildSpec::from_opts(&o).unwrap();
+        assert_eq!(spec.graph_kind, GraphKind::Hnsw);
+        assert_eq!(spec.coding, Coding::Flash);
+        // df/mf are unset: the auto defaults apply at build time.
+        assert_eq!(spec.d_f, None);
+        assert_eq!(spec.m_f, None);
     }
 
     #[test]
-    fn unknown_method_is_an_error() {
-        let mut s = VectorSet::new(4);
-        s.push(&[0.0; 4]);
+    fn unknown_method_fails_before_any_io() {
+        // Validation happens at option-parse time, not deep in execution,
+        // and the error names the accepted set.
         let o = opts(&[("method", "bogus")]);
-        let spec = BuildSpec::from_opts(&o, 4).unwrap();
-        assert!(CliIndex::build(s, &spec).is_err());
+        let err = BuildSpec::from_opts(&o).unwrap_err();
+        assert!(err.contains("unknown method"), "{err}");
+        assert!(
+            err.contains("nsg"),
+            "error must list accepted methods: {err}"
+        );
+        let o = opts(&[("method", "nsg:bogus")]);
+        assert!(BuildSpec::from_opts(&o).is_err());
+    }
+
+    #[test]
+    fn combined_method_strings_parse() {
+        let o = opts(&[("method", "vamana:flash")]);
+        let spec = BuildSpec::from_opts(&o).unwrap();
+        assert_eq!(spec.graph_kind, GraphKind::Vamana);
+        assert_eq!(spec.coding, Coding::Flash);
     }
 }

@@ -4,12 +4,13 @@
 //! CPUs"** (SIGMOD 2025): the **Flash** compact coding strategy and
 //! access-aware memory layout that speed up HNSW/NSG/τ-MG construction by
 //! an order of magnitude, plus every baseline and substrate the paper's
-//! evaluation depends on.
+//! evaluation depends on — all served through one engine API.
 //!
 //! This crate is a facade re-exporting the workspace's public API:
 //!
 //! | Module | Contents |
 //! |---|---|
+//! | [`engine`] | **the serving API**: `AnnIndex`, `SearchRequest`/`SearchResponse`, `IndexBuilder`, `GraphKind` × `Coding` |
 //! | [`flash`] | the paper's contribution: `FlashCodec`, `FlashProvider`, `FlashHnsw` |
 //! | [`graphs`] | generic HNSW, NSG, τ-MG, Vamana, HCNNG; filtered search; ADSampling & VBase search variants |
 //! | [`quantizers`] | PQ / SQ / PCA baselines, OPQ, + the Theorem-1 reliability estimator |
@@ -22,6 +23,9 @@
 //!
 //! ## Quickstart
 //!
+//! Pick a graph algorithm and a coding method, build, and search — every
+//! combination serves through the same [`engine::AnnIndex`] trait object:
+//!
 //! ```
 //! use hnsw_flash::prelude::*;
 //!
@@ -30,18 +34,44 @@
 //!
 //! // Build HNSW through Flash codes: PCA → 4-bit subspace codewords →
 //! // register-resident distance tables.
-//! let index = FlashHnsw::build_flash(
-//!     base,
-//!     FlashParams::auto(256),
-//!     HnswParams { c: 96, r: 12, seed: 1 },
-//! );
+//! let index = IndexBuilder::new(GraphKind::Hnsw, Coding::Flash)
+//!     .c(96)
+//!     .r(12)
+//!     .seed(1)
+//!     .build(base);
 //!
 //! // Search with exact reranking on the original vectors.
-//! let hits = index.search_rerank(queries.get(0), 5, 64, 8);
-//! assert_eq!(hits.len(), 5);
+//! let response = index.search(&SearchRequest::new(queries.get(0), 5).ef(64).rerank(8));
+//! assert_eq!(response.hits.len(), 5);
 //! ```
+//!
+//! ## Migrating from the per-type APIs
+//!
+//! The concrete index types still exist (construction-time features like
+//! streaming inserts and freezing live there), but serving code should use
+//! the engine. Old entry points map as follows:
+//!
+//! | Pre-engine call | Engine call |
+//! |---|---|
+//! | `FlashHnsw::build_flash(base, fp, hp)` | `IndexBuilder::new(GraphKind::Hnsw, Coding::Flash).flash_params(fp).c(hp.c).r(hp.r).seed(hp.seed).build(base)` |
+//! | `Hnsw::build(FullPrecision::new(base), hp)` | `IndexBuilder::new(GraphKind::Hnsw, Coding::Full)…build(base)` |
+//! | `Hnsw::build(PqProvider::new(…), hp)` (likewise SQ/PCA/OPQ) | `IndexBuilder::new(GraphKind::Hnsw, Coding::Pq)…build(base)` |
+//! | `build_flash_nsg` / `build_flash_taumg` / `build_flash_vamana` / `build_flash_hcnng` | `IndexBuilder::new(GraphKind::Nsg \| TauMg \| Vamana \| Hcnng, Coding::Flash)…build(base)` |
+//! | `index.search(q, k, ef)` | `index.search(&SearchRequest::new(q, k).ef(ef))` |
+//! | `index.search_rerank(q, k, ef, f)` | `…SearchRequest::new(q, k).ef(ef).rerank(f)` |
+//! | `index.search_filtered(q, k, ef, &accept)` | `…SearchRequest::new(q, k).ef(ef).filter(accept)` |
+//! | `search_vbase(provider, &graph, q, k, w)` | `…SearchRequest::new(q, k).vbase(w)` |
+//! | `AdSampler::new(…).search(…)` | `…SearchRequest::new(q, k).adsampling(AdSamplingOptions::default())` |
+//! | `LabeledHnsw::build(…)` + `search(q, label, k, ef)` | `IndexBuilder…build_labeled(…)` + `…SearchRequest::new(q, k).label(label)` |
+//! | `search_layers(provider, &loaded, …)` (serve a persisted topology) | `IndexBuilder…serve(base, loaded)` |
+//! | `graphs::SearchResult` / `maintenance::Hit` | the single [`engine::Hit`] (`id: u64`) |
+//!
+//! The legacy free functions and inherent methods delegate to the same
+//! internals the engine uses, so mixed codebases stay consistent during a
+//! migration.
 
 pub use cachesim;
+pub use engine;
 pub use flash;
 pub use graphs;
 pub use linalg;
@@ -53,6 +83,10 @@ pub use vecstore;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use engine::{
+        parse_method, AdSamplingOptions, AnnIndex, Coding, FlatIndex, GraphKind, Hit, IndexBuilder,
+        SearchRequest, SearchResponse,
+    };
     pub use flash::{
         build_flash_hcnng, build_flash_nsg, build_flash_taumg, build_flash_vamana,
         tune_flash_params, BuildFlash, FlashCodec, FlashHcnng, FlashHnsw, FlashNsg, FlashParams,

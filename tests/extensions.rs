@@ -24,7 +24,12 @@ fn vamana_flash_matches_full_precision_recall() {
     let k = 5;
     let (base, queries) = workload(1_500, 30);
     let gt = ground_truth(&base, &queries, k);
-    let params = VamanaParams { r: 12, c: 96, alpha: 1.2, seed: 0x77 };
+    let params = VamanaParams {
+        r: 12,
+        c: 96,
+        alpha: 1.2,
+        seed: 0x77,
+    };
 
     let full = Vamana::build(FullPrecision::new(base.clone()), params);
     let mut fp = FlashParams::auto(base.dim());
@@ -32,18 +37,30 @@ fn vamana_flash_matches_full_precision_recall() {
     let flash = build_flash_vamana(base, fp, params);
 
     let found_full: Vec<Vec<u32>> = (0..queries.len())
-        .map(|qi| full.search(queries.get(qi), k, 96).iter().map(|r| r.id).collect())
+        .map(|qi| {
+            full.search(queries.get(qi), k, 96)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
+        })
         .collect();
     let found_flash: Vec<Vec<u32>> = (0..queries.len())
         .map(|qi| {
-            flash.search_rerank(queries.get(qi), k, 96, 8).iter().map(|r| r.id).collect()
+            flash
+                .search_rerank(queries.get(qi), k, 96, 8)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         })
         .collect();
 
     let r_full = recall_of(&found_full, &gt, k);
     let r_flash = recall_of(&found_flash, &gt, k);
     assert!(r_full >= 0.85, "Vamana full-precision recall {r_full}");
-    assert!(r_flash >= r_full - 0.10, "Vamana-Flash recall {r_flash} vs {r_full}");
+    assert!(
+        r_flash >= r_full - 0.10,
+        "Vamana-Flash recall {r_flash} vs {r_full}"
+    );
 }
 
 #[test]
@@ -51,7 +68,12 @@ fn hcnng_flash_reaches_reasonable_recall() {
     let k = 5;
     let (base, queries) = workload(1_200, 25);
     let gt = ground_truth(&base, &queries, k);
-    let params = HcnngParams { trees: 8, leaf_size: 48, mst_degree: 3, seed: 0x88 };
+    let params = HcnngParams {
+        trees: 8,
+        leaf_size: 48,
+        mst_degree: 3,
+        seed: 0x88,
+    };
 
     let full = Hcnng::build(FullPrecision::new(base.clone()), params);
     let mut fp = FlashParams::auto(base.dim());
@@ -59,18 +81,30 @@ fn hcnng_flash_reaches_reasonable_recall() {
     let flash = build_flash_hcnng(base, fp, params);
 
     let found_full: Vec<Vec<u32>> = (0..queries.len())
-        .map(|qi| full.search(queries.get(qi), k, 128).iter().map(|r| r.id).collect())
+        .map(|qi| {
+            full.search(queries.get(qi), k, 128)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
+        })
         .collect();
     let found_flash: Vec<Vec<u32>> = (0..queries.len())
         .map(|qi| {
-            flash.search_rerank(queries.get(qi), k, 128, 8).iter().map(|r| r.id).collect()
+            flash
+                .search_rerank(queries.get(qi), k, 128, 8)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         })
         .collect();
 
     let r_full = recall_of(&found_full, &gt, k);
     let r_flash = recall_of(&found_flash, &gt, k);
     assert!(r_full >= 0.75, "HCNNG recall {r_full}");
-    assert!(r_flash >= r_full - 0.15, "HCNNG-Flash recall {r_flash} vs {r_full}");
+    assert!(
+        r_flash >= r_full - 0.15,
+        "HCNNG-Flash recall {r_flash} vs {r_full}"
+    );
 }
 
 #[test]
@@ -80,11 +114,19 @@ fn opq_provider_plugs_into_hnsw_with_recall() {
     let gt = ground_truth(&base, &queries, k);
     let index = Hnsw::build(
         OpqProvider::new(base.clone(), 8, 8, 3, 500, 0x99),
-        HnswParams { c: 96, r: 12, seed: 0x9A },
+        HnswParams {
+            c: 96,
+            r: 12,
+            seed: 0x9A,
+        },
     );
     let found: Vec<Vec<u32>> = (0..queries.len())
         .map(|qi| {
-            index.search_rerank(queries.get(qi), k, 96, 8).iter().map(|r| r.id).collect()
+            index
+                .search_rerank(queries.get(qi), k, 96, 8)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         })
         .collect();
     let recall = recall_of(&found, &gt, k);
@@ -100,13 +142,20 @@ fn filtered_search_works_on_flash_built_graph() {
     fp.train_sample = 500;
     let index = Hnsw::build(
         FlashProvider::new(base.clone(), fp),
-        HnswParams { c: 96, r: 12, seed: 0xF1 },
+        HnswParams {
+            c: 96,
+            r: 12,
+            seed: 0xF1,
+        },
     );
     let labels_ref = &labels;
     let accept = move |id: u32| labels_ref[id as usize] == 2;
     for qi in 0..queries.len() {
         let hits = index.search_filtered(queries.get(qi), 5, 96, &accept);
-        assert!(!hits.is_empty(), "query {qi} found nothing with a 25% filter");
+        assert!(
+            !hits.is_empty(),
+            "query {qi} found nothing with a 25% filter"
+        );
         for h in &hits {
             assert_eq!(labels[h.id as usize], 2, "predicate violated");
         }
@@ -121,7 +170,14 @@ fn specialized_labeled_index_with_flash_factory() {
     let index = LabeledHnsw::build(
         &base,
         &labels,
-        LabeledParams { hnsw: HnswParams { c: 64, r: 8, seed: 0xF3 }, min_graph_size: 32 },
+        LabeledParams {
+            hnsw: HnswParams {
+                c: 64,
+                r: 8,
+                seed: 0xF3,
+            },
+            min_graph_size: 32,
+        },
         |subset| {
             let mut fp = FlashParams::auto(subset.dim());
             fp.train_sample = (subset.len() / 2).clamp(64, 10_000);
@@ -166,7 +222,11 @@ fn lsm_index_agrees_with_oracle_under_churn() {
         index.flush();
 
         let stats = index.stats();
-        assert_eq!(stats.live, oracle.len(), "live count mismatch (seed {seed})");
+        assert_eq!(
+            stats.live,
+            oracle.len(),
+            "live count mismatch (seed {seed})"
+        );
 
         // Top-1 self-queries must return the queried id (exact duplicates
         // exist in the index).
@@ -182,7 +242,10 @@ fn lsm_index_agrees_with_oracle_under_churn() {
         index.rebuild();
         assert!(!index.contains(victim.0));
         let hits = index.search(&victim.1, 3, 128);
-        assert!(hits.iter().all(|h| h.id != victim.0), "tombstone leaked through rebuild");
+        assert!(
+            hits.iter().all(|h| h.id != victim.0),
+            "tombstone leaked through rebuild"
+        );
     }
 }
 
@@ -191,7 +254,11 @@ fn lsm_rebuild_improves_fragmentation_without_losing_recall() {
     let dim = 24;
     let mut config = LsmConfig::for_dim(dim);
     config.memtable_cap = 200;
-    config.hnsw = HnswParams { c: 64, r: 8, seed: 0xAB };
+    config.hnsw = HnswParams {
+        c: 64,
+        r: 8,
+        seed: 0xAB,
+    };
     let mut index = LsmVectorIndex::new(config);
     let mut rng = SmallRng::seed_from_u64(0xAC);
     let mut live: Vec<(u64, Vec<f32>)> = Vec::new();
@@ -206,7 +273,9 @@ fn lsm_rebuild_improves_fragmentation_without_losing_recall() {
     }
     index.flush();
 
-    let probe: Vec<(u64, Vec<f32>)> = (0..15).map(|_| live[rng.gen_range(0..live.len())].clone()).collect();
+    let probe: Vec<(u64, Vec<f32>)> = (0..15)
+        .map(|_| live[rng.gen_range(0..live.len())].clone())
+        .collect();
     let hits_self = |index: &LsmVectorIndex| -> usize {
         probe
             .iter()
@@ -248,7 +317,11 @@ fn cosine_workload_via_normalization() {
     fp.train_sample = 400;
     let index = Hnsw::build(
         FlashProvider::new(base, fp),
-        HnswParams { c: 96, r: 12, seed: 0xC0 },
+        HnswParams {
+            c: 96,
+            r: 12,
+            seed: 0xC0,
+        },
     );
     let mut hit = 0;
     for qi in 0..raw_queries.len() {
@@ -258,7 +331,7 @@ fn cosine_workload_via_normalization() {
                 cos(raw_queries.get(qi), raw.get(a))
                     .total_cmp(&cos(raw_queries.get(qi), raw.get(b)))
             })
-            .unwrap() as u32;
+            .unwrap() as u64;
         let found = index.search_rerank(queries.get(qi), 1, 96, 8);
         if found.first().map(|h| h.id) == Some(best) {
             hit += 1;
@@ -284,7 +357,11 @@ fn batch_search_matches_sequential() {
     let (base, queries) = workload(600, 8);
     let index = Hnsw::build(
         FullPrecision::new(base),
-        HnswParams { c: 64, r: 8, seed: 0xBA },
+        HnswParams {
+            c: 64,
+            r: 8,
+            seed: 0xBA,
+        },
     );
     let batch = index.search_batch(&queries, 5, 64);
     for qi in 0..queries.len() {
@@ -309,10 +386,20 @@ fn tuned_flash_params_build_working_index() {
     let index = flash::FlashHnsw::build_flash(
         base,
         outcome.params,
-        HnswParams { c: 96, r: 12, seed: 0x7D },
+        HnswParams {
+            c: 96,
+            r: 12,
+            seed: 0x7D,
+        },
     );
     let found: Vec<Vec<u32>> = (0..queries.len())
-        .map(|qi| index.search_rerank(queries.get(qi), 5, 96, 8).iter().map(|r| r.id).collect())
+        .map(|qi| {
+            index
+                .search_rerank(queries.get(qi), 5, 96, 8)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
+        })
         .collect();
     let recall = metrics::recall_at_k(&found, &gt, 5).recall();
     assert!(recall >= 0.8, "tuned-params recall {recall}");

@@ -28,7 +28,14 @@ fn grid(side: usize) -> VectorSet {
 }
 
 fn sample_layers() -> GraphLayers {
-    let index = Hnsw::build(FullPrecision::new(grid(8)), HnswParams { c: 32, r: 8, seed: 1 });
+    let index = Hnsw::build(
+        FullPrecision::new(grid(8)),
+        HnswParams {
+            c: 32,
+            r: 8,
+            seed: 1,
+        },
+    );
     index.freeze()
 }
 
@@ -84,7 +91,10 @@ fn flat_and_layered_formats_are_not_interchangeable() {
         "a multi-layer file must not load as a flat graph"
     );
 
-    let flat = FlatGraph { adj: vec![vec![1], vec![0]], entry: 0 };
+    let flat = FlatGraph {
+        adj: vec![vec![1], vec![0]],
+        entry: 0,
+    };
     let path2 = tmp("kind_confusion2.bin");
     flat.save(&path2).unwrap();
     assert!(
@@ -95,7 +105,10 @@ fn flat_and_layered_formats_are_not_interchangeable() {
 
 #[test]
 fn corrupt_edge_target_is_rejected_not_crashing() {
-    let flat = FlatGraph { adj: vec![vec![1], vec![0]], entry: 0 };
+    let flat = FlatGraph {
+        adj: vec![vec![1], vec![0]],
+        entry: 0,
+    };
     let path = tmp("bad_edge.bin");
     flat.save(&path).unwrap();
     let mut bytes = fs::read(&path).unwrap();
@@ -127,7 +140,10 @@ fn fvecs_roundtrip_then_truncation_fails() {
     let path2 = tmp("vectors_cut.fvecs");
     // Cut mid-record: a dimension header promising data that is not there.
     fs::write(&path2, &bytes[..bytes.len() - 5]).unwrap();
-    assert!(read_fvecs(&path2).is_err(), "mid-record truncation must fail");
+    assert!(
+        read_fvecs(&path2).is_err(),
+        "mid-record truncation must fail"
+    );
 }
 
 #[test]
@@ -176,7 +192,11 @@ fn saved_graph_survives_load_and_search_pipeline() {
     let base = grid(10);
     let index = Hnsw::build(
         FullPrecision::new(base.clone()),
-        HnswParams { c: 48, r: 8, seed: 3 },
+        HnswParams {
+            c: 48,
+            r: 8,
+            seed: 3,
+        },
     );
     let frozen = index.freeze();
     let path = tmp("pipeline.bin");

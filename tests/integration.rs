@@ -24,20 +24,32 @@ fn all_five_methods_reach_high_recall() {
     let k = 5;
     let ef = 64;
     let gt = ground_truth(&base, &queries, k);
-    let params = HnswParams { c: 64, r: 8, seed: 3 };
+    let params = HnswParams {
+        c: 64,
+        r: 8,
+        seed: 3,
+    };
 
     let mut results: Vec<(&str, f64)> = Vec::new();
 
     let full = Hnsw::build(FullPrecision::new(base.clone()), params);
     let found: Vec<Vec<u32>> = (0..40)
-        .map(|qi| full.search(queries.get(qi), k, ef).iter().map(|r| r.id).collect())
+        .map(|qi| {
+            full.search(queries.get(qi), k, ef)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
+        })
         .collect();
     results.push(("HNSW", recall_of(&found, &gt, k)));
 
     let pq = Hnsw::build(PqProvider::new(base.clone(), 8, 8, 800, 5), params);
     let found: Vec<Vec<u32>> = (0..40)
         .map(|qi| {
-            pq.search_rerank(queries.get(qi), k, ef, 6).iter().map(|r| r.id).collect()
+            pq.search_rerank(queries.get(qi), k, ef, 6)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         })
         .collect();
     results.push(("HNSW-PQ", recall_of(&found, &gt, k)));
@@ -45,7 +57,10 @@ fn all_five_methods_reach_high_recall() {
     let sq = Hnsw::build(SqProvider::new(base.clone(), 8), params);
     let found: Vec<Vec<u32>> = (0..40)
         .map(|qi| {
-            sq.search_rerank(queries.get(qi), k, ef, 4).iter().map(|r| r.id).collect()
+            sq.search_rerank(queries.get(qi), k, ef, 4)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         })
         .collect();
     results.push(("HNSW-SQ", recall_of(&found, &gt, k)));
@@ -53,7 +68,10 @@ fn all_five_methods_reach_high_recall() {
     let pca = Hnsw::build(PcaProvider::new(base.clone(), 32, 800), params);
     let found: Vec<Vec<u32>> = (0..40)
         .map(|qi| {
-            pca.search_rerank(queries.get(qi), k, ef, 4).iter().map(|r| r.id).collect()
+            pca.search_rerank(queries.get(qi), k, ef, 4)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         })
         .collect();
     results.push(("HNSW-PCA", recall_of(&found, &gt, k)));
@@ -69,7 +87,10 @@ fn all_five_methods_reach_high_recall() {
     let fl = FlashHnsw::build_flash(base, flash_params, params);
     let found: Vec<Vec<u32>> = (0..40)
         .map(|qi| {
-            fl.search_rerank(queries.get(qi), k, ef, 8).iter().map(|r| r.id).collect()
+            fl.search_rerank(queries.get(qi), k, ef, 8)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         })
         .collect();
     results.push(("HNSW-Flash", recall_of(&found, &gt, k)));
@@ -82,7 +103,11 @@ fn all_five_methods_reach_high_recall() {
 #[test]
 fn compressed_indexes_are_smaller_than_baseline() {
     let (base, _) = workload(800, 1);
-    let params = HnswParams { c: 48, r: 8, seed: 4 };
+    let params = HnswParams {
+        c: 48,
+        r: 8,
+        seed: 4,
+    };
 
     let full = Hnsw::build(FullPrecision::new(base.clone()), params);
     let fl = FlashHnsw::build_flash(
@@ -119,10 +144,21 @@ fn flash_generalizes_to_nsg_and_taumg() {
         grid_quantile: 0.5,
     };
 
-    let nsg = build_flash_nsg(base.clone(), flash_params, NsgParams { r: 12, c: 96, seed: 6 });
+    let nsg = build_flash_nsg(
+        base.clone(),
+        flash_params,
+        NsgParams {
+            r: 12,
+            c: 96,
+            seed: 6,
+        },
+    );
     let found: Vec<Vec<u32>> = (0..20)
         .map(|qi| {
-            nsg.search_rerank(queries.get(qi), k, 96, 16).iter().map(|r| r.id).collect()
+            nsg.search_rerank(queries.get(qi), k, 96, 16)
+                .iter()
+                .map(|r| r.id as u32)
+                .collect()
         })
         .collect();
     let nsg_recall = recall_of(&found, &gt, k);
@@ -133,7 +169,14 @@ fn flash_generalizes_to_nsg_and_taumg() {
     let taumg = build_flash_taumg(
         base,
         flash_params,
-        TauMgParams { flat: NsgParams { r: 8, c: 48, seed: 6 }, tau: 0.2 },
+        TauMgParams {
+            flat: NsgParams {
+                r: 8,
+                c: 48,
+                seed: 6,
+            },
+            tau: 0.2,
+        },
     );
     // τ-MG search uses quantized distances; rerank manually via ids.
     let found: Vec<Vec<u32>> = (0..20)
@@ -141,7 +184,7 @@ fn flash_generalizes_to_nsg_and_taumg() {
             taumg
                 .search(queries.get(qi), k * 8, 64)
                 .iter()
-                .map(|r| r.id)
+                .map(|r| r.id as u32)
                 .collect::<Vec<u32>>()
         })
         .collect();
@@ -170,7 +213,11 @@ fn search_variants_work_on_flash_built_graphs() {
             seed: 8,
             grid_quantile: 0.5,
         },
-        HnswParams { c: 64, r: 8, seed: 1 },
+        HnswParams {
+            c: 64,
+            r: 8,
+            seed: 1,
+        },
     );
     let graph = fl.freeze();
 
@@ -179,20 +226,28 @@ fn search_variants_work_on_flash_built_graphs() {
     let mut hits = 0;
     for qi in 0..20 {
         let (found, _) = sampler.search(&graph, queries.get(qi), k, 64);
-        let ids: Vec<u32> = found.iter().map(|r| r.id).collect();
+        let ids: Vec<u32> = found.iter().map(|r| r.id as u32).collect();
         hits += gt[qi][..k].iter().filter(|t| ids.contains(&t.id)).count();
     }
-    assert!(hits as f64 / 60.0 >= 0.85, "ADSampling recall {}", hits as f64 / 60.0);
+    assert!(
+        hits as f64 / 60.0 >= 0.85,
+        "ADSampling recall {}",
+        hits as f64 / 60.0
+    );
 
     // VBase termination over the same graph with the full-precision provider.
     let full = FullPrecision::new(base);
     let mut hits = 0;
     for qi in 0..20 {
         let found = graphs::vbase::search_vbase(&full, &graph, queries.get(qi), k, 48);
-        let ids: Vec<u32> = found.iter().map(|r| r.id).collect();
+        let ids: Vec<u32> = found.iter().map(|r| r.id as u32).collect();
         hits += gt[qi][..k].iter().filter(|t| ids.contains(&t.id)).count();
     }
-    assert!(hits as f64 / 60.0 >= 0.85, "VBase recall {}", hits as f64 / 60.0);
+    assert!(
+        hits as f64 / 60.0 >= 0.85,
+        "VBase recall {}",
+        hits as f64 / 60.0
+    );
 }
 
 #[test]
@@ -223,7 +278,11 @@ fn segmented_rebuild_preserves_recall() {
                     seed: 4,
                     grid_quantile: 0.5,
                 },
-                HnswParams { c: 48, r: 8, seed: 2 },
+                HnswParams {
+                    c: 48,
+                    r: 8,
+                    seed: 2,
+                },
             )
         })
         .collect();
@@ -237,12 +296,20 @@ fn segmented_rebuild_preserves_recall() {
                 let off = offsets[s];
                 idx.search_rerank(queries.get(qi), k, 48, 8)
                     .into_iter()
-                    .map(move |r| SearchResult { id: r.id + off, dist: r.dist })
+                    .map(move |r| SearchResult {
+                        id: r.id + u64::from(off),
+                        dist: r.dist,
+                    })
             })
             .collect();
         merged.sort_by(|a, b| a.dist.total_cmp(&b.dist));
         merged.truncate(k);
-        found.push(merged.into_iter().map(|r| r.id).collect::<Vec<u32>>());
+        found.push(
+            merged
+                .into_iter()
+                .map(|r| r.id as u32)
+                .collect::<Vec<u32>>(),
+        );
     }
     let recall = recall_of(&found, &gt, k);
     assert!(recall >= 0.85, "segmented recall {recall}");
@@ -260,7 +327,11 @@ fn fvecs_roundtrip_feeds_the_index() {
 
     let index = Hnsw::build(
         FullPrecision::new(reloaded),
-        HnswParams { c: 32, r: 8, seed: 1 },
+        HnswParams {
+            c: 32,
+            r: 8,
+            seed: 1,
+        },
     );
     let hits = index.search(queries.get(0), 3, 32);
     assert_eq!(hits.len(), 3);
@@ -270,16 +341,29 @@ fn fvecs_roundtrip_feeds_the_index() {
 #[test]
 fn simd_level_override_does_not_change_results() {
     let (base, queries) = workload(600, 10);
-    let params = HnswParams { c: 48, r: 8, seed: 11 };
+    let params = HnswParams {
+        c: 48,
+        r: 8,
+        seed: 11,
+    };
     let collect = || -> Vec<Vec<u32>> {
         let index = Hnsw::build(FullPrecision::new(base.clone()), params);
         (0..10)
-            .map(|qi| index.search(queries.get(qi), 5, 48).iter().map(|r| r.id).collect())
+            .map(|qi| {
+                index
+                    .search(queries.get(qi), 5, 48)
+                    .iter()
+                    .map(|r| r.id as u32)
+                    .collect()
+            })
             .collect()
     };
     let with_default = collect();
     simdops::level::with_level(SimdLevel::Scalar, || {
         let scalar = collect();
-        assert_eq!(with_default, scalar, "dispatch level must not affect results");
+        assert_eq!(
+            with_default, scalar,
+            "dispatch level must not affect results"
+        );
     });
 }
