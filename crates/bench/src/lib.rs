@@ -17,7 +17,7 @@
 
 use flash::{BuildFlash, FlashHnsw, FlashParams};
 use graphs::providers::{FullPrecision, PcaProvider, PqProvider, SqProvider};
-use graphs::{Hnsw, HnswParams, SearchResult};
+use graphs::{Hit, Hnsw, HnswParams};
 use std::time::{Duration, Instant};
 use vecstore::{generate, DatasetProfile, VectorSet};
 
@@ -144,7 +144,7 @@ impl AnyIndex {
 
     /// k-NN search with the method's standard pipeline (compressed methods
     /// rerank on the original vectors, as the paper's Flash search does).
-    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<SearchResult> {
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<Hit> {
         match self {
             AnyIndex::Full(i) => i.search(query, k, ef),
             AnyIndex::Pq(i) => i.search_rerank(query, k, ef, 8),

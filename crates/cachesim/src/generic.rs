@@ -1,0 +1,323 @@
+//! A reusable true-LRU map.
+//!
+//! [`Lru`] is the one eviction structure of the workspace: the
+//! set-associative [`CacheSim`](crate::CacheSim) uses one per set
+//! (capacity = associativity), and `serving::QueryCache` uses one large
+//! instance keyed by canonical request hashes. All operations are `O(1)`
+//! expected: a hash map resolves keys to slots of an intrusive
+//! doubly-linked recency list stored in a slab.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel slab index meaning "no neighbor".
+const NIL: usize = usize::MAX;
+
+/// Slab slot: `value` is `None` only while the slot sits on the free list.
+#[derive(Debug, Clone)]
+struct Entry<K, V> {
+    key: K,
+    value: Option<V>,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity map with least-recently-used eviction.
+///
+/// `get`/`insert` refresh recency; `peek` does not. When an insert would
+/// exceed the capacity, the least-recently-used entry is evicted and
+/// returned to the caller.
+///
+/// ```
+/// use cachesim::Lru;
+///
+/// let mut lru = Lru::new(2);
+/// lru.insert("a", 1);
+/// lru.insert("b", 2);
+/// lru.get(&"a"); // refresh: "b" is now the eviction victim
+/// let evicted = lru.insert("c", 3);
+/// assert_eq!(evicted, Some(("b", 2)));
+/// assert!(lru.contains(&"a"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lru<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    /// Most-recently-used slot.
+    head: usize,
+    /// Least-recently-used slot.
+    tail: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1024)),
+            slab: Vec::with_capacity(capacity.min(1024)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// The maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `key` is cached (does not refresh recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Unlinks slot `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    /// Links slot `i` at the head (MRU position).
+    fn link_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn touch(&mut self, i: usize) {
+        if self.head != i {
+            self.unlink(i);
+            self.link_front(i);
+        }
+    }
+
+    /// Looks `key` up and marks it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let i = *self.map.get(key)?;
+        self.touch(i);
+        self.slab[i].value.as_ref()
+    }
+
+    /// Mutable lookup; marks the entry most recently used.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let i = *self.map.get(key)?;
+        self.touch(i);
+        self.slab[i].value.as_mut()
+    }
+
+    /// Looks `key` up without refreshing recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).and_then(|&i| self.slab[i].value.as_ref())
+    }
+
+    /// Inserts (or updates) `key → value`, marking it most recently used.
+    /// Returns the evicted least-recently-used `(key, value)` pair when the
+    /// insert pushed the cache past capacity.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&i) = self.map.get(&key) {
+            self.slab[i].value = Some(value);
+            self.touch(i);
+            return None;
+        }
+        let evicted = if self.map.len() == self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.free.push(victim);
+            let e = &mut self.slab[victim];
+            self.map.remove(&e.key);
+            Some((e.key.clone(), e.value.take().expect("live slot has value")))
+        } else {
+            None
+        };
+        let i = if let Some(i) = self.free.pop() {
+            self.slab[i] = Entry {
+                key: key.clone(),
+                value: Some(value),
+                prev: NIL,
+                next: NIL,
+            };
+            i
+        } else {
+            self.slab.push(Entry {
+                key: key.clone(),
+                value: Some(value),
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        };
+        self.map.insert(key, i);
+        self.link_front(i);
+        evicted
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let i = self.map.remove(key)?;
+        self.unlink(i);
+        self.free.push(i);
+        self.slab[i].value.take()
+    }
+
+    /// Drops every entry (capacity unchanged).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Keys from most to least recently used (test/diagnostic aid).
+    pub fn keys_mru(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut i = self.head;
+        while i != NIL {
+            out.push(self.slab[i].key.clone());
+            i = self.slab[i].next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = Lru::new(3);
+        assert_eq!(lru.insert(1, "a"), None);
+        assert_eq!(lru.insert(2, "b"), None);
+        assert_eq!(lru.insert(3, "c"), None);
+        assert_eq!(lru.get(&1), Some(&"a")); // 2 is now LRU
+        assert_eq!(lru.insert(4, "d"), Some((2, "b")));
+        assert!(!lru.contains(&2));
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.keys_mru(), vec![4, 1, 3]);
+    }
+
+    #[test]
+    fn update_refreshes_without_evicting() {
+        let mut lru = Lru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.insert(1, 11), None); // update, no eviction
+        assert_eq!(lru.peek(&1), Some(&11));
+        assert_eq!(lru.insert(3, 30), Some((2, 20)));
+    }
+
+    #[test]
+    fn remove_and_reuse_slots() {
+        let mut lru = Lru::new(2);
+        lru.insert("x", 1);
+        assert_eq!(lru.remove(&"x"), Some(1));
+        assert_eq!(lru.remove(&"x"), None);
+        assert!(lru.is_empty());
+        lru.insert("y", 2);
+        lru.insert("z", 3);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.keys_mru(), vec!["z", "y"]);
+    }
+
+    #[test]
+    fn peek_does_not_refresh() {
+        let mut lru = Lru::new(2);
+        lru.insert(1, ());
+        lru.insert(2, ());
+        assert!(lru.peek(&1).is_some()); // 1 stays LRU
+        assert_eq!(lru.insert(3, ()), Some((1, ())));
+    }
+
+    #[test]
+    fn capacity_one_degenerates_gracefully() {
+        let mut lru = Lru::new(1);
+        assert_eq!(lru.insert(1, 'a'), None);
+        assert_eq!(lru.insert(2, 'b'), Some((1, 'a')));
+        assert_eq!(lru.get(&2), Some(&'b'));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_contents() {
+        let mut lru = Lru::new(4);
+        lru.insert(1, 1);
+        lru.insert(2, 2);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(&1), None);
+        lru.insert(3, 3);
+        assert_eq!(lru.keys_mru(), vec![3]);
+    }
+
+    #[test]
+    fn mixed_workload_tracks_reference_model() {
+        // Cross-check against a naive Vec-based LRU over a scripted workload.
+        let mut lru = Lru::new(4);
+        let mut model: Vec<(u64, u64)> = Vec::new(); // MRU-first
+        let ops: Vec<u64> = (0..200).map(|i| (i * 7919 + 13) % 11).collect();
+        for (step, &k) in ops.iter().enumerate() {
+            if step % 3 == 0 {
+                // insert/update
+                lru.insert(k, step as u64);
+                if let Some(pos) = model.iter().position(|&(mk, _)| mk == k) {
+                    model.remove(pos);
+                } else if model.len() == 4 {
+                    model.pop();
+                }
+                model.insert(0, (k, step as u64));
+            } else {
+                // lookup
+                let got = lru.get(&k).copied();
+                let want = model.iter().position(|&(mk, _)| mk == k).map(|pos| {
+                    let e = model.remove(pos);
+                    model.insert(0, e);
+                    e.1
+                });
+                assert_eq!(got, want, "step {step} key {k}");
+            }
+            assert_eq!(
+                lru.keys_mru(),
+                model.iter().map(|&(k, _)| k).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = Lru::<u8, u8>::new(0);
+    }
+}

@@ -13,8 +13,10 @@
 //! (random far-apart vector fetches vs. contiguous codeword scans) is
 //! orders of magnitude above modeling noise.
 
+mod generic;
 mod lru;
 
+pub use generic::Lru;
 pub use lru::{CacheConfig, CacheSim, CacheStats, MultiLevelCache};
 
 /// The default L1-data-cache geometry used by the Table 2 experiment:

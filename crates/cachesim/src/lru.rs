@@ -1,4 +1,11 @@
 //! Set-associative LRU cache simulation.
+//!
+//! The simulator is a thin wrapper over the generic [`Lru`] map: each
+//! cache set is one `Lru<u64, ()>` whose capacity is the associativity,
+//! so the eviction logic lives in exactly one place (shared with
+//! `serving`'s query-result cache).
+
+use crate::Lru;
 
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,7 +31,7 @@ impl CacheConfig {
         assert!(self.ways > 0, "associativity must be positive");
         let lines = self.size_bytes / self.line_bytes;
         assert!(
-            lines % self.ways == 0 && lines > 0,
+            lines > 0 && lines.is_multiple_of(self.ways),
             "size/line/ways geometry inconsistent"
         );
         let sets = lines / self.ways;
@@ -59,8 +66,8 @@ pub struct CacheSim {
     config: CacheConfig,
     line_shift: u32,
     set_mask: u64,
-    /// Per set: tags ordered most-recently-used first.
-    sets: Vec<Vec<u64>>,
+    /// Per set: a true-LRU tag store with capacity = associativity.
+    sets: Vec<Lru<u64, ()>>,
     stats: CacheStats,
 }
 
@@ -76,7 +83,7 @@ impl CacheSim {
             config,
             line_shift: config.line_bytes.trailing_zeros(),
             set_mask: (sets - 1) as u64,
-            sets: vec![Vec::with_capacity(config.ways); sets],
+            sets: vec![Lru::new(config.ways); sets],
             stats: CacheStats::default(),
         }
     }
@@ -94,17 +101,11 @@ impl CacheSim {
         self.stats.accesses += 1;
 
         let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|&t| t == tag) {
-            // Move to MRU position.
-            let t = set.remove(pos);
-            set.insert(0, t);
+        if set.get(&tag).is_some() {
             true
         } else {
             self.stats.misses += 1;
-            if set.len() == self.config.ways {
-                set.pop(); // evict LRU
-            }
-            set.insert(0, tag);
+            set.insert(tag, ()); // evicts the set's LRU tag at capacity
             false
         }
     }

@@ -70,7 +70,9 @@ pub struct Hit {
 }
 
 /// Deprecated alias for [`Hit`], kept so pre-engine call sites and the
-/// paper-figure binaries keep compiling. New code should name [`Hit`].
+/// paper-figure binaries keep compiling. New code should name [`Hit`]
+/// (also re-exported as `engine::Hit`).
+#[deprecated(note = "renamed to `Hit` (re-exported as `engine::Hit`)")]
 pub type SearchResult = Hit;
 
 /// Exact rerank shared by every search path in the workspace: rescore

@@ -76,6 +76,7 @@ pub struct LsmVectorIndex {
     memtable: MemTable,
     segments: Vec<Segment>,
     next_id: u64,
+    generation: u64,
 }
 
 impl LsmVectorIndex {
@@ -89,6 +90,7 @@ impl LsmVectorIndex {
             memtable: MemTable::new(config.dim),
             segments: Vec::new(),
             next_id: 0,
+            generation: 0,
             config,
         }
     }
@@ -111,7 +113,18 @@ impl LsmVectorIndex {
             memtable,
             segments,
             next_id,
+            generation: 0,
         }
+    }
+
+    /// Monotone mutation counter: bumped by every operation that can change
+    /// search results ([`Self::insert`], [`Self::delete`], [`Self::flush`],
+    /// [`Self::rebuild`]). Result caches key their entries to this value and
+    /// treat a bump as wholesale invalidation (see `serving::QueryCache`).
+    /// Not persisted: a restored index restarts at 0, which is safe because
+    /// caches built over the old process are gone with it.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The sealed segments, oldest first.
@@ -133,6 +146,7 @@ impl LsmVectorIndex {
         assert_eq!(v.len(), self.config.dim, "dimension mismatch");
         let id = self.next_id;
         self.next_id += 1;
+        self.generation += 1;
         self.memtable.insert(id, v);
         if self.memtable.len() >= self.config.memtable_cap {
             self.flush();
@@ -142,10 +156,11 @@ impl LsmVectorIndex {
 
     /// Tombstones `id` wherever it lives; returns whether it was found.
     pub fn delete(&mut self, id: u64) -> bool {
-        if self.memtable.delete(id) {
-            return true;
+        let deleted = self.memtable.delete(id) || self.segments.iter_mut().any(|s| s.delete(id));
+        if deleted {
+            self.generation += 1;
         }
-        self.segments.iter_mut().any(|s| s.delete(id))
+        deleted
     }
 
     /// Whether `id` is live anywhere.
@@ -174,6 +189,9 @@ impl LsmVectorIndex {
             return;
         }
         let (vectors, ids) = self.memtable.drain_live();
+        // Sealing re-encodes exact memtable vectors into a compressed
+        // segment, which can shift reported distances — invalidate caches.
+        self.generation += 1;
         self.segments.push(Segment::build(
             vectors,
             ids,
@@ -189,6 +207,7 @@ impl LsmVectorIndex {
     /// window directly.
     pub fn rebuild(&mut self) -> RebuildReport {
         let start = Instant::now();
+        self.generation += 1;
         let reclaimed: usize = self.segments.iter().map(|s| s.dead()).sum();
         let mut all = VectorSet::new(self.config.dim);
         let mut ids = Vec::new();

@@ -1,0 +1,89 @@
+//! Latency-distribution summaries (percentiles) for serving reports.
+
+/// Percentile summary of a latency sample set, in milliseconds.
+///
+/// Built by [`latency_summary`] from per-query wall-clock samples; the
+/// serving layer prints it as the `p50`/`p99` half of its one-line
+/// summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub samples: usize,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median (50th percentile).
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Worst observed sample.
+    pub max_ms: f64,
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample set:
+/// the smallest sample ≥ `p` percent of the distribution.
+fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Summarizes latency samples (milliseconds) into mean/p50/p95/p99/max
+/// using the nearest-rank percentile definition. An empty slice yields the
+/// all-zero summary.
+pub fn latency_summary(samples_ms: &[f64]) -> LatencySummary {
+    if samples_ms.is_empty() {
+        return LatencySummary::default();
+    }
+    let mut sorted = samples_ms.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    LatencySummary {
+        samples: sorted.len(),
+        mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        p50_ms: nearest_rank(&sorted, 50.0),
+        p95_ms: nearest_rank(&sorted, 95.0),
+        p99_ms: nearest_rank(&sorted, 99.0),
+        max_ms: *sorted.last().unwrap(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_all_zero() {
+        assert_eq!(latency_summary(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn single_sample_fills_every_field() {
+        let s = latency_summary(&[2.5]);
+        assert_eq!(s.samples, 1);
+        assert_eq!(s.mean_ms, 2.5);
+        assert_eq!(s.p50_ms, 2.5);
+        assert_eq!(s.p99_ms, 2.5);
+        assert_eq!(s.max_ms, 2.5);
+    }
+
+    #[test]
+    fn percentiles_follow_nearest_rank() {
+        // 1..=100 ms: nearest-rank p50 = 50, p95 = 95, p99 = 99.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = latency_summary(&samples);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_independent() {
+        let a = latency_summary(&[3.0, 1.0, 2.0]);
+        let b = latency_summary(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.p50_ms, 2.0);
+    }
+}

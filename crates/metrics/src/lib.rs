@@ -3,14 +3,17 @@
 //! * [`recall`] — `Recall = |G ∩ S| / k` against exact ground truth;
 //! * [`adr`] — the average distance ratio of retrieved vs. true neighbors;
 //! * [`qps`] — queries-per-second / latency measurement;
+//! * [`latency`] — percentile summaries (p50/p95/p99) for serving reports;
 //! * [`PhaseTimer`] — named wall-clock phases for indexing-time breakdowns.
 
 pub mod adr;
+pub mod latency;
 pub mod qps;
 pub mod recall;
 mod timer;
 
 pub use adr::average_distance_ratio;
+pub use latency::{latency_summary, LatencySummary};
 pub use qps::{measure_qps, QpsReport};
 pub use recall::{recall_at_k, RecallReport};
 pub use timer::PhaseTimer;

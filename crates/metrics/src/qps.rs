@@ -3,7 +3,7 @@
 use std::time::Instant;
 
 /// Throughput/latency summary of one search sweep.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct QpsReport {
     /// Queries executed.
     pub queries: usize,

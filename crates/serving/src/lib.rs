@@ -1,0 +1,53 @@
+//! The sharded, multi-threaded query runtime of the `hnsw-flash`
+//! workspace.
+//!
+//! `engine::AnnIndex` made every graph × coding combination serve through
+//! one trait; this crate turns any such index into a concurrent service:
+//!
+//! * [`ShardedIndex`] — partition a dataset across N shards
+//!   ([`ShardPolicy::RoundRobin`] or [`ShardPolicy::Hash`]), search the
+//!   shards concurrently on a hand-rolled [`WorkerPool`]
+//!   (`std::thread` + channels; the workspace's `rayon` stand-in is
+//!   sequential), and scatter-gather merge per-shard hits into one
+//!   globally-ordered `(dist, id)` top-k with local→global id remapping.
+//!   `ShardedIndex` implements `AnnIndex` itself, so it nests under the
+//!   other two layers;
+//! * [`BatchExecutor`] — queue requests, coalesce them into batches, and
+//!   report per-query latency percentiles plus aggregate QPS via
+//!   `metrics`;
+//! * [`QueryCache`] / [`CachedIndex`] — an LRU (the generic
+//!   `cachesim::Lru`) over canonical request hashes, with lazy
+//!   generation-based invalidation driven by mutating indexes
+//!   (`maintenance::LsmVectorIndex::generation`).
+//!
+//! ```
+//! use engine::{AnnIndex, Coding, GraphKind, IndexBuilder, SearchRequest};
+//! use serving::{BatchExecutor, CachedIndex, ShardPolicy, ShardedIndex};
+//! use std::sync::Arc;
+//! use vecstore::{generate, DatasetProfile};
+//!
+//! let (base, queries) = generate(&DatasetProfile::SsnppLike.spec(), 600, 8, 7);
+//! let builder = IndexBuilder::new(GraphKind::Hnsw, Coding::Flash).c(48).r(8).seed(1);
+//!
+//! // 4 shards searched by 4 worker threads, behind a 256-entry cache.
+//! let sharded = ShardedIndex::build(base, &builder, 4, ShardPolicy::RoundRobin, 4);
+//! let index = Arc::new(CachedIndex::new(Arc::new(sharded), 256));
+//!
+//! let mut executor = BatchExecutor::new(index.clone()).batch_size(4);
+//! executor.submit_all((0..queries.len()).map(|qi| {
+//!     SearchRequest::new(queries.get(qi), 5).ef(64).rerank(8)
+//! }));
+//! let report = executor.run();
+//! assert_eq!(report.responses.len(), queries.len());
+//! assert!(report.qps.qps() > 0.0);
+//! ```
+
+mod batch;
+mod cache;
+mod pool;
+mod shard;
+
+pub use batch::{BatchExecutor, BatchReport, DEFAULT_BATCH_SIZE};
+pub use cache::{CachedIndex, QueryCache, QueryCacheStats};
+pub use pool::WorkerPool;
+pub use shard::{ShardPolicy, ShardedIndex};

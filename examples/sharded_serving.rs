@@ -1,0 +1,120 @@
+//! Sharded, multi-threaded serving with batching and a result cache.
+//!
+//! ```text
+//! cargo run --release --example sharded_serving
+//! ```
+//!
+//! Builds the same HNSW × Flash configuration twice — one monolithic
+//! index and one 4-shard [`ShardedIndex`] searched by a 4-thread worker
+//! pool — then drives a batched query workload through both and through a
+//! cache-fronted shard stack, printing the one-line serving summary the
+//! `flash_cli search` path also emits (shards, threads, QPS, p50/p99,
+//! cache hit rate).
+
+use hnsw_flash::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let n = 12_000;
+    let (shards, threads) = (4, 4);
+    println!("generating {n} vectors (LAION-like, 512-d)...");
+    let (base, queries) = generate(&DatasetProfile::LaionLike.spec(), n, 64, 23);
+    let gt = ground_truth(&base, &queries, 10);
+    let builder = IndexBuilder::new(GraphKind::Hnsw, Coding::Flash)
+        .c(96)
+        .r(12)
+        .seed(11);
+
+    // ---------- build: monolithic vs sharded --------------------------
+    let t0 = Instant::now();
+    let monolith = builder.build(base.clone());
+    println!("monolithic build: {:.2?}", t0.elapsed());
+
+    let t0 = Instant::now();
+    let sharded = ShardedIndex::build(
+        base.clone(),
+        &builder,
+        shards,
+        ShardPolicy::RoundRobin,
+        threads,
+    );
+    println!(
+        "sharded build:    {:.2?} ({} shards built concurrently on {} threads)",
+        t0.elapsed(),
+        sharded.shard_count(),
+        sharded.threads()
+    );
+
+    // ---------- serve: batched workload through both ------------------
+    let requests =
+        || (0..queries.len()).map(|qi| SearchRequest::new(queries.get(qi), 10).ef(96).rerank(8));
+    let run = |index: Arc<dyn AnnIndex>, label: &str| {
+        let mut executor = BatchExecutor::new(index).batch_size(16);
+        executor.submit_all(requests());
+        let report = executor.run();
+        let found: Vec<Vec<u32>> = report
+            .responses
+            .iter()
+            .map(|r| r.hits.iter().map(|h| h.id as u32).collect())
+            .collect();
+        let recall = recall_at_k(&found, &gt, 10).recall();
+        let latency = report.latency();
+        println!(
+            "{label}: qps={:.0} p50={:.3}ms p99={:.3}ms recall@10={recall:.4}",
+            report.qps.qps(),
+            latency.p50_ms,
+            latency.p99_ms,
+        );
+        report
+    };
+    run(Arc::from(monolith), "monolith (1 thread) ");
+    let sharded = Arc::new(sharded);
+    run(
+        Arc::clone(&sharded) as Arc<dyn AnnIndex>,
+        "sharded  (4 threads)",
+    );
+
+    // ---------- cache: repeat traffic hits memory ---------------------
+    let cached = Arc::new(CachedIndex::new(
+        Arc::clone(&sharded) as Arc<dyn AnnIndex>,
+        1024,
+    ));
+    let mut executor = BatchExecutor::new(Arc::clone(&cached) as Arc<dyn AnnIndex>).batch_size(16);
+    // A production-style Zipf-ish mix: every query once, the first 8 hot
+    // queries repeated eight more times each.
+    executor.submit_all(requests());
+    for _ in 0..8 {
+        executor
+            .submit_all((0..8).map(|qi| SearchRequest::new(queries.get(qi), 10).ef(96).rerank(8)));
+    }
+    let report = executor.run();
+    let stats = cached.cache().stats();
+    let latency = report.latency();
+    println!(
+        "cached   (4 threads): qps={:.0} p50={:.3}ms p99={:.3}ms cache_hit_rate={:.1}% ({} hits / {} lookups)",
+        report.qps.qps(),
+        latency.p50_ms,
+        latency.p99_ms,
+        stats.hit_rate() * 100.0,
+        stats.hits,
+        stats.hits + stats.misses,
+    );
+    assert!(stats.hits >= 64, "hot queries must be served from memory");
+
+    // ---------- parity spot-check -------------------------------------
+    // The beam here is not exhaustive (ef ≪ shard size), so the search is
+    // approximate and its exact candidate set can shift with the host's
+    // SIMD level; check top-10 overlap against brute force rather than
+    // bit-exact equality (`tests/serving.rs` proves bit-exactness under
+    // exhaustive settings).
+    let exact = FlatIndex::new(base);
+    let req = SearchRequest::new(queries.get(0), 10).ef(512).rerank(64);
+    let (got, want) = (sharded.search(&req).ids(), exact.search(&req).ids());
+    let overlap = got.iter().filter(|id| want.contains(id)).count();
+    assert!(
+        overlap >= 8,
+        "sharded search diverged from brute force: {overlap}/10 overlap"
+    );
+    println!("parity spot-check vs brute force: {overlap}/10 top-10 overlap");
+}

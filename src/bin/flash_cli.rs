@@ -24,6 +24,7 @@ use hnsw_flash::prelude::*;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 use vecstore::io::{read_fvecs, read_ivecs, write_fvecs, write_ivecs};
 
@@ -73,12 +74,19 @@ USAGE:
                      [--df <d_F>] [--mf <M_F>] [--seed <u64>]
   flash_cli search   --base <in.fvecs> --graph <in.hfg> --queries <in.fvecs>
                      [--method ...same as build...] [--k <K>] [--ef <EF>]
-                     [--gt <in.ivecs>] [--out <out.ivecs>]
+                     [--shards <N>] [--threads <N>] [--cache-capacity <N>]
+                     [--batch <N>] [--gt <in.ivecs>] [--out <out.ivecs>]
   flash_cli info     --graph <in.hfg>
 
 METHODS:  legacy HNSW shorthands: flash hnsw full pq sq pca opq
           or <graph>:<coding> with graph in {hnsw nsg taumg vamana hcnng}
           and coding in {full sq pca pq opq flash}, e.g. nsg:flash
+
+SERVING:  --shards N > 1 partitions the base set round-robin and rebuilds
+          one deterministic sub-index per shard (the persisted monolithic
+          topology cannot be sliced); --threads sets the worker pool size
+          (default: shards); --cache-capacity N > 0 serves repeated
+          queries from an LRU result cache
 
 PROFILES: argilla-like anton-like laion-like imagenet-like cohere-like
           datacomp-like bigcode-like ssnpp-like";
@@ -279,6 +287,13 @@ fn cmd_build(opts: &Opts) -> Result<(), String> {
 fn cmd_search(opts: &Opts) -> Result<(), String> {
     // Validate method/options before touching the (possibly huge) datasets.
     let spec = BuildSpec::from_opts(opts)?;
+    let shards: usize = opts.num("shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let threads: usize = opts.num("threads", shards)?;
+    let cache_capacity: usize = opts.num("cache-capacity", 0)?;
+    let batch: usize = opts.num("batch", 32)?;
     let base = read_fvecs(&opts.path("base")?).map_err(io_err("read base"))?;
     let queries = read_fvecs(&opts.path("queries")?).map_err(io_err("read queries"))?;
     if base.is_empty() || queries.is_empty() {
@@ -293,44 +308,78 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
     }
     let k: usize = opts.num("k", 10)?;
     let ef: usize = opts.num("ef", 128)?;
-    let graph = graphs::GraphLayers::load(&opts.path("graph")?).map_err(io_err("read graph"))?;
-    if graph.len() != base.len() {
-        return Err(format!(
-            "graph covers {} nodes but base has {} vectors",
-            graph.len(),
-            base.len()
-        ));
-    }
-
-    eprintln!(
-        "re-deriving {} provider over {} vectors...",
-        spec.method_name(),
-        base.len()
-    );
     let (dim, n) = (base.dim(), base.len());
     let rerank = spec.coding.default_rerank();
-    let index = spec.builder(dim, n).serve(base, graph)?;
+    // The worker pool only exists on the sharded path; the monolithic
+    // serve path runs single-threaded regardless of --threads.
+    let threads_used = if shards > 1 { threads } else { 1 };
+
+    let index: Arc<dyn AnnIndex> = if shards > 1 {
+        // The persisted topology is one monolithic graph, which cannot be
+        // sliced; sharded serving rebuilds one deterministic sub-index per
+        // shard from the base vectors instead (--graph is not read).
+        eprintln!(
+            "sharded serving: building {shards} {} shards on {threads} threads...",
+            spec.method_name()
+        );
+        Arc::new(ShardedIndex::build(
+            base,
+            &spec.builder(dim, n),
+            shards,
+            ShardPolicy::RoundRobin,
+            threads,
+        ))
+    } else {
+        let graph =
+            graphs::GraphLayers::load(&opts.path("graph")?).map_err(io_err("read graph"))?;
+        if graph.len() != n {
+            return Err(format!(
+                "graph covers {} nodes but base has {n} vectors",
+                graph.len()
+            ));
+        }
+        eprintln!(
+            "re-deriving {} provider over {n} vectors...",
+            spec.method_name()
+        );
+        Arc::from(spec.builder(dim, n).serve(base, graph)?)
+    };
+    let cached = (cache_capacity > 0)
+        .then(|| Arc::new(CachedIndex::new(Arc::clone(&index), cache_capacity)));
+    let serving: Arc<dyn AnnIndex> = match &cached {
+        Some(c) => Arc::clone(c) as Arc<dyn AnnIndex>,
+        None => index,
+    };
 
     eprintln!(
-        "searching {} queries (k={k}, ef={ef}, rerank={rerank})...",
+        "searching {} queries (k={k}, ef={ef}, rerank={rerank}, batch={batch})...",
         queries.len()
     );
-    let mut found: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
-    let qps = measure_qps(queries.len(), |qi| {
-        let request = SearchRequest::new(queries.get(qi), k).ef(ef).rerank(rerank);
-        found.push(
-            index
-                .search(&request)
-                .hits
-                .iter()
-                .map(|h| h.id as u32)
-                .collect(),
-        );
-    });
+    let mut executor = BatchExecutor::new(serving).batch_size(batch);
+    executor.submit_all(
+        (0..queries.len()).map(|qi| SearchRequest::new(queries.get(qi), k).ef(ef).rerank(rerank)),
+    );
+    let report = executor.run();
+    let found: Vec<Vec<u32>> = report
+        .responses
+        .iter()
+        .map(|r| r.hits.iter().map(|h| h.id as u32).collect())
+        .collect();
+    let latency = report.latency();
+    let cache_line = match &cached {
+        Some(c) => format!("{:.1}%", c.cache().stats().hit_rate() * 100.0),
+        None => "off".to_string(),
+    };
+    println!(
+        "serving: shards={shards} threads={threads_used} qps={:.0} p50={:.3}ms p99={:.3}ms cache={cache_line}",
+        report.qps.qps(),
+        latency.p50_ms,
+        latency.p99_ms,
+    );
     println!(
         "QPS: {:.0}  mean latency: {:.3} ms",
-        qps.qps(),
-        qps.mean_latency_ms()
+        report.qps.qps(),
+        report.qps.mean_latency_ms()
     );
 
     if let Some(gtp) = opts.str("gt") {

@@ -11,6 +11,7 @@
 //! | Module | Contents |
 //! |---|---|
 //! | [`engine`] | **the serving API**: `AnnIndex`, `SearchRequest`/`SearchResponse`, `IndexBuilder`, `GraphKind` × `Coding` |
+//! | [`serving`] | **the query runtime**: `ShardedIndex` scatter-gather, `BatchExecutor`, `QueryCache` |
 //! | [`flash`] | the paper's contribution: `FlashCodec`, `FlashProvider`, `FlashHnsw` |
 //! | [`graphs`] | generic HNSW, NSG, τ-MG, Vamana, HCNNG; filtered search; ADSampling & VBase search variants |
 //! | [`quantizers`] | PQ / SQ / PCA baselines, OPQ, + the Theorem-1 reliability estimator |
@@ -43,6 +44,33 @@
 //! // Search with exact reranking on the original vectors.
 //! let response = index.search(&SearchRequest::new(queries.get(0), 5).ef(64).rerank(8));
 //! assert_eq!(response.hits.len(), 5);
+//! ```
+//!
+//! ## Sharded serving
+//!
+//! For heavy traffic, wrap the same builder in the [`serving`] runtime:
+//! partition the dataset across shards searched by a worker-thread pool,
+//! put a result cache in front, and drive batched workloads with
+//! latency/QPS accounting (see `examples/sharded_serving.rs`):
+//!
+//! ```
+//! use hnsw_flash::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let (base, queries) = generate(&DatasetProfile::SsnppLike.spec(), 1_000, 10, 7);
+//! let builder = IndexBuilder::new(GraphKind::Hnsw, Coding::Flash).c(96).r(12).seed(1);
+//!
+//! // 4 shards, 4 worker threads, 1 024 cached responses — still an AnnIndex.
+//! let sharded = ShardedIndex::build(base, &builder, 4, ShardPolicy::RoundRobin, 4);
+//! let index: Arc<dyn AnnIndex> = Arc::new(CachedIndex::new(Arc::new(sharded), 1_024));
+//!
+//! let mut executor = BatchExecutor::new(index).batch_size(8);
+//! executor.submit_all((0..queries.len()).map(|qi| {
+//!     SearchRequest::new(queries.get(qi), 5).ef(64).rerank(8)
+//! }));
+//! let report = executor.run();
+//! assert_eq!(report.responses.len(), queries.len());
+//! println!("QPS {:.0}, p99 {:.3} ms", report.qps.qps(), report.latency().p99_ms);
 //! ```
 //!
 //! ## Migrating from the per-type APIs
@@ -78,6 +106,7 @@ pub use linalg;
 pub use maintenance;
 pub use metrics;
 pub use quantizers;
+pub use serving;
 pub use simdops;
 pub use vecstore;
 
@@ -93,15 +122,20 @@ pub mod prelude {
         FlashProvider, FlashTauMg, FlashVamana, TuneOptions, TuneOutcome,
     };
     pub use graphs::providers::{FullPrecision, OpqProvider, PcaProvider, PqProvider, SqProvider};
+    #[allow(deprecated)] // kept for pre-engine call sites; prefer `Hit`
+    pub use graphs::SearchResult;
     pub use graphs::{
         DistanceProvider, Hcnng, HcnngParams, Hnsw, HnswParams, LabeledHnsw, LabeledParams, Nsg,
-        NsgParams, SearchResult, TauMg, TauMgParams, Vamana, VamanaParams,
+        NsgParams, TauMg, TauMgParams, Vamana, VamanaParams,
     };
     pub use maintenance::{CycleWorkload, LsmConfig, LsmVectorIndex};
     pub use metrics::{average_distance_ratio, measure_qps, recall_at_k, PhaseTimer};
     pub use quantizers::{
         comparison_reliability, OptimizedProductQuantizer, PcaCodec, ProductQuantizer,
         ScalarQuantizer,
+    };
+    pub use serving::{
+        BatchExecutor, BatchReport, CachedIndex, QueryCache, ShardPolicy, ShardedIndex, WorkerPool,
     };
     pub use simdops::{set_level_override, SimdLevel};
     pub use vecstore::{generate, ground_truth, DatasetProfile, DatasetSpec, VectorSet};

@@ -289,14 +289,14 @@ fn segmented_rebuild_preserves_recall() {
 
     let mut found = Vec::new();
     for qi in 0..20 {
-        let mut merged: Vec<SearchResult> = indexes
+        let mut merged: Vec<Hit> = indexes
             .iter()
             .enumerate()
             .flat_map(|(s, idx)| {
                 let off = offsets[s];
                 idx.search_rerank(queries.get(qi), k, 48, 8)
                     .into_iter()
-                    .map(move |r| SearchResult {
+                    .map(move |r| Hit {
                         id: r.id + u64::from(off),
                         dist: r.dist,
                     })
