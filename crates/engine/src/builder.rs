@@ -10,7 +10,52 @@ use graphs::{
     GraphLayers, Hcnng, HcnngParams, Hnsw, HnswParams, LabeledHnsw, LabeledParams, Nsg, TauMg,
     TauMgParams, Vamana, VamanaParams,
 };
+use quantizers::sq::SqRange;
+use quantizers::{OptimizedProductQuantizer, PcaCodec, ProductQuantizer, ScalarQuantizer};
+use std::sync::Arc;
 use vecstore::VectorSet;
+
+/// A coding codec trained once over a full corpus, shareable across every
+/// shard and replica built from slices of that corpus.
+///
+/// [`IndexBuilder::build`] trains its codec on whatever dataset it is
+/// handed — correct for one monolithic index, but a deployment that builds
+/// *many* indexes over one distribution (shards, replicas, LSM segments)
+/// would retrain per partition, paying the training cost repeatedly and
+/// letting per-partition value ranges skew the grids. Train once with
+/// [`IndexBuilder::train_codec`] and build every partition through
+/// [`IndexBuilder::build_with_codec`] instead; only encoding is paid per
+/// partition. Cloning is cheap (the trained state is behind an `Arc`).
+#[derive(Clone)]
+pub struct TrainedCodec {
+    coding: Coding,
+    kind: Arc<CodecKind>,
+}
+
+enum CodecKind {
+    /// Full precision has no trained state.
+    Full,
+    Sq(ScalarQuantizer),
+    Pca(PcaCodec),
+    Pq(ProductQuantizer),
+    Opq(OptimizedProductQuantizer),
+    Flash(FlashCodec),
+}
+
+impl TrainedCodec {
+    /// The coding this codec was trained for.
+    pub fn coding(&self) -> Coding {
+        self.coding
+    }
+}
+
+impl std::fmt::Debug for TrainedCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainedCodec")
+            .field("coding", &self.coding)
+            .finish()
+    }
+}
 
 /// Builds any [`GraphKind`] × [`Coding`] combination into a
 /// `Box<dyn AnnIndex>`, subsuming the per-type constructors
@@ -218,6 +263,71 @@ impl IndexBuilder {
                 let fp = self.derived_flash(dim, n);
                 self.finish(FlashProvider::new(base, fp))
             }
+        }
+    }
+
+    /// Trains this builder's coding once over `base`, for sharing across
+    /// every shard/replica subsequently built with
+    /// [`Self::build_with_codec`]. Training uses the same sample-size and
+    /// seed rules as [`Self::build`], so a single-partition
+    /// `build_with_codec(base, &train_codec(&base))` equals `build(base)`.
+    pub fn train_codec(&self, base: &VectorSet) -> TrainedCodec {
+        let (dim, n) = (base.dim(), base.len());
+        let ts = self.training_sample_for(n);
+        let kind = match self.coding {
+            Coding::Full => CodecKind::Full,
+            Coding::Sq => {
+                CodecKind::Sq(ScalarQuantizer::train(base, self.sq_bits, SqRange::Global))
+            }
+            Coding::Pca => CodecKind::Pca(PcaCodec::fit_for_variance(
+                &base.stride_sample(ts),
+                self.pca_variance,
+            )),
+            Coding::Pq => CodecKind::Pq(ProductQuantizer::train(
+                &base.stride_sample(ts),
+                self.derived_pq_m(dim),
+                self.pq_bits,
+                20,
+                self.seed,
+            )),
+            Coding::Opq => CodecKind::Opq(OptimizedProductQuantizer::train(
+                &base.stride_sample(ts),
+                self.derived_pq_m(dim),
+                self.pq_bits,
+                self.opq_iters,
+                12,
+                self.seed,
+            )),
+            Coding::Flash => CodecKind::Flash(FlashCodec::train(base, self.derived_flash(dim, n))),
+        };
+        TrainedCodec {
+            coding: self.coding,
+            kind: Arc::new(kind),
+        }
+    }
+
+    /// Builds the configured graph over `base` through an already-trained
+    /// `codec` (from [`Self::train_codec`]) instead of retraining: the
+    /// partition only pays encoding.
+    ///
+    /// # Panics
+    /// Panics if `codec` was trained for a different coding than this
+    /// builder is configured with.
+    pub fn build_with_codec(&self, base: VectorSet, codec: &TrainedCodec) -> Box<dyn AnnIndex> {
+        assert_eq!(
+            codec.coding(),
+            self.coding,
+            "codec was trained for `{}` but the builder is configured for `{}`",
+            codec.coding(),
+            self.coding
+        );
+        match &*codec.kind {
+            CodecKind::Full => self.finish(FullPrecision::new(base)),
+            CodecKind::Sq(sq) => self.finish(SqProvider::from_quantizer(base, sq.clone())),
+            CodecKind::Pca(pca) => self.finish(PcaProvider::from_codec(base, pca.clone())),
+            CodecKind::Pq(pq) => self.finish(PqProvider::from_quantizer(base, pq.clone())),
+            CodecKind::Opq(opq) => self.finish(OpqProvider::from_quantizer(base, opq.clone())),
+            CodecKind::Flash(fc) => self.finish(FlashProvider::from_codec(base, fc.clone())),
         }
     }
 

@@ -43,13 +43,14 @@ mod indexes;
 mod kinds;
 mod request;
 
-pub use builder::IndexBuilder;
+pub use builder::{IndexBuilder, TrainedCodec};
 pub use graphs::Hit;
 pub use indexes::{FlatIndex, FlatVariant, FrozenIndex, GraphIndex};
 pub use kinds::{parse_method, Coding, GraphKind};
 pub use request::{AdSamplingOptions, SearchRequest, SearchResponse, SearchStats};
 
 use graphs::GraphLayers;
+use std::sync::Arc;
 
 /// One approximate-nearest-neighbor index, ready to serve.
 ///
@@ -94,5 +95,36 @@ pub trait AnnIndex: Send + Sync {
     /// persistence; `None` for brute-force and composite indexes).
     fn export_graph(&self) -> Option<GraphLayers> {
         None
+    }
+}
+
+/// A shared handle serves exactly like the index it points to, so layers
+/// that take ownership (`Box<dyn AnnIndex>` shards, wrappers) can hold an
+/// `Arc` to an index someone else also observes — e.g. a replica group
+/// whose health stats the caller keeps reading after nesting it under a
+/// `ShardedIndex`.
+impl<T: AnnIndex + ?Sized> AnnIndex for Arc<T> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn search(&self, request: &SearchRequest) -> SearchResponse {
+        (**self).search(request)
+    }
+
+    fn search_batch(&self, requests: &[SearchRequest]) -> Vec<SearchResponse> {
+        (**self).search_batch(requests)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+
+    fn export_graph(&self) -> Option<GraphLayers> {
+        (**self).export_graph()
     }
 }

@@ -34,6 +34,15 @@ impl OpqProvider {
     ) -> Self {
         let sample = base.stride_sample(train_sample);
         let opq = OptimizedProductQuantizer::train(&sample, m, bits, opq_iters, 12, seed);
+        Self::from_quantizer(base, opq)
+    }
+
+    /// Encodes `base` through an already-trained quantizer (rotation and
+    /// codebooks are reused, not retrained). Sharded and replicated
+    /// deployments train once on the full corpus and share the quantizer
+    /// across partitions.
+    pub fn from_quantizer(base: VectorSet, opq: OptimizedProductQuantizer) -> Self {
+        let m = opq.subspaces();
         let mut codes = Vec::with_capacity(base.len() * m);
         for v in base.iter() {
             codes.extend_from_slice(&opq.encode(v));

@@ -29,6 +29,14 @@ impl PcaProvider {
         Self::with_codec(base, pca)
     }
 
+    /// Projects `base` through an already-fitted codec. Sharded and
+    /// replicated deployments fit once on the full corpus and share the
+    /// basis across partitions, so every partition projects into the same
+    /// subspace.
+    pub fn from_codec(base: VectorSet, pca: PcaCodec) -> Self {
+        Self::with_codec(base, pca)
+    }
+
     fn with_codec(base: VectorSet, pca: PcaCodec) -> Self {
         let mut projected = VectorSet::with_capacity(pca.kept_dims(), base.len());
         for v in base.iter() {

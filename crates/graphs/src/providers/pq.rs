@@ -25,6 +25,15 @@ impl PqProvider {
     pub fn new(base: VectorSet, m: usize, bits: u8, train_sample: usize, seed: u64) -> Self {
         let sample = base.stride_sample(train_sample);
         let pq = ProductQuantizer::train(&sample, m, bits, 20, seed);
+        Self::from_quantizer(base, pq)
+    }
+
+    /// Encodes `base` through an already-trained quantizer (codebooks and
+    /// SDC tables are derived from it, not retrained). Sharded and
+    /// replicated deployments train once on the full corpus and share the
+    /// quantizer across partitions.
+    pub fn from_quantizer(base: VectorSet, pq: ProductQuantizer) -> Self {
+        let m = pq.subspaces();
         let mut codes = Vec::with_capacity(base.len() * m);
         for v in base.iter() {
             codes.extend_from_slice(&pq.encode(v));

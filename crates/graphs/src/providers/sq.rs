@@ -23,6 +23,15 @@ impl SqProvider {
     pub fn new(base: VectorSet, bits: u8) -> Self {
         assert!(bits <= 8, "SqProvider stores u8 codes; use bits <= 8");
         let sq = ScalarQuantizer::train(&base, bits, SqRange::Global);
+        Self::from_quantizer(base, sq)
+    }
+
+    /// Encodes `base` through an already-trained quantizer.
+    ///
+    /// Sharded and replicated deployments train one quantizer on the full
+    /// corpus and share it across every partition, so per-partition value
+    /// ranges cannot skew the grid; only encoding is paid per partition.
+    pub fn from_quantizer(base: VectorSet, sq: ScalarQuantizer) -> Self {
         let mut codes = Vec::with_capacity(base.len() * base.dim());
         for v in base.iter() {
             codes.extend_from_slice(&sq.encode_u8(v));

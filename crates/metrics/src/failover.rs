@@ -1,0 +1,202 @@
+//! Per-replica failover accounting for the replicated serving layer.
+//!
+//! Every replica in a `serving::ReplicaGroup` owns one [`ReplicaCounters`]:
+//! lock-free monotonic counters the router bumps as it places, retries,
+//! marks down, and probes replicas. [`ReplicaStats`] is the plain-data
+//! snapshot ([`ReplicaCounters::snapshot`]); [`failover_summary`] folds a
+//! group's (or a whole fleet's) per-replica snapshots into one aggregate
+//! for the serving summary line.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free monotonic counters for one replica.
+#[derive(Debug, Default)]
+pub struct ReplicaCounters {
+    searches: AtomicU64,
+    errors: AtomicU64,
+    retries: AtomicU64,
+    markdowns: AtomicU64,
+    probes: AtomicU64,
+    recoveries: AtomicU64,
+    latency_ns: AtomicU64,
+}
+
+impl ReplicaCounters {
+    /// Fresh all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A search attempt was placed on this replica.
+    pub fn record_search(&self) {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An attempt on this replica failed.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A failed attempt on this replica was retried on a sibling.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// This replica was marked down (taken out of routing).
+    pub fn record_markdown(&self) {
+        self.markdowns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A marked-down replica was probed with live traffic.
+    pub fn record_probe(&self) {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A probe succeeded and the replica rejoined routing.
+    pub fn record_recovery(&self) {
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `ns` to the replica's accumulated successful-search latency
+    /// (the load signal for latency-aware routing).
+    pub fn record_latency_ns(&self, ns: u64) {
+        self.latency_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Accumulated successful-search latency in nanoseconds.
+    pub fn latency_ns(&self) -> u64 {
+        self.latency_ns.load(Ordering::Relaxed)
+    }
+
+    /// Plain-data snapshot of every counter.
+    pub fn snapshot(&self) -> ReplicaStats {
+        ReplicaStats {
+            searches: self.searches.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            markdowns: self.markdowns.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            latency_ns: self.latency_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of one replica's failover counters (also used, summed, as a
+/// group/fleet aggregate — see [`failover_summary`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Search attempts placed on the replica (probes included).
+    pub searches: u64,
+    /// Attempts that failed.
+    pub errors: u64,
+    /// Failed attempts that were retried on a sibling replica.
+    pub retries: u64,
+    /// Times the replica was marked down.
+    pub markdowns: u64,
+    /// Live-traffic probes sent while marked down.
+    pub probes: u64,
+    /// Probes that succeeded and restored the replica.
+    pub recoveries: u64,
+    /// Accumulated successful-search latency (nanoseconds).
+    pub latency_ns: u64,
+}
+
+impl ReplicaStats {
+    /// Element-wise sum with `other`.
+    pub fn merged(self, other: ReplicaStats) -> ReplicaStats {
+        ReplicaStats {
+            searches: self.searches + other.searches,
+            errors: self.errors + other.errors,
+            retries: self.retries + other.retries,
+            markdowns: self.markdowns + other.markdowns,
+            probes: self.probes + other.probes,
+            recoveries: self.recoveries + other.recoveries,
+            latency_ns: self.latency_ns + other.latency_ns,
+        }
+    }
+}
+
+/// Folds per-replica snapshots into one aggregate (element-wise sums).
+pub fn failover_summary(stats: &[ReplicaStats]) -> ReplicaStats {
+    stats
+        .iter()
+        .fold(ReplicaStats::default(), |acc, s| acc.merged(*s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_snapshot_roundtrip() {
+        let c = ReplicaCounters::new();
+        c.record_search();
+        c.record_search();
+        c.record_error();
+        c.record_retry();
+        c.record_markdown();
+        c.record_probe();
+        c.record_recovery();
+        c.record_latency_ns(1500);
+        let s = c.snapshot();
+        assert_eq!(s.searches, 2);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.markdowns, 1);
+        assert_eq!(s.probes, 1);
+        assert_eq!(s.recoveries, 1);
+        assert_eq!(s.latency_ns, 1500);
+        assert_eq!(c.latency_ns(), 1500);
+    }
+
+    #[test]
+    fn summary_sums_elementwise() {
+        let a = ReplicaStats {
+            searches: 3,
+            errors: 1,
+            retries: 1,
+            markdowns: 0,
+            probes: 0,
+            recoveries: 0,
+            latency_ns: 10,
+        };
+        let b = ReplicaStats {
+            searches: 5,
+            errors: 0,
+            retries: 0,
+            markdowns: 2,
+            probes: 1,
+            recoveries: 1,
+            latency_ns: 20,
+        };
+        let sum = failover_summary(&[a, b]);
+        assert_eq!(sum.searches, 8);
+        assert_eq!(sum.errors, 1);
+        assert_eq!(sum.retries, 1);
+        assert_eq!(sum.markdowns, 2);
+        assert_eq!(sum.probes, 1);
+        assert_eq!(sum.recoveries, 1);
+        assert_eq!(sum.latency_ns, 30);
+        assert_eq!(failover_summary(&[]), ReplicaStats::default());
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        let c = std::sync::Arc::new(ReplicaCounters::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        c.record_search();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().searches, 400);
+    }
+}

@@ -4,15 +4,19 @@
 //! * [`adr`] — the average distance ratio of retrieved vs. true neighbors;
 //! * [`qps`] — queries-per-second / latency measurement;
 //! * [`latency`] — percentile summaries (p50/p95/p99) for serving reports;
+//! * [`failover`] — per-replica retry/mark-down/probe counters for the
+//!   replicated serving layer;
 //! * [`PhaseTimer`] — named wall-clock phases for indexing-time breakdowns.
 
 pub mod adr;
+pub mod failover;
 pub mod latency;
 pub mod qps;
 pub mod recall;
 mod timer;
 
 pub use adr::average_distance_ratio;
+pub use failover::{failover_summary, ReplicaCounters, ReplicaStats};
 pub use latency::{latency_summary, LatencySummary};
 pub use qps::{measure_qps, QpsReport};
 pub use recall::{recall_at_k, RecallReport};

@@ -27,6 +27,7 @@ use linalg::{symmetric_eigen, Matrix};
 use vecstore::VectorSet;
 
 /// Product quantizer with a learned orthogonal pre-rotation.
+#[derive(Clone)]
 pub struct OptimizedProductQuantizer {
     /// The learned D×D orthogonal rotation; vectors are encoded as
     /// `pq.encode(Q · v)`.

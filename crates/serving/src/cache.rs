@@ -352,7 +352,14 @@ impl AnnIndex for CachedIndex {
             }
         }
         if !miss_requests.is_empty() {
-            let fresh = self.inner.search_batch(&miss_requests);
+            // One shared Arc per fresh response: the cache insert clones
+            // the Arc, not the hits, and only the returned copy is deep.
+            let fresh: Vec<Arc<SearchResponse>> = self
+                .inner
+                .search_batch(&miss_requests)
+                .into_iter()
+                .map(Arc::new)
+                .collect();
             for (i, slot) in miss_slot.iter().enumerate() {
                 if let Some(slot) = slot {
                     if let Some(key) = keys[i] {
@@ -360,10 +367,10 @@ impl AnnIndex for CachedIndex {
                             key,
                             &requests[i],
                             computed_at,
-                            Arc::new(fresh[*slot].clone()),
+                            Arc::clone(&fresh[*slot]),
                         );
                     }
-                    responses[i] = Some(fresh[*slot].clone());
+                    responses[i] = Some((*fresh[*slot]).clone());
                 }
             }
         }

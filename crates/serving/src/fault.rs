@@ -1,0 +1,377 @@
+//! Deterministic fault injection for the serving layer.
+//!
+//! Replication and failover are only credible if the failure paths are
+//! exercised, so this module makes any [`AnnIndex`] failable on a script:
+//! a [`FaultPlan`] describes *when* an index misbehaves — error on the Nth
+//! call, a latency spike, permanent death, scripted recovery — and
+//! [`FaultyIndex`] replays the plan call by call. Plans are pure functions
+//! of the call counter, so every run of a test or demo sees the identical
+//! failure sequence.
+//!
+//! The serving layer routes around failures through the [`FallibleIndex`]
+//! trait: real indexes never fail (the blanket `Arc<T: AnnIndex>` impl
+//! always returns `Ok`), injected ones fail exactly as scripted, and a
+//! `ReplicaGroup` treats both uniformly.
+//!
+//! ```
+//! use engine::{AnnIndex, FlatIndex, SearchRequest};
+//! use serving::{FallibleIndex, FaultPlan, FaultyIndex};
+//! use std::sync::Arc;
+//! use vecstore::VectorSet;
+//!
+//! let mut base = VectorSet::new(2);
+//! for i in 0..10 {
+//!     base.push(&[i as f32, 0.0]);
+//! }
+//! let inner: Arc<dyn AnnIndex> = Arc::new(FlatIndex::new(base));
+//! let faulty = FaultyIndex::new(inner, FaultPlan::new().fail_on(1));
+//! let req = SearchRequest::new(vec![0.0, 0.0], 3);
+//! assert!(faulty.try_search(&req).is_ok()); // call 0
+//! assert!(faulty.try_search(&req).is_err()); // call 1: scripted error
+//! assert!(faulty.try_search(&req).is_ok()); // call 2
+//! ```
+
+use engine::{AnnIndex, SearchRequest, SearchResponse};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Why an injected search failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A scripted one-shot error; the next call may succeed.
+    Transient,
+    /// The replica is dead — every call fails until (and unless) the
+    /// plan's scripted recovery point.
+    Dead,
+}
+
+/// The error a [`FallibleIndex`] search reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultError {
+    /// 0-based call index on the failing index that tripped.
+    pub call: u64,
+    /// Transient error or dead replica.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FaultKind::Transient => write!(f, "injected transient error on call {}", self.call),
+            FaultKind::Dead => write!(f, "replica dead at call {}", self.call),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// What a [`FaultPlan`] prescribes for one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Serve normally.
+    Ok,
+    /// Serve normally after stalling for the given milliseconds (latency
+    /// spike).
+    Delay(u64),
+    /// Fail the call.
+    Error(FaultKind),
+}
+
+/// A deterministic per-call failure script for one index.
+///
+/// Call indexes are 0-based and count the calls *on the faulty index*
+/// (not on the group routing to it). The plan is immutable state; the
+/// call counter lives in [`FaultyIndex`], so one plan can be cloned onto
+/// many replicas.
+///
+/// Precedence per call: the dead window (between [`Self::die_at`] and
+/// [`Self::revive_at`]) beats scripted transient errors, which beat
+/// latency spikes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Calls that fail with a transient error.
+    fail_calls: BTreeSet<u64>,
+    /// Calls that stall for N milliseconds before serving.
+    delay_calls: BTreeMap<u64, u64>,
+    /// First call of the dead window (permanent death unless revived).
+    dead_from: Option<u64>,
+    /// First call at which a dead index serves again (scripted recovery).
+    revive_at: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that never misbehaves.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fails call `call` with a transient error.
+    pub fn fail_on(mut self, call: u64) -> Self {
+        self.fail_calls.insert(call);
+        self
+    }
+
+    /// Fails every call in `calls` with transient errors.
+    pub fn fail_calls(mut self, calls: impl IntoIterator<Item = u64>) -> Self {
+        self.fail_calls.extend(calls);
+        self
+    }
+
+    /// Stalls call `call` for `millis` ms before serving it (latency
+    /// spike — the call still succeeds).
+    pub fn delay_on(mut self, call: u64, millis: u64) -> Self {
+        self.delay_calls.insert(call, millis);
+        self
+    }
+
+    /// The index dies at call `call`: that call and every later one fail,
+    /// until a scripted [`Self::revive_at`] (if any).
+    pub fn die_at(mut self, call: u64) -> Self {
+        self.dead_from = Some(call);
+        self
+    }
+
+    /// A dead index serves again from call `call` on (scripted recovery;
+    /// only meaningful together with [`Self::die_at`]).
+    pub fn revive_at(mut self, call: u64) -> Self {
+        self.revive_at = Some(call);
+        self
+    }
+
+    /// Whether the plan never injects a failure (delays keep an index
+    /// healthy — slow is not down).
+    pub fn is_healthy(&self) -> bool {
+        self.fail_calls.is_empty() && self.dead_from.is_none()
+    }
+
+    /// The scripted action for 0-based call `call`.
+    pub fn action_for(&self, call: u64) -> FaultAction {
+        if let Some(dead_from) = self.dead_from {
+            let revived = self.revive_at.is_some_and(|r| call >= r && r > dead_from);
+            if call >= dead_from && !revived {
+                return FaultAction::Error(FaultKind::Dead);
+            }
+        }
+        if self.fail_calls.contains(&call) {
+            return FaultAction::Error(FaultKind::Transient);
+        }
+        if let Some(&ms) = self.delay_calls.get(&call) {
+            return FaultAction::Delay(ms);
+        }
+        FaultAction::Ok
+    }
+}
+
+/// An [`AnnIndex`]-shaped service whose searches can fail.
+///
+/// This is the surface `ReplicaGroup` routes over. Production replicas
+/// are plain `Arc<dyn AnnIndex>` handles (the blanket impl below — they
+/// never fail); test and demo replicas are [`FaultyIndex`] wrappers that
+/// fail on script.
+pub trait FallibleIndex: Send + Sync {
+    /// Number of vectors served.
+    fn len(&self) -> usize;
+
+    /// Whether the index serves no vectors.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Vector dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Serves one request, or reports the injected failure.
+    fn try_search(&self, request: &SearchRequest) -> Result<SearchResponse, FaultError>;
+
+    /// Resident bytes.
+    fn memory_bytes(&self) -> usize;
+}
+
+/// Real indexes never fail.
+impl<T: AnnIndex + ?Sized> FallibleIndex for Arc<T> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn try_search(&self, request: &SearchRequest) -> Result<SearchResponse, FaultError> {
+        Ok(self.search(request))
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+}
+
+/// Any [`AnnIndex`] with a [`FaultPlan`] replayed over its calls.
+pub struct FaultyIndex {
+    inner: Arc<dyn AnnIndex>,
+    plan: FaultPlan,
+    calls: AtomicU64,
+}
+
+impl FaultyIndex {
+    /// Wraps `inner` so its searches follow `plan`.
+    pub fn new(inner: Arc<dyn AnnIndex>, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// The script.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Calls served (or failed) so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl FallibleIndex for FaultyIndex {
+    fn len(&self) -> usize {
+        AnnIndex::len(&self.inner)
+    }
+
+    fn dim(&self) -> usize {
+        AnnIndex::dim(&self.inner)
+    }
+
+    fn try_search(&self, request: &SearchRequest) -> Result<SearchResponse, FaultError> {
+        let call = self.calls.fetch_add(1, Ordering::SeqCst);
+        match self.plan.action_for(call) {
+            FaultAction::Ok => Ok(self.inner.search(request)),
+            FaultAction::Delay(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(self.inner.search(request))
+            }
+            FaultAction::Error(kind) => Err(FaultError { call, kind }),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        AnnIndex::memory_bytes(&self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::FlatIndex;
+    use vecstore::VectorSet;
+
+    fn flat(n: usize) -> Arc<dyn AnnIndex> {
+        let mut set = VectorSet::new(2);
+        for i in 0..n {
+            set.push(&[i as f32, 1.0]);
+        }
+        Arc::new(FlatIndex::new(set))
+    }
+
+    fn req() -> SearchRequest {
+        SearchRequest::new(vec![0.0, 1.0], 3)
+    }
+
+    #[test]
+    fn healthy_plan_never_acts() {
+        let plan = FaultPlan::new().delay_on(2, 0);
+        assert!(plan.is_healthy(), "delays do not make a plan unhealthy");
+        for call in 0..100 {
+            assert_ne!(
+                plan.action_for(call),
+                FaultAction::Error(FaultKind::Transient)
+            );
+        }
+        assert_eq!(plan.action_for(2), FaultAction::Delay(0));
+    }
+
+    #[test]
+    fn scripted_transient_errors_fire_exactly_once_each() {
+        let plan = FaultPlan::new().fail_calls([1, 3]);
+        assert!(!plan.is_healthy());
+        let expected = [
+            FaultAction::Ok,
+            FaultAction::Error(FaultKind::Transient),
+            FaultAction::Ok,
+            FaultAction::Error(FaultKind::Transient),
+            FaultAction::Ok,
+        ];
+        for (call, want) in expected.iter().enumerate() {
+            assert_eq!(plan.action_for(call as u64), *want, "call {call}");
+        }
+    }
+
+    #[test]
+    fn death_is_permanent_without_revival() {
+        let plan = FaultPlan::new().die_at(2);
+        assert_eq!(plan.action_for(1), FaultAction::Ok);
+        for call in 2..50 {
+            assert_eq!(plan.action_for(call), FaultAction::Error(FaultKind::Dead));
+        }
+    }
+
+    #[test]
+    fn revival_ends_the_dead_window() {
+        let plan = FaultPlan::new().die_at(2).revive_at(5);
+        assert_eq!(plan.action_for(2), FaultAction::Error(FaultKind::Dead));
+        assert_eq!(plan.action_for(4), FaultAction::Error(FaultKind::Dead));
+        assert_eq!(plan.action_for(5), FaultAction::Ok);
+        assert_eq!(plan.action_for(100), FaultAction::Ok);
+    }
+
+    #[test]
+    fn dead_window_beats_transient_and_delay() {
+        let plan = FaultPlan::new().fail_on(3).delay_on(3, 1).die_at(3);
+        assert_eq!(plan.action_for(3), FaultAction::Error(FaultKind::Dead));
+    }
+
+    #[test]
+    fn faulty_index_replays_the_plan_and_counts_calls() {
+        let faulty = FaultyIndex::new(flat(10), FaultPlan::new().fail_on(1).die_at(3));
+        let r = req();
+        let ok = faulty.try_search(&r).unwrap();
+        assert_eq!(ok.hits.len(), 3);
+        let err = faulty.try_search(&r).unwrap_err();
+        assert_eq!(err, {
+            FaultError {
+                call: 1,
+                kind: FaultKind::Transient,
+            }
+        });
+        assert!(faulty.try_search(&r).is_ok());
+        for _ in 0..3 {
+            assert_eq!(faulty.try_search(&r).unwrap_err().kind, FaultKind::Dead);
+        }
+        assert_eq!(faulty.calls(), 6);
+        assert_eq!(faulty.len(), 10);
+        assert_eq!(faulty.dim(), 2);
+        assert!(faulty.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn arc_blanket_impl_never_fails_and_matches_search() {
+        let index = flat(8);
+        let r = req();
+        let direct = index.search(&r);
+        let via_fallible = FallibleIndex::try_search(&index, &r).unwrap();
+        assert_eq!(direct.hits, via_fallible.hits);
+        assert_eq!(FallibleIndex::len(&index), 8);
+    }
+
+    #[test]
+    fn delay_serves_identical_results() {
+        let inner = flat(10);
+        let r = req();
+        let want = inner.search(&r).hits;
+        let slow = FaultyIndex::new(inner, FaultPlan::new().delay_on(0, 1));
+        assert_eq!(slow.try_search(&r).unwrap().hits, want);
+    }
+}

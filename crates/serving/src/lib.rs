@@ -18,7 +18,18 @@
 //! * [`QueryCache`] / [`CachedIndex`] — an LRU (the generic
 //!   `cachesim::Lru`) over canonical request hashes, with lazy
 //!   generation-based invalidation driven by mutating indexes
-//!   (`maintenance::LsmVectorIndex::generation`).
+//!   (`maintenance::LsmVectorIndex::generation`) and by failover
+//!   transitions ([`ReplicaGroup::generation`]);
+//! * [`ReplicaGroup`] / [`Router`] / [`ReplicatedIndex`] — R replicas per
+//!   shard behind failover routing ([`RoutingPolicy::Primary`] /
+//!   [`RoutingPolicy::RoundRobin`] / [`RoutingPolicy::LoadAware`]), with
+//!   per-replica health tracking (mark-down on consecutive errors, probed
+//!   recovery) — any single replica loss per shard is retried on a
+//!   sibling with bit-identical results;
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`] /
+//!   [`FaultyIndex`]): error-on-Nth-call, latency spikes, permanent
+//!   death, scripted recovery — how the tests and demos drive every
+//!   failover path.
 //!
 //! ```
 //! use engine::{AnnIndex, Coding, GraphKind, IndexBuilder, SearchRequest};
@@ -44,10 +55,16 @@
 
 mod batch;
 mod cache;
+pub mod fault;
 mod pool;
+mod replica;
 mod shard;
 
 pub use batch::{BatchExecutor, BatchReport, DEFAULT_BATCH_SIZE};
 pub use cache::{CachedIndex, QueryCache, QueryCacheStats};
+pub use fault::{FallibleIndex, FaultAction, FaultError, FaultKind, FaultPlan, FaultyIndex};
 pub use pool::WorkerPool;
+pub use replica::{
+    HealthConfig, ReplicaGroup, ReplicatedIndex, RouteCandidate, Router, RoutingPolicy,
+};
 pub use shard::{ShardPolicy, ShardedIndex};

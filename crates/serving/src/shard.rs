@@ -128,6 +128,13 @@ impl ShardedIndex {
     /// configuration on each shard's slice of the data), constructing
     /// shards concurrently on a fresh pool of `threads` workers that the
     /// index then serves from.
+    ///
+    /// The coding codec is trained **once on the full dataset** and shared
+    /// by every shard ([`IndexBuilder::train_codec`]); each shard only
+    /// encodes its slice. Besides saving `shards - 1` training passes,
+    /// this keeps every shard's distance grid identical — per-shard value
+    /// ranges cannot skew the quantizers — so results are stable across
+    /// shard counts.
     pub fn build(
         base: VectorSet,
         builder: &IndexBuilder,
@@ -135,13 +142,14 @@ impl ShardedIndex {
         policy: ShardPolicy,
         threads: usize,
     ) -> Self {
+        let codec = builder.train_codec(&base);
         let builder = builder.clone();
         Self::build_with(
             base,
             shards,
             policy,
             Arc::new(WorkerPool::new(threads)),
-            move |set| builder.build(set),
+            move |set| builder.build_with_codec(set, &codec),
         )
     }
 

@@ -74,7 +74,8 @@ USAGE:
                      [--df <d_F>] [--mf <M_F>] [--seed <u64>]
   flash_cli search   --base <in.fvecs> --graph <in.hfg> --queries <in.fvecs>
                      [--method ...same as build...] [--k <K>] [--ef <EF>]
-                     [--shards <N>] [--threads <N>] [--cache-capacity <N>]
+                     [--shards <N>] [--replicas <R>] [--routing <policy>]
+                     [--threads <N>] [--cache-capacity <N>]
                      [--batch <N>] [--gt <in.ivecs>] [--out <out.ivecs>]
   flash_cli info     --graph <in.hfg>
 
@@ -84,9 +85,14 @@ METHODS:  legacy HNSW shorthands: flash hnsw full pq sq pca opq
 
 SERVING:  --shards N > 1 partitions the base set round-robin and rebuilds
           one deterministic sub-index per shard (the persisted monolithic
-          topology cannot be sliced); --threads sets the worker pool size
-          (default: shards); --cache-capacity N > 0 serves repeated
-          queries from an LRU result cache
+          topology cannot be sliced); --replicas R > 1 builds R identical
+          copies of every shard behind failover routing (--routing
+          primary | round-robin | load-aware, default round-robin) and
+          reports retries/mark-downs/probes; the coding codec is trained
+          once and shared across all shards and replicas; --threads sets
+          the worker pool size (default: shards, or shards*replicas
+          capped at 8 when replicated); --cache-capacity N > 0 serves
+          repeated queries from an LRU result cache
 
 PROFILES: argilla-like anton-like laion-like imagenet-like cohere-like
           datacomp-like bigcode-like ssnpp-like";
@@ -291,7 +297,23 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
-    let threads: usize = opts.num("threads", shards)?;
+    let replicas: usize = opts.num("replicas", 1)?;
+    if replicas == 0 {
+        return Err("--replicas must be at least 1".into());
+    }
+    let routing: RoutingPolicy = match opts.str("routing") {
+        None => RoutingPolicy::RoundRobin,
+        Some(s) => s.parse()?,
+    };
+    // Default pool size: one worker per shard — and on the replicated
+    // path enough workers to also build the replica copies concurrently
+    // (capped; serving fan-out is per shard regardless).
+    let default_threads = if replicas > 1 {
+        (shards * replicas).min(8)
+    } else {
+        shards
+    };
+    let threads: usize = opts.num("threads", default_threads)?;
     let cache_capacity: usize = opts.num("cache-capacity", 0)?;
     let batch: usize = opts.num("batch", 32)?;
     let base = read_fvecs(&opts.path("base")?).map_err(io_err("read base"))?;
@@ -310,11 +332,38 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
     let ef: usize = opts.num("ef", 128)?;
     let (dim, n) = (base.dim(), base.len());
     let rerank = spec.coding.default_rerank();
-    // The worker pool only exists on the sharded path; the monolithic
-    // serve path runs single-threaded regardless of --threads.
-    let threads_used = if shards > 1 { threads } else { 1 };
+    // The worker pool only exists on the sharded/replicated paths; the
+    // monolithic serve path runs single-threaded regardless of --threads.
+    let threads_used = if shards > 1 || replicas > 1 {
+        threads
+    } else {
+        1
+    };
 
-    let index: Arc<dyn AnnIndex> = if shards > 1 {
+    // Kept alongside the type-erased serving handle so failover stats
+    // stay readable after the workload drains.
+    let mut replicated: Option<Arc<ReplicatedIndex>> = None;
+    let index: Arc<dyn AnnIndex> = if replicas > 1 {
+        // Replicas are deterministic rebuilds too (and every shard×replica
+        // shares one globally-trained codec), so --graph is not read.
+        eprintln!(
+            "replicated serving: building {shards} x {replicas} {} shard replicas \
+             on {threads} threads ({routing} routing)...",
+            spec.method_name()
+        );
+        let r = Arc::new(ReplicatedIndex::build(
+            base,
+            &spec.builder(dim, n),
+            shards,
+            replicas,
+            ShardPolicy::RoundRobin,
+            routing,
+            HealthConfig::default(),
+            threads,
+        ));
+        replicated = Some(Arc::clone(&r));
+        r
+    } else if shards > 1 {
         // The persisted topology is one monolithic graph, which cannot be
         // sliced; sharded serving rebuilds one deterministic sub-index per
         // shard from the base vectors instead (--graph is not read).
@@ -370,8 +419,22 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
         Some(c) => format!("{:.1}%", c.cache().stats().hit_rate() * 100.0),
         None => "off".to_string(),
     };
+    let failover_line = match &replicated {
+        Some(r) => {
+            let f = r.failover_stats();
+            format!(
+                " replicas={} routing={} retries={} markdowns={} probes={}",
+                r.replica_count(),
+                r.routing(),
+                f.retries,
+                f.markdowns,
+                f.probes,
+            )
+        }
+        None => String::new(),
+    };
     println!(
-        "serving: shards={shards} threads={threads_used} qps={:.0} p50={:.3}ms p99={:.3}ms cache={cache_line}",
+        "serving: shards={shards} threads={threads_used} qps={:.0} p50={:.3}ms p99={:.3}ms cache={cache_line}{failover_line}",
         report.qps.qps(),
         latency.p50_ms,
         latency.p99_ms,

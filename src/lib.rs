@@ -11,7 +11,7 @@
 //! | Module | Contents |
 //! |---|---|
 //! | [`engine`] | **the serving API**: `AnnIndex`, `SearchRequest`/`SearchResponse`, `IndexBuilder`, `GraphKind` × `Coding` |
-//! | [`serving`] | **the query runtime**: `ShardedIndex` scatter-gather, `BatchExecutor`, `QueryCache` |
+//! | [`serving`] | **the query runtime**: `ShardedIndex` scatter-gather, `ReplicaGroup` failover routing, `BatchExecutor`, `QueryCache`, `FaultPlan` injection |
 //! | [`flash`] | the paper's contribution: `FlashCodec`, `FlashProvider`, `FlashHnsw` |
 //! | [`graphs`] | generic HNSW, NSG, τ-MG, Vamana, HCNNG; filtered search; ADSampling & VBase search variants |
 //! | [`quantizers`] | PQ / SQ / PCA baselines, OPQ, + the Theorem-1 reliability estimator |
@@ -73,6 +73,55 @@
 //! println!("QPS {:.0}, p99 {:.3} ms", report.qps.qps(), report.latency().p99_ms);
 //! ```
 //!
+//! ## Replicated serving with failover
+//!
+//! To survive replica loss, build R copies of every shard behind failover
+//! routing: the coding codec is trained **once** on the full corpus and
+//! shared by every shard × replica, construction is deterministic, so the
+//! copies are bit-identical — and a replica failure is transparently
+//! retried on a sibling with *identical* results. Failed replicas are
+//! marked down after [`serving::HealthConfig::error_threshold`]
+//! consecutive errors and probed back with live traffic after
+//! `probe_after` calls; every transition bumps a generation you can sync
+//! into a `QueryCache` (see `examples/replicated_serving.rs`):
+//!
+//! ```
+//! use hnsw_flash::prelude::*;
+//!
+//! let (base, queries) = generate(&DatasetProfile::SsnppLike.spec(), 1_000, 10, 7);
+//! let builder = IndexBuilder::new(GraphKind::Hnsw, Coding::Flash).c(96).r(12).seed(1);
+//!
+//! // 4 shards x 2 replicas, round-robin routing, 4 worker threads.
+//! let fleet = ReplicatedIndex::build(
+//!     base,
+//!     &builder,
+//!     4,
+//!     2,
+//!     ShardPolicy::RoundRobin,
+//!     RoutingPolicy::RoundRobin,
+//!     HealthConfig::default(),
+//!     4,
+//! );
+//! let response = fleet.search(&SearchRequest::new(queries.get(0), 5).ef(64).rerank(8));
+//! assert_eq!(response.hits.len(), 5);
+//! let stats = fleet.failover_stats(); // retries / mark-downs / probes
+//! assert_eq!(stats.markdowns, 0);
+//! ```
+//!
+//! Routing policies ([`serving::RoutingPolicy`]):
+//!
+//! | Policy | Placement | Use when |
+//! |---|---|---|
+//! | `Primary` | Lowest-indexed healthy replica; siblings are failover spares | Warm caches matter more than spreading load |
+//! | `RoundRobin` | Rotate across healthy replicas call by call | Uniform load, uniform replicas (the default in `flash_cli`) |
+//! | `LoadAware` | Healthy replica with the least accumulated search latency | Heterogeneous or intermittently slow replicas |
+//!
+//! Faults are injected deterministically for tests and demos via
+//! [`serving::FaultPlan`] (error-on-Nth-call, latency spikes, permanent
+//! death, scripted recovery) wrapped around any index with
+//! [`serving::FaultyIndex`]; `tests/replication.rs` proves bit-identical
+//! failover for every routing policy with each replica killed in turn.
+//!
 //! ## Migrating from the per-type APIs
 //!
 //! The concrete index types still exist (construction-time features like
@@ -114,7 +163,7 @@ pub use vecstore;
 pub mod prelude {
     pub use engine::{
         parse_method, AdSamplingOptions, AnnIndex, Coding, FlatIndex, GraphKind, Hit, IndexBuilder,
-        SearchRequest, SearchResponse,
+        SearchRequest, SearchResponse, TrainedCodec,
     };
     pub use flash::{
         build_flash_hcnng, build_flash_nsg, build_flash_taumg, build_flash_vamana,
@@ -135,7 +184,9 @@ pub mod prelude {
         ScalarQuantizer,
     };
     pub use serving::{
-        BatchExecutor, BatchReport, CachedIndex, QueryCache, ShardPolicy, ShardedIndex, WorkerPool,
+        BatchExecutor, BatchReport, CachedIndex, FallibleIndex, FaultPlan, FaultyIndex,
+        HealthConfig, QueryCache, ReplicaGroup, ReplicatedIndex, Router, RoutingPolicy,
+        ShardPolicy, ShardedIndex, WorkerPool,
     };
     pub use simdops::{set_level_override, SimdLevel};
     pub use vecstore::{generate, ground_truth, DatasetProfile, DatasetSpec, VectorSet};

@@ -1,13 +1,25 @@
-//! Failure injection: persistence and dataset I/O must reject corrupt,
-//! truncated, or mismatched inputs with errors — never panic, never return
-//! silently wrong data. These are the failure modes an overnight-rebuild
-//! pipeline actually hits (partial writes from a crashed rebuild, version
-//! skew between the writer and the reader).
+//! Failure injection, at two layers.
+//!
+//! **Storage** (the seed's original scope): persistence and dataset I/O
+//! must reject corrupt, truncated, or mismatched inputs with errors —
+//! never panic, never return silently wrong data. These are the failure
+//! modes an overnight-rebuild pipeline actually hits (partial writes from
+//! a crashed rebuild, version skew between the writer and the reader).
+//!
+//! **Serving** (the same discipline promoted onto `serving::fault`):
+//! replica failures are injected through deterministic [`FaultPlan`]
+//! scripts instead of ad-hoc wrappers, and the property test at the
+//! bottom drives arbitrary generated plans through a replicated fleet —
+//! as long as one replica per shard stays healthy, search must never
+//! error and must equal the healthy run bit for bit.
 
 use graphs::providers::FullPrecision;
 use graphs::{FlatGraph, GraphLayers, Hnsw, HnswParams};
+use hnsw_flash::prelude::*;
+use proptest::prelude::*;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 use vecstore::io::{read_fvecs, read_ivecs, write_fvecs, write_ivecs};
 use vecstore::VectorSet;
 
@@ -182,6 +194,129 @@ fn empty_file_is_rejected_everywhere() {
     match loaded {
         Ok(set) => assert_eq!(set.len(), 0),
         Err(_) => {} // also acceptable; never a panic
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serving-layer failure injection: deterministic `FaultPlan` scripts in
+// place of ad-hoc failure wrappers.
+// ---------------------------------------------------------------------
+
+fn grid_index(side: usize) -> Arc<dyn AnnIndex> {
+    Arc::new(FlatIndex::new(grid(side)))
+}
+
+/// The same fault script replays identically on two independent wrappers
+/// — the determinism every test in this file leans on.
+#[test]
+fn fault_plans_replay_deterministically() {
+    let plan = FaultPlan::new()
+        .fail_calls([2, 5])
+        .die_at(8)
+        .revive_at(10)
+        .delay_on(1, 0);
+    let run = |faulty: &FaultyIndex| {
+        let req = SearchRequest::new(vec![1.0, 1.0], 3);
+        (0..12)
+            .map(|_| faulty.try_search(&req).is_ok())
+            .collect::<Vec<bool>>()
+    };
+    let a = FaultyIndex::new(grid_index(6), plan.clone());
+    let b = FaultyIndex::new(grid_index(6), plan);
+    let (outcomes_a, outcomes_b) = (run(&a), run(&b));
+    assert_eq!(outcomes_a, outcomes_b);
+    assert_eq!(
+        outcomes_a,
+        vec![true, true, false, true, true, false, true, true, false, false, true, true]
+    );
+}
+
+/// An injected failure never leaks wrong data: every successful call
+/// through a faulty wrapper returns exactly the inner index's response.
+#[test]
+fn faulty_wrapper_never_corrupts_results() {
+    let inner = grid_index(8);
+    let faulty = FaultyIndex::new(Arc::clone(&inner), FaultPlan::new().fail_calls([1, 3, 4]));
+    let req = SearchRequest::new(vec![3.0, 4.0], 5);
+    let want = inner.search(&req).hits;
+    for call in 0..8u64 {
+        match faulty.try_search(&req) {
+            Ok(response) => assert_eq!(response.hits, want, "call {call}"),
+            Err(e) => assert_eq!(e.call, call, "errors carry the tripping call"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For *any* generated fault plan set that leaves replica 0 of every
+    /// shard healthy, a replicated fleet never errors (no panic) and
+    /// returns exactly the healthy run's hits — whatever mix of transient
+    /// errors, latency spikes, deaths, and scripted recoveries the other
+    /// replicas suffer, under every routing policy.
+    #[test]
+    fn any_fault_plan_with_one_healthy_replica_is_invisible(
+        side in 5usize..=8,
+        shards in 1usize..=3,
+        replicas in 2usize..=3,
+        k in 1usize..=8,
+        // Per-replica fault scripts, decoded below: (mode, a, b).
+        scripts in proptest::collection::vec((0u8..4, 0u64..6, 1u64..5), 9),
+        probe_after in 1u64..6,
+    ) {
+        let base = grid(side);
+        let flat = FlatIndex::new(base.clone());
+        let (indexes, id_maps): (Vec<Arc<dyn AnnIndex>>, Vec<Vec<u64>>) =
+            ShardedIndex::partition(&base, shards, ShardPolicy::RoundRobin)
+                .into_iter()
+                .map(|(set, ids)| (Arc::new(FlatIndex::new(set)) as Arc<dyn AnnIndex>, ids))
+                .unzip();
+        let plan_for = |s: usize, r: usize| -> Option<FaultPlan> {
+            if r == 0 {
+                return None; // the invariant: one always-healthy replica
+            }
+            let (mode, a, b) = scripts[(s * 3 + r) % scripts.len()];
+            Some(match mode {
+                0 => FaultPlan::new(),
+                1 => FaultPlan::new().fail_calls([a, a + b]).delay_on(a + 1, 0),
+                2 => FaultPlan::new().die_at(a),
+                _ => FaultPlan::new().die_at(a).revive_at(a + b),
+            })
+        };
+        for routing in RoutingPolicy::ALL {
+            let mut groups = Vec::new();
+            let parts: Vec<(Box<dyn AnnIndex>, Vec<u64>)> = indexes
+                .iter()
+                .zip(&id_maps)
+                .enumerate()
+                .map(|(s, (index, ids))| {
+                    let members: Vec<Box<dyn FallibleIndex>> = (0..replicas)
+                        .map(|r| match plan_for(s, r) {
+                            Some(plan) => Box::new(FaultyIndex::new(Arc::clone(index), plan))
+                                as Box<dyn FallibleIndex>,
+                            None => Box::new(Arc::clone(index)) as Box<dyn FallibleIndex>,
+                        })
+                        .collect();
+                    let health = HealthConfig { error_threshold: 1, probe_after };
+                    let group = Arc::new(ReplicaGroup::from_replicas(members, routing, health));
+                    groups.push(Arc::clone(&group));
+                    (Box::new(group) as Box<dyn AnnIndex>, ids.clone())
+                })
+                .collect();
+            let fleet =
+                ShardedIndex::from_parts(parts, ShardPolicy::RoundRobin, Arc::new(WorkerPool::new(2)));
+            // Enough sequential queries to hit deaths, probe windows, and
+            // scripted recoveries; every response must equal brute force.
+            for qi in (0..base.len()).step_by(7) {
+                let req = SearchRequest::new(base.get(qi).to_vec(), k);
+                let (want, got) = (flat.search(&req).hits, fleet.search(&req).hits);
+                prop_assert_eq!(&got, &want, "routing={} query {}", routing, qi);
+            }
+            // Sanity: fault scripts actually fired somewhere in most runs
+            // (never an assertion — a fully-healthy draw is legitimate).
+            let _fired: u64 = groups.iter().map(|g| g.failover_stats().errors).sum();
+        }
     }
 }
 

@@ -1,0 +1,356 @@
+//! Replication/failover exactness: a replicated fleet must be *exactly*
+//! the unreplicated `ShardedIndex`, which is itself exactly the
+//! brute-force `FlatIndex`, across (shards × replicas) grids and every
+//! routing policy — including with replicas killed mid-run through
+//! deterministic `FaultPlan`s.
+//!
+//! Exactness setup (same as `tests/serving.rs`): `EF ≥ N` makes every
+//! connected graph search exhaustive and `K · RERANK ≥ N` reranks every
+//! candidate with full-precision distances, so every index in play
+//! returns the identical global `(dist, id)` top-k. Replicas of a shard
+//! are identical by construction (deterministic builds from one shared
+//! codec), which is what makes failover invisible in the results.
+
+use hnsw_flash::prelude::*;
+use std::sync::Arc;
+
+const N: usize = 180;
+const DIM: usize = 12;
+const K: usize = 8;
+const EF: usize = 256; // > N: exhaustive traversal of connected graphs
+const RERANK: usize = 32; // pool K*RERANK = 256 > N: rerank everything
+
+const COMBOS: [(GraphKind, Coding); 3] = [
+    (GraphKind::Hnsw, Coding::Flash),
+    (GraphKind::Nsg, Coding::Full),
+    (GraphKind::Vamana, Coding::Sq),
+];
+
+fn workload() -> (VectorSet, VectorSet) {
+    generate(&DatasetSpec::new(DIM, 10, 0.95, 0.4, 4), N, 10, 77)
+}
+
+fn builder(kind: GraphKind, coding: Coding) -> IndexBuilder {
+    IndexBuilder::new(kind, coding)
+        .c(32)
+        .r(8)
+        .seed(7)
+        .train_sample(100)
+        .pq_m(4)
+}
+
+fn exact_request(q: &[f32]) -> SearchRequest {
+    SearchRequest::new(q.to_vec(), K).ef(EF).rerank(RERANK)
+}
+
+/// Assembles a sharded fleet whose shard `s` replica `r` serves the
+/// pre-built `shard_indexes[s]` (replicas share the physical index — the
+/// router cannot tell, and it keeps the grid × policy sweep affordable),
+/// wrapped in a `FaultyIndex` when `fault_for(s, r)` scripts one.
+fn fleet(
+    shard_indexes: &[Arc<dyn AnnIndex>],
+    id_maps: &[Vec<u64>],
+    replicas: usize,
+    routing: RoutingPolicy,
+    health: HealthConfig,
+    fault_for: impl Fn(usize, usize) -> Option<FaultPlan>,
+) -> (ShardedIndex, Vec<Arc<ReplicaGroup>>) {
+    let mut groups = Vec::new();
+    let parts: Vec<(Box<dyn AnnIndex>, Vec<u64>)> = shard_indexes
+        .iter()
+        .zip(id_maps)
+        .enumerate()
+        .map(|(s, (index, ids))| {
+            let members: Vec<Box<dyn FallibleIndex>> = (0..replicas)
+                .map(|r| match fault_for(s, r) {
+                    Some(plan) => Box::new(FaultyIndex::new(Arc::clone(index), plan))
+                        as Box<dyn FallibleIndex>,
+                    None => Box::new(Arc::clone(index)) as Box<dyn FallibleIndex>,
+                })
+                .collect();
+            let group = Arc::new(ReplicaGroup::from_replicas(members, routing, health));
+            groups.push(Arc::clone(&group));
+            (Box::new(group) as Box<dyn AnnIndex>, ids.clone())
+        })
+        .collect();
+    let sharded =
+        ShardedIndex::from_parts(parts, ShardPolicy::RoundRobin, Arc::new(WorkerPool::new(4)));
+    (sharded, groups)
+}
+
+/// Builds one sub-index per shard with the codec trained once globally.
+fn shard_indexes(
+    base: &VectorSet,
+    b: &IndexBuilder,
+    shards: usize,
+) -> (Vec<Arc<dyn AnnIndex>>, Vec<Vec<u64>>) {
+    let codec = b.train_codec(base);
+    ShardedIndex::partition(base, shards, ShardPolicy::RoundRobin)
+        .into_iter()
+        .map(|(set, ids)| {
+            (
+                Arc::from(b.build_with_codec(set, &codec)) as Arc<dyn AnnIndex>,
+                ids,
+            )
+        })
+        .unzip()
+}
+
+/// Healthy fleets: for every combo, (shards × replicas) grid point, and
+/// routing policy, the replicated fleet equals the unreplicated
+/// `ShardedIndex` equals the brute-force ground truth — bit-identical
+/// hits, ties included.
+#[test]
+fn replicated_equals_unreplicated_equals_flat_across_grid() {
+    let (base, queries) = workload();
+    let flat = FlatIndex::new(base.clone());
+    for (kind, coding) in COMBOS {
+        let b = builder(kind, coding);
+        for shards in [1usize, 2, 5] {
+            let unreplicated =
+                ShardedIndex::build(base.clone(), &b, shards, ShardPolicy::RoundRobin, 4);
+            let (indexes, id_maps) = shard_indexes(&base, &b, shards);
+            for replicas in [1usize, 2, 3] {
+                for routing in RoutingPolicy::ALL {
+                    let (fleet, _) = fleet(
+                        &indexes,
+                        &id_maps,
+                        replicas,
+                        routing,
+                        HealthConfig::default(),
+                        |_, _| None,
+                    );
+                    assert_eq!(fleet.len(), base.len());
+                    for qi in 0..queries.len() {
+                        let req = exact_request(queries.get(qi));
+                        let want = flat.search(&req).hits;
+                        assert_eq!(
+                            unreplicated.search(&req).hits,
+                            want,
+                            "{kind:?}x{coding:?} shards={shards} unreplicated != flat (query {qi})"
+                        );
+                        assert_eq!(
+                            fleet.search(&req).hits,
+                            want,
+                            "{kind:?}x{coding:?} shards={shards} replicas={replicas} \
+                             routing={routing} != flat (query {qi})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Independently built replicas (the real `ReplicatedIndex::build` path —
+/// R separate deterministic constructions per shard sharing one codec)
+/// serve results identical to the unreplicated sharded build and the
+/// brute-force ground truth.
+#[test]
+fn independently_built_replicas_are_bit_identical() {
+    let (base, queries) = workload();
+    let flat = FlatIndex::new(base.clone());
+    for (kind, coding) in COMBOS {
+        let b = builder(kind, coding);
+        let unreplicated = ShardedIndex::build(base.clone(), &b, 2, ShardPolicy::RoundRobin, 4);
+        let replicated = ReplicatedIndex::build(
+            base.clone(),
+            &b,
+            2,
+            2,
+            ShardPolicy::RoundRobin,
+            RoutingPolicy::RoundRobin,
+            HealthConfig::default(),
+            4,
+        );
+        assert_eq!(replicated.shard_count(), 2);
+        assert_eq!(replicated.replica_count(), 2);
+        for qi in 0..queries.len() {
+            let req = exact_request(queries.get(qi));
+            let want = flat.search(&req).hits;
+            assert_eq!(unreplicated.search(&req).hits, want, "{kind:?}x{coding:?}");
+            assert_eq!(replicated.search(&req).hits, want, "{kind:?}x{coding:?}");
+        }
+        // Round-robin routing spread the traffic across both replicas.
+        let stats = replicated.replica_stats();
+        for (s, shard_stats) in stats.iter().enumerate() {
+            for (r, replica) in shard_stats.iter().enumerate() {
+                assert!(
+                    replica.searches > 0,
+                    "{kind:?}x{coding:?} shard {s} replica {r} never served"
+                );
+            }
+        }
+    }
+}
+
+/// Killing each replica in turn mid-run changes nothing in the results,
+/// for every routing policy: the sibling serves bit-identical hits, the
+/// victim is marked down, and the failover counters account for it.
+#[test]
+fn killing_each_replica_in_turn_preserves_results() {
+    let (base, queries) = workload();
+    let flat = FlatIndex::new(base.clone());
+    let shards = 2usize;
+    let replicas = 3usize;
+    for (kind, coding) in COMBOS {
+        let b = builder(kind, coding);
+        let (indexes, id_maps) = shard_indexes(&base, &b, shards);
+        for victim in 0..replicas {
+            for routing in RoutingPolicy::ALL {
+                // The victim replica of every shard serves 2 calls, then
+                // dies permanently — mid-run, not before it.
+                let (fleet, groups) = fleet(
+                    &indexes,
+                    &id_maps,
+                    replicas,
+                    routing,
+                    HealthConfig::default(),
+                    |_, r| (r == victim).then(|| FaultPlan::new().die_at(2)),
+                );
+                for qi in 0..queries.len() {
+                    let req = exact_request(queries.get(qi));
+                    assert_eq!(
+                        fleet.search(&req).hits,
+                        flat.search(&req).hits,
+                        "{kind:?}x{coding:?} victim={victim} routing={routing} (query {qi})"
+                    );
+                }
+                for (s, group) in groups.iter().enumerate() {
+                    let stats = group.replica_stats();
+                    // The victim died only if routing ever offered it a
+                    // third call; when it did, the failover is accounted.
+                    if stats[victim].errors > 0 {
+                        assert!(
+                            group.is_marked_down(victim),
+                            "{kind:?}x{coding:?} shard {s} victim={victim} routing={routing}"
+                        );
+                        assert_eq!(stats[victim].markdowns, 1);
+                        assert!(stats[victim].retries >= 1);
+                        assert!(group.generation() >= 1);
+                    }
+                    // Whatever happened, the group kept serving.
+                    let healthy_searches: u64 = stats
+                        .iter()
+                        .enumerate()
+                        .filter(|&(r, _)| r != victim)
+                        .map(|(_, s)| s.searches)
+                        .sum();
+                    assert!(healthy_searches > 0, "siblings must have served");
+                }
+            }
+        }
+    }
+    // Under Primary routing the victim *is* the primary when victim == 0:
+    // make sure that case really exercised the death (not a vacuous pass).
+    let b = builder(GraphKind::Hnsw, Coding::Flash);
+    let (indexes, id_maps) = shard_indexes(&base, &b, shards);
+    let (fleet, groups) = fleet(
+        &indexes,
+        &id_maps,
+        replicas,
+        RoutingPolicy::Primary,
+        HealthConfig::default(),
+        |_, r| (r == 0).then(|| FaultPlan::new().die_at(2)),
+    );
+    for qi in 0..queries.len() {
+        let _ = fleet.search(&exact_request(queries.get(qi)));
+    }
+    for group in &groups {
+        assert!(group.is_marked_down(0), "primary must have died mid-run");
+        assert_eq!(group.failover_stats().markdowns, 1);
+    }
+}
+
+/// Distance ties straddling shard boundaries keep the global `(dist, id)`
+/// order across a failover: duplicated vectors land in different shards,
+/// one replica per shard dies, and the merged order is still exact.
+#[test]
+fn tie_order_preserved_across_failover() {
+    let mut base = VectorSet::new(4);
+    for i in 0..20 {
+        // Vectors 2i and 2i+1 are identical; round-robin over 2 shards
+        // places the twins in different shards.
+        let v = [i as f32, (i * i) as f32, 1.0, 0.0];
+        base.push(&v);
+        base.push(&v);
+    }
+    let flat = FlatIndex::new(base.clone());
+    let (indexes, id_maps): (Vec<Arc<dyn AnnIndex>>, Vec<Vec<u64>>) =
+        ShardedIndex::partition(&base, 2, ShardPolicy::RoundRobin)
+            .into_iter()
+            .map(|(set, ids)| (Arc::new(FlatIndex::new(set)) as Arc<dyn AnnIndex>, ids))
+            .unzip();
+    for routing in RoutingPolicy::ALL {
+        let (fleet, _) = fleet(
+            &indexes,
+            &id_maps,
+            2,
+            routing,
+            HealthConfig::default(),
+            |_, r| (r == 0).then(|| FaultPlan::new().die_at(0)),
+        );
+        for i in [0usize, 7, 19] {
+            let req = SearchRequest::new(base.get(2 * i).to_vec(), 6);
+            let (want, got) = (flat.search(&req).hits, fleet.search(&req).hits);
+            assert_eq!(got, want, "routing={routing} twin pair {i}");
+            assert_eq!(got[0].id, 2 * i as u64);
+            assert_eq!(got[1].id, 2 * i as u64 + 1);
+            assert_eq!((got[0].dist, got[1].dist), (0.0, 0.0));
+            for w in got.windows(2) {
+                assert!(
+                    (w[0].dist, w[0].id) < (w[1].dist, w[1].id),
+                    "global (dist, id) order violated under failover"
+                );
+            }
+        }
+    }
+}
+
+/// The shared-codec path itself: training once globally and encoding per
+/// partition yields identical results for every shard count — and for a
+/// single partition it is exactly the monolithic `IndexBuilder::build`.
+#[test]
+fn shared_codec_is_identical_across_shard_counts() {
+    let (base, queries) = workload();
+    let flat = FlatIndex::new(base.clone());
+    for (kind, coding) in COMBOS {
+        let b = builder(kind, coding);
+        let codec = b.train_codec(&base);
+        assert_eq!(codec.coding(), coding);
+        // One partition + shared codec == the monolithic build.
+        let monolithic = b.build(base.clone());
+        let via_codec = b.build_with_codec(base.clone(), &codec);
+        for qi in 0..queries.len() {
+            let req = exact_request(queries.get(qi));
+            let want = flat.search(&req).hits;
+            assert_eq!(monolithic.search(&req).hits, want, "{kind:?}x{coding:?}");
+            assert_eq!(
+                via_codec.search(&req).hits,
+                want,
+                "{kind:?}x{coding:?} single-partition shared codec"
+            );
+        }
+        // Every shard count serves the same exact results.
+        for shards in [2usize, 3, 4] {
+            let sharded = ShardedIndex::build(base.clone(), &b, shards, ShardPolicy::RoundRobin, 4);
+            for qi in 0..queries.len() {
+                let req = exact_request(queries.get(qi));
+                assert_eq!(
+                    sharded.search(&req).hits,
+                    flat.search(&req).hits,
+                    "{kind:?}x{coding:?} shards={shards}"
+                );
+            }
+        }
+    }
+}
+
+/// A coding-mismatched codec is rejected loudly, not silently misused.
+#[test]
+#[should_panic(expected = "codec was trained for")]
+fn mismatched_codec_is_rejected() {
+    let (base, _) = workload();
+    let codec = builder(GraphKind::Hnsw, Coding::Sq).train_codec(&base);
+    let _ = builder(GraphKind::Hnsw, Coding::Flash).build_with_codec(base, &codec);
+}

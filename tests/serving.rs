@@ -176,6 +176,66 @@ fn lsm_vector(i: usize) -> Vec<f32> {
     (0..8).map(|d| ((i * 7 + d * 3) % 23) as f32).collect()
 }
 
+/// Cache semantics across a failover: a `CachedIndex` over a
+/// `ReplicaGroup` must never serve a response cached under a generation
+/// that a replica mark-down has since invalidated, and the hit/miss
+/// accounting must stay exact even when the underlying searches retried
+/// onto a sibling.
+#[test]
+fn cache_over_replica_group_invalidates_on_failover() {
+    let (base, queries) = workload();
+    // Replica 0 serves its first call, then dies; replica 1 never fails.
+    let replica: std::sync::Arc<dyn AnnIndex> = std::sync::Arc::new(FlatIndex::new(base.clone()));
+    let group = std::sync::Arc::new(ReplicaGroup::from_replicas(
+        vec![
+            Box::new(FaultyIndex::new(
+                std::sync::Arc::clone(&replica),
+                FaultPlan::new().die_at(1),
+            )),
+            Box::new(std::sync::Arc::clone(&replica)),
+        ],
+        RoutingPolicy::Primary,
+        HealthConfig::default(),
+    ));
+    let cached = CachedIndex::new(
+        std::sync::Arc::clone(&group) as std::sync::Arc<dyn AnnIndex>,
+        16,
+    );
+    cached.cache().set_generation(group.generation());
+
+    // Cold miss, computed by replica 0 under generation 0, then a hit.
+    let req_a = exact_request(queries.get(0));
+    let first = cached.search(&req_a);
+    assert_eq!(cached.search(&req_a).hits, first.hits);
+    assert_eq!(group.generation(), 0);
+
+    // A different query trips replica 0's death: the search retries onto
+    // replica 1 (one miss, not two) and the mark-down bumps the group
+    // generation.
+    let req_b = exact_request(queries.get(1));
+    let fresh = cached.search(&req_b);
+    assert_eq!(fresh.hits, FlatIndex::new(base.clone()).search(&req_b).hits);
+    assert!(group.is_marked_down(0));
+    assert_eq!(group.generation(), 1);
+    assert_eq!(group.failover_stats().retries, 1);
+
+    // Sync the failover generation into the cache: the entry computed by
+    // the now-marked-down replica's generation must miss, not serve.
+    cached.cache().set_generation(group.generation());
+    let recomputed = cached.search(&req_a);
+    assert_eq!(
+        recomputed.hits, first.hits,
+        "replicas are identical, so the recomputed response matches"
+    );
+    // And the recomputed entry (generation 1) is a hit again.
+    assert_eq!(cached.search(&req_a).hits, first.hits);
+
+    // Exact accounting across the retries: A cold miss, A hit, B cold
+    // miss (served via failover), A stale miss, A hit.
+    let stats = cached.cache().stats();
+    assert_eq!((stats.hits, stats.misses, stats.uncacheable), (2, 3, 0));
+}
+
 /// A cached sharded index serves repeated requests from memory with
 /// identical responses.
 #[test]
