@@ -42,15 +42,18 @@ mod builder;
 mod indexes;
 mod kinds;
 mod request;
+pub mod wire;
 
 pub use builder::{IndexBuilder, TrainedCodec};
 pub use graphs::Hit;
 pub use indexes::{FlatIndex, FlatVariant, FrozenIndex, GraphIndex};
 pub use kinds::{parse_method, Coding, GraphKind};
 pub use request::{AdSamplingOptions, SearchRequest, SearchResponse, SearchStats};
+pub use wire::WireError;
 
 use graphs::GraphLayers;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One approximate-nearest-neighbor index, ready to serve.
 ///
@@ -88,6 +91,28 @@ pub trait AnnIndex: Send + Sync {
         requests.iter().map(|r| self.search(r)).collect()
     }
 
+    /// Serves a batch like [`Self::search_batch`], additionally reporting
+    /// each query's **individually measured** execution time.
+    ///
+    /// This is what latency percentiles must be built from: attributing a
+    /// batch's wall-clock divided by its size to every member collapses
+    /// p50/p95/p99 to the batch mean and hides slow queries. The default
+    /// times each sequential [`Self::search`] call; concurrent
+    /// implementations override it to time each query's own critical path
+    /// (a sharded index times the slowest shard fan-out plus its gather; a
+    /// caching index reports the lookup time for hits and the inner time
+    /// for misses).
+    fn search_batch_timed(&self, requests: &[SearchRequest]) -> Vec<(SearchResponse, Duration)> {
+        requests
+            .iter()
+            .map(|r| {
+                let t0 = Instant::now();
+                let response = self.search(r);
+                (response, t0.elapsed())
+            })
+            .collect()
+    }
+
     /// Resident bytes of the index (adjacency + codes + payloads).
     fn memory_bytes(&self) -> usize;
 
@@ -118,6 +143,10 @@ impl<T: AnnIndex + ?Sized> AnnIndex for Arc<T> {
 
     fn search_batch(&self, requests: &[SearchRequest]) -> Vec<SearchResponse> {
         (**self).search_batch(requests)
+    }
+
+    fn search_batch_timed(&self, requests: &[SearchRequest]) -> Vec<(SearchResponse, Duration)> {
+        (**self).search_batch_timed(requests)
     }
 
     fn memory_bytes(&self) -> usize {

@@ -1,0 +1,445 @@
+//! Binary serialization of the request/response model.
+//!
+//! This is the **payload** layer of the distributed serving wire protocol
+//! (`serving::distributed` adds framing, versioning, and checksums on
+//! top): [`SearchRequest`] and [`SearchResponse`] encode to explicit
+//! little-endian byte strings that round-trip bit-for-bit, so a remote
+//! node serves exactly the request the coordinator built and the
+//! coordinator gathers exactly the hits the node found.
+//!
+//! Every multi-byte value is little-endian regardless of host order;
+//! floats travel as their IEEE-754 bit patterns (`f32::to_bits`), so NaN
+//! payloads and signed zeros survive the trip unchanged. Optional fields
+//! use a one-byte presence tag (`0` absent, `1` present); any other tag
+//! value is rejected as [`WireError::Malformed`] rather than guessed at.
+//!
+//! Predicate filters are closures and have no byte representation:
+//! encoding a filtered request fails with [`WireError::Unencodable`]
+//! (keep filtered traffic on in-process shards, or push label filters,
+//! which do serialize).
+
+use crate::request::{AdSamplingOptions, SearchRequest, SearchResponse, SearchStats};
+use graphs::Hit;
+use std::fmt;
+
+/// Why encoding or decoding a wire value failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value did.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes the buffer still had.
+        have: usize,
+    },
+    /// The bytes decode to something the protocol forbids (bad presence
+    /// tag, unknown frame kind, checksum mismatch, trailing garbage).
+    Malformed(String),
+    /// The value has no byte representation (predicate filters).
+    Unencodable(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "truncated wire value: needed {needed} bytes, have {have}"
+                )
+            }
+            WireError::Malformed(what) => write!(f, "malformed wire value: {what}"),
+            WireError::Unencodable(what) => write!(f, "cannot encode {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Little-endian byte-string writer (append-only).
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, x: u16) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a little-endian `u64` (platform-independent).
+    pub fn put_usize(&mut self, x: usize) {
+        self.put_u64(x as u64);
+    }
+
+    /// Appends an `f32` as its IEEE-754 bit pattern, little-endian.
+    pub fn put_f32(&mut self, x: f32) {
+        self.put_u32(x.to_bits());
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Cursor over a little-endian byte string; every read checks bounds and
+/// reports [`WireError::Truncated`] instead of panicking.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Bytes consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` sent as a little-endian `u64`, rejecting values the
+    /// local platform cannot represent.
+    pub fn get_usize(&mut self) -> Result<usize, WireError> {
+        let x = self.get_u64()?;
+        usize::try_from(x).map_err(|_| WireError::Malformed(format!("size {x} overflows usize")))
+    }
+
+    /// Reads an `f32` from its IEEE-754 bit pattern.
+    pub fn get_f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Asserts every byte was consumed; trailing bytes mean the sender and
+    /// receiver disagree on the layout, which must fail loudly.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(format!(
+                "{} trailing bytes after value",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+/// Reads a `0`/`1` presence tag.
+fn get_tag(r: &mut WireReader<'_>, what: &str) -> Result<bool, WireError> {
+    match r.get_u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(WireError::Malformed(format!(
+            "presence tag for {what} must be 0 or 1, got {other}"
+        ))),
+    }
+}
+
+/// Appends `request`'s wire encoding to `w`.
+///
+/// Fails with [`WireError::Unencodable`] when the request carries a
+/// predicate filter — closures cannot cross the wire.
+pub fn encode_request(request: &SearchRequest, w: &mut WireWriter) -> Result<(), WireError> {
+    if request.filter.is_some() {
+        return Err(WireError::Unencodable(
+            "a predicate-filtered SearchRequest (closures have no wire form)",
+        ));
+    }
+    w.put_u32(request.query.len() as u32);
+    for &x in &request.query {
+        w.put_f32(x);
+    }
+    w.put_usize(request.k);
+    w.put_usize(request.ef);
+    w.put_usize(request.rerank);
+    match request.label {
+        None => w.put_u8(0),
+        Some(label) => {
+            w.put_u8(1);
+            w.put_u32(label);
+        }
+    }
+    match request.vbase_window {
+        None => w.put_u8(0),
+        Some(window) => {
+            w.put_u8(1);
+            w.put_usize(window);
+        }
+    }
+    match &request.adsampling {
+        None => w.put_u8(0),
+        Some(ad) => {
+            w.put_u8(1);
+            w.put_f32(ad.epsilon0);
+            w.put_usize(ad.delta_d);
+            w.put_u64(ad.seed);
+        }
+    }
+    Ok(())
+}
+
+/// Decodes one [`SearchRequest`] from `r` (the inverse of
+/// [`encode_request`]; the decoded request never carries a filter).
+pub fn decode_request(r: &mut WireReader<'_>) -> Result<SearchRequest, WireError> {
+    let dim = r.get_u32()? as usize;
+    let mut query = Vec::with_capacity(dim.min(r.remaining() / 4 + 1));
+    for _ in 0..dim {
+        query.push(r.get_f32()?);
+    }
+    let k = r.get_usize()?;
+    let mut request = SearchRequest::new(query, k);
+    request.ef = r.get_usize()?;
+    request.rerank = r.get_usize()?;
+    request.label = get_tag(r, "label")?.then(|| r.get_u32()).transpose()?;
+    request.vbase_window = get_tag(r, "vbase_window")?
+        .then(|| r.get_usize())
+        .transpose()?;
+    request.adsampling = if get_tag(r, "adsampling")? {
+        Some(AdSamplingOptions {
+            epsilon0: r.get_f32()?,
+            delta_d: r.get_usize()?,
+            seed: r.get_u64()?,
+        })
+    } else {
+        None
+    };
+    Ok(request)
+}
+
+/// Appends `response`'s wire encoding to `w`.
+pub fn encode_response(response: &SearchResponse, w: &mut WireWriter) {
+    w.put_u32(response.hits.len() as u32);
+    for hit in &response.hits {
+        w.put_u64(hit.id);
+        w.put_f32(hit.dist);
+    }
+    w.put_u64(response.stats.evaluated);
+    w.put_u64(response.stats.abandoned);
+}
+
+/// Decodes one [`SearchResponse`] from `r` (the inverse of
+/// [`encode_response`]).
+pub fn decode_response(r: &mut WireReader<'_>) -> Result<SearchResponse, WireError> {
+    let count = r.get_u32()? as usize;
+    let mut hits = Vec::with_capacity(count.min(r.remaining() / 12 + 1));
+    for _ in 0..count {
+        let id = r.get_u64()?;
+        let dist = r.get_f32()?;
+        hits.push(Hit { id, dist });
+    }
+    let stats = SearchStats {
+        evaluated: r.get_u64()?,
+        abandoned: r.get_u64()?,
+    };
+    Ok(SearchResponse { hits, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(request: &SearchRequest) -> SearchRequest {
+        let mut w = WireWriter::new();
+        encode_request(request, &mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let decoded = decode_request(&mut r).unwrap();
+        r.finish().unwrap();
+        decoded
+    }
+
+    #[test]
+    fn request_roundtrips_every_option() {
+        let request = SearchRequest::new(vec![1.5, -0.0, f32::NAN, 3.25], 7)
+            .ef(130)
+            .rerank(4)
+            .label(9)
+            .vbase(33)
+            .adsampling(AdSamplingOptions {
+                epsilon0: 1.75,
+                delta_d: 16,
+                seed: 0xDEAD_BEEF,
+            });
+        let decoded = roundtrip_request(&request);
+        assert_eq!(decoded.k, 7);
+        assert_eq!(decoded.ef, 130);
+        assert_eq!(decoded.rerank, 4);
+        assert_eq!(decoded.label, Some(9));
+        assert_eq!(decoded.vbase_window, Some(33));
+        assert_eq!(decoded.adsampling, request.adsampling);
+        // Bit-exact floats: NaN and -0.0 survive unchanged.
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&decoded.query), bits(&request.query));
+        assert!(decoded.filter.is_none());
+    }
+
+    #[test]
+    fn request_defaults_roundtrip() {
+        let request = SearchRequest::new(vec![0.0; 3], 10);
+        let decoded = roundtrip_request(&request);
+        assert_eq!(decoded.k, 10);
+        assert_eq!(decoded.ef, request.ef);
+        assert_eq!(decoded.label, None);
+        assert_eq!(decoded.vbase_window, None);
+        assert!(decoded.adsampling.is_none());
+    }
+
+    #[test]
+    fn filtered_request_is_unencodable() {
+        let request = SearchRequest::new(vec![0.0], 1).filter(|_| true);
+        let mut w = WireWriter::new();
+        assert!(matches!(
+            encode_request(&request, &mut w),
+            Err(WireError::Unencodable(_))
+        ));
+    }
+
+    #[test]
+    fn response_roundtrips_bit_for_bit() {
+        let response = SearchResponse {
+            hits: vec![
+                Hit { id: 3, dist: 0.5 },
+                Hit {
+                    id: u64::MAX,
+                    dist: -0.0,
+                },
+            ],
+            stats: SearchStats {
+                evaluated: 42,
+                abandoned: 7,
+            },
+        };
+        let mut w = WireWriter::new();
+        encode_response(&response, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let decoded = decode_response(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(decoded.hits, response.hits);
+        assert_eq!(decoded.stats, response.stats);
+    }
+
+    #[test]
+    fn every_truncation_point_is_rejected() {
+        let request = SearchRequest::new(vec![1.0, 2.0], 3).label(1).vbase(8);
+        let mut w = WireWriter::new();
+        encode_request(&request, &mut w).unwrap();
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..cut]);
+            assert!(
+                matches!(decode_request(&mut r), Err(WireError::Truncated { .. })),
+                "prefix of {cut} bytes must be rejected as truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = WireWriter::new();
+        encode_request(&SearchRequest::new(vec![1.0], 1), &mut w).unwrap();
+        let mut bytes = w.into_bytes();
+        bytes.push(0xFF);
+        let mut r = WireReader::new(&bytes);
+        decode_request(&mut r).unwrap();
+        assert!(matches!(r.finish(), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn bad_presence_tag_is_malformed_not_guessed() {
+        let mut w = WireWriter::new();
+        encode_request(&SearchRequest::new(vec![1.0], 1), &mut w).unwrap();
+        let mut bytes = w.into_bytes();
+        // The label tag sits right after query (4 + 4 bytes) and k/ef/rerank
+        // (3 × 8 bytes).
+        let tag_at = 4 + 4 + 24;
+        bytes[tag_at] = 7;
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            decode_request(&mut r),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

@@ -6,6 +6,8 @@
 //! * [`latency`] — percentile summaries (p50/p95/p99) for serving reports;
 //! * [`failover`] — per-replica retry/mark-down/probe counters for the
 //!   replicated serving layer;
+//! * [`transport`] — per-node frame/byte/timeout counters for the
+//!   distributed serving wire transports;
 //! * [`PhaseTimer`] — named wall-clock phases for indexing-time breakdowns.
 
 pub mod adr;
@@ -14,6 +16,7 @@ pub mod latency;
 pub mod qps;
 pub mod recall;
 mod timer;
+pub mod transport;
 
 pub use adr::average_distance_ratio;
 pub use failover::{failover_summary, ReplicaCounters, ReplicaStats};
@@ -21,3 +24,4 @@ pub use latency::{latency_summary, LatencySummary};
 pub use qps::{measure_qps, QpsReport};
 pub use recall::{recall_at_k, RecallReport};
 pub use timer::PhaseTimer;
+pub use transport::{transport_summary, TransportCounters, TransportStats};

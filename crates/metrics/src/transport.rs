@@ -1,0 +1,168 @@
+//! Per-node transport accounting for the distributed serving layer.
+//!
+//! Every wire transport (`serving::distributed`) owns one
+//! [`TransportCounters`]: lock-free monotonic counters bumped as frames
+//! and bytes move, connections are (re-)dialed, and calls fail or time
+//! out. [`TransportStats`] is the plain-data snapshot
+//! ([`TransportCounters::snapshot`]); [`transport_summary`] folds many
+//! nodes' snapshots into one aggregate for the serving summary line.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free monotonic counters for one transport endpoint.
+#[derive(Debug, Default)]
+pub struct TransportCounters {
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    errors: AtomicU64,
+    timeouts: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+impl TransportCounters {
+    /// Fresh all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One frame of `bytes` bytes was sent.
+    pub fn record_sent(&self, bytes: u64) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// One frame of `bytes` bytes was received.
+    pub fn record_received(&self, bytes: u64) {
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A call failed (connect refused, I/O error, undecodable frame).
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A call exceeded its deadline (counted *in addition* to
+    /// [`Self::record_error`] by transports that treat timeouts as
+    /// failures).
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was (re-)established after the initial dial.
+    pub fn record_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Plain-data snapshot of every counter.
+    pub fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of one endpoint's transport counters (also used, summed, as a
+/// per-coordinator aggregate — see [`transport_summary`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames written to the wire.
+    pub frames_sent: u64,
+    /// Frames read off the wire.
+    pub frames_received: u64,
+    /// Payload + header bytes written.
+    pub bytes_sent: u64,
+    /// Payload + header bytes read.
+    pub bytes_received: u64,
+    /// Failed calls (connect refused, I/O errors, undecodable frames).
+    pub errors: u64,
+    /// Calls that exceeded their deadline.
+    pub timeouts: u64,
+    /// Connections re-established after the initial dial.
+    pub reconnects: u64,
+}
+
+impl TransportStats {
+    /// Element-wise sum with `other`.
+    pub fn merged(self, other: TransportStats) -> TransportStats {
+        TransportStats {
+            frames_sent: self.frames_sent + other.frames_sent,
+            frames_received: self.frames_received + other.frames_received,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            bytes_received: self.bytes_received + other.bytes_received,
+            errors: self.errors + other.errors,
+            timeouts: self.timeouts + other.timeouts,
+            reconnects: self.reconnects + other.reconnects,
+        }
+    }
+}
+
+/// Folds per-node snapshots into one aggregate (element-wise sums).
+pub fn transport_summary(stats: &[TransportStats]) -> TransportStats {
+    stats
+        .iter()
+        .fold(TransportStats::default(), |acc, s| acc.merged(*s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_snapshot_roundtrip() {
+        let c = TransportCounters::new();
+        c.record_sent(100);
+        c.record_sent(50);
+        c.record_received(75);
+        c.record_error();
+        c.record_timeout();
+        c.record_reconnect();
+        let s = c.snapshot();
+        assert_eq!(s.frames_sent, 2);
+        assert_eq!(s.bytes_sent, 150);
+        assert_eq!(s.frames_received, 1);
+        assert_eq!(s.bytes_received, 75);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.reconnects, 1);
+    }
+
+    #[test]
+    fn summary_sums_elementwise() {
+        let a = TransportStats {
+            frames_sent: 2,
+            frames_received: 2,
+            bytes_sent: 10,
+            bytes_received: 20,
+            errors: 1,
+            timeouts: 0,
+            reconnects: 0,
+        };
+        let b = TransportStats {
+            frames_sent: 3,
+            frames_received: 1,
+            bytes_sent: 5,
+            bytes_received: 8,
+            errors: 0,
+            timeouts: 2,
+            reconnects: 1,
+        };
+        let sum = transport_summary(&[a, b]);
+        assert_eq!(sum.frames_sent, 5);
+        assert_eq!(sum.frames_received, 3);
+        assert_eq!(sum.bytes_sent, 15);
+        assert_eq!(sum.bytes_received, 28);
+        assert_eq!(sum.errors, 1);
+        assert_eq!(sum.timeouts, 2);
+        assert_eq!(sum.reconnects, 1);
+        assert_eq!(transport_summary(&[]), TransportStats::default());
+    }
+}

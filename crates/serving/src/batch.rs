@@ -20,11 +20,15 @@ pub const DEFAULT_BATCH_SIZE: usize = 32;
 pub struct BatchReport {
     /// One response per submitted request, in submission order.
     pub responses: Vec<SearchResponse>,
-    /// Per-query latency samples in milliseconds. Queries inside one batch
-    /// share the batch's wall-clock divided by its size (they ran
-    /// together; individual attribution inside a batch is not observable).
+    /// Per-query latency samples in milliseconds, each query timed
+    /// **individually** ([`AnnIndex::search_batch_timed`]): a sharded
+    /// backend reports each query's own critical path, a caching backend
+    /// the lookup time for hits. Percentiles therefore reflect per-query
+    /// cost — a single slow query shows up at p99 instead of being
+    /// averaged into its batch.
     pub latencies_ms: Vec<f64>,
-    /// Aggregate throughput over the whole drain.
+    /// Aggregate throughput over the whole drain (batch wall-clock totals
+    /// feed only this, never the latency samples).
     pub qps: QpsReport,
     /// Number of coalesced batches executed.
     pub batches: usize,
@@ -99,13 +103,10 @@ impl BatchExecutor {
         };
         let t0 = Instant::now();
         for batch in queue.chunks(self.batch_size) {
-            let tb = Instant::now();
-            let responses = self.index.search_batch(batch);
-            let per_query_ms = tb.elapsed().as_secs_f64() * 1000.0 / batch.len() as f64;
-            report.responses.extend(responses);
-            report
-                .latencies_ms
-                .extend(std::iter::repeat_n(per_query_ms, batch.len()));
+            for (response, took) in self.index.search_batch_timed(batch) {
+                report.responses.push(response);
+                report.latencies_ms.push(took.as_secs_f64() * 1000.0);
+            }
             report.batches += 1;
         }
         report.qps = QpsReport {
@@ -162,6 +163,71 @@ mod tests {
         assert_eq!(report.batches, 0);
         assert_eq!(report.qps.qps(), 0.0);
         assert_eq!(report.latency(), LatencySummary::default());
+    }
+
+    /// An index with deliberately skewed per-query cost: queries whose
+    /// first component is ≥ `threshold` stall for `slow_ms` before being
+    /// served.
+    struct SkewedIndex {
+        inner: FlatIndex,
+        threshold: f32,
+        slow_ms: u64,
+    }
+
+    impl AnnIndex for SkewedIndex {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn dim(&self) -> usize {
+            self.inner.dim()
+        }
+        fn search(&self, req: &SearchRequest) -> SearchResponse {
+            if req.query.first().is_some_and(|&x| x >= self.threshold) {
+                std::thread::sleep(std::time::Duration::from_millis(self.slow_ms));
+            }
+            self.inner.search(req)
+        }
+        fn memory_bytes(&self) -> usize {
+            self.inner.memory_bytes()
+        }
+    }
+
+    #[test]
+    fn skewed_per_query_cost_shows_up_in_percentiles() {
+        // One pathological query in a batch of ten: with per-query timing
+        // the tail percentile must expose it, and the fast majority must
+        // not inherit its cost. Amortizing the batch wall-clock over its
+        // members (the old accounting) collapses p50 == p99 == the mean,
+        // failing both assertions.
+        let mut set = VectorSet::new(2);
+        for i in 0..20 {
+            set.push(&[i as f32, 0.0]);
+        }
+        let slow_ms = 40;
+        let index = Arc::new(SkewedIndex {
+            inner: FlatIndex::new(set),
+            threshold: 1_000.0,
+            slow_ms,
+        });
+        let mut ex = BatchExecutor::new(index).batch_size(10);
+        for qi in 0..9 {
+            ex.submit(SearchRequest::new(vec![qi as f32, 0.0], 3));
+        }
+        ex.submit(SearchRequest::new(vec![5_000.0, 0.0], 3)); // the straggler
+        let report = ex.run();
+        assert_eq!(report.batches, 1, "all ten queries share one batch");
+        let summary = report.latency();
+        let slow = slow_ms as f64;
+        assert!(
+            summary.p99_ms >= slow,
+            "p99 {:.3} ms must expose the {slow} ms straggler",
+            summary.p99_ms
+        );
+        assert!(
+            summary.p50_ms < slow / 4.0,
+            "p50 {:.3} ms must not inherit the straggler's cost",
+            summary.p50_ms
+        );
     }
 
     #[test]

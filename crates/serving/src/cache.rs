@@ -15,6 +15,7 @@ use cachesim::Lru;
 use engine::{AnnIndex, SearchRequest, SearchResponse};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Hit/miss counters of a [`QueryCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,9 +43,17 @@ impl QueryCacheStats {
 }
 
 /// The hashable, comparable canonical form of a cacheable request: the
-/// query as raw bit patterns plus every result-shaping option. Stored in
-/// each entry so a 64-bit key collision is detected by comparison instead
-/// of silently serving another query's results.
+/// query as **canonicalized** bit patterns plus every result-shaping
+/// option. Stored in each entry so a 64-bit key collision is detected by
+/// comparison instead of silently serving another query's results.
+///
+/// Canonicalization matters because f32 bit patterns are finer-grained
+/// than distance semantics: `-0.0` and `0.0` compare equal in every
+/// distance kernel (identical results), so they must share one cache
+/// entry; NaN payloads are the opposite — a NaN query has no meaningful
+/// result set at all, and the 2²² distinct NaN bit patterns would each
+/// poison their own slot — so non-finite queries bypass the cache
+/// entirely ([`QueryCacheStats::uncacheable`]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CanonicalRequest {
     query_bits: Vec<u32>,
@@ -57,15 +66,33 @@ struct CanonicalRequest {
     adsampling: Option<(u32, usize, u64)>,
 }
 
+/// The canonical bit pattern of one finite query component: `-0.0`
+/// normalizes to `0.0` (they are the same point in every metric).
+fn canonical_f32_bits(x: f32) -> u32 {
+    if x == 0.0 {
+        0.0f32.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
 impl CanonicalRequest {
-    /// `None` for requests carrying a predicate filter — closures have no
-    /// canonical form, so those requests always run uncached.
+    /// `None` for requests that must run uncached: predicate filters
+    /// (closures have no canonical form) and non-finite queries (NaN/±∞
+    /// have no meaningful result identity — see the type docs).
     fn of(request: &SearchRequest) -> Option<Self> {
         if request.filter.is_some() {
             return None;
         }
+        if request.query.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
         Some(Self {
-            query_bits: request.query.iter().map(|x| x.to_bits()).collect(),
+            query_bits: request
+                .query
+                .iter()
+                .map(|x| canonical_f32_bits(*x))
+                .collect(),
             k: request.k,
             ef: request.ef,
             rerank: request.rerank,
@@ -145,10 +172,12 @@ impl QueryCache {
         }
     }
 
-    /// The canonical cache key of `request`: an FNV-1a hash over the query
-    /// bytes and every option that shapes the result set. Returns `None`
-    /// for requests carrying a predicate filter — closures have no
-    /// canonical form, so those requests always run uncached. The key is a
+    /// The canonical cache key of `request`: an FNV-1a hash over the
+    /// canonicalized query bits (`-0.0` = `0.0`) and every option that
+    /// shapes the result set. Returns `None` for requests that always run
+    /// uncached: predicate filters (closures have no canonical form) and
+    /// non-finite queries (NaN bit patterns would poison distinct slots
+    /// for meaningless result sets). The key is a
     /// fast index only: [`Self::get`] verifies the stored canonical
     /// request on every hit, so a 64-bit collision degrades to a miss,
     /// never to another query's results.
@@ -285,6 +314,78 @@ impl CachedIndex {
     pub fn invalidate(&self) {
         self.cache.invalidate_all();
     }
+
+    /// The shared batch path: cache lookups first, then one inner
+    /// `search_batch_timed` call over the deduplicated misses. Each
+    /// query's reported duration is what *it* actually cost — the LRU
+    /// lookup for hits, the lookup plus the inner index's own per-query
+    /// measurement for misses (duplicates share the one inner search and
+    /// its measured time).
+    fn run_batch(&self, requests: &[SearchRequest]) -> Vec<(SearchResponse, Duration)> {
+        let keys: Vec<Option<u64>> = requests.iter().map(QueryCache::key_of).collect();
+        let computed_at = self.cache.generation();
+        let mut responses: Vec<Option<SearchResponse>> = Vec::with_capacity(requests.len());
+        let mut lookups: Vec<Duration> = Vec::with_capacity(requests.len());
+        // For each missing request: its slot in the deduplicated miss list.
+        let mut miss_slot: Vec<Option<usize>> = vec![None; requests.len()];
+        let mut miss_requests: Vec<SearchRequest> = Vec::new();
+        // Dedup on the full canonical request (not the 64-bit key), so a
+        // key collision cannot merge two distinct queries.
+        let mut slot_of_request: std::collections::HashMap<CanonicalRequest, usize> =
+            std::collections::HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            let t0 = Instant::now();
+            let cached = match key {
+                Some(key) => self.cache.get(*key, &requests[i]),
+                None => {
+                    self.cache.note_uncacheable();
+                    None
+                }
+            };
+            lookups.push(t0.elapsed());
+            responses.push(cached.map(|c| (*c).clone()));
+            if responses[i].is_none() {
+                let slot = match CanonicalRequest::of(&requests[i]) {
+                    // Identical cacheable misses share one inner search.
+                    Some(canonical) => *slot_of_request.entry(canonical).or_insert_with(|| {
+                        miss_requests.push(requests[i].clone());
+                        miss_requests.len() - 1
+                    }),
+                    None => {
+                        miss_requests.push(requests[i].clone());
+                        miss_requests.len() - 1
+                    }
+                };
+                miss_slot[i] = Some(slot);
+            }
+        }
+        if !miss_requests.is_empty() {
+            // One shared Arc per fresh response: the cache insert clones
+            // the Arc, not the hits, and only the returned copy is deep.
+            let fresh: Vec<(Arc<SearchResponse>, Duration)> = self
+                .inner
+                .search_batch_timed(&miss_requests)
+                .into_iter()
+                .map(|(response, took)| (Arc::new(response), took))
+                .collect();
+            for (i, slot) in miss_slot.iter().enumerate() {
+                if let Some(slot) = slot {
+                    let (response, took) = &fresh[*slot];
+                    if let Some(key) = keys[i] {
+                        self.cache
+                            .insert(key, &requests[i], computed_at, Arc::clone(response));
+                    }
+                    responses[i] = Some((**response).clone());
+                    lookups[i] += *took;
+                }
+            }
+        }
+        responses
+            .into_iter()
+            .zip(lookups)
+            .map(|(r, took)| (r.expect("every request answered"), took))
+            .collect()
+    }
 }
 
 impl AnnIndex for CachedIndex {
@@ -317,67 +418,19 @@ impl AnnIndex for CachedIndex {
     /// fan-out instead of degrading to per-request scatter barriers — with
     /// duplicate cacheable misses searched once and fanned back out.
     fn search_batch(&self, requests: &[SearchRequest]) -> Vec<SearchResponse> {
-        let keys: Vec<Option<u64>> = requests.iter().map(QueryCache::key_of).collect();
-        let computed_at = self.cache.generation();
-        let mut responses: Vec<Option<SearchResponse>> = Vec::with_capacity(requests.len());
-        // For each missing request: its slot in the deduplicated miss list.
-        let mut miss_slot: Vec<Option<usize>> = vec![None; requests.len()];
-        let mut miss_requests: Vec<SearchRequest> = Vec::new();
-        // Dedup on the full canonical request (not the 64-bit key), so a
-        // key collision cannot merge two distinct queries.
-        let mut slot_of_request: std::collections::HashMap<CanonicalRequest, usize> =
-            std::collections::HashMap::new();
-        for (i, key) in keys.iter().enumerate() {
-            let cached = match key {
-                Some(key) => self.cache.get(*key, &requests[i]),
-                None => {
-                    self.cache.note_uncacheable();
-                    None
-                }
-            };
-            responses.push(cached.map(|c| (*c).clone()));
-            if responses[i].is_none() {
-                let slot = match CanonicalRequest::of(&requests[i]) {
-                    // Identical cacheable misses share one inner search.
-                    Some(canonical) => *slot_of_request.entry(canonical).or_insert_with(|| {
-                        miss_requests.push(requests[i].clone());
-                        miss_requests.len() - 1
-                    }),
-                    None => {
-                        miss_requests.push(requests[i].clone());
-                        miss_requests.len() - 1
-                    }
-                };
-                miss_slot[i] = Some(slot);
-            }
-        }
-        if !miss_requests.is_empty() {
-            // One shared Arc per fresh response: the cache insert clones
-            // the Arc, not the hits, and only the returned copy is deep.
-            let fresh: Vec<Arc<SearchResponse>> = self
-                .inner
-                .search_batch(&miss_requests)
-                .into_iter()
-                .map(Arc::new)
-                .collect();
-            for (i, slot) in miss_slot.iter().enumerate() {
-                if let Some(slot) = slot {
-                    if let Some(key) = keys[i] {
-                        self.cache.insert(
-                            key,
-                            &requests[i],
-                            computed_at,
-                            Arc::clone(&fresh[*slot]),
-                        );
-                    }
-                    responses[i] = Some((*fresh[*slot]).clone());
-                }
-            }
-        }
-        responses
+        self.run_batch(requests)
             .into_iter()
-            .map(|r| r.expect("every request answered"))
+            .map(|(response, _)| response)
             .collect()
+    }
+
+    /// Per-query latency through a cache is bimodal by design: hits cost
+    /// one LRU lookup, misses cost the inner search. The timed batch
+    /// reports exactly that — the lookup time for hits, the inner index's
+    /// own per-query measurement (plus the lookup) for misses — instead of
+    /// averaging both populations into one number.
+    fn search_batch_timed(&self, requests: &[SearchRequest]) -> Vec<(SearchResponse, Duration)> {
+        self.run_batch(requests)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -453,6 +506,55 @@ mod tests {
     #[test]
     fn filtered_requests_are_uncacheable() {
         assert!(QueryCache::key_of(&req(5).filter(|_| true)).is_none());
+    }
+
+    #[test]
+    fn negative_zero_shares_the_positive_zero_entry() {
+        // -0.0 and 0.0 are the same point in every metric: identical
+        // results, so they must share one cache entry.
+        let pos = SearchRequest::new(vec![0.0, 1.0, 2.0], 5);
+        let neg = SearchRequest::new(vec![-0.0, 1.0, 2.0], 5);
+        let key = QueryCache::key_of(&pos).unwrap();
+        assert_eq!(key, QueryCache::key_of(&neg).unwrap());
+        let cache = QueryCache::new(4);
+        cache.insert(
+            key,
+            &pos,
+            cache.generation(),
+            Arc::new(SearchResponse::default()),
+        );
+        assert!(
+            cache.get(key, &neg).is_some(),
+            "-0.0 query must hit the 0.0 entry, not occupy its own slot"
+        );
+    }
+
+    #[test]
+    fn non_finite_queries_bypass_the_cache() {
+        for query in [
+            vec![f32::NAN, 1.0],
+            vec![1.0, f32::INFINITY],
+            vec![f32::NEG_INFINITY, 0.0],
+        ] {
+            assert!(
+                QueryCache::key_of(&SearchRequest::new(query.clone(), 3)).is_none(),
+                "{query:?} must be uncacheable"
+            );
+        }
+        // Through the CachedIndex they run (uncached) instead of poisoning
+        // slots keyed by one of 2^22 NaN bit patterns.
+        let mut set = vecstore::VectorSet::new(2);
+        for i in 0..8 {
+            set.push(&[i as f32, 0.0]);
+        }
+        let cached = CachedIndex::new(Arc::new(engine::FlatIndex::new(set)), 4);
+        let nan_req = SearchRequest::new(vec![f32::NAN, 0.0], 2);
+        let _ = cached.search(&nan_req);
+        let _ = cached.search(&nan_req);
+        let stats = cached.cache().stats();
+        assert_eq!(stats.uncacheable, 2);
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        assert!(cached.cache().is_empty(), "no slot may be occupied");
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! The node side: request handling and the socket server.
+//!
+//! A node is deliberately dumb — it owns one index and answers one
+//! request at a time per connection. Placement, retries, health, and
+//! caching are coordinator concerns; keeping the node stateless is what
+//! lets the coordinator treat remote and in-process shards identically.
+
+use super::transport::WireStream;
+use super::wire::{read_message, write_message, ErrorCode, Message, NodeInfo, WireFault};
+use super::{NodeAddr, TransportError};
+use crate::fault::{FallibleIndex, FaultPlan, FaultyIndex};
+use crate::pool::WorkerPool;
+use engine::AnnIndex;
+use metrics::{TransportCounters, TransportStats};
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Answers protocol messages over one hosted index.
+///
+/// The handler serves [`FallibleIndex`] so scripted faults
+/// ([`Self::with_faults`]) and real transport-reachable indexes flow
+/// through one path: a fault becomes a structured error frame, which the
+/// client maps back into the [`crate::FaultError`] that drives mark-down
+/// and retry on the coordinator.
+pub struct NodeHandler {
+    index: Box<dyn FallibleIndex>,
+}
+
+impl NodeHandler {
+    /// Hosts `index` (production path — searches never fail node-side).
+    pub fn new(index: Arc<dyn AnnIndex>) -> Self {
+        Self {
+            index: Box::new(index),
+        }
+    }
+
+    /// Hosts a pre-wrapped fallible index.
+    pub fn fallible(index: Box<dyn FallibleIndex>) -> Self {
+        Self { index }
+    }
+
+    /// Hosts `index` with `plan`'s scripted faults replayed over its
+    /// calls — how tests and demos make a *node* misbehave
+    /// deterministically.
+    pub fn with_faults(index: Arc<dyn AnnIndex>, plan: FaultPlan) -> Self {
+        Self::fallible(Box::new(FaultyIndex::new(index, plan)))
+    }
+
+    /// The node's identity card.
+    pub fn info(&self) -> NodeInfo {
+        NodeInfo {
+            len: self.index.len() as u64,
+            dim: self.index.dim() as u32,
+            memory_bytes: self.index.memory_bytes() as u64,
+        }
+    }
+
+    /// Answers one message. Never panics outward: an index panic becomes
+    /// an `Internal` error frame, so one byzantine request cannot take a
+    /// server worker down.
+    pub fn handle(&self, message: Message) -> Message {
+        match message {
+            Message::Search(request) => {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.index.try_search(&request)
+                }));
+                match result {
+                    Ok(Ok(response)) => Message::SearchOk(response),
+                    Ok(Err(fault)) => Message::Error(WireFault::from_fault(fault)),
+                    Err(_) => Message::Error(WireFault {
+                        code: ErrorCode::Internal,
+                        message: "index panicked while serving the request".into(),
+                    }),
+                }
+            }
+            Message::InfoRequest => Message::InfoResponse(self.info()),
+            // A well-formed frame of a kind this node does not handle
+            // (BadRequest is reserved for frames that don't decode).
+            other => Message::Error(WireFault {
+                code: ErrorCode::Unsupported,
+                message: format!("node cannot serve a {} frame", other.kind_name()),
+            }),
+        }
+    }
+}
+
+/// Either listener family.
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<WireStream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| WireStream::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| WireStream::Unix(s)),
+        }
+    }
+}
+
+/// Hosts any [`AnnIndex`] behind a socket listener: an accept loop hands
+/// each client connection to a fixed pool of worker threads, each worker
+/// serving its connection's frames until the client hangs up.
+///
+/// `threads` bounds the **concurrent client connections** (a
+/// coordinator's [`super::SocketTransport`] holds one persistent
+/// connection each); extra connections queue until a worker frees up.
+///
+/// [`Self::shutdown`] (also run on drop) severs live connections and
+/// stops the accept loop — tests and demos use it to kill a node mid-run
+/// and watch the replica layer route around the corpse.
+pub struct NodeServer {
+    addr: NodeAddr,
+    shutdown: Arc<AtomicBool>,
+    /// Live connections by id; entries are pruned when their serve loop
+    /// exits, and drained (severed) by [`Self::shutdown`]. The lock also
+    /// orders accept-side registration against shutdown: the flag flips
+    /// under it, so a connection is either registered (and gets severed)
+    /// or observes the flag and is discarded — never silently kept.
+    conns: Arc<Mutex<Vec<(u64, WireStream)>>>,
+    accept: Option<JoinHandle<()>>,
+    counters: Arc<TransportCounters>,
+    unix_path: Option<PathBuf>,
+}
+
+impl NodeServer {
+    /// Binds `addr` and starts serving `handler` on `threads` connection
+    /// workers.
+    ///
+    /// Fails (with the address in the message) if the socket cannot be
+    /// bound — a TCP port in use, or a Unix socket path that already
+    /// exists from a previous run.
+    pub fn bind(
+        addr: &NodeAddr,
+        handler: NodeHandler,
+        threads: usize,
+    ) -> Result<Self, TransportError> {
+        let (listener, bound_addr, unix_path) = match addr {
+            NodeAddr::Tcp(a) => {
+                let listener = TcpListener::bind(a.as_str())
+                    .map_err(|e| TransportError::Io(format!("bind {addr}: {e}")))?;
+                // Port 0 resolves to a real port at bind time; report it.
+                let local = listener
+                    .local_addr()
+                    .map_err(|e| TransportError::Io(format!("local_addr {addr}: {e}")))?;
+                (
+                    Listener::Tcp(listener),
+                    NodeAddr::Tcp(local.to_string()),
+                    None,
+                )
+            }
+            #[cfg(unix)]
+            NodeAddr::Unix(path) => {
+                let listener = UnixListener::bind(path)
+                    .map_err(|e| TransportError::Io(format!("bind {addr}: {e}")))?;
+                (Listener::Unix(listener), addr.clone(), Some(path.clone()))
+            }
+        };
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<(u64, WireStream)>>> = Arc::new(Mutex::new(Vec::new()));
+        let counters = Arc::new(TransportCounters::new());
+        let handler = Arc::new(handler);
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("node-accept".into())
+                .spawn(move || {
+                    // The pool lives (and joins) inside the accept thread:
+                    // when the loop exits, dropping it waits for every
+                    // connection worker, whose streams shutdown() severed.
+                    let pool = WorkerPool::new(threads);
+                    let mut next_id: u64 = 0;
+                    loop {
+                        let stream = match listener.accept() {
+                            Ok(stream) => stream,
+                            Err(_) => {
+                                if shutdown.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                // A persistent accept error (fd
+                                // exhaustion) must not busy-spin a core.
+                                std::thread::sleep(std::time::Duration::from_millis(10));
+                                continue;
+                            }
+                        };
+                        // Register under the lock, re-checking the flag
+                        // there: shutdown() flips it under the same lock,
+                        // so this connection is either in the registry
+                        // (and will be severed) or discarded here.
+                        {
+                            let mut registry = conns.lock().unwrap();
+                            if shutdown.load(Ordering::Acquire) {
+                                stream.shutdown();
+                                break; // the wake-up dial, or a late client
+                            }
+                            if let Ok(clone) = stream.try_clone() {
+                                registry.push((next_id, clone));
+                            }
+                        }
+                        let id = next_id;
+                        next_id += 1;
+                        let handler = Arc::clone(&handler);
+                        let counters = Arc::clone(&counters);
+                        let conns = Arc::clone(&conns);
+                        pool.execute(move || {
+                            serve_connection(stream, &handler, &counters);
+                            // Prune the registry entry so long-lived nodes
+                            // don't leak one fd per past connection.
+                            conns.lock().unwrap().retain(|(i, _)| *i != id);
+                        });
+                    }
+                })
+                .expect("failed to spawn node accept thread")
+        };
+        Ok(Self {
+            addr: bound_addr,
+            shutdown,
+            conns,
+            accept: Some(accept),
+            counters,
+            unix_path,
+        })
+    }
+
+    /// The bound address (with TCP port 0 resolved to the real port) —
+    /// what clients dial.
+    pub fn addr(&self) -> &NodeAddr {
+        &self.addr
+    }
+
+    /// Server-side frame/byte counters.
+    pub fn stats(&self) -> TransportStats {
+        self.counters.snapshot()
+    }
+
+    /// Stops the node: no new connections are accepted, live connections
+    /// are severed mid-stream (clients see an I/O error, exactly like a
+    /// crashed process), and every server thread is joined. Idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            // Flip the flag and sever under the registry lock, so a
+            // connection the accept thread is registering concurrently is
+            // either drained here or discarded there (see `conns`).
+            let mut registry = self.conns.lock().unwrap();
+            if self.shutdown.swap(true, Ordering::AcqRel) {
+                return;
+            }
+            for (_, conn) in registry.drain(..) {
+                conn.shutdown();
+            }
+        }
+        // Unblock the accept loop with one throwaway connection.
+        let wake = match &self.addr {
+            NodeAddr::Tcp(a) => {
+                // An any-interface bind is not dialable as written.
+                let dialable = a.replace("0.0.0.0", "127.0.0.1").replace("[::]", "[::1]");
+                NodeAddr::Tcp(dialable)
+            }
+            #[cfg(unix)]
+            NodeAddr::Unix(path) => NodeAddr::Unix(path.clone()),
+        };
+        drop(WireStream::connect(&wake));
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for NodeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One connection's serve loop: frames in, frames out, until the client
+/// hangs up or the stream errors (shutdown severs it).
+fn serve_connection(mut stream: WireStream, handler: &NodeHandler, counters: &TransportCounters) {
+    loop {
+        let message = match read_message(&mut stream) {
+            Ok(Some((message, received))) => {
+                counters.record_received(received as u64);
+                message
+            }
+            Ok(None) => break, // client hung up cleanly
+            Err(e) => {
+                // An undecodable frame gets one best-effort error answer;
+                // framing state is unrecoverable either way, so hang up.
+                if let TransportError::Wire(wire) = e {
+                    counters.record_error();
+                    let reply = Message::Error(WireFault {
+                        code: ErrorCode::BadRequest,
+                        message: wire.to_string(),
+                    });
+                    let _ = write_message(&mut stream, &reply);
+                } else {
+                    counters.record_error();
+                }
+                break;
+            }
+        };
+        let reply = handler.handle(message);
+        match write_message(&mut stream, &reply) {
+            Ok(sent) => counters.record_sent(sent as u64),
+            Err(_) => {
+                counters.record_error();
+                break;
+            }
+        }
+    }
+    stream.shutdown();
+}

@@ -1,0 +1,150 @@
+//! The coordinator-side client: a remote node as an [`AnnIndex`].
+
+use super::transport::Transport;
+use super::wire::{Message, NodeInfo, WireFault};
+use super::TransportError;
+use crate::fault::{FallibleIndex, FaultError, FaultKind};
+use engine::{AnnIndex, SearchRequest, SearchResponse};
+use metrics::TransportStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A node in another process (or an in-process loopback), serving as an
+/// index.
+///
+/// `RemoteIndex` implements both serving surfaces, which is the whole
+/// point of the distributed layer:
+///
+/// * [`FallibleIndex`] — [`Self::try_search`] reports transport failures
+///   and node-side faults as [`FaultError`]s, so remote nodes slot into a
+///   [`crate::ReplicaGroup`] and inherit mark-down, probed recovery,
+///   retry, and generation-based cache invalidation unchanged;
+/// * [`AnnIndex`] — composes under [`crate::ShardedIndex`] /
+///   `BatchExecutor` / `CachedIndex` like any local index. On this
+///   infallible surface a transport failure panics (there is no error
+///   channel and nothing to serve) — deployments that must survive node
+///   loss put replicas behind a group, exactly as with local indexes.
+///
+/// Failure mapping: connect/I-O errors → [`FaultKind::Dead`] (the node is
+/// unreachable until something changes — and the next probe re-dials),
+/// timeouts → [`FaultKind::Transient`], undecodable or
+/// protocol-violating frames → [`FaultKind::Malformed`]; a node-answered
+/// error frame carries its own fault kind across the wire.
+pub struct RemoteIndex {
+    transport: Arc<dyn Transport>,
+    info: NodeInfo,
+    calls: AtomicU64,
+}
+
+impl RemoteIndex {
+    /// Performs the info handshake and returns the connected client.
+    /// Fails fast if the node is unreachable or speaks something else.
+    pub fn connect(transport: Arc<dyn Transport>) -> Result<Self, TransportError> {
+        let info = match transport.exchange(&Message::InfoRequest)? {
+            Message::InfoResponse(info) => info,
+            Message::Error(fault) => {
+                return Err(TransportError::Io(format!(
+                    "node refused the info handshake: {}",
+                    fault.message
+                )))
+            }
+            other => {
+                return Err(TransportError::Io(format!(
+                    "node answered the info handshake with a {} frame",
+                    other.kind_name()
+                )))
+            }
+        };
+        Ok(Self {
+            transport,
+            info,
+            calls: AtomicU64::new(0),
+        })
+    }
+
+    /// The node's identity card from the connect handshake.
+    pub fn info(&self) -> NodeInfo {
+        self.info
+    }
+
+    /// The transport's frame/byte/failure counters.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// Search calls attempted so far (successful or not).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    fn fault_of(error: &TransportError, call: u64) -> FaultError {
+        let kind = match error {
+            TransportError::Io(_) => FaultKind::Dead,
+            TransportError::Timeout(_) => FaultKind::Transient,
+            TransportError::Wire(_) => FaultKind::Malformed,
+        };
+        FaultError { call, kind }
+    }
+}
+
+impl FallibleIndex for RemoteIndex {
+    fn len(&self) -> usize {
+        self.info.len as usize
+    }
+
+    fn dim(&self) -> usize {
+        self.info.dim as usize
+    }
+
+    fn try_search(&self, request: &SearchRequest) -> Result<SearchResponse, FaultError> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        if request.filter.is_some() {
+            // Closures have no wire form; the codec would reject the
+            // frame anyway, so fail before paying a round trip.
+            return Err(FaultError {
+                call,
+                kind: FaultKind::Malformed,
+            });
+        }
+        match self.transport.exchange(&Message::Search(request.clone())) {
+            Ok(Message::SearchOk(response)) => Ok(response),
+            Ok(Message::Error(fault)) => Err(WireFault::to_fault(&fault, call)),
+            Ok(_) => Err(FaultError {
+                call,
+                kind: FaultKind::Malformed,
+            }),
+            Err(e) => Err(Self::fault_of(&e, call)),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // The node's resident bytes: what the fleet actually spends on
+        // this shard, which is what capacity accounting wants. The
+        // client's own footprint is negligible.
+        self.info.memory_bytes as usize
+    }
+}
+
+impl AnnIndex for RemoteIndex {
+    fn len(&self) -> usize {
+        self.info.len as usize
+    }
+
+    fn dim(&self) -> usize {
+        self.info.dim as usize
+    }
+
+    /// # Panics
+    /// Panics if the node is unreachable or answers garbage — this
+    /// surface has no error channel. Nest remote replicas in a
+    /// [`crate::ReplicaGroup`] (which calls [`FallibleIndex::try_search`])
+    /// to survive node loss instead.
+    fn search(&self, request: &SearchRequest) -> SearchResponse {
+        FallibleIndex::try_search(self, request)
+            .unwrap_or_else(|e| panic!("remote node failed with no replica to fail over to: {e}"))
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.info.memory_bytes as usize
+    }
+}

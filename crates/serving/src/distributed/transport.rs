@@ -1,0 +1,273 @@
+//! Transports: how one [`Message`] exchange reaches a node.
+//!
+//! [`Transport`] is deliberately tiny — one blocking request/response
+//! exchange — because that is all the serving stack needs: retries,
+//! mark-down, and probing already live in [`crate::ReplicaGroup`], and a
+//! transport failure is just another [`crate::FaultError`] to route
+//! around. Two implementations work with no network at all:
+//!
+//! * [`LoopbackTransport`] — the node lives in this process. Every call
+//!   still encodes and decodes both frames, so tests exercise the full
+//!   codec deterministically, and the handler's index can carry a
+//!   [`crate::FaultPlan`];
+//! * [`SocketTransport`] — the node is another process behind a
+//!   [`super::NodeAddr`] (Unix or TCP socket). One persistent connection,
+//!   re-dialed after any failure; optional per-call deadline.
+
+use super::node::NodeHandler;
+use super::wire::{read_message, write_message, Message};
+use super::{NodeAddr, TransportError};
+use metrics::{TransportCounters, TransportStats};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One blocking request/response exchange with a node.
+pub trait Transport: Send + Sync {
+    /// Sends `message` and returns the node's answer. An `Err` means the
+    /// exchange itself failed (connect/read/write/decode); a node that
+    /// *answered* with an error decodes to [`Message::Error`], which is
+    /// an `Ok` here.
+    fn exchange(&self, message: &Message) -> Result<Message, TransportError>;
+
+    /// Snapshot of this endpoint's frame/byte/failure counters.
+    fn stats(&self) -> TransportStats;
+}
+
+/// An in-process node behind the full codec: requests and responses are
+/// encoded and re-decoded on every call, so the loopback proves exactly
+/// what a socket would carry — deterministically, with no I/O.
+pub struct LoopbackTransport {
+    handler: NodeHandler,
+    counters: TransportCounters,
+}
+
+impl LoopbackTransport {
+    /// A loopback to `handler` (wrap the handler's index in a
+    /// [`crate::FaultyIndex`] via [`NodeHandler::with_faults`] to script
+    /// node failures).
+    pub fn new(handler: NodeHandler) -> Self {
+        Self {
+            handler,
+            counters: TransportCounters::new(),
+        }
+    }
+
+    /// The served node handler.
+    pub fn handler(&self) -> &NodeHandler {
+        &self.handler
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn exchange(&self, message: &Message) -> Result<Message, TransportError> {
+        // Outbound trip through the codec.
+        let request_bytes = message.encode()?;
+        self.counters.record_sent(request_bytes.len() as u64);
+        let (request, _) = Message::decode(&request_bytes)?;
+        // The node answers; inbound trip through the codec.
+        let reply = self.handler.handle(request);
+        let reply_bytes = reply.encode()?;
+        let (reply, _) = Message::decode(&reply_bytes)?;
+        self.counters.record_received(reply_bytes.len() as u64);
+        Ok(reply)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.counters.snapshot()
+    }
+}
+
+/// Either socket family under one `Read`/`Write` surface.
+pub(crate) enum WireStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl WireStream {
+    /// Dials `addr`.
+    pub(crate) fn connect(addr: &NodeAddr) -> Result<Self, TransportError> {
+        match addr {
+            NodeAddr::Tcp(a) => TcpStream::connect(a.as_str())
+                .map(WireStream::Tcp)
+                .map_err(|e| TransportError::from_io(&format!("connect {addr}"), &e)),
+            #[cfg(unix)]
+            NodeAddr::Unix(path) => UnixStream::connect(path)
+                .map(WireStream::Unix)
+                .map_err(|e| TransportError::from_io(&format!("connect {addr}"), &e)),
+        }
+    }
+
+    /// Applies one deadline to both directions (`None` blocks forever).
+    pub(crate) fn set_deadline(&self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        let apply = |r: std::io::Result<()>, w: std::io::Result<()>| {
+            r.and(w)
+                .map_err(|e| TransportError::from_io("set deadline", &e))
+        };
+        match self {
+            WireStream::Tcp(s) => apply(s.set_read_timeout(timeout), s.set_write_timeout(timeout)),
+            #[cfg(unix)]
+            WireStream::Unix(s) => apply(s.set_read_timeout(timeout), s.set_write_timeout(timeout)),
+        }
+    }
+
+    /// A second handle to the same connection (for out-of-band shutdown).
+    pub(crate) fn try_clone(&self) -> std::io::Result<Self> {
+        match self {
+            WireStream::Tcp(s) => s.try_clone().map(WireStream::Tcp),
+            #[cfg(unix)]
+            WireStream::Unix(s) => s.try_clone().map(WireStream::Unix),
+        }
+    }
+
+    /// Severs both directions; blocked reads on any clone return.
+    pub(crate) fn shutdown(&self) {
+        let _ = match self {
+            WireStream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            #[cfg(unix)]
+            WireStream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for WireStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            WireStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            WireStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for WireStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            WireStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            WireStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            WireStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            WireStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A node in another process, one persistent connection per transport.
+///
+/// Calls are serialized on the connection (the protocol is strict
+/// request/response); after any failure the connection is dropped and the
+/// next call re-dials, so a restarted node is picked back up by the very
+/// probe that the replica health model sends. A dead node keeps failing
+/// fast with connect errors — exactly the signal mark-down needs.
+pub struct SocketTransport {
+    addr: NodeAddr,
+    timeout: Option<Duration>,
+    conn: Mutex<Option<WireStream>>,
+    counters: Arc<TransportCounters>,
+    ever_connected: std::sync::atomic::AtomicBool,
+}
+
+impl SocketTransport {
+    /// A transport to `addr`; the first exchange dials. No deadline by
+    /// default — see [`Self::with_timeout`].
+    pub fn new(addr: NodeAddr) -> Self {
+        Self {
+            addr,
+            timeout: None,
+            conn: Mutex::new(None),
+            counters: Arc::new(TransportCounters::new()),
+            ever_connected: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Dials eagerly so a wrong address fails at construction, not on the
+    /// first query.
+    pub fn connect(addr: NodeAddr) -> Result<Self, TransportError> {
+        let transport = Self::new(addr);
+        let stream = transport.dial()?;
+        *transport.conn.lock().unwrap() = Some(stream);
+        Ok(transport)
+    }
+
+    /// Applies one deadline to every read and write of every call,
+    /// including on an already-established connection.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        if let Some(stream) = self.conn.get_mut().unwrap().as_ref() {
+            let _ = stream.set_deadline(self.timeout);
+        }
+        self
+    }
+
+    /// The node's address.
+    pub fn addr(&self) -> &NodeAddr {
+        &self.addr
+    }
+
+    fn dial(&self) -> Result<WireStream, TransportError> {
+        let stream = WireStream::connect(&self.addr)?;
+        stream.set_deadline(self.timeout)?;
+        if self
+            .ever_connected
+            .swap(true, std::sync::atomic::Ordering::Relaxed)
+        {
+            self.counters.record_reconnect();
+        }
+        Ok(stream)
+    }
+}
+
+impl Transport for SocketTransport {
+    fn exchange(&self, message: &Message) -> Result<Message, TransportError> {
+        let mut conn = self.conn.lock().unwrap();
+        if conn.is_none() {
+            match self.dial() {
+                Ok(stream) => *conn = Some(stream),
+                Err(e) => {
+                    self.counters.record_error();
+                    if matches!(e, TransportError::Timeout(_)) {
+                        self.counters.record_timeout();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let stream = conn.as_mut().expect("dialed above");
+        let result = write_message(stream, message).and_then(|sent| {
+            self.counters.record_sent(sent as u64);
+            match read_message(stream)? {
+                Some((reply, received)) => {
+                    self.counters.record_received(received as u64);
+                    Ok(reply)
+                }
+                None => Err(TransportError::Io(format!(
+                    "{}: connection closed before the reply",
+                    self.addr
+                ))),
+            }
+        });
+        if let Err(e) = &result {
+            // Poisoned framing state: drop the connection, re-dial next call.
+            *conn = None;
+            self.counters.record_error();
+            if matches!(e, TransportError::Timeout(_)) {
+                self.counters.record_timeout();
+            }
+        }
+        result
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.counters.snapshot()
+    }
+}

@@ -1,0 +1,428 @@
+//! The frame layer of the distributed serving protocol.
+//!
+//! One frame carries one [`Message`]:
+//!
+//! ```text
+//! ┌────────┬─────────┬──────┬─────────────┬─────────┬──────────────┐
+//! │ magic  │ version │ kind │ payload_len │ payload │ FNV-1a 64    │
+//! │ u16 LE │ u16 LE  │ u8   │ u32 LE      │ bytes   │ of payload   │
+//! └────────┴─────────┴──────┴─────────────┴─────────┴──────────────┘
+//! ```
+//!
+//! Everything is explicit little-endian; payloads reuse the
+//! `engine::wire` request/response encoding. A frame is rejected —
+//! never guessed at — when the magic or version disagrees, the kind is
+//! unknown, the checksum mismatches, the payload is truncated, or
+//! trailing bytes follow the payload. Decoding is driven entirely by the
+//! declared `payload_len`, so a reader can frame a byte stream without
+//! understanding the payloads.
+
+use crate::distributed::TransportError;
+use crate::fault::{FaultError, FaultKind};
+use engine::wire::{
+    decode_request, decode_response, encode_request, encode_response, WireReader, WireWriter,
+};
+use engine::{SearchRequest, SearchResponse, WireError};
+use std::io::{Read, Write};
+
+/// First two bytes of every frame (`"HW"` little-endian).
+pub const WIRE_MAGIC: u16 = 0x4857;
+/// Protocol revision; bumped on any layout change.
+pub const WIRE_VERSION: u16 = 1;
+/// Header bytes before the payload (magic + version + kind + length).
+pub const HEADER_LEN: usize = 9;
+/// Checksum bytes after the payload.
+pub const TRAILER_LEN: usize = 8;
+/// Frames larger than this are rejected before allocation — no legitimate
+/// request or response gets close.
+pub const MAX_PAYLOAD: usize = 256 << 20;
+
+/// What went wrong on the node, as reported in an error frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The node could not make sense of the request frame.
+    BadRequest = 1,
+    /// The request is valid but the node cannot serve it (e.g. a frame
+    /// kind this node does not handle).
+    Unsupported = 2,
+    /// The node's index reported a transient fault; a retry may succeed.
+    FaultTransient = 3,
+    /// The node's index is dead; retries fail until it recovers.
+    FaultDead = 4,
+    /// The node failed internally.
+    Internal = 5,
+}
+
+impl ErrorCode {
+    fn from_u16(x: u16) -> Result<Self, WireError> {
+        Ok(match x {
+            1 => ErrorCode::BadRequest,
+            2 => ErrorCode::Unsupported,
+            3 => ErrorCode::FaultTransient,
+            4 => ErrorCode::FaultDead,
+            5 => ErrorCode::Internal,
+            other => return Err(WireError::Malformed(format!("unknown error code {other}"))),
+        })
+    }
+}
+
+/// A structured node-side error carried by [`Message::Error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFault {
+    /// What failed.
+    pub code: ErrorCode,
+    /// Human-readable context (never parsed by the client).
+    pub message: String,
+}
+
+impl WireFault {
+    /// The error frame a node answers with when its index faults.
+    pub fn from_fault(error: FaultError) -> Self {
+        let code = match error.kind {
+            FaultKind::Transient => ErrorCode::FaultTransient,
+            FaultKind::Dead => ErrorCode::FaultDead,
+            FaultKind::Malformed => ErrorCode::Internal,
+        };
+        Self {
+            code,
+            message: error.to_string(),
+        }
+    }
+
+    /// The client-side [`FaultError`] this frame maps back to, stamped
+    /// with the client's own call counter. Protocol-level codes
+    /// (`BadRequest`/`Unsupported`/`Internal`) surface as
+    /// [`FaultKind::Malformed`] — the node answered, but not with results.
+    pub fn to_fault(&self, call: u64) -> FaultError {
+        let kind = match self.code {
+            ErrorCode::FaultTransient => FaultKind::Transient,
+            ErrorCode::FaultDead => FaultKind::Dead,
+            ErrorCode::BadRequest | ErrorCode::Unsupported | ErrorCode::Internal => {
+                FaultKind::Malformed
+            }
+        };
+        FaultError { call, kind }
+    }
+}
+
+/// A node's identity card, answered to [`Message::InfoRequest`] — what
+/// [`super::RemoteIndex`] needs to stand in as an `AnnIndex`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// Vectors the node serves.
+    pub len: u64,
+    /// Vector dimensionality.
+    pub dim: u32,
+    /// Resident bytes of the node's index.
+    pub memory_bytes: u64,
+}
+
+/// Everything that can cross the wire, one frame per message.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// Coordinator → node: serve this request.
+    Search(SearchRequest),
+    /// Node → coordinator: the results.
+    SearchOk(SearchResponse),
+    /// Node → coordinator: the request failed.
+    Error(WireFault),
+    /// Coordinator → node: who are you?
+    InfoRequest,
+    /// Node → coordinator: identity card.
+    InfoResponse(NodeInfo),
+}
+
+impl Message {
+    fn kind(&self) -> u8 {
+        match self {
+            Message::Search(_) => 0,
+            Message::SearchOk(_) => 1,
+            Message::Error(_) => 2,
+            Message::InfoRequest => 3,
+            Message::InfoResponse(_) => 4,
+        }
+    }
+
+    /// The frame kind's diagnostic name.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Message::Search(_) => "Search",
+            Message::SearchOk(_) => "SearchOk",
+            Message::Error(_) => "Error",
+            Message::InfoRequest => "InfoRequest",
+            Message::InfoResponse(_) => "InfoResponse",
+        }
+    }
+
+    /// Encodes one full frame (header + payload + checksum).
+    ///
+    /// Fails only for values with no wire form (a predicate-filtered
+    /// [`SearchRequest`]).
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut payload = WireWriter::new();
+        match self {
+            Message::Search(request) => encode_request(request, &mut payload)?,
+            Message::SearchOk(response) => encode_response(response, &mut payload),
+            Message::Error(fault) => {
+                payload.put_u16(fault.code as u16);
+                payload.put_u32(fault.message.len() as u32);
+                payload.put_bytes(fault.message.as_bytes());
+            }
+            Message::InfoRequest => {}
+            Message::InfoResponse(info) => {
+                payload.put_u64(info.len);
+                payload.put_u32(info.dim);
+                payload.put_u64(info.memory_bytes);
+            }
+        }
+        let payload = payload.into_bytes();
+        let mut frame = WireWriter::new();
+        frame.put_u16(WIRE_MAGIC);
+        frame.put_u16(WIRE_VERSION);
+        frame.put_u8(self.kind());
+        frame.put_u32(payload.len() as u32);
+        frame.put_bytes(&payload);
+        frame.put_u64(fnv1a_64(&payload));
+        Ok(frame.into_bytes())
+    }
+
+    /// Decodes one frame from the front of `bytes`, returning the message
+    /// and the bytes consumed (a stream may hold several frames).
+    pub fn decode(bytes: &[u8]) -> Result<(Message, usize), WireError> {
+        let mut r = WireReader::new(bytes);
+        let magic = r.get_u16()?;
+        if magic != WIRE_MAGIC {
+            return Err(WireError::Malformed(format!(
+                "bad frame magic {magic:#06x} (expected {WIRE_MAGIC:#06x})"
+            )));
+        }
+        let version = r.get_u16()?;
+        if version != WIRE_VERSION {
+            return Err(WireError::Malformed(format!(
+                "unsupported wire version {version} (this build speaks {WIRE_VERSION})"
+            )));
+        }
+        let kind = r.get_u8()?;
+        let payload_len = r.get_u32()? as usize;
+        if payload_len > MAX_PAYLOAD {
+            return Err(WireError::Malformed(format!(
+                "payload of {payload_len} bytes exceeds the {MAX_PAYLOAD}-byte cap"
+            )));
+        }
+        let payload = r.get_bytes(payload_len)?;
+        let checksum = r.get_u64()?;
+        if checksum != fnv1a_64(payload) {
+            return Err(WireError::Malformed(
+                "frame checksum mismatch (corrupt payload)".into(),
+            ));
+        }
+        let consumed = r.consumed();
+        let mut p = WireReader::new(payload);
+        let message = match kind {
+            0 => Message::Search(decode_request(&mut p)?),
+            1 => Message::SearchOk(decode_response(&mut p)?),
+            2 => {
+                let code = ErrorCode::from_u16(p.get_u16()?)?;
+                let len = p.get_u32()? as usize;
+                let message = String::from_utf8(p.get_bytes(len)?.to_vec())
+                    .map_err(|_| WireError::Malformed("error message is not UTF-8".into()))?;
+                Message::Error(WireFault { code, message })
+            }
+            3 => Message::InfoRequest,
+            4 => Message::InfoResponse(NodeInfo {
+                len: p.get_u64()?,
+                dim: p.get_u32()?,
+                memory_bytes: p.get_u64()?,
+            }),
+            other => return Err(WireError::Malformed(format!("unknown frame kind {other}"))),
+        };
+        p.finish()?;
+        Ok((message, consumed))
+    }
+}
+
+/// Writes one message as a frame, returning the bytes put on the wire.
+pub fn write_message(w: &mut impl Write, message: &Message) -> Result<usize, TransportError> {
+    let frame = message.encode()?;
+    w.write_all(&frame)
+        .map_err(|e| TransportError::from_io("write frame", &e))?;
+    w.flush()
+        .map_err(|e| TransportError::from_io("flush frame", &e))?;
+    Ok(frame.len())
+}
+
+/// Reads one message off a byte stream, returning it with the bytes
+/// consumed. `Ok(None)` means the peer closed the connection cleanly
+/// *between* frames; mid-frame EOF is an error.
+pub fn read_message(r: &mut impl Read) -> Result<Option<(Message, usize)>, TransportError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        let n = r
+            .read(&mut header[filled..])
+            .map_err(|e| TransportError::from_io("read frame header", &e))?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None); // clean EOF between frames
+            }
+            return Err(TransportError::Io(format!(
+                "connection closed mid-header ({filled}/{HEADER_LEN} bytes)"
+            )));
+        }
+        filled += n;
+    }
+    // The declared payload length drives the rest of the read.
+    let payload_len = u32::from_le_bytes(header[5..9].try_into().unwrap()) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(TransportError::Wire(WireError::Malformed(format!(
+            "payload of {payload_len} bytes exceeds the {MAX_PAYLOAD}-byte cap"
+        ))));
+    }
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload_len + TRAILER_LEN);
+    frame.extend_from_slice(&header);
+    frame.resize(HEADER_LEN + payload_len + TRAILER_LEN, 0);
+    r.read_exact(&mut frame[HEADER_LEN..])
+        .map_err(|e| TransportError::from_io("read frame body", &e))?;
+    let (message, consumed) = Message::decode(&frame)?;
+    debug_assert_eq!(consumed, frame.len());
+    Ok(Some((message, consumed)))
+}
+
+/// One-shot FNV-1a over a byte slice (stable across runs and platforms;
+/// the multiplier is the FNV-64 prime 2⁴⁰ + 2⁸ + 0xb3 — this constant is
+/// wire format, other implementations must match it).
+pub(crate) fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::Hit;
+
+    fn roundtrip(message: &Message) -> Message {
+        let bytes = message.encode().unwrap();
+        let (decoded, consumed) = Message::decode(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len(), "whole frame consumed");
+        // Re-encoding must reproduce the identical bytes: the codec has
+        // one canonical form.
+        assert_eq!(decoded.encode().unwrap(), bytes);
+        decoded
+    }
+
+    #[test]
+    fn every_message_kind_roundtrips() {
+        let request = SearchRequest::new(vec![1.0, -2.5, 0.0], 4).ef(96).rerank(2);
+        let response =
+            SearchResponse::from_hits(vec![Hit { id: 1, dist: 0.25 }, Hit { id: 9, dist: 0.5 }]);
+        for message in [
+            Message::Search(request),
+            Message::SearchOk(response),
+            Message::Error(WireFault {
+                code: ErrorCode::FaultDead,
+                message: "replica dead at call 3".into(),
+            }),
+            Message::InfoRequest,
+            Message::InfoResponse(NodeInfo {
+                len: 1000,
+                dim: 128,
+                memory_bytes: 1 << 20,
+            }),
+        ] {
+            let decoded = roundtrip(&message);
+            assert_eq!(decoded.kind_name(), message.kind_name());
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected_at_every_cut() {
+        let bytes = Message::InfoResponse(NodeInfo {
+            len: 7,
+            dim: 3,
+            memory_bytes: 99,
+        })
+        .encode()
+        .unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                Message::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut}/{} bytes must be rejected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_fails_the_checksum() {
+        let mut bytes = Message::Search(SearchRequest::new(vec![1.0, 2.0], 3))
+            .encode()
+            .unwrap();
+        let payload_at = HEADER_LEN + 2;
+        bytes[payload_at] ^= 0x01;
+        let err = Message::decode(&bytes).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(ref what) if what.contains("checksum")));
+    }
+
+    #[test]
+    fn wrong_magic_version_and_kind_are_rejected() {
+        let good = Message::InfoRequest.encode().unwrap();
+        let mut bad_magic = good.clone();
+        bad_magic[0] = 0;
+        assert!(Message::decode(&bad_magic).is_err());
+        let mut bad_version = good.clone();
+        bad_version[2] = 0xFF;
+        assert!(Message::decode(&bad_version).is_err());
+        let mut bad_kind = good.clone();
+        bad_kind[4] = 200;
+        assert!(Message::decode(&bad_kind).is_err());
+    }
+
+    #[test]
+    fn stream_read_write_roundtrips_and_detects_eof() {
+        let mut buf = Vec::new();
+        let a = Message::InfoRequest;
+        let b = Message::Error(WireFault {
+            code: ErrorCode::BadRequest,
+            message: "nope".into(),
+        });
+        let wrote_a = write_message(&mut buf, &a).unwrap();
+        let wrote_b = write_message(&mut buf, &b).unwrap();
+        let mut cursor = std::io::Cursor::new(&buf);
+        let (got_a, read_a) = read_message(&mut cursor).unwrap().unwrap();
+        let (got_b, read_b) = read_message(&mut cursor).unwrap().unwrap();
+        assert_eq!((read_a, read_b), (wrote_a, wrote_b));
+        assert_eq!(got_a.kind_name(), "InfoRequest");
+        assert!(matches!(got_b, Message::Error(ref f) if f.code == ErrorCode::BadRequest));
+        assert!(read_message(&mut cursor).unwrap().is_none(), "clean EOF");
+        // Mid-frame EOF is an error, not a silent None.
+        let mut truncated = std::io::Cursor::new(&buf[..wrote_a + 3]);
+        let _ = read_message(&mut truncated).unwrap();
+        assert!(read_message(&mut truncated).is_err());
+    }
+
+    #[test]
+    fn fault_codes_map_back_to_kinds() {
+        let transient = WireFault::from_fault(FaultError {
+            call: 2,
+            kind: FaultKind::Transient,
+        });
+        assert_eq!(transient.code, ErrorCode::FaultTransient);
+        assert_eq!(transient.to_fault(9).kind, FaultKind::Transient);
+        assert_eq!(transient.to_fault(9).call, 9);
+        let dead = WireFault::from_fault(FaultError {
+            call: 0,
+            kind: FaultKind::Dead,
+        });
+        assert_eq!(dead.to_fault(1).kind, FaultKind::Dead);
+        let internal = WireFault {
+            code: ErrorCode::Internal,
+            message: String::new(),
+        };
+        assert_eq!(internal.to_fault(0).kind, FaultKind::Malformed);
+    }
+}

@@ -37,7 +37,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Why an injected search failed.
+/// Why an injected (or detected) search failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
     /// A scripted one-shot error; the next call may succeed.
@@ -45,6 +45,11 @@ pub enum FaultKind {
     /// The replica is dead — every call fails until (and unless) the
     /// plan's scripted recovery point.
     Dead,
+    /// The replica answered, but the answer violates the protocol: hits
+    /// outside the dense local id space, an undecodable wire frame, or a
+    /// request with no wire form. A misbehaving node is routed around
+    /// like a failed one instead of aborting the coordinator.
+    Malformed,
 }
 
 /// The error a [`FallibleIndex`] search reports.
@@ -52,7 +57,7 @@ pub enum FaultKind {
 pub struct FaultError {
     /// 0-based call index on the failing index that tripped.
     pub call: u64,
-    /// Transient error or dead replica.
+    /// Transient error, dead replica, or malformed response.
     pub kind: FaultKind,
 }
 
@@ -61,6 +66,7 @@ impl fmt::Display for FaultError {
         match self.kind {
             FaultKind::Transient => write!(f, "injected transient error on call {}", self.call),
             FaultKind::Dead => write!(f, "replica dead at call {}", self.call),
+            FaultKind::Malformed => write!(f, "malformed response on call {}", self.call),
         }
     }
 }

@@ -29,7 +29,14 @@
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`] /
 //!   [`FaultyIndex`]): error-on-Nth-call, latency spikes, permanent
 //!   death, scripted recovery — how the tests and demos drive every
-//!   failover path.
+//!   failover path;
+//! * [`distributed`] — shards and replicas in **other processes**: a
+//!   versioned length-prefixed wire protocol, an in-memory loopback and a
+//!   Unix/TCP socket [`distributed::Transport`], a [`NodeServer`] hosting
+//!   any `AnnIndex` behind a listener thread pool, and a [`RemoteIndex`]
+//!   client implementing both `AnnIndex` *and* [`FallibleIndex`] — so
+//!   remote nodes compose under the sharded/replicated/cached stack
+//!   unchanged, mark-down and probed recovery included.
 //!
 //! ```
 //! use engine::{AnnIndex, Coding, GraphKind, IndexBuilder, SearchRequest};
@@ -55,6 +62,7 @@
 
 mod batch;
 mod cache;
+pub mod distributed;
 pub mod fault;
 mod pool;
 mod replica;
@@ -62,6 +70,10 @@ mod shard;
 
 pub use batch::{BatchExecutor, BatchReport, DEFAULT_BATCH_SIZE};
 pub use cache::{CachedIndex, QueryCache, QueryCacheStats};
+pub use distributed::{
+    LoopbackTransport, NodeAddr, NodeHandler, NodeServer, RemoteIndex, SocketTransport,
+    TransportError,
+};
 pub use fault::{FallibleIndex, FaultAction, FaultError, FaultKind, FaultPlan, FaultyIndex};
 pub use pool::WorkerPool;
 pub use replica::{

@@ -28,14 +28,14 @@
 //! deterministic `FaultPlan` scripts (production replicas simply never
 //! fail).
 
-use crate::fault::{FallibleIndex, FaultError, FaultPlan, FaultyIndex};
+use crate::fault::{FallibleIndex, FaultError, FaultKind, FaultPlan, FaultyIndex};
 use crate::pool::WorkerPool;
 use crate::shard::{ShardPolicy, ShardedIndex};
 use engine::{AnnIndex, IndexBuilder, SearchRequest, SearchResponse};
 use metrics::{failover_summary, ReplicaCounters, ReplicaStats};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use vecstore::VectorSet;
 
 /// How a [`Router`] picks the replica that serves a request.
@@ -337,6 +337,15 @@ impl ReplicaGroup {
 
     /// Routes one request: try replicas in [`Router::plan`] order, record
     /// health transitions, and return the first success.
+    ///
+    /// A replica's response is only accepted if every hit lies inside the
+    /// dense local id space `0..len` — the contract every graph-backed
+    /// index and `FlatIndex` honor, and the one the sharded gather step
+    /// relies on. A replica that answers with out-of-range ids (a buggy
+    /// or byzantine remote node) is treated exactly like a failed one:
+    /// the error counts toward mark-down and the request retries a
+    /// sibling, instead of the malformed response aborting the
+    /// coordinator at gather time.
     fn search_failover(&self, request: &SearchRequest) -> SearchResponse {
         let now = self.clock.fetch_add(1, Ordering::SeqCst);
         let candidates: Vec<RouteCandidate> = self
@@ -372,7 +381,19 @@ impl ReplicaGroup {
                 replica.counters.record_probe();
             }
             let t0 = Instant::now();
-            match replica.index.try_search(request) {
+            let result = replica.index.try_search(request).and_then(|response| {
+                // Reject protocol-violating answers before they can reach
+                // the gather step (see the method docs).
+                if response.hits.iter().any(|h| h.id >= self.len as u64) {
+                    Err(FaultError {
+                        call: now,
+                        kind: FaultKind::Malformed,
+                    })
+                } else {
+                    Ok(response)
+                }
+            });
+            match result {
                 Ok(response) => {
                     let elapsed = t0.elapsed().as_nanos() as u64;
                     replica.counters.record_latency_ns(elapsed);
@@ -644,6 +665,10 @@ impl AnnIndex for ReplicatedIndex {
         self.sharded.search_batch(requests)
     }
 
+    fn search_batch_timed(&self, requests: &[SearchRequest]) -> Vec<(SearchResponse, Duration)> {
+        self.sharded.search_batch_timed(requests)
+    }
+
     fn memory_bytes(&self) -> usize {
         self.sharded.memory_bytes()
     }
@@ -863,6 +888,71 @@ mod tests {
         assert_eq!(stats.retries, 1);
         assert_eq!(stats.markdowns, 0);
         assert_eq!(group.generation(), 0);
+    }
+
+    /// A byzantine replica: answers every request, but with hit ids
+    /// shifted outside the dense local id space — the shape of a
+    /// misbehaving remote node in the distributed setting.
+    struct EvilReplica {
+        inner: FlatIndex,
+        offset: u64,
+    }
+
+    impl FallibleIndex for EvilReplica {
+        fn len(&self) -> usize {
+            AnnIndex::len(&self.inner)
+        }
+        fn dim(&self) -> usize {
+            AnnIndex::dim(&self.inner)
+        }
+        fn try_search(&self, request: &SearchRequest) -> Result<SearchResponse, FaultError> {
+            let mut response = self.inner.search(request);
+            for h in &mut response.hits {
+                h.id += self.offset;
+            }
+            Ok(response)
+        }
+        fn memory_bytes(&self) -> usize {
+            AnnIndex::memory_bytes(&self.inner)
+        }
+    }
+
+    #[test]
+    fn malformed_replica_response_fails_over_instead_of_aborting() {
+        let base = corpus(50, 4);
+        let members: Vec<Box<dyn FallibleIndex>> = vec![
+            Box::new(EvilReplica {
+                inner: FlatIndex::new(base.clone()),
+                offset: 1_000,
+            }),
+            {
+                let healthy: Arc<dyn AnnIndex> = Arc::new(FlatIndex::new(base.clone()));
+                Box::new(healthy)
+            },
+        ];
+        let group =
+            ReplicaGroup::from_replicas(members, RoutingPolicy::Primary, HealthConfig::default());
+        let req = SearchRequest::new(base.get(4).to_vec(), 5);
+        let want = FlatIndex::new(base.clone()).search(&req);
+        // Under a sharded coordinator the out-of-range ids would have
+        // panicked at gather time; the group must instead reject the
+        // malformed answer, retry the sibling, and mark the liar down.
+        let got = group.search(&req);
+        assert_eq!(got.hits, want.hits);
+        assert!(got.hits.iter().all(|h| (h.id as usize) < group.len()));
+        let stats = group.failover_stats();
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.markdowns, 1);
+        assert!(group.is_marked_down(0), "byzantine replica is marked down");
+
+        // And the full stack serves correct global results through it.
+        let sharded = ShardedIndex::from_parts(
+            vec![(Box::new(group) as Box<dyn AnnIndex>, (0..50).collect())],
+            ShardPolicy::RoundRobin,
+            Arc::new(WorkerPool::new(2)),
+        );
+        assert_eq!(sharded.search(&req).hits, want.hits);
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! combination and can be nested under `serving`'s result cache or batch
 //! executor like any other index.
 
+use crate::fault::{FaultError, FaultKind};
 use crate::pool::WorkerPool;
 use engine::{AnnIndex, Hit, IndexBuilder, SearchRequest, SearchResponse, SearchStats};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use vecstore::VectorSet;
 
 /// How vectors are assigned to shards at build time.
@@ -231,27 +233,91 @@ impl ShardedIndex {
     /// Gather half of scatter-gather: remap local→global ids, merge every
     /// shard's hits, impose the global `(dist, id)` order, truncate to `k`,
     /// and sum the work counters.
-    fn gather(&self, per_shard: Vec<SearchResponse>, k: usize) -> SearchResponse {
+    ///
+    /// A hit outside a shard's dense local id space is a contract
+    /// violation (a buggy sub-index, or — in the distributed setting — a
+    /// misbehaving remote node); it is reported as a [`GatherError`], not
+    /// a panic, so callers with a fallback (replica groups, the fallible
+    /// [`Self::try_search`]) can route around the bad shard.
+    fn gather(
+        &self,
+        per_shard: Vec<SearchResponse>,
+        k: usize,
+    ) -> Result<SearchResponse, GatherError> {
         let mut hits: Vec<Hit> = Vec::with_capacity(per_shard.iter().map(|r| r.hits.len()).sum());
         let mut stats = SearchStats::default();
-        for (shard, response) in self.shards.iter().zip(per_shard) {
+        for (s, (shard, response)) in self.shards.iter().zip(per_shard).enumerate() {
             stats.evaluated += response.stats.evaluated;
             stats.abandoned += response.stats.abandoned;
-            hits.extend(response.hits.into_iter().map(|h| Hit {
-                id: *shard.global_ids.get(h.id as usize).unwrap_or_else(|| {
-                    panic!(
-                        "shard returned local id {} outside its dense id space 0..{}; \
-                         ShardedIndex shards must serve positional ids (see from_parts)",
-                        h.id,
-                        shard.global_ids.len()
-                    )
-                }),
-                dist: h.dist,
-            }));
+            for h in response.hits {
+                let Some(&global) = shard.global_ids.get(h.id as usize) else {
+                    return Err(GatherError {
+                        shard: s,
+                        local_id: h.id,
+                        len: shard.global_ids.len(),
+                    });
+                };
+                hits.push(Hit {
+                    id: global,
+                    dist: h.dist,
+                });
+            }
         }
         hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         hits.truncate(k);
-        SearchResponse { hits, stats }
+        Ok(SearchResponse { hits, stats })
+    }
+
+    /// Scatter-gather that reports a shard's contract violation (hits
+    /// outside the dense local id space) as a [`FaultError`] instead of
+    /// panicking — the coordinator-side surface for deployments whose
+    /// shards may misbehave (remote nodes). Transport-level failures of a
+    /// remote shard are routed *below* this layer by nesting the remotes
+    /// in a [`crate::ReplicaGroup`] per shard.
+    pub fn try_search(&self, req: &SearchRequest) -> Result<SearchResponse, FaultError> {
+        let per_shard = self.scatter(req);
+        self.gather(per_shard, req.k).map_err(GatherError::fault)
+    }
+
+    /// Scatter half of scatter-gather: run the request on every shard
+    /// concurrently.
+    fn scatter(&self, req: &SearchRequest) -> Vec<SearchResponse> {
+        let jobs: Vec<_> = (0..self.shards.len())
+            .map(|s| {
+                let index = Arc::clone(&self.shards[s].index);
+                let shard_req = self.shard_request(s, req);
+                move || index.search(&shard_req)
+            })
+            .collect();
+        self.pool.run(jobs)
+    }
+}
+
+/// A shard's hit fell outside its dense local id space at gather time.
+#[derive(Debug, Clone, Copy)]
+struct GatherError {
+    shard: usize,
+    local_id: u64,
+    len: usize,
+}
+
+impl GatherError {
+    /// The per-shard [`FaultError`] this violation surfaces as.
+    fn fault(self) -> FaultError {
+        FaultError {
+            call: self.local_id,
+            kind: FaultKind::Malformed,
+        }
+    }
+
+    /// Panic with the contract-violation context (the infallible
+    /// [`AnnIndex`] surface has no error channel).
+    fn abort(self) -> ! {
+        panic!(
+            "shard {} returned local id {} outside its dense id space 0..{}; \
+             ShardedIndex shards must serve positional ids (see from_parts)",
+            self.shard, self.local_id, self.len
+        )
     }
 }
 
@@ -265,15 +331,14 @@ impl AnnIndex for ShardedIndex {
     }
 
     /// Scatter the request to every shard on the pool, then gather.
+    ///
+    /// # Panics
+    /// Panics if a shard returns a hit outside its dense local id space
+    /// (use [`ShardedIndex::try_search`] to get the violation as a
+    /// [`FaultError`] instead).
     fn search(&self, req: &SearchRequest) -> SearchResponse {
-        let jobs: Vec<_> = (0..self.shards.len())
-            .map(|s| {
-                let index = Arc::clone(&self.shards[s].index);
-                let shard_req = self.shard_request(s, req);
-                move || index.search(&shard_req)
-            })
-            .collect();
-        self.gather(self.pool.run(jobs), req.k)
+        let per_shard = self.scatter(req);
+        self.gather(per_shard, req.k).unwrap_or_else(|e| e.abort())
     }
 
     /// Batch execution scatters the full `(request × shard)` grid at once —
@@ -296,7 +361,46 @@ impl AnnIndex for ShardedIndex {
             .iter()
             .map(|req| {
                 let per_shard: Vec<SearchResponse> = (&mut flat).take(n_shards).collect();
-                self.gather(per_shard, req.k)
+                self.gather(per_shard, req.k).unwrap_or_else(|e| e.abort())
+            })
+            .collect()
+    }
+
+    /// The timed batch keeps the flat `(request × shard)` grid; each
+    /// query's latency is its own critical path — the slowest of its
+    /// per-shard searches (they run concurrently) plus its gather — not a
+    /// share of the batch wall-clock.
+    fn search_batch_timed(&self, requests: &[SearchRequest]) -> Vec<(SearchResponse, Duration)> {
+        let n_shards = self.shards.len();
+        let jobs: Vec<_> = requests
+            .iter()
+            .flat_map(|req| {
+                (0..n_shards).map(move |s| {
+                    let index = Arc::clone(&self.shards[s].index);
+                    let shard_req = self.shard_request(s, req);
+                    move || {
+                        let t0 = Instant::now();
+                        let response = index.search(&shard_req);
+                        (response, t0.elapsed())
+                    }
+                })
+            })
+            .collect();
+        let mut flat = self.pool.run(jobs).into_iter();
+        requests
+            .iter()
+            .map(|req| {
+                let mut critical_path = Duration::ZERO;
+                let per_shard: Vec<SearchResponse> = (&mut flat)
+                    .take(n_shards)
+                    .map(|(response, took)| {
+                        critical_path = critical_path.max(took);
+                        response
+                    })
+                    .collect();
+                let t_gather = Instant::now();
+                let merged = self.gather(per_shard, req.k).unwrap_or_else(|e| e.abort());
+                (merged, critical_path + t_gather.elapsed())
             })
             .collect()
     }
@@ -392,6 +496,73 @@ mod tests {
         let (a, b) = (global.search(&req), sharded.search(&req));
         assert_eq!(a.hits, b.hits);
         assert!(b.hits.iter().all(|h| h.id % 3 == 0));
+    }
+
+    /// A broken sub-index whose hits sit outside the dense local space —
+    /// the shape of a misbehaving remote node's response.
+    struct EvilIndex {
+        inner: FlatIndex,
+        offset: u64,
+    }
+
+    impl AnnIndex for EvilIndex {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn dim(&self) -> usize {
+            self.inner.dim()
+        }
+        fn search(&self, req: &SearchRequest) -> SearchResponse {
+            let mut response = self.inner.search(req);
+            for h in &mut response.hits {
+                h.id += self.offset;
+            }
+            response
+        }
+        fn memory_bytes(&self) -> usize {
+            self.inner.memory_bytes()
+        }
+    }
+
+    #[test]
+    fn out_of_range_local_id_surfaces_as_fault_not_panic() {
+        let base = corpus(40, 4);
+        let parts: Vec<(Box<dyn AnnIndex>, Vec<u64>)> =
+            ShardedIndex::partition(&base, 2, ShardPolicy::RoundRobin)
+                .into_iter()
+                .enumerate()
+                .map(|(s, (set, ids))| {
+                    let index: Box<dyn AnnIndex> = if s == 0 {
+                        Box::new(EvilIndex {
+                            inner: FlatIndex::new(set),
+                            offset: 1_000,
+                        })
+                    } else {
+                        Box::new(FlatIndex::new(set))
+                    };
+                    (index, ids)
+                })
+                .collect();
+        let sharded =
+            ShardedIndex::from_parts(parts, ShardPolicy::RoundRobin, Arc::new(WorkerPool::new(2)));
+        let req = SearchRequest::new(base.get(0).to_vec(), 5);
+        let err = sharded.try_search(&req).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Malformed);
+        // The infallible surface still aborts (there is nothing to serve).
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sharded.search(&req)));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn try_search_matches_search_on_healthy_shards() {
+        let base = corpus(60, 4);
+        let sharded = flat_sharded(&base, 3, ShardPolicy::RoundRobin);
+        let req = SearchRequest::new(base.get(9).to_vec(), 7);
+        assert_eq!(
+            sharded.try_search(&req).unwrap().hits,
+            sharded.search(&req).hits
+        );
     }
 
     #[test]

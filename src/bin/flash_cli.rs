@@ -21,6 +21,10 @@
 //! seed, so codes never need separate storage.
 
 use hnsw_flash::prelude::*;
+use hnsw_flash::serving::distributed::{
+    NodeAddr, NodeHandler, NodeServer, RemoteIndex, SocketTransport, Transport,
+};
+use metrics::transport_summary;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -45,6 +49,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&opts),
         "build" => cmd_build(&opts),
         "search" => cmd_search(&opts),
+        "serve-node" => cmd_serve_node(&opts),
         "info" => cmd_info(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -75,8 +80,12 @@ USAGE:
   flash_cli search   --base <in.fvecs> --graph <in.hfg> --queries <in.fvecs>
                      [--method ...same as build...] [--k <K>] [--ef <EF>]
                      [--shards <N>] [--replicas <R>] [--routing <policy>]
+                     [--nodes <addr,addr,...>] [--timeout-ms <N>]
                      [--threads <N>] [--cache-capacity <N>]
                      [--batch <N>] [--gt <in.ivecs>] [--out <out.ivecs>]
+  flash_cli serve-node --base <in.fvecs> --listen <addr>
+                     [--method ...same as build...] [--c <C>] [--r <R>]
+                     [--shards <N> --shard <I>] [--threads <N>] [--seed <u64>]
   flash_cli info     --graph <in.hfg>
 
 METHODS:  legacy HNSW shorthands: flash hnsw full pq sq pca opq
@@ -93,6 +102,16 @@ SERVING:  --shards N > 1 partitions the base set round-robin and rebuilds
           the worker pool size (default: shards, or shards*replicas
           capped at 8 when replicated); --cache-capacity N > 0 serves
           repeated queries from an LRU result cache
+
+DISTRIBUTED:
+          `serve-node` hosts one (shard of an) index behind a socket:
+          --listen tcp:HOST:PORT or unix:/path.sock, with --shards N
+          --shard I serving partition I of the round-robin split (every
+          node must use the same --base, --method, and --seed). `search
+          --nodes addr,addr,...` then scatter-gathers across those
+          processes, one node per shard in partition order (--shards /
+          --replicas / --graph do not combine with --nodes; remote
+          replica placement is not wired up yet)
 
 PROFILES: argilla-like anton-like laion-like imagenet-like cohere-like
           datacomp-like bigcode-like ssnpp-like";
@@ -290,10 +309,88 @@ fn cmd_build(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds (a shard of) an index and serves it behind a socket listener
+/// until the process is killed — the node half of distributed serving.
+fn cmd_serve_node(opts: &Opts) -> Result<(), String> {
+    // Validate method and address before touching the dataset.
+    let spec = BuildSpec::from_opts(opts)?;
+    let listen: NodeAddr = opts.required("listen")?.parse()?;
+    let shards: usize = opts.num("shards", 1)?;
+    let shard: usize = opts.num("shard", 0)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    if shard >= shards {
+        return Err(format!("--shard {shard} out of range (--shards {shards})"));
+    }
+    let threads: usize = opts.num("threads", 4)?;
+    let base = read_fvecs(&opts.path("base")?).map_err(io_err("read base"))?;
+    if base.is_empty() {
+        return Err("base dataset is empty".into());
+    }
+    if shards > base.len() {
+        return Err(format!(
+            "--shards {shards} exceeds the {} base vectors",
+            base.len()
+        ));
+    }
+    let (dim, n) = (base.dim(), base.len());
+    let builder = spec.builder(dim, n);
+    let (index, served): (Arc<dyn AnnIndex>, String) = if shards > 1 {
+        // The codec trains on the FULL corpus — identical on every node
+        // and on any in-process build from the same base/method/seed —
+        // then this node only builds its slice.
+        let codec = builder.train_codec(&base);
+        let (set, ids) = ShardedIndex::partition(&base, shards, ShardPolicy::RoundRobin)
+            .into_iter()
+            .nth(shard)
+            .expect("shard < shards <= n: the partition is non-empty");
+        drop(base);
+        let label = format!("shard {shard}/{shards}, {} vectors", ids.len());
+        (Arc::from(builder.build_with_codec(set, &codec)), label)
+    } else {
+        (Arc::from(builder.build(base)), format!("{n} vectors"))
+    };
+    eprintln!(
+        "built method={} ({served}); binding {listen}...",
+        spec.method_name()
+    );
+    let server = NodeServer::bind(&listen, NodeHandler::new(index), threads)
+        .map_err(|e| format!("cannot serve node: {e}"))?;
+    eprintln!(
+        "node listening on {} — method={} ({served}), {threads} connection workers; Ctrl-C to stop",
+        server.addr(),
+        spec.method_name()
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
 fn cmd_search(opts: &Opts) -> Result<(), String> {
     // Validate method/options before touching the (possibly huge) datasets.
     let spec = BuildSpec::from_opts(opts)?;
-    let shards: usize = opts.num("shards", 1)?;
+    let nodes: Option<Vec<NodeAddr>> = opts
+        .str("nodes")
+        .map(|csv| csv.split(',').map(str::parse).collect::<Result<_, _>>())
+        .transpose()?;
+    if let Some(addrs) = &nodes {
+        if addrs.is_empty() {
+            return Err("--nodes needs at least one address".into());
+        }
+        for flag in ["shards", "replicas", "graph"] {
+            if opts.str(flag).is_some() {
+                return Err(format!(
+                    "--{flag} does not combine with --nodes (each node serves one shard; \
+                     remote replica placement is not wired up yet)"
+                ));
+            }
+        }
+    }
+    let shards: usize = match &nodes {
+        Some(addrs) => addrs.len(),
+        None => opts.num("shards", 1)?,
+    };
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
@@ -332,9 +429,10 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
     let ef: usize = opts.num("ef", 128)?;
     let (dim, n) = (base.dim(), base.len());
     let rerank = spec.coding.default_rerank();
-    // The worker pool only exists on the sharded/replicated paths; the
-    // monolithic serve path runs single-threaded regardless of --threads.
-    let threads_used = if shards > 1 || replicas > 1 {
+    // The worker pool only exists on the sharded/replicated/distributed
+    // paths; the monolithic serve path runs single-threaded regardless of
+    // --threads.
+    let threads_used = if shards > 1 || replicas > 1 || nodes.is_some() {
         threads
     } else {
         1
@@ -343,7 +441,53 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
     // Kept alongside the type-erased serving handle so failover stats
     // stay readable after the workload drains.
     let mut replicated: Option<Arc<ReplicatedIndex>> = None;
-    let index: Arc<dyn AnnIndex> = if replicas > 1 {
+    // Likewise for the per-node transport counters on the --nodes path.
+    let mut transports: Vec<Arc<SocketTransport>> = Vec::new();
+    let index: Arc<dyn AnnIndex> = if let Some(addrs) = &nodes {
+        // Distributed serving: each address hosts one shard of the same
+        // round-robin partition (`serve-node --shards N --shard I`); the
+        // coordinator only needs the id maps, which it recomputes from
+        // the shared base file.
+        eprintln!(
+            "distributed serving: scatter-gather across {} nodes...",
+            addrs.len()
+        );
+        let timeout_ms: u64 = opts.num("timeout-ms", 5_000)?;
+        // Only the local→global id maps are needed — under the
+        // round-robin placement shard `s` holds exactly the ids
+        // `s, s + shards, ...`, so no vector data is copied.
+        let id_maps =
+            (0..addrs.len()).map(|s| ((s as u64)..n as u64).step_by(addrs.len()).collect());
+        let remote_parts: Vec<(Box<dyn AnnIndex>, Vec<u64>)> = addrs
+            .iter()
+            .zip(id_maps)
+            .map(|(addr, ids): (_, Vec<u64>)| {
+                let transport = SocketTransport::connect(addr.clone())
+                    .map_err(|e| e.to_string())?
+                    .with_timeout(std::time::Duration::from_millis(timeout_ms.max(1)));
+                let transport = Arc::new(transport);
+                let remote = RemoteIndex::connect(Arc::clone(&transport) as Arc<dyn Transport>)
+                    .map_err(|e| format!("{addr}: {e}"))?;
+                if FallibleIndex::len(&remote) != ids.len() || FallibleIndex::dim(&remote) != dim {
+                    return Err(format!(
+                        "{addr} serves {} vectors x {} dims, but shard {} of this base \
+                         has {} x {dim} — check the node's --base/--shards/--shard",
+                        FallibleIndex::len(&remote),
+                        FallibleIndex::dim(&remote),
+                        transports.len(),
+                        ids.len()
+                    ));
+                }
+                transports.push(transport);
+                Ok((Box::new(remote) as Box<dyn AnnIndex>, ids))
+            })
+            .collect::<Result<_, String>>()?;
+        Arc::new(ShardedIndex::from_parts(
+            remote_parts,
+            ShardPolicy::RoundRobin,
+            Arc::new(WorkerPool::new(threads)),
+        ))
+    } else if replicas > 1 {
         // Replicas are deterministic rebuilds too (and every shard×replica
         // shares one globally-trained codec), so --graph is not read.
         eprintln!(
@@ -433,8 +577,20 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
         }
         None => String::new(),
     };
+    let transport_line = if transports.is_empty() {
+        String::new()
+    } else {
+        let t = transport_summary(&transports.iter().map(|t| t.stats()).collect::<Vec<_>>());
+        format!(
+            " nodes={} frames={} bytes={} timeouts={}",
+            transports.len(),
+            t.frames_sent + t.frames_received,
+            t.bytes_sent + t.bytes_received,
+            t.timeouts,
+        )
+    };
     println!(
-        "serving: shards={shards} threads={threads_used} qps={:.0} p50={:.3}ms p99={:.3}ms cache={cache_line}{failover_line}",
+        "serving: shards={shards} threads={threads_used} qps={:.0} p50={:.3}ms p99={:.3}ms cache={cache_line}{failover_line}{transport_line}",
         report.qps.qps(),
         latency.p50_ms,
         latency.p99_ms,

@@ -11,7 +11,7 @@
 //! | Module | Contents |
 //! |---|---|
 //! | [`engine`] | **the serving API**: `AnnIndex`, `SearchRequest`/`SearchResponse`, `IndexBuilder`, `GraphKind` × `Coding` |
-//! | [`serving`] | **the query runtime**: `ShardedIndex` scatter-gather, `ReplicaGroup` failover routing, `BatchExecutor`, `QueryCache`, `FaultPlan` injection |
+//! | [`serving`] | **the query runtime**: `ShardedIndex` scatter-gather, `ReplicaGroup` failover routing, `BatchExecutor`, `QueryCache`, `FaultPlan` injection, cross-process nodes (`serving::distributed`) |
 //! | [`flash`] | the paper's contribution: `FlashCodec`, `FlashProvider`, `FlashHnsw` |
 //! | [`graphs`] | generic HNSW, NSG, τ-MG, Vamana, HCNNG; filtered search; ADSampling & VBase search variants |
 //! | [`quantizers`] | PQ / SQ / PCA baselines, OPQ, + the Theorem-1 reliability estimator |
@@ -122,6 +122,87 @@
 //! [`serving::FaultyIndex`]; `tests/replication.rs` proves bit-identical
 //! failover for every routing policy with each replica killed in turn.
 //!
+//! ## Distributed serving
+//!
+//! Shards and replicas can live in **other processes**
+//! ([`serving::distributed`]): a node hosts any `AnnIndex` behind a
+//! socket ([`serving::NodeServer`], or `flash_cli serve-node`), and the
+//! coordinator's [`serving::RemoteIndex`] client implements both
+//! `AnnIndex` *and* [`serving::FallibleIndex`] — so remote nodes compose
+//! under the existing `ShardedIndex` / `ReplicaGroup` / `CachedIndex`
+//! stack unchanged, and a node crash is handled by the same mark-down +
+//! probed-recovery path as a local fault (the probe re-dials, so a
+//! restarted node rejoins by itself). The wire protocol is versioned,
+//! length-prefixed, checksummed, explicit little-endian; predicate
+//! filters don't cross the wire (closures have no byte form — label
+//! filters do).
+//!
+//! Node side (one process per shard or replica):
+//!
+//! ```no_run
+//! use hnsw_flash::prelude::*;
+//! use hnsw_flash::serving::distributed::{NodeAddr, NodeHandler, NodeServer};
+//! use std::sync::Arc;
+//!
+//! # let (base, _) = generate(&DatasetProfile::SsnppLike.spec(), 1_000, 1, 7);
+//! let index: Arc<dyn AnnIndex> =
+//!     Arc::from(IndexBuilder::new(GraphKind::Hnsw, Coding::Flash).seed(1).build(base));
+//! let server = NodeServer::bind(
+//!     &"tcp:0.0.0.0:4810".parse::<NodeAddr>().unwrap(),
+//!     NodeHandler::new(index),
+//!     4, // concurrent coordinator connections
+//! ).expect("bind");
+//! println!("serving on {}", server.addr());
+//! ```
+//!
+//! Coordinator side — remote nodes under the unchanged serving stack
+//! (shown with the in-memory loopback transport; swap in
+//! [`serving::SocketTransport`]`::connect("tcp:host:4810".parse()?)` for
+//! real sockets, see `examples/distributed_serving.rs`):
+//!
+//! ```
+//! use hnsw_flash::prelude::*;
+//! use hnsw_flash::serving::distributed::{LoopbackTransport, NodeHandler, RemoteIndex};
+//! use std::sync::Arc;
+//!
+//! let (base, queries) = generate(&DatasetProfile::SsnppLike.spec(), 600, 4, 7);
+//! let builder = IndexBuilder::new(GraphKind::Hnsw, Coding::Flash).c(48).r(8).seed(1);
+//!
+//! // One "remote" node per shard (same codec + partition as the nodes).
+//! let codec = builder.train_codec(&base);
+//! let parts: Vec<(Box<dyn AnnIndex>, Vec<u64>)> =
+//!     ShardedIndex::partition(&base, 2, ShardPolicy::RoundRobin)
+//!         .into_iter()
+//!         .map(|(set, ids)| {
+//!             let node: Arc<dyn AnnIndex> = Arc::from(builder.build_with_codec(set, &codec));
+//!             let transport = Arc::new(LoopbackTransport::new(NodeHandler::new(node)));
+//!             let remote = RemoteIndex::connect(transport).expect("handshake");
+//!             (Box::new(remote) as Box<dyn AnnIndex>, ids)
+//!         })
+//!         .collect();
+//! let coordinator = ShardedIndex::from_parts(
+//!     parts,
+//!     ShardPolicy::RoundRobin,
+//!     Arc::new(WorkerPool::new(2)),
+//! );
+//! let response = coordinator.search(&SearchRequest::new(queries.get(0), 5).ef(64).rerank(8));
+//! assert_eq!(response.hits.len(), 5);
+//! ```
+//!
+//! Transports ([`serving::distributed::Transport`]):
+//!
+//! | Transport | Reaches | Use when |
+//! |---|---|---|
+//! | [`serving::LoopbackTransport`] | This process (full codec round-trip, zero I/O) | Tests, demos, deterministic fault drills |
+//! | [`serving::SocketTransport`] + `unix:/path.sock` | Another process on this host | Lowest-overhead local fleets |
+//! | [`serving::SocketTransport`] + `tcp:host:port` | Another machine | Real distribution |
+//!
+//! For replica fault tolerance across processes, put one `RemoteIndex`
+//! per replica node into a [`serving::ReplicaGroup`] per shard (the
+//! `examples/distributed_serving.rs` demo kills a node mid-run and the
+//! results don't change); `flash_cli search --nodes a,b,...` drives the
+//! one-node-per-shard layout from the command line.
+//!
 //! ## Migrating from the per-type APIs
 //!
 //! The concrete index types still exist (construction-time features like
@@ -184,9 +265,10 @@ pub mod prelude {
         ScalarQuantizer,
     };
     pub use serving::{
-        BatchExecutor, BatchReport, CachedIndex, FallibleIndex, FaultPlan, FaultyIndex,
-        HealthConfig, QueryCache, ReplicaGroup, ReplicatedIndex, Router, RoutingPolicy,
-        ShardPolicy, ShardedIndex, WorkerPool,
+        BatchExecutor, BatchReport, CachedIndex, FallibleIndex, FaultError, FaultKind, FaultPlan,
+        FaultyIndex, HealthConfig, LoopbackTransport, NodeAddr, NodeHandler, NodeServer,
+        QueryCache, RemoteIndex, ReplicaGroup, ReplicatedIndex, Router, RoutingPolicy, ShardPolicy,
+        ShardedIndex, SocketTransport, WorkerPool,
     };
     pub use simdops::{set_level_override, SimdLevel};
     pub use vecstore::{generate, ground_truth, DatasetProfile, DatasetSpec, VectorSet};

@@ -1,0 +1,411 @@
+//! Distributed serving: cross-process routing over a wire transport.
+//!
+//! What this suite proves:
+//!
+//! * **Exact parity** — a coordinator whose shards live behind the wire
+//!   (loopback *and* real socket transports) returns bit-identical hits
+//!   to the in-process `ShardedIndex` and to the brute-force `FlatIndex`,
+//!   across ≥3 graph × coding combinations (exhaustive-`ef` +
+//!   full-rerank settings, so approximate indexes become exact);
+//! * **Node death mid-run** — with replica nodes behind a
+//!   `ReplicaGroup`, killing a node's process surface (its socket
+//!   server) mid-workload changes *nothing* about the results, and the
+//!   failover counters record the mark-down/retry path;
+//! * **Codec robustness** — every frame kind round-trips canonically
+//!   (property-tested over arbitrary bit patterns, error frames
+//!   included), truncated frames are rejected at every cut point, and
+//!   corrupted payloads fail the checksum.
+
+use hnsw_flash::prelude::*;
+use proptest::prelude::*;
+use serving::distributed::wire::{ErrorCode, Message, WireFault};
+use serving::distributed::{
+    LoopbackTransport, NodeAddr, NodeHandler, NodeServer, RemoteIndex, SocketTransport,
+};
+use serving::FaultKind;
+use std::sync::Arc;
+
+/// Exactness setup, identical to `tests/replication.rs`: `EF ≥ N` makes
+/// every connected graph search exhaustive and `K · RERANK ≥ N` reranks
+/// every candidate with full-precision distances, so every index in play
+/// returns the identical global `(dist, id)` top-k.
+const N: usize = 180;
+const DIM: usize = 12;
+const K: usize = 8;
+const EF: usize = 256;
+const RERANK: usize = 32;
+
+const COMBOS: [(GraphKind, Coding); 3] = [
+    (GraphKind::Hnsw, Coding::Flash),
+    (GraphKind::Nsg, Coding::Full),
+    (GraphKind::Vamana, Coding::Sq),
+];
+
+fn dataset(n: usize) -> (VectorSet, VectorSet) {
+    generate(&DatasetSpec::new(DIM, 10, 0.95, 0.4, 4), n, 12, 77)
+}
+
+fn builder_for(graph: GraphKind, coding: Coding) -> IndexBuilder {
+    IndexBuilder::new(graph, coding)
+        .c(32)
+        .r(8)
+        .seed(7)
+        .train_sample(100)
+        .pq_m(4)
+}
+
+fn exhaustive(query: &[f32]) -> SearchRequest {
+    SearchRequest::new(query.to_vec(), K).ef(EF).rerank(RERANK)
+}
+
+/// Builds the shard sub-indexes exactly as `ShardedIndex::build` does —
+/// one codec trained on the full corpus, shared by every shard — but
+/// returns the parts so they can be placed behind transports.
+fn build_parts(
+    base: &VectorSet,
+    builder: &IndexBuilder,
+    shards: usize,
+) -> Vec<(Box<dyn AnnIndex>, Vec<u64>)> {
+    let codec = builder.train_codec(base);
+    ShardedIndex::partition(base, shards, ShardPolicy::RoundRobin)
+        .into_iter()
+        .map(|(set, ids)| (builder.build_with_codec(set, &codec), ids))
+        .collect()
+}
+
+fn tcp_server(index: Arc<dyn AnnIndex>) -> NodeServer {
+    NodeServer::bind(
+        &NodeAddr::Tcp("127.0.0.1:0".into()),
+        NodeHandler::new(index),
+        2,
+    )
+    .expect("bind an ephemeral TCP port")
+}
+
+fn remote_over_socket(server: &NodeServer) -> RemoteIndex {
+    let transport = SocketTransport::connect(server.addr().clone()).expect("dial the node");
+    RemoteIndex::connect(Arc::new(transport)).expect("info handshake")
+}
+
+#[test]
+fn loopback_distributed_matches_sharded_and_flat() {
+    let (base, queries) = dataset(N);
+    let n = base.len();
+    let flat = FlatIndex::new(base.clone());
+    for (graph, coding) in COMBOS {
+        let builder = builder_for(graph, coding);
+        let sharded = ShardedIndex::build(base.clone(), &builder, 3, ShardPolicy::RoundRobin, 2);
+        let remote_parts: Vec<(Box<dyn AnnIndex>, Vec<u64>)> = build_parts(&base, &builder, 3)
+            .into_iter()
+            .map(|(index, ids)| {
+                let transport =
+                    Arc::new(LoopbackTransport::new(NodeHandler::new(Arc::from(index))));
+                let remote = RemoteIndex::connect(transport).expect("loopback handshake");
+                (Box::new(remote) as Box<dyn AnnIndex>, ids)
+            })
+            .collect();
+        let distributed = ShardedIndex::from_parts(
+            remote_parts,
+            ShardPolicy::RoundRobin,
+            Arc::new(WorkerPool::new(2)),
+        );
+        assert_eq!(distributed.len(), n);
+        for qi in 0..queries.len() {
+            let req = exhaustive(queries.get(qi));
+            let want = flat.search(&req).hits;
+            assert_eq!(
+                sharded.search(&req).hits,
+                want,
+                "{graph:?}x{coding:?} q{qi}: in-process sharded != flat"
+            );
+            assert_eq!(
+                distributed.search(&req).hits,
+                want,
+                "{graph:?}x{coding:?} q{qi}: loopback-distributed != flat"
+            );
+        }
+    }
+}
+
+#[test]
+fn socket_distributed_matches_sharded_and_flat() {
+    let (base, queries) = dataset(N);
+    let flat = FlatIndex::new(base.clone());
+    for (graph, coding) in COMBOS {
+        let builder = builder_for(graph, coding);
+        let sharded = ShardedIndex::build(base.clone(), &builder, 3, ShardPolicy::RoundRobin, 2);
+        let mut servers = Vec::new();
+        let remote_parts: Vec<(Box<dyn AnnIndex>, Vec<u64>)> = build_parts(&base, &builder, 3)
+            .into_iter()
+            .map(|(index, ids)| {
+                let server = tcp_server(Arc::from(index));
+                let remote = remote_over_socket(&server);
+                servers.push(server);
+                (Box::new(remote) as Box<dyn AnnIndex>, ids)
+            })
+            .collect();
+        let distributed = ShardedIndex::from_parts(
+            remote_parts,
+            ShardPolicy::RoundRobin,
+            Arc::new(WorkerPool::new(3)),
+        );
+        for qi in 0..queries.len() {
+            let req = exhaustive(queries.get(qi));
+            let want = flat.search(&req).hits;
+            assert_eq!(
+                sharded.search(&req).hits,
+                want,
+                "{graph:?}x{coding:?} q{qi}"
+            );
+            assert_eq!(
+                distributed.search(&req).hits,
+                want,
+                "{graph:?}x{coding:?} q{qi}: socket-distributed != flat"
+            );
+        }
+        for mut server in servers {
+            let stats = server.stats();
+            assert!(stats.frames_received > 0, "the node actually served");
+            server.shutdown();
+        }
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport_serves_identically() {
+    let (base, queries) = dataset(N);
+    let n = base.len();
+    let builder = builder_for(GraphKind::Hnsw, Coding::Sq);
+    let index: Arc<dyn AnnIndex> = Arc::from(builder.build(base.clone()));
+    let path = std::env::temp_dir().join(format!("hfw-test-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut server = NodeServer::bind(
+        &NodeAddr::Unix(path.clone()),
+        NodeHandler::new(Arc::clone(&index)),
+        1,
+    )
+    .expect("bind the unix socket");
+    let remote = remote_over_socket(&server);
+    assert_eq!(FallibleIndex::len(&remote), n);
+    for qi in 0..queries.len() {
+        let req = exhaustive(queries.get(qi));
+        assert_eq!(
+            AnnIndex::search(&remote, &req).hits,
+            index.search(&req).hits,
+            "q{qi} over unix socket"
+        );
+    }
+    let stats = remote.transport_stats();
+    assert_eq!(stats.frames_sent, queries.len() as u64 + 1); // + handshake
+    assert_eq!(stats.frames_received, stats.frames_sent);
+    assert_eq!(stats.errors, 0);
+    server.shutdown();
+    assert!(!path.exists(), "shutdown removes the socket file");
+}
+
+/// The distributed failover story end to end: every shard is a
+/// `ReplicaGroup` of two *remote* nodes; one node is killed mid-run; the
+/// results never change and the health model records the transition.
+#[test]
+fn node_death_mid_run_fails_over_with_identical_results() {
+    let (base, queries) = dataset(N);
+    let shards = 2;
+    let flat = FlatIndex::new(base.clone());
+    let builder = builder_for(GraphKind::Hnsw, Coding::Sq);
+
+    // Two identical deterministic builds per shard = two replica nodes.
+    let parts_a = build_parts(&base, &builder, shards);
+    let parts_b = build_parts(&base, &builder, shards);
+    let mut servers: Vec<Vec<NodeServer>> = Vec::new();
+    let mut groups: Vec<Arc<ReplicaGroup>> = Vec::new();
+    let fleet_parts: Vec<(Box<dyn AnnIndex>, Vec<u64>)> = parts_a
+        .into_iter()
+        .zip(parts_b)
+        .map(|((index_a, ids), (index_b, ids_b))| {
+            assert_eq!(ids, ids_b);
+            let shard_servers = vec![
+                tcp_server(Arc::from(index_a)),
+                tcp_server(Arc::from(index_b)),
+            ];
+            let members: Vec<Box<dyn FallibleIndex>> = shard_servers
+                .iter()
+                .map(|server| Box::new(remote_over_socket(server)) as Box<dyn FallibleIndex>)
+                .collect();
+            let group = Arc::new(ReplicaGroup::from_replicas(
+                members,
+                RoutingPolicy::Primary,
+                HealthConfig {
+                    error_threshold: 1,
+                    probe_after: 1_000, // no probes within this test
+                },
+            ));
+            servers.push(shard_servers);
+            groups.push(Arc::clone(&group));
+            (Box::new(group) as Box<dyn AnnIndex>, ids)
+        })
+        .collect();
+    let fleet = ShardedIndex::from_parts(
+        fleet_parts,
+        ShardPolicy::RoundRobin,
+        Arc::new(WorkerPool::new(2)),
+    );
+
+    let run = |label: &str| {
+        for qi in 0..queries.len() {
+            let req = exhaustive(queries.get(qi));
+            assert_eq!(
+                fleet.search(&req).hits,
+                flat.search(&req).hits,
+                "{label}: q{qi} diverged from brute force"
+            );
+        }
+    };
+    run("healthy fleet");
+    let before = groups[0].generation();
+
+    // Kill shard 0's primary node: connections sever, the next call on
+    // its RemoteIndex fails like a crashed process.
+    servers[0][0].shutdown();
+    run("shard 0 primary dead");
+
+    let g0 = groups[0].failover_stats();
+    assert_eq!(g0.markdowns, 1, "the dead node was marked down once");
+    assert!(g0.retries >= 1, "its request was retried on the sibling");
+    assert!(g0.errors >= 1);
+    assert!(groups[0].is_marked_down(0));
+    assert!(
+        groups[0].generation() > before,
+        "mark-down bumps the cache-invalidation generation"
+    );
+    // The healthy shard never failed over.
+    assert_eq!(groups[1].failover_stats().markdowns, 0);
+
+    for shard_servers in &mut servers {
+        for server in shard_servers {
+            server.shutdown();
+        }
+    }
+}
+
+#[test]
+fn filtered_requests_fail_remote_instead_of_serving_wrong_results() {
+    let (base, _) = dataset(64);
+    let index: Arc<dyn AnnIndex> = Arc::new(FlatIndex::new(base.clone()));
+    let remote = RemoteIndex::connect(Arc::new(LoopbackTransport::new(NodeHandler::new(index))))
+        .expect("handshake");
+    let req = SearchRequest::new(base.get(0).to_vec(), 3).filter(|id| id % 2 == 0);
+    let err = remote.try_search(&req).unwrap_err();
+    assert_eq!(err.kind, FaultKind::Malformed);
+}
+
+/// A scripted node fault crosses the wire as a structured error frame and
+/// drives the client-side health model exactly like a local fault.
+#[test]
+fn node_side_faults_reach_the_client_health_model() {
+    let (base, queries) = dataset(80);
+    let index: Arc<dyn AnnIndex> = Arc::new(FlatIndex::new(base.clone()));
+    let faulty = NodeHandler::with_faults(Arc::clone(&index), FaultPlan::new().fail_on(1));
+    let remote = RemoteIndex::connect(Arc::new(LoopbackTransport::new(faulty))).expect("handshake");
+    let req = SearchRequest::new(queries.get(0), 3);
+    assert!(remote.try_search(&req).is_ok()); // node call 0
+    let err = remote.try_search(&req).unwrap_err();
+    assert_eq!(err.kind, FaultKind::Transient, "kind survives the wire");
+    assert!(remote.try_search(&req).is_ok()); // node call 2
+}
+
+fn arbitrary_request(
+    bits: &[u32],
+    k: usize,
+    ef: usize,
+    rerank: usize,
+    label: Option<u32>,
+    vbase: Option<usize>,
+) -> SearchRequest {
+    let query: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+    let mut req = SearchRequest::new(query, k).ef(ef).rerank(rerank);
+    req.label = label;
+    req.vbase_window = vbase;
+    req
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any request frame — arbitrary f32 bit patterns (NaNs and signed
+    /// zeros included) and any option mix — has one canonical encoding
+    /// that decodes and re-encodes to the identical bytes, and every
+    /// strict prefix of it is rejected as truncated.
+    #[test]
+    fn request_frames_roundtrip_and_reject_truncation(
+        bits in proptest::collection::vec(any::<u32>(), 0..12),
+        k in 1usize..50,
+        ef in 1usize..300,
+        rerank in 0usize..8,
+        with_label in any::<bool>(),
+        label in any::<u32>(),
+        with_vbase in any::<bool>(),
+        vbase in 1usize..64,
+        cut_seed in any::<u64>(),
+    ) {
+        let req = arbitrary_request(
+            &bits, k, ef, rerank,
+            with_label.then_some(label),
+            with_vbase.then_some(vbase),
+        );
+        let frame = Message::Search(req).encode().unwrap();
+        let (decoded, consumed) = Message::decode(&frame).unwrap();
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert_eq!(decoded.encode().unwrap(), frame.clone());
+        // Truncation at an arbitrary point, plus the two edge cuts.
+        for cut in [0, frame.len() - 1, (cut_seed as usize) % frame.len()] {
+            prop_assert!(Message::decode(&frame[..cut]).is_err(), "cut at {}", cut);
+        }
+    }
+
+    /// Response and error frames round-trip too, and flipping any single
+    /// payload byte trips the checksum.
+    #[test]
+    fn response_and_error_frames_roundtrip_and_checksum(
+        ids in proptest::collection::vec(any::<u64>(), 0..10),
+        dist_bits in proptest::collection::vec(any::<u32>(), 0..10),
+        code in 1u8..6,
+        msg_len in 0usize..24,
+        flip in any::<u64>(),
+    ) {
+        let hits: Vec<Hit> = ids
+            .iter()
+            .zip(&dist_bits)
+            .map(|(&id, &b)| Hit { id, dist: f32::from_bits(b) })
+            .collect();
+        let response = Message::SearchOk(SearchResponse::from_hits(hits));
+        let error = Message::Error(WireFault {
+            code: match code {
+                1 => ErrorCode::BadRequest,
+                2 => ErrorCode::Unsupported,
+                3 => ErrorCode::FaultTransient,
+                4 => ErrorCode::FaultDead,
+                _ => ErrorCode::Internal,
+            },
+            message: "x".repeat(msg_len),
+        });
+        for message in [response, error] {
+            let frame = message.encode().unwrap();
+            let (decoded, consumed) = Message::decode(&frame).unwrap();
+            prop_assert_eq!(consumed, frame.len());
+            prop_assert_eq!(decoded.encode().unwrap(), frame.clone());
+            // Corrupt one payload byte (if there is a payload): the
+            // checksum must catch it.
+            let payload_len = frame.len()
+                - serving::distributed::wire::HEADER_LEN
+                - serving::distributed::wire::TRAILER_LEN;
+            if payload_len > 0 {
+                let mut corrupt = frame.clone();
+                let at = serving::distributed::wire::HEADER_LEN
+                    + (flip as usize) % payload_len;
+                corrupt[at] ^= 0x40;
+                prop_assert!(Message::decode(&corrupt).is_err(), "flip at {}", at);
+            }
+        }
+    }
+}
