@@ -171,6 +171,202 @@ impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
     }
 }
 
+pub mod distributions {
+    //! Non-uniform distributions used by the workload generators.
+    //!
+    //! Upstream `rand` delegates these to `rand_distr`; this workspace only
+    //! needs two shapes — Zipf for skewed query popularity and Poisson for
+    //! arrival counts — so they live here next to the generator they feed.
+
+    use super::{RngCore, SampleStandard};
+
+    /// Zipf distribution over ranks `0..n`: rank `i` is drawn with
+    /// probability proportional to `1 / (i + 1)^s`.
+    ///
+    /// Sampling is inverse-CDF over a precomputed table (O(n) memory,
+    /// O(log n) per sample), which keeps the stream a pure function of the
+    /// generator state — no rejection steps whose acceptance could differ
+    /// across platforms.
+    #[derive(Debug, Clone)]
+    pub struct Zipf {
+        cdf: Vec<f64>,
+    }
+
+    impl Zipf {
+        /// Builds the distribution over `n` ranks with exponent `s ≥ 0`
+        /// (`s = 0` is uniform; larger `s` concentrates mass on the head).
+        ///
+        /// # Panics
+        /// Panics if `n == 0` or `s` is negative or non-finite.
+        pub fn new(n: usize, s: f64) -> Self {
+            assert!(n > 0, "Zipf over an empty rank set");
+            assert!(
+                s >= 0.0 && s.is_finite(),
+                "Zipf exponent must be finite and >= 0"
+            );
+            let mut cdf = Vec::with_capacity(n);
+            let mut acc = 0.0f64;
+            for i in 0..n {
+                acc += ((i + 1) as f64).powf(-s);
+                cdf.push(acc);
+            }
+            let total = acc;
+            for c in &mut cdf {
+                *c /= total;
+            }
+            // Guard against rounding leaving the last bucket unreachable.
+            *cdf.last_mut().unwrap() = 1.0;
+            Self { cdf }
+        }
+
+        /// Number of ranks.
+        pub fn n(&self) -> usize {
+            self.cdf.len()
+        }
+
+        /// Draws one rank in `0..n`, head rank (`0`) most likely.
+        pub fn sample<R: RngCore>(&self, rng: &mut R) -> usize {
+            let u = f64::sample_standard(rng);
+            self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+        }
+    }
+
+    /// Poisson distribution with mean `lambda`.
+    ///
+    /// Uses Knuth's product-of-uniforms method. For large means the product
+    /// would underflow `exp(-lambda)`, so the draw is split into chunks of
+    /// mean ≤ 30 and summed — Poisson is additive, and the chunking is a
+    /// fixed function of `lambda`, so streams stay deterministic per seed.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Poisson {
+        lambda: f64,
+    }
+
+    impl Poisson {
+        /// Maximum per-chunk mean for the Knuth loop.
+        const CHUNK: f64 = 30.0;
+
+        /// Builds the distribution.
+        ///
+        /// # Panics
+        /// Panics if `lambda` is negative or non-finite.
+        pub fn new(lambda: f64) -> Self {
+            assert!(
+                lambda >= 0.0 && lambda.is_finite(),
+                "Poisson mean must be finite and >= 0"
+            );
+            Self { lambda }
+        }
+
+        /// The distribution mean.
+        pub fn lambda(&self) -> f64 {
+            self.lambda
+        }
+
+        /// Draws one count.
+        pub fn sample<R: RngCore>(&self, rng: &mut R) -> u64 {
+            let mut remaining = self.lambda;
+            let mut count = 0u64;
+            while remaining > 0.0 {
+                let chunk = remaining.min(Self::CHUNK);
+                remaining -= chunk;
+                let limit = (-chunk).exp();
+                let mut product = f64::sample_standard(rng);
+                while product > limit {
+                    count += 1;
+                    product *= f64::sample_standard(rng);
+                }
+            }
+            count
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::super::rngs::SmallRng;
+        use super::super::SeedableRng;
+        use super::{Poisson, Zipf};
+
+        #[test]
+        fn zipf_streams_are_deterministic_per_seed() {
+            let z = Zipf::new(100, 1.1);
+            let mut a = SmallRng::seed_from_u64(7);
+            let mut b = SmallRng::seed_from_u64(7);
+            let sa: Vec<usize> = (0..256).map(|_| z.sample(&mut a)).collect();
+            let sb: Vec<usize> = (0..256).map(|_| z.sample(&mut b)).collect();
+            assert_eq!(sa, sb);
+            let mut c = SmallRng::seed_from_u64(8);
+            let sc: Vec<usize> = (0..256).map(|_| z.sample(&mut c)).collect();
+            assert_ne!(sa, sc);
+        }
+
+        #[test]
+        fn zipf_frequency_ranks_are_sane() {
+            // Head rank strictly most frequent and the head of the
+            // distribution monotone by rank, given enough samples.
+            let z = Zipf::new(50, 1.2);
+            let mut rng = SmallRng::seed_from_u64(42);
+            let mut counts = vec![0u64; z.n()];
+            for _ in 0..60_000 {
+                counts[z.sample(&mut rng)] += 1;
+            }
+            for w in counts[..8].windows(2) {
+                assert!(w[0] > w[1], "head counts not monotone: {:?}", &counts[..8]);
+            }
+            // The tail decays: rank 0 dwarfs deep-tail ranks.
+            assert!(counts[0] > 8 * counts[40]);
+        }
+
+        #[test]
+        fn zipf_zero_exponent_is_roughly_uniform() {
+            let z = Zipf::new(4, 0.0);
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut counts = [0u64; 4];
+            for _ in 0..40_000 {
+                counts[z.sample(&mut rng)] += 1;
+            }
+            for &c in &counts {
+                assert!((9_000..11_000).contains(&c), "not uniform: {counts:?}");
+            }
+        }
+
+        #[test]
+        fn poisson_streams_are_deterministic_per_seed() {
+            let p = Poisson::new(6.5);
+            let mut a = SmallRng::seed_from_u64(11);
+            let mut b = SmallRng::seed_from_u64(11);
+            let sa: Vec<u64> = (0..256).map(|_| p.sample(&mut a)).collect();
+            let sb: Vec<u64> = (0..256).map(|_| p.sample(&mut b)).collect();
+            assert_eq!(sa, sb);
+        }
+
+        #[test]
+        fn poisson_mean_tracks_lambda() {
+            for &lambda in &[0.5f64, 4.0, 37.0, 120.0] {
+                let p = Poisson::new(lambda);
+                let mut rng = SmallRng::seed_from_u64(5);
+                let n = 20_000;
+                let sum: u64 = (0..n).map(|_| p.sample(&mut rng)).sum();
+                let mean = sum as f64 / n as f64;
+                let tol = 0.05 * lambda + 0.05;
+                assert!(
+                    (mean - lambda).abs() < tol,
+                    "lambda {lambda}: empirical mean {mean}"
+                );
+            }
+        }
+
+        #[test]
+        fn poisson_zero_lambda_is_always_zero() {
+            let p = Poisson::new(0.0);
+            let mut rng = SmallRng::seed_from_u64(1);
+            for _ in 0..100 {
+                assert_eq!(p.sample(&mut rng), 0);
+            }
+        }
+    }
+}
+
 pub mod rngs {
     //! Concrete generators.
 

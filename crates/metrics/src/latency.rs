@@ -17,6 +17,8 @@ pub struct LatencySummary {
     pub p95_ms: f64,
     /// 99th percentile.
     pub p99_ms: f64,
+    /// 99.9th percentile.
+    pub p999_ms: f64,
     /// Worst observed sample.
     pub max_ms: f64,
 }
@@ -44,6 +46,7 @@ pub fn latency_summary(samples_ms: &[f64]) -> LatencySummary {
         p50_ms: nearest_rank(&sorted, 50.0),
         p95_ms: nearest_rank(&sorted, 95.0),
         p99_ms: nearest_rank(&sorted, 99.0),
+        p999_ms: nearest_rank(&sorted, 99.9),
         max_ms: *sorted.last().unwrap(),
     }
 }
@@ -75,6 +78,8 @@ mod tests {
         assert_eq!(s.p50_ms, 50.0);
         assert_eq!(s.p95_ms, 95.0);
         assert_eq!(s.p99_ms, 99.0);
+        // ceil(0.999 * 100) = 100 → the top sample.
+        assert_eq!(s.p999_ms, 100.0);
         assert_eq!(s.max_ms, 100.0);
         assert!((s.mean_ms - 50.5).abs() < 1e-9);
     }

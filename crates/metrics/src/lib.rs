@@ -8,6 +8,8 @@
 //!   replicated serving layer;
 //! * [`transport`] — per-node frame/byte/timeout counters for the
 //!   distributed serving wire transports;
+//! * [`report`] — the hand-rolled `BENCH_*.json` writer/parser backing the
+//!   scenario harness's perf trajectory;
 //! * [`PhaseTimer`] — named wall-clock phases for indexing-time breakdowns.
 
 pub mod adr;
@@ -15,6 +17,7 @@ pub mod failover;
 pub mod latency;
 pub mod qps;
 pub mod recall;
+pub mod report;
 mod timer;
 pub mod transport;
 
@@ -23,5 +26,6 @@ pub use failover::{failover_summary, ReplicaCounters, ReplicaStats};
 pub use latency::{latency_summary, LatencySummary};
 pub use qps::{measure_qps, QpsReport};
 pub use recall::{recall_at_k, RecallReport};
+pub use report::{strip_timings, BenchReport, CacheSummary, Json, MutationSummary, TenantSummary};
 pub use timer::PhaseTimer;
 pub use transport::{transport_summary, TransportCounters, TransportStats};

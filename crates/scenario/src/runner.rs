@@ -1,0 +1,484 @@
+//! Drives a workload's event stream against a serving topology.
+//!
+//! [`ScenarioRunner`] assembles the stack — topology core →
+//! [`ScenarioCorpus`] overlay → optional `QueryCache` — then replays the
+//! spec's events in order: query stretches run through [`BatchExecutor`]
+//! (preserving the topology's concurrent fan-out), mutation bursts apply
+//! between stretches and re-sync the cache generation, and a sampled
+//! subset of queries is checked against a brute-force oracle over the
+//! *live* vector set at that point in the stream.
+//!
+//! Everything the runner reports besides wall-clock timings — counts,
+//! recall, cache/failover/transport counters — is a deterministic
+//! function of `(spec, topology)`. Two deliberate choices keep it so:
+//! fault-storm scenarios run with `batch = 1` (health transitions are
+//! then totally ordered against query placement), and predicate-filtered
+//! queries are demoted to plain on remote topologies (predicates cannot
+//! cross the wire) — so determinism holds per topology, which is what the
+//! trajectory comparison needs.
+
+use crate::corpus::ScenarioCorpus;
+use crate::spec::{Event, QueryEvent, WorkloadSpec};
+use engine::{AnnIndex, SearchRequest};
+use metrics::{transport_summary, BenchReport, CacheSummary, MutationSummary, TenantSummary};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serving::distributed::{NodeAddr, RemoteIndex, SocketTransport, Transport};
+use serving::{
+    BatchExecutor, BatchReport, CachedIndex, FallibleIndex, HealthConfig, ReplicatedIndex,
+    ShardPolicy, ShardedIndex, WorkerPool,
+};
+use std::sync::Arc;
+
+/// The serving topology a scenario runs against.
+#[derive(Debug, Clone)]
+pub enum TopologySpec {
+    /// One in-process index.
+    Flat,
+    /// `shards` round-robin partitions on a worker pool.
+    Sharded {
+        /// Partition count.
+        shards: usize,
+    },
+    /// `shards × replicas` with failover routing (the spec's policy); a
+    /// fault storm in the spec lowers onto the replicas here.
+    Replicated {
+        /// Partition count.
+        shards: usize,
+        /// Replicas per partition.
+        replicas: usize,
+    },
+    /// One remote node per shard (`serve-node` processes hosting the
+    /// round-robin partitions of the scenario's generated base).
+    Remote {
+        /// Node addresses, one per shard in partition order.
+        nodes: Vec<NodeAddr>,
+        /// Per-request transport timeout.
+        timeout_ms: u64,
+    },
+}
+
+impl TopologySpec {
+    /// Whether predicate filters can reach this topology (closures cannot
+    /// cross the wire; label filters can).
+    pub fn supports_predicates(&self) -> bool {
+        !matches!(self, TopologySpec::Remote { .. })
+    }
+
+    /// Report label, with the cache layer appended when present.
+    pub fn label(&self, spec: &WorkloadSpec, cache_capacity: usize) -> String {
+        let base = match self {
+            TopologySpec::Flat => "flat".to_string(),
+            TopologySpec::Sharded { shards } => format!("sharded:{shards}"),
+            TopologySpec::Replicated { shards, replicas } => {
+                format!("replicated:{shards}x{replicas}:{}", spec.routing)
+            }
+            TopologySpec::Remote { nodes, .. } => format!("nodes:{}", nodes.len()),
+        };
+        if cache_capacity > 0 {
+            format!("{base}+cache:{cache_capacity}")
+        } else {
+            base
+        }
+    }
+
+    fn default_threads(&self) -> usize {
+        match self {
+            TopologySpec::Flat => 1,
+            TopologySpec::Sharded { shards } => (*shards).max(1),
+            TopologySpec::Replicated { shards, replicas } => (shards * replicas).clamp(1, 8),
+            TopologySpec::Remote { nodes, .. } => nodes.len().max(1),
+        }
+    }
+}
+
+/// A named workload bound to a topology, ready to run.
+pub struct ScenarioRunner {
+    name: String,
+    spec: WorkloadSpec,
+    topology: TopologySpec,
+    cache_capacity: usize,
+    threads: usize,
+}
+
+/// Accumulated run state shared by the segment flushes.
+struct RunState {
+    all_latencies: Vec<f64>,
+    tenant_indices: Vec<Vec<usize>>,
+    wall_seconds: f64,
+    recall_sum: f64,
+    recall_samples: u64,
+}
+
+impl ScenarioRunner {
+    /// A runner with no cache and automatic thread sizing.
+    pub fn new(name: impl Into<String>, spec: WorkloadSpec, topology: TopologySpec) -> Self {
+        Self {
+            name: name.into(),
+            spec,
+            topology,
+            cache_capacity: 0,
+            threads: 0,
+        }
+    }
+
+    /// Adds a `QueryCache` of `capacity` on top of the stack (0 = none).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Fixes the worker-pool size (0 = derive from the topology).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The workload spec (presets expose it for tweaking).
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Replays the workload and reports. Errors only on topology assembly
+    /// (e.g. an unreachable remote node).
+    pub fn run(&self) -> Result<BenchReport, String> {
+        let spec = &self.spec;
+        let threads = if self.threads > 0 {
+            self.threads
+        } else {
+            self.topology.default_threads()
+        };
+        let (base, pool, insert_stream) = spec.materialize();
+        let builder = spec.builder();
+
+        // Oracle mirror: the live vector of every global id (None =
+        // deleted). Index i holds id i; inserts extend the tail.
+        let mut mirror: Vec<Option<Vec<f32>>> = base.iter().map(|v| Some(v.to_vec())).collect();
+
+        // --- assemble the stack ---------------------------------------
+        let mut replicated: Option<Arc<ReplicatedIndex>> = None;
+        let mut transports: Vec<Arc<SocketTransport>> = Vec::new();
+        let core: Arc<dyn AnnIndex> = match &self.topology {
+            TopologySpec::Flat => Arc::from(builder.build(base)),
+            TopologySpec::Sharded { shards } => Arc::new(ShardedIndex::build(
+                base,
+                &builder,
+                *shards,
+                ShardPolicy::RoundRobin,
+                threads,
+            )),
+            TopologySpec::Replicated { shards, replicas } => {
+                let storm = spec.fault_storm;
+                let r = Arc::new(ReplicatedIndex::build_with_faults(
+                    base,
+                    &builder,
+                    *shards,
+                    *replicas,
+                    ShardPolicy::RoundRobin,
+                    spec.routing,
+                    HealthConfig::default(),
+                    threads,
+                    |shard, replica| storm.and_then(|s| s.plan_for(shard, replica)),
+                ));
+                replicated = Some(Arc::clone(&r));
+                r
+            }
+            TopologySpec::Remote { nodes, timeout_ms } => {
+                let n = base.len();
+                let dim = base.dim();
+                let id_maps =
+                    (0..nodes.len()).map(|s| ((s as u64)..n as u64).step_by(nodes.len()).collect());
+                let parts: Vec<(Box<dyn AnnIndex>, Vec<u64>)> = nodes
+                    .iter()
+                    .zip(id_maps)
+                    .map(|(addr, ids): (_, Vec<u64>)| {
+                        let transport = Arc::new(
+                            SocketTransport::connect(addr.clone())
+                                .map_err(|e| format!("{addr}: {e}"))?
+                                .with_timeout(std::time::Duration::from_millis(
+                                    (*timeout_ms).max(1),
+                                )),
+                        );
+                        let remote =
+                            RemoteIndex::connect(Arc::clone(&transport) as Arc<dyn Transport>)
+                                .map_err(|e| format!("{addr}: {e}"))?;
+                        if FallibleIndex::len(&remote) != ids.len()
+                            || FallibleIndex::dim(&remote) != dim
+                        {
+                            return Err(format!(
+                                "{addr} serves {}x{}, expected shard of {}x{dim} — the node \
+                                 must serve this scenario's generated base",
+                                FallibleIndex::len(&remote),
+                                FallibleIndex::dim(&remote),
+                                ids.len()
+                            ));
+                        }
+                        transports.push(transport);
+                        Ok((Box::new(remote) as Box<dyn AnnIndex>, ids))
+                    })
+                    .collect::<Result<_, String>>()?;
+                Arc::new(ShardedIndex::from_parts(
+                    parts,
+                    ShardPolicy::RoundRobin,
+                    Arc::new(WorkerPool::new(threads)),
+                ))
+            }
+        };
+        let corpus = Arc::new(ScenarioCorpus::new(core));
+        let cached = (self.cache_capacity > 0).then(|| {
+            Arc::new(CachedIndex::new(
+                Arc::clone(&corpus) as Arc<dyn AnnIndex>,
+                self.cache_capacity,
+            ))
+        });
+        let serving: Arc<dyn AnnIndex> = match &cached {
+            Some(c) => Arc::clone(c) as Arc<dyn AnnIndex>,
+            None => Arc::clone(&corpus) as Arc<dyn AnnIndex>,
+        };
+
+        // --- replay the stream ----------------------------------------
+        let events = spec.events();
+        let push_predicates = self.topology.supports_predicates();
+        let mut delete_rng = SmallRng::seed_from_u64(spec.delete_seed());
+        let mut insert_cursor = 0usize;
+        let mut inserts_applied = 0u64;
+        let mut deletes_applied = 0u64;
+        let mut query_counter = 0usize;
+        // Pending segment: requests plus their event + sampled oracle ids.
+        let mut pending: Vec<(SearchRequest, QueryEvent, Option<Vec<u64>>)> = Vec::new();
+        let mut state = RunState {
+            all_latencies: Vec::new(),
+            tenant_indices: vec![Vec::new(); spec.tenants.max(1) as usize],
+            wall_seconds: 0.0,
+            recall_sum: 0.0,
+            recall_samples: 0,
+        };
+        let fleet_generation = |replicated: &Option<Arc<ReplicatedIndex>>| {
+            replicated.as_ref().map_or(0, |r| r.generation())
+        };
+
+        for event in events {
+            match event {
+                Event::Query(q) => {
+                    let query = pool.get(q.pool_index).to_vec();
+                    let mut req = SearchRequest::new(query.clone(), spec.k)
+                        .ef(spec.ef)
+                        .rerank(spec.rerank);
+                    if let Some(label) = q.label {
+                        req = req.label(label);
+                    }
+                    let filtered = q.filtered && push_predicates;
+                    if filtered {
+                        req = req.filter(|id| id % 2 == 0);
+                    }
+                    let oracle = query_counter
+                        .is_multiple_of(spec.oracle_every.max(1))
+                        .then(|| oracle_top_k(&mirror, &query, spec.k, filtered));
+                    query_counter += 1;
+                    pending.push((req, q, oracle));
+                }
+                Event::Mutate { inserts, deletes } => {
+                    self.flush(
+                        &mut pending,
+                        &serving,
+                        &cached,
+                        &corpus,
+                        &replicated,
+                        &mut state,
+                    );
+                    for _ in 0..inserts {
+                        if insert_cursor >= insert_stream.len() {
+                            break;
+                        }
+                        let v = insert_stream.get(insert_cursor);
+                        insert_cursor += 1;
+                        let id = corpus.insert(v);
+                        debug_assert_eq!(id as usize, mirror.len());
+                        mirror.push(Some(v.to_vec()));
+                        inserts_applied += 1;
+                    }
+                    for _ in 0..deletes {
+                        let id = delete_rng.gen_range(0..mirror.len() as u64);
+                        if mirror[id as usize].is_some() {
+                            corpus.delete(id);
+                            mirror[id as usize] = None;
+                            deletes_applied += 1;
+                        }
+                    }
+                    if let Some(c) = &cached {
+                        c.cache()
+                            .set_generation(corpus.generation() + fleet_generation(&replicated));
+                    }
+                }
+            }
+        }
+        self.flush(
+            &mut pending,
+            &serving,
+            &cached,
+            &corpus,
+            &replicated,
+            &mut state,
+        );
+
+        // --- report ----------------------------------------------------
+        let queries = state.all_latencies.len() as u64;
+        let synthetic = BatchReport {
+            latencies_ms: state.all_latencies.clone(),
+            ..BatchReport::default()
+        };
+        let tenants = (0..spec.tenants.max(1))
+            .map(|t| TenantSummary {
+                tenant: t,
+                queries: state.tenant_indices[t as usize].len() as u64,
+                latency: synthetic.latency_of(state.tenant_indices[t as usize].iter().copied()),
+            })
+            .collect();
+        let mut config = spec.config_pairs();
+        config.push(("threads".into(), metrics::Json::uint(threads as u64)));
+        Ok(BenchReport {
+            scenario: self.name.clone(),
+            seed: spec.seed,
+            topology: self.topology.label(spec, self.cache_capacity),
+            config,
+            queries,
+            wall_seconds: state.wall_seconds,
+            qps: if state.wall_seconds > 0.0 {
+                queries as f64 / state.wall_seconds
+            } else {
+                0.0
+            },
+            latency: synthetic.latency(),
+            k: spec.k,
+            recall_samples: state.recall_samples,
+            recall_at_k: if state.recall_samples == 0 {
+                1.0
+            } else {
+                state.recall_sum / state.recall_samples as f64
+            },
+            cache: cached.as_ref().map(|c| {
+                let s = c.cache().stats();
+                CacheSummary {
+                    hits: s.hits,
+                    misses: s.misses,
+                    uncacheable: s.uncacheable,
+                }
+            }),
+            failover: replicated.as_ref().map(|r| r.failover_stats()),
+            transport: (!transports.is_empty()).then(|| {
+                transport_summary(&transports.iter().map(|t| t.stats()).collect::<Vec<_>>())
+            }),
+            mutations: MutationSummary {
+                inserts: inserts_applied,
+                deletes: deletes_applied,
+                generation: corpus.generation() + fleet_generation(&replicated),
+            },
+            tenants,
+        })
+    }
+
+    /// Runs the pending segment through a `BatchExecutor` and folds its
+    /// latencies, per-tenant indices, and oracle checks into `state`.
+    #[allow(clippy::type_complexity)]
+    fn flush(
+        &self,
+        pending: &mut Vec<(SearchRequest, QueryEvent, Option<Vec<u64>>)>,
+        serving: &Arc<dyn AnnIndex>,
+        cached: &Option<Arc<CachedIndex>>,
+        corpus: &Arc<ScenarioCorpus>,
+        replicated: &Option<Arc<ReplicatedIndex>>,
+        state: &mut RunState,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        if let Some(c) = cached {
+            let fleet = replicated.as_ref().map_or(0, |r| r.generation());
+            c.cache().set_generation(corpus.generation() + fleet);
+        }
+        let segment = std::mem::take(pending);
+        let offset = state.all_latencies.len();
+        let mut executor =
+            BatchExecutor::new(Arc::clone(serving)).batch_size(self.spec.batch.max(1));
+        executor.submit_all(segment.iter().map(|(req, _, _)| req.clone()));
+        let report = executor.run();
+        state.wall_seconds += report.qps.seconds;
+        for (i, (_, q, oracle)) in segment.iter().enumerate() {
+            state.tenant_indices[q.tenant as usize].push(offset + i);
+            if let Some(oracle_ids) = oracle {
+                let got = report.responses[i].ids();
+                let hit = oracle_ids.iter().filter(|id| got.contains(id)).count();
+                let denom = oracle_ids.len().max(1);
+                state.recall_sum += hit as f64 / denom as f64;
+                state.recall_samples += 1;
+            }
+        }
+        state.all_latencies.extend(report.latencies_ms);
+    }
+}
+
+/// Exact top-`k` over the live mirror by `(dist, id)`, honoring the
+/// even-id predicate when `filtered`.
+fn oracle_top_k(mirror: &[Option<Vec<f32>>], query: &[f32], k: usize, filtered: bool) -> Vec<u64> {
+    let mut scored: Vec<(f32, u64)> = mirror
+        .iter()
+        .enumerate()
+        .filter_map(|(id, v)| {
+            let v = v.as_ref()?;
+            let id = id as u64;
+            if filtered && !id.is_multiple_of(2) {
+                return None;
+            }
+            Some((simdops::l2_sq(query, v), id))
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    scored.truncate(k);
+    scored.into_iter().map(|(_, id)| id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_respects_filter_and_tombstones() {
+        let mirror: Vec<Option<Vec<f32>>> = (0..6)
+            .map(|i| {
+                if i == 2 {
+                    None // deleted
+                } else {
+                    Some(vec![i as f32])
+                }
+            })
+            .collect();
+        let top = oracle_top_k(&mirror, &[0.0], 3, false);
+        assert_eq!(top, vec![0, 1, 3]);
+        let even = oracle_top_k(&mirror, &[0.0], 3, true);
+        assert_eq!(even, vec![0, 4]); // 2 is deleted, odds filtered
+    }
+
+    #[test]
+    fn topology_labels_are_stable() {
+        let spec = WorkloadSpec::base(1);
+        assert_eq!(TopologySpec::Flat.label(&spec, 0), "flat");
+        assert_eq!(
+            TopologySpec::Sharded { shards: 4 }.label(&spec, 256),
+            "sharded:4+cache:256"
+        );
+        assert_eq!(
+            TopologySpec::Replicated {
+                shards: 2,
+                replicas: 2
+            }
+            .label(&spec, 0),
+            "replicated:2x2:round-robin"
+        );
+        assert!(TopologySpec::Flat.supports_predicates());
+        assert!(!TopologySpec::Remote {
+            nodes: vec![],
+            timeout_ms: 100
+        }
+        .supports_predicates());
+    }
+}

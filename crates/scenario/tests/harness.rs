@@ -1,0 +1,186 @@
+//! End-to-end scenario harness tests: determinism of the non-timing
+//! report fields, fault-storm recall parity, churn accounting, and the
+//! remote topology against live in-process nodes.
+
+use metrics::{strip_timings, BenchReport, Json};
+use scenario::{by_name, ScenarioRunner, TopologySpec};
+use serving::distributed::{NodeAddr, NodeHandler, NodeServer};
+use serving::{ShardPolicy, ShardedIndex};
+use std::sync::Arc;
+
+fn parsed(report: &BenchReport) -> Json {
+    let text = report.to_pretty_string();
+    let json = Json::parse(&text).expect("report must round-trip through the parser");
+    BenchReport::validate(&json).expect("report must satisfy the BENCH schema");
+    json
+}
+
+#[test]
+fn every_scenario_emits_schema_valid_deterministic_reports() {
+    for scenario in scenario::all(true) {
+        let a = scenario.runner(7).run().expect("run a");
+        let b = scenario.runner(7).run().expect("run b");
+        assert!(
+            a.queries > 0,
+            "{}: workload produced no queries",
+            scenario.name
+        );
+        assert!(
+            a.recall_samples > 0,
+            "{}: oracle sampled no queries",
+            scenario.name
+        );
+        assert_eq!(
+            strip_timings(&parsed(&a)),
+            strip_timings(&parsed(&b)),
+            "{}: same seed + topology must reproduce every non-timing field",
+            scenario.name
+        );
+        // A different seed must actually change the stream.
+        let c = scenario.runner(8).run().expect("run c");
+        assert_ne!(
+            strip_timings(&parsed(&a)),
+            strip_timings(&parsed(&c)),
+            "{}: different seeds should not collide",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn fault_storm_recall_matches_the_healthy_run() {
+    let scenario = by_name("fault_storm", true).unwrap();
+    let stormy = scenario.runner(11).run().expect("stormy run");
+
+    let mut healthy_spec = scenario.spec.clone();
+    healthy_spec.seed = 11;
+    healthy_spec.fault_storm = None;
+    let healthy = ScenarioRunner::new(
+        "fault_storm_healthy",
+        healthy_spec,
+        scenario.default_topology.clone(),
+    )
+    .run()
+    .expect("healthy run");
+
+    // Replicas are bit-identical builds, so failover onto the surviving
+    // replica returns the same hits: recall must match exactly.
+    assert_eq!(stormy.queries, healthy.queries);
+    assert_eq!(stormy.recall_samples, healthy.recall_samples);
+    assert_eq!(
+        stormy.recall_at_k, healthy.recall_at_k,
+        "failover must not cost recall while one replica per shard survives"
+    );
+
+    let storm_stats = stormy
+        .failover
+        .expect("replicated topology reports failover");
+    let healthy_stats = healthy.failover.expect("healthy run still replicated");
+    assert!(storm_stats.retries > 0, "storm must force retries");
+    assert!(storm_stats.markdowns > 0, "victims must be marked down");
+    assert!(storm_stats.probes > 0, "down replicas must be probed");
+    assert!(storm_stats.recoveries > 0, "revived victims must recover");
+    assert_eq!(healthy_stats.errors, 0, "healthy run must see no errors");
+    assert_eq!(healthy_stats.markdowns, 0);
+}
+
+#[test]
+fn churn_lsm_accounts_for_every_mutation() {
+    let scenario = by_name("churn_lsm", true).unwrap();
+    let spec = &scenario.spec;
+    let report = scenario.runner(3).run().expect("churn run");
+
+    let bursts = (spec.ticks - 1) / spec.mutate_every;
+    assert_eq!(
+        report.mutations.inserts,
+        (bursts * spec.insert_burst) as u64,
+        "every scheduled insert must land"
+    );
+    assert!(
+        report.mutations.deletes > 0,
+        "some delete attempts must land"
+    );
+    assert!(
+        report.mutations.deletes <= (bursts * spec.delete_burst) as u64,
+        "deletes are attempts, not guarantees"
+    );
+    assert!(
+        report.mutations.generation >= report.mutations.inserts + report.mutations.deletes,
+        "generation must move at least once per mutation"
+    );
+
+    let cache = report.cache.expect("churn scenario runs with a cache");
+    assert_eq!(
+        cache.hits + cache.misses + cache.uncacheable,
+        report.queries,
+        "cache counters must account for every query"
+    );
+    assert!(
+        cache.uncacheable > 0,
+        "predicate-filtered queries are uncacheable"
+    );
+    assert!(
+        report.recall_at_k > 0.8,
+        "overlay merge must preserve recall, got {}",
+        report.recall_at_k
+    );
+
+    // Tenants partition the query stream exactly.
+    let per_tenant: u64 = report.tenants.iter().map(|t| t.queries).sum();
+    assert_eq!(per_tenant, report.queries);
+    assert!(report.tenants.iter().all(|t| t.queries > 0));
+}
+
+#[test]
+fn remote_topology_drives_in_process_nodes() {
+    let scenario = by_name("steady_zipf", true).unwrap();
+    let mut spec = scenario.spec.clone();
+    spec.seed = 21;
+
+    // Host the scenario's own generated base on two nodes, partitioned
+    // exactly the way the runner maps ids (round-robin).
+    let (base, _, _) = spec.materialize();
+    let builder = spec.builder();
+    let parts = ShardedIndex::partition(&base, 2, ShardPolicy::RoundRobin);
+    let mut servers: Vec<NodeServer> = parts
+        .into_iter()
+        .map(|(set, _ids)| {
+            let index: Arc<dyn engine::AnnIndex> = Arc::from(builder.build(set));
+            NodeServer::bind(
+                &"tcp:127.0.0.1:0".parse::<NodeAddr>().unwrap(),
+                NodeHandler::new(index),
+                2,
+            )
+            .expect("bind node")
+        })
+        .collect();
+    let nodes: Vec<NodeAddr> = servers.iter().map(|s| s.addr().clone()).collect();
+
+    let report = ScenarioRunner::new(
+        "steady_zipf_remote",
+        spec,
+        TopologySpec::Remote {
+            nodes,
+            timeout_ms: 2_000,
+        },
+    )
+    .run()
+    .expect("remote run");
+
+    assert!(report.queries > 0);
+    assert!(
+        report.recall_at_k > 0.5,
+        "remote recall collapsed: {}",
+        report.recall_at_k
+    );
+    assert_eq!(report.topology, "nodes:2");
+    let transport = report.transport.expect("remote topology reports transport");
+    assert!(transport.frames_sent > 0);
+    assert!(transport.bytes_received > 0);
+    assert_eq!(transport.timeouts, 0, "no timeouts expected on loopback");
+    parsed(&report);
+
+    for server in &mut servers {
+        server.shutdown();
+    }
+}

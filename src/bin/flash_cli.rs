@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&opts),
         "build" => cmd_build(&opts),
         "search" => cmd_search(&opts),
+        "scenario" => cmd_scenario(&opts),
         "serve-node" => cmd_serve_node(&opts),
         "info" => cmd_info(&opts),
         "help" | "--help" | "-h" => {
@@ -83,6 +84,11 @@ USAGE:
                      [--nodes <addr,addr,...>] [--timeout-ms <N>]
                      [--threads <N>] [--cache-capacity <N>]
                      [--batch <N>] [--gt <in.ivecs>] [--out <out.ivecs>]
+  flash_cli scenario --name steady_zipf|diurnal_burst|churn_lsm|fault_storm
+                     [--seed <u64>] [--smoke] [--out <BENCH_name.json>]
+                     [--shards <N>] [--replicas <R>] [--routing <policy>]
+                     [--nodes <addr,addr,...>] [--timeout-ms <N>]
+                     [--cache-capacity <N>] [--threads <N>]
   flash_cli serve-node --base <in.fvecs> --listen <addr>
                      [--method ...same as build...] [--c <C>] [--r <R>]
                      [--shards <N> --shard <I>] [--threads <N>] [--seed <u64>]
@@ -113,8 +119,20 @@ DISTRIBUTED:
           --replicas / --graph do not combine with --nodes; remote
           replica placement is not wired up yet)
 
+SCENARIO: `scenario` replays a named deterministic workload (Zipf-skewed
+          queries, diurnal/bursty arrivals, LSM churn, scripted fault
+          storms) against its default topology — or against --shards /
+          --replicas / --nodes overrides — and writes a schema-stable
+          BENCH_<name>.json. Identical seed + topology reproduces every
+          non-timing field byte-for-byte; --smoke runs the CI-sized
+          variant of the same shape
+
 PROFILES: argilla-like anton-like laion-like imagenet-like cohere-like
           datacomp-like bigcode-like ssnpp-like";
+
+/// Options that are bare boolean flags — present/absent, no value.
+/// Everything else is `--key value`.
+const FLAG_OPTIONS: &[&str] = &["smoke"];
 
 /// Parsed `--key value` options.
 struct Opts {
@@ -129,14 +147,23 @@ impl Opts {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("expected --option, got `{key}`"));
             };
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{name} requires a value"))?;
-            if map.insert(name.to_string(), value.clone()).is_some() {
+            let value = if FLAG_OPTIONS.contains(&name) {
+                "true".to_string()
+            } else {
+                it.next()
+                    .ok_or_else(|| format!("--{name} requires a value"))?
+                    .clone()
+            };
+            if map.insert(name.to_string(), value).is_some() {
                 return Err(format!("--{name} given twice"));
             }
         }
         Ok(Self { map })
+    }
+
+    /// Whether a boolean flag (see [`FLAG_OPTIONS`]) was given.
+    fn flag(&self, key: &str) -> bool {
+        self.map.contains_key(key)
     }
 
     fn str(&self, key: &str) -> Option<&str> {
@@ -636,6 +663,123 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Replays a named scenario workload and writes its `BENCH_*.json`,
+/// self-checking the emitted file against the report schema.
+fn cmd_scenario(opts: &Opts) -> Result<(), String> {
+    use scenario::TopologySpec;
+
+    let name = opts.required("name")?;
+    let smoke = opts.flag("smoke");
+    let preset = scenario::by_name(name, smoke)?;
+    let mut spec = preset.spec.clone();
+    spec.seed = opts.num("seed", spec.seed)?;
+    if let Some(r) = opts.str("routing") {
+        spec.routing = r.parse()?;
+    }
+
+    let nodes: Option<Vec<NodeAddr>> = opts
+        .str("nodes")
+        .map(|csv| csv.split(',').map(str::parse).collect::<Result<_, _>>())
+        .transpose()?;
+    let topology = if let Some(addrs) = nodes {
+        if addrs.is_empty() {
+            return Err("--nodes needs at least one address".into());
+        }
+        for flag in ["shards", "replicas"] {
+            if opts.str(flag).is_some() {
+                return Err(format!("--{flag} does not combine with --nodes"));
+            }
+        }
+        TopologySpec::Remote {
+            nodes: addrs,
+            timeout_ms: opts.num("timeout-ms", 5_000u64)?,
+        }
+    } else {
+        let shards: usize = opts.num("shards", 0)?;
+        let replicas: usize = opts.num("replicas", 0)?;
+        match (shards, replicas) {
+            (0, 0) => preset.default_topology.clone(),
+            (s, 0) if s <= 1 => TopologySpec::Flat,
+            (s, 0) => TopologySpec::Sharded { shards: s },
+            (s, r) => TopologySpec::Replicated {
+                shards: s.max(1),
+                replicas: r.max(1),
+            },
+        }
+    };
+    let cache_capacity: usize = opts.num("cache-capacity", preset.default_cache)?;
+    let threads: usize = opts.num("threads", 0)?;
+    let out = PathBuf::from(
+        opts.str("out")
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("BENCH_{name}.json")),
+    );
+
+    eprintln!(
+        "scenario {name}{}: {} — topology {}, seed {}...",
+        if smoke { " (smoke)" } else { "" },
+        preset.stresses,
+        topology.label(&spec, cache_capacity),
+        spec.seed,
+    );
+    let report = scenario::ScenarioRunner::new(preset.name, spec, topology)
+        .cache_capacity(cache_capacity)
+        .threads(threads)
+        .run()?;
+    let text = report.to_pretty_string();
+    std::fs::write(&out, &text).map_err(io_err("write report"))?;
+
+    // Self-check: the bytes on disk must parse back and satisfy the
+    // BENCH schema, so downstream diff tooling can trust the artifact.
+    let reread = std::fs::read_to_string(&out).map_err(io_err("re-read report"))?;
+    let json =
+        metrics::Json::parse(&reread).map_err(|e| format!("emitted report does not parse: {e}"))?;
+    metrics::BenchReport::validate(&json)
+        .map_err(|e| format!("emitted report fails schema validation: {e}"))?;
+
+    println!(
+        "scenario={} topology={} queries={} qps={:.0} p50={:.3}ms p99={:.3}ms p999={:.3}ms recall@{}={:.4}",
+        report.scenario,
+        report.topology,
+        report.queries,
+        report.qps,
+        report.latency.p50_ms,
+        report.latency.p99_ms,
+        report.latency.p999_ms,
+        report.k,
+        report.recall_at_k,
+    );
+    if let Some(c) = &report.cache {
+        println!(
+            "cache: hits={} misses={} uncacheable={} hit_rate={:.1}%",
+            c.hits,
+            c.misses,
+            c.uncacheable,
+            c.hit_rate() * 100.0
+        );
+    }
+    if let Some(f) = &report.failover {
+        println!(
+            "failover: retries={} markdowns={} probes={} recoveries={}",
+            f.retries, f.markdowns, f.probes, f.recoveries
+        );
+    }
+    if let Some(t) = &report.transport {
+        println!(
+            "transport: frames={} bytes={} timeouts={}",
+            t.frames_sent + t.frames_received,
+            t.bytes_sent + t.bytes_received,
+            t.timeouts
+        );
+    }
+    println!(
+        "mutations: inserts={} deletes={} generation={}",
+        report.mutations.inserts, report.mutations.deletes, report.mutations.generation
+    );
+    eprintln!("wrote {}", out.display());
+    Ok(())
+}
+
 fn cmd_info(opts: &Opts) -> Result<(), String> {
     let path = opts.path("graph")?;
     let graph = graphs::GraphLayers::load(&path).map_err(io_err("read graph"))?;
@@ -687,6 +831,19 @@ mod tests {
         assert!(
             Opts::parse(&["--n".into(), "1".into(), "--n".into(), "2".into()]).is_err(),
             "duplicate option"
+        );
+    }
+
+    #[test]
+    fn boolean_flags_need_no_value() {
+        let o = Opts::parse(&["--smoke".into(), "--n".into(), "5".into()]).unwrap();
+        assert!(o.flag("smoke"));
+        assert_eq!(o.num("n", 0usize).unwrap(), 5);
+        let o = Opts::parse(&["--n".into(), "5".into()]).unwrap();
+        assert!(!o.flag("smoke"));
+        assert!(
+            Opts::parse(&["--smoke".into(), "--smoke".into()]).is_err(),
+            "duplicate flag"
         );
     }
 

@@ -12,6 +12,7 @@
 //! |---|---|
 //! | [`engine`] | **the serving API**: `AnnIndex`, `SearchRequest`/`SearchResponse`, `IndexBuilder`, `GraphKind` × `Coding` |
 //! | [`serving`] | **the query runtime**: `ShardedIndex` scatter-gather, `ReplicaGroup` failover routing, `BatchExecutor`, `QueryCache`, `FaultPlan` injection, cross-process nodes (`serving::distributed`) |
+//! | [`scenario`] | **the workload harness**: seeded `WorkloadSpec` → deterministic event streams (Zipf, diurnal, churn, fault storms), `ScenarioRunner` over any topology, `BENCH_*.json` reports |
 //! | [`flash`] | the paper's contribution: `FlashCodec`, `FlashProvider`, `FlashHnsw` |
 //! | [`graphs`] | generic HNSW, NSG, τ-MG, Vamana, HCNNG; filtered search; ADSampling & VBase search variants |
 //! | [`quantizers`] | PQ / SQ / PCA baselines, OPQ, + the Theorem-1 reliability estimator |
@@ -203,6 +204,62 @@
 //! results don't change); `flash_cli search --nodes a,b,...` drives the
 //! one-node-per-shard layout from the command line.
 //!
+//! ## Scenario benchmarking
+//!
+//! Point benchmarks answer "how fast is a search"; the [`scenario`]
+//! harness answers "how does the whole serving stack behave under
+//! realistic traffic, and did this commit change that". A
+//! [`scenario::WorkloadSpec`] lowers a seed into a deterministic event
+//! stream — Zipf-skewed query popularity over a pool, Poisson arrivals
+//! shaped steady/diurnal/bursty, labeled and predicate-filtered queries,
+//! multi-tenant attribution, interleaved LSM insert/delete bursts, and
+//! scripted replica fault storms — and [`scenario::ScenarioRunner`]
+//! replays it against any topology (flat, sharded, replicated, cached,
+//! remote nodes), checks a sampled query subset against a brute-force
+//! oracle over the *live* vector set, and emits a `metrics::BenchReport`.
+//!
+//! The named catalog ([`scenario::SCENARIO_NAMES`], also
+//! `flash_cli scenario --name <id> [--smoke]`):
+//!
+//! | Scenario | Stresses | Key metric |
+//! |---|---|---|
+//! | `steady_zipf` | sharded fan-out + `QueryCache` under Zipf-skewed popularity | cache hit rate |
+//! | `diurnal_burst` | batch executor + QPS through trough-to-peak diurnal swings | p99 / p999 latency |
+//! | `churn_lsm` | LSM overlay merge + cache generation invalidation under churn | recall\@k under churn |
+//! | `fault_storm` | replica markdown, probing, recovery (replica 0 survives) | recall parity + failover counters |
+//!
+//! Each run writes `BENCH_<scenario>.json` with a stable schema:
+//! `schema_version`, `scenario`, `seed`, `topology`, `config` (the spec
+//! echo), `queries`, `qps`, `latency_ms` (`mean`/`p50`/`p95`/`p99`/
+//! `p999`/`max`), `recall` (`k`/`samples`/`recall_at_k`), `cache`
+//! (hits/misses/uncacheable), `failover` (retries/markdowns/probes/
+//! recoveries), `transport` (frames/bytes/timeouts), `mutations`, and
+//! per-tenant latency summaries. Identical seed + topology reproduces
+//! every **non-timing** field byte-for-byte — `metrics::strip_timings`
+//! removes exactly the timing keys (`qps`, `wall_seconds`, `latency_ms`)
+//! so trajectories can be diffed across commits:
+//!
+//! ```
+//! use hnsw_flash::prelude::*;
+//!
+//! // A tiny custom workload; `scenario::by_name("steady_zipf", true)`
+//! // gives the catalog presets instead.
+//! let mut spec = WorkloadSpec::base(42);
+//! spec.base_n = 300;
+//! spec.ticks = 4;
+//! spec.arrival = ArrivalShape::Steady { rate: 10.0 };
+//! spec.build_c = 32;
+//!
+//! let report = ScenarioRunner::new("demo", spec, TopologySpec::Flat)
+//!     .cache_capacity(64)
+//!     .run()
+//!     .unwrap();
+//! let json = metrics::Json::parse(&report.to_pretty_string()).unwrap();
+//! metrics::BenchReport::validate(&json).unwrap();
+//! assert!(report.queries > 0);
+//! assert_eq!(strip_timings(&json), strip_timings(&json));
+//! ```
+//!
 //! ## Migrating from the per-type APIs
 //!
 //! The concrete index types still exist (construction-time features like
@@ -236,6 +293,7 @@ pub use linalg;
 pub use maintenance;
 pub use metrics;
 pub use quantizers;
+pub use scenario;
 pub use serving;
 pub use simdops;
 pub use vecstore;
@@ -259,10 +317,16 @@ pub mod prelude {
         NsgParams, TauMg, TauMgParams, Vamana, VamanaParams,
     };
     pub use maintenance::{CycleWorkload, LsmConfig, LsmVectorIndex};
-    pub use metrics::{average_distance_ratio, measure_qps, recall_at_k, PhaseTimer};
+    pub use metrics::{
+        average_distance_ratio, measure_qps, recall_at_k, strip_timings, BenchReport, PhaseTimer,
+    };
     pub use quantizers::{
         comparison_reliability, OptimizedProductQuantizer, PcaCodec, ProductQuantizer,
         ScalarQuantizer,
+    };
+    pub use scenario::{
+        ArrivalShape, FaultStorm, Scenario, ScenarioCorpus, ScenarioRunner, TopologySpec,
+        WorkloadSpec,
     };
     pub use serving::{
         BatchExecutor, BatchReport, CachedIndex, FallibleIndex, FaultError, FaultKind, FaultPlan,

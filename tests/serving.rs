@@ -176,6 +176,161 @@ fn lsm_vector(i: usize) -> Vec<f32> {
     (0..8).map(|d| ((i * 7 + d * 3) % 23) as f32).collect()
 }
 
+/// Cache behavior under a realistic stream: Zipf-skewed repeats against a
+/// mutating LSM index. The hit/miss counters are checked against a
+/// hand-computed model at every stage — Zipf skew drives the steady-state
+/// hit rate well up, a generation bump drops the hit rate on the next
+/// full pool pass to exactly zero, and the pass after that recovers to
+/// exactly one hit per pool entry.
+#[test]
+fn zipf_stream_hit_rate_collapses_and_recovers_on_generation_bump() {
+    use rand::distributions::Zipf;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let mut config = LsmConfig::for_dim(8);
+    config.memtable_cap = 1024;
+    let mut lsm = LsmVectorIndex::new(config);
+    for i in 0..40 {
+        lsm.insert(&lsm_vector(i));
+    }
+
+    const POOL: usize = 32;
+    let cache = QueryCache::new(2 * POOL); // never evicts: misses are only cold or stale
+    cache.set_generation(lsm.generation());
+    // Distinct query vectors (lsm_vector has period 23, which would alias
+    // pool entries onto the same cache key).
+    let pool: Vec<SearchRequest> = (0..POOL)
+        .map(|i| {
+            let q: Vec<f32> = (0..8).map(|d| (i * 8 + d) as f32 * 0.25).collect();
+            SearchRequest::new(q, 5)
+        })
+        .collect();
+    let keys: Vec<u64> = pool
+        .iter()
+        .map(|req| QueryCache::key_of(req).expect("cacheable"))
+        .collect();
+
+    // The hand-computed model: which pool entries are populated under the
+    // *current* generation, plus expected cumulative counters.
+    struct Trace {
+        populated: [bool; POOL],
+        hits: u64,
+        misses: u64,
+    }
+    fn lookup(
+        cache: &QueryCache,
+        pool: &[SearchRequest],
+        keys: &[u64],
+        idx: usize,
+        lsm: &LsmVectorIndex,
+        trace: &mut Trace,
+    ) -> bool {
+        let (req, key) = (&pool[idx], keys[idx]);
+        match cache.get(key, req) {
+            Some(resp) => {
+                assert!(
+                    trace.populated[idx],
+                    "hit on an entry the model says is absent"
+                );
+                assert_eq!(resp.hits, AnnIndex::search(lsm, req).hits, "stale payload");
+                trace.hits += 1;
+                true
+            }
+            None => {
+                assert!(
+                    !trace.populated[idx],
+                    "miss on an entry the model says is present"
+                );
+                let resp = AnnIndex::search(lsm, req);
+                cache.insert(key, req, cache.generation(), Arc::new(resp));
+                trace.populated[idx] = true;
+                trace.misses += 1;
+                false
+            }
+        }
+    }
+    let mut trace = Trace {
+        populated: [false; POOL],
+        hits: 0,
+        misses: 0,
+    };
+
+    // Steady state: 200 Zipf-skewed draws. Skew means the head indexes
+    // repeat constantly, so the stream hit rate must clear 50% even
+    // though every first touch is a cold miss.
+    let mut rng = SmallRng::seed_from_u64(0xCAFE);
+    let zipf = Zipf::new(POOL, 1.2);
+    let mut stream_hits = 0u64;
+    for _ in 0..200 {
+        if lookup(
+            &cache,
+            &pool,
+            &keys,
+            zipf.sample(&mut rng),
+            &lsm,
+            &mut trace,
+        ) {
+            stream_hits += 1;
+        }
+    }
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses), (trace.hits, trace.misses));
+    assert_eq!(stats.hits, stream_hits);
+    assert!(
+        stream_hits as f64 / 200.0 > 0.5,
+        "Zipf head must dominate: {stream_hits}/200 hits"
+    );
+
+    // Mutation: the generation moves, every cached entry goes stale.
+    lsm.insert(&lsm_vector(100));
+    cache.set_generation(lsm.generation());
+    trace.populated = [false; POOL];
+
+    // The very next pass over the full pool hits ZERO times...
+    let mut post_bump_hits = 0u64;
+    for idx in 0..POOL {
+        if lookup(&cache, &pool, &keys, idx, &lsm, &mut trace) {
+            post_bump_hits += 1;
+        }
+    }
+    assert_eq!(
+        post_bump_hits, 0,
+        "no entry may survive the generation bump"
+    );
+
+    // ...and the pass after that hits every single time (recovery).
+    let mut recovery_hits = 0u64;
+    for idx in 0..POOL {
+        if lookup(&cache, &pool, &keys, idx, &lsm, &mut trace) {
+            recovery_hits += 1;
+        }
+    }
+    assert_eq!(
+        recovery_hits, POOL as u64,
+        "repopulated pool must fully hit"
+    );
+
+    // A delete invalidates just as hard.
+    assert!(lsm.delete(0));
+    cache.set_generation(lsm.generation());
+    trace.populated = [false; POOL];
+    assert!(cache.get(keys[0], &pool[0]).is_none());
+    trace.misses += 1; // the raw get() above counts as a miss without repopulating
+
+    // Final ledger: every counter matches the hand-computed trace.
+    let stats = cache.stats();
+    assert_eq!(stats.hits, trace.hits);
+    assert_eq!(stats.misses, trace.misses);
+    assert_eq!(stats.hits, stream_hits + recovery_hits);
+    assert_eq!(
+        stats.misses,
+        (200 - stream_hits) + POOL as u64 + 1,
+        "misses = cold stream misses + post-bump pool pass + final stale probe"
+    );
+    assert_eq!(stats.uncacheable, 0);
+}
+
 /// Cache semantics across a failover: a `CachedIndex` over a
 /// `ReplicaGroup` must never serve a response cached under a generation
 /// that a replica mark-down has since invalidated, and the hit/miss
