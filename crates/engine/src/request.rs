@@ -1,6 +1,7 @@
 //! The unified request/response model.
 
 use graphs::Hit;
+use metrics::TraceContext;
 use std::fmt;
 use std::sync::Arc;
 
@@ -65,6 +66,11 @@ pub struct SearchRequest {
     pub vbase_window: Option<usize>,
     /// ADSampling progressive-distance options for graph indexes.
     pub adsampling: Option<AdSamplingOptions>,
+    /// Observability handle: when set, each serving layer records typed
+    /// spans for this request into the context's ring. Never affects
+    /// results, cache keys, or the wire payload (the frame header carries
+    /// the trace id instead).
+    pub trace: Option<TraceContext>,
 }
 
 impl SearchRequest {
@@ -79,6 +85,7 @@ impl SearchRequest {
             filter: None,
             vbase_window: None,
             adsampling: None,
+            trace: None,
         }
     }
 
@@ -124,6 +131,13 @@ impl SearchRequest {
         self
     }
 
+    /// Attaches a trace context so serving layers record spans for this
+    /// request.
+    pub fn trace(mut self, ctx: TraceContext) -> Self {
+        self.trace = Some(ctx);
+        self
+    }
+
     /// Candidate-pool size before reranking: `max(k · rerank, k)`.
     pub fn pool_k(&self) -> usize {
         (self.k * self.rerank.max(1)).max(self.k)
@@ -146,6 +160,7 @@ impl fmt::Debug for SearchRequest {
             .field("filter", &self.filter.as_ref().map(|_| "<predicate>"))
             .field("vbase_window", &self.vbase_window)
             .field("adsampling", &self.adsampling)
+            .field("trace", &self.trace)
             .finish()
     }
 }

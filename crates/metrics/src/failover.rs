@@ -115,6 +115,21 @@ impl ReplicaStats {
             latency_ns: self.latency_ns + other.latency_ns,
         }
     }
+
+    /// JSON form of the structural counters.
+    ///
+    /// `latency_ns` is wall-clock and deliberately omitted so the object is
+    /// byte-stable across identically-seeded runs.
+    pub fn to_json(&self) -> crate::Json {
+        crate::Json::Obj(vec![
+            ("searches".into(), crate::Json::uint(self.searches)),
+            ("errors".into(), crate::Json::uint(self.errors)),
+            ("retries".into(), crate::Json::uint(self.retries)),
+            ("markdowns".into(), crate::Json::uint(self.markdowns)),
+            ("probes".into(), crate::Json::uint(self.probes)),
+            ("recoveries".into(), crate::Json::uint(self.recoveries)),
+        ])
+    }
 }
 
 /// Folds per-replica snapshots into one aggregate (element-wise sums).

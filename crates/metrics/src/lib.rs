@@ -10,6 +10,10 @@
 //!   distributed serving wire transports;
 //! * [`report`] — the hand-rolled `BENCH_*.json` writer/parser backing the
 //!   scenario harness's perf trajectory;
+//! * [`trace`] — deterministic per-request tracing: trace contexts, typed
+//!   spans, and the lock-free span ring the serving layers record into;
+//! * [`registry`] — the process-wide named counter/gauge/histogram
+//!   registry, snapshot-able as [`Json`];
 //! * [`PhaseTimer`] — named wall-clock phases for indexing-time breakdowns.
 
 pub mod adr;
@@ -17,8 +21,10 @@ pub mod failover;
 pub mod latency;
 pub mod qps;
 pub mod recall;
+pub mod registry;
 pub mod report;
 mod timer;
+pub mod trace;
 pub mod transport;
 
 pub use adr::average_distance_ratio;
@@ -26,6 +32,13 @@ pub use failover::{failover_summary, ReplicaCounters, ReplicaStats};
 pub use latency::{latency_summary, LatencySummary};
 pub use qps::{measure_qps, QpsReport};
 pub use recall::{recall_at_k, RecallReport};
-pub use report::{strip_timings, BenchReport, CacheSummary, Json, MutationSummary, TenantSummary};
+pub use registry::{Counter, Gauge, Log2Histogram, MetricsRegistry};
+pub use report::{
+    strip_timings, BenchReport, CacheSummary, Json, MutationSummary, TenantSummary, TraceSummary,
+};
 pub use timer::PhaseTimer;
+pub use trace::{
+    collect_traces, trace_id_for, trace_to_json, SpanKind, SpanOutcome, SpanRecord, SpanRing,
+    TraceContext,
+};
 pub use transport::{transport_summary, TransportCounters, TransportStats};

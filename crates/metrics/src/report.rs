@@ -25,10 +25,11 @@ use crate::TransportStats;
 use std::fmt::Write as _;
 
 /// Schema version stamped into every report; bump on breaking changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version 2 added the required `trace` key (span-count breakdown).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Top-level keys every `BENCH_*.json` must carry.
-pub const REQUIRED_KEYS: [&str; 12] = [
+pub const REQUIRED_KEYS: [&str; 13] = [
     "schema_version",
     "scenario",
     "seed",
@@ -39,6 +40,7 @@ pub const REQUIRED_KEYS: [&str; 12] = [
     "latency_ms",
     "recall",
     "cache",
+    "trace",
     "mutations",
     "tenants",
 ];
@@ -153,6 +155,59 @@ impl Json {
         self.write_pretty(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Serializes on a single line with no whitespace — the JSON-lines
+    /// form trace exports use (one document per line, no trailing
+    /// newline; the caller appends it).
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    if *v == v.trunc() && v.abs() < 1e15 {
+                        let _ = write!(out, "{v:.1}");
+                    } else {
+                        let _ = write!(out, "{v}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write_pretty(&self, out: &mut String, depth: usize) {
@@ -469,8 +524,16 @@ impl Parser<'_> {
 }
 
 /// Keys whose values are wall-clock measurements and therefore excluded
-/// from the determinism comparison.
-pub const TIMING_KEYS: [&str; 3] = ["qps", "wall_seconds", "latency_ms"];
+/// from the determinism comparison. `stage_ms` (the trace summary's
+/// per-stage latency breakdown) and `elapsed_ns` (per-span durations in
+/// exported traces) are measurements too; the span *counts* stay.
+pub const TIMING_KEYS: [&str; 5] = [
+    "qps",
+    "wall_seconds",
+    "latency_ms",
+    "stage_ms",
+    "elapsed_ns",
+];
 
 /// Returns a copy of `json` with every timing-valued key (see
 /// [`TIMING_KEYS`]) removed, recursively. Comparing two stripped reports
@@ -537,6 +600,27 @@ pub struct TenantSummary {
     pub latency: LatencySummary,
 }
 
+/// Aggregated trace-plane accounting for a scenario run.
+///
+/// The span *counts* are structural — a fixed seed and topology must
+/// reproduce them exactly — while `stage_ms` holds wall-clock per-stage
+/// totals and is stripped by [`strip_timings`] alongside the other
+/// timing fields.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Query events that carried a trace context.
+    pub traces: u64,
+    /// Spans lost to ring-buffer overwrite (0 when the ring was sized to
+    /// the workload).
+    pub dropped: u64,
+    /// Span counts by taxonomy name (`cache_lookup`, `route`, ...), in
+    /// span-code order. Names with zero spans are omitted.
+    pub span_counts: Vec<(String, u64)>,
+    /// Total in-span milliseconds by taxonomy name, same order as
+    /// `span_counts` (timing; stripped for determinism checks).
+    pub stage_ms: Vec<(String, f64)>,
+}
+
 /// Everything a scenario run reports; serialized as `BENCH_<scenario>.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -570,6 +654,8 @@ pub struct BenchReport {
     pub failover: Option<ReplicaStats>,
     /// Transport counters, when the topology is remote.
     pub transport: Option<TransportStats>,
+    /// Trace-plane aggregates, when the run recorded spans.
+    pub trace: Option<TraceSummary>,
     /// Mutation totals.
     pub mutations: MutationSummary,
     /// Per-tenant accounting, ordered by tenant id.
@@ -600,26 +686,36 @@ impl BenchReport {
             ]),
             None => Json::Null,
         };
-        let failover = match &self.failover {
-            Some(f) => Json::Obj(vec![
-                ("searches".into(), Json::uint(f.searches)),
-                ("errors".into(), Json::uint(f.errors)),
-                ("retries".into(), Json::uint(f.retries)),
-                ("markdowns".into(), Json::uint(f.markdowns)),
-                ("probes".into(), Json::uint(f.probes)),
-                ("recoveries".into(), Json::uint(f.recoveries)),
-            ]),
-            None => Json::Null,
-        };
-        let transport = match &self.transport {
+        let failover = self
+            .failover
+            .as_ref()
+            .map_or(Json::Null, ReplicaStats::to_json);
+        let transport = self
+            .transport
+            .as_ref()
+            .map_or(Json::Null, TransportStats::to_json);
+        let trace = match &self.trace {
             Some(t) => Json::Obj(vec![
-                ("frames_sent".into(), Json::uint(t.frames_sent)),
-                ("frames_received".into(), Json::uint(t.frames_received)),
-                ("bytes_sent".into(), Json::uint(t.bytes_sent)),
-                ("bytes_received".into(), Json::uint(t.bytes_received)),
-                ("errors".into(), Json::uint(t.errors)),
-                ("timeouts".into(), Json::uint(t.timeouts)),
-                ("reconnects".into(), Json::uint(t.reconnects)),
+                ("traces".into(), Json::uint(t.traces)),
+                ("dropped".into(), Json::uint(t.dropped)),
+                (
+                    "spans".into(),
+                    Json::Obj(
+                        t.span_counts
+                            .iter()
+                            .map(|(name, n)| (name.clone(), Json::uint(*n)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "stage_ms".into(),
+                    Json::Obj(
+                        t.stage_ms
+                            .iter()
+                            .map(|(name, ms)| (name.clone(), Json::num(*ms)))
+                            .collect(),
+                    ),
+                ),
             ]),
             None => Json::Null,
         };
@@ -655,6 +751,7 @@ impl BenchReport {
             ("cache".into(), cache),
             ("failover".into(), failover),
             ("transport".into(), transport),
+            ("trace".into(), trace),
             (
                 "mutations".into(),
                 Json::Obj(vec![
@@ -732,6 +829,12 @@ mod tests {
             }),
             failover: None,
             transport: None,
+            trace: Some(TraceSummary {
+                traces: 3000,
+                dropped: 0,
+                span_counts: vec![("cache_lookup".into(), 3000), ("gather".into(), 3000)],
+                stage_ms: vec![("cache_lookup".into(), 1.5), ("gather".into(), 40.25)],
+            }),
             mutations: MutationSummary::default(),
             tenants: vec![TenantSummary {
                 tenant: 0,
@@ -813,6 +916,25 @@ mod tests {
         assert_eq!(stripped.get("queries").unwrap().as_u64(), Some(3000));
         assert!(stripped.get("recall").is_some());
         assert!(stripped.get("cache").is_some());
+        // The trace summary keeps its structural span counts but loses
+        // the per-stage wall-clock breakdown.
+        let trace = stripped.get("trace").unwrap();
+        assert!(trace.get("stage_ms").is_none());
+        assert_eq!(
+            trace.get("spans").unwrap().get("gather").unwrap().as_u64(),
+            Some(3000)
+        );
+        assert_eq!(trace.get("traces").unwrap().as_u64(), Some(3000));
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_round_trips() {
+        let json = sample_report().to_json();
+        let compact = json.to_compact_string();
+        assert!(!compact.contains('\n'), "compact form must be one line");
+        assert!(!compact.contains(": "), "no space after separators");
+        let back = Json::parse(&compact).unwrap();
+        assert_eq!(back, json);
     }
 
     #[test]

@@ -103,6 +103,25 @@ impl TransportStats {
             reconnects: self.reconnects + other.reconnects,
         }
     }
+
+    /// JSON form with every counter, in declaration order.
+    pub fn to_json(&self) -> crate::Json {
+        crate::Json::Obj(vec![
+            ("frames_sent".into(), crate::Json::uint(self.frames_sent)),
+            (
+                "frames_received".into(),
+                crate::Json::uint(self.frames_received),
+            ),
+            ("bytes_sent".into(), crate::Json::uint(self.bytes_sent)),
+            (
+                "bytes_received".into(),
+                crate::Json::uint(self.bytes_received),
+            ),
+            ("errors".into(), crate::Json::uint(self.errors)),
+            ("timeouts".into(), crate::Json::uint(self.timeouts)),
+            ("reconnects".into(), crate::Json::uint(self.reconnects)),
+        ])
+    }
 }
 
 /// Folds per-node snapshots into one aggregate (element-wise sums).

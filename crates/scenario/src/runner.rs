@@ -20,7 +20,11 @@
 use crate::corpus::ScenarioCorpus;
 use crate::spec::{Event, QueryEvent, WorkloadSpec};
 use engine::{AnnIndex, SearchRequest};
-use metrics::{transport_summary, BenchReport, CacheSummary, MutationSummary, TenantSummary};
+use metrics::{
+    collect_traces, trace_id_for, transport_summary, BenchReport, CacheSummary, Json,
+    MetricsRegistry, MutationSummary, SpanKind, SpanRing, TenantSummary, TraceContext,
+    TraceSummary,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serving::distributed::{NodeAddr, RemoteIndex, SocketTransport, Transport};
@@ -142,6 +146,16 @@ impl ScenarioRunner {
     /// Replays the workload and reports. Errors only on topology assembly
     /// (e.g. an unreachable remote node).
     pub fn run(&self) -> Result<BenchReport, String> {
+        self.run_traced().map(|(report, _)| report)
+    }
+
+    /// [`Self::run`], additionally returning one JSON trace per query
+    /// event in issue order (the `--trace-out` line format): each entry is
+    /// `{"trace_id": ..., "spans": [...]}` with the spans in canonical
+    /// lane order. The trace *structure* — span kinds, lanes, payloads —
+    /// is a deterministic function of `(spec, topology)`; only the
+    /// `elapsed_ns` fields vary run to run.
+    pub fn run_traced(&self) -> Result<(BenchReport, Vec<Json>), String> {
         let spec = &self.spec;
         let threads = if self.threads > 0 {
             self.threads
@@ -238,6 +252,64 @@ impl ScenarioRunner {
 
         // --- replay the stream ----------------------------------------
         let events = spec.events();
+        // Size the span ring to the workload so no span is ever dropped:
+        // capacity (deterministic from spec + topology) comfortably above
+        // the worst-case span count per query for this topology.
+        let query_events = events
+            .iter()
+            .filter(|e| matches!(e, Event::Query(_)))
+            .count();
+        let spans_per_query = match &self.topology {
+            TopologySpec::Flat => 8,
+            TopologySpec::Sharded { shards } => 8 + 4 * *shards,
+            TopologySpec::Replicated { shards, replicas } => 8 + shards * (6 + 2 * replicas),
+            TopologySpec::Remote { nodes, .. } => 8 + 8 * nodes.len(),
+        };
+        let ring = Arc::new(SpanRing::new(
+            (query_events.max(1) * spans_per_query).clamp(1024, 1 << 21),
+        ));
+        let mut trace_ids: Vec<u64> = Vec::with_capacity(query_events);
+
+        // --- live metrics plane -----------------------------------------
+        // Publish the stack's live stats objects into the process-wide
+        // registry so a concurrent scrape (`MetricsRegistry::global()
+        // .snapshot()`) observes this run's counters under stable
+        // `layer.component.metric` names. `register_source` replaces any
+        // prior entry, so back-to-back runs simply re-point the names at
+        // the fresh stack.
+        let registry = MetricsRegistry::global();
+        if let Some(c) = &cached {
+            let c = Arc::clone(c);
+            registry.register_source("serving.cache.query_cache", move || {
+                let s = c.cache().stats();
+                Json::Obj(vec![
+                    ("hits".into(), Json::uint(s.hits)),
+                    ("misses".into(), Json::uint(s.misses)),
+                    ("uncacheable".into(), Json::uint(s.uncacheable)),
+                ])
+            });
+        }
+        if let Some(r) = &replicated {
+            let r = Arc::clone(r);
+            registry.register_source("serving.replica.failover", move || {
+                r.failover_stats().to_json()
+            });
+        }
+        if !transports.is_empty() {
+            let ts = transports.clone();
+            registry.register_source("serving.transport.coordinator", move || {
+                transport_summary(&ts.iter().map(|t| t.stats()).collect::<Vec<_>>()).to_json()
+            });
+        }
+        {
+            let ring = Arc::clone(&ring);
+            registry.register_source("scenario.trace.ring", move || {
+                Json::Obj(vec![
+                    ("capacity".into(), Json::uint(ring.capacity() as u64)),
+                    ("dropped".into(), Json::uint(ring.dropped())),
+                ])
+            });
+        }
         let push_predicates = self.topology.supports_predicates();
         let mut delete_rng = SmallRng::seed_from_u64(spec.delete_seed());
         let mut insert_cursor = 0usize;
@@ -271,6 +343,9 @@ impl ScenarioRunner {
                     if filtered {
                         req = req.filter(|id| id % 2 == 0);
                     }
+                    let trace_id = trace_id_for(spec.seed, query_counter as u64);
+                    req = req.trace(TraceContext::new(Arc::clone(&ring), trace_id));
+                    trace_ids.push(trace_id);
                     let oracle = query_counter
                         .is_multiple_of(spec.oracle_every.max(1))
                         .then(|| oracle_top_k(&mirror, &query, spec.k, filtered));
@@ -321,6 +396,31 @@ impl ScenarioRunner {
             &mut state,
         );
 
+        // --- fold the trace plane -------------------------------------
+        let spans = ring.snapshot();
+        let mut counts = [0u64; 8];
+        let mut total_ns = [0u64; 8];
+        let mut names = [""; 8];
+        for s in &spans {
+            let c = s.kind.code() as usize;
+            counts[c] += 1;
+            total_ns[c] += s.elapsed_ns;
+            names[c] = s.kind.name();
+        }
+        let trace_summary = TraceSummary {
+            traces: trace_ids.len() as u64,
+            dropped: ring.dropped(),
+            span_counts: (1..8)
+                .filter(|&c| counts[c] > 0)
+                .map(|c| (names[c].to_string(), counts[c]))
+                .collect(),
+            stage_ms: (1..8)
+                .filter(|&c| counts[c] > 0)
+                .map(|c| (names[c].to_string(), total_ns[c] as f64 / 1e6))
+                .collect(),
+        };
+        let traces: Vec<Json> = collect_traces(&ring, &trace_ids);
+
         // --- report ----------------------------------------------------
         let queries = state.all_latencies.len() as u64;
         let synthetic = BatchReport {
@@ -335,8 +435,8 @@ impl ScenarioRunner {
             })
             .collect();
         let mut config = spec.config_pairs();
-        config.push(("threads".into(), metrics::Json::uint(threads as u64)));
-        Ok(BenchReport {
+        config.push(("threads".into(), Json::uint(threads as u64)));
+        let report = BenchReport {
             scenario: self.name.clone(),
             seed: spec.seed,
             topology: self.topology.label(spec, self.cache_capacity),
@@ -368,13 +468,15 @@ impl ScenarioRunner {
             transport: (!transports.is_empty()).then(|| {
                 transport_summary(&transports.iter().map(|t| t.stats()).collect::<Vec<_>>())
             }),
+            trace: Some(trace_summary),
             mutations: MutationSummary {
                 inserts: inserts_applied,
                 deletes: deletes_applied,
                 generation: corpus.generation() + fleet_generation(&replicated),
             },
             tenants,
-        })
+        };
+        Ok((report, traces))
     }
 
     /// Runs the pending segment through a `BatchExecutor` and folds its
@@ -402,6 +504,17 @@ impl ScenarioRunner {
             BatchExecutor::new(Arc::clone(serving)).batch_size(self.spec.batch.max(1));
         executor.submit_all(segment.iter().map(|(req, _, _)| req.clone()));
         let report = executor.run();
+        // The exact rerank pass runs inside the index internals; the
+        // runner stamps its span (candidate-pool size) per traced query.
+        if self.spec.rerank > 1 {
+            for (req, _, _) in &segment {
+                if let Some(trace) = &req.trace {
+                    trace.record(SpanKind::Rerank {
+                        pool: req.pool_k() as u64,
+                    });
+                }
+            }
+        }
         state.wall_seconds += report.qps.seconds;
         for (i, (_, q, oracle)) in segment.iter().enumerate() {
             state.tenant_indices[q.tenant as usize].push(offset + i);

@@ -2,7 +2,7 @@
 //! report fields, fault-storm recall parity, churn accounting, and the
 //! remote topology against live in-process nodes.
 
-use metrics::{strip_timings, BenchReport, Json};
+use metrics::{strip_timings, BenchReport, Json, MetricsRegistry};
 use scenario::{by_name, ScenarioRunner, TopologySpec};
 use serving::distributed::{NodeAddr, NodeHandler, NodeServer};
 use serving::{ShardPolicy, ShardedIndex};
@@ -45,6 +45,71 @@ fn every_scenario_emits_schema_valid_deterministic_reports() {
             scenario.name
         );
     }
+}
+
+/// The trace-plane acceptance gate: identical seed + topology must
+/// reproduce the span trees byte-for-byte once the timing fields
+/// (`elapsed_ns`) are stripped — across a cached flat topology and a
+/// replicated fault-storm topology.
+#[test]
+fn trace_structure_is_deterministic_modulo_timing() {
+    for name in ["steady_zipf", "fault_storm"] {
+        let scenario = by_name(name, true).unwrap();
+        let (report_a, traces_a) = scenario.runner(7).run_traced().expect("run a");
+        let (_, traces_b) = scenario.runner(7).run_traced().expect("run b");
+        assert_eq!(
+            traces_a.len() as u64,
+            report_a.queries,
+            "{name}: one trace per query"
+        );
+        let structural = |traces: &[Json]| -> Vec<String> {
+            traces
+                .iter()
+                .map(|t| strip_timings(t).to_compact_string())
+                .collect()
+        };
+        assert_eq!(
+            structural(&traces_a),
+            structural(&traces_b),
+            "{name}: same seed + topology must give byte-identical trace structure"
+        );
+        let total_spans: usize = structural(&traces_a)
+            .iter()
+            .map(|t| t.matches("\"kind\":").count())
+            .sum();
+        assert!(
+            total_spans >= traces_a.len(),
+            "{name}: every query must record at least one span"
+        );
+        let summary = report_a.trace.expect("runner always folds a trace summary");
+        assert_eq!(
+            summary.dropped, 0,
+            "{name}: the ring must be sized so no span is dropped"
+        );
+        assert_eq!(summary.traces, report_a.queries);
+    }
+}
+
+/// Running a scenario publishes the stack's live stats objects into the
+/// process-wide registry under stable `layer.component.metric` names,
+/// and the registry snapshot stays parseable JSON.
+#[test]
+fn run_publishes_live_sources_into_the_global_registry() {
+    let scenario = by_name("fault_storm", true).unwrap();
+    scenario.runner(5).run_traced().expect("storm run");
+    let registry = MetricsRegistry::global();
+    let names = registry.names();
+    for required in ["scenario.trace.ring", "serving.replica.failover"] {
+        assert!(
+            names.iter().any(|n| n == required),
+            "registry must expose {required}, have {names:?}"
+        );
+    }
+    let text = registry.snapshot().to_pretty_string();
+    Json::parse(&text).expect("registry snapshot must parse as JSON");
+    // The sources read the live stack, not a stale copy.
+    assert!(text.contains("markdowns"), "failover source must evaluate");
+    assert!(text.contains("dropped"), "trace-ring source must evaluate");
 }
 
 #[test]

@@ -13,6 +13,7 @@
 
 use cachesim::Lru;
 use engine::{AnnIndex, SearchRequest, SearchResponse};
+use metrics::SpanKind;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -344,6 +345,14 @@ impl CachedIndex {
             };
             lookups.push(t0.elapsed());
             responses.push(cached.map(|c| (*c).clone()));
+            if let Some(ctx) = &requests[i].trace {
+                ctx.record_timed(
+                    SpanKind::CacheLookup {
+                        hit: responses[i].is_some(),
+                    },
+                    lookups[i].as_nanos() as u64,
+                );
+            }
             if responses[i].is_none() {
                 let slot = match CanonicalRequest::of(&requests[i]) {
                     // Identical cacheable misses share one inner search.
@@ -398,12 +407,25 @@ impl AnnIndex for CachedIndex {
     }
 
     fn search(&self, req: &SearchRequest) -> SearchResponse {
+        let t0 = Instant::now();
         let Some(key) = QueryCache::key_of(req) else {
             self.cache.note_uncacheable();
             return self.inner.search(req);
         };
         if let Some(cached) = self.cache.get(key, req) {
+            if let Some(ctx) = &req.trace {
+                ctx.record_timed(
+                    SpanKind::CacheLookup { hit: true },
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
             return (*cached).clone();
+        }
+        if let Some(ctx) = &req.trace {
+            ctx.record_timed(
+                SpanKind::CacheLookup { hit: false },
+                t0.elapsed().as_nanos() as u64,
+            );
         }
         let computed_at = self.cache.generation();
         let response = self.inner.search(req);

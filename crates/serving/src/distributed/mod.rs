@@ -64,7 +64,7 @@ pub mod wire;
 pub use node::{NodeHandler, NodeServer};
 pub use remote::RemoteIndex;
 pub use transport::{LoopbackTransport, SocketTransport, Transport};
-pub use wire::{ErrorCode, Message, NodeInfo, WireFault};
+pub use wire::{ErrorCode, Message, NodeInfo, NodeStats, WireFault};
 
 use engine::WireError;
 use std::fmt;

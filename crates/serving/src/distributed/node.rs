@@ -6,19 +6,25 @@
 //! lets the coordinator treat remote and in-process shards identically.
 
 use super::transport::WireStream;
-use super::wire::{read_message, write_message, ErrorCode, Message, NodeInfo, WireFault};
+use super::wire::{
+    read_message, write_message, ErrorCode, Message, NodeInfo, NodeStats, WireFault,
+};
 use super::{NodeAddr, TransportError};
 use crate::fault::{FallibleIndex, FaultPlan, FaultyIndex};
 use crate::pool::WorkerPool;
 use engine::AnnIndex;
-use metrics::{TransportCounters, TransportStats};
+use metrics::{SpanRing, TransportCounters, TransportStats};
 use std::net::TcpListener;
 #[cfg(unix)]
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// Spans a node retains for [`Message::StatsRequest`] scrapes before the
+/// oldest are overwritten.
+const NODE_SPAN_RING_CAPACITY: usize = 4096;
 
 /// Answers protocol messages over one hosted index.
 ///
@@ -27,21 +33,36 @@ use std::thread::JoinHandle;
 /// through one path: a fault becomes a structured error frame, which the
 /// client maps back into the [`crate::FaultError`] that drives mark-down
 /// and retry on the coordinator.
+///
+/// The handler also owns the node's observability state — the transport
+/// counters every serving surface ([`NodeServer`],
+/// [`super::LoopbackTransport`]) records into, the request counter, the
+/// data generation, and the span ring — so a [`Message::StatsRequest`]
+/// snapshot is answered from one coherent place and matches what the
+/// coordinator's own transport counted.
 pub struct NodeHandler {
     index: Box<dyn FallibleIndex>,
+    counters: Arc<TransportCounters>,
+    requests: AtomicU64,
+    generation: AtomicU64,
+    ring: Arc<SpanRing>,
 }
 
 impl NodeHandler {
     /// Hosts `index` (production path — searches never fail node-side).
     pub fn new(index: Arc<dyn AnnIndex>) -> Self {
-        Self {
-            index: Box::new(index),
-        }
+        Self::fallible(Box::new(index))
     }
 
     /// Hosts a pre-wrapped fallible index.
     pub fn fallible(index: Box<dyn FallibleIndex>) -> Self {
-        Self { index }
+        Self {
+            index,
+            counters: Arc::new(TransportCounters::new()),
+            requests: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            ring: Arc::new(SpanRing::new(NODE_SPAN_RING_CAPACITY)),
+        }
     }
 
     /// Hosts `index` with `plan`'s scripted faults replayed over its
@@ -51,12 +72,40 @@ impl NodeHandler {
         Self::fallible(Box::new(FaultyIndex::new(index, plan)))
     }
 
+    /// Stamps the node's data generation (reported in [`NodeInfo`]).
+    pub fn with_generation(self, generation: u64) -> Self {
+        self.generation.store(generation, Ordering::Relaxed);
+        self
+    }
+
+    /// The node-side transport counters (shared with whichever serving
+    /// surface carries this handler's frames).
+    pub fn counters(&self) -> &Arc<TransportCounters> {
+        &self.counters
+    }
+
+    /// The node-side span ring (scraped by [`Message::StatsRequest`]).
+    pub fn ring(&self) -> &Arc<SpanRing> {
+        &self.ring
+    }
+
     /// The node's identity card.
     pub fn info(&self) -> NodeInfo {
         NodeInfo {
             len: self.index.len() as u64,
             dim: self.index.dim() as u32,
             memory_bytes: self.index.memory_bytes() as u64,
+            requests: self.requests.load(Ordering::Relaxed),
+            generation: self.generation.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The node's live observability snapshot.
+    pub fn stats(&self) -> NodeStats {
+        NodeStats {
+            info: self.info(),
+            transport: self.counters.snapshot(),
+            spans: self.ring.snapshot(),
         }
     }
 
@@ -66,6 +115,7 @@ impl NodeHandler {
     pub fn handle(&self, message: Message) -> Message {
         match message {
             Message::Search(request) => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     self.index.try_search(&request)
                 }));
@@ -79,6 +129,7 @@ impl NodeHandler {
                 }
             }
             Message::InfoRequest => Message::InfoResponse(self.info()),
+            Message::StatsRequest => Message::StatsResponse(self.stats()),
             // A well-formed frame of a kind this node does not handle
             // (BadRequest is reserved for frames that don't decode).
             other => Message::Error(WireFault {
@@ -166,7 +217,9 @@ impl NodeServer {
         };
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<(u64, WireStream)>>> = Arc::new(Mutex::new(Vec::new()));
-        let counters = Arc::new(TransportCounters::new());
+        // The server counts frames into the handler's own counters, so a
+        // StatsRequest scrape and Self::stats() answer from one ledger.
+        let counters = Arc::clone(handler.counters());
         let handler = Arc::new(handler);
         let accept = {
             let shutdown = Arc::clone(&shutdown);
@@ -289,10 +342,10 @@ impl Drop for NodeServer {
 /// hangs up or the stream errors (shutdown severs it).
 fn serve_connection(mut stream: WireStream, handler: &NodeHandler, counters: &TransportCounters) {
     loop {
-        let message = match read_message(&mut stream) {
-            Ok(Some((message, received))) => {
+        let (message, trace_id, received) = match read_message(&mut stream) {
+            Ok(Some((message, trace_id, received))) => {
                 counters.record_received(received as u64);
-                message
+                (message, trace_id, received)
             }
             Ok(None) => break, // client hung up cleanly
             Err(e) => {
@@ -304,7 +357,9 @@ fn serve_connection(mut stream: WireStream, handler: &NodeHandler, counters: &Tr
                         code: ErrorCode::BadRequest,
                         message: wire.to_string(),
                     });
-                    let _ = write_message(&mut stream, &reply);
+                    // An undecodable frame has no recoverable trace id;
+                    // answer untraced.
+                    let _ = write_message(&mut stream, &reply, 0);
                 } else {
                     counters.record_error();
                 }
@@ -312,8 +367,23 @@ fn serve_connection(mut stream: WireStream, handler: &NodeHandler, counters: &Tr
             }
         };
         let reply = handler.handle(message);
-        match write_message(&mut stream, &reply) {
-            Ok(sent) => counters.record_sent(sent as u64),
+        // The reply echoes the request's trace id, stitching this
+        // exchange to the coordinator's trace.
+        match write_message(&mut stream, &reply, trace_id) {
+            Ok(sent) => {
+                counters.record_sent(sent as u64);
+                if trace_id != 0 {
+                    handler.ring().record(
+                        trace_id,
+                        None,
+                        metrics::SpanKind::WireExchange {
+                            bytes_out: sent as u64,
+                            bytes_in: received as u64,
+                        },
+                        0,
+                    );
+                }
+            }
             Err(_) => {
                 counters.record_error();
                 break;

@@ -30,41 +30,74 @@ use std::sync::Arc;
 /// timeouts → [`FaultKind::Transient`], undecodable or
 /// protocol-violating frames → [`FaultKind::Malformed`]; a node-answered
 /// error frame carries its own fault kind across the wire.
+///
+/// Identity is re-validated after every transport reconnect: a node that
+/// was restarted with a different shard (length or dimensionality
+/// mismatch against the connect handshake) is rejected with
+/// [`FaultKind::Malformed`] instead of silently serving wrong results.
 pub struct RemoteIndex {
     transport: Arc<dyn Transport>,
     info: NodeInfo,
     calls: AtomicU64,
+    /// Transport reconnects already re-validated (lags
+    /// `transport.stats().reconnects` until the next search notices).
+    validated_reconnects: AtomicU64,
 }
 
 impl RemoteIndex {
     /// Performs the info handshake and returns the connected client.
     /// Fails fast if the node is unreachable or speaks something else.
     pub fn connect(transport: Arc<dyn Transport>) -> Result<Self, TransportError> {
-        let info = match transport.exchange(&Message::InfoRequest)? {
-            Message::InfoResponse(info) => info,
-            Message::Error(fault) => {
-                return Err(TransportError::Io(format!(
-                    "node refused the info handshake: {}",
-                    fault.message
-                )))
-            }
-            other => {
-                return Err(TransportError::Io(format!(
-                    "node answered the info handshake with a {} frame",
-                    other.kind_name()
-                )))
-            }
-        };
+        let info = Self::handshake(transport.as_ref())?;
+        let validated_reconnects = AtomicU64::new(transport.stats().reconnects);
         Ok(Self {
             transport,
             info,
             calls: AtomicU64::new(0),
+            validated_reconnects,
         })
+    }
+
+    fn handshake(transport: &dyn Transport) -> Result<NodeInfo, TransportError> {
+        match transport.exchange(&Message::InfoRequest)? {
+            Message::InfoResponse(info) => Ok(info),
+            Message::Error(fault) => Err(TransportError::Io(format!(
+                "node refused the info handshake: {}",
+                fault.message
+            ))),
+            other => Err(TransportError::Io(format!(
+                "node answered the info handshake with a {} frame",
+                other.kind_name()
+            ))),
+        }
     }
 
     /// The node's identity card from the connect handshake.
     pub fn info(&self) -> NodeInfo {
         self.info
+    }
+
+    /// When the transport has re-dialed since the last check, re-runs the
+    /// info handshake and rejects a node whose identity (length or
+    /// dimensionality) changed — a restarted process serving a different
+    /// shard must not be silently accepted.
+    fn revalidate_after_reconnect(&self, call: u64) -> Result<(), FaultError> {
+        let seen = self.transport.stats().reconnects;
+        let validated = self.validated_reconnects.load(Ordering::Relaxed);
+        if seen == validated {
+            return Ok(());
+        }
+        let fresh =
+            Self::handshake(self.transport.as_ref()).map_err(|e| Self::fault_of(&e, call))?;
+        if fresh.len != self.info.len || fresh.dim != self.info.dim {
+            return Err(FaultError {
+                call,
+                kind: FaultKind::Malformed,
+            });
+        }
+        // Racing searches may each handshake once; all converge here.
+        self.validated_reconnects.store(seen, Ordering::Relaxed);
+        Ok(())
     }
 
     /// The transport's frame/byte/failure counters.
@@ -106,7 +139,11 @@ impl FallibleIndex for RemoteIndex {
                 kind: FaultKind::Malformed,
             });
         }
-        match self.transport.exchange(&Message::Search(request.clone())) {
+        self.revalidate_after_reconnect(call)?;
+        let result = self
+            .transport
+            .exchange_traced(request.trace.as_ref(), &Message::Search(request.clone()));
+        match result {
             Ok(Message::SearchOk(response)) => Ok(response),
             Ok(Message::Error(fault)) => Err(WireFault::to_fault(&fault, call)),
             Ok(_) => Err(FaultError {

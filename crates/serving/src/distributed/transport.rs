@@ -17,21 +17,32 @@
 use super::node::NodeHandler;
 use super::wire::{read_message, write_message, Message};
 use super::{NodeAddr, TransportError};
-use metrics::{TransportCounters, TransportStats};
+use metrics::{SpanKind, TraceContext, TransportCounters, TransportStats};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One blocking request/response exchange with a node.
 pub trait Transport: Send + Sync {
-    /// Sends `message` and returns the node's answer. An `Err` means the
-    /// exchange itself failed (connect/read/write/decode); a node that
-    /// *answered* with an error decodes to [`Message::Error`], which is
-    /// an `Ok` here.
-    fn exchange(&self, message: &Message) -> Result<Message, TransportError>;
+    /// Sends `message` in a frame carrying `trace`'s id (untraced when
+    /// `None`) and returns the node's answer, recording one
+    /// `wire_exchange` span with the exact frame byte counts into the
+    /// trace. An `Err` means the exchange itself failed
+    /// (connect/read/write/decode); a node that *answered* with an error
+    /// decodes to [`Message::Error`], which is an `Ok` here.
+    fn exchange_traced(
+        &self,
+        trace: Option<&TraceContext>,
+        message: &Message,
+    ) -> Result<Message, TransportError>;
+
+    /// [`Self::exchange_traced`] with no trace attached.
+    fn exchange(&self, message: &Message) -> Result<Message, TransportError> {
+        self.exchange_traced(None, message)
+    }
 
     /// Snapshot of this endpoint's frame/byte/failure counters.
     fn stats(&self) -> TransportStats;
@@ -63,16 +74,49 @@ impl LoopbackTransport {
 }
 
 impl Transport for LoopbackTransport {
-    fn exchange(&self, message: &Message) -> Result<Message, TransportError> {
+    fn exchange_traced(
+        &self,
+        trace: Option<&TraceContext>,
+        message: &Message,
+    ) -> Result<Message, TransportError> {
+        let started = Instant::now();
+        let trace_id = trace.map_or(0, TraceContext::trace_id);
         // Outbound trip through the codec.
-        let request_bytes = message.encode()?;
+        let request_bytes = message.encode_traced(trace_id)?;
         self.counters.record_sent(request_bytes.len() as u64);
-        let (request, _) = Message::decode(&request_bytes)?;
-        // The node answers; inbound trip through the codec.
+        let (request, node_trace, _) = Message::decode_traced(&request_bytes)?;
+        // The node side counts and serves the frame exactly as a socket
+        // server would, so loopback stats scrapes are faithful.
+        self.handler
+            .counters()
+            .record_received(request_bytes.len() as u64);
         let reply = self.handler.handle(request);
-        let reply_bytes = reply.encode()?;
-        let (reply, _) = Message::decode(&reply_bytes)?;
+        let reply_bytes = reply.encode_traced(node_trace)?;
+        self.handler
+            .counters()
+            .record_sent(reply_bytes.len() as u64);
+        if node_trace != 0 {
+            self.handler.ring().record(
+                node_trace,
+                None,
+                SpanKind::WireExchange {
+                    bytes_out: reply_bytes.len() as u64,
+                    bytes_in: request_bytes.len() as u64,
+                },
+                0,
+            );
+        }
+        let (reply, _, _) = Message::decode_traced(&reply_bytes)?;
         self.counters.record_received(reply_bytes.len() as u64);
+        if let Some(ctx) = trace {
+            ctx.record_timed(
+                SpanKind::WireExchange {
+                    bytes_out: request_bytes.len() as u64,
+                    bytes_in: reply_bytes.len() as u64,
+                },
+                started.elapsed().as_nanos() as u64,
+            );
+        }
         Ok(reply)
     }
 
@@ -228,7 +272,13 @@ impl SocketTransport {
 }
 
 impl Transport for SocketTransport {
-    fn exchange(&self, message: &Message) -> Result<Message, TransportError> {
+    fn exchange_traced(
+        &self,
+        trace: Option<&TraceContext>,
+        message: &Message,
+    ) -> Result<Message, TransportError> {
+        let started = Instant::now();
+        let trace_id = trace.map_or(0, TraceContext::trace_id);
         let mut conn = self.conn.lock().unwrap();
         if conn.is_none() {
             match self.dial() {
@@ -243,11 +293,20 @@ impl Transport for SocketTransport {
             }
         }
         let stream = conn.as_mut().expect("dialed above");
-        let result = write_message(stream, message).and_then(|sent| {
+        let result = write_message(stream, message, trace_id).and_then(|sent| {
             self.counters.record_sent(sent as u64);
             match read_message(stream)? {
-                Some((reply, received)) => {
+                Some((reply, _, received)) => {
                     self.counters.record_received(received as u64);
+                    if let Some(ctx) = trace {
+                        ctx.record_timed(
+                            SpanKind::WireExchange {
+                                bytes_out: sent as u64,
+                                bytes_in: received as u64,
+                            },
+                            started.elapsed().as_nanos() as u64,
+                        );
+                    }
                     Ok(reply)
                 }
                 None => Err(TransportError::Io(format!(

@@ -3,18 +3,22 @@
 //! One frame carries one [`Message`]:
 //!
 //! ```text
-//! ┌────────┬─────────┬──────┬─────────────┬─────────┬──────────────┐
-//! │ magic  │ version │ kind │ payload_len │ payload │ FNV-1a 64    │
-//! │ u16 LE │ u16 LE  │ u8   │ u32 LE      │ bytes   │ of payload   │
-//! └────────┴─────────┴──────┴─────────────┴─────────┴──────────────┘
+//! ┌────────┬─────────┬──────┬──────────┬─────────────┬─────────┬──────────────┐
+//! │ magic  │ version │ kind │ trace_id │ payload_len │ payload │ FNV-1a 64    │
+//! │ u16 LE │ u16 LE  │ u8   │ u64 LE   │ u32 LE      │ bytes   │ of payload   │
+//! └────────┴─────────┴──────┴──────────┴─────────────┴─────────┴──────────────┘
 //! ```
 //!
 //! Everything is explicit little-endian; payloads reuse the
-//! `engine::wire` request/response encoding. A frame is rejected —
-//! never guessed at — when the magic or version disagrees, the kind is
-//! unknown, the checksum mismatches, the payload is truncated, or
-//! trailing bytes follow the payload. Decoding is driven entirely by the
-//! declared `payload_len`, so a reader can frame a byte stream without
+//! `engine::wire` request/response encoding. The header's `trace_id`
+//! (`0` = untraced) stitches node-side spans to the coordinator's trace:
+//! a node answers with the request's trace id and records its own spans
+//! under it, so a later [`Message::StatsRequest`] scrape returns spans a
+//! coordinator can merge by id. A frame is rejected — never guessed at —
+//! when the magic or version disagrees, the kind is unknown, the
+//! checksum mismatches, the payload is truncated, or trailing bytes
+//! follow the payload. Decoding is driven entirely by the declared
+//! `payload_len`, so a reader can frame a byte stream without
 //! understanding the payloads.
 
 use crate::distributed::TransportError;
@@ -23,14 +27,18 @@ use engine::wire::{
     decode_request, decode_response, encode_request, encode_response, WireReader, WireWriter,
 };
 use engine::{SearchRequest, SearchResponse, WireError};
+use metrics::trace::LANE_NONE;
+use metrics::{SpanKind, SpanRecord, TransportStats};
 use std::io::{Read, Write};
 
 /// First two bytes of every frame (`"HW"` little-endian).
 pub const WIRE_MAGIC: u16 = 0x4857;
-/// Protocol revision; bumped on any layout change.
-pub const WIRE_VERSION: u16 = 1;
-/// Header bytes before the payload (magic + version + kind + length).
-pub const HEADER_LEN: usize = 9;
+/// Protocol revision; bumped on any layout change (v2 added the header
+/// trace id and the stats message pair).
+pub const WIRE_VERSION: u16 = 2;
+/// Header bytes before the payload (magic + version + kind + trace id +
+/// length).
+pub const HEADER_LEN: usize = 17;
 /// Checksum bytes after the payload.
 pub const TRAILER_LEN: usize = 8;
 /// Frames larger than this are rejected before allocation — no legitimate
@@ -115,6 +123,50 @@ pub struct NodeInfo {
     pub dim: u32,
     /// Resident bytes of the node's index.
     pub memory_bytes: u64,
+    /// Uptime in requests: search frames served since the node started
+    /// (a restart shows as this going backwards).
+    pub requests: u64,
+    /// The node's data generation (bumped on mutation/rebuild), so a
+    /// scrape can show node health without a separate probe.
+    pub generation: u64,
+}
+
+/// A node's live observability snapshot, answered to
+/// [`Message::StatsRequest`]: identity, server-side transport counters,
+/// and the node's retained span buffer (stitched to coordinator traces
+/// by the header trace ids).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStats {
+    /// The identity card at scrape time.
+    pub info: NodeInfo,
+    /// Server-side frame/byte/failure counters.
+    pub transport: TransportStats,
+    /// Retained node-side spans, in ring claim order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl NodeStats {
+    /// This snapshot as a JSON object (the `flash_cli stats` output).
+    pub fn to_json(&self) -> metrics::Json {
+        use metrics::Json;
+        Json::Obj(vec![
+            (
+                "info".into(),
+                Json::Obj(vec![
+                    ("len".into(), Json::uint(self.info.len)),
+                    ("dim".into(), Json::uint(u64::from(self.info.dim))),
+                    ("memory_bytes".into(), Json::uint(self.info.memory_bytes)),
+                    ("requests".into(), Json::uint(self.info.requests)),
+                    ("generation".into(), Json::uint(self.info.generation)),
+                ]),
+            ),
+            ("transport".into(), self.transport.to_json()),
+            (
+                "spans".into(),
+                Json::Arr(self.spans.iter().map(SpanRecord::to_json).collect()),
+            ),
+        ])
+    }
 }
 
 /// Everything that can cross the wire, one frame per message.
@@ -130,6 +182,28 @@ pub enum Message {
     InfoRequest,
     /// Node → coordinator: identity card.
     InfoResponse(NodeInfo),
+    /// Coordinator/CLI → node: hand over your counters and spans.
+    StatsRequest,
+    /// Node → coordinator: the live observability snapshot.
+    StatsResponse(NodeStats),
+}
+
+fn encode_info(info: &NodeInfo, payload: &mut WireWriter) {
+    payload.put_u64(info.len);
+    payload.put_u32(info.dim);
+    payload.put_u64(info.memory_bytes);
+    payload.put_u64(info.requests);
+    payload.put_u64(info.generation);
+}
+
+fn decode_info(p: &mut WireReader<'_>) -> Result<NodeInfo, WireError> {
+    Ok(NodeInfo {
+        len: p.get_u64()?,
+        dim: p.get_u32()?,
+        memory_bytes: p.get_u64()?,
+        requests: p.get_u64()?,
+        generation: p.get_u64()?,
+    })
 }
 
 impl Message {
@@ -140,6 +214,8 @@ impl Message {
             Message::Error(_) => 2,
             Message::InfoRequest => 3,
             Message::InfoResponse(_) => 4,
+            Message::StatsRequest => 5,
+            Message::StatsResponse(_) => 6,
         }
     }
 
@@ -151,14 +227,23 @@ impl Message {
             Message::Error(_) => "Error",
             Message::InfoRequest => "InfoRequest",
             Message::InfoResponse(_) => "InfoResponse",
+            Message::StatsRequest => "StatsRequest",
+            Message::StatsResponse(_) => "StatsResponse",
         }
     }
 
-    /// Encodes one full frame (header + payload + checksum).
+    /// Encodes one untraced full frame (trace id `0`) — see
+    /// [`Self::encode_traced`].
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        self.encode_traced(0)
+    }
+
+    /// Encodes one full frame (header + payload + checksum) carrying
+    /// `trace_id` in the header (`0` = untraced).
     ///
     /// Fails only for values with no wire form (a predicate-filtered
     /// [`SearchRequest`]).
-    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+    pub fn encode_traced(&self, trace_id: u64) -> Result<Vec<u8>, WireError> {
         let mut payload = WireWriter::new();
         match self {
             Message::Search(request) => encode_request(request, &mut payload)?,
@@ -169,10 +254,28 @@ impl Message {
                 payload.put_bytes(fault.message.as_bytes());
             }
             Message::InfoRequest => {}
-            Message::InfoResponse(info) => {
-                payload.put_u64(info.len);
-                payload.put_u32(info.dim);
-                payload.put_u64(info.memory_bytes);
+            Message::InfoResponse(info) => encode_info(info, &mut payload),
+            Message::StatsRequest => {}
+            Message::StatsResponse(stats) => {
+                encode_info(&stats.info, &mut payload);
+                payload.put_u64(stats.transport.frames_sent);
+                payload.put_u64(stats.transport.frames_received);
+                payload.put_u64(stats.transport.bytes_sent);
+                payload.put_u64(stats.transport.bytes_received);
+                payload.put_u64(stats.transport.errors);
+                payload.put_u64(stats.transport.timeouts);
+                payload.put_u64(stats.transport.reconnects);
+                payload.put_u32(stats.spans.len() as u32);
+                for span in &stats.spans {
+                    let (a, b) = span.kind.payload();
+                    payload.put_u64(span.trace_id);
+                    payload.put_u64(span.seq);
+                    payload.put_u8(span.kind.code());
+                    payload.put_u32(span.lane_raw());
+                    payload.put_u64(a);
+                    payload.put_u64(b);
+                    payload.put_u64(span.elapsed_ns);
+                }
             }
         }
         let payload = payload.into_bytes();
@@ -180,15 +283,25 @@ impl Message {
         frame.put_u16(WIRE_MAGIC);
         frame.put_u16(WIRE_VERSION);
         frame.put_u8(self.kind());
+        frame.put_u64(trace_id);
         frame.put_u32(payload.len() as u32);
         frame.put_bytes(&payload);
         frame.put_u64(fnv1a_64(&payload));
         Ok(frame.into_bytes())
     }
 
-    /// Decodes one frame from the front of `bytes`, returning the message
-    /// and the bytes consumed (a stream may hold several frames).
+    /// Decodes one frame from the front of `bytes`, returning the
+    /// message and the bytes consumed (the header trace id is dropped —
+    /// see [`Self::decode_traced`]).
     pub fn decode(bytes: &[u8]) -> Result<(Message, usize), WireError> {
+        let (message, _, consumed) = Self::decode_traced(bytes)?;
+        Ok((message, consumed))
+    }
+
+    /// Decodes one frame from the front of `bytes`, returning the
+    /// message, its header trace id, and the bytes consumed (a stream
+    /// may hold several frames).
+    pub fn decode_traced(bytes: &[u8]) -> Result<(Message, u64, usize), WireError> {
         let mut r = WireReader::new(bytes);
         let magic = r.get_u16()?;
         if magic != WIRE_MAGIC {
@@ -203,6 +316,7 @@ impl Message {
             )));
         }
         let kind = r.get_u8()?;
+        let trace_id = r.get_u64()?;
         let payload_len = r.get_u32()? as usize;
         if payload_len > MAX_PAYLOAD {
             return Err(WireError::Malformed(format!(
@@ -229,21 +343,60 @@ impl Message {
                 Message::Error(WireFault { code, message })
             }
             3 => Message::InfoRequest,
-            4 => Message::InfoResponse(NodeInfo {
-                len: p.get_u64()?,
-                dim: p.get_u32()?,
-                memory_bytes: p.get_u64()?,
-            }),
+            4 => Message::InfoResponse(decode_info(&mut p)?),
+            5 => Message::StatsRequest,
+            6 => {
+                let info = decode_info(&mut p)?;
+                let transport = TransportStats {
+                    frames_sent: p.get_u64()?,
+                    frames_received: p.get_u64()?,
+                    bytes_sent: p.get_u64()?,
+                    bytes_received: p.get_u64()?,
+                    errors: p.get_u64()?,
+                    timeouts: p.get_u64()?,
+                    reconnects: p.get_u64()?,
+                };
+                let count = p.get_u32()? as usize;
+                let mut spans = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    let span_trace = p.get_u64()?;
+                    let seq = p.get_u64()?;
+                    let code = p.get_u8()?;
+                    let lane_raw = p.get_u32()?;
+                    let a = p.get_u64()?;
+                    let b = p.get_u64()?;
+                    let elapsed_ns = p.get_u64()?;
+                    let kind = SpanKind::from_raw(code, a, b)
+                        .ok_or_else(|| WireError::Malformed(format!("unknown span kind {code}")))?;
+                    spans.push(SpanRecord {
+                        trace_id: span_trace,
+                        seq,
+                        lane: (lane_raw != LANE_NONE).then_some(lane_raw),
+                        kind,
+                        elapsed_ns,
+                    });
+                }
+                Message::StatsResponse(NodeStats {
+                    info,
+                    transport,
+                    spans,
+                })
+            }
             other => return Err(WireError::Malformed(format!("unknown frame kind {other}"))),
         };
         p.finish()?;
-        Ok((message, consumed))
+        Ok((message, trace_id, consumed))
     }
 }
 
-/// Writes one message as a frame, returning the bytes put on the wire.
-pub fn write_message(w: &mut impl Write, message: &Message) -> Result<usize, TransportError> {
-    let frame = message.encode()?;
+/// Writes one message as a frame carrying `trace_id` (`0` = untraced),
+/// returning the bytes put on the wire.
+pub fn write_message(
+    w: &mut impl Write,
+    message: &Message,
+    trace_id: u64,
+) -> Result<usize, TransportError> {
+    let frame = message.encode_traced(trace_id)?;
     w.write_all(&frame)
         .map_err(|e| TransportError::from_io("write frame", &e))?;
     w.flush()
@@ -251,10 +404,10 @@ pub fn write_message(w: &mut impl Write, message: &Message) -> Result<usize, Tra
     Ok(frame.len())
 }
 
-/// Reads one message off a byte stream, returning it with the bytes
-/// consumed. `Ok(None)` means the peer closed the connection cleanly
-/// *between* frames; mid-frame EOF is an error.
-pub fn read_message(r: &mut impl Read) -> Result<Option<(Message, usize)>, TransportError> {
+/// Reads one message off a byte stream, returning it with its header
+/// trace id and the bytes consumed. `Ok(None)` means the peer closed the
+/// connection cleanly *between* frames; mid-frame EOF is an error.
+pub fn read_message(r: &mut impl Read) -> Result<Option<(Message, u64, usize)>, TransportError> {
     let mut header = [0u8; HEADER_LEN];
     let mut filled = 0;
     while filled < HEADER_LEN {
@@ -272,7 +425,7 @@ pub fn read_message(r: &mut impl Read) -> Result<Option<(Message, usize)>, Trans
         filled += n;
     }
     // The declared payload length drives the rest of the read.
-    let payload_len = u32::from_le_bytes(header[5..9].try_into().unwrap()) as usize;
+    let payload_len = u32::from_le_bytes(header[13..17].try_into().unwrap()) as usize;
     if payload_len > MAX_PAYLOAD {
         return Err(TransportError::Wire(WireError::Malformed(format!(
             "payload of {payload_len} bytes exceeds the {MAX_PAYLOAD}-byte cap"
@@ -283,9 +436,9 @@ pub fn read_message(r: &mut impl Read) -> Result<Option<(Message, usize)>, Trans
     frame.resize(HEADER_LEN + payload_len + TRAILER_LEN, 0);
     r.read_exact(&mut frame[HEADER_LEN..])
         .map_err(|e| TransportError::from_io("read frame body", &e))?;
-    let (message, consumed) = Message::decode(&frame)?;
+    let (message, trace_id, consumed) = Message::decode_traced(&frame)?;
     debug_assert_eq!(consumed, frame.len());
-    Ok(Some((message, consumed)))
+    Ok(Some((message, trace_id, consumed)))
 }
 
 /// One-shot FNV-1a over a byte slice (stable across runs and platforms;
@@ -315,6 +468,16 @@ mod tests {
         decoded
     }
 
+    fn sample_info() -> NodeInfo {
+        NodeInfo {
+            len: 1000,
+            dim: 128,
+            memory_bytes: 1 << 20,
+            requests: 42,
+            generation: 3,
+        }
+    }
+
     #[test]
     fn every_message_kind_roundtrips() {
         let request = SearchRequest::new(vec![1.0, -2.5, 0.0], 4).ef(96).rerank(2);
@@ -328,26 +491,71 @@ mod tests {
                 message: "replica dead at call 3".into(),
             }),
             Message::InfoRequest,
-            Message::InfoResponse(NodeInfo {
-                len: 1000,
-                dim: 128,
-                memory_bytes: 1 << 20,
+            Message::InfoResponse(sample_info()),
+            Message::StatsRequest,
+            Message::StatsResponse(NodeStats {
+                info: sample_info(),
+                transport: TransportStats {
+                    frames_sent: 9,
+                    frames_received: 9,
+                    bytes_sent: 900,
+                    bytes_received: 1800,
+                    errors: 1,
+                    timeouts: 0,
+                    reconnects: 2,
+                },
+                spans: vec![
+                    SpanRecord {
+                        trace_id: 0xDEAD_BEEF,
+                        seq: 0,
+                        lane: None,
+                        kind: SpanKind::WireExchange {
+                            bytes_out: 64,
+                            bytes_in: 256,
+                        },
+                        elapsed_ns: 1234,
+                    },
+                    SpanRecord {
+                        trace_id: 0xDEAD_BEEF,
+                        seq: 1,
+                        lane: Some(2),
+                        kind: SpanKind::ReplicaAttempt {
+                            replica: 1,
+                            outcome: metrics::SpanOutcome::Ok,
+                        },
+                        elapsed_ns: 0,
+                    },
+                ],
             }),
         ] {
             let decoded = roundtrip(&message);
             assert_eq!(decoded.kind_name(), message.kind_name());
+            if let (Message::StatsResponse(got), Message::StatsResponse(want)) =
+                (&decoded, &message)
+            {
+                assert_eq!(got, want);
+            }
         }
     }
 
     #[test]
+    fn header_trace_id_roundtrips() {
+        let bytes = Message::InfoRequest
+            .encode_traced(0xABCD_EF01_2345)
+            .unwrap();
+        let (message, trace_id, consumed) = Message::decode_traced(&bytes).unwrap();
+        assert_eq!(trace_id, 0xABCD_EF01_2345);
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(message.kind_name(), "InfoRequest");
+        // Untraced frames carry the reserved zero id.
+        let (_, untraced, _) =
+            Message::decode_traced(&Message::InfoRequest.encode().unwrap()).unwrap();
+        assert_eq!(untraced, 0);
+    }
+
+    #[test]
     fn truncated_frames_are_rejected_at_every_cut() {
-        let bytes = Message::InfoResponse(NodeInfo {
-            len: 7,
-            dim: 3,
-            memory_bytes: 99,
-        })
-        .encode()
-        .unwrap();
+        let bytes = Message::InfoResponse(sample_info()).encode().unwrap();
         for cut in 0..bytes.len() {
             assert!(
                 Message::decode(&bytes[..cut]).is_err(),
@@ -390,12 +598,13 @@ mod tests {
             code: ErrorCode::BadRequest,
             message: "nope".into(),
         });
-        let wrote_a = write_message(&mut buf, &a).unwrap();
-        let wrote_b = write_message(&mut buf, &b).unwrap();
+        let wrote_a = write_message(&mut buf, &a, 77).unwrap();
+        let wrote_b = write_message(&mut buf, &b, 0).unwrap();
         let mut cursor = std::io::Cursor::new(&buf);
-        let (got_a, read_a) = read_message(&mut cursor).unwrap().unwrap();
-        let (got_b, read_b) = read_message(&mut cursor).unwrap().unwrap();
+        let (got_a, trace_a, read_a) = read_message(&mut cursor).unwrap().unwrap();
+        let (got_b, trace_b, read_b) = read_message(&mut cursor).unwrap().unwrap();
         assert_eq!((read_a, read_b), (wrote_a, wrote_b));
+        assert_eq!((trace_a, trace_b), (77, 0));
         assert_eq!(got_a.kind_name(), "InfoRequest");
         assert!(matches!(got_b, Message::Error(ref f) if f.code == ErrorCode::BadRequest));
         assert!(read_message(&mut cursor).unwrap().is_none(), "clean EOF");

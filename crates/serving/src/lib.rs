@@ -71,8 +71,8 @@ mod shard;
 pub use batch::{BatchExecutor, BatchReport, DEFAULT_BATCH_SIZE};
 pub use cache::{CachedIndex, QueryCache, QueryCacheStats};
 pub use distributed::{
-    LoopbackTransport, NodeAddr, NodeHandler, NodeServer, RemoteIndex, SocketTransport,
-    TransportError,
+    LoopbackTransport, NodeAddr, NodeHandler, NodeInfo, NodeServer, NodeStats, RemoteIndex,
+    SocketTransport, Transport, TransportError,
 };
 pub use fault::{FallibleIndex, FaultAction, FaultError, FaultKind, FaultPlan, FaultyIndex};
 pub use pool::WorkerPool;

@@ -32,7 +32,7 @@ use crate::fault::{FallibleIndex, FaultError, FaultKind, FaultPlan, FaultyIndex}
 use crate::pool::WorkerPool;
 use crate::shard::{ShardPolicy, ShardedIndex};
 use engine::{AnnIndex, IndexBuilder, SearchRequest, SearchResponse};
-use metrics::{failover_summary, ReplicaCounters, ReplicaStats};
+use metrics::{failover_summary, ReplicaCounters, ReplicaStats, SpanKind, SpanOutcome};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -178,6 +178,15 @@ impl Router {
                 .map(|c| c.replica),
         );
         order
+    }
+}
+
+/// The trace-span outcome of one failed replica attempt.
+fn outcome_of(kind: FaultKind) -> SpanOutcome {
+    match kind {
+        FaultKind::Transient => SpanOutcome::Transient,
+        FaultKind::Dead => SpanOutcome::Dead,
+        FaultKind::Malformed => SpanOutcome::Malformed,
     }
 }
 
@@ -372,6 +381,11 @@ impl ReplicaGroup {
             })
             .collect();
         let order = self.router.plan(&candidates);
+        if let Some(trace) = &request.trace {
+            trace.record(SpanKind::Route {
+                candidates: order.len() as u64,
+            });
+        }
         let mut last_error: Option<FaultError> = None;
         for (attempt, &i) in order.iter().enumerate() {
             let replica = &self.replicas[i];
@@ -396,6 +410,15 @@ impl ReplicaGroup {
             match result {
                 Ok(response) => {
                     let elapsed = t0.elapsed().as_nanos() as u64;
+                    if let Some(trace) = &request.trace {
+                        trace.record_timed(
+                            SpanKind::ReplicaAttempt {
+                                replica: i as u64,
+                                outcome: SpanOutcome::Ok,
+                            },
+                            elapsed,
+                        );
+                    }
                     replica.counters.record_latency_ns(elapsed);
                     replica.load_ns.fetch_add(elapsed, Ordering::Relaxed);
                     replica.consecutive.store(0, Ordering::Release);
@@ -423,6 +446,15 @@ impl ReplicaGroup {
                     return response;
                 }
                 Err(error) => {
+                    if let Some(trace) = &request.trace {
+                        trace.record_timed(
+                            SpanKind::ReplicaAttempt {
+                                replica: i as u64,
+                                outcome: outcome_of(error.kind),
+                            },
+                            t0.elapsed().as_nanos() as u64,
+                        );
+                    }
                     replica.counters.record_error();
                     let consecutive = replica.consecutive.fetch_add(1, Ordering::AcqRel) + 1;
                     if was_down {

@@ -11,6 +11,7 @@
 use crate::fault::{FaultError, FaultKind};
 use crate::pool::WorkerPool;
 use engine::{AnnIndex, Hit, IndexBuilder, SearchRequest, SearchResponse, SearchStats};
+use metrics::SpanKind;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vecstore::VectorSet;
@@ -214,9 +215,11 @@ impl ShardedIndex {
     }
 
     /// The per-shard request: identical options, with a global-id predicate
-    /// filter rewritten to shard-local ids.
+    /// filter rewritten to shard-local ids and the trace context re-tagged
+    /// to the shard's lane (so fan-out spans stay ordered per strand).
     fn shard_request(&self, s: usize, req: &SearchRequest) -> SearchRequest {
         let mut shard_req = req.clone();
+        shard_req.trace = req.trace.as_ref().map(|t| t.with_lane(s as u32));
         if let Some(filter) = &req.filter {
             let filter = Arc::clone(filter);
             let map = Arc::clone(&self.shards[s].global_ids);
@@ -276,12 +279,20 @@ impl ShardedIndex {
     /// in a [`crate::ReplicaGroup`] per shard.
     pub fn try_search(&self, req: &SearchRequest) -> Result<SearchResponse, FaultError> {
         let per_shard = self.scatter(req);
-        self.gather(per_shard, req.k).map_err(GatherError::fault)
+        let t0 = Instant::now();
+        let merged = self.gather(per_shard, req.k).map_err(GatherError::fault)?;
+        self.record_gather(req, &merged, t0.elapsed());
+        Ok(merged)
     }
 
     /// Scatter half of scatter-gather: run the request on every shard
     /// concurrently.
     fn scatter(&self, req: &SearchRequest) -> Vec<SearchResponse> {
+        if let Some(ctx) = &req.trace {
+            ctx.record(SpanKind::ShardFanout {
+                shards: self.shards.len() as u64,
+            });
+        }
         let jobs: Vec<_> = (0..self.shards.len())
             .map(|s| {
                 let index = Arc::clone(&self.shards[s].index);
@@ -290,6 +301,18 @@ impl ShardedIndex {
             })
             .collect();
         self.pool.run(jobs)
+    }
+
+    /// Records the coordinator-lane `gather` span for one merged result.
+    fn record_gather(&self, req: &SearchRequest, merged: &SearchResponse, took: Duration) {
+        if let Some(ctx) = &req.trace {
+            ctx.record_timed(
+                SpanKind::Gather {
+                    merged: merged.hits.len() as u64,
+                },
+                took.as_nanos() as u64,
+            );
+        }
     }
 }
 
@@ -338,7 +361,10 @@ impl AnnIndex for ShardedIndex {
     /// [`FaultError`] instead).
     fn search(&self, req: &SearchRequest) -> SearchResponse {
         let per_shard = self.scatter(req);
-        self.gather(per_shard, req.k).unwrap_or_else(|e| e.abort())
+        let t0 = Instant::now();
+        let merged = self.gather(per_shard, req.k).unwrap_or_else(|e| e.abort());
+        self.record_gather(req, &merged, t0.elapsed());
+        merged
     }
 
     /// Batch execution scatters the full `(request × shard)` grid at once —
@@ -349,6 +375,11 @@ impl AnnIndex for ShardedIndex {
         let jobs: Vec<_> = requests
             .iter()
             .flat_map(|req| {
+                if let Some(ctx) = &req.trace {
+                    ctx.record(SpanKind::ShardFanout {
+                        shards: n_shards as u64,
+                    });
+                }
                 (0..n_shards).map(move |s| {
                     let index = Arc::clone(&self.shards[s].index);
                     let shard_req = self.shard_request(s, req);
@@ -361,7 +392,10 @@ impl AnnIndex for ShardedIndex {
             .iter()
             .map(|req| {
                 let per_shard: Vec<SearchResponse> = (&mut flat).take(n_shards).collect();
-                self.gather(per_shard, req.k).unwrap_or_else(|e| e.abort())
+                let t0 = Instant::now();
+                let merged = self.gather(per_shard, req.k).unwrap_or_else(|e| e.abort());
+                self.record_gather(req, &merged, t0.elapsed());
+                merged
             })
             .collect()
     }
@@ -375,6 +409,11 @@ impl AnnIndex for ShardedIndex {
         let jobs: Vec<_> = requests
             .iter()
             .flat_map(|req| {
+                if let Some(ctx) = &req.trace {
+                    ctx.record(SpanKind::ShardFanout {
+                        shards: n_shards as u64,
+                    });
+                }
                 (0..n_shards).map(move |s| {
                     let index = Arc::clone(&self.shards[s].index);
                     let shard_req = self.shard_request(s, req);
@@ -400,6 +439,7 @@ impl AnnIndex for ShardedIndex {
                     .collect();
                 let t_gather = Instant::now();
                 let merged = self.gather(per_shard, req.k).unwrap_or_else(|e| e.abort());
+                self.record_gather(req, &merged, t_gather.elapsed());
                 (merged, critical_path + t_gather.elapsed())
             })
             .collect()

@@ -22,9 +22,9 @@
 
 use hnsw_flash::prelude::*;
 use hnsw_flash::serving::distributed::{
-    NodeAddr, NodeHandler, NodeServer, RemoteIndex, SocketTransport, Transport,
+    Message, NodeAddr, NodeHandler, NodeServer, RemoteIndex, SocketTransport, Transport,
 };
-use metrics::transport_summary;
+use metrics::{collect_traces, trace_id_for, transport_summary, SpanRing, TraceContext};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -51,6 +51,7 @@ fn main() -> ExitCode {
         "search" => cmd_search(&opts),
         "scenario" => cmd_scenario(&opts),
         "serve-node" => cmd_serve_node(&opts),
+        "stats" => cmd_stats(&opts),
         "info" => cmd_info(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -84,14 +85,17 @@ USAGE:
                      [--nodes <addr,addr,...>] [--timeout-ms <N>]
                      [--threads <N>] [--cache-capacity <N>]
                      [--batch <N>] [--gt <in.ivecs>] [--out <out.ivecs>]
+                     [--trace-out <out.jsonl>]
   flash_cli scenario --name steady_zipf|diurnal_burst|churn_lsm|fault_storm
                      [--seed <u64>] [--smoke] [--out <BENCH_name.json>]
                      [--shards <N>] [--replicas <R>] [--routing <policy>]
                      [--nodes <addr,addr,...>] [--timeout-ms <N>]
                      [--cache-capacity <N>] [--threads <N>]
+                     [--trace-out <out.jsonl>]
   flash_cli serve-node --base <in.fvecs> --listen <addr>
                      [--method ...same as build...] [--c <C>] [--r <R>]
                      [--shards <N> --shard <I>] [--threads <N>] [--seed <u64>]
+  flash_cli stats    --node <addr> [--timeout-ms <N>]
   flash_cli info     --graph <in.hfg>
 
 METHODS:  legacy HNSW shorthands: flash hnsw full pq sq pca opq
@@ -118,6 +122,13 @@ DISTRIBUTED:
           processes, one node per shard in partition order (--shards /
           --replicas / --graph do not combine with --nodes; remote
           replica placement is not wired up yet)
+
+TRACING:  --trace-out PATH writes one JSON line per query with that
+          request's span tree (cache_lookup, route, replica_attempt,
+          shard_fanout, gather, rerank, wire_exchange), stitched across
+          layers by a deterministic trace id; `stats --node ADDR` asks a
+          live serve-node for its identity card, transport counters, and
+          retained span buffer as JSON
 
 SCENARIO: `scenario` replays a named deterministic workload (Zipf-skewed
           queries, diurnal/bursty arrivals, LSM churn, scripted fault
@@ -575,10 +586,26 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
         "searching {} queries (k={k}, ef={ef}, rerank={rerank}, batch={batch})...",
         queries.len()
     );
+    // --trace-out: every request carries a deterministic trace id
+    // (derived from the build seed and query index) recording into one
+    // ring sized so no span is dropped.
+    let trace_out = opts.str("trace-out").map(PathBuf::from);
+    let trace_ring = trace_out.as_ref().map(|_| {
+        Arc::new(SpanRing::new(
+            (queries.len().max(1) * 64).clamp(1024, 1 << 21),
+        ))
+    });
     let mut executor = BatchExecutor::new(serving).batch_size(batch);
-    executor.submit_all(
-        (0..queries.len()).map(|qi| SearchRequest::new(queries.get(qi), k).ef(ef).rerank(rerank)),
-    );
+    executor.submit_all((0..queries.len()).map(|qi| {
+        let mut req = SearchRequest::new(queries.get(qi), k).ef(ef).rerank(rerank);
+        if let Some(ring) = &trace_ring {
+            req = req.trace(TraceContext::new(
+                Arc::clone(ring),
+                trace_id_for(spec.seed, qi as u64),
+            ));
+        }
+        req
+    }));
     let report = executor.run();
     let found: Vec<Vec<u32>> = report
         .responses
@@ -660,7 +687,53 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
         write_ivecs(Path::new(outp), &rows).map_err(io_err("write results"))?;
         eprintln!("wrote result ids to {outp}");
     }
+
+    if let (Some(path), Some(ring)) = (&trace_out, &trace_ring) {
+        let ids: Vec<u64> = (0..queries.len())
+            .map(|qi| trace_id_for(spec.seed, qi as u64))
+            .collect();
+        write_trace_lines(path, &collect_traces(ring, &ids))?;
+        eprintln!("wrote {} trace lines to {}", ids.len(), path.display());
+    }
     Ok(())
+}
+
+/// Writes traces as JSON lines: one compact document per line.
+fn write_trace_lines(path: &Path, traces: &[metrics::Json]) -> Result<(), String> {
+    let mut out = String::with_capacity(traces.len() * 256);
+    for t in traces {
+        out.push_str(&t.to_compact_string());
+        out.push('\n');
+    }
+    std::fs::write(path, out).map_err(io_err("write trace-out"))
+}
+
+/// Scrapes a live serve-node's observability snapshot — identity card,
+/// server-side transport counters, retained span buffer — over one
+/// `StatsRequest` frame and prints it as JSON.
+fn cmd_stats(opts: &Opts) -> Result<(), String> {
+    let addr: NodeAddr = opts.required("node")?.parse()?;
+    let timeout_ms: u64 = opts.num("timeout-ms", 5_000)?;
+    let transport = SocketTransport::connect(addr.clone())
+        .map_err(|e| format!("{addr}: {e}"))?
+        .with_timeout(std::time::Duration::from_millis(timeout_ms.max(1)));
+    match transport
+        .exchange(&Message::StatsRequest)
+        .map_err(|e| format!("{addr}: {e}"))?
+    {
+        Message::StatsResponse(stats) => {
+            print!("{}", stats.to_json().to_pretty_string());
+            Ok(())
+        }
+        Message::Error(fault) => Err(format!(
+            "{addr}: node refused the stats scrape: {}",
+            fault.message
+        )),
+        other => Err(format!(
+            "{addr}: node answered the stats scrape with a {} frame",
+            other.kind_name()
+        )),
+    }
 }
 
 /// Replays a named scenario workload and writes its `BENCH_*.json`,
@@ -722,12 +795,17 @@ fn cmd_scenario(opts: &Opts) -> Result<(), String> {
         topology.label(&spec, cache_capacity),
         spec.seed,
     );
-    let report = scenario::ScenarioRunner::new(preset.name, spec, topology)
+    let trace_out = opts.str("trace-out").map(PathBuf::from);
+    let (report, traces) = scenario::ScenarioRunner::new(preset.name, spec, topology)
         .cache_capacity(cache_capacity)
         .threads(threads)
-        .run()?;
+        .run_traced()?;
     let text = report.to_pretty_string();
     std::fs::write(&out, &text).map_err(io_err("write report"))?;
+    if let Some(path) = &trace_out {
+        write_trace_lines(path, &traces)?;
+        eprintln!("wrote {} trace lines to {}", traces.len(), path.display());
+    }
 
     // Self-check: the bytes on disk must parse back and satisfy the
     // BENCH schema, so downstream diff tooling can trust the artifact.
@@ -770,6 +848,19 @@ fn cmd_scenario(opts: &Opts) -> Result<(), String> {
             t.frames_sent + t.frames_received,
             t.bytes_sent + t.bytes_received,
             t.timeouts
+        );
+    }
+    if let Some(t) = &report.trace {
+        let spans: Vec<String> = t
+            .span_counts
+            .iter()
+            .map(|(name, n)| format!("{name}={n}"))
+            .collect();
+        println!(
+            "trace: traces={} dropped={} {}",
+            t.traces,
+            t.dropped,
+            spans.join(" ")
         );
     }
     println!(

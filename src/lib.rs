@@ -19,7 +19,7 @@
 //! | [`maintenance`] | LSM lifecycle: memtable, Flash segments, tombstones, rebuild |
 //! | [`vecstore`] | datasets, generators, `fvecs` I/O, ground truth |
 //! | [`simdops`] | runtime-dispatched SIMD kernels (SSE/AVX2/AVX-512) |
-//! | [`metrics`] | recall, ADR, QPS, phase timers |
+//! | [`metrics`] | recall, ADR, QPS, phase timers; request tracing (`TraceContext`/`SpanRing`) and the named metrics registry |
 //! | [`cachesim`] | the software cache model used for the memory ablations |
 //! | [`linalg`] | dense matrices, covariance, Jacobi eigendecomposition |
 //!
@@ -260,6 +260,83 @@
 //! assert_eq!(strip_timings(&json), strip_timings(&json));
 //! ```
 //!
+//! ## Observability
+//!
+//! The stack traces itself deterministically: attach a
+//! [`metrics::TraceContext`] to a [`engine::SearchRequest`] and every
+//! serving layer the request crosses records typed spans into a
+//! lock-free [`metrics::SpanRing`] — trace ids derive from
+//! `(seed, sequence)` via [`metrics::trace_id_for`], never from the
+//! clock, so two identically-seeded runs produce byte-identical span
+//! structure (only `elapsed_ns` differs, and
+//! [`metrics::strip_timings`] removes it).
+//!
+//! The span taxonomy, one layer per row:
+//!
+//! | Span | Recorded by | Payload |
+//! |---|---|---|
+//! | `cache_lookup` | [`serving::CachedIndex`] | `hit` |
+//! | `route` | [`serving::ReplicaGroup`] | `candidates` planned |
+//! | `replica_attempt` | [`serving::ReplicaGroup`] | `replica`, `outcome` (`ok`/`transient`/`dead`/`malformed`) |
+//! | `shard_fanout` | [`serving::ShardedIndex`] | `shards` |
+//! | `gather` | [`serving::ShardedIndex`] | `merged` candidates |
+//! | `rerank` | scenario runner / CLI | full-precision `pool` size |
+//! | `wire_exchange` | [`serving::distributed::Transport`] + node | exact `bytes_out` / `bytes_in` |
+//!
+//! Spans carry a *lane* (`None` = coordinator strand, `Some(shard)` =
+//! that shard's strand) so concurrent fan-out still folds into one
+//! canonical order. Across the wire, the frame header carries the trace
+//! id, the node records its own `wire_exchange` spans into its ring,
+//! and a `Message::StatsRequest` scrape (`flash_cli stats --node
+//! <addr>`) returns them with the node's transport ledger for stitching.
+//!
+//! ```
+//! use hnsw_flash::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let (base, queries) = generate(&DatasetProfile::SsnppLike.spec(), 600, 4, 7);
+//! let builder = IndexBuilder::new(GraphKind::Hnsw, Coding::Flash).c(48).r(8).seed(1);
+//! let sharded = ShardedIndex::build(base, &builder, 2, ShardPolicy::RoundRobin, 2);
+//! let index = CachedIndex::new(Arc::new(sharded), 64);
+//!
+//! // One ring per process (or per run); one context per request.
+//! let ring = Arc::new(SpanRing::new(1024));
+//! let id = trace_id_for(42, 0); // (seed, sequence) — no wall clock
+//! let req = SearchRequest::new(queries.get(0), 5)
+//!     .ef(64)
+//!     .rerank(8)
+//!     .trace(TraceContext::new(Arc::clone(&ring), id));
+//! assert_eq!(index.search(&req).hits.len(), 5);
+//!
+//! // The spans tell the request's story: a cache miss fanned out to
+//! // both shards, whose candidates were gathered and merged.
+//! let spans = ring.for_trace(id);
+//! assert!(spans.iter().any(|s| matches!(s.kind, SpanKind::CacheLookup { hit: false })));
+//! assert!(spans.iter().any(|s| matches!(s.kind, SpanKind::ShardFanout { shards: 2 })));
+//! assert!(spans.iter().any(|s| matches!(s.kind, SpanKind::Gather { .. })));
+//!
+//! // Live named metrics: `layer.component.metric` names, JSON snapshot.
+//! let registry = MetricsRegistry::global();
+//! registry.counter("docs.example.requests").inc();
+//! assert!(registry.names().iter().any(|n| n == "docs.example.requests"));
+//! assert!(registry.snapshot().to_pretty_string().contains("docs.example.requests"));
+//! ```
+//!
+//! Registry names follow `layer.component.metric` (dotted lower-snake,
+//! e.g. `serving.cache.query_cache`, `serving.replica.failover`,
+//! `scenario.trace.ring`); [`scenario::ScenarioRunner`] publishes its
+//! stack's live counters under those names on every run, and
+//! [`metrics::MetricsRegistry::register_source`] adopts any existing
+//! stats object without changing its type.
+//!
+//! From the command line: `flash_cli search … --trace-out spans.jsonl`
+//! and `flash_cli scenario --name steady_zipf --trace-out spans.jsonl`
+//! write one compact JSON span tree per query;
+//! `flash_cli stats --node tcp:host:4810` scrapes a live node's
+//! info/transport/span snapshot. `BENCH_*.json` reports carry a `trace`
+//! summary (span counts structural, per-stage milliseconds
+//! timing-stripped).
+//!
 //! ## Migrating from the per-type APIs
 //!
 //! The concrete index types still exist (construction-time features like
@@ -318,7 +395,9 @@ pub mod prelude {
     };
     pub use maintenance::{CycleWorkload, LsmConfig, LsmVectorIndex};
     pub use metrics::{
-        average_distance_ratio, measure_qps, recall_at_k, strip_timings, BenchReport, PhaseTimer,
+        average_distance_ratio, collect_traces, measure_qps, recall_at_k, strip_timings,
+        trace_id_for, BenchReport, MetricsRegistry, PhaseTimer, SpanKind, SpanRecord, SpanRing,
+        TraceContext,
     };
     pub use quantizers::{
         comparison_reliability, OptimizedProductQuantizer, PcaCodec, ProductQuantizer,
@@ -330,9 +409,9 @@ pub mod prelude {
     };
     pub use serving::{
         BatchExecutor, BatchReport, CachedIndex, FallibleIndex, FaultError, FaultKind, FaultPlan,
-        FaultyIndex, HealthConfig, LoopbackTransport, NodeAddr, NodeHandler, NodeServer,
-        QueryCache, RemoteIndex, ReplicaGroup, ReplicatedIndex, Router, RoutingPolicy, ShardPolicy,
-        ShardedIndex, SocketTransport, WorkerPool,
+        FaultyIndex, HealthConfig, LoopbackTransport, NodeAddr, NodeHandler, NodeInfo, NodeServer,
+        NodeStats, QueryCache, RemoteIndex, ReplicaGroup, ReplicatedIndex, Router, RoutingPolicy,
+        ShardPolicy, ShardedIndex, SocketTransport, Transport, WorkerPool,
     };
     pub use simdops::{set_level_override, SimdLevel};
     pub use vecstore::{generate, ground_truth, DatasetProfile, DatasetSpec, VectorSet};

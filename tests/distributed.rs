@@ -20,7 +20,7 @@ use hnsw_flash::prelude::*;
 use proptest::prelude::*;
 use serving::distributed::wire::{ErrorCode, Message, WireFault};
 use serving::distributed::{
-    LoopbackTransport, NodeAddr, NodeHandler, NodeServer, RemoteIndex, SocketTransport,
+    LoopbackTransport, NodeAddr, NodeHandler, NodeServer, RemoteIndex, SocketTransport, Transport,
 };
 use serving::FaultKind;
 use std::sync::Arc;
@@ -286,6 +286,117 @@ fn node_death_mid_run_fails_over_with_identical_results() {
             server.shutdown();
         }
     }
+}
+
+/// A live node answers [`Message::StatsRequest`] with a transport ledger
+/// that mirrors the coordinator's own: the node snapshots *after*
+/// counting the scrape request and *before* counting its reply, so both
+/// directions reconcile exactly.
+#[test]
+fn stats_scrape_matches_the_coordinator_frame_ledger() {
+    let (base, queries) = dataset(64);
+    let n = base.len() as u64;
+    let index: Arc<dyn AnnIndex> = Arc::new(FlatIndex::new(base));
+    let mut server = tcp_server(index);
+    let transport =
+        Arc::new(SocketTransport::connect(server.addr().clone()).expect("dial the node"));
+    let remote =
+        RemoteIndex::connect(Arc::clone(&transport) as Arc<dyn Transport>).expect("info handshake");
+    for qi in 0..10 {
+        let req = SearchRequest::new(queries.get(qi).to_vec(), K);
+        remote.try_search(&req).expect("healthy search");
+    }
+    let coordinator = transport.stats();
+    assert_eq!(coordinator.frames_sent, 11, "1 handshake + 10 searches");
+    assert_eq!(coordinator.frames_received, 11);
+
+    let reply = transport
+        .exchange(&Message::StatsRequest)
+        .expect("stats scrape");
+    let Message::StatsResponse(stats) = reply else {
+        panic!(
+            "expected a StatsResponse, got a {} frame",
+            reply.kind_name()
+        );
+    };
+    assert_eq!(
+        stats.transport.frames_received,
+        coordinator.frames_sent + 1,
+        "node has counted every coordinator frame, the scrape included"
+    );
+    assert_eq!(
+        stats.transport.frames_sent, coordinator.frames_received,
+        "node has answered every frame except the in-flight scrape"
+    );
+    assert_eq!(stats.transport.errors, 0);
+    assert_eq!(stats.info.requests, 10, "only searches count as requests");
+    assert_eq!(stats.info.len, n);
+    assert_eq!(stats.info.dim, DIM as u32);
+    server.shutdown();
+}
+
+/// Kill/restart a node mid-run and check the coordinator transport's
+/// books against the scripted fault sequence: 5 clean exchanges, 2
+/// failed calls while the node is down (one severed mid-call, one failed
+/// dial — neither is a reconnect), then 3 clean exchanges after a
+/// restart, whose first call re-dials (exactly one reconnect).
+///
+/// Unix sockets keep every step deterministic: a write on a severed
+/// stream fails immediately (no TCP buffering), and a dial on the
+/// removed socket path fails at connect.
+#[cfg(unix)]
+#[test]
+fn reconnect_accounting_matches_the_scripted_fault_sequence() {
+    let (base, queries) = dataset(64);
+    let index: Arc<dyn AnnIndex> = Arc::new(FlatIndex::new(base));
+    let path = std::env::temp_dir().join(format!("hfw-reconnect-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let addr = NodeAddr::Unix(path.clone());
+    let mut server =
+        NodeServer::bind(&addr, NodeHandler::new(Arc::clone(&index)), 1).expect("bind the node");
+    let transport = SocketTransport::connect(addr.clone()).expect("dial the node");
+    let search = |qi: usize| Message::Search(SearchRequest::new(queries.get(qi).to_vec(), K));
+
+    for qi in 0..5 {
+        assert!(
+            matches!(transport.exchange(&search(qi)), Ok(Message::SearchOk(_))),
+            "healthy exchange {qi}"
+        );
+    }
+    let s = transport.stats();
+    assert_eq!(
+        (s.frames_sent, s.frames_received, s.errors, s.reconnects),
+        (5, 5, 0, 0)
+    );
+
+    server.shutdown();
+    assert!(
+        transport.exchange(&search(5)).is_err(),
+        "severed connection must fail the call"
+    );
+    assert!(
+        transport.exchange(&search(6)).is_err(),
+        "dialing the gone socket must fail"
+    );
+    let s = transport.stats();
+    assert_eq!(s.errors, 2, "one error per failed call, exactly");
+    assert_eq!(s.reconnects, 0, "failed dials are not reconnects");
+    assert_eq!(s.frames_sent, 5, "nothing landed while the node was down");
+    assert_eq!(s.frames_received, 5);
+
+    let mut revived = NodeServer::bind(&addr, NodeHandler::new(index), 1).expect("rebind the node");
+    for qi in 5..8 {
+        assert!(
+            matches!(transport.exchange(&search(qi)), Ok(Message::SearchOk(_))),
+            "post-restart exchange {qi}"
+        );
+    }
+    let s = transport.stats();
+    assert_eq!(s.reconnects, 1, "exactly one re-dial after the restart");
+    assert_eq!(s.errors, 2, "no new errors after the revival");
+    assert_eq!((s.frames_sent, s.frames_received), (8, 8));
+    assert_eq!(s.timeouts, 0);
+    revived.shutdown();
 }
 
 #[test]
