@@ -34,7 +34,8 @@ pub use qps::{measure_qps, QpsReport};
 pub use recall::{recall_at_k, RecallReport};
 pub use registry::{Counter, Gauge, Log2Histogram, MetricsRegistry};
 pub use report::{
-    strip_timings, BenchReport, CacheSummary, Json, MutationSummary, TenantSummary, TraceSummary,
+    strip_timings, AdmissionSummary, BenchReport, CacheSummary, Json, MutationSummary,
+    TenantSummary, TraceSummary,
 };
 pub use timer::PhaseTimer;
 pub use trace::{

@@ -25,11 +25,13 @@ use crate::TransportStats;
 use std::fmt::Write as _;
 
 /// Schema version stamped into every report; bump on breaking changes.
-/// Version 2 added the required `trace` key (span-count breakdown).
-pub const SCHEMA_VERSION: u64 = 2;
+/// Version 2 added the required `trace` key (span-count breakdown);
+/// version 3 added the required `admission` key (admission-control
+/// counters, `null` for scenarios with no admission policy).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Top-level keys every `BENCH_*.json` must carry.
-pub const REQUIRED_KEYS: [&str; 13] = [
+pub const REQUIRED_KEYS: [&str; 14] = [
     "schema_version",
     "scenario",
     "seed",
@@ -40,6 +42,7 @@ pub const REQUIRED_KEYS: [&str; 13] = [
     "latency_ms",
     "recall",
     "cache",
+    "admission",
     "trace",
     "mutations",
     "tenants",
@@ -578,6 +581,37 @@ impl CacheSummary {
     }
 }
 
+/// Admission-control outcomes for a scenario run under an overload
+/// policy. Every counter is structural (virtual-time in the harness):
+/// a fixed seed and policy must reproduce all five exactly, which is
+/// what lets CI diff shed/retry behavior across commits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionSummary {
+    /// Query arrivals presented to admission control (first attempts).
+    pub submitted: u64,
+    /// Requests admitted and executed.
+    pub admitted: u64,
+    /// Requests answered `Overloaded` with no retries left.
+    pub shed: u64,
+    /// Shed requests that re-arrived for another attempt.
+    pub retried: u64,
+    /// Deepest admission queue observed.
+    pub max_depth: u64,
+}
+
+impl AdmissionSummary {
+    /// Report form, insertion-ordered.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("submitted".into(), Json::uint(self.submitted)),
+            ("admitted".into(), Json::uint(self.admitted)),
+            ("shed".into(), Json::uint(self.shed)),
+            ("retried".into(), Json::uint(self.retried)),
+            ("max_depth".into(), Json::uint(self.max_depth)),
+        ])
+    }
+}
+
 /// Mutation-stream totals for a scenario run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MutationSummary {
@@ -654,6 +688,9 @@ pub struct BenchReport {
     pub failover: Option<ReplicaStats>,
     /// Transport counters, when the topology is remote.
     pub transport: Option<TransportStats>,
+    /// Admission-control counters, when the scenario ran under an
+    /// overload policy.
+    pub admission: Option<AdmissionSummary>,
     /// Trace-plane aggregates, when the run recorded spans.
     pub trace: Option<TraceSummary>,
     /// Mutation totals.
@@ -694,6 +731,10 @@ impl BenchReport {
             .transport
             .as_ref()
             .map_or(Json::Null, TransportStats::to_json);
+        let admission = self
+            .admission
+            .as_ref()
+            .map_or(Json::Null, AdmissionSummary::to_json);
         let trace = match &self.trace {
             Some(t) => Json::Obj(vec![
                 ("traces".into(), Json::uint(t.traces)),
@@ -751,6 +792,7 @@ impl BenchReport {
             ("cache".into(), cache),
             ("failover".into(), failover),
             ("transport".into(), transport),
+            ("admission".into(), admission),
             ("trace".into(), trace),
             (
                 "mutations".into(),
@@ -829,6 +871,13 @@ mod tests {
             }),
             failover: None,
             transport: None,
+            admission: Some(AdmissionSummary {
+                submitted: 3000,
+                admitted: 2900,
+                shed: 100,
+                retried: 40,
+                max_depth: 17,
+            }),
             trace: Some(TraceSummary {
                 traces: 3000,
                 dropped: 0,
@@ -916,6 +965,10 @@ mod tests {
         assert_eq!(stripped.get("queries").unwrap().as_u64(), Some(3000));
         assert!(stripped.get("recall").is_some());
         assert!(stripped.get("cache").is_some());
+        // Admission counters are structural: all five survive the strip.
+        let admission = stripped.get("admission").unwrap();
+        assert_eq!(admission.get("shed").unwrap().as_u64(), Some(100));
+        assert_eq!(admission.get("retried").unwrap().as_u64(), Some(40));
         // The trace summary keeps its structural span counts but loses
         // the per-stage wall-clock breakdown.
         let trace = stripped.get("trace").unwrap();

@@ -116,6 +116,12 @@ pub enum SpanKind {
         /// Frame bytes read.
         bytes_in: u64,
     },
+    /// Time spent queued behind admission control before execution (the
+    /// duration lives in `elapsed_ns`, like every span).
+    QueueWait {
+        /// Queue depth observed when this request was enqueued.
+        depth: u64,
+    },
 }
 
 impl SpanKind {
@@ -129,6 +135,7 @@ impl SpanKind {
             SpanKind::Gather { .. } => "gather",
             SpanKind::Rerank { .. } => "rerank",
             SpanKind::WireExchange { .. } => "wire_exchange",
+            SpanKind::QueueWait { .. } => "queue_wait",
         }
     }
 
@@ -143,6 +150,7 @@ impl SpanKind {
             SpanKind::Gather { .. } => 5,
             SpanKind::Rerank { .. } => 6,
             SpanKind::WireExchange { .. } => 7,
+            SpanKind::QueueWait { .. } => 8,
         }
     }
 
@@ -159,6 +167,7 @@ impl SpanKind {
                 bytes_out,
                 bytes_in,
             } => (bytes_out, bytes_in),
+            SpanKind::QueueWait { depth } => (depth, 0),
         }
     }
 
@@ -178,6 +187,7 @@ impl SpanKind {
                 bytes_out: a,
                 bytes_in: b,
             },
+            8 => SpanKind::QueueWait { depth: a },
             _ => return None,
         })
     }
@@ -244,6 +254,7 @@ impl SpanRecord {
                 fields.push(("bytes_out".into(), Json::Int(bytes_out as i64)));
                 fields.push(("bytes_in".into(), Json::Int(bytes_in as i64)));
             }
+            SpanKind::QueueWait { depth } => fields.push(("depth".into(), Json::Int(depth as i64))),
         }
         fields.push(("elapsed_ns".into(), Json::Int(self.elapsed_ns as i64)));
         Json::Obj(fields)
@@ -536,6 +547,7 @@ mod tests {
                 bytes_out: 128,
                 bytes_in: 512,
             },
+            SpanKind::QueueWait { depth: 17 },
         ];
         for kind in kinds {
             let (a, b) = kind.payload();

@@ -21,7 +21,7 @@
 //!    optional cache, replays the stream through `BatchExecutor`, checks
 //!    sampled queries against a brute-force oracle, and folds counters
 //!    into a `metrics::BenchReport`.
-//! 4. [`named`] — the four-scenario catalog ([`SCENARIO_NAMES`]) with
+//! 4. [`named`] — the five-scenario catalog ([`SCENARIO_NAMES`]) with
 //!    CI-sized smoke variants.
 //!
 //! Everything in the report except wall-clock timings (`qps`,
@@ -45,4 +45,4 @@ pub mod spec;
 pub use corpus::ScenarioCorpus;
 pub use named::{all, by_name, Scenario, SCENARIO_NAMES};
 pub use runner::{ScenarioRunner, TopologySpec};
-pub use spec::{ArrivalShape, Event, FaultStorm, QueryEvent, WorkloadSpec};
+pub use spec::{AdmissionSpec, ArrivalShape, Event, FaultStorm, QueryEvent, WorkloadSpec};

@@ -13,16 +13,25 @@
 //! |                 | invalidation under insert/delete bursts    |                       |
 //! | `fault_storm`   | replica failover: markdown, probing,       | recall parity +       |
 //! |                 | recovery while replica 0 survives          | failover counters     |
+//! | `overload`      | admission control under bursty arrivals:   | admitted/shed/retried |
+//! |                 | virtual-time queueing, deadline shedding,  | counters              |
+//! |                 | `Overloaded` retries                       |                       |
 //!
 //! Every preset has a `--smoke` variant: same shape and invariants,
 //! shrunk an order of magnitude for CI.
 
 use crate::runner::{ScenarioRunner, TopologySpec};
-use crate::spec::{ArrivalShape, FaultStorm, WorkloadSpec};
+use crate::spec::{AdmissionSpec, ArrivalShape, FaultStorm, WorkloadSpec};
 use vecstore::DatasetSpec;
 
 /// Names every [`by_name`] accepts, in catalog order.
-pub const SCENARIO_NAMES: [&str; 4] = ["steady_zipf", "diurnal_burst", "churn_lsm", "fault_storm"];
+pub const SCENARIO_NAMES: [&str; 5] = [
+    "steady_zipf",
+    "diurnal_burst",
+    "churn_lsm",
+    "fault_storm",
+    "overload",
+];
 
 /// A catalog entry: the workload plus its default stack.
 pub struct Scenario {
@@ -187,6 +196,54 @@ fn fault_storm(smoke: bool) -> Scenario {
     }
 }
 
+fn overload(smoke: bool) -> Scenario {
+    let mut spec = WorkloadSpec::base(0x0E71);
+    if smoke {
+        spec.dataset = smoke_dataset();
+        spec.base_n = 300;
+        spec.query_pool = 64;
+        spec.ticks = 12;
+        // Bursts arrive at ~6x the admission capacity; the trough drains.
+        spec.arrival = ArrivalShape::Bursty {
+            base: 4.0,
+            burst: 60.0,
+            every: 6,
+            width: 2,
+        };
+        spec.oracle_every = 16;
+        spec.build_c = 32;
+        spec.admission = Some(AdmissionSpec {
+            capacity_per_tick: 10,
+            max_queue: 24,
+            deadline_ticks: 3,
+            retry_limit: 1,
+        });
+    } else {
+        spec.base_n = 1_500;
+        spec.ticks = 48;
+        spec.arrival = ArrivalShape::Bursty {
+            base: 10.0,
+            burst: 160.0,
+            every: 12,
+            width: 3,
+        };
+        spec.admission = Some(AdmissionSpec {
+            capacity_per_tick: 25,
+            max_queue: 64,
+            deadline_ticks: 4,
+            retry_limit: 2,
+        });
+    }
+    Scenario {
+        name: "overload",
+        stresses: "admission control: bursty queueing, deadline shedding, Overloaded retries",
+        key_metric: "admitted/shed/retried counters",
+        spec,
+        default_topology: TopologySpec::Sharded { shards: 2 },
+        default_cache: 0,
+    }
+}
+
 /// Looks up a catalog scenario; `smoke` selects the CI-sized variant.
 pub fn by_name(name: &str, smoke: bool) -> Result<Scenario, String> {
     match name {
@@ -194,6 +251,7 @@ pub fn by_name(name: &str, smoke: bool) -> Result<Scenario, String> {
         "diurnal_burst" => Ok(diurnal_burst(smoke)),
         "churn_lsm" => Ok(churn_lsm(smoke)),
         "fault_storm" => Ok(fault_storm(smoke)),
+        "overload" => Ok(overload(smoke)),
         other => Err(format!(
             "unknown scenario '{other}' (expected one of: {})",
             SCENARIO_NAMES.join(", ")
@@ -246,6 +304,23 @@ mod tests {
                     replicas: 2
                 }
             ));
+        }
+    }
+
+    #[test]
+    fn overload_saturates_its_admission_capacity() {
+        for smoke in [false, true] {
+            let s = by_name("overload", smoke).unwrap();
+            let policy = s.spec.admission.expect("overload scripts admission");
+            assert!(policy.capacity_per_tick > 0);
+            assert!(policy.deadline_ticks > 0);
+            let ArrivalShape::Bursty { burst, .. } = s.spec.arrival else {
+                panic!("overload must be bursty");
+            };
+            assert!(
+                burst > 2.0 * policy.capacity_per_tick as f64,
+                "bursts must overwhelm the service rate or nothing sheds"
+            );
         }
     }
 

@@ -18,11 +18,11 @@
 //! trajectory comparison needs.
 
 use crate::corpus::ScenarioCorpus;
-use crate::spec::{Event, QueryEvent, WorkloadSpec};
+use crate::spec::{AdmissionSpec, Event, QueryEvent, WorkloadSpec};
 use engine::{AnnIndex, SearchRequest};
 use metrics::{
-    collect_traces, trace_id_for, transport_summary, BenchReport, CacheSummary, Json,
-    MetricsRegistry, MutationSummary, SpanKind, SpanRing, TenantSummary, TraceContext,
+    collect_traces, trace_id_for, transport_summary, AdmissionSummary, BenchReport, CacheSummary,
+    Json, MetricsRegistry, MutationSummary, SpanKind, SpanRing, TenantSummary, TraceContext,
     TraceSummary,
 };
 use rand::rngs::SmallRng;
@@ -252,19 +252,34 @@ impl ScenarioRunner {
 
         // --- replay the stream ----------------------------------------
         let events = spec.events();
+        // Admission control replays in virtual time over the arrival
+        // ticks, so each query's fate (and all the counters) is fixed
+        // before a single search runs.
+        let admission = spec.admission.as_ref().map(|policy| {
+            let query_ticks: Vec<usize> = events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Query(q) => Some(q.tick),
+                    _ => None,
+                })
+                .collect();
+            simulate_admission(policy, &query_ticks)
+        });
         // Size the span ring to the workload so no span is ever dropped:
         // capacity (deterministic from spec + topology) comfortably above
-        // the worst-case span count per query for this topology.
+        // the worst-case span count per query for this topology (plus the
+        // queue_wait span every admission-controlled query records).
         let query_events = events
             .iter()
             .filter(|e| matches!(e, Event::Query(_)))
             .count();
-        let spans_per_query = match &self.topology {
-            TopologySpec::Flat => 8,
-            TopologySpec::Sharded { shards } => 8 + 4 * *shards,
-            TopologySpec::Replicated { shards, replicas } => 8 + shards * (6 + 2 * replicas),
-            TopologySpec::Remote { nodes, .. } => 8 + 8 * nodes.len(),
-        };
+        let spans_per_query = usize::from(spec.admission.is_some())
+            + match &self.topology {
+                TopologySpec::Flat => 8,
+                TopologySpec::Sharded { shards } => 8 + 4 * *shards,
+                TopologySpec::Replicated { shards, replicas } => 8 + shards * (6 + 2 * replicas),
+                TopologySpec::Remote { nodes, .. } => 8 + 8 * nodes.len(),
+            };
         let ring = Arc::new(SpanRing::new(
             (query_events.max(1) * spans_per_query).clamp(1024, 1 << 21),
         ));
@@ -310,6 +325,10 @@ impl ScenarioRunner {
                 ])
             });
         }
+        if let Some((_, summary)) = &admission {
+            let s = *summary;
+            registry.register_source("serving.frontend.admission", move || s.to_json());
+        }
         let push_predicates = self.topology.supports_predicates();
         let mut delete_rng = SmallRng::seed_from_u64(spec.delete_seed());
         let mut insert_cursor = 0usize;
@@ -344,8 +363,25 @@ impl ScenarioRunner {
                         req = req.filter(|id| id % 2 == 0);
                     }
                     let trace_id = trace_id_for(spec.seed, query_counter as u64);
-                    req = req.trace(TraceContext::new(Arc::clone(&ring), trace_id));
+                    let ctx = TraceContext::new(Arc::clone(&ring), trace_id);
+                    let outcome = admission.as_ref().map(|(o, _)| o[query_counter]);
+                    if let Some(o) = outcome {
+                        // Virtual queue time, one tick ≈ 1 ms (the span's
+                        // duration is timing and stripped; its depth and
+                        // presence are structural).
+                        ctx.record_timed(
+                            SpanKind::QueueWait { depth: o.depth },
+                            o.wait_ticks * 1_000_000,
+                        );
+                    }
                     trace_ids.push(trace_id);
+                    if outcome.is_some_and(|o| !o.admitted) {
+                        // Answered `Overloaded` with retries exhausted —
+                        // accounted, traced, never executed.
+                        query_counter += 1;
+                        continue;
+                    }
+                    req = req.trace(ctx);
                     let oracle = query_counter
                         .is_multiple_of(spec.oracle_every.max(1))
                         .then(|| oracle_top_k(&mirror, &query, spec.k, filtered));
@@ -398,9 +434,9 @@ impl ScenarioRunner {
 
         // --- fold the trace plane -------------------------------------
         let spans = ring.snapshot();
-        let mut counts = [0u64; 8];
-        let mut total_ns = [0u64; 8];
-        let mut names = [""; 8];
+        let mut counts = [0u64; 9];
+        let mut total_ns = [0u64; 9];
+        let mut names = [""; 9];
         for s in &spans {
             let c = s.kind.code() as usize;
             counts[c] += 1;
@@ -410,11 +446,11 @@ impl ScenarioRunner {
         let trace_summary = TraceSummary {
             traces: trace_ids.len() as u64,
             dropped: ring.dropped(),
-            span_counts: (1..8)
+            span_counts: (1..9)
                 .filter(|&c| counts[c] > 0)
                 .map(|c| (names[c].to_string(), counts[c]))
                 .collect(),
-            stage_ms: (1..8)
+            stage_ms: (1..9)
                 .filter(|&c| counts[c] > 0)
                 .map(|c| (names[c].to_string(), total_ns[c] as f64 / 1e6))
                 .collect(),
@@ -468,6 +504,7 @@ impl ScenarioRunner {
             transport: (!transports.is_empty()).then(|| {
                 transport_summary(&transports.iter().map(|t| t.stats()).collect::<Vec<_>>())
             }),
+            admission: admission.as_ref().map(|(_, s)| *s),
             trace: Some(trace_summary),
             mutations: MutationSummary {
                 inserts: inserts_applied,
@@ -530,6 +567,99 @@ impl ScenarioRunner {
     }
 }
 
+/// One query's fate under the virtual-time admission policy.
+#[derive(Debug, Clone, Copy, Default)]
+struct AdmissionOutcome {
+    /// Whether the request was ultimately executed (vs. answered
+    /// `Overloaded` with its retries exhausted).
+    admitted: bool,
+    /// Queue depth observed when the request first arrived.
+    depth: u64,
+    /// Virtual ticks between the final arrival and the outcome.
+    wait_ticks: u64,
+}
+
+/// Replays the admission policy of [`AdmissionSpec`] over the query
+/// arrivals in virtual time: ticks are the clock, so the outcome of
+/// every request — and all five summary counters — is a pure function
+/// of `(policy, arrival ticks)`. This mirrors what the live
+/// event-driven front-end does under wall-clock deadlines, in a form a
+/// determinism check can diff.
+fn simulate_admission(
+    policy: &AdmissionSpec,
+    query_ticks: &[usize],
+) -> (Vec<AdmissionOutcome>, AdmissionSummary) {
+    let mut outcomes = vec![AdmissionOutcome::default(); query_ticks.len()];
+    let mut summary = AdmissionSummary {
+        submitted: query_ticks.len() as u64,
+        ..AdmissionSummary::default()
+    };
+    // arrivals[t] = requests (query index, attempt number) landing at t;
+    // retries re-arrive one tick later.
+    let horizon = query_ticks.iter().max().map_or(0, |t| t + 1);
+    let mut arrivals: Vec<Vec<(usize, u32)>> = vec![Vec::new(); horizon + 1];
+    for (idx, &tick) in query_ticks.iter().enumerate() {
+        arrivals[tick].push((idx, 0));
+    }
+    let mut queue: std::collections::VecDeque<(usize, usize, u32)> =
+        std::collections::VecDeque::new();
+    let mut tick = 0usize;
+    while tick < arrivals.len() || !queue.is_empty() {
+        let mut shed_or_retry = Vec::new();
+        if tick < arrivals.len() {
+            for (idx, attempt) in std::mem::take(&mut arrivals[tick]) {
+                if attempt == 0 {
+                    outcomes[idx].depth = queue.len() as u64;
+                }
+                if queue.len() >= policy.max_queue {
+                    shed_or_retry.push((idx, attempt)); // overflow at the door
+                } else {
+                    queue.push_back((idx, tick, attempt));
+                }
+            }
+        }
+        summary.max_depth = summary.max_depth.max(queue.len() as u64);
+        // Deadline shed first (the live server checks at execute time),
+        // then serve this tick's capacity. The queue is FIFO by arrival
+        // tick, so expired entries are always at the front.
+        while let Some(&(idx, arrived, attempt)) = queue.front() {
+            if tick - arrived < policy.deadline_ticks {
+                break;
+            }
+            queue.pop_front();
+            outcomes[idx].wait_ticks = (tick - arrived) as u64;
+            shed_or_retry.push((idx, attempt));
+        }
+        for _ in 0..policy.capacity_per_tick {
+            let Some((idx, arrived, _)) = queue.pop_front() else {
+                break;
+            };
+            outcomes[idx].admitted = true;
+            outcomes[idx].wait_ticks = (tick - arrived) as u64;
+            summary.admitted += 1;
+        }
+        for (idx, attempt) in shed_or_retry {
+            if attempt < policy.retry_limit {
+                summary.retried += 1;
+                if arrivals.len() <= tick + 1 {
+                    arrivals.resize(tick + 2, Vec::new());
+                }
+                arrivals[tick + 1].push((idx, attempt + 1));
+            } else {
+                outcomes[idx].admitted = false;
+                summary.shed += 1;
+            }
+        }
+        tick += 1;
+    }
+    debug_assert_eq!(
+        summary.admitted + summary.shed,
+        summary.submitted,
+        "every request must end admitted or shed"
+    );
+    (outcomes, summary)
+}
+
 /// Exact top-`k` over the live mirror by `(dist, id)`, honoring the
 /// even-id predicate when `filtered`.
 fn oracle_top_k(mirror: &[Option<Vec<f32>>], query: &[f32], k: usize, filtered: bool) -> Vec<u64> {
@@ -569,6 +699,79 @@ mod tests {
         assert_eq!(top, vec![0, 1, 3]);
         let even = oracle_top_k(&mirror, &[0.0], 3, true);
         assert_eq!(even, vec![0, 4]); // 2 is deleted, odds filtered
+    }
+
+    #[test]
+    fn admission_simulation_is_deterministic_and_total() {
+        let policy = AdmissionSpec {
+            capacity_per_tick: 2,
+            max_queue: 3,
+            deadline_ticks: 2,
+            retry_limit: 1,
+        };
+        // Eight arrivals in tick 0 against capacity 2 and a 3-deep queue:
+        // some admit, some retry, some shed — and all eight resolve.
+        let ticks = [0usize; 8];
+        let (outcomes, summary) = simulate_admission(&policy, &ticks);
+        assert_eq!(summary.submitted, 8);
+        assert_eq!(summary.admitted + summary.shed, 8, "none may hang");
+        assert!(summary.shed > 0, "this burst must overwhelm the queue");
+        assert!(summary.retried > 0, "overflow must trigger retries");
+        assert!(summary.max_depth <= policy.max_queue as u64);
+        assert_eq!(outcomes.len(), 8);
+        assert_eq!(
+            outcomes.iter().filter(|o| o.admitted).count() as u64,
+            summary.admitted
+        );
+        // Pure function of (policy, ticks): replays match exactly.
+        let (again, summary2) = simulate_admission(&policy, &ticks);
+        assert_eq!(summary, summary2);
+        for (a, b) in outcomes.iter().zip(&again) {
+            assert_eq!(
+                (a.admitted, a.depth, a.wait_ticks),
+                (b.admitted, b.depth, b.wait_ticks)
+            );
+        }
+        // An uncontended trickle admits everything with zero waits.
+        let sparse: Vec<usize> = (0..5).map(|i| i * 10).collect();
+        let (all_in, quiet) = simulate_admission(&policy, &sparse);
+        assert_eq!(quiet.admitted, 5);
+        assert_eq!(quiet.shed + quiet.retried, 0);
+        assert!(all_in.iter().all(|o| o.admitted && o.wait_ticks == 0));
+    }
+
+    #[test]
+    fn overload_scenario_counters_reproduce_across_runs() {
+        let scenario = crate::named::by_name("overload", true).unwrap();
+        let run = |seed| {
+            let (report, _) = scenario.runner(seed).run_traced().unwrap();
+            report
+        };
+        let a = run(7);
+        let b = run(7);
+        let sa = a.admission.expect("overload reports admission");
+        assert_eq!(Some(sa), b.admission, "counters must reproduce per seed");
+        assert!(sa.shed > 0, "the bursts must shed");
+        assert!(sa.retried > 0, "sheds must retry before giving up");
+        assert_eq!(
+            sa.admitted + sa.shed,
+            sa.submitted,
+            "every request answered or answered Overloaded"
+        );
+        assert_eq!(a.queries, sa.admitted, "only admitted queries execute");
+        // The queue_wait span is structural: one per submitted query.
+        let t = a.trace.as_ref().expect("trace summary present");
+        let queue_waits = t
+            .span_counts
+            .iter()
+            .find(|(name, _)| name == "queue_wait")
+            .map(|(_, n)| *n);
+        assert_eq!(queue_waits, Some(sa.submitted));
+        // Full strip_timings stability, not just the admission block.
+        assert_eq!(
+            metrics::strip_timings(&a.to_json()),
+            metrics::strip_timings(&b.to_json())
+        );
     }
 
     #[test]

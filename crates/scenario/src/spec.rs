@@ -141,6 +141,44 @@ impl FaultStorm {
     }
 }
 
+/// Virtual-time admission control for overload scenarios.
+///
+/// The live event-driven front-end sheds on wall-clock deadlines, which
+/// no deterministic harness can replay bit-for-bit. The scenario runner
+/// therefore applies the *same policy in virtual time*: ticks are the
+/// clock, `capacity_per_tick` is the node's service rate, and the
+/// admitted/shed/retried counters become pure functions of the spec —
+/// `strip_timings`-stable across identically-seeded runs.
+///
+/// Per tick: arrivals join a FIFO queue (overflow past `max_queue` is
+/// shed on arrival), `capacity_per_tick` requests are served from the
+/// front, and anything still queued after `deadline_ticks` is shed.
+/// A shed request with retries left re-arrives next tick (the client's
+/// `Overloaded` → transient-fault retry); past `retry_limit` it is
+/// answered `Overloaded` for good. Every request therefore ends
+/// admitted or shed — none hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionSpec {
+    /// Requests served per tick (the virtual service rate).
+    pub capacity_per_tick: usize,
+    /// Queue length past which arrivals are shed immediately.
+    pub max_queue: usize,
+    /// Ticks a request may wait before being shed.
+    pub deadline_ticks: usize,
+    /// Times a shed request re-arrives before staying shed.
+    pub retry_limit: u32,
+}
+
+impl AdmissionSpec {
+    /// Report label for config echoing.
+    pub fn label(&self) -> String {
+        format!(
+            "cap:{}/q:{}/dl:{}/retry:{}",
+            self.capacity_per_tick, self.max_queue, self.deadline_ticks, self.retry_limit
+        )
+    }
+}
+
 /// One query arrival, fully resolved by the generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryEvent {
@@ -219,6 +257,8 @@ pub struct WorkloadSpec {
     pub oracle_every: usize,
     /// Scripted fault storm (applies on replicated topologies).
     pub fault_storm: Option<FaultStorm>,
+    /// Virtual-time admission control (`None` = everything admitted).
+    pub admission: Option<AdmissionSpec>,
     /// Graph family of the index under test.
     pub graph: GraphKind,
     /// Coding scheme of the index under test.
@@ -261,6 +301,7 @@ impl WorkloadSpec {
             delete_burst: 0,
             oracle_every: 16,
             fault_storm: None,
+            admission: None,
             graph: GraphKind::Hnsw,
             coding: Coding::Flash,
             build_c: 48,
@@ -388,6 +429,13 @@ impl WorkloadSpec {
                         "transient@{}+die@{}+revive@{}x{}",
                         s.transient_at, s.die_at, s.revive_after, s.stagger
                     )),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "admission".into(),
+                match &self.admission {
+                    Some(a) => Json::str(a.label()),
                     None => Json::Null,
                 },
             ),

@@ -1,0 +1,663 @@
+//! The event-driven serving front-end: one readiness loop per thread
+//! multiplexing many client connections, with admission control.
+//!
+//! [`EventServer`] serves the same [`NodeHandler`] behind the same wire
+//! protocol as the thread-per-connection [`super::NodeServer`], but its
+//! capacity does not stop at `threads` concurrent clients: each loop
+//! thread owns a set of **non-blocking** sockets and polls them for
+//! readiness (hand-rolled over `std::net`, in the spirit of the
+//! hand-rolled `WorkerPool` — no mio/tokio), so hundreds of connections
+//! share a handful of threads, and frames **pipeline**: a client may
+//! write N request frames back to back and read N replies, in order,
+//! without waiting for each round trip.
+//!
+//! On top of the loop sit the production-traffic controls
+//! ([`EventConfig`]):
+//!
+//! * **adaptive batching** — parsed requests queue per connection and are
+//!   executed when the batch reaches `batch_max` frames, the oldest has
+//!   waited `batch_deadline`, or the input goes quiescent (no partial
+//!   frame pending), whichever is first — size *or* deadline closes the
+//!   batch, idleness never waits for either;
+//! * **per-client quotas with backpressure** — a connection with
+//!   `client_quota` requests in flight is not read from until it drains,
+//!   so the kernel's socket buffer (and ultimately the client) absorbs
+//!   the excess instead of the node's memory;
+//! * **deadline-aware load shedding** — a request that waited longer
+//!   than `queue_deadline` in the admission queue is answered with a
+//!   structured [`ErrorCode::Overloaded`] frame instead of being served
+//!   late. The client maps it to a retryable transient fault, so a
+//!   replica layer routes around the saturated node.
+//!
+//! Observability: every admission decision updates the global metrics
+//! registry (`serving.frontend.queue_depth` gauge,
+//! `serving.frontend.admitted` / `serving.frontend.shed` counters, and
+//! the `serving.frontend.admission_wait_ns` histogram), and traced
+//! requests get a `queue_wait` span (depth at enqueue, waited
+//! nanoseconds) recorded into the handler's ring next to the usual
+//! `wire_exchange` span.
+
+use super::node::NodeHandler;
+use super::transport::WireStream;
+use super::wire::{
+    ErrorCode, Message, WireFault, HEADER_LEN, MAX_PAYLOAD, TRAILER_LEN, WIRE_MAGIC, WIRE_VERSION,
+};
+use super::{NodeAddr, TransportError};
+use engine::WireError;
+use metrics::{Counter, Gauge, Log2Histogram, MetricsRegistry, SpanKind, TransportCounters};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a loop thread sleeps when a poll pass made no progress —
+/// the shutdown-latency and idle-wakeup bound.
+const IDLE_POLL: Duration = Duration::from_micros(200);
+
+/// Bytes read from one connection per poll pass, and the cap on buffered
+/// unparsed input per connection — past it, reading stops and the
+/// kernel's socket buffer pushes back on the client.
+const READ_CHUNK: usize = 16 * 1024;
+const READ_BUF_CAP: usize = 1 << 20;
+
+/// The admission-control knobs of an [`EventServer`].
+#[derive(Debug, Clone)]
+pub struct EventConfig {
+    /// Readiness-loop threads; each multiplexes its own connection set.
+    pub threads: usize,
+    /// A batch closes when this many requests are queued…
+    pub batch_max: usize,
+    /// …or when the oldest queued request has waited this long —
+    /// whichever comes first (quiescent input closes immediately).
+    pub batch_deadline: Duration,
+    /// In-flight (parsed, unanswered) requests allowed per connection;
+    /// at the cap the connection is not read from until it drains.
+    pub client_quota: usize,
+    /// A request still queued after this long is answered
+    /// [`ErrorCode::Overloaded`] instead of served late.
+    pub queue_deadline: Duration,
+}
+
+impl Default for EventConfig {
+    fn default() -> Self {
+        Self {
+            threads: 2,
+            batch_max: 32,
+            batch_deadline: Duration::from_micros(500),
+            client_quota: 64,
+            queue_deadline: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Admission-control outcomes since the server started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Requests executed (admitted within their deadline).
+    pub admitted: u64,
+    /// Requests answered `Overloaded` past their queue deadline.
+    pub shed: u64,
+}
+
+/// Everything the loop threads share.
+struct Shared {
+    handler: Arc<NodeHandler>,
+    counters: Arc<TransportCounters>,
+    config: EventConfig,
+    shutdown: Arc<AtomicBool>,
+    admitted: Arc<AtomicU64>,
+    shed: Arc<AtomicU64>,
+    // Global-registry mirrors of the same decisions.
+    admitted_total: Counter,
+    shed_total: Counter,
+    queue_depth: Gauge,
+    admission_wait: Arc<Log2Histogram>,
+}
+
+/// Either listener family, non-blocking.
+enum EventListener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl EventListener {
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            EventListener::Tcp(l) => l.set_nonblocking(true),
+            #[cfg(unix)]
+            EventListener::Unix(l) => l.set_nonblocking(true),
+        }
+    }
+
+    fn try_clone(&self) -> std::io::Result<Self> {
+        match self {
+            EventListener::Tcp(l) => l.try_clone().map(EventListener::Tcp),
+            #[cfg(unix)]
+            EventListener::Unix(l) => l.try_clone().map(EventListener::Unix),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<WireStream> {
+        match self {
+            EventListener::Tcp(l) => l.accept().map(|(s, _)| {
+                // Framed RPC with pipelining: Nagle + delayed ACK would
+                // hold small reply frames for up to 40ms.
+                s.set_nodelay(true).ok();
+                WireStream::Tcp(s)
+            }),
+            #[cfg(unix)]
+            EventListener::Unix(l) => l.accept().map(|(s, _)| WireStream::Unix(s)),
+        }
+    }
+}
+
+/// One parsed-but-unanswered request in a connection's admission queue.
+struct Pending {
+    /// `None` after a malformed frame: the reply is pre-resolved.
+    request: Option<Message>,
+    /// The pre-resolved reply for frames that never reached the handler.
+    resolved: Option<Message>,
+    trace_id: u64,
+    received: u64,
+    enqueued: Instant,
+    /// Queue depth observed at enqueue (the `queue_wait` span payload).
+    depth: u64,
+}
+
+/// One multiplexed connection's state.
+struct Conn {
+    stream: WireStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    pending: VecDeque<Pending>,
+    eof: bool,
+    dead: bool,
+    /// Set after a malformed frame: answer what's queued, then hang up
+    /// (framing state is unrecoverable).
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn new(stream: WireStream) -> Self {
+        Self {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            pending: VecDeque::new(),
+            eof: false,
+            dead: false,
+            close_after_flush: false,
+        }
+    }
+
+    /// Pulls available bytes (up to the backpressure caps) off the
+    /// socket. Returns whether any arrived.
+    fn fill(&mut self, shared: &Shared) -> bool {
+        if self.eof || self.dead || self.close_after_flush {
+            return false;
+        }
+        let mut progressed = false;
+        let mut chunk = [0u8; READ_CHUNK];
+        // Quota backpressure: a connection at its in-flight cap (or with
+        // a large unparsed backlog) is simply not read from — the socket
+        // buffer fills and the client blocks, instead of this node
+        // queuing without bound.
+        while self.pending.len() < shared.config.client_quota && self.read_buf.len() < READ_BUF_CAP
+        {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    shared.counters.record_error();
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Frames the buffered bytes into the admission queue (up to the
+    /// per-client quota; whole frames past it stay buffered).
+    fn parse(&mut self, shared: &Shared) {
+        while !self.close_after_flush && self.pending.len() < shared.config.client_quota {
+            match frame_bounds(&self.read_buf) {
+                Ok(None) => break, // partial frame: need more bytes
+                Ok(Some(total)) => {
+                    let result = Message::decode_traced(&self.read_buf[..total]);
+                    self.read_buf.drain(..total);
+                    match result {
+                        Ok((message, trace_id, _)) => {
+                            shared.counters.record_received(total as u64);
+                            self.enqueue(shared, Some(message), None, trace_id, total as u64);
+                        }
+                        Err(e) => self.reject(shared, &e),
+                    }
+                }
+                Err(e) => self.reject(shared, &e),
+            }
+        }
+    }
+
+    /// Queues one best-effort `BadRequest` answer for an undecodable
+    /// frame and schedules the hang-up, mirroring the blocking path.
+    fn reject(&mut self, shared: &Shared, error: &WireError) {
+        shared.counters.record_error();
+        let reply = Message::Error(WireFault {
+            code: ErrorCode::BadRequest,
+            message: error.to_string(),
+        });
+        // An undecodable frame has no recoverable trace id.
+        self.enqueue(shared, None, Some(reply), 0, 0);
+        self.read_buf.clear();
+        self.close_after_flush = true;
+    }
+
+    fn enqueue(
+        &mut self,
+        shared: &Shared,
+        request: Option<Message>,
+        resolved: Option<Message>,
+        trace_id: u64,
+        received: u64,
+    ) {
+        let depth = self.pending.len() as u64;
+        shared.queue_depth.add(1);
+        self.pending.push_back(Pending {
+            request,
+            resolved,
+            trace_id,
+            received,
+            enqueued: Instant::now(),
+            depth,
+        });
+    }
+
+    /// Serves every queued request in arrival order: shed past-deadline
+    /// requests with `Overloaded`, run the rest through the handler, and
+    /// stage each reply frame (pipelined replies keep request order).
+    fn execute(&mut self, shared: &Shared) {
+        while let Some(mut p) = self.pending.pop_front() {
+            shared.queue_depth.add(-1);
+            let waited = p.enqueued.elapsed();
+            let reply = if let Some(reply) = p.resolved.take() {
+                reply
+            } else if waited >= shared.config.queue_deadline {
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                shared.shed_total.inc();
+                Message::Error(WireFault {
+                    code: ErrorCode::Overloaded,
+                    message: format!("request shed after {waited:?} in the admission queue"),
+                })
+            } else {
+                shared.admitted.fetch_add(1, Ordering::Relaxed);
+                shared.admitted_total.inc();
+                shared.admission_wait.observe(waited.as_nanos() as u64);
+                shared.handler.handle(
+                    p.request
+                        .take()
+                        .expect("unresolved pendings carry a request"),
+                )
+            };
+            if p.trace_id != 0 {
+                shared.handler.ring().record(
+                    p.trace_id,
+                    None,
+                    SpanKind::QueueWait { depth: p.depth },
+                    waited.as_nanos() as u64,
+                );
+            }
+            match reply.encode_traced(p.trace_id) {
+                Ok(frame) => {
+                    shared.counters.record_sent(frame.len() as u64);
+                    if p.trace_id != 0 {
+                        shared.handler.ring().record(
+                            p.trace_id,
+                            None,
+                            SpanKind::WireExchange {
+                                bytes_out: frame.len() as u64,
+                                bytes_in: p.received,
+                            },
+                            0,
+                        );
+                    }
+                    self.write_buf.extend_from_slice(&frame);
+                }
+                Err(_) => {
+                    // A reply with no wire form (cannot happen for the
+                    // kinds a handler emits, but never hang the client).
+                    shared.counters.record_error();
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Pushes staged reply bytes until the socket would block. Returns
+    /// whether any left.
+    fn flush(&mut self, shared: &Shared) -> bool {
+        let mut progressed = false;
+        while !self.write_buf.is_empty() && !self.dead {
+            match self.stream.write(&self.write_buf) {
+                Ok(0) => {
+                    self.dead = true;
+                }
+                Ok(n) => {
+                    self.write_buf.drain(..n);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    shared.counters.record_error();
+                    self.dead = true;
+                }
+            }
+        }
+        if self.write_buf.is_empty()
+            && (self.close_after_flush || (self.eof && self.pending.is_empty()))
+        {
+            self.dead = true;
+        }
+        progressed
+    }
+}
+
+/// Locates one whole frame at the front of `buf`.
+///
+/// `Ok(Some(len))` — a full frame of `len` bytes is buffered;
+/// `Ok(None)` — the frame (or its header) is still partial;
+/// `Err` — the bytes can never frame (bad magic/version, oversized
+/// payload), so the connection's framing state is unrecoverable.
+fn frame_bounds(buf: &[u8]) -> Result<Option<usize>, WireError> {
+    if buf.len() >= 2 {
+        let magic = u16::from_le_bytes([buf[0], buf[1]]);
+        if magic != WIRE_MAGIC {
+            return Err(WireError::Malformed(format!(
+                "bad frame magic {magic:#06x} (expected {WIRE_MAGIC:#06x})"
+            )));
+        }
+    }
+    if buf.len() >= 4 {
+        let version = u16::from_le_bytes([buf[2], buf[3]]);
+        if version != WIRE_VERSION {
+            return Err(WireError::Malformed(format!(
+                "unsupported wire version {version} (this build speaks {WIRE_VERSION})"
+            )));
+        }
+    }
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let payload_len = u32::from_le_bytes(buf[13..17].try_into().unwrap()) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::Malformed(format!(
+            "payload of {payload_len} bytes exceeds the {MAX_PAYLOAD}-byte cap"
+        )));
+    }
+    let total = HEADER_LEN + payload_len + TRAILER_LEN;
+    Ok((buf.len() >= total).then_some(total))
+}
+
+/// Hosts any [`engine::AnnIndex`] behind the same [`NodeHandler`] and
+/// wire protocol as [`super::NodeServer`], but event-driven: `threads`
+/// readiness loops multiplex all client connections, pipeline frames per
+/// connection, batch adaptively, and shed overload (see the module
+/// docs). [`Self::shutdown`] (also run on drop) severs live connections
+/// and joins every loop thread; it never needs a wake-up dial, because
+/// no loop thread ever blocks.
+pub struct EventServer {
+    addr: NodeAddr,
+    shutdown: Arc<AtomicBool>,
+    loops: Vec<JoinHandle<()>>,
+    counters: Arc<TransportCounters>,
+    admitted: Arc<AtomicU64>,
+    shed: Arc<AtomicU64>,
+    unix_path: Option<PathBuf>,
+}
+
+impl EventServer {
+    /// Binds `addr` and starts `config.threads` readiness loops serving
+    /// `handler`.
+    pub fn bind(
+        addr: &NodeAddr,
+        handler: NodeHandler,
+        config: EventConfig,
+    ) -> Result<Self, TransportError> {
+        let (listener, bound_addr, unix_path) = match addr {
+            NodeAddr::Tcp(a) => {
+                let listener = TcpListener::bind(a.as_str())
+                    .map_err(|e| TransportError::Io(format!("bind {addr}: {e}")))?;
+                let local = listener
+                    .local_addr()
+                    .map_err(|e| TransportError::Io(format!("local_addr {addr}: {e}")))?;
+                (
+                    EventListener::Tcp(listener),
+                    NodeAddr::Tcp(local.to_string()),
+                    None,
+                )
+            }
+            #[cfg(unix)]
+            NodeAddr::Unix(path) => {
+                let listener = UnixListener::bind(path)
+                    .map_err(|e| TransportError::Io(format!("bind {addr}: {e}")))?;
+                (
+                    EventListener::Unix(listener),
+                    addr.clone(),
+                    Some(path.clone()),
+                )
+            }
+        };
+        listener
+            .set_nonblocking()
+            .map_err(|e| TransportError::Io(format!("set_nonblocking {addr}: {e}")))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::clone(handler.counters());
+        let admitted = Arc::new(AtomicU64::new(0));
+        let shed = Arc::new(AtomicU64::new(0));
+        let registry = MetricsRegistry::global();
+        let shared = Arc::new(Shared {
+            handler: Arc::new(handler),
+            counters: Arc::clone(&counters),
+            config: config.clone(),
+            shutdown: Arc::clone(&shutdown),
+            admitted: Arc::clone(&admitted),
+            shed: Arc::clone(&shed),
+            admitted_total: registry.counter("serving.frontend.admitted"),
+            shed_total: registry.counter("serving.frontend.shed"),
+            queue_depth: registry.gauge("serving.frontend.queue_depth"),
+            admission_wait: registry.histogram("serving.frontend.admission_wait_ns"),
+        });
+        // The original handle serves loop 0; clones serve the rest (all
+        // non-blocking, so the kernel distributes accepts across them).
+        let mut listeners = Vec::new();
+        for _ in 1..config.threads.max(1) {
+            listeners.push(
+                listener
+                    .try_clone()
+                    .map_err(|e| TransportError::Io(format!("clone listener: {e}")))?,
+            );
+        }
+        listeners.insert(0, listener);
+        let mut handles = Vec::new();
+        for (t, listener) in listeners.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("node-event-{t}"))
+                .spawn(move || event_loop(listener, &shared))
+                .expect("failed to spawn event-loop thread");
+            handles.push(handle);
+        }
+        Ok(Self {
+            addr: bound_addr,
+            shutdown,
+            loops: handles,
+            counters,
+            admitted,
+            shed,
+            unix_path,
+        })
+    }
+
+    /// The bound address (with TCP port 0 resolved) — what clients dial.
+    pub fn addr(&self) -> &NodeAddr {
+        &self.addr
+    }
+
+    /// Server-side frame/byte counters (the handler's ledger, same as a
+    /// `StatsRequest` scrape).
+    pub fn stats(&self) -> metrics::TransportStats {
+        self.counters.snapshot()
+    }
+
+    /// Admission-control outcomes so far.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the server: loop threads sever their connections and exit
+    /// within one idle-poll interval, and are joined. No wake-up dial is
+    /// needed (nothing ever blocks), so shutdown is robust on any bind
+    /// interface. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for handle in self.loops.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for EventServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One readiness loop: accept, read, frame, batch, execute, flush —
+/// sleeping only when a full pass made no progress.
+fn event_loop(listener: EventListener, shared: &Shared) {
+    let mut conns: Vec<Conn> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            for conn in &conns {
+                shared.queue_depth.add(-(conn.pending.len() as i64));
+                conn.stream.shutdown();
+            }
+            break;
+        }
+        let mut progressed = false;
+        // Accept everything waiting (the kernel spreads accepts across
+        // the cloned handles).
+        loop {
+            match listener.accept() {
+                Ok(stream) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        stream.shutdown();
+                        continue;
+                    }
+                    conns.push(Conn::new(stream));
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                // A transient accept failure (fd pressure): retry next
+                // pass; the idle sleep below prevents a busy spin.
+                Err(_) => break,
+            }
+        }
+        // Read + frame.
+        for conn in conns.iter_mut() {
+            progressed |= conn.fill(shared);
+            conn.parse(shared);
+        }
+        // Adaptive batch close: size, deadline, or quiescent input.
+        let queued: usize = conns.iter().map(|c| c.pending.len()).sum();
+        if queued > 0 {
+            let now = Instant::now();
+            let deadline_hit = conns
+                .iter()
+                .filter_map(|c| c.pending.front())
+                .any(|p| now.duration_since(p.enqueued) >= shared.config.batch_deadline);
+            let quiescent = conns.iter().all(|c| c.read_buf.is_empty());
+            if queued >= shared.config.batch_max || deadline_hit || quiescent {
+                for conn in conns.iter_mut() {
+                    conn.execute(shared);
+                }
+                progressed = true;
+            }
+        }
+        // Flush + prune.
+        for conn in conns.iter_mut() {
+            progressed |= conn.flush(shared);
+        }
+        conns.retain(|conn| {
+            if conn.dead {
+                shared.queue_depth.add(-(conn.pending.len() as i64));
+                conn.stream.shutdown();
+            }
+            !conn.dead
+        });
+        if !progressed {
+            std::thread::sleep(IDLE_POLL);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_bounds_finds_whole_frames_and_rejects_garbage() {
+        let frame = Message::InfoRequest.encode().unwrap();
+        assert_eq!(frame_bounds(&frame), Ok(Some(frame.len())));
+        // Two frames back to back: the first's bounds are reported.
+        let mut two = frame.clone();
+        two.extend_from_slice(&frame);
+        assert_eq!(frame_bounds(&two), Ok(Some(frame.len())));
+        // Every strict prefix is "need more", never an error.
+        for cut in 0..frame.len() {
+            assert_eq!(frame_bounds(&frame[..cut]), Ok(None), "cut at {cut}");
+        }
+        // Garbage magic fails immediately — two bytes are enough.
+        assert!(frame_bounds(&[0xFF, 0xFF]).is_err());
+        let mut bad_version = frame.clone();
+        bad_version[2] = 0x7F;
+        assert!(frame_bounds(&bad_version).is_err());
+        let mut oversized = frame;
+        oversized[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(frame_bounds(&oversized).is_err());
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let config = EventConfig::default();
+        assert!(config.threads >= 1);
+        assert!(config.batch_max >= 1);
+        assert!(config.client_quota >= 1);
+        assert!(config.queue_deadline > config.batch_deadline);
+    }
+}

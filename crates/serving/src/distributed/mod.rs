@@ -20,6 +20,12 @@
 //!   an accept loop feeding a fixed worker-thread pool, one connection
 //!   per coordinator client, clean shutdown (used to kill nodes mid-run
 //!   in tests and demos);
+//! * [`EventServer`] — the event-driven alternative to [`NodeServer`]:
+//!   a hand-rolled readiness loop over non-blocking sockets multiplexes
+//!   many connections per thread, pipelines frames per connection, and
+//!   layers admission control on top ([`EventConfig`]: adaptive
+//!   batching, per-client quotas with backpressure, and deadline-aware
+//!   load shedding answered as [`ErrorCode::Overloaded`]);
 //! * [`RemoteIndex`] — the coordinator-side client. It implements
 //!   **both** [`engine::AnnIndex`] and [`crate::FallibleIndex`], so a
 //!   remote node slots into the existing serving stack unchanged: put
@@ -56,11 +62,13 @@
 //! assert_eq!(remote.search(&req).hits, node.search(&req).hits);
 //! ```
 
+mod event;
 mod node;
 mod remote;
 mod transport;
 pub mod wire;
 
+pub use event::{AdmissionStats, EventConfig, EventServer};
 pub use node::{NodeHandler, NodeServer};
 pub use remote::RemoteIndex;
 pub use transport::{LoopbackTransport, SocketTransport, Transport};

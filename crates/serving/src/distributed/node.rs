@@ -150,7 +150,12 @@ enum Listener {
 impl Listener {
     fn accept(&self) -> std::io::Result<WireStream> {
         match self {
-            Listener::Tcp(l) => l.accept().map(|(s, _)| WireStream::Tcp(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                // Framed RPC: Nagle + delayed ACK would hold small reply
+                // frames for up to 40ms.
+                s.set_nodelay(true).ok();
+                WireStream::Tcp(s)
+            }),
             #[cfg(unix)]
             Listener::Unix(l) => l.accept().map(|(s, _)| WireStream::Unix(s)),
         }
@@ -256,8 +261,15 @@ impl NodeServer {
                                 stream.shutdown();
                                 break; // the wake-up dial, or a late client
                             }
-                            if let Ok(clone) = stream.try_clone() {
-                                registry.push((next_id, clone));
+                            match stream.try_clone() {
+                                Ok(clone) => registry.push((next_id, clone)),
+                                Err(_) => {
+                                    // An unregistered connection could
+                                    // never be severed by shutdown();
+                                    // refuse it rather than serve it.
+                                    stream.shutdown();
+                                    continue;
+                                }
                             }
                         }
                         let id = next_id;
@@ -322,9 +334,18 @@ impl NodeServer {
             #[cfg(unix)]
             NodeAddr::Unix(path) => NodeAddr::Unix(path.clone()),
         };
-        drop(WireStream::connect(&wake));
+        let woke = WireStream::connect(&wake).is_ok();
         if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+            if woke {
+                let _ = accept.join();
+            }
+            // If the wake-up dial failed (a non-dialable bind interface,
+            // or the listener fd already torn down), the accept thread is
+            // parked in accept() with no frame ever reaching it — joining
+            // would hang forever. The flag is set and every registered
+            // connection is severed, so the thread exits on its next
+            // accept return; detaching it is safe and shutdown stays
+            // bounded.
         }
         if let Some(path) = self.unix_path.take() {
             let _ = std::fs::remove_file(path);
@@ -358,8 +379,12 @@ fn serve_connection(mut stream: WireStream, handler: &NodeHandler, counters: &Tr
                         message: wire.to_string(),
                     });
                     // An undecodable frame has no recoverable trace id;
-                    // answer untraced.
-                    let _ = write_message(&mut stream, &reply, 0);
+                    // answer untraced. The reply that lands is a frame on
+                    // the wire like any other: count it, or the node's
+                    // ledger stops reconciling with the coordinator's.
+                    if let Ok(sent) = write_message(&mut stream, &reply, 0) {
+                        counters.record_sent(sent as u64);
+                    }
                 } else {
                     counters.record_error();
                 }

@@ -137,7 +137,12 @@ impl WireStream {
     pub(crate) fn connect(addr: &NodeAddr) -> Result<Self, TransportError> {
         match addr {
             NodeAddr::Tcp(a) => TcpStream::connect(a.as_str())
-                .map(WireStream::Tcp)
+                .map(|s| {
+                    // Framed RPC: Nagle + delayed ACK would hold small
+                    // request frames for up to 40ms.
+                    s.set_nodelay(true).ok();
+                    WireStream::Tcp(s)
+                })
                 .map_err(|e| TransportError::from_io(&format!("connect {addr}"), &e)),
             #[cfg(unix)]
             NodeAddr::Unix(path) => UnixStream::connect(path)
@@ -156,6 +161,16 @@ impl WireStream {
             WireStream::Tcp(s) => apply(s.set_read_timeout(timeout), s.set_write_timeout(timeout)),
             #[cfg(unix)]
             WireStream::Unix(s) => apply(s.set_read_timeout(timeout), s.set_write_timeout(timeout)),
+        }
+    }
+
+    /// Switches the stream between blocking and readiness-loop mode (the
+    /// event-driven front-end polls with `WouldBlock`).
+    pub(crate) fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            WireStream::Tcp(s) => s.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            WireStream::Unix(s) => s.set_nonblocking(nonblocking),
         }
     }
 
@@ -244,11 +259,17 @@ impl SocketTransport {
     }
 
     /// Applies one deadline to every read and write of every call,
-    /// including on an already-established connection.
+    /// including on an already-established connection. If the live
+    /// connection refuses the deadline, it is dropped so the next call
+    /// re-dials with the deadline applied — a connection that can block
+    /// forever must not survive a caller asking for a timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
-        if let Some(stream) = self.conn.get_mut().unwrap().as_ref() {
-            let _ = stream.set_deadline(self.timeout);
+        let conn = self.conn.get_mut().unwrap();
+        if let Some(stream) = conn.as_ref() {
+            if stream.set_deadline(self.timeout).is_err() {
+                *conn = None;
+            }
         }
         self
     }

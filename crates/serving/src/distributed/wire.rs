@@ -59,6 +59,10 @@ pub enum ErrorCode {
     FaultDead = 4,
     /// The node failed internally.
     Internal = 5,
+    /// The node's admission control shed the request (queue full, quota
+    /// exceeded, or deadline passed while queued); a retry on a sibling —
+    /// or later — may succeed.
+    Overloaded = 6,
 }
 
 impl ErrorCode {
@@ -69,6 +73,7 @@ impl ErrorCode {
             3 => ErrorCode::FaultTransient,
             4 => ErrorCode::FaultDead,
             5 => ErrorCode::Internal,
+            6 => ErrorCode::Overloaded,
             other => return Err(WireError::Malformed(format!("unknown error code {other}"))),
         })
     }
@@ -101,9 +106,12 @@ impl WireFault {
     /// with the client's own call counter. Protocol-level codes
     /// (`BadRequest`/`Unsupported`/`Internal`) surface as
     /// [`FaultKind::Malformed`] — the node answered, but not with results.
+    /// [`ErrorCode::Overloaded`] maps to [`FaultKind::Transient`]: a shed
+    /// request is retryable, so the replica layer routes around the
+    /// saturated node exactly as it routes around a transient fault.
     pub fn to_fault(&self, call: u64) -> FaultError {
         let kind = match self.code {
-            ErrorCode::FaultTransient => FaultKind::Transient,
+            ErrorCode::FaultTransient | ErrorCode::Overloaded => FaultKind::Transient,
             ErrorCode::FaultDead => FaultKind::Dead,
             ErrorCode::BadRequest | ErrorCode::Unsupported | ErrorCode::Internal => {
                 FaultKind::Malformed
@@ -633,5 +641,25 @@ mod tests {
             message: String::new(),
         };
         assert_eq!(internal.to_fault(0).kind, FaultKind::Malformed);
+        // A shed request is retryable: the replica layer must treat it
+        // like a transient fault, not a dead or byzantine node.
+        let overloaded = WireFault {
+            code: ErrorCode::Overloaded,
+            message: "queue full".into(),
+        };
+        assert_eq!(overloaded.to_fault(4).kind, FaultKind::Transient);
+    }
+
+    #[test]
+    fn overloaded_frames_roundtrip() {
+        let decoded = roundtrip(&Message::Error(WireFault {
+            code: ErrorCode::Overloaded,
+            message: "shed after 12ms in queue".into(),
+        }));
+        let Message::Error(fault) = decoded else {
+            panic!("expected an Error frame");
+        };
+        assert_eq!(fault.code, ErrorCode::Overloaded);
+        assert_eq!(fault.message, "shed after 12ms in queue");
     }
 }

@@ -12,9 +12,10 @@
 //!   globally-ordered `(dist, id)` top-k with local→global id remapping.
 //!   `ShardedIndex` implements `AnnIndex` itself, so it nests under the
 //!   other two layers;
-//! * [`BatchExecutor`] — queue requests, coalesce them into batches, and
-//!   report per-query latency percentiles plus aggregate QPS via
-//!   `metrics`;
+//! * [`BatchExecutor`] / [`AdaptiveBatcher`] — queue requests, coalesce
+//!   them into batches (fixed-size, or closed on size-**or**-deadline for
+//!   online traffic), and report per-query latency percentiles plus
+//!   aggregate QPS via `metrics`;
 //! * [`QueryCache`] / [`CachedIndex`] — an LRU (the generic
 //!   `cachesim::Lru`) over canonical request hashes, with lazy
 //!   generation-based invalidation driven by mutating indexes
@@ -33,10 +34,12 @@
 //! * [`distributed`] — shards and replicas in **other processes**: a
 //!   versioned length-prefixed wire protocol, an in-memory loopback and a
 //!   Unix/TCP socket [`distributed::Transport`], a [`NodeServer`] hosting
-//!   any `AnnIndex` behind a listener thread pool, and a [`RemoteIndex`]
-//!   client implementing both `AnnIndex` *and* [`FallibleIndex`] — so
-//!   remote nodes compose under the sharded/replicated/cached stack
-//!   unchanged, mark-down and probed recovery included.
+//!   any `AnnIndex` behind a listener thread pool (or an [`EventServer`]
+//!   multiplexing many pipelined connections per thread with admission
+//!   control), and a [`RemoteIndex`] client implementing both `AnnIndex`
+//!   *and* [`FallibleIndex`] — so remote nodes compose under the
+//!   sharded/replicated/cached stack unchanged, mark-down and probed
+//!   recovery included.
 //!
 //! ```
 //! use engine::{AnnIndex, Coding, GraphKind, IndexBuilder, SearchRequest};
@@ -68,11 +71,13 @@ mod pool;
 mod replica;
 mod shard;
 
-pub use batch::{BatchExecutor, BatchReport, DEFAULT_BATCH_SIZE};
+pub use batch::{
+    AdaptiveBatcher, BatchExecutor, BatchReport, DEFAULT_BATCH_DEADLINE, DEFAULT_BATCH_SIZE,
+};
 pub use cache::{CachedIndex, QueryCache, QueryCacheStats};
 pub use distributed::{
-    LoopbackTransport, NodeAddr, NodeHandler, NodeInfo, NodeServer, NodeStats, RemoteIndex,
-    SocketTransport, Transport, TransportError,
+    AdmissionStats, EventConfig, EventServer, LoopbackTransport, NodeAddr, NodeHandler, NodeInfo,
+    NodeServer, NodeStats, RemoteIndex, SocketTransport, Transport, TransportError,
 };
 pub use fault::{FallibleIndex, FaultAction, FaultError, FaultKind, FaultPlan, FaultyIndex};
 pub use pool::WorkerPool;

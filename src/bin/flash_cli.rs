@@ -21,15 +21,19 @@
 //! seed, so codes never need separate storage.
 
 use hnsw_flash::prelude::*;
+use hnsw_flash::serving::distributed::wire::{read_message, write_message};
 use hnsw_flash::serving::distributed::{
-    Message, NodeAddr, NodeHandler, NodeServer, RemoteIndex, SocketTransport, Transport,
+    ErrorCode, EventConfig, EventServer, Message, NodeAddr, NodeHandler, NodeServer, RemoteIndex,
+    SocketTransport, Transport,
 };
-use metrics::{collect_traces, trace_id_for, transport_summary, SpanRing, TraceContext};
+use metrics::{
+    collect_traces, latency_summary, trace_id_for, transport_summary, SpanRing, TraceContext,
+};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use vecstore::io::{read_fvecs, read_ivecs, write_fvecs, write_ivecs};
 
 fn main() -> ExitCode {
@@ -51,6 +55,7 @@ fn main() -> ExitCode {
         "search" => cmd_search(&opts),
         "scenario" => cmd_scenario(&opts),
         "serve-node" => cmd_serve_node(&opts),
+        "bench-serve" => cmd_bench_serve(&opts),
         "stats" => cmd_stats(&opts),
         "info" => cmd_info(&opts),
         "help" | "--help" | "-h" => {
@@ -86,15 +91,19 @@ USAGE:
                      [--threads <N>] [--cache-capacity <N>]
                      [--batch <N>] [--gt <in.ivecs>] [--out <out.ivecs>]
                      [--trace-out <out.jsonl>]
-  flash_cli scenario --name steady_zipf|diurnal_burst|churn_lsm|fault_storm
+  flash_cli scenario --name steady_zipf|diurnal_burst|churn_lsm|fault_storm|overload
                      [--seed <u64>] [--smoke] [--out <BENCH_name.json>]
                      [--shards <N>] [--replicas <R>] [--routing <policy>]
                      [--nodes <addr,addr,...>] [--timeout-ms <N>]
                      [--cache-capacity <N>] [--threads <N>]
                      [--trace-out <out.jsonl>]
-  flash_cli serve-node --base <in.fvecs> --listen <addr>
+  flash_cli serve-node --base <in.fvecs> --listen <addr> [--event-loop]
                      [--method ...same as build...] [--c <C>] [--r <R>]
                      [--shards <N> --shard <I>] [--threads <N>] [--seed <u64>]
+  flash_cli bench-serve [--n <N>] [--queries <N>] [--k <K>] [--ef <EF>]
+                     [--clients <N>] [--pipeline <N>] [--flood <N>]
+                     [--threads <N>] [--profile <name>]
+                     [--method ...same as build...] [--seed <u64>]
   flash_cli stats    --node <addr> [--timeout-ms <N>]
   flash_cli info     --graph <in.hfg>
 
@@ -121,7 +130,16 @@ DISTRIBUTED:
           --nodes addr,addr,...` then scatter-gathers across those
           processes, one node per shard in partition order (--shards /
           --replicas / --graph do not combine with --nodes; remote
-          replica placement is not wired up yet)
+          replica placement is not wired up yet). --event-loop swaps the
+          thread-per-connection server for the event-driven front-end:
+          --threads readiness loops multiplex all connections, pipeline
+          frames, batch adaptively, and shed past-deadline requests with
+          Overloaded errors (which clients retry on a sibling).
+          `bench-serve` builds a synthetic index and drills both servers
+          on ephemeral ports — blocking (sequential RPC) vs event-driven
+          (pipelined) QPS/p99 with a response-parity check — then floods
+          the event server past its admission deadline and verifies every
+          request is answered (Ok or Overloaded; none hang)
 
 TRACING:  --trace-out PATH writes one JSON line per query with that
           request's span tree (cache_lookup, route, replica_attempt,
@@ -143,7 +161,7 @@ PROFILES: argilla-like anton-like laion-like imagenet-like cohere-like
 
 /// Options that are bare boolean flags — present/absent, no value.
 /// Everything else is `--key value`.
-const FLAG_OPTIONS: &[&str] = &["smoke"];
+const FLAG_OPTIONS: &[&str] = &["smoke", "event-loop"];
 
 /// Parsed `--key value` options.
 struct Opts {
@@ -393,6 +411,22 @@ fn cmd_serve_node(opts: &Opts) -> Result<(), String> {
         "built method={} ({served}); binding {listen}...",
         spec.method_name()
     );
+    if opts.flag("event-loop") {
+        let config = EventConfig {
+            threads,
+            ..EventConfig::default()
+        };
+        let server = EventServer::bind(&listen, NodeHandler::new(index), config)
+            .map_err(|e| format!("cannot serve node: {e}"))?;
+        eprintln!(
+            "node listening on {} — method={} ({served}), {threads} event loops; Ctrl-C to stop",
+            server.addr(),
+            spec.method_name()
+        );
+        loop {
+            std::thread::park();
+        }
+    }
     let server = NodeServer::bind(&listen, NodeHandler::new(index), threads)
         .map_err(|e| format!("cannot serve node: {e}"))?;
     eprintln!(
@@ -403,6 +437,303 @@ fn cmd_serve_node(opts: &Opts) -> Result<(), String> {
     loop {
         std::thread::park();
     }
+}
+
+/// What one server drill measured: throughput over the whole query set
+/// and the tail of per-request round-trip latencies.
+struct DrillOutcome {
+    qps: f64,
+    p99_ms: f64,
+}
+
+/// Drills `clients` concurrent connections against a TCP node listener,
+/// each sending its round-robin share of the queries with a sliding
+/// window of `window` in-flight frames (1 = strict request/response),
+/// and checks every answer against the in-process baseline.
+#[allow(clippy::too_many_arguments)]
+fn drill_server(
+    addr: &NodeAddr,
+    queries: &VectorSet,
+    k: usize,
+    ef: usize,
+    rerank: usize,
+    clients: usize,
+    window: usize,
+    expected: &[Vec<u64>],
+) -> Result<DrillOutcome, String> {
+    let NodeAddr::Tcp(host) = addr else {
+        return Err("bench-serve drills TCP listeners only".into());
+    };
+    let nq = expected.len();
+    let t0 = Instant::now();
+    // Per client: (query index, returned ids) pairs plus per-query latencies.
+    type ClientDrill = (Vec<(usize, Vec<u64>)>, Vec<f64>);
+    let per_client: Vec<ClientDrill> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || -> Result<_, String> {
+                    let mine: Vec<usize> = (c..nq).step_by(clients).collect();
+                    let mut stream = std::net::TcpStream::connect(host.as_str())
+                        .map_err(|e| format!("connect {host}: {e}"))?;
+                    stream.set_nodelay(true).ok();
+                    let mut answers: Vec<(usize, Vec<u64>)> = Vec::with_capacity(mine.len());
+                    let mut lat_ms = Vec::with_capacity(mine.len());
+                    let mut sent_at: Vec<Instant> = Vec::with_capacity(mine.len());
+                    // Sliding window: keep `window` frames in flight so
+                    // the pipe never drains mid-drill (window 1 degrades
+                    // to strict request/response).
+                    let window = window.max(1);
+                    let read_reply =
+                        |stream: &mut std::net::TcpStream, qi: usize| -> Result<_, String> {
+                            let (msg, _, _) = read_message(stream)
+                                .map_err(|e| format!("recv: {e}"))?
+                                .ok_or("server closed mid-drill")?;
+                            match msg {
+                                Message::SearchOk(resp) => Ok((qi, resp.ids())),
+                                Message::Error(fault) => {
+                                    Err(format!("healthy-load request failed: {}", fault.message))
+                                }
+                                other => Err(format!("unexpected {} frame", other.kind_name())),
+                            }
+                        };
+                    for (i, &qi) in mine.iter().enumerate() {
+                        if i >= window {
+                            let prev = mine[i - window];
+                            answers.push(read_reply(&mut stream, prev)?);
+                            lat_ms.push(sent_at[i - window].elapsed().as_secs_f64() * 1e3);
+                        }
+                        let req = SearchRequest::new(queries.get(qi), k).ef(ef).rerank(rerank);
+                        sent_at.push(Instant::now());
+                        write_message(&mut stream, &Message::Search(req), 0)
+                            .map_err(|e| format!("send: {e}"))?;
+                    }
+                    for i in mine.len().saturating_sub(window)..mine.len() {
+                        answers.push(read_reply(&mut stream, mine[i])?);
+                        lat_ms.push(sent_at[i].elapsed().as_secs_f64() * 1e3);
+                    }
+                    Ok((answers, lat_ms))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| "drill client panicked".to_string())?)
+            .collect::<Result<_, String>>()
+    })?;
+    let wall = t0.elapsed();
+
+    let mut got: Vec<Option<Vec<u64>>> = vec![None; nq];
+    let mut lat = Vec::with_capacity(nq);
+    for (answers, lat_ms) in per_client {
+        for (qi, ids) in answers {
+            got[qi] = Some(ids);
+        }
+        lat.extend(lat_ms);
+    }
+    for (qi, ids) in got.iter().enumerate() {
+        let ids = ids
+            .as_ref()
+            .ok_or_else(|| format!("query {qi} was never answered"))?;
+        if ids != &expected[qi] {
+            return Err(format!(
+                "parity violation on query {qi}: wire {ids:?} vs local {:?}",
+                expected[qi]
+            ));
+        }
+    }
+    Ok(DrillOutcome {
+        qps: nq as f64 / wall.as_secs_f64().max(1e-9),
+        p99_ms: latency_summary(&lat).p99_ms,
+    })
+}
+
+/// Floods an event-driven listener with `total` requests blasted all at
+/// once (every client writes its full share before reading anything) and
+/// tallies how each was answered: `(ok, overloaded)`.
+fn flood_server(
+    addr: &NodeAddr,
+    queries: &VectorSet,
+    k: usize,
+    ef: usize,
+    rerank: usize,
+    clients: usize,
+    total: usize,
+) -> Result<(usize, usize), String> {
+    let NodeAddr::Tcp(host) = addr else {
+        return Err("bench-serve drills TCP listeners only".into());
+    };
+    let nq = queries.len();
+    let counts: Vec<(usize, usize)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || -> Result<(usize, usize), String> {
+                    // Round-robin split of `total` across the clients.
+                    let share = total / clients + usize::from(c < total % clients);
+                    let mut stream = std::net::TcpStream::connect(host.as_str())
+                        .map_err(|e| format!("connect {host}: {e}"))?;
+                    stream.set_nodelay(true).ok();
+                    for i in 0..share {
+                        let qi = (c + i * clients) % nq;
+                        let req = SearchRequest::new(queries.get(qi), k).ef(ef).rerank(rerank);
+                        write_message(&mut stream, &Message::Search(req), 0)
+                            .map_err(|e| format!("send: {e}"))?;
+                    }
+                    let (mut ok, mut overloaded) = (0, 0);
+                    for _ in 0..share {
+                        let (msg, _, _) = read_message(&mut stream)
+                            .map_err(|e| format!("recv: {e}"))?
+                            .ok_or("server closed mid-flood")?;
+                        match msg {
+                            Message::SearchOk(_) => ok += 1,
+                            Message::Error(fault) if fault.code == ErrorCode::Overloaded => {
+                                overloaded += 1
+                            }
+                            Message::Error(fault) => {
+                                return Err(format!("flood request failed: {}", fault.message))
+                            }
+                            other => return Err(format!("unexpected {} frame", other.kind_name())),
+                        }
+                    }
+                    Ok((ok, overloaded))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| "flood client panicked".to_string())?)
+            .collect::<Result<_, String>>()
+    })?;
+    Ok(counts
+        .into_iter()
+        .fold((0, 0), |(a, b), (ok, ov)| (a + ok, b + ov)))
+}
+
+/// Builds a synthetic index and drills the blocking and event-driven node
+/// servers side by side on ephemeral ports: strict request/response
+/// against `NodeServer`, pipelined frames against `EventServer`, with a
+/// response-parity check against in-process search. A deliberately
+/// under-provisioned `EventServer` is then flooded past its admission
+/// deadline to verify every request is answered — `SearchOk` or
+/// `Overloaded`, never silence.
+fn cmd_bench_serve(opts: &Opts) -> Result<(), String> {
+    let spec = BuildSpec::from_opts(opts)?;
+    let n: usize = opts.num("n", 2_000)?;
+    let nq: usize = opts.num("queries", 256)?;
+    let k: usize = opts.num("k", 10)?;
+    let ef: usize = opts.num("ef", 64)?;
+    let clients: usize = opts.num("clients", 8)?;
+    let pipeline: usize = opts.num("pipeline", 8)?;
+    let flood: usize = opts.num("flood", 1_024)?;
+    let threads: usize = opts.num("threads", 2)?;
+    let profile = profile_by_name(opts.str("profile").unwrap_or("ssnpp-like"))?;
+    if n == 0 || nq == 0 || clients == 0 || threads == 0 || flood == 0 {
+        return Err("--n/--queries/--clients/--threads/--flood must be positive".into());
+    }
+
+    eprintln!(
+        "bench-serve: building method={} over {n} synthetic vectors ({})...",
+        spec.method_name(),
+        profile.name()
+    );
+    let (base, queries) = generate(&profile.spec(), n, nq, spec.seed);
+    let dim = base.dim();
+    let rerank = spec.coding.default_rerank();
+    let index: Arc<dyn AnnIndex> = Arc::from(spec.builder(dim, n).build(base));
+
+    // Parity baseline: the same requests answered in-process. Both
+    // servers must reproduce these ids bit-for-bit under healthy load.
+    let expected: Vec<Vec<u64>> = (0..nq)
+        .map(|qi| {
+            index
+                .search(&SearchRequest::new(queries.get(qi), k).ef(ef).rerank(rerank))
+                .ids()
+        })
+        .collect();
+
+    let bind: NodeAddr = "tcp:127.0.0.1:0".parse()?;
+    eprintln!(
+        "bench-serve: drilling blocking server ({clients} clients, strict RPC, \
+         {threads} workers)..."
+    );
+    let mut blocking = NodeServer::bind(&bind, NodeHandler::new(Arc::clone(&index)), threads)
+        .map_err(|e| format!("bind blocking server: {e}"))?;
+    let b = drill_server(
+        blocking.addr(),
+        &queries,
+        k,
+        ef,
+        rerank,
+        clients,
+        1,
+        &expected,
+    )?;
+    blocking.shutdown();
+
+    eprintln!(
+        "bench-serve: drilling event-driven server ({clients} clients, \
+         {pipeline}-deep pipelines, {threads} loops)..."
+    );
+    let mut event = EventServer::bind(
+        &bind,
+        NodeHandler::new(Arc::clone(&index)),
+        EventConfig {
+            threads,
+            ..EventConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind event server: {e}"))?;
+    let e = drill_server(
+        event.addr(),
+        &queries,
+        k,
+        ef,
+        rerank,
+        clients,
+        pipeline,
+        &expected,
+    )?;
+    event.shutdown();
+
+    println!(
+        "bench-serve: blocking_qps={:.0} event_qps={:.0} blocking_p99={:.3}ms \
+         event_p99={:.3}ms parity=ok",
+        b.qps, e.qps, b.p99_ms, e.p99_ms
+    );
+
+    // Overload drill: a tight queue deadline and a blast of `flood`
+    // requests force deadline shedding; admission control must still
+    // answer every frame. A zero deadline would shed *everything* — keep
+    // it small but nonzero so early arrivals are admitted.
+    eprintln!("bench-serve: flooding event server with {flood} requests...");
+    let mut over = EventServer::bind(
+        &bind,
+        NodeHandler::new(Arc::clone(&index)),
+        EventConfig {
+            threads,
+            batch_max: 16,
+            batch_deadline: Duration::from_micros(200),
+            client_quota: flood,
+            queue_deadline: Duration::from_millis(2),
+        },
+    )
+    .map_err(|e| format!("bind overload server: {e}"))?;
+    let (ok, overloaded) = flood_server(over.addr(), &queries, k, ef, rerank, clients, flood)?;
+    let stats = over.admission_stats();
+    over.shutdown();
+    let answered = ok + overloaded;
+    println!(
+        "overload: submitted={flood} answered={answered} ok={ok} overloaded={overloaded} \
+         admitted={} shed={}",
+        stats.admitted, stats.shed
+    );
+    if answered != flood {
+        return Err(format!(
+            "overload drill lost {} of {flood} requests (every submission must be \
+             answered or shed, never dropped)",
+            flood - answered
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_search(opts: &Opts) -> Result<(), String> {
@@ -848,6 +1179,12 @@ fn cmd_scenario(opts: &Opts) -> Result<(), String> {
             t.frames_sent + t.frames_received,
             t.bytes_sent + t.bytes_received,
             t.timeouts
+        );
+    }
+    if let Some(a) = &report.admission {
+        println!(
+            "admission: submitted={} admitted={} shed={} retried={} max_depth={}",
+            a.submitted, a.admitted, a.shed, a.retried, a.max_depth
         );
     }
     if let Some(t) = &report.trace {

@@ -204,6 +204,45 @@
 //! results don't change); `flash_cli search --nodes a,b,...` drives the
 //! one-node-per-shard layout from the command line.
 //!
+//! ## Serving under load
+//!
+//! [`serving::NodeServer`] dedicates a pooled worker to each connection —
+//! simple, but a fleet of slow clients parks the whole pool.
+//! [`serving::EventServer`] is the event-driven front-end behind the same
+//! [`serving::NodeHandler`] and wire protocol (`flash_cli serve-node
+//! --event-loop`): each of [`serving::EventConfig::threads`] readiness
+//! loops multiplexes *all* of its connections over non-blocking sockets,
+//! so one loop serves any number of clients and a connection can keep
+//! many frames in flight (pipelining) — replies always return in that
+//! connection's request order.
+//!
+//! Parsed requests enter a per-loop admission queue that executes as an
+//! adaptive batch — closing on size (`batch_max`) **or** age
+//! (`batch_deadline`), whichever comes first, the same policy
+//! [`serving::AdaptiveBatcher`] exposes for in-process use. Two knobs
+//! bound the queue:
+//!
+//! * `client_quota` — per-connection in-flight cap; past it the loop
+//!   simply stops reading that socket, and TCP backpressure slows the
+//!   sender (no frames are dropped).
+//! * `queue_deadline` — admission deadline; a request still queued past
+//!   it is **shed** with an `Overloaded` error frame instead of being
+//!   served late.
+//!
+//! `Overloaded` maps to [`serving::FaultKind::Transient`] on the client,
+//! so a [`serving::ReplicaGroup`] retries a shed request on a sibling —
+//! sustained shedding marks the replica down and probes it back, the
+//! same path a crash takes. Under overload every submitted frame is
+//! answered — results or `Overloaded`, never silence. Admission is
+//! observable end to end: [`serving::EventServer::admission_stats`]
+//! counts admitted/shed, the registry exports
+//! `serving.frontend.{admitted,shed,queue_depth,admission_wait_ns}`, a
+//! traced request that queued records a `queue_wait` span, and
+//! `flash_cli bench-serve` drills blocking vs event-driven servers and
+//! an overload flood from the command line. The `overload` scenario
+//! replays the same policy in virtual time, so its
+//! admitted/shed/retried counters are byte-reproducible across runs.
+//!
 //! ## Scenario benchmarking
 //!
 //! Point benchmarks answer "how fast is a search"; the [`scenario`]
@@ -227,13 +266,15 @@
 //! | `diurnal_burst` | batch executor + QPS through trough-to-peak diurnal swings | p99 / p999 latency |
 //! | `churn_lsm` | LSM overlay merge + cache generation invalidation under churn | recall\@k under churn |
 //! | `fault_storm` | replica markdown, probing, recovery (replica 0 survives) | recall parity + failover counters |
+//! | `overload` | admission control: bursty queueing, deadline shedding, `Overloaded` retries | admitted/shed/retried counters |
 //!
 //! Each run writes `BENCH_<scenario>.json` with a stable schema:
 //! `schema_version`, `scenario`, `seed`, `topology`, `config` (the spec
 //! echo), `queries`, `qps`, `latency_ms` (`mean`/`p50`/`p95`/`p99`/
 //! `p999`/`max`), `recall` (`k`/`samples`/`recall_at_k`), `cache`
 //! (hits/misses/uncacheable), `failover` (retries/markdowns/probes/
-//! recoveries), `transport` (frames/bytes/timeouts), `mutations`, and
+//! recoveries), `transport` (frames/bytes/timeouts), `admission`
+//! (submitted/admitted/shed/retried/max_depth), `mutations`, and
 //! per-tenant latency summaries. Identical seed + topology reproduces
 //! every **non-timing** field byte-for-byte — `metrics::strip_timings`
 //! removes exactly the timing keys (`qps`, `wall_seconds`, `latency_ms`)
@@ -282,6 +323,7 @@
 //! | `gather` | [`serving::ShardedIndex`] | `merged` candidates |
 //! | `rerank` | scenario runner / CLI | full-precision `pool` size |
 //! | `wire_exchange` | [`serving::distributed::Transport`] + node | exact `bytes_out` / `bytes_in` |
+//! | `queue_wait` | [`serving::EventServer`] admission queue / scenario runner | queue `depth` at enqueue |
 //!
 //! Spans carry a *lane* (`None` = coordinator strand, `Some(shard)` =
 //! that shard's strand) so concurrent fan-out still folds into one
@@ -404,14 +446,15 @@ pub mod prelude {
         ScalarQuantizer,
     };
     pub use scenario::{
-        ArrivalShape, FaultStorm, Scenario, ScenarioCorpus, ScenarioRunner, TopologySpec,
-        WorkloadSpec,
+        AdmissionSpec, ArrivalShape, FaultStorm, Scenario, ScenarioCorpus, ScenarioRunner,
+        TopologySpec, WorkloadSpec,
     };
     pub use serving::{
-        BatchExecutor, BatchReport, CachedIndex, FallibleIndex, FaultError, FaultKind, FaultPlan,
-        FaultyIndex, HealthConfig, LoopbackTransport, NodeAddr, NodeHandler, NodeInfo, NodeServer,
-        NodeStats, QueryCache, RemoteIndex, ReplicaGroup, ReplicatedIndex, Router, RoutingPolicy,
-        ShardPolicy, ShardedIndex, SocketTransport, Transport, WorkerPool,
+        AdaptiveBatcher, AdmissionStats, BatchExecutor, BatchReport, CachedIndex, EventConfig,
+        EventServer, FallibleIndex, FaultError, FaultKind, FaultPlan, FaultyIndex, HealthConfig,
+        LoopbackTransport, NodeAddr, NodeHandler, NodeInfo, NodeServer, NodeStats, QueryCache,
+        RemoteIndex, ReplicaGroup, ReplicatedIndex, Router, RoutingPolicy, ShardPolicy,
+        ShardedIndex, SocketTransport, Transport, WorkerPool,
     };
     pub use simdops::{set_level_override, SimdLevel};
     pub use vecstore::{generate, ground_truth, DatasetProfile, DatasetSpec, VectorSet};

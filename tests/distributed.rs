@@ -18,12 +18,14 @@
 
 use hnsw_flash::prelude::*;
 use proptest::prelude::*;
-use serving::distributed::wire::{ErrorCode, Message, WireFault};
+use serving::distributed::wire::{read_message, write_message, ErrorCode, Message, WireFault};
 use serving::distributed::{
-    LoopbackTransport, NodeAddr, NodeHandler, NodeServer, RemoteIndex, SocketTransport, Transport,
+    EventConfig, EventServer, LoopbackTransport, NodeAddr, NodeHandler, NodeServer, RemoteIndex,
+    SocketTransport, Transport,
 };
 use serving::FaultKind;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Exactness setup, identical to `tests/replication.rs`: `EF ≥ N` makes
 /// every connected graph search exhaustive and `K · RERANK ≥ N` reranks
@@ -425,6 +427,225 @@ fn node_side_faults_reach_the_client_health_model() {
     assert!(remote.try_search(&req).is_ok()); // node call 2
 }
 
+/// Regression: `shutdown()` must stay bounded even when its wake-up dial
+/// cannot reach the accept loop — here the unix socket path is removed
+/// out from under the server, so the dial fails at connect. The old code
+/// joined the accept thread unconditionally and hung forever.
+#[cfg(unix)]
+#[test]
+fn shutdown_stays_bounded_when_the_wake_dial_fails() {
+    let (base, _) = dataset(48);
+    let index: Arc<dyn AnnIndex> = Arc::new(FlatIndex::new(base));
+    let path = std::env::temp_dir().join(format!("hfw-wake-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut server = NodeServer::bind(&NodeAddr::Unix(path.clone()), NodeHandler::new(index), 1)
+        .expect("bind the unix socket");
+    // Sever the dial path: shutdown's wake-up connection must now fail.
+    std::fs::remove_file(&path).expect("remove the live socket path");
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    let watchdog = std::thread::spawn(move || {
+        server.shutdown();
+        tx.send(()).ok();
+    });
+    rx.recv_timeout(Duration::from_secs(10))
+        .expect("shutdown must detach the unwakeable accept thread, not join it");
+    watchdog.join().unwrap();
+}
+
+/// Regression: the best-effort `BadRequest` reply to an undecodable frame
+/// is a frame on the wire like any other — the node must count it as
+/// sent, or a stats scrape stops reconciling with what clients observed.
+#[test]
+fn malformed_frame_reply_keeps_the_stats_ledger_reconciled() {
+    let (base, _) = dataset(48);
+    let index: Arc<dyn AnnIndex> = Arc::new(FlatIndex::new(base));
+    let mut server = tcp_server(index);
+    let NodeAddr::Tcp(host) = server.addr().clone() else {
+        panic!("tcp_server binds TCP");
+    };
+
+    // A raw client writes garbage (wrong magic): the node answers one
+    // structured BadRequest frame and hangs up.
+    let mut raw = std::net::TcpStream::connect(host.as_str()).expect("dial the node");
+    std::io::Write::write_all(&mut raw, &[0xDEu8; 32]).expect("write the garbage frame");
+    let (reply, _, reply_bytes) = read_message(&mut raw)
+        .expect("the error reply must decode")
+        .expect("the node answers before hanging up");
+    let Message::Error(fault) = reply else {
+        panic!("expected an error frame, got a {} frame", reply.kind_name());
+    };
+    assert_eq!(fault.code, ErrorCode::BadRequest);
+    assert!(
+        matches!(read_message(&mut raw), Ok(None) | Err(_)),
+        "framing state is unrecoverable: the node hangs up after replying"
+    );
+
+    // A second connection scrapes the ledger. The node snapshots after
+    // counting the scrape request and before counting its reply, so:
+    // received = the scrape alone (garbage never counts as received),
+    // sent = the BadRequest reply alone, errors = the undecodable frame.
+    let transport = SocketTransport::connect(server.addr().clone()).expect("dial the node");
+    let Message::StatsResponse(stats) = transport
+        .exchange(&Message::StatsRequest)
+        .expect("stats scrape")
+    else {
+        panic!("expected a StatsResponse");
+    };
+    assert_eq!(stats.transport.errors, 1, "one undecodable frame");
+    assert_eq!(
+        stats.transport.frames_received, 1,
+        "only the scrape decoded; garbage is not a received frame"
+    );
+    assert_eq!(
+        stats.transport.frames_sent, 1,
+        "the BadRequest reply was counted as sent"
+    );
+    assert_eq!(
+        stats.transport.bytes_sent, reply_bytes as u64,
+        "counted bytes match the frame the raw client actually read"
+    );
+    server.shutdown();
+}
+
+/// Regression: `with_timeout` on an *established* connection used to
+/// ignore a failed `set_deadline`, leaving the old deadline silently in
+/// force. `Duration::ZERO` is unsettable by contract, so every exchange
+/// after it must fail (the poisoned connection is dropped and the
+/// re-dial refuses to come up without the deadline) — and a settable
+/// deadline afterwards must restore service.
+#[test]
+fn unsettable_deadline_on_a_live_connection_never_goes_silent() {
+    let (base, queries) = dataset(48);
+    let index: Arc<dyn AnnIndex> = Arc::new(FlatIndex::new(base));
+    let mut server = tcp_server(index);
+
+    // Eagerly dialed: the connection exists before the deadline change.
+    let transport = SocketTransport::connect(server.addr().clone()).expect("dial the node");
+    let probe = Message::Search(SearchRequest::new(queries.get(0).to_vec(), K));
+    assert!(
+        matches!(transport.exchange(&probe), Ok(Message::SearchOk(_))),
+        "the connection serves before the deadline change"
+    );
+
+    let transport = transport.with_timeout(Duration::ZERO);
+    assert!(
+        transport.exchange(&probe).is_err(),
+        "an unsettable deadline must surface as an error, never be ignored"
+    );
+
+    let transport = transport.with_timeout(Duration::from_secs(5));
+    assert!(
+        matches!(transport.exchange(&probe), Ok(Message::SearchOk(_))),
+        "a settable deadline restores service on a fresh dial"
+    );
+    server.shutdown();
+}
+
+/// The event-driven front-end is a drop-in for the blocking server: the
+/// same exhaustive queries over the same index return bit-identical hits
+/// through both, and through the brute-force baseline.
+#[test]
+fn event_server_matches_blocking_server_and_flat() {
+    let (base, queries) = dataset(N);
+    let flat = FlatIndex::new(base.clone());
+    let builder = builder_for(GraphKind::Hnsw, Coding::Sq);
+    let index: Arc<dyn AnnIndex> = Arc::from(builder.build(base));
+
+    let mut blocking = tcp_server(Arc::clone(&index));
+    let mut event = EventServer::bind(
+        &NodeAddr::Tcp("127.0.0.1:0".into()),
+        NodeHandler::new(Arc::clone(&index)),
+        EventConfig::default(),
+    )
+    .expect("bind the event server");
+
+    let over_blocking = remote_over_socket(&blocking);
+    let event_transport =
+        SocketTransport::connect(event.addr().clone()).expect("dial the event server");
+    let over_event = RemoteIndex::connect(Arc::new(event_transport)).expect("info handshake");
+
+    for qi in 0..queries.len() {
+        let req = exhaustive(queries.get(qi));
+        let want = flat.search(&req).hits;
+        assert_eq!(
+            AnnIndex::search(&over_blocking, &req).hits,
+            want,
+            "q{qi}: blocking != flat"
+        );
+        assert_eq!(
+            AnnIndex::search(&over_event, &req).hits,
+            want,
+            "q{qi}: event-driven != flat"
+        );
+    }
+    let admission = event.admission_stats();
+    assert_eq!(
+        admission.shed, 0,
+        "healthy load must never shed (queue deadline far above service time)"
+    );
+    assert!(admission.admitted >= queries.len() as u64);
+    event.shutdown();
+    blocking.shutdown();
+}
+
+/// Pipelining correctness: N frames written back-to-back on one
+/// connection (none of their replies read until all are sent) come back
+/// in request order, bit-identical to N strict sequential exchanges.
+#[test]
+fn pipelined_frames_match_sequential_exchanges() {
+    let (base, queries) = dataset(N);
+    let builder = builder_for(GraphKind::Hnsw, Coding::Sq);
+    let index: Arc<dyn AnnIndex> = Arc::from(builder.build(base));
+    let mut event = EventServer::bind(
+        &NodeAddr::Tcp("127.0.0.1:0".into()),
+        NodeHandler::new(index),
+        EventConfig::default(),
+    )
+    .expect("bind the event server");
+    let NodeAddr::Tcp(host) = event.addr().clone() else {
+        panic!("event server binds TCP");
+    };
+
+    // Baseline: strict request/response, one frame in flight.
+    let transport = SocketTransport::connect(event.addr().clone()).expect("dial");
+    let sequential: Vec<Message> = (0..queries.len())
+        .map(|qi| {
+            transport
+                .exchange(&Message::Search(exhaustive(queries.get(qi))))
+                .expect("sequential exchange")
+        })
+        .collect();
+
+    // Pipelined: every frame in flight at once, each with a distinct
+    // trace id so the reply order is checkable end to end.
+    let mut stream = std::net::TcpStream::connect(host.as_str()).expect("dial raw");
+    stream.set_nodelay(true).ok();
+    for qi in 0..queries.len() {
+        write_message(
+            &mut stream,
+            &Message::Search(exhaustive(queries.get(qi))),
+            qi as u64 + 1,
+        )
+        .expect("pipelined send");
+    }
+    for (qi, want) in sequential.iter().enumerate() {
+        let (got, trace_id, _) = read_message(&mut stream)
+            .expect("pipelined reply decodes")
+            .expect("server answers every pipelined frame");
+        assert_eq!(
+            trace_id,
+            qi as u64 + 1,
+            "replies come back in request order"
+        );
+        let (Message::SearchOk(got), Message::SearchOk(want)) = (&got, want) else {
+            panic!("q{qi}: expected SearchOk through both paths");
+        };
+        assert_eq!(got.hits, want.hits, "q{qi}: pipelined != sequential");
+    }
+    event.shutdown();
+}
+
 fn arbitrary_request(
     bits: &[u32],
     k: usize,
@@ -480,7 +701,7 @@ proptest! {
     fn response_and_error_frames_roundtrip_and_checksum(
         ids in proptest::collection::vec(any::<u64>(), 0..10),
         dist_bits in proptest::collection::vec(any::<u32>(), 0..10),
-        code in 1u8..6,
+        code in 1u8..7,
         msg_len in 0usize..24,
         flip in any::<u64>(),
     ) {
@@ -496,6 +717,7 @@ proptest! {
                 2 => ErrorCode::Unsupported,
                 3 => ErrorCode::FaultTransient,
                 4 => ErrorCode::FaultDead,
+                6 => ErrorCode::Overloaded,
                 _ => ErrorCode::Internal,
             },
             message: "x".repeat(msg_len),
