@@ -269,14 +269,8 @@ impl<I: FlatAnn> FlatVariant<I> {
     }
 
     fn layers(&self) -> &GraphLayers {
-        self.layers.get_or_init(|| {
-            let g = self.inner.graph();
-            GraphLayers {
-                layers: vec![g.adj.clone()],
-                entry: g.entry,
-                max_layer: 0,
-            }
-        })
+        self.layers
+            .get_or_init(|| GraphLayers::from_flat(self.inner.graph()))
     }
 }
 

@@ -159,6 +159,11 @@ impl DistanceProvider for FlashProvider {
         f32::from(self.codec.sdc_quantized(self.codes_of(a), self.codes_of(b)))
     }
 
+    #[inline]
+    fn prefetch(&self, id: u32) {
+        simdops::prefetch_slice(self.codes_of(id));
+    }
+
     fn dist_to_neighbors(
         &self,
         ctx: &FlashCtx,

@@ -159,7 +159,7 @@ mod tests {
     fn picks_a_valid_candidate_meeting_target() {
         let (data, _) = generate(&DatasetProfile::SsnppLike.spec(), 800, 1, 3);
         let outcome = tune_flash_params(&data, FlashParams::auto(256), &opts_small());
-        assert!(outcome.params.d_f % outcome.params.m_f == 0);
+        assert!(outcome.params.d_f.is_multiple_of(outcome.params.m_f));
         assert!(outcome.params.d_f <= 256);
         assert!(!outcome.candidates.is_empty());
         // Well-structured embedding-like data should be tunable to 0.8

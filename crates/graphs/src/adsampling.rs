@@ -14,11 +14,11 @@
 //! `(1 + ε₀/√d)²` inflation factor at fixed checkpoints.
 
 use crate::graph::GraphLayers;
+use crate::scratch::with_scratch;
 use crate::Hit;
 use crate::OrdF32;
 use linalg::random_orthogonal;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use vecstore::VectorSet;
 
 /// A searcher holding block-rotated vectors and the abandon test settings.
@@ -131,55 +131,65 @@ impl AdSampler {
             }
         }
 
-        // Base-layer beam with early abandon.
-        let mut visited = vec![false; graph.len()];
-        visited[cur as usize] = true;
-        let mut top: BinaryHeap<(OrdF32, u32)> = BinaryHeap::with_capacity(ef + 1);
-        let mut frontier: BinaryHeap<(Reverse<OrdF32>, u32)> = BinaryHeap::new();
-        top.push((OrdF32(cur_d), cur));
-        frontier.push((Reverse(OrdF32(cur_d)), cur));
+        // Base-layer beam with early abandon. Per-query state is pooled;
+        // the progressive evaluation itself cannot be block-batched (each
+        // neighbor's threshold depends on the admissions before it), so
+        // only the visited set and heaps change — the loop is untouched.
+        with_scratch::<(), _>(|scratch| {
+            scratch.visited.begin(graph.len());
+            scratch.visited.check_and_mark(cur);
+            let mut top = scratch.take_results();
+            let mut frontier = scratch.take_frontier();
+            top.push((OrdF32(cur_d), cur));
+            frontier.push((Reverse(OrdF32(cur_d)), cur));
 
-        while let Some((Reverse(OrdF32(d)), u)) = frontier.pop() {
-            let worst = top.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
-            if d > worst && top.len() >= ef {
-                break;
-            }
-            for &nb in graph.neighbors(0, u) {
-                if visited[nb as usize] {
-                    continue;
+            while let Some((Reverse(OrdF32(d)), u)) = frontier.pop() {
+                let worst = top.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
+                if d > worst && top.len() >= ef {
+                    break;
                 }
-                visited[nb as usize] = true;
-                let threshold = if top.len() >= ef {
-                    top.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY)
-                } else {
-                    f32::INFINITY
-                };
-                stats.evals += 1;
-                match self.dist_or_abandon(&q_rot, nb, threshold) {
-                    Some(nd) => {
-                        if top.len() < ef || nd < threshold {
-                            top.push((OrdF32(nd), nb));
-                            if top.len() > ef {
-                                top.pop();
-                            }
-                            frontier.push((Reverse(OrdF32(nd)), nb));
-                        }
+                if let Some(&(Reverse(_), next)) = frontier.peek() {
+                    simdops::prefetch_slice(self.rotated.get(next as usize));
+                }
+                for &nb in graph.neighbors(0, u) {
+                    if scratch.visited.check_and_mark(nb) {
+                        continue;
                     }
-                    None => stats.abandoned += 1,
+                    let threshold = if top.len() >= ef {
+                        top.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY)
+                    } else {
+                        f32::INFINITY
+                    };
+                    stats.evals += 1;
+                    match self.dist_or_abandon(&q_rot, nb, threshold) {
+                        Some(nd) => {
+                            if top.len() < ef || nd < threshold {
+                                top.push((OrdF32(nd), nb));
+                                if top.len() > ef {
+                                    top.pop();
+                                }
+                                frontier.push((Reverse(OrdF32(nd)), nb));
+                            }
+                        }
+                        None => stats.abandoned += 1,
+                    }
                 }
             }
-        }
 
-        let mut out: Vec<Hit> = top
-            .into_iter()
-            .map(|(OrdF32(dist), id)| Hit {
-                id: u64::from(id),
-                dist,
-            })
-            .collect();
-        out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-        out.truncate(k);
-        (out, stats)
+            let mut out: Vec<Hit> = top
+                .drain()
+                .map(|(OrdF32(dist), id)| Hit {
+                    id: u64::from(id),
+                    dist,
+                })
+                .collect();
+            out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+            out.truncate(k);
+            frontier.clear();
+            scratch.put_results(top);
+            scratch.put_frontier(frontier);
+            (out, stats)
+        })
     }
 }
 

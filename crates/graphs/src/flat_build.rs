@@ -18,11 +18,11 @@
 use crate::graph::FlatGraph;
 use crate::hnsw::{Hnsw, HnswParams};
 use crate::provider::DistanceProvider;
+use crate::scratch::with_scratch;
 use crate::Hit;
 use crate::OrdF32;
 use rayon::prelude::*;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Shared parameters of the flat builders.
 #[derive(Debug, Clone, Copy)]
@@ -116,15 +116,22 @@ pub fn build_flat<P: DistanceProvider, Rule: PruneRule>(
     params: FlatParams,
     rule: &Rule,
 ) -> (FlatGraph, P) {
+    let (adj, entry, provider) = build_flat_nested(provider, params, rule);
+    (FlatGraph::from_nested(&adj, entry), provider)
+}
+
+/// [`build_flat`] stopping just before the CSR freeze: returns the nested
+/// adjacency, the entry point, and the provider. Builders that post-process
+/// edges (Vamana's α-pass) mutate the nested form and freeze once at the
+/// end.
+pub(crate) fn build_flat_nested<P: DistanceProvider, Rule: PruneRule>(
+    provider: P,
+    params: FlatParams,
+    rule: &Rule,
+) -> (Vec<Vec<u32>>, u32, P) {
     let n = provider.len();
     if n == 0 {
-        return (
-            FlatGraph {
-                adj: Vec::new(),
-                entry: 0,
-            },
-            provider,
-        );
+        return (Vec::new(), 0, provider);
     }
 
     // Step 1: helper HNSW supplies the candidate pools.
@@ -177,12 +184,12 @@ pub fn build_flat<P: DistanceProvider, Rule: PruneRule>(
         })
         .collect();
 
-    let mut graph = FlatGraph { adj, entry: medoid };
+    let mut adj = adj;
 
     // Step 4: connectivity repair — attach unreachable vertices to their
     // nearest reachable candidate (NSG's tree-linking step, simplified).
     for _round in 0..8 {
-        let reached = reachable_mask(&graph);
+        let reached = reachable_mask(&adj, medoid);
         let todo: Vec<u32> = (0..n as u32).filter(|&i| !reached[i as usize]).collect();
         if todo.is_empty() {
             break;
@@ -195,21 +202,22 @@ pub fn build_flat<P: DistanceProvider, Rule: PruneRule>(
                 .find(|h| h.id != u64::from(x) && reached[h.id as usize])
                 .map(|h| h.id as u32)
                 .unwrap_or(medoid);
-            graph.adj[anchor as usize].push(x);
+            adj[anchor as usize].push(x);
         }
     }
 
-    (graph, helper.into_provider())
+    (adj, medoid, helper.into_provider())
 }
 
-fn reachable_mask(graph: &FlatGraph) -> Vec<bool> {
-    let n = graph.len();
+/// BFS reachability over nested adjacency (the builders' pre-freeze form).
+pub(crate) fn reachable_mask(adj: &[Vec<u32>], entry: u32) -> Vec<bool> {
+    let n = adj.len();
     let mut seen = vec![false; n];
     let mut queue = std::collections::VecDeque::new();
-    seen[graph.entry as usize] = true;
-    queue.push_back(graph.entry);
+    seen[entry as usize] = true;
+    queue.push_back(entry);
     while let Some(u) = queue.pop_front() {
-        for &v in graph.neighbors(u) {
+        for &v in &adj[u as usize] {
             if !seen[v as usize] {
                 seen[v as usize] = true;
                 queue.push_back(v);
@@ -227,59 +235,19 @@ pub fn search_flat<P: DistanceProvider>(
     k: usize,
     ef: usize,
 ) -> Vec<Hit> {
-    if graph.is_empty() {
-        return Vec::new();
-    }
-    let ef = ef.max(k);
-    let ctx = provider.prepare_query(query);
-    let mut visited = vec![false; graph.len()];
-    let entry = graph.entry;
-    let d0 = provider.dist_to(&ctx, entry);
-    visited[entry as usize] = true;
-
-    let mut top: BinaryHeap<(OrdF32, u32)> = BinaryHeap::with_capacity(ef + 1);
-    let mut frontier: BinaryHeap<(Reverse<OrdF32>, u32)> = BinaryHeap::new();
-    top.push((OrdF32(d0), entry));
-    frontier.push((Reverse(OrdF32(d0)), entry));
-
-    while let Some((Reverse(OrdF32(d)), u)) = frontier.pop() {
-        let worst = top.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
-        if d > worst && top.len() >= ef {
-            break;
-        }
-        for &nb in graph.neighbors(u) {
-            if visited[nb as usize] {
-                continue;
-            }
-            visited[nb as usize] = true;
-            let nd = provider.dist_to(&ctx, nb);
-            let worst = top.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
-            // `<=`: quantized providers tie heavily (see hnsw::search_layer).
-            if top.len() < ef || nd <= worst {
-                top.push((OrdF32(nd), nb));
-                if top.len() > ef {
-                    top.pop();
-                }
-                frontier.push((Reverse(OrdF32(nd)), nb));
-            }
-        }
-    }
-
-    let mut out: Vec<Hit> = top
-        .into_iter()
-        .map(|(OrdF32(dist), id)| Hit {
-            id: u64::from(id),
-            dist,
-        })
-        .collect();
-    out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-    out.truncate(k);
-    out
+    // With an accept-all predicate every admitted vertex enters the result
+    // set, so the filtered beam *is* the plain beam.
+    search_flat_filtered(provider, graph, query, k, ef, &|_| true)
 }
 
 /// [`search_flat`] restricted to vectors accepted by `accept`: the beam
 /// traverses every vertex, only accepted ones enter the result set (same
 /// contract as [`crate::Hnsw::search_filtered`]).
+///
+/// Per-query state comes from the pooled [`crate::scratch::SearchScratch`]
+/// and each expansion's unvisited neighbors are scored as one
+/// [`DistanceProvider::dist_to_neighbors`] block — bit-identical to the
+/// per-neighbor loop (see [`crate::search_layers_filtered`]).
 pub fn search_flat_filtered<P: DistanceProvider>(
     provider: &P,
     graph: &FlatGraph,
@@ -293,58 +261,75 @@ pub fn search_flat_filtered<P: DistanceProvider>(
     }
     let ef = ef.max(k);
     let ctx = provider.prepare_query(query);
-    let mut visited = vec![false; graph.len()];
-    let entry = graph.entry;
-    let d0 = provider.dist_to(&ctx, entry);
-    visited[entry as usize] = true;
 
-    let mut results: BinaryHeap<(OrdF32, u32)> = BinaryHeap::with_capacity(ef + 1);
-    let mut frontier: BinaryHeap<(Reverse<OrdF32>, u32)> = BinaryHeap::new();
-    if accept(entry) {
-        results.push((OrdF32(d0), entry));
-    }
-    frontier.push((Reverse(OrdF32(d0)), entry));
+    with_scratch::<P::NodePayload, _>(|scratch| {
+        let entry = graph.entry;
+        let d0 = provider.dist_to(&ctx, entry);
+        scratch.visited.begin(graph.len());
+        scratch.visited.check_and_mark(entry);
 
-    while let Some((Reverse(OrdF32(d)), u)) = frontier.pop() {
-        let worst = results
-            .peek()
-            .map(|&(OrdF32(w), _)| w)
-            .unwrap_or(f32::INFINITY);
-        if d > worst && results.len() >= ef {
-            break;
+        let mut results = scratch.take_results();
+        let mut frontier = scratch.take_frontier();
+        if accept(entry) {
+            results.push((OrdF32(d0), entry));
         }
-        for &nb in graph.neighbors(u) {
-            if visited[nb as usize] {
-                continue;
-            }
-            visited[nb as usize] = true;
-            let nd = provider.dist_to(&ctx, nb);
+        frontier.push((Reverse(OrdF32(d0)), entry));
+
+        while let Some((Reverse(OrdF32(d)), u)) = frontier.pop() {
             let worst = results
                 .peek()
                 .map(|&(OrdF32(w), _)| w)
                 .unwrap_or(f32::INFINITY);
-            if results.len() < ef || nd <= worst {
-                if accept(nb) {
-                    results.push((OrdF32(nd), nb));
-                    if results.len() > ef {
-                        results.pop();
-                    }
+            if d > worst && results.len() >= ef {
+                break;
+            }
+            scratch.ids.clear();
+            for &nb in graph.neighbors(u) {
+                if !scratch.visited.check_and_mark(nb) {
+                    scratch.ids.push(nb);
                 }
-                frontier.push((Reverse(OrdF32(nd)), nb));
+            }
+            if scratch.ids.is_empty() {
+                continue;
+            }
+            if let Some(&(Reverse(_), next)) = frontier.peek() {
+                provider.prefetch(next);
+                simdops::prefetch_slice(graph.neighbors(next));
+            }
+            provider.sync_payload(&mut scratch.payload, &scratch.ids);
+            provider.dist_to_neighbors(&ctx, &scratch.ids, &scratch.payload, &mut scratch.dists);
+            for (&nb, &nd) in scratch.ids.iter().zip(&scratch.dists) {
+                let worst = results
+                    .peek()
+                    .map(|&(OrdF32(w), _)| w)
+                    .unwrap_or(f32::INFINITY);
+                // `<=`: quantized providers tie heavily (see hnsw::search_layer).
+                if results.len() < ef || nd <= worst {
+                    if accept(nb) {
+                        results.push((OrdF32(nd), nb));
+                        if results.len() > ef {
+                            results.pop();
+                        }
+                    }
+                    frontier.push((Reverse(OrdF32(nd)), nb));
+                }
             }
         }
-    }
 
-    let mut out: Vec<Hit> = results
-        .into_iter()
-        .map(|(OrdF32(dist), id)| Hit {
-            id: u64::from(id),
-            dist,
-        })
-        .collect();
-    out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-    out.truncate(k);
-    out
+        let mut out: Vec<Hit> = results
+            .drain()
+            .map(|(OrdF32(dist), id)| Hit {
+                id: u64::from(id),
+                dist,
+            })
+            .collect();
+        out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        out.truncate(k);
+        frontier.clear();
+        scratch.put_results(results);
+        scratch.put_frontier(frontier);
+        out
+    })
 }
 
 #[cfg(test)]

@@ -66,10 +66,7 @@ impl<P: DistanceProvider> Hcnng<P> {
         if n == 0 {
             return Self {
                 provider,
-                graph: FlatGraph {
-                    adj: Vec::new(),
-                    entry: 0,
-                },
+                graph: FlatGraph::from_nested(&[], 0),
                 params,
             };
         }
@@ -121,11 +118,10 @@ impl<P: DistanceProvider> Hcnng<P> {
                 .unwrap_or(0)
         };
 
-        let mut graph = FlatGraph { adj, entry };
-        attach_unreachable(&mut graph);
+        attach_unreachable(&mut adj, entry);
         Self {
             provider,
-            graph,
+            graph: FlatGraph::from_nested(&adj, entry),
             params,
         }
     }
@@ -281,21 +277,8 @@ fn leaf_mst<P: DistanceProvider>(
 
 /// The degree bound can leave a leaf's forest (and hence the union graph)
 /// disconnected; link any unreachable vertex from the entry.
-fn attach_unreachable(graph: &mut FlatGraph) {
-    let n = graph.len();
-    let mut seen = vec![false; n];
-    let mut queue = std::collections::VecDeque::new();
-    seen[graph.entry as usize] = true;
-    queue.push_back(graph.entry);
-    while let Some(u) = queue.pop_front() {
-        for &v in &graph.adj[u as usize] {
-            if !seen[v as usize] {
-                seen[v as usize] = true;
-                queue.push_back(v);
-            }
-        }
-    }
-    let entry = graph.entry as usize;
+fn attach_unreachable(adj: &mut [Vec<u32>], entry: u32) {
+    let seen = crate::flat_build::reachable_mask(adj, entry);
     let orphans: Vec<usize> = seen
         .iter()
         .enumerate()
@@ -303,8 +286,8 @@ fn attach_unreachable(graph: &mut FlatGraph) {
         .map(|(x, _)| x)
         .collect();
     for x in orphans {
-        graph.adj[entry].push(x as u32);
-        graph.adj[x].push(entry as u32);
+        adj[entry as usize].push(x as u32);
+        adj[x].push(entry);
     }
 }
 
@@ -347,10 +330,10 @@ mod tests {
     fn graph_is_bidirectional() {
         let index = build_grid(9);
         let g = index.graph();
-        for (u, nbrs) in g.adj.iter().enumerate() {
-            for &v in nbrs {
+        for u in 0..g.len() {
+            for &v in g.neighbors(u as u32) {
                 assert!(
-                    g.adj[v as usize].contains(&(u as u32)),
+                    g.neighbors(v).contains(&(u as u32)),
                     "edge {u}→{v} missing its reverse"
                 );
             }
@@ -401,12 +384,14 @@ mod tests {
                 seed: 5,
             },
         );
-        let entry = index.graph().entry as usize;
-        for (i, nbrs) in index.graph().adj.iter().enumerate() {
+        let g = index.graph();
+        let entry = g.entry as usize;
+        for i in 0..g.len() {
             if i == entry {
                 continue; // connectivity repair may oversize the entry
             }
-            assert!(nbrs.len() <= 3 + 1, "degree {} at {i}", nbrs.len());
+            let deg = g.neighbors(i as u32).len();
+            assert!(deg <= 3 + 1, "degree {deg} at {i}");
         }
     }
 

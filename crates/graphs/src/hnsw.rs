@@ -148,8 +148,8 @@ impl<P: DistanceProvider> Hnsw<P> {
             graph.len()
         );
         let mut levels = vec![0u8; n];
-        for (l, layer) in graph.layers.iter().enumerate().skip(1) {
-            for (i, nbrs) in layer.iter().enumerate() {
+        for l in 1..graph.num_layers() {
+            for (i, nbrs) in graph.layer(l).rows().enumerate() {
                 if !nbrs.is_empty() {
                     levels[i] = levels[i].max(l as u8);
                 }
@@ -166,8 +166,8 @@ impl<P: DistanceProvider> Hnsw<P> {
                 let mut neighbors = Vec::with_capacity(layers);
                 let mut payloads = Vec::with_capacity(layers);
                 for layer in 0..layers {
-                    let nbrs = if layer < graph.layers.len() {
-                        graph.layers[layer][i].clone()
+                    let nbrs = if layer < graph.num_layers() {
+                        graph.layer(layer).neighbors(i).to_vec()
                     } else {
                         Vec::new()
                     };
@@ -594,6 +594,8 @@ impl<P: DistanceProvider> Hnsw<P> {
 
     /// Freezes the adjacency into a read-only [`GraphLayers`] (used by the
     /// ADSampling / VBase search variants and the graph-quality stats).
+    /// The builder's nested per-node lists are packed into the cache-line
+    /// aligned CSR layout in one pass.
     pub fn freeze(&self) -> GraphLayers {
         let ep = self.entry.read();
         let max_layer = ep.level;
@@ -607,11 +609,7 @@ impl<P: DistanceProvider> Hnsw<P> {
                 }
             }
         }
-        GraphLayers {
-            layers,
-            entry: ep.node,
-            max_layer,
-        }
+        GraphLayers::from_nested(layers, ep.node, max_layer)
     }
 
     /// Total index size in bytes: adjacency ids + provider auxiliary state +
@@ -704,9 +702,9 @@ mod tests {
         let index = build_grid(12);
         let g = index.freeze();
         let r = index.params().r;
-        for (l, layer) in g.layers.iter().enumerate() {
+        for l in 0..g.num_layers() {
             let cap = if l == 0 { 2 * r } else { r };
-            for nbrs in layer {
+            for nbrs in g.layer(l).rows() {
                 assert!(nbrs.len() <= cap, "layer {l} degree {} > {cap}", nbrs.len());
             }
         }
@@ -716,10 +714,10 @@ mod tests {
     fn no_self_edges_or_duplicates() {
         let index = build_grid(10);
         let g = index.freeze();
-        for layer in &g.layers {
-            for (i, nbrs) in layer.iter().enumerate() {
+        for l in 0..g.num_layers() {
+            for (i, nbrs) in g.layer(l).rows().enumerate() {
                 assert!(!nbrs.contains(&(i as u32)), "self edge at {i}");
-                let mut sorted = nbrs.clone();
+                let mut sorted = nbrs.to_vec();
                 sorted.sort_unstable();
                 sorted.dedup();
                 assert_eq!(sorted.len(), nbrs.len(), "duplicate edge at {i}");
@@ -809,11 +807,7 @@ mod tests {
 
     #[test]
     fn from_frozen_empty_graph() {
-        let g = GraphLayers {
-            layers: vec![vec![]],
-            entry: 0,
-            max_layer: 0,
-        };
+        let g = GraphLayers::from_nested(vec![vec![]], 0, 0);
         let restored = Hnsw::from_frozen(
             FullPrecision::new(VectorSet::new(2)),
             HnswParams::default(),

@@ -8,13 +8,22 @@
 //! scenario implies. Any [`DistanceProvider`] works: rebuild the provider
 //! deterministically from the dataset (codecs re-train/encode from the
 //! same seed) and pair it with the loaded graph.
+//!
+//! The kernel is allocation-free in steady state: per-query state lives in
+//! a pooled [`crate::scratch::SearchScratch`], and each expanded candidate's
+//! unvisited neighbors are scored as one block through
+//! [`DistanceProvider::dist_to_neighbors`] (register-resident LUT lookups on
+//! the Flash path) while the next candidate's data is prefetched. Results
+//! are bit-identical to the naive per-neighbor loop: gathering first and
+//! scoring second changes neither the visit order nor any admission
+//! decision, because distances carry no side effects.
 
 use crate::graph::GraphLayers;
 use crate::provider::DistanceProvider;
+use crate::scratch::{with_scratch, SearchScratch};
 use crate::Hit;
 use crate::OrdF32;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// k-NN beam search (greedy upper-layer descent, `ef`-wide base beam)
 /// over a frozen topology.
@@ -29,6 +38,42 @@ pub fn search_layers<P: DistanceProvider>(
     // every admitted vertex enters the result set, so the two loops are
     // identical. Delegating keeps one copy of the descent + beam.
     search_layers_filtered(provider, graph, query, k, ef, &|_| true)
+}
+
+/// Greedy descent through the upper layers, scoring each neighbor row as
+/// one block. Returns the layer-0 entry candidate and its distance.
+pub(crate) fn descend<P: DistanceProvider>(
+    provider: &P,
+    graph: &GraphLayers,
+    ctx: &P::QueryCtx,
+    scratch: &mut SearchScratch<P::NodePayload>,
+) -> (u32, f32) {
+    let mut cur = graph.entry;
+    let mut cur_d = provider.dist_to(ctx, cur);
+    for layer in (1..=graph.max_layer).rev() {
+        loop {
+            let row = graph.neighbors(layer, cur);
+            if row.is_empty() {
+                break;
+            }
+            scratch.ids.clear();
+            scratch.ids.extend_from_slice(row);
+            provider.sync_payload(&mut scratch.payload, &scratch.ids);
+            provider.dist_to_neighbors(ctx, &scratch.ids, &scratch.payload, &mut scratch.dists);
+            let mut improved = false;
+            for (&nb, &d) in scratch.ids.iter().zip(&scratch.dists) {
+                if d < cur_d {
+                    cur = nb;
+                    cur_d = d;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+    (cur, cur_d)
 }
 
 /// k-NN beam search over a frozen topology restricted to vectors accepted
@@ -50,75 +95,199 @@ pub fn search_layers_filtered<P: DistanceProvider>(
     let ef = ef.max(k).max(1);
     let ctx = provider.prepare_query(query);
 
-    let mut cur = graph.entry;
-    let mut cur_d = provider.dist_to(&ctx, cur);
-    for layer in (1..=graph.max_layer).rev() {
-        loop {
-            let mut improved = false;
-            for &nb in graph.neighbors(layer, cur) {
-                let d = provider.dist_to(&ctx, nb);
-                if d < cur_d {
-                    cur = nb;
-                    cur_d = d;
-                    improved = true;
-                }
-            }
-            if !improved {
-                break;
-            }
-        }
-    }
+    with_scratch::<P::NodePayload, _>(|scratch| {
+        let (cur, cur_d) = descend(provider, graph, &ctx, scratch);
 
-    let mut visited = vec![false; graph.len()];
-    visited[cur as usize] = true;
-    // `results` holds only accepted vertices; `frontier` expands all.
-    let mut results: BinaryHeap<(OrdF32, u32)> = BinaryHeap::with_capacity(ef + 1);
-    let mut frontier: BinaryHeap<(Reverse<OrdF32>, u32)> = BinaryHeap::new();
-    if accept(cur) {
-        results.push((OrdF32(cur_d), cur));
-    }
-    frontier.push((Reverse(OrdF32(cur_d)), cur));
-
-    while let Some((Reverse(OrdF32(d)), u)) = frontier.pop() {
-        let worst = results
-            .peek()
-            .map(|&(OrdF32(w), _)| w)
-            .unwrap_or(f32::INFINITY);
-        if d > worst && results.len() >= ef {
-            break;
+        scratch.visited.begin(graph.len());
+        scratch.visited.check_and_mark(cur);
+        // `results` holds only accepted vertices; `frontier` expands all.
+        let mut results = scratch.take_results();
+        let mut frontier = scratch.take_frontier();
+        if accept(cur) {
+            results.push((OrdF32(cur_d), cur));
         }
-        for &nb in graph.neighbors(0, u) {
-            if visited[nb as usize] {
-                continue;
-            }
-            visited[nb as usize] = true;
-            let nd = provider.dist_to(&ctx, nb);
+        frontier.push((Reverse(OrdF32(cur_d)), cur));
+
+        while let Some((Reverse(OrdF32(d)), u)) = frontier.pop() {
             let worst = results
                 .peek()
                 .map(|&(OrdF32(w), _)| w)
                 .unwrap_or(f32::INFINITY);
-            if results.len() < ef || nd <= worst {
-                if accept(nb) {
+            if d > worst && results.len() >= ef {
+                break;
+            }
+            // Gather the unvisited neighbors, then score them as one block.
+            scratch.ids.clear();
+            for &nb in graph.neighbors(0, u) {
+                if !scratch.visited.check_and_mark(nb) {
+                    scratch.ids.push(nb);
+                }
+            }
+            if scratch.ids.is_empty() {
+                continue;
+            }
+            // Overlap the next candidate's misses with this block's scoring.
+            if let Some(&(Reverse(_), next)) = frontier.peek() {
+                provider.prefetch(next);
+                simdops::prefetch_slice(graph.neighbors(0, next));
+            }
+            provider.sync_payload(&mut scratch.payload, &scratch.ids);
+            provider.dist_to_neighbors(&ctx, &scratch.ids, &scratch.payload, &mut scratch.dists);
+            for (&nb, &nd) in scratch.ids.iter().zip(&scratch.dists) {
+                let worst = results
+                    .peek()
+                    .map(|&(OrdF32(w), _)| w)
+                    .unwrap_or(f32::INFINITY);
+                if results.len() < ef || nd <= worst {
+                    if accept(nb) {
+                        results.push((OrdF32(nd), nb));
+                        if results.len() > ef {
+                            results.pop();
+                        }
+                    }
+                    frontier.push((Reverse(OrdF32(nd)), nb));
+                }
+            }
+        }
+
+        let mut out: Vec<Hit> = results
+            .drain()
+            .map(|(OrdF32(dist), id)| Hit {
+                id: u64::from(id),
+                dist,
+            })
+            .collect();
+        out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        out.truncate(k);
+        frontier.clear();
+        scratch.put_results(results);
+        scratch.put_frontier(frontier);
+        out
+    })
+}
+
+/// Per-node payload blocks for a frozen graph's base layer, built once at
+/// load/freeze time — the serving-side half of the paper's access-aware
+/// layout (Section 3.3.4). [`search_layers`] must rebuild the expanded
+/// node's codeword block from the global code table on every expansion
+/// (the frozen topology stores adjacency only); with a sidecar the block
+/// is a plain read, so steady-state serving does no layout work at all.
+pub struct NodePayloads<PL> {
+    rows: Vec<PL>,
+}
+
+impl<PL: Default> NodePayloads<PL> {
+    /// Builds the base-layer payload block of every node.
+    pub fn build<P: DistanceProvider<NodePayload = PL>>(provider: &P, graph: &GraphLayers) -> Self {
+        let rows = (0..graph.len())
+            .map(|node| {
+                let mut payload = PL::default();
+                provider.sync_payload(&mut payload, graph.neighbors(0, node as u32));
+                payload
+            })
+            .collect();
+        Self { rows }
+    }
+
+    /// The prebuilt payload block of `node`'s base-layer neighbor row.
+    #[inline]
+    pub fn row(&self, node: u32) -> &PL {
+        &self.rows[node as usize]
+    }
+
+    /// Number of node rows covered.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows are covered.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// [`search_layers`] over prebuilt [`NodePayloads`]: identical `(dist, id)`
+/// results, but each expansion scores its *whole* neighbor row against the
+/// node's resident block instead of gathering unvisited ids and rebuilding
+/// a block for them. Scoring already-visited lanes is redundant work, but
+/// it is batched SIMD work on data the expansion touches anyway — cheaper
+/// than the per-expansion gather + block rebuild it replaces. Bit-exact
+/// because distances carry no side effects and the admission loop walks
+/// the row in order, skipping visited lanes exactly where the gathering
+/// kernel never queued them.
+pub fn search_layers_cached<P: DistanceProvider>(
+    provider: &P,
+    graph: &GraphLayers,
+    payloads: &NodePayloads<P::NodePayload>,
+    query: &[f32],
+    k: usize,
+    ef: usize,
+) -> Vec<Hit> {
+    if graph.is_empty() {
+        return Vec::new();
+    }
+    let ef = ef.max(k).max(1);
+    let ctx = provider.prepare_query(query);
+
+    with_scratch::<P::NodePayload, _>(|scratch| {
+        let (cur, cur_d) = descend(provider, graph, &ctx, scratch);
+
+        scratch.visited.begin(graph.len());
+        scratch.visited.check_and_mark(cur);
+        let mut results = scratch.take_results();
+        let mut frontier = scratch.take_frontier();
+        results.push((OrdF32(cur_d), cur));
+        frontier.push((Reverse(OrdF32(cur_d)), cur));
+
+        while let Some((Reverse(OrdF32(d)), u)) = frontier.pop() {
+            let worst = results
+                .peek()
+                .map(|&(OrdF32(w), _)| w)
+                .unwrap_or(f32::INFINITY);
+            if d > worst && results.len() >= ef {
+                break;
+            }
+            let row = graph.neighbors(0, u);
+            if row.is_empty() {
+                continue;
+            }
+            if let Some(&(Reverse(_), next)) = frontier.peek() {
+                provider.prefetch(next);
+                simdops::prefetch_slice(graph.neighbors(0, next));
+            }
+            provider.dist_to_neighbors(&ctx, row, payloads.row(u), &mut scratch.dists);
+            for (&nb, &nd) in row.iter().zip(&scratch.dists) {
+                if scratch.visited.check_and_mark(nb) {
+                    continue;
+                }
+                let worst = results
+                    .peek()
+                    .map(|&(OrdF32(w), _)| w)
+                    .unwrap_or(f32::INFINITY);
+                if results.len() < ef || nd <= worst {
                     results.push((OrdF32(nd), nb));
                     if results.len() > ef {
                         results.pop();
                     }
+                    frontier.push((Reverse(OrdF32(nd)), nb));
                 }
-                frontier.push((Reverse(OrdF32(nd)), nb));
             }
         }
-    }
 
-    let mut out: Vec<Hit> = results
-        .into_iter()
-        .map(|(OrdF32(dist), id)| Hit {
-            id: u64::from(id),
-            dist,
-        })
-        .collect();
-    out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-    out.truncate(k);
-    out
+        let mut out: Vec<Hit> = results
+            .drain()
+            .map(|(OrdF32(dist), id)| Hit {
+                id: u64::from(id),
+                dist,
+            })
+            .collect();
+        out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        out.truncate(k);
+        frontier.clear();
+        scratch.put_results(results);
+        scratch.put_frontier(frontier);
+        out
+    })
 }
 
 /// [`search_layers`] followed by exact reranking on the provider's raw
@@ -182,12 +351,33 @@ mod tests {
     }
 
     #[test]
+    fn cached_payloads_match_plain_search() {
+        let base = grid(11);
+        let index = Hnsw::build(
+            FullPrecision::new(base.clone()),
+            HnswParams {
+                c: 48,
+                r: 8,
+                seed: 3,
+            },
+        );
+        let frozen = index.freeze();
+        let provider = FullPrecision::new(base);
+        let payloads = NodePayloads::build(&provider, &frozen);
+        assert_eq!(payloads.len(), frozen.len());
+        for q in [[2.3f32, 8.8], [0.0, 10.9], [5.5, 5.4], [10.1, 0.2]] {
+            let plain = search_layers(&provider, &frozen, &q, 6, 40);
+            let cached = search_layers_cached(&provider, &frozen, &payloads, &q, 6, 40);
+            assert_eq!(plain.len(), cached.len(), "query {q:?}");
+            for (a, b) in plain.iter().zip(&cached) {
+                assert_eq!((a.id, a.dist), (b.id, b.dist), "query {q:?}");
+            }
+        }
+    }
+
+    #[test]
     fn empty_graph_returns_nothing() {
-        let g = GraphLayers {
-            layers: vec![vec![]],
-            entry: 0,
-            max_layer: 0,
-        };
+        let g = GraphLayers::from_nested(vec![vec![]], 0, 0);
         let provider = FullPrecision::new(VectorSet::new(2));
         assert!(search_layers(&provider, &g, &[0.0, 0.0], 3, 8).is_empty());
     }

@@ -32,6 +32,7 @@ pub mod nsg;
 pub mod persist;
 pub mod provider;
 pub mod providers;
+pub mod scratch;
 pub mod stats;
 pub mod taumg;
 pub mod vamana;
@@ -39,13 +40,16 @@ pub mod vbase;
 mod visited;
 
 pub use filtered::{LabeledHnsw, LabeledParams};
-pub use graph::{FlatGraph, GraphLayers};
+pub use graph::{CsrLayer, FlatGraph, GraphLayers, LINE_U32S};
 pub use hcnng::{Hcnng, HcnngParams};
 pub use hnsw::{Hnsw, HnswParams};
 pub use kgraph::{KGraph, KGraphParams};
-pub use layers_search::{search_layers, search_layers_filtered, search_layers_rerank};
+pub use layers_search::{
+    search_layers, search_layers_cached, search_layers_filtered, search_layers_rerank, NodePayloads,
+};
 pub use nsg::{Nsg, NsgParams};
 pub use provider::DistanceProvider;
+pub use scratch::{scratch_stats, ScratchStats};
 pub use taumg::{TauMg, TauMgParams};
 pub use vamana::{Vamana, VamanaParams};
 

@@ -124,8 +124,10 @@ mod tests {
             },
         );
         // Connectivity repair may add a few extra edges beyond R.
-        for nbrs in &nsg.graph().adj {
-            assert!(nbrs.len() <= 6 + 4, "degree {} too large", nbrs.len());
+        let g = nsg.graph();
+        for node in 0..g.len() {
+            let deg = g.neighbors(node as u32).len();
+            assert!(deg <= 6 + 4, "degree {deg} too large");
         }
     }
 

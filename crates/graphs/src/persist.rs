@@ -6,6 +6,18 @@
 //! [`GraphLayers`] and [`FlatGraph`] a compact little-endian on-disk format
 //! (magic + version + adjacency), dependency-free.
 //!
+//! Two format versions exist. `HFGRAPH1` (legacy) stored nested adjacency
+//! as per-list `len, ids...` records; `HFGRAPH2` mirrors the in-memory CSR
+//! layout — node count, the degree array, then all targets concatenated —
+//! so a load is two bulk reads per layer instead of `n` length-prefixed
+//! ones. Writers emit v2; readers accept both.
+//!
+//! Length words come straight from the (possibly corrupt or hostile) file,
+//! so no allocation trusts them: preallocation is capped at
+//! [`PREALLOC_CAP`] elements and vectors grow incrementally past it,
+//! meaning a forged multi-GB header fails with a clean read error instead
+//! of an out-of-memory abort.
+//!
 //! Vector data and codec state are *not* stored here: providers re-derive
 //! them from the dataset (codes re-encode deterministically from the same
 //! codec seed), matching how segment files and index files are managed
@@ -16,7 +28,13 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"HFGRAPH1";
+/// Legacy nested format (read-only since the CSR refactor).
+const MAGIC_V1: &[u8; 8] = b"HFGRAPH1";
+/// Current CSR format.
+const MAGIC_V2: &[u8; 8] = b"HFGRAPH2";
+
+/// Ceiling on elements preallocated from an untrusted length word.
+const PREALLOC_CAP: usize = 1 << 16;
 
 fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -28,26 +46,42 @@ fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     Ok(u32::from_le_bytes(buf))
 }
 
-fn write_adjacency(w: &mut impl Write, adj: &[Vec<u32>]) -> io::Result<()> {
-    write_u32(w, adj.len() as u32)?;
-    for list in adj {
-        write_u32(w, list.len() as u32)?;
-        for &id in list {
+/// `Vec::with_capacity` that refuses to trust an untrusted length word
+/// beyond [`PREALLOC_CAP`]; pushes past the cap just grow normally.
+fn bounded_vec<T>(claimed_len: usize) -> Vec<T> {
+    Vec::with_capacity(claimed_len.min(PREALLOC_CAP))
+}
+
+/// Writes one layer in CSR shape: `n`, the `n` degrees, then all targets
+/// row-concatenated (no padding on disk).
+fn write_csr_adjacency(w: &mut impl Write, rows: &crate::graph::CsrLayer) -> io::Result<()> {
+    write_u32(w, rows.len() as u32)?;
+    for node in 0..rows.len() {
+        write_u32(w, rows.degree(node) as u32)?;
+    }
+    for row in rows.rows() {
+        for &id in row {
             write_u32(w, id)?;
         }
     }
     Ok(())
 }
 
-fn read_adjacency(r: &mut impl Read, max_id: u32) -> io::Result<Vec<Vec<u32>>> {
+/// Reads one v2 (CSR-shaped) layer back into nested lists (frozen to CSR
+/// by the caller). Every edge target is validated against `max_id`.
+fn read_csr_adjacency(r: &mut impl Read, max_id: u32) -> io::Result<Vec<Vec<u32>>> {
     let n = read_u32(r)? as usize;
-    let mut adj = Vec::with_capacity(n);
+    let mut lens: Vec<usize> = bounded_vec(n);
     for _ in 0..n {
         let len = read_u32(r)? as usize;
         if len > max_id as usize {
             return Err(bad("neighbor list longer than the graph"));
         }
-        let mut list = Vec::with_capacity(len);
+        lens.push(len);
+    }
+    let mut adj: Vec<Vec<u32>> = bounded_vec(n);
+    for &len in &lens {
+        let mut list = bounded_vec(len);
         for _ in 0..len {
             let id = read_u32(r)?;
             if id >= max_id {
@@ -60,38 +94,85 @@ fn read_adjacency(r: &mut impl Read, max_id: u32) -> io::Result<Vec<Vec<u32>>> {
     Ok(adj)
 }
 
+/// Reads one legacy v1 (nested) layer: per-list `len, ids...` records.
+fn read_nested_adjacency(r: &mut impl Read, max_id: u32) -> io::Result<Vec<Vec<u32>>> {
+    let n = read_u32(r)? as usize;
+    let mut adj = bounded_vec(n);
+    for _ in 0..n {
+        let len = read_u32(r)? as usize;
+        if len > max_id as usize {
+            return Err(bad("neighbor list longer than the graph"));
+        }
+        let mut list = bounded_vec(len);
+        for _ in 0..len {
+            let id = read_u32(r)?;
+            if id >= max_id {
+                return Err(bad("edge target out of range"));
+            }
+            list.push(id);
+        }
+        adj.push(list);
+    }
+    Ok(adj)
+}
+
+/// On-disk format version, decided by the magic bytes.
+#[derive(Clone, Copy, PartialEq)]
+enum Version {
+    V1,
+    V2,
+}
+
+fn read_magic(r: &mut impl Read) -> io::Result<Version> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    match &magic {
+        m if m == MAGIC_V1 => Ok(Version::V1),
+        m if m == MAGIC_V2 => Ok(Version::V2),
+        _ => Err(bad("not a graph file (bad magic)")),
+    }
+}
+
+fn read_layer(r: &mut impl Read, version: Version, max_id: u32) -> io::Result<Vec<Vec<u32>>> {
+    match version {
+        Version::V1 => read_nested_adjacency(r, max_id),
+        Version::V2 => read_csr_adjacency(r, max_id),
+    }
+}
+
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
 impl GraphLayers {
-    /// Serializes the multi-layer graph to `path`.
+    /// Serializes the multi-layer graph to `path` (current format).
     ///
     /// # Errors
     /// Returns any underlying I/O error.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(MAGIC)?;
+        w.write_all(MAGIC_V2)?;
         w.write_all(b"ML")?;
         write_u32(&mut w, self.entry)?;
         write_u32(&mut w, self.max_layer as u32)?;
-        write_u32(&mut w, self.layers.len() as u32)?;
-        for layer in &self.layers {
-            write_adjacency(&mut w, layer)?;
+        write_u32(&mut w, self.num_layers() as u32)?;
+        for l in 0..self.num_layers() {
+            write_csr_adjacency(&mut w, self.layer(l))?;
         }
         w.flush()
     }
 
-    /// Loads a multi-layer graph from `path`, validating the header and all
-    /// edge targets.
+    /// Loads a multi-layer graph from `path` (either format version),
+    /// validating the header and all edge targets.
     ///
     /// # Errors
     /// Returns an error on I/O failure or a malformed/corrupt file.
     pub fn load(path: &Path) -> io::Result<GraphLayers> {
         let mut r = BufReader::new(File::open(path)?);
-        let mut header = [0u8; 10];
-        r.read_exact(&mut header)?;
-        if &header[..8] != MAGIC || &header[8..] != b"ML" {
+        let version = read_magic(&mut r)?;
+        let mut kind = [0u8; 2];
+        r.read_exact(&mut kind)?;
+        if &kind != b"ML" {
             return Err(bad("not a multi-layer graph file"));
         }
         let entry = read_u32(&mut r)?;
@@ -100,10 +181,10 @@ impl GraphLayers {
         if n_layers == 0 || max_layer >= n_layers {
             return Err(bad("inconsistent layer header"));
         }
-        let mut layers = Vec::with_capacity(n_layers);
+        let mut layers = bounded_vec(n_layers);
         let mut n_nodes = u32::MAX;
         for _ in 0..n_layers {
-            let layer = read_adjacency(&mut r, n_nodes)?;
+            let layer = read_layer(&mut r, version, n_nodes)?;
             if n_nodes == u32::MAX {
                 n_nodes = layer.len() as u32; // base layer defines the node count
                 if entry >= n_nodes {
@@ -120,41 +201,38 @@ impl GraphLayers {
             }
             layers.push(layer);
         }
-        Ok(GraphLayers {
-            layers,
-            entry,
-            max_layer,
-        })
+        Ok(GraphLayers::from_nested(layers, entry, max_layer))
     }
 }
 
 impl FlatGraph {
-    /// Serializes the flat graph to `path`.
+    /// Serializes the flat graph to `path` (current format).
     ///
     /// # Errors
     /// Returns any underlying I/O error.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(MAGIC)?;
+        w.write_all(MAGIC_V2)?;
         w.write_all(b"FL")?;
         write_u32(&mut w, self.entry)?;
-        write_adjacency(&mut w, &self.adj)?;
+        write_csr_adjacency(&mut w, self.csr())?;
         w.flush()
     }
 
-    /// Loads a flat graph from `path`.
+    /// Loads a flat graph from `path` (either format version).
     ///
     /// # Errors
     /// Returns an error on I/O failure or a malformed/corrupt file.
     pub fn load(path: &Path) -> io::Result<FlatGraph> {
         let mut r = BufReader::new(File::open(path)?);
-        let mut header = [0u8; 10];
-        r.read_exact(&mut header)?;
-        if &header[..8] != MAGIC || &header[8..] != b"FL" {
+        let version = read_magic(&mut r)?;
+        let mut kind = [0u8; 2];
+        r.read_exact(&mut kind)?;
+        if &kind != b"FL" {
             return Err(bad("not a flat graph file"));
         }
         let entry = read_u32(&mut r)?;
-        let adj = read_adjacency(&mut r, u32::MAX)?;
+        let adj = read_layer(&mut r, version, u32::MAX)?;
         let n = adj.len() as u32;
         if entry >= n {
             return Err(bad("entry point out of range"));
@@ -164,7 +242,7 @@ impl FlatGraph {
                 return Err(bad("edge target out of range"));
             }
         }
-        Ok(FlatGraph { adj, entry })
+        Ok(FlatGraph::from_nested(&adj, entry))
     }
 }
 
@@ -179,14 +257,30 @@ mod tests {
     }
 
     fn sample_layers() -> GraphLayers {
-        GraphLayers {
-            layers: vec![
+        GraphLayers::from_nested(
+            vec![
                 vec![vec![1, 2], vec![0], vec![0, 1]],
                 vec![vec![], vec![2], vec![1]],
             ],
-            entry: 2,
-            max_layer: 1,
+            2,
+            1,
+        )
+    }
+
+    /// Writes `adj` in the retired v1 nested format (the pre-CSR writer).
+    fn v1_flat_bytes(entry: u32, adj: &[Vec<u32>]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V1);
+        bytes.extend_from_slice(b"FL");
+        bytes.extend_from_slice(&entry.to_le_bytes());
+        bytes.extend_from_slice(&(adj.len() as u32).to_le_bytes());
+        for list in adj {
+            bytes.extend_from_slice(&(list.len() as u32).to_le_bytes());
+            for &id in list {
+                bytes.extend_from_slice(&id.to_le_bytes());
+            }
         }
+        bytes
     }
 
     #[test]
@@ -197,22 +291,62 @@ mod tests {
         let back = GraphLayers::load(&path).unwrap();
         assert_eq!(back.entry, g.entry);
         assert_eq!(back.max_layer, g.max_layer);
-        assert_eq!(back.layers, g.layers);
+        assert_eq!(back, g);
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn flat_roundtrip() {
         let path = tmp("b.graph");
-        let g = FlatGraph {
-            adj: vec![vec![1], vec![2, 0], vec![]],
-            entry: 1,
-        };
+        let g = FlatGraph::from_nested(&[vec![1], vec![2, 0], vec![]], 1);
         g.save(&path).unwrap();
         let back = FlatGraph::load(&path).unwrap();
-        assert_eq!(back.adj, g.adj);
-        assert_eq!(back.entry, g.entry);
+        assert_eq!(back, g);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load() {
+        let path = tmp("v1.graph");
+        let adj = vec![vec![1u32, 2], vec![0], vec![]];
+        std::fs::write(&path, v1_flat_bytes(2, &adj)).unwrap();
+        let back = FlatGraph::load(&path).unwrap();
+        assert_eq!(back, FlatGraph::from_nested(&adj, 2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_v1_layers_roundtrip_through_v2() {
+        // v1 bytes → CSR in memory → v2 bytes → identical graph.
+        let path_v1 = tmp("v1ml.graph");
+        let layers = vec![
+            vec![vec![1u32], vec![0], vec![0, 1]],
+            vec![vec![], vec![2], vec![]],
+        ];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V1);
+        bytes.extend_from_slice(b"ML");
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // entry
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // max_layer
+        bytes.extend_from_slice(&(layers.len() as u32).to_le_bytes());
+        for layer in &layers {
+            bytes.extend_from_slice(&(layer.len() as u32).to_le_bytes());
+            for list in layer {
+                bytes.extend_from_slice(&(list.len() as u32).to_le_bytes());
+                for &id in list {
+                    bytes.extend_from_slice(&id.to_le_bytes());
+                }
+            }
+        }
+        std::fs::write(&path_v1, &bytes).unwrap();
+        let g = GraphLayers::load(&path_v1).unwrap();
+        assert_eq!(g, GraphLayers::from_nested(layers, 2, 1));
+
+        let path_v2 = tmp("v1ml_rewritten.graph");
+        g.save(&path_v2).unwrap();
+        assert_eq!(GraphLayers::load(&path_v2).unwrap(), g);
+        std::fs::remove_file(&path_v1).ok();
+        std::fs::remove_file(&path_v2).ok();
     }
 
     #[test]
@@ -238,15 +372,9 @@ mod tests {
     #[test]
     fn rejects_out_of_range_edges() {
         let path = tmp("e.graph");
-        // Hand-craft a flat file with an edge to node 9 in a 2-node graph.
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(MAGIC);
-        bytes.extend_from_slice(b"FL");
-        bytes.extend_from_slice(&0u32.to_le_bytes()); // entry
-        bytes.extend_from_slice(&2u32.to_le_bytes()); // n
-        bytes.extend_from_slice(&1u32.to_le_bytes()); // len of list 0
-        bytes.extend_from_slice(&9u32.to_le_bytes()); // bad edge
-        bytes.extend_from_slice(&0u32.to_le_bytes()); // len of list 1
+        // Hand-craft a legacy flat file with an edge to node 9 in a 2-node
+        // graph; the v1 read path must still validate targets.
+        let bytes = v1_flat_bytes(0, &[vec![9], vec![]]);
         std::fs::write(&path, &bytes).unwrap();
         assert!(FlatGraph::load(&path).is_err());
         std::fs::remove_file(&path).ok();
@@ -258,6 +386,46 @@ mod tests {
         sample_layers().save(&path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(GraphLayers::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn forged_huge_node_count_fails_without_oom() {
+        // A 22-byte file claiming u32::MAX nodes: the reader must hit EOF
+        // with a clean error instead of preallocating gigabytes.
+        for magic in [MAGIC_V1, MAGIC_V2] {
+            let path = tmp("g.graph");
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(magic);
+            bytes.extend_from_slice(b"FL");
+            bytes.extend_from_slice(&0u32.to_le_bytes()); // entry
+            bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // forged n
+            bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // forged len
+            std::fs::write(&path, &bytes).unwrap();
+            let err = FlatGraph::load(&path).unwrap_err();
+            assert!(
+                matches!(
+                    err.kind(),
+                    io::ErrorKind::UnexpectedEof | io::ErrorKind::InvalidData
+                ),
+                "unexpected error kind {:?}",
+                err.kind()
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn forged_huge_layer_count_fails_without_oom() {
+        let path = tmp("h.graph");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V2);
+        bytes.extend_from_slice(b"ML");
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // entry
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // max_layer
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // forged n_layers
+        std::fs::write(&path, &bytes).unwrap();
         assert!(GraphLayers::load(&path).is_err());
         std::fs::remove_file(&path).ok();
     }

@@ -16,8 +16,10 @@ pub trait DistanceProvider: Sync + Send {
 
     /// Per-node data stored *inside* the graph's node records, mutated under
     /// the node's lock. Flash keeps its subspace-major neighbor codeword
-    /// blocks here; baseline providers use `()`.
-    type NodePayload: Send + Sync + Default;
+    /// blocks here; baseline providers use `()`. `'static` because search
+    /// kernels pool payload-typed scratch state in thread-local storage
+    /// keyed by `TypeId` (see [`crate::scratch`]).
+    type NodePayload: Send + Sync + Default + 'static;
 
     /// Number of database vectors.
     fn len(&self) -> usize;
@@ -65,6 +67,14 @@ pub trait DistanceProvider: Sync + Send {
     /// changes, so payload-carrying providers can rebuild the co-located
     /// codeword blocks for the new `ids`.
     fn sync_payload(&self, _payload: &mut Self::NodePayload, _ids: &[u32]) {}
+
+    /// Hint that the distance data of `id` (codes, or the raw vector) will
+    /// be needed shortly. Search kernels call this for the *next* frontier
+    /// candidate while the current candidate's block is being scored, so
+    /// the lines are in flight before the beam gets there. Purely advisory;
+    /// the default does nothing.
+    #[inline]
+    fn prefetch(&self, _id: u32) {}
 
     /// Bytes of compressed per-vector state this provider stores globally
     /// (codes, tables) — for index-size accounting. Excludes node payloads,

@@ -49,6 +49,11 @@ impl DistanceProvider for FullPrecision {
         l2_sq(self.base.get(a as usize), self.base.get(b as usize))
     }
 
+    #[inline]
+    fn prefetch(&self, id: u32) {
+        simdops::prefetch_slice(self.base.get(id as usize));
+    }
+
     fn aux_bytes(&self) -> usize {
         // The index must retain the full vectors to compute distances.
         self.base.payload_bytes()

@@ -1,0 +1,183 @@
+//! Pooled, allocation-free per-query search state.
+//!
+//! Every beam search needs a visited set, two heaps, and (for batched
+//! scoring) a gather buffer of unvisited neighbor ids, their distances,
+//! and a payload block of their codes. Allocating those per query puts
+//! the allocator on the hot path and cold memory under the beam;
+//! [`SearchScratch`] keeps one warm copy of all of them per thread,
+//! checked out around each query the way [`crate::visited::VisitedPool`]
+//! already pools visited lists for builds.
+//!
+//! The pool is thread-local (search threads never contend) and keyed by
+//! the provider's payload type, so flash searches and full-precision
+//! searches each reuse their own scratch. [`ScratchStats`] counts
+//! checkouts vs. fresh allocations; steady state is "checkouts grow,
+//! creations don't", which the zero-allocation regression test asserts.
+
+use crate::visited::VisitedList;
+use crate::OrdF32;
+use std::any::{Any, TypeId};
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Reusable search state for one in-flight query.
+///
+/// Buffers only ever grow; after the first few queries on a thread every
+/// checkout runs the whole beam without touching the allocator.
+pub struct SearchScratch<PL> {
+    /// Epoch-stamped visited set (O(1) reset).
+    pub(crate) visited: VisitedList,
+    /// Backing storage for the result max-heap.
+    results_buf: Vec<(OrdF32, u32)>,
+    /// Backing storage for the frontier min-heap.
+    frontier_buf: Vec<(Reverse<OrdF32>, u32)>,
+    /// Unvisited neighbors of the candidate being expanded.
+    pub(crate) ids: Vec<u32>,
+    /// Batched distances, parallel to `ids`.
+    pub(crate) dists: Vec<f32>,
+    /// Provider payload for the gathered ids (Flash: codeword blocks).
+    pub(crate) payload: PL,
+}
+
+impl<PL: Default> SearchScratch<PL> {
+    fn new() -> Self {
+        Self {
+            visited: VisitedList::new(0),
+            results_buf: Vec::new(),
+            frontier_buf: Vec::new(),
+            ids: Vec::new(),
+            dists: Vec::new(),
+            payload: PL::default(),
+        }
+    }
+
+    /// Checks out the result heap (empty, capacity retained).
+    pub(crate) fn take_results(&mut self) -> BinaryHeap<(OrdF32, u32)> {
+        BinaryHeap::from(std::mem::take(&mut self.results_buf))
+    }
+
+    /// Returns the result heap's storage for the next query.
+    pub(crate) fn put_results(&mut self, heap: BinaryHeap<(OrdF32, u32)>) {
+        let mut v = heap.into_vec();
+        v.clear();
+        self.results_buf = v;
+    }
+
+    /// Checks out the frontier heap (empty, capacity retained).
+    pub(crate) fn take_frontier(&mut self) -> BinaryHeap<(Reverse<OrdF32>, u32)> {
+        BinaryHeap::from(std::mem::take(&mut self.frontier_buf))
+    }
+
+    /// Returns the frontier heap's storage for the next query.
+    pub(crate) fn put_frontier(&mut self, heap: BinaryHeap<(Reverse<OrdF32>, u32)>) {
+        let mut v = heap.into_vec();
+        v.clear();
+        self.frontier_buf = v;
+    }
+}
+
+/// Scratch-pool traffic counters for the current thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Scratches constructed because the pool was dry.
+    pub created: u64,
+    /// Total checkouts served.
+    pub checkouts: u64,
+}
+
+thread_local! {
+    static POOL: RefCell<HashMap<TypeId, Vec<Box<dyn Any>>>> =
+        RefCell::new(HashMap::new());
+    static CREATED: Cell<u64> = const { Cell::new(0) };
+    static CHECKOUTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// This thread's pool counters (the zero-allocation assertion hook).
+pub fn scratch_stats() -> ScratchStats {
+    ScratchStats {
+        created: CREATED.with(Cell::get),
+        checkouts: CHECKOUTS.with(Cell::get),
+    }
+}
+
+/// Runs `f` with a pooled [`SearchScratch`], creating one only if this
+/// thread's pool has none for payload type `PL`. The scratch returns to
+/// the pool afterwards (it is dropped instead if `f` panics).
+pub fn with_scratch<PL: Default + 'static, R>(f: impl FnOnce(&mut SearchScratch<PL>) -> R) -> R {
+    CHECKOUTS.with(|c| c.set(c.get() + 1));
+    let mut scratch: Box<SearchScratch<PL>> = POOL
+        .with(|p| {
+            p.borrow_mut()
+                .get_mut(&TypeId::of::<PL>())
+                .and_then(Vec::pop)
+        })
+        .map(|b| b.downcast().expect("pool entries are keyed by TypeId"))
+        .unwrap_or_else(|| {
+            CREATED.with(|c| c.set(c.get() + 1));
+            Box::new(SearchScratch::new())
+        });
+    let out = f(&mut scratch);
+    POOL.with(|p| {
+        p.borrow_mut()
+            .entry(TypeId::of::<PL>())
+            .or_default()
+            .push(scratch)
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_is_reused_not_reallocated() {
+        let before = scratch_stats();
+        for _ in 0..64 {
+            with_scratch::<Vec<u8>, _>(|s| {
+                s.ids.push(1);
+                s.dists.push(0.5);
+            });
+        }
+        let after = scratch_stats();
+        assert_eq!(after.checkouts - before.checkouts, 64);
+        assert!(
+            after.created - before.created <= 1,
+            "pool created {} scratches for 64 sequential checkouts",
+            after.created - before.created
+        );
+    }
+
+    #[test]
+    fn nested_checkouts_get_distinct_scratches() {
+        with_scratch::<(), _>(|outer| {
+            outer.ids.push(7);
+            with_scratch::<(), _>(|inner| {
+                assert!(inner.ids.is_empty() || inner.ids != outer.ids);
+            });
+        });
+    }
+
+    #[test]
+    fn heap_buffers_keep_capacity_across_checkouts() {
+        with_scratch::<(), _>(|s| {
+            let mut h = s.take_results();
+            for i in 0..100 {
+                h.push((OrdF32(i as f32), i));
+            }
+            s.put_results(h);
+        });
+        with_scratch::<(), _>(|s| {
+            let h = s.take_results();
+            assert!(h.is_empty());
+            // Into the backing vec: capacity must have survived the trip.
+            let v = {
+                let v = h.into_vec();
+                assert!(v.capacity() >= 100);
+                v
+            };
+            s.put_results(BinaryHeap::from(v));
+        });
+    }
+}

@@ -31,15 +31,19 @@ pub struct GraphStats {
 
 impl GraphStats {
     /// Computes stats over a frozen multi-layer graph's base layer.
+    ///
+    /// Degrees come straight from the CSR row lengths — no nested
+    /// materialization — and the BFS walks the packed rows in place.
     pub fn from_layers(graph: &GraphLayers) -> Self {
         let n = graph.len();
-        let mut edges = 0;
+        let base = graph.layer(0);
+        let edges = base.edges();
         let mut max_degree = 0;
         let mut isolated = 0;
-        for nbrs in &graph.layers[0] {
-            edges += nbrs.len();
-            max_degree = max_degree.max(nbrs.len());
-            if nbrs.is_empty() {
+        for node in 0..n {
+            let deg = base.degree(node);
+            max_degree = max_degree.max(deg);
+            if deg == 0 {
                 isolated += 1;
             }
         }
@@ -199,6 +203,12 @@ impl<P: DistanceProvider> DistanceProvider for Instrumented<P> {
         Self::time(&self.sync_ns, || self.inner.sync_payload(payload, ids))
     }
 
+    fn prefetch(&self, id: u32) {
+        // Untimed: a prefetch hint is fire-and-forget, timing it would cost
+        // more than the hint itself.
+        self.inner.prefetch(id);
+    }
+
     fn aux_bytes(&self) -> usize {
         self.inner.aux_bytes()
     }
@@ -240,6 +250,31 @@ mod tests {
         assert_eq!(stats.isolated, 0);
         assert!(stats.avg_degree > 1.0);
         assert!(stats.max_degree <= 16);
+    }
+
+    #[test]
+    fn stats_over_csr_match_nested_materialization() {
+        // The CSR-direct degree/edge accounting must agree with the naive
+        // computation over a nested copy of the same adjacency.
+        let index = Hnsw::build(
+            FullPrecision::new(grid(9)),
+            HnswParams {
+                c: 32,
+                r: 8,
+                seed: 17,
+            },
+        );
+        let graph = index.freeze();
+        let stats = GraphStats::from_layers(&graph);
+        let nested = graph.layer(0).to_nested();
+        let edges: usize = nested.iter().map(Vec::len).sum();
+        let max_degree = nested.iter().map(Vec::len).max().unwrap_or(0);
+        let isolated = nested.iter().filter(|n| n.is_empty()).count();
+        assert_eq!(stats.edges, edges);
+        assert_eq!(stats.max_degree, max_degree);
+        assert_eq!(stats.isolated, isolated);
+        assert_eq!(stats.nodes, nested.len());
+        assert!((stats.avg_degree - edges as f64 / nested.len() as f64).abs() < 1e-12);
     }
 
     #[test]

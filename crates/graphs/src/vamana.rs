@@ -19,7 +19,7 @@
 //!    reverse edges are inserted with overflow re-pruning — this is the
 //!    pass that creates the long-range "highway" edges DiskANN relies on.
 
-use crate::flat_build::{build_flat, search_flat, AlphaRule, FlatParams, PruneRule};
+use crate::flat_build::{build_flat_nested, search_flat, AlphaRule, FlatParams, PruneRule};
 use crate::graph::FlatGraph;
 use crate::provider::DistanceProvider;
 use crate::Hit;
@@ -66,14 +66,16 @@ impl<P: DistanceProvider> Vamana<P> {
             c: params.c,
             seed: params.seed,
         };
-        let (mut graph, provider) = build_flat(provider, flat, &AlphaRule::new(1.0));
-        if graph.len() > 2 {
-            alpha_pass(&provider, &mut graph, params);
-            repair_connectivity(&mut graph);
+        // Both refinement passes mutate per-vertex lists, so the graph stays
+        // nested until the final freeze into CSR.
+        let (mut adj, entry, provider) = build_flat_nested(provider, flat, &AlphaRule::new(1.0));
+        if adj.len() > 2 {
+            alpha_pass(&provider, &mut adj, entry, params);
+            repair_connectivity(&mut adj, entry);
         }
         Self {
             provider,
-            graph,
+            graph: FlatGraph::from_nested(&adj, entry),
             params,
         }
     }
@@ -119,10 +121,14 @@ impl<P: DistanceProvider> Vamana<P> {
 /// The α refinement pass: every vertex re-prunes its one- and two-hop
 /// neighborhood with the slacked rule, then reverse edges are inserted
 /// (with overflow re-pruning from the receiving vertex's perspective).
-fn alpha_pass<P: DistanceProvider>(provider: &P, graph: &mut FlatGraph, params: VamanaParams) {
+fn alpha_pass<P: DistanceProvider>(
+    provider: &P,
+    adj: &mut Vec<Vec<u32>>,
+    _entry: u32,
+    params: VamanaParams,
+) {
     let rule = AlphaRule::new(params.alpha);
-    let n = graph.len();
-    let adj = &graph.adj;
+    let n = adj.len();
 
     // Re-prune pools in parallel; pools are read-only views of the pass-1
     // adjacency, so no locking is needed.
@@ -145,25 +151,25 @@ fn alpha_pass<P: DistanceProvider>(provider: &P, graph: &mut FlatGraph, params: 
             robust_prune(provider, &rule, &cands, params.r)
         })
         .collect();
-    graph.adj = new_adj;
+    *adj = new_adj;
 
     // Reverse-edge insertion (sequential: mutates many lists).
     for x in 0..n as u32 {
-        let outs = graph.adj[x as usize].clone();
+        let outs = adj[x as usize].clone();
         for v in outs {
-            if graph.adj[v as usize].contains(&x) {
+            if adj[v as usize].contains(&x) {
                 continue;
             }
-            if graph.adj[v as usize].len() < params.r {
-                graph.adj[v as usize].push(x);
+            if adj[v as usize].len() < params.r {
+                adj[v as usize].push(x);
             } else {
-                let mut cands: Vec<(f32, u32)> = graph.adj[v as usize]
+                let mut cands: Vec<(f32, u32)> = adj[v as usize]
                     .iter()
                     .chain(std::iter::once(&x))
                     .map(|&u| (provider.dist_between(v, u), u))
                     .collect();
                 cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-                graph.adj[v as usize] = robust_prune(provider, &rule, &cands, params.r);
+                adj[v as usize] = robust_prune(provider, &rule, &cands, params.r);
             }
         }
     }
@@ -194,28 +200,15 @@ fn robust_prune<P: DistanceProvider>(
 /// Guarantees reachability from the entry after re-pruning: unreachable
 /// vertices are linked from the entry (the entry's list may exceed `R`,
 /// mirroring NSG's simplified tree-linking repair).
-fn repair_connectivity(graph: &mut FlatGraph) {
-    let n = graph.len();
-    let mut seen = vec![false; n];
-    let mut queue = std::collections::VecDeque::new();
-    seen[graph.entry as usize] = true;
-    queue.push_back(graph.entry);
-    while let Some(u) = queue.pop_front() {
-        for &v in &graph.adj[u as usize] {
-            if !seen[v as usize] {
-                seen[v as usize] = true;
-                queue.push_back(v);
-            }
-        }
-    }
-    let entry = graph.entry as usize;
+fn repair_connectivity(adj: &mut [Vec<u32>], entry: u32) {
+    let seen = crate::flat_build::reachable_mask(adj, entry);
     let orphans: Vec<u32> = seen
         .iter()
         .enumerate()
         .filter(|(_, &s)| !s)
         .map(|(x, _)| x as u32)
         .collect();
-    graph.adj[entry].extend(orphans);
+    adj[entry as usize].extend(orphans);
 }
 
 #[cfg(test)]
@@ -263,11 +256,13 @@ mod tests {
     fn alpha_one_matches_param_default_degrees() {
         // α = 1 must still produce a legal bounded-degree graph.
         let index = build_grid(8, 1.0);
-        for (i, nbrs) in index.graph().adj.iter().enumerate() {
-            if i == index.graph().entry as usize {
+        let g = index.graph();
+        for i in 0..g.len() {
+            if i == g.entry as usize {
                 continue; // repair may oversize the entry
             }
-            assert!(nbrs.len() <= 8, "degree {} at {i}", nbrs.len());
+            let deg = g.neighbors(i as u32).len();
+            assert!(deg <= 8, "degree {deg} at {i}");
         }
     }
 

@@ -10,10 +10,10 @@
 
 use crate::graph::GraphLayers;
 use crate::provider::DistanceProvider;
+use crate::scratch::with_scratch;
 use crate::Hit;
 use crate::OrdF32;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Search with relaxed-monotonicity termination.
 ///
@@ -21,6 +21,12 @@ use std::collections::BinaryHeap;
 /// exhausted or the last `window` expansions failed to improve the k-th
 /// best distance. `window` plays the role the beam width `ef` plays in
 /// standard HNSW search (bigger → higher recall, slower).
+///
+/// Like [`crate::search_layers`], per-query state is pooled and each
+/// expansion scores its unvisited neighbors as one
+/// [`DistanceProvider::dist_to_neighbors`] block — bit-identical to the
+/// per-neighbor loop, since the windowed-termination decisions depend only
+/// on the distances, not on when they were computed.
 pub fn search_vbase<P: DistanceProvider>(
     provider: &P,
     graph: &GraphLayers,
@@ -34,77 +40,78 @@ pub fn search_vbase<P: DistanceProvider>(
     let window = window.max(1);
     let ctx = provider.prepare_query(query);
 
-    // Greedy descent through upper layers.
-    let mut cur = graph.entry;
-    let mut cur_d = provider.dist_to(&ctx, cur);
-    for layer in (1..=graph.max_layer).rev() {
-        loop {
-            let mut improved = false;
-            for &nb in graph.neighbors(layer, cur) {
-                let d = provider.dist_to(&ctx, nb);
-                if d < cur_d {
-                    cur = nb;
-                    cur_d = d;
-                    improved = true;
-                }
-            }
-            if !improved {
+    with_scratch::<P::NodePayload, _>(|scratch| {
+        let (cur, cur_d) = crate::layers_search::descend(provider, graph, &ctx, scratch);
+
+        // Base-layer expansion with windowed termination.
+        scratch.visited.begin(graph.len());
+        scratch.visited.check_and_mark(cur);
+        let mut topk = scratch.take_results();
+        let mut frontier = scratch.take_frontier();
+        topk.push((OrdF32(cur_d), cur));
+        frontier.push((Reverse(OrdF32(cur_d)), cur));
+
+        let mut since_improvement = 0usize;
+        while let Some((Reverse(OrdF32(_)), u)) = frontier.pop() {
+            if since_improvement >= window {
                 break;
             }
-        }
-    }
-
-    // Base-layer expansion with windowed termination.
-    let mut visited = vec![false; graph.len()];
-    visited[cur as usize] = true;
-    let mut topk: BinaryHeap<(OrdF32, u32)> = BinaryHeap::with_capacity(k + 1);
-    let mut frontier: BinaryHeap<(Reverse<OrdF32>, u32)> = BinaryHeap::new();
-    topk.push((OrdF32(cur_d), cur));
-    frontier.push((Reverse(OrdF32(cur_d)), cur));
-
-    let mut since_improvement = 0usize;
-    while let Some((Reverse(OrdF32(_)), u)) = frontier.pop() {
-        if since_improvement >= window {
-            break;
-        }
-        let mut improved = false;
-        for &nb in graph.neighbors(0, u) {
-            if visited[nb as usize] {
-                continue;
-            }
-            visited[nb as usize] = true;
-            let nd = provider.dist_to(&ctx, nb);
-            let kth = topk
-                .peek()
-                .map(|&(OrdF32(w), _)| w)
-                .unwrap_or(f32::INFINITY);
-            if topk.len() < k || nd < kth {
-                topk.push((OrdF32(nd), nb));
-                if topk.len() > k {
-                    topk.pop();
+            scratch.ids.clear();
+            for &nb in graph.neighbors(0, u) {
+                if !scratch.visited.check_and_mark(nb) {
+                    scratch.ids.push(nb);
                 }
-                improved = true;
             }
-            // Frontier admission stays generous so the walk can cross
-            // plateaus; the window handles termination.
-            frontier.push((Reverse(OrdF32(nd)), nb));
+            let mut improved = false;
+            if !scratch.ids.is_empty() {
+                if let Some(&(Reverse(_), next)) = frontier.peek() {
+                    provider.prefetch(next);
+                    simdops::prefetch_slice(graph.neighbors(0, next));
+                }
+                provider.sync_payload(&mut scratch.payload, &scratch.ids);
+                provider.dist_to_neighbors(
+                    &ctx,
+                    &scratch.ids,
+                    &scratch.payload,
+                    &mut scratch.dists,
+                );
+                for (&nb, &nd) in scratch.ids.iter().zip(&scratch.dists) {
+                    let kth = topk
+                        .peek()
+                        .map(|&(OrdF32(w), _)| w)
+                        .unwrap_or(f32::INFINITY);
+                    if topk.len() < k || nd < kth {
+                        topk.push((OrdF32(nd), nb));
+                        if topk.len() > k {
+                            topk.pop();
+                        }
+                        improved = true;
+                    }
+                    // Frontier admission stays generous so the walk can cross
+                    // plateaus; the window handles termination.
+                    frontier.push((Reverse(OrdF32(nd)), nb));
+                }
+            }
+            if improved {
+                since_improvement = 0;
+            } else {
+                since_improvement += 1;
+            }
         }
-        if improved {
-            since_improvement = 0;
-        } else {
-            since_improvement += 1;
-        }
-    }
 
-    let mut out: Vec<Hit> = topk
-        .into_iter()
-        .map(|(OrdF32(dist), id)| Hit {
-            id: u64::from(id),
-            dist,
-        })
-        .collect();
-    out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-    out
+        let mut out: Vec<Hit> = topk
+            .drain()
+            .map(|(OrdF32(dist), id)| Hit {
+                id: u64::from(id),
+                dist,
+            })
+            .collect();
+        out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        frontier.clear();
+        scratch.put_results(topk);
+        scratch.put_frontier(frontier);
+        out
+    })
 }
 
 #[cfg(test)]

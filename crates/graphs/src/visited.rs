@@ -14,7 +14,7 @@ pub struct VisitedList {
 }
 
 impl VisitedList {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Self {
             stamps: vec![0; n],
             epoch: 0,

@@ -22,9 +22,11 @@
 pub mod f32dist;
 pub mod level;
 pub mod lut;
+pub mod prefetch;
 pub mod u8dist;
 
 pub use f32dist::{inner_product, l2_sq, norm_sq};
 pub use level::{current_level, detect_level, set_level_override, supported_levels, SimdLevel};
 pub use lut::{lut16_batch, lut16_single, LUT_BATCH};
+pub use prefetch::{prefetch_read, prefetch_slice};
 pub use u8dist::l2_sq_u8;

@@ -379,6 +379,59 @@
 //! summary (span counts structural, per-stage milliseconds
 //! timing-stripped).
 //!
+//! ## Memory layout
+//!
+//! Graph search is memory-bound — the paper's profiles (Table 2, Figure
+//! 15) show most cycles stall on cache misses chasing neighbor lists and
+//! codes, not arithmetic — so the frozen representation and the search
+//! kernels are built around three layout decisions:
+//!
+//! 1. **CSR adjacency.** Builders ([`graphs::Hnsw`], [`graphs::Nsg`],
+//!    [`graphs::TauMg`], [`graphs::Vamana`], [`graphs::Hcnng`]) grow
+//!    nested `Vec<Vec<u32>>` lists under per-node locks, then `freeze()`
+//!    once into [`graphs::CsrLayer`]: a flat pool of 64-byte-aligned
+//!    cache lines ([`graphs::LINE_U32S`] = 16 neighbor ids per line) plus
+//!    per-node start/length tables. Every neighbor list begins on a line
+//!    boundary, so expanding a node touches `ceil(degree/16)` lines and
+//!    never straddles one unnecessarily. Frozen graphs are constructed
+//!    via [`graphs::GraphLayers::from_nested`] /
+//!    [`graphs::FlatGraph::from_nested`] and read through
+//!    `neighbors(layer, node)` — the adjacency fields themselves are
+//!    private, so the layout can keep evolving without breaking callers.
+//!
+//! 2. **Pooled, allocation-free search state.** Each query checks a
+//!    `SearchScratch` out of a thread-local pool instead of allocating a
+//!    fresh `vec![false; n]` visited map and new `BinaryHeap`s: the
+//!    visited set is epoch-stamped (clearing is a counter bump, not a
+//!    memset), and the frontier/result heaps and block-score buffers are
+//!    reused across queries. [`graphs::scratch_stats`] exposes
+//!    `created`/`checkouts` counters; in steady state `created` stays
+//!    flat while `checkouts` climbs — the zero-allocation property the
+//!    test suite asserts directly.
+//!
+//! 3. **Block-scored expansion with prefetch.** Kernels score a whole
+//!    neighbor line through [`graphs::DistanceProvider::dist_to_neighbors`]
+//!    (register-resident `lut16_batch` shuffles on the Flash path)
+//!    instead of per-neighbor `dist_to` calls, and while the current
+//!    block is scored they issue [`graphs::DistanceProvider::prefetch`]
+//!    for the next frontier candidate's codes plus a software prefetch of
+//!    its neighbor line — the lines are in flight before the beam
+//!    arrives. For frozen-topology *serving*, [`graphs::NodePayloads`]
+//!    prebuilds every node's codeword block once (the serving half of the
+//!    paper's access-aware layout) and
+//!    [`graphs::search_layers_cached`] reads it instead of rebuilding a
+//!    block per expansion. All of this is bit-exact: the same
+//!    `(dist, id)` results as the naive loop, enforced by the parity
+//!    suites.
+//!
+//! `flash_cli hotpath` measures the payoff: it runs the same queries
+//! through a naive per-neighbor reference kernel and the production
+//! hot path, asserts the results are identical, and emits
+//! `BENCH_hotpath.json` through the usual metrics schema. Read it as
+//! `config.reference.qps` vs `config.hotpath.qps` (plus the
+//! `speedup` ratio); [`metrics::strip_timings`] removes the QPS numbers
+//! so the structural remainder is byte-stable for CI diffing.
+//!
 //! ## Migrating from the per-type APIs
 //!
 //! The concrete index types still exist (construction-time features like
@@ -402,7 +455,13 @@
 //!
 //! The legacy free functions and inherent methods delegate to the same
 //! internals the engine uses, so mixed codebases stay consistent during a
-//! migration.
+//! migration. One layout-driven exception: the deprecated
+//! `graphs::SearchResult` alias survives, but code that built
+//! [`graphs::GraphLayers`] / [`graphs::FlatGraph`] values by filling
+//! their fields must switch to `from_nested` / `from_flat` and the
+//! `neighbors()` accessors — the nested `Vec<Vec<u32>>` fields were
+//! replaced by the private CSR layout described under
+//! [Memory layout](#memory-layout).
 
 pub use cachesim;
 pub use engine;

@@ -59,7 +59,7 @@ fn graph_roundtrip_is_exact() {
     let loaded = GraphLayers::load(&path).unwrap();
     assert_eq!(loaded.entry, g.entry);
     assert_eq!(loaded.max_layer, g.max_layer);
-    assert_eq!(loaded.layers, g.layers);
+    assert_eq!(loaded, g);
 }
 
 #[test]
@@ -103,10 +103,7 @@ fn flat_and_layered_formats_are_not_interchangeable() {
         "a multi-layer file must not load as a flat graph"
     );
 
-    let flat = FlatGraph {
-        adj: vec![vec![1], vec![0]],
-        entry: 0,
-    };
+    let flat = FlatGraph::from_nested(&[vec![1], vec![0]], 0);
     let path2 = tmp("kind_confusion2.bin");
     flat.save(&path2).unwrap();
     assert!(
@@ -117,10 +114,7 @@ fn flat_and_layered_formats_are_not_interchangeable() {
 
 #[test]
 fn corrupt_edge_target_is_rejected_not_crashing() {
-    let flat = FlatGraph {
-        adj: vec![vec![1], vec![0]],
-        entry: 0,
-    };
+    let flat = FlatGraph::from_nested(&[vec![1], vec![0]], 0);
     let path = tmp("bad_edge.bin");
     flat.save(&path).unwrap();
     let mut bytes = fs::read(&path).unwrap();

@@ -130,7 +130,8 @@ proptest! {
         );
         let g = index.graph();
         prop_assert_eq!(g.reachable_from_entry(), n, "not fully reachable");
-        for (i, nbrs) in g.adj.iter().enumerate() {
+        for i in 0..g.len() {
+            let nbrs = g.neighbors(i as u32);
             prop_assert!(!nbrs.contains(&(i as u32)), "self edge at {i}");
             if i != g.entry as usize {
                 prop_assert!(nbrs.len() <= 6, "degree {} at non-entry {i}", nbrs.len());
