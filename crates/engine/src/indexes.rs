@@ -18,6 +18,20 @@ use vecstore::VectorSet;
 // Shared machinery
 // ---------------------------------------------------------------------
 
+/// Runs one leaf search under a fresh thread-local profile window and
+/// attaches the accumulated [`metrics::QueryProfile`] to the response.
+///
+/// Every concrete (non-aggregating) [`AnnIndex`] implementation wraps its
+/// `search` body in this, so each response carries exactly the structural
+/// cost of serving that one request — aggregating layers (shards,
+/// replicas, caches, remotes) sum leaf profiles instead of re-measuring.
+fn profiled(f: impl FnOnce() -> SearchResponse) -> SearchResponse {
+    graphs::profile_reset();
+    let mut response = f();
+    response.profile = graphs::profile_take();
+    response
+}
+
 /// Applies the request's post-retrieval steps (predicate filter → exact
 /// rerank → truncate) to a candidate pool of `pool_k` hits.
 fn finish_pool(
@@ -94,6 +108,7 @@ fn serve_layers<P: DistanceProvider>(
                 evaluated: stats.evals,
                 abandoned: stats.abandoned,
             },
+            profile: Default::default(),
         };
     }
     if let Some(window) = req.vbase_window {
@@ -181,22 +196,29 @@ impl<P: DistanceProvider + 'static> AnnIndex for GraphIndex<P> {
     }
 
     fn search(&self, req: &SearchRequest) -> SearchResponse {
-        if req.adsampling.is_some() || req.vbase_window.is_some() {
-            return serve_layers(self.inner.provider(), &self.frozen(), &self.samplers, req);
-        }
-        let q = &req.query[..];
-        let (k, ef) = (req.k, req.ef);
-        if let Some(f) = &req.filter {
-            // finish_pool applies the rerank step to the filtered pool.
-            let f = Arc::clone(f);
-            let accept = move |id: u32| f(u64::from(id));
-            let pool = self.inner.search_filtered(q, req.pool_k(), ef, &accept);
-            SearchResponse::from_hits(finish_pool(self.inner.provider().base(), req, pool, true))
-        } else if req.wants_rerank() {
-            SearchResponse::from_hits(self.inner.search_rerank(q, k, ef, req.rerank))
-        } else {
-            SearchResponse::from_hits(self.inner.search(q, k, ef))
-        }
+        profiled(|| {
+            if req.adsampling.is_some() || req.vbase_window.is_some() {
+                return serve_layers(self.inner.provider(), &self.frozen(), &self.samplers, req);
+            }
+            let q = &req.query[..];
+            let (k, ef) = (req.k, req.ef);
+            if let Some(f) = &req.filter {
+                // finish_pool applies the rerank step to the filtered pool.
+                let f = Arc::clone(f);
+                let accept = move |id: u32| f(u64::from(id));
+                let pool = self.inner.search_filtered(q, req.pool_k(), ef, &accept);
+                SearchResponse::from_hits(finish_pool(
+                    self.inner.provider().base(),
+                    req,
+                    pool,
+                    true,
+                ))
+            } else if req.wants_rerank() {
+                SearchResponse::from_hits(self.inner.search_rerank(q, k, ef, req.rerank))
+            } else {
+                SearchResponse::from_hits(self.inner.search(q, k, ef))
+            }
+        })
     }
 
     fn memory_bytes(&self) -> usize {
@@ -284,28 +306,30 @@ impl<I: FlatAnn + 'static> AnnIndex for FlatVariant<I> {
     }
 
     fn search(&self, req: &SearchRequest) -> SearchResponse {
-        if req.adsampling.is_some() || req.vbase_window.is_some() {
-            return serve_layers(self.inner.provider(), self.layers(), &self.samplers, req);
-        }
-        let (provider, graph) = (self.inner.provider(), self.inner.graph());
-        let q = &req.query[..];
-        let ef = req.ef;
-        if let Some(f) = &req.filter {
-            let f = Arc::clone(f);
-            let accept = move |id: u32| f(u64::from(id));
-            let pool = search_flat_filtered(provider, graph, q, req.pool_k(), ef, &accept);
-            return SearchResponse::from_hits(finish_pool(provider.base(), req, pool, true));
-        }
-        if req.wants_rerank() {
-            let pool = search_flat(provider, graph, q, req.pool_k(), ef);
-            return SearchResponse::from_hits(graphs::rerank_exact(
-                provider.base(),
-                q,
-                pool,
-                req.k,
-            ));
-        }
-        SearchResponse::from_hits(search_flat(provider, graph, q, req.k, ef))
+        profiled(|| {
+            if req.adsampling.is_some() || req.vbase_window.is_some() {
+                return serve_layers(self.inner.provider(), self.layers(), &self.samplers, req);
+            }
+            let (provider, graph) = (self.inner.provider(), self.inner.graph());
+            let q = &req.query[..];
+            let ef = req.ef;
+            if let Some(f) = &req.filter {
+                let f = Arc::clone(f);
+                let accept = move |id: u32| f(u64::from(id));
+                let pool = search_flat_filtered(provider, graph, q, req.pool_k(), ef, &accept);
+                return SearchResponse::from_hits(finish_pool(provider.base(), req, pool, true));
+            }
+            if req.wants_rerank() {
+                let pool = search_flat(provider, graph, q, req.pool_k(), ef);
+                return SearchResponse::from_hits(graphs::rerank_exact(
+                    provider.base(),
+                    q,
+                    pool,
+                    req.k,
+                ));
+            }
+            SearchResponse::from_hits(search_flat(provider, graph, q, req.k, ef))
+        })
     }
 
     fn memory_bytes(&self) -> usize {
@@ -372,7 +396,7 @@ impl<P: DistanceProvider + 'static> AnnIndex for FrozenIndex<P> {
     }
 
     fn search(&self, req: &SearchRequest) -> SearchResponse {
-        serve_layers(&self.provider, &self.graph, &self.samplers, req)
+        profiled(|| serve_layers(&self.provider, &self.graph, &self.samplers, req))
     }
 
     fn memory_bytes(&self) -> usize {
@@ -418,20 +442,27 @@ impl AnnIndex for FlatIndex {
     }
 
     fn search(&self, req: &SearchRequest) -> SearchResponse {
-        let accept = |id: u64| req.filter.as_ref().is_none_or(|f| f(id));
-        let mut hits: Vec<Hit> = self
-            .base
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| accept(*i as u64))
-            .map(|(i, v)| Hit {
-                id: i as u64,
-                dist: simdops::l2_sq(&req.query, v),
-            })
-            .collect();
-        hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-        hits.truncate(req.k);
-        SearchResponse::from_hits(hits)
+        profiled(|| {
+            let accept = |id: u64| req.filter.as_ref().is_none_or(|f| f(id));
+            let mut hits: Vec<Hit> = self
+                .base
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| accept(*i as u64))
+                .map(|(i, v)| Hit {
+                    id: i as u64,
+                    dist: simdops::l2_sq(&req.query, v),
+                })
+                .collect();
+            // Linear scan: one exact evaluation per accepted vector.
+            graphs::profile_record(metrics::QueryProfile {
+                dist_exact: hits.len() as u64,
+                ..metrics::QueryProfile::new()
+            });
+            hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+            hits.truncate(req.k);
+            SearchResponse::from_hits(hits)
+        })
     }
 
     fn memory_bytes(&self) -> usize {
@@ -473,12 +504,14 @@ impl AnnIndex for LsmVectorIndex {
     }
 
     fn search(&self, req: &SearchRequest) -> SearchResponse {
-        let mut hits = LsmVectorIndex::search(self, &req.query, post_filter_pool(req), req.ef);
-        if let Some(f) = &req.filter {
-            hits.retain(|h| f(h.id));
-        }
-        hits.truncate(req.k);
-        SearchResponse::from_hits(hits)
+        profiled(|| {
+            let mut hits = LsmVectorIndex::search(self, &req.query, post_filter_pool(req), req.ef);
+            if let Some(f) = &req.filter {
+                hits.retain(|h| f(h.id));
+            }
+            hits.truncate(req.k);
+            SearchResponse::from_hits(hits)
+        })
     }
 
     fn memory_bytes(&self) -> usize {
@@ -504,12 +537,15 @@ impl<P: DistanceProvider + 'static> AnnIndex for LabeledHnsw<P> {
         let Some(label) = req.label else {
             return SearchResponse::default();
         };
-        let mut hits = LabeledHnsw::search(self, &req.query, label, post_filter_pool(req), req.ef);
-        if let Some(f) = &req.filter {
-            hits.retain(|h| f(h.id));
-        }
-        hits.truncate(req.k);
-        SearchResponse::from_hits(hits)
+        profiled(|| {
+            let mut hits =
+                LabeledHnsw::search(self, &req.query, label, post_filter_pool(req), req.ef);
+            if let Some(f) = &req.filter {
+                hits.retain(|h| f(h.id));
+            }
+            hits.truncate(req.k);
+            SearchResponse::from_hits(hits)
+        })
     }
 
     fn memory_bytes(&self) -> usize {

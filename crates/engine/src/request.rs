@@ -1,7 +1,7 @@
 //! The unified request/response model.
 
 use graphs::Hit;
-use metrics::TraceContext;
+use metrics::{QueryProfile, TraceContext};
 use std::fmt;
 use std::sync::Arc;
 
@@ -182,6 +182,11 @@ pub struct SearchResponse {
     pub hits: Vec<Hit>,
     /// Work counters, where the search path tracks them.
     pub stats: SearchStats,
+    /// Structural cost profile of serving this request: hops, distance
+    /// evaluations, bytes touched. Deterministic per `(seed, topology)`;
+    /// aggregating layers sum the profiles of the leaf searches they
+    /// fanned out to, and cache hits report an all-zero profile.
+    pub profile: QueryProfile,
 }
 
 impl SearchResponse {
@@ -190,6 +195,7 @@ impl SearchResponse {
         Self {
             hits,
             stats: SearchStats::default(),
+            profile: QueryProfile::new(),
         }
     }
 

@@ -20,6 +20,7 @@
 
 use crate::request::{AdSamplingOptions, SearchRequest, SearchResponse, SearchStats};
 use graphs::Hit;
+use metrics::QueryProfile;
 use std::fmt;
 
 /// Why encoding or decoding a wire value failed.
@@ -297,6 +298,10 @@ pub fn encode_response(response: &SearchResponse, w: &mut WireWriter) {
     }
     w.put_u64(response.stats.evaluated);
     w.put_u64(response.stats.abandoned);
+    // The cost profile travels as its canonical fixed-order field array.
+    for x in response.profile.as_array() {
+        w.put_u64(x);
+    }
 }
 
 /// Decodes one [`SearchResponse`] from `r` (the inverse of
@@ -313,7 +318,15 @@ pub fn decode_response(r: &mut WireReader<'_>) -> Result<SearchResponse, WireErr
         evaluated: r.get_u64()?,
         abandoned: r.get_u64()?,
     };
-    Ok(SearchResponse { hits, stats })
+    let mut fields = [0u64; metrics::profile::PROFILE_FIELDS.len()];
+    for slot in &mut fields {
+        *slot = r.get_u64()?;
+    }
+    Ok(SearchResponse {
+        hits,
+        stats,
+        profile: QueryProfile::from_array(fields),
+    })
 }
 
 #[cfg(test)]
@@ -390,6 +403,17 @@ mod tests {
                 evaluated: 42,
                 abandoned: 7,
             },
+            profile: QueryProfile {
+                hops_upper: 1,
+                hops_base: 2,
+                dist_coded: 3,
+                dist_exact: 4,
+                rows_scored: 5,
+                codeword_bytes: 6,
+                visited_inserts: 7,
+                rerank_pool: 8,
+                scratch_checkouts: 9,
+            },
         };
         let mut w = WireWriter::new();
         encode_response(&response, &mut w);
@@ -399,6 +423,23 @@ mod tests {
         r.finish().unwrap();
         assert_eq!(decoded.hits, response.hits);
         assert_eq!(decoded.stats, response.stats);
+        assert_eq!(decoded.profile, response.profile);
+    }
+
+    #[test]
+    fn truncated_response_profile_is_rejected() {
+        let mut w = WireWriter::new();
+        encode_response(
+            &SearchResponse::from_hits(vec![Hit { id: 1, dist: 2.0 }]),
+            &mut w,
+        );
+        let bytes = w.into_bytes();
+        // Cut inside the profile field array.
+        let mut r = WireReader::new(&bytes[..bytes.len() - 4]);
+        assert!(matches!(
+            decode_response(&mut r),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -217,6 +217,10 @@ impl DistanceProvider for FlashProvider {
         }
     }
 
+    fn coded(&self) -> bool {
+        true
+    }
+
     fn aux_bytes(&self) -> usize {
         // Global codewords replace the original vectors; shared codec state
         // (codebooks, SDT, PCA basis) is counted once.

@@ -111,14 +111,18 @@ impl AdSampler {
 
         // Greedy descent through upper layers with full distances (cheap:
         // few hops) — abandonment only pays off in the base-layer beam.
+        let mut profile = metrics::QueryProfile::new();
         let mut cur = graph.entry;
         let mut cur_d = simdops::l2_sq(&q_rot, self.rotated.get(cur as usize));
+        profile.dist_exact += 1;
         for layer in (1..=graph.max_layer).rev() {
             loop {
                 let mut improved = false;
+                profile.hops_upper += 1;
                 for &nb in graph.neighbors(layer, cur) {
                     let d = simdops::l2_sq(&q_rot, self.rotated.get(nb as usize));
                     stats.evals += 1;
+                    profile.dist_exact += 1;
                     if d < cur_d {
                         cur = nb;
                         cur_d = d;
@@ -130,6 +134,7 @@ impl AdSampler {
                 }
             }
         }
+        crate::scratch::profile_record(profile);
 
         // Base-layer beam with early abandon. Per-query state is pooled;
         // the progressive evaluation itself cannot be block-batched (each
@@ -138,6 +143,7 @@ impl AdSampler {
         with_scratch::<(), _>(|scratch| {
             scratch.visited.begin(graph.len());
             scratch.visited.check_and_mark(cur);
+            scratch.profile.visited_inserts += 1;
             let mut top = scratch.take_results();
             let mut frontier = scratch.take_frontier();
             top.push((OrdF32(cur_d), cur));
@@ -151,10 +157,13 @@ impl AdSampler {
                 if let Some(&(Reverse(_), next)) = frontier.peek() {
                     simdops::prefetch_slice(self.rotated.get(next as usize));
                 }
+                scratch.profile.hops_base += 1;
                 for &nb in graph.neighbors(0, u) {
                     if scratch.visited.check_and_mark(nb) {
                         continue;
                     }
+                    scratch.profile.visited_inserts += 1;
+                    scratch.profile.dist_exact += 1;
                     let threshold = if top.len() >= ef {
                         top.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY)
                     } else {

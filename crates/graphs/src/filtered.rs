@@ -151,6 +151,11 @@ impl<P: DistanceProvider> LabeledHnsw<P> {
                 })
                 .collect(),
             PartitionIndex::Flat(vectors) => {
+                // Brute-force partition scan: one exact eval per vector.
+                crate::scratch::profile_record(metrics::QueryProfile {
+                    dist_exact: vectors.len() as u64,
+                    ..metrics::QueryProfile::new()
+                });
                 let mut hits: Vec<Hit> = vectors
                     .iter()
                     .enumerate()

@@ -261,12 +261,16 @@ pub fn search_flat_filtered<P: DistanceProvider>(
     }
     let ef = ef.max(k);
     let ctx = provider.prepare_query(query);
+    let cf = provider.coded() as u64;
 
     with_scratch::<P::NodePayload, _>(|scratch| {
         let entry = graph.entry;
         let d0 = provider.dist_to(&ctx, entry);
         scratch.visited.begin(graph.len());
         scratch.visited.check_and_mark(entry);
+        scratch.profile.dist_coded += cf;
+        scratch.profile.dist_exact += 1 - cf;
+        scratch.profile.visited_inserts += 1;
 
         let mut results = scratch.take_results();
         let mut frontier = scratch.take_frontier();
@@ -289,6 +293,8 @@ pub fn search_flat_filtered<P: DistanceProvider>(
                     scratch.ids.push(nb);
                 }
             }
+            scratch.profile.hops_base += 1;
+            scratch.profile.visited_inserts += scratch.ids.len() as u64;
             if scratch.ids.is_empty() {
                 continue;
             }
@@ -298,6 +304,11 @@ pub fn search_flat_filtered<P: DistanceProvider>(
             }
             provider.sync_payload(&mut scratch.payload, &scratch.ids);
             provider.dist_to_neighbors(&ctx, &scratch.ids, &scratch.payload, &mut scratch.dists);
+            let n = scratch.ids.len() as u64;
+            scratch.profile.rows_scored += 1;
+            scratch.profile.dist_coded += n * cf;
+            scratch.profile.dist_exact += n * (1 - cf);
+            scratch.profile.codeword_bytes += provider.payload_bytes(scratch.ids.len()) as u64;
             for (&nb, &nd) in scratch.ids.iter().zip(&scratch.dists) {
                 let worst = results
                     .peek()

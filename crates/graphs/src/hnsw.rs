@@ -20,6 +20,7 @@ use crate::graph::GraphLayers;
 use crate::provider::DistanceProvider;
 use crate::visited::{VisitedList, VisitedPool};
 use crate::{Hit, OrdF32};
+use metrics::QueryProfile;
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -264,16 +265,19 @@ impl<P: DistanceProvider> Hnsw<P> {
         };
 
         // Greedy descent through layers above this vertex's level.
+        // Construction cost is not query cost: the profile is discarded.
+        let mut discard = QueryProfile::new();
         let mut layer = ep_level;
         while layer > level {
-            cur = self.greedy_closest(&ctx, cur, layer);
+            cur = self.greedy_closest(&ctx, cur, layer, &mut discard);
             layer -= 1;
         }
 
         // CA + NS per layer, top-down.
         let mut visited = self.visited.take();
         for l in (0..=level.min(ep_level)).rev() {
-            let candidates = self.search_layer(&ctx, cur, self.params.c, l, &mut visited);
+            let candidates =
+                self.search_layer(&ctx, cur, self.params.c, l, &mut visited, &mut discard);
             if candidates.is_empty() {
                 continue;
             }
@@ -309,13 +313,23 @@ impl<P: DistanceProvider> Hnsw<P> {
 
     /// Greedy walk to the locally closest vertex at `layer` (used for the
     /// descent through upper layers, ef = 1).
-    fn greedy_closest(&self, ctx: &P::QueryCtx, start: u32, layer: usize) -> u32 {
+    fn greedy_closest(
+        &self,
+        ctx: &P::QueryCtx,
+        start: u32,
+        layer: usize,
+        profile: &mut QueryProfile,
+    ) -> u32 {
+        let cf = self.provider.coded() as u64;
         let mut cur = start;
         let mut cur_d = self.provider.dist_to(ctx, cur);
+        profile.dist_coded += cf;
+        profile.dist_exact += 1 - cf;
         let mut ids = Vec::new();
         let mut dists = Vec::new();
         loop {
-            self.neighbor_dists(ctx, cur, layer, &mut ids, &mut dists);
+            self.neighbor_dists(ctx, cur, layer, &mut ids, &mut dists, profile);
+            profile.hops_upper += 1;
             let mut improved = false;
             for (&id, &d) in ids.iter().zip(dists.iter()) {
                 if d < cur_d {
@@ -341,6 +355,7 @@ impl<P: DistanceProvider> Hnsw<P> {
         layer: usize,
         ids: &mut Vec<u32>,
         dists: &mut Vec<f32>,
+        profile: &mut QueryProfile,
     ) {
         let guard = self.nodes[node as usize].lock();
         ids.clear();
@@ -351,6 +366,12 @@ impl<P: DistanceProvider> Hnsw<P> {
         ids.extend_from_slice(&guard.neighbors[layer]);
         self.provider
             .dist_to_neighbors(ctx, ids, &guard.payloads[layer], dists);
+        let cf = self.provider.coded() as u64;
+        let n = ids.len() as u64;
+        profile.rows_scored += 1;
+        profile.dist_coded += n * cf;
+        profile.dist_exact += n * (1 - cf);
+        profile.codeword_bytes += self.provider.payload_bytes(ids.len()) as u64;
     }
 
     /// Beam search at one layer (the Candidate Acquisition stage): returns
@@ -362,9 +383,14 @@ impl<P: DistanceProvider> Hnsw<P> {
         ef: usize,
         layer: usize,
         visited: &mut VisitedList,
+        profile: &mut QueryProfile,
     ) -> Vec<(f32, u32)> {
+        let cf = self.provider.coded() as u64;
         let d0 = self.provider.dist_to(ctx, entry);
+        profile.dist_coded += cf;
+        profile.dist_exact += 1 - cf;
         visited.check_and_mark(entry);
+        profile.visited_inserts += 1;
 
         // `top` is a max-heap of the best `ef` (farthest on top);
         // `frontier` a min-heap of vertices to expand.
@@ -380,11 +406,13 @@ impl<P: DistanceProvider> Hnsw<P> {
             if d > worst && top.len() >= ef {
                 break;
             }
-            self.neighbor_dists(ctx, u, layer, &mut ids, &mut dists);
+            self.neighbor_dists(ctx, u, layer, &mut ids, &mut dists, profile);
+            profile.hops_base += 1;
             for (&id, &nd) in ids.iter().zip(dists.iter()) {
                 if visited.check_and_mark(id) {
                     continue;
                 }
+                profile.visited_inserts += 1;
                 let worst = top.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
                 // `<=` rather than `<`: quantized providers produce integer
                 // distances with heavy ties, and rejecting boundary ties
@@ -467,12 +495,14 @@ impl<P: DistanceProvider> Hnsw<P> {
         drop(ep);
 
         let ctx = self.provider.prepare_query(query);
+        let mut profile = QueryProfile::new();
         for layer in (1..=ep_level).rev() {
-            cur = self.greedy_closest(&ctx, cur, layer);
+            cur = self.greedy_closest(&ctx, cur, layer, &mut profile);
         }
         let mut visited = self.visited.take();
-        let found = self.search_layer(&ctx, cur, ef.max(k), 0, &mut visited);
+        let found = self.search_layer(&ctx, cur, ef.max(k), 0, &mut visited, &mut profile);
         self.visited.put(visited);
+        crate::scratch::profile_record(profile);
         found
             .into_iter()
             .take(k)
@@ -503,14 +533,19 @@ impl<P: DistanceProvider> Hnsw<P> {
         drop(ep);
 
         let ctx = self.provider.prepare_query(query);
+        let mut profile = QueryProfile::new();
         for layer in (1..=ep_level).rev() {
-            cur = self.greedy_closest(&ctx, cur, layer);
+            cur = self.greedy_closest(&ctx, cur, layer, &mut profile);
         }
 
+        let cf = self.provider.coded() as u64;
         let ef = ef.max(k);
         let mut visited = self.visited.take();
         let d0 = self.provider.dist_to(&ctx, cur);
+        profile.dist_coded += cf;
+        profile.dist_exact += 1 - cf;
         visited.check_and_mark(cur);
+        profile.visited_inserts += 1;
 
         // `results` holds only accepted vertices; `frontier` expands all.
         let mut results: BinaryHeap<(OrdF32, u32)> = BinaryHeap::with_capacity(ef + 1);
@@ -530,11 +565,13 @@ impl<P: DistanceProvider> Hnsw<P> {
             if d > worst && results.len() >= ef {
                 break;
             }
-            self.neighbor_dists(&ctx, u, 0, &mut ids, &mut dists);
+            self.neighbor_dists(&ctx, u, 0, &mut ids, &mut dists, &mut profile);
+            profile.hops_base += 1;
             for (&id, &nd) in ids.iter().zip(dists.iter()) {
                 if visited.check_and_mark(id) {
                     continue;
                 }
+                profile.visited_inserts += 1;
                 let worst = results
                     .peek()
                     .map(|&(OrdF32(w), _)| w)
@@ -551,6 +588,7 @@ impl<P: DistanceProvider> Hnsw<P> {
             }
         }
         self.visited.put(visited);
+        crate::scratch::profile_record(profile);
 
         let mut out: Vec<Hit> = results
             .into_iter()

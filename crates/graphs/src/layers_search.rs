@@ -23,7 +23,17 @@ use crate::provider::DistanceProvider;
 use crate::scratch::{with_scratch, SearchScratch};
 use crate::Hit;
 use crate::OrdF32;
+use metrics::QueryProfile;
 use std::cmp::Reverse;
+
+/// Splits `n` distance evaluations coded-vs-exact with the provider's
+/// hoisted `coded()` flag (`cf ∈ {0, 1}`) — a multiply instead of a
+/// branch, so the profile costs nothing on the beam's hot loop.
+#[inline]
+fn add_evals(profile: &mut QueryProfile, n: u64, cf: u64) {
+    profile.dist_coded += n * cf;
+    profile.dist_exact += n * (1 - cf);
+}
 
 /// k-NN beam search (greedy upper-layer descent, `ef`-wide base beam)
 /// over a frozen topology.
@@ -48,8 +58,10 @@ pub(crate) fn descend<P: DistanceProvider>(
     ctx: &P::QueryCtx,
     scratch: &mut SearchScratch<P::NodePayload>,
 ) -> (u32, f32) {
+    let cf = provider.coded() as u64;
     let mut cur = graph.entry;
     let mut cur_d = provider.dist_to(ctx, cur);
+    add_evals(&mut scratch.profile, 1, cf);
     for layer in (1..=graph.max_layer).rev() {
         loop {
             let row = graph.neighbors(layer, cur);
@@ -60,6 +72,10 @@ pub(crate) fn descend<P: DistanceProvider>(
             scratch.ids.extend_from_slice(row);
             provider.sync_payload(&mut scratch.payload, &scratch.ids);
             provider.dist_to_neighbors(ctx, &scratch.ids, &scratch.payload, &mut scratch.dists);
+            scratch.profile.hops_upper += 1;
+            scratch.profile.rows_scored += 1;
+            scratch.profile.codeword_bytes += provider.payload_bytes(row.len()) as u64;
+            add_evals(&mut scratch.profile, row.len() as u64, cf);
             let mut improved = false;
             for (&nb, &d) in scratch.ids.iter().zip(&scratch.dists) {
                 if d < cur_d {
@@ -94,12 +110,14 @@ pub fn search_layers_filtered<P: DistanceProvider>(
     }
     let ef = ef.max(k).max(1);
     let ctx = provider.prepare_query(query);
+    let cf = provider.coded() as u64;
 
     with_scratch::<P::NodePayload, _>(|scratch| {
         let (cur, cur_d) = descend(provider, graph, &ctx, scratch);
 
         scratch.visited.begin(graph.len());
         scratch.visited.check_and_mark(cur);
+        scratch.profile.visited_inserts += 1;
         // `results` holds only accepted vertices; `frontier` expands all.
         let mut results = scratch.take_results();
         let mut frontier = scratch.take_frontier();
@@ -123,6 +141,8 @@ pub fn search_layers_filtered<P: DistanceProvider>(
                     scratch.ids.push(nb);
                 }
             }
+            scratch.profile.hops_base += 1;
+            scratch.profile.visited_inserts += scratch.ids.len() as u64;
             if scratch.ids.is_empty() {
                 continue;
             }
@@ -133,6 +153,9 @@ pub fn search_layers_filtered<P: DistanceProvider>(
             }
             provider.sync_payload(&mut scratch.payload, &scratch.ids);
             provider.dist_to_neighbors(&ctx, &scratch.ids, &scratch.payload, &mut scratch.dists);
+            scratch.profile.rows_scored += 1;
+            scratch.profile.codeword_bytes += provider.payload_bytes(scratch.ids.len()) as u64;
+            add_evals(&mut scratch.profile, scratch.ids.len() as u64, cf);
             for (&nb, &nd) in scratch.ids.iter().zip(&scratch.dists) {
                 let worst = results
                     .peek()
@@ -228,12 +251,14 @@ pub fn search_layers_cached<P: DistanceProvider>(
     }
     let ef = ef.max(k).max(1);
     let ctx = provider.prepare_query(query);
+    let cf = provider.coded() as u64;
 
     with_scratch::<P::NodePayload, _>(|scratch| {
         let (cur, cur_d) = descend(provider, graph, &ctx, scratch);
 
         scratch.visited.begin(graph.len());
         scratch.visited.check_and_mark(cur);
+        scratch.profile.visited_inserts += 1;
         let mut results = scratch.take_results();
         let mut frontier = scratch.take_frontier();
         results.push((OrdF32(cur_d), cur));
@@ -256,10 +281,17 @@ pub fn search_layers_cached<P: DistanceProvider>(
                 simdops::prefetch_slice(graph.neighbors(0, next));
             }
             provider.dist_to_neighbors(&ctx, row, payloads.row(u), &mut scratch.dists);
+            // Whole-row scoring: every lane is evaluated, visited or not,
+            // and the prebuilt block is read in full.
+            scratch.profile.hops_base += 1;
+            scratch.profile.rows_scored += 1;
+            scratch.profile.codeword_bytes += provider.payload_bytes(row.len()) as u64;
+            add_evals(&mut scratch.profile, row.len() as u64, cf);
             for (&nb, &nd) in row.iter().zip(&scratch.dists) {
                 if scratch.visited.check_and_mark(nb) {
                     continue;
                 }
+                scratch.profile.visited_inserts += 1;
                 let worst = results
                     .peek()
                     .map(|&(OrdF32(w), _)| w)

@@ -47,9 +47,13 @@ pub use kgraph::{KGraph, KGraphParams};
 pub use layers_search::{
     search_layers, search_layers_cached, search_layers_filtered, search_layers_rerank, NodePayloads,
 };
+pub use metrics::QueryProfile;
 pub use nsg::{Nsg, NsgParams};
 pub use provider::DistanceProvider;
-pub use scratch::{scratch_stats, ScratchStats};
+pub use scratch::{
+    profile_record, profile_reset, profile_take, register_scratch_metrics, scratch_stats,
+    scratch_stats_global, ScratchStats,
+};
 pub use taumg::{TauMg, TauMgParams};
 pub use vamana::{Vamana, VamanaParams};
 
@@ -90,6 +94,11 @@ pub fn rerank_exact(
     pool: Vec<Hit>,
     k: usize,
 ) -> Vec<Hit> {
+    scratch::profile_record(QueryProfile {
+        dist_exact: pool.len() as u64,
+        rerank_pool: pool.len() as u64,
+        ..QueryProfile::new()
+    });
     let mut exact: Vec<Hit> = pool
         .into_iter()
         .map(|h| Hit {

@@ -76,6 +76,15 @@ pub trait DistanceProvider: Sync + Send {
     #[inline]
     fn prefetch(&self, _id: u32) {}
 
+    /// Whether this provider's CA-stage distances are computed against
+    /// compressed codes (`true` for PQ/OPQ/SQ/PCA/Flash) rather than
+    /// full-precision vectors. Purely observational: query-cost profiles
+    /// use it to split distance evaluations coded-vs-exact. Constant per
+    /// provider, so kernels hoist it out of their loops.
+    fn coded(&self) -> bool {
+        false
+    }
+
     /// Bytes of compressed per-vector state this provider stores globally
     /// (codes, tables) — for index-size accounting. Excludes node payloads,
     /// which the graph accounts separately.

@@ -100,6 +100,10 @@ impl DistanceProvider for OpqProvider {
             .sdc_distance(&self.sdc, self.codes_of(a), self.codes_of(b))
     }
 
+    fn coded(&self) -> bool {
+        true
+    }
+
     fn aux_bytes(&self) -> usize {
         use quantizers::Codec;
         // Codes replace the vectors; the rotation matrix and SDC tables are

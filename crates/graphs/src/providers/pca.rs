@@ -94,6 +94,10 @@ impl DistanceProvider for PcaProvider {
         )
     }
 
+    fn coded(&self) -> bool {
+        true
+    }
+
     fn aux_bytes(&self) -> usize {
         self.projected.payload_bytes()
     }

@@ -91,6 +91,10 @@ impl DistanceProvider for PqProvider {
             .sdc_distance(&self.sdc, self.codes_of(a), self.codes_of(b))
     }
 
+    fn coded(&self) -> bool {
+        true
+    }
+
     fn aux_bytes(&self) -> usize {
         // Packed codes replace the original vectors; SDC tables are shared.
         use quantizers::Codec;

@@ -82,6 +82,10 @@ impl DistanceProvider for SqProvider {
         self.sq.dist_sq_u8(self.codes_of(a), self.codes_of(b))
     }
 
+    fn coded(&self) -> bool {
+        true
+    }
+
     fn aux_bytes(&self) -> usize {
         self.codes.len()
     }
@@ -142,6 +146,10 @@ impl DistanceProvider for Sq16Provider {
     #[inline]
     fn dist_between(&self, a: u32, b: u32) -> f32 {
         self.sq.dist_sq_u16(self.codes_of(a), self.codes_of(b))
+    }
+
+    fn coded(&self) -> bool {
+        true
     }
 
     fn aux_bytes(&self) -> usize {

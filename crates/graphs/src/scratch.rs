@@ -16,10 +16,12 @@
 
 use crate::visited::VisitedList;
 use crate::OrdF32;
+use metrics::QueryProfile;
 use std::any::{Any, TypeId};
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Reusable search state for one in-flight query.
 ///
@@ -38,6 +40,11 @@ pub struct SearchScratch<PL> {
     pub(crate) dists: Vec<f32>,
     /// Provider payload for the gathered ids (Flash: codeword blocks).
     pub(crate) payload: PL,
+    /// Structural cost counters for the query in flight. Zeroed at
+    /// checkout, flushed to the thread's [`profile_take`] accumulator at
+    /// return — plain integer adds on the search path, no allocation,
+    /// no branches.
+    pub(crate) profile: QueryProfile,
 }
 
 impl<PL: Default> SearchScratch<PL> {
@@ -49,6 +56,7 @@ impl<PL: Default> SearchScratch<PL> {
             ids: Vec::new(),
             dists: Vec::new(),
             payload: PL::default(),
+            profile: QueryProfile::new(),
         }
     }
 
@@ -91,7 +99,14 @@ thread_local! {
         RefCell::new(HashMap::new());
     static CREATED: Cell<u64> = const { Cell::new(0) };
     static CHECKOUTS: Cell<u64> = const { Cell::new(0) };
+    static PROFILE: Cell<QueryProfile> = const { Cell::new(QueryProfile::new()) };
 }
+
+/// Process-wide mirrors of the thread-local pool counters, so a scrape
+/// can see allocator health across the whole fleet of search threads
+/// (the thread-local [`scratch_stats`] only sees the calling thread).
+static CREATED_GLOBAL: AtomicU64 = AtomicU64::new(0);
+static CHECKOUTS_GLOBAL: AtomicU64 = AtomicU64::new(0);
 
 /// This thread's pool counters (the zero-allocation assertion hook).
 pub fn scratch_stats() -> ScratchStats {
@@ -101,11 +116,58 @@ pub fn scratch_stats() -> ScratchStats {
     }
 }
 
+/// Pool counters summed over every thread that ever checked out a
+/// scratch — the numbers behind the `graphs.scratch.*` metrics.
+pub fn scratch_stats_global() -> ScratchStats {
+    ScratchStats {
+        created: CREATED_GLOBAL.load(Ordering::Relaxed),
+        checkouts: CHECKOUTS_GLOBAL.load(Ordering::Relaxed),
+    }
+}
+
+/// Registers the process-wide scratch counters with the global
+/// [`metrics::MetricsRegistry`] as `graphs.scratch.{created,checkouts}`
+/// (idempotent; re-registration replaces the source with an identical
+/// one). Steady state on a healthy fleet is "checkouts grow, created
+/// doesn't" — the fleet-wide version of the zero-allocation assertion.
+pub fn register_scratch_metrics() {
+    metrics::MetricsRegistry::global().register_source("graphs.scratch", || {
+        let stats = scratch_stats_global();
+        metrics::Json::Obj(vec![
+            ("created".into(), metrics::Json::uint(stats.created)),
+            ("checkouts".into(), metrics::Json::uint(stats.checkouts)),
+        ])
+    });
+}
+
+/// Resets this thread's query-profile accumulator (called by the
+/// serving layer at the start of each profiled query).
+pub fn profile_reset() {
+    PROFILE.with(|p| p.set(QueryProfile::new()));
+}
+
+/// Takes this thread's accumulated query profile, leaving zero behind.
+pub fn profile_take() -> QueryProfile {
+    PROFILE.with(|p| p.replace(QueryProfile::new()))
+}
+
+/// Adds `profile` into this thread's accumulator — the hook for search
+/// paths that run outside [`with_scratch`] (live `Hnsw` beams, exact
+/// rerank, brute-force scans).
+pub fn profile_record(profile: QueryProfile) {
+    PROFILE.with(|p| {
+        let mut current = p.get();
+        current.add(&profile);
+        p.set(current);
+    });
+}
+
 /// Runs `f` with a pooled [`SearchScratch`], creating one only if this
 /// thread's pool has none for payload type `PL`. The scratch returns to
 /// the pool afterwards (it is dropped instead if `f` panics).
 pub fn with_scratch<PL: Default + 'static, R>(f: impl FnOnce(&mut SearchScratch<PL>) -> R) -> R {
     CHECKOUTS.with(|c| c.set(c.get() + 1));
+    CHECKOUTS_GLOBAL.fetch_add(1, Ordering::Relaxed);
     let mut scratch: Box<SearchScratch<PL>> = POOL
         .with(|p| {
             p.borrow_mut()
@@ -115,15 +177,22 @@ pub fn with_scratch<PL: Default + 'static, R>(f: impl FnOnce(&mut SearchScratch<
         .map(|b| b.downcast().expect("pool entries are keyed by TypeId"))
         .unwrap_or_else(|| {
             CREATED.with(|c| c.set(c.get() + 1));
+            CREATED_GLOBAL.fetch_add(1, Ordering::Relaxed);
             Box::new(SearchScratch::new())
         });
+    scratch.profile = QueryProfile {
+        scratch_checkouts: 1,
+        ..QueryProfile::new()
+    };
     let out = f(&mut scratch);
+    let profile = scratch.profile;
     POOL.with(|p| {
         p.borrow_mut()
             .entry(TypeId::of::<PL>())
             .or_default()
             .push(scratch)
     });
+    profile_record(profile);
     out
 }
 

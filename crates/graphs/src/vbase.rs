@@ -39,6 +39,7 @@ pub fn search_vbase<P: DistanceProvider>(
     }
     let window = window.max(1);
     let ctx = provider.prepare_query(query);
+    let cf = provider.coded() as u64;
 
     with_scratch::<P::NodePayload, _>(|scratch| {
         let (cur, cur_d) = crate::layers_search::descend(provider, graph, &ctx, scratch);
@@ -46,6 +47,7 @@ pub fn search_vbase<P: DistanceProvider>(
         // Base-layer expansion with windowed termination.
         scratch.visited.begin(graph.len());
         scratch.visited.check_and_mark(cur);
+        scratch.profile.visited_inserts += 1;
         let mut topk = scratch.take_results();
         let mut frontier = scratch.take_frontier();
         topk.push((OrdF32(cur_d), cur));
@@ -62,6 +64,8 @@ pub fn search_vbase<P: DistanceProvider>(
                     scratch.ids.push(nb);
                 }
             }
+            scratch.profile.hops_base += 1;
+            scratch.profile.visited_inserts += scratch.ids.len() as u64;
             let mut improved = false;
             if !scratch.ids.is_empty() {
                 if let Some(&(Reverse(_), next)) = frontier.peek() {
@@ -75,6 +79,11 @@ pub fn search_vbase<P: DistanceProvider>(
                     &scratch.payload,
                     &mut scratch.dists,
                 );
+                let n = scratch.ids.len() as u64;
+                scratch.profile.rows_scored += 1;
+                scratch.profile.dist_coded += n * cf;
+                scratch.profile.dist_exact += n * (1 - cf);
+                scratch.profile.codeword_bytes += provider.payload_bytes(scratch.ids.len()) as u64;
                 for (&nb, &nd) in scratch.ids.iter().zip(&scratch.dists) {
                     let kth = topk
                         .peek()

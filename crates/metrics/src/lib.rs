@@ -14,15 +14,24 @@
 //!   spans, and the lock-free span ring the serving layers record into;
 //! * [`registry`] — the process-wide named counter/gauge/histogram
 //!   registry, snapshot-able as [`Json`];
+//! * [`openmetrics`] — OpenMetrics text exposition for the registry
+//!   (the `/metrics` scrape body);
+//! * [`profile`] — per-query structural cost counters ([`QueryProfile`]):
+//!   hops, coded/exact distance evals, rows scored, codeword bytes;
+//! * [`slo`] — windowed error-budget objectives with fast/slow
+//!   multi-window burn-rate breach detection;
 //! * [`PhaseTimer`] — named wall-clock phases for indexing-time breakdowns.
 
 pub mod adr;
 pub mod failover;
 pub mod latency;
+pub mod openmetrics;
+pub mod profile;
 pub mod qps;
 pub mod recall;
 pub mod registry;
 pub mod report;
+pub mod slo;
 mod timer;
 pub mod trace;
 pub mod transport;
@@ -30,13 +39,15 @@ pub mod transport;
 pub use adr::average_distance_ratio;
 pub use failover::{failover_summary, ReplicaCounters, ReplicaStats};
 pub use latency::{latency_summary, LatencySummary};
+pub use profile::QueryProfile;
 pub use qps::{measure_qps, QpsReport};
 pub use recall::{recall_at_k, RecallReport};
 pub use registry::{Counter, Gauge, Log2Histogram, MetricsRegistry};
 pub use report::{
     strip_timings, AdmissionSummary, BenchReport, CacheSummary, Json, MutationSummary,
-    TenantSummary, TraceSummary,
+    TenantSummary, TraceSummary, TIMING_KEYS,
 };
+pub use slo::{BurnConfig, Objective, ObjectiveSummary, SloGuard, SloSummary, SloTracker};
 pub use timer::PhaseTimer;
 pub use trace::{
     collect_traces, trace_id_for, trace_to_json, SpanKind, SpanOutcome, SpanRecord, SpanRing,

@@ -1,0 +1,248 @@
+//! OpenMetrics text exposition for [`crate::MetricsRegistry`].
+//!
+//! Renders the registry as the OpenMetrics text format scraped by
+//! Prometheus-compatible collectors: one family per metric with
+//! `# TYPE` / `# HELP` headers, counters suffixed `_total`,
+//! [`crate::Log2Histogram`]s expanded into cumulative `le` buckets plus
+//! `_sum`/`_count`, and JSON snapshot sources flattened into gauge
+//! families one path segment at a time. Families are emitted in
+//! lexicographic name order, so equal registry state renders equal
+//! bytes — the same stability contract `BENCH_*.json` snapshots have.
+//!
+//! Dotted registry names (`serving.cache.hits`) become legal metric
+//! names by mapping every character outside `[a-zA-Z0-9_:]` to `_`; the
+//! `# HELP` line preserves the original dotted path so a scrape can be
+//! mapped back to `/varz` keys by eye.
+
+use crate::registry::Metric;
+use crate::report::Json;
+use std::fmt::Write;
+
+/// Maps a dotted registry name onto the OpenMetrics name grammar.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// One renderable family: a name, the original dotted path for `# HELP`,
+/// and a typed sample set.
+enum Family {
+    Counter { value: u64 },
+    Gauge { value: i64 },
+    GaugeFloat { value: f64 },
+    Histogram { buckets: Box<[u64; 65]>, sum: u64 },
+}
+
+fn push_family(out: &mut String, name: &str, help: &str, family: &Family) {
+    match family {
+        Family::Counter { value } => {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "{name}_total {value}");
+        }
+        Family::Gauge { value } => {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        Family::GaugeFloat { value } => {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        Family::Histogram { buckets, sum } => {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let _ = writeln!(out, "# HELP {name} {help}");
+            // Cumulative `le` buckets. Log2 bucket 0 holds zeros (upper
+            // bound 0); bucket i >= 1 holds [2^(i-1), 2^i), upper bound
+            // 2^i - 1. Empty tail buckets collapse into +Inf.
+            let highest = buckets
+                .iter()
+                .rposition(|&n| n != 0)
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            let mut cumulative = 0u64;
+            for (i, &n) in buckets.iter().enumerate().take(highest) {
+                cumulative += n;
+                let upper = if i == 0 {
+                    "0".to_string()
+                } else if i == 64 {
+                    u64::MAX.to_string()
+                } else {
+                    ((1u128 << i) - 1).to_string()
+                };
+                let _ = writeln!(out, "{name}_bucket{{le=\"{upper}\"}} {cumulative}");
+            }
+            let total: u64 = buckets.iter().sum();
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {total}");
+            let _ = writeln!(out, "{name}_sum {sum}");
+            let _ = writeln!(out, "{name}_count {total}");
+        }
+    }
+}
+
+/// Flattens a JSON snapshot-source value into gauge families, one per
+/// numeric leaf; non-numeric leaves (strings, nulls) and arrays are
+/// skipped — they have no OpenMetrics representation.
+fn flatten_source(families: &mut Vec<(String, String, Family)>, name: &str, path: &str, v: &Json) {
+    match v {
+        Json::Int(i) => families.push((
+            sanitize_name(name),
+            path.to_string(),
+            Family::Gauge { value: *i },
+        )),
+        Json::Num(f) => families.push((
+            sanitize_name(name),
+            path.to_string(),
+            Family::GaugeFloat { value: *f },
+        )),
+        Json::Bool(b) => families.push((
+            sanitize_name(name),
+            path.to_string(),
+            Family::Gauge {
+                value: i64::from(*b),
+            },
+        )),
+        Json::Obj(pairs) => {
+            for (key, child) in pairs {
+                flatten_source(
+                    families,
+                    &format!("{name}.{key}"),
+                    &format!("{path}.{key}"),
+                    child,
+                );
+            }
+        }
+        Json::Arr(_) | Json::Str(_) | Json::Null => {}
+    }
+}
+
+/// Renders a typed registry snapshot (see
+/// [`crate::MetricsRegistry::render_openmetrics`]). Runs entirely
+/// outside the registry mutex; terminated by `# EOF`.
+pub(crate) fn render_families(snapshot: Vec<(String, Metric)>) -> String {
+    let mut families: Vec<(String, String, Family)> = Vec::new();
+    for (name, metric) in snapshot {
+        match metric {
+            Metric::Counter(c) => families.push((
+                sanitize_name(&name),
+                name,
+                Family::Counter { value: c.get() },
+            )),
+            Metric::Gauge(g) => {
+                families.push((sanitize_name(&name), name, Family::Gauge { value: g.get() }))
+            }
+            Metric::Histogram(h) => families.push((
+                sanitize_name(&name),
+                name.clone(),
+                Family::Histogram {
+                    buckets: Box::new(h.bucket_loads()),
+                    sum: h.sum(),
+                },
+            )),
+            Metric::Source(f) => {
+                let value = f();
+                flatten_source(&mut families, &name, &name, &value);
+            }
+        }
+    }
+    families.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::new();
+    for (name, help, family) in &families {
+        push_family(&mut out, name, help, family);
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn sanitize_maps_to_the_openmetrics_grammar() {
+        assert_eq!(sanitize_name("serving.cache.hits"), "serving_cache_hits");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("ok_name:sub"), "ok_name:sub");
+    }
+
+    #[test]
+    fn counters_gauges_and_sources_render_typed_families() {
+        let reg = MetricsRegistry::new();
+        reg.counter("t.frames").add(7);
+        reg.gauge("t.depth").set(-3);
+        reg.register_source("t.src", || {
+            Json::Obj(vec![
+                ("admitted".into(), Json::Int(5)),
+                ("label".into(), Json::Str("skipped".into())),
+                ("ratio".into(), Json::num(0.5)),
+                ("ok".into(), Json::Bool(true)),
+            ])
+        });
+        let text = reg.render_openmetrics();
+        assert!(text.contains("# TYPE t_frames counter\n"));
+        assert!(text.contains("# HELP t_frames t.frames\n"));
+        assert!(text.contains("t_frames_total 7\n"));
+        assert!(text.contains("# TYPE t_depth gauge\n"));
+        assert!(text.contains("t_depth -3\n"));
+        assert!(text.contains("t_src_admitted 5\n"));
+        assert!(text.contains("t_src_ratio 0.5\n"));
+        assert!(text.contains("t_src_ok 1\n"));
+        assert!(!text.contains("skipped"), "string leaves are not rendered");
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_le_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("t.lat");
+        h.observe(0); // bucket 0: le="0"
+        h.observe(1); // bucket 1: le="1"
+        h.observe(3); // bucket 2: le="3"
+        h.observe(3);
+        let text = reg.render_openmetrics();
+        assert!(text.contains("# TYPE t_lat histogram\n"));
+        assert!(text.contains("t_lat_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("t_lat_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("t_lat_bucket{le=\"3\"} 4\n"));
+        assert!(text.contains("t_lat_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("t_lat_sum 7\n"));
+        assert!(text.contains("t_lat_count 4\n"));
+        // Cumulative counts must be monotone.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("t_lat_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn families_sort_lexicographically_and_render_stably() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.tail").inc();
+        reg.counter("a.head").inc();
+        reg.register_source("m.mid", || Json::Obj(vec![("v".into(), Json::Int(1))]));
+        let a = reg.render_openmetrics();
+        let b = reg.render_openmetrics();
+        assert_eq!(a, b, "equal state must render equal bytes");
+        let a_pos = a.find("a_head_total").unwrap();
+        let m_pos = a.find("m_mid_v").unwrap();
+        let z_pos = a.find("z_tail_total").unwrap();
+        assert!(a_pos < m_pos && m_pos < z_pos);
+    }
+}

@@ -124,6 +124,12 @@ impl Log2Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// All 65 bucket counts, index = [`Self::bucket_of`] (the
+    /// OpenMetrics renderer turns these into cumulative `le` buckets).
+    pub fn bucket_loads(&self) -> [u64; 65] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
     /// JSON form: `{"count", "sum", "buckets": {"<lower_bound>": n}}`
     /// with empty buckets omitted.
     pub fn to_json(&self) -> Json {
@@ -144,11 +150,15 @@ impl Log2Histogram {
     }
 }
 
-enum Metric {
+/// One registered metric. Cheap to clone (handles are `Arc`s), which is
+/// what lets snapshots copy the table under the mutex and evaluate /
+/// serialize entirely outside it.
+#[derive(Clone)]
+pub(crate) enum Metric {
     Counter(Counter),
     Gauge(Gauge),
     Histogram(Arc<Log2Histogram>),
-    Source(Box<dyn Fn() -> Json + Send + Sync>),
+    Source(Arc<dyn Fn() -> Json + Send + Sync>),
 }
 
 impl Metric {
@@ -235,7 +245,7 @@ impl MetricsRegistry {
         self.metrics
             .lock()
             .unwrap()
-            .insert(name.to_string(), Metric::Source(Box::new(source)));
+            .insert(name.to_string(), Metric::Source(Arc::new(source)));
     }
 
     /// Removes `name` (a no-op when absent) — what a torn-down serving
@@ -254,15 +264,34 @@ impl MetricsRegistry {
         self.metrics.lock().unwrap().keys().cloned().collect()
     }
 
-    /// One JSON object of every metric, keys in lexicographic order.
-    pub fn snapshot(&self) -> Json {
+    /// Clones the metric table (names in lexicographic order). Held
+    /// only long enough to copy `Arc` handles — sources are **not**
+    /// evaluated under the mutex, so a slow scrape render can never
+    /// stall a thread registering counters on the hot path.
+    pub(crate) fn typed_snapshot(&self) -> Vec<(String, Metric)> {
         let metrics = self.metrics.lock().unwrap();
+        metrics
+            .iter()
+            .map(|(name, metric)| (name.clone(), metric.clone()))
+            .collect()
+    }
+
+    /// One JSON object of every metric, keys in lexicographic order.
+    /// Source closures run *after* the registry mutex is released.
+    pub fn snapshot(&self) -> Json {
         Json::Obj(
-            metrics
-                .iter()
-                .map(|(name, metric)| (name.clone(), metric.to_json()))
+            self.typed_snapshot()
+                .into_iter()
+                .map(|(name, metric)| (name, metric.to_json()))
                 .collect(),
         )
+    }
+
+    /// The registry in OpenMetrics text exposition format (see
+    /// [`crate::openmetrics`]); families in lexicographic order,
+    /// terminated by `# EOF`.
+    pub fn render_openmetrics(&self) -> String {
+        crate::openmetrics::render_families(self.typed_snapshot())
     }
 }
 
@@ -337,6 +366,22 @@ mod tests {
         assert!(reg.snapshot().to_pretty_string().contains("9"));
         reg.unregister("x.live");
         assert!(!reg.snapshot().to_pretty_string().contains("x.live"));
+    }
+
+    #[test]
+    fn sources_run_outside_the_registry_mutex() {
+        // A source that touches the registry while a snapshot renders.
+        // Before snapshots copied handles out, this self-deadlocked on
+        // the std (non-reentrant) mutex; now the lock is released before
+        // any source closure runs.
+        static REG: OnceLock<MetricsRegistry> = OnceLock::new();
+        let reg = REG.get_or_init(MetricsRegistry::new);
+        reg.register_source("reentrant.src", || {
+            Json::Int(REG.get().unwrap().counter("reentrant.peer").get() as i64)
+        });
+        reg.counter("reentrant.peer").add(3);
+        let snap = reg.snapshot().to_pretty_string();
+        assert!(snap.contains("\"reentrant.src\": 3"));
     }
 
     #[test]

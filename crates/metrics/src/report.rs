@@ -20,6 +20,8 @@
 //!    [`strip_timings`] removes the wall-clock fields.
 
 use crate::latency::LatencySummary;
+use crate::profile::QueryProfile;
+use crate::slo::SloSummary;
 use crate::ReplicaStats;
 use crate::TransportStats;
 use std::fmt::Write as _;
@@ -27,11 +29,15 @@ use std::fmt::Write as _;
 /// Schema version stamped into every report; bump on breaking changes.
 /// Version 2 added the required `trace` key (span-count breakdown);
 /// version 3 added the required `admission` key (admission-control
-/// counters, `null` for scenarios with no admission policy).
-pub const SCHEMA_VERSION: u64 = 3;
+/// counters, `null` for scenarios with no admission policy); version 4
+/// added the required `profile` key (structural per-query cost counters
+/// summed over the run — see [`crate::profile::QueryProfile`]) and the
+/// required `slo` key (burn-rate objective summary, `null` for runs
+/// with no objectives).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Top-level keys every `BENCH_*.json` must carry.
-pub const REQUIRED_KEYS: [&str; 14] = [
+pub const REQUIRED_KEYS: [&str; 16] = [
     "schema_version",
     "scenario",
     "seed",
@@ -44,6 +50,8 @@ pub const REQUIRED_KEYS: [&str; 14] = [
     "cache",
     "admission",
     "trace",
+    "profile",
+    "slo",
     "mutations",
     "tenants",
 ];
@@ -693,6 +701,12 @@ pub struct BenchReport {
     pub admission: Option<AdmissionSummary>,
     /// Trace-plane aggregates, when the run recorded spans.
     pub trace: Option<TraceSummary>,
+    /// Structural cost counters summed over every executed query.
+    /// Deterministic per (seed, topology): [`strip_timings`] keeps the
+    /// whole section and the harness asserts byte-identity on it.
+    pub profile: QueryProfile,
+    /// Burn-rate objective summary, when the run tracked SLOs.
+    pub slo: Option<SloSummary>,
     /// Mutation totals.
     pub mutations: MutationSummary,
     /// Per-tenant accounting, ordered by tenant id.
@@ -794,6 +808,11 @@ impl BenchReport {
             ("transport".into(), transport),
             ("admission".into(), admission),
             ("trace".into(), trace),
+            ("profile".into(), self.profile.to_json()),
+            (
+                "slo".into(),
+                self.slo.as_ref().map_or(Json::Null, SloSummary::to_json),
+            ),
             (
                 "mutations".into(),
                 Json::Obj(vec![
@@ -837,6 +856,12 @@ impl BenchReport {
             finite(latency.get(p), &format!("latency_ms.{p}"))?;
         }
         finite(json.get("qps"), "qps")?;
+        if json.get("schema_version").and_then(Json::as_u64) != Some(SCHEMA_VERSION) {
+            return Err(format!("schema_version is not {SCHEMA_VERSION}"));
+        }
+        let profile = json.get("profile").unwrap();
+        QueryProfile::from_json(profile)
+            .ok_or_else(|| "profile is not a complete QueryProfile object".to_string())?;
         json.get("tenants")
             .and_then(Json::as_arr)
             .ok_or_else(|| "tenants is not an array".to_string())?;
@@ -883,6 +908,26 @@ mod tests {
                 dropped: 0,
                 span_counts: vec![("cache_lookup".into(), 3000), ("gather".into(), 3000)],
                 stage_ms: vec![("cache_lookup".into(), 1.5), ("gather".into(), 40.25)],
+            }),
+            profile: QueryProfile {
+                hops_upper: 9000,
+                hops_base: 51000,
+                dist_coded: 720000,
+                dist_exact: 120000,
+                rows_scored: 60000,
+                codeword_bytes: 12288000,
+                visited_inserts: 630000,
+                rerank_pool: 120000,
+                scratch_checkouts: 3000,
+            },
+            slo: Some({
+                let mut tracker = crate::SloTracker::new(
+                    crate::BurnConfig::default(),
+                    vec![crate::Objective::new("shed_fraction", 0.05)],
+                );
+                tracker.observe(0, 2900, 100);
+                tracker.tick();
+                tracker.summary()
             }),
             mutations: MutationSummary::default(),
             tenants: vec![TenantSummary {
@@ -978,6 +1023,16 @@ mod tests {
             Some(3000)
         );
         assert_eq!(trace.get("traces").unwrap().as_u64(), Some(3000));
+        // The whole profile section is structural and survives intact.
+        let profile = stripped.get("profile").unwrap();
+        assert_eq!(
+            QueryProfile::from_json(profile),
+            Some(sample_report().profile)
+        );
+        // SLO counts and burn state are structural too.
+        let slo = stripped.get("slo").unwrap();
+        assert_eq!(slo.get("ticks").unwrap().as_u64(), Some(1));
+        assert!(slo.get("healthy").is_some());
     }
 
     #[test]

@@ -662,4 +662,111 @@ mod tests {
         assert!(tree.contains("\"trace_id\": \"0000000000000007\""));
         assert!(tree.contains("\"spans\""));
     }
+
+    /// Threaded stress over the seqlock: many writers wrapping the ring
+    /// hard while readers snapshot concurrently. Every span recorded must
+    /// be either retained stable or counted dropped, no torn record may
+    /// escape `snapshot()`, and overwrite-oldest must keep each lane's
+    /// surviving sequence monotone in program order.
+    #[test]
+    fn threaded_writers_never_tear_records_and_account_for_drops() {
+        use std::sync::Arc;
+
+        let ring = Arc::new(SpanRing::new(1024));
+        let threads: u32 = 8;
+        let per_thread: u64 = 4096; // 32k records through 1k slots: heavy wrap
+        let writers: Vec<_> = (0..threads)
+            .map(|lane| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        // Cross-field invariants a torn read cannot fake:
+                        // bytes_in = bytes_out ^ trace_id, and the low
+                        // half of bytes_out mirrors elapsed_ns.
+                        let trace_id = 1 + u64::from(lane);
+                        let out = (u64::from(lane) << 32) | i;
+                        ring.record(
+                            trace_id,
+                            Some(lane),
+                            SpanKind::WireExchange {
+                                bytes_out: out,
+                                bytes_in: out ^ trace_id,
+                            },
+                            i,
+                        );
+                    }
+                })
+            })
+            .collect();
+        let check_record = |r: &SpanRecord| match r.kind {
+            SpanKind::WireExchange {
+                bytes_out,
+                bytes_in,
+            } => {
+                assert_eq!(
+                    bytes_in,
+                    bytes_out ^ r.trace_id,
+                    "torn record escaped snapshot()"
+                );
+                assert_eq!(
+                    bytes_out & 0xFFFF_FFFF,
+                    r.elapsed_ns,
+                    "fields from two different writes in one record"
+                );
+                assert_eq!(
+                    r.lane,
+                    Some((bytes_out >> 32) as u32),
+                    "lane does not match the writer that claimed the slot"
+                );
+            }
+            _ => panic!("foreign span kind materialized in the ring"),
+        };
+        // Readers race the writers: every snapshot they take must already
+        // be coherent, mid-write and overwritten slots skipped.
+        let reader = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    for r in ring.snapshot() {
+                        check_record(&r);
+                    }
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        reader.join().unwrap();
+
+        let total = u64::from(threads) * per_thread;
+        assert_eq!(ring.recorded(), total);
+        let stable = ring.snapshot();
+        assert_eq!(
+            stable.len() as u64 + ring.dropped(),
+            total,
+            "every record is retained stable or counted dropped"
+        );
+        assert_eq!(
+            stable.len(),
+            ring.capacity(),
+            "a quiesced full ring retains exactly capacity records"
+        );
+        for r in &stable {
+            check_record(r);
+        }
+        // snapshot() is claim-order sorted; within one lane the claim
+        // order must agree with program order even across wrap-around.
+        for lane in 0..threads {
+            let mut last: Option<u64> = None;
+            for r in stable.iter().filter(|r| r.lane == Some(lane)) {
+                if let Some(prev) = last {
+                    assert!(
+                        r.elapsed_ns > prev,
+                        "lane {lane}: overwrite-oldest reordered surviving spans"
+                    );
+                }
+                last = Some(r.elapsed_ns);
+            }
+        }
+    }
 }

@@ -21,9 +21,9 @@ use crate::corpus::ScenarioCorpus;
 use crate::spec::{AdmissionSpec, Event, QueryEvent, WorkloadSpec};
 use engine::{AnnIndex, SearchRequest};
 use metrics::{
-    collect_traces, trace_id_for, transport_summary, AdmissionSummary, BenchReport, CacheSummary,
-    Json, MetricsRegistry, MutationSummary, SpanKind, SpanRing, TenantSummary, TraceContext,
-    TraceSummary,
+    collect_traces, trace_id_for, transport_summary, AdmissionSummary, BenchReport, BurnConfig,
+    CacheSummary, Json, MetricsRegistry, MutationSummary, Objective, QueryProfile, SloTracker,
+    SpanKind, SpanRing, TenantSummary, TraceContext, TraceSummary,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -112,6 +112,11 @@ struct RunState {
     wall_seconds: f64,
     recall_sum: f64,
     recall_samples: u64,
+    /// Sum of every executed query's structural cost profile.
+    profile: QueryProfile,
+    /// Oracle outcomes as `(virtual tick, hits, misses)` — the
+    /// `recall_deficit` SLO observations.
+    recall_obs: Vec<(usize, u64, u64)>,
 }
 
 impl ScenarioRunner {
@@ -254,17 +259,19 @@ impl ScenarioRunner {
         let events = spec.events();
         // Admission control replays in virtual time over the arrival
         // ticks, so each query's fate (and all the counters) is fixed
-        // before a single search runs.
-        let admission = spec.admission.as_ref().map(|policy| {
-            let query_ticks: Vec<usize> = events
-                .iter()
-                .filter_map(|e| match e {
-                    Event::Query(q) => Some(q.tick),
-                    _ => None,
-                })
-                .collect();
-            simulate_admission(policy, &query_ticks)
-        });
+        // before a single search runs. The ticks double as the SLO
+        // evaluation clock below.
+        let query_ticks: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Query(q) => Some(q.tick),
+                _ => None,
+            })
+            .collect();
+        let admission = spec
+            .admission
+            .as_ref()
+            .map(|policy| simulate_admission(policy, &query_ticks));
         // Size the span ring to the workload so no span is ever dropped:
         // capacity (deterministic from spec + topology) comfortably above
         // the worst-case span count per query for this topology (plus the
@@ -293,6 +300,9 @@ impl ScenarioRunner {
         // prior entry, so back-to-back runs simply re-point the names at
         // the fresh stack.
         let registry = MetricsRegistry::global();
+        // The graph layer's process-wide scratch-pool counters
+        // (`graphs.scratch.{created,checkouts}`) ride along with every run.
+        graphs::register_scratch_metrics();
         if let Some(c) = &cached {
             let c = Arc::clone(c);
             registry.register_source("serving.cache.query_cache", move || {
@@ -325,6 +335,12 @@ impl ScenarioRunner {
                 ])
             });
         }
+        {
+            // Also published flat: `scenario_trace_dropped` is the one
+            // number a scrape alert cares about (nonzero = lossy traces).
+            let ring = Arc::clone(&ring);
+            registry.register_source("scenario.trace.dropped", move || Json::uint(ring.dropped()));
+        }
         if let Some((_, summary)) = &admission {
             let s = *summary;
             registry.register_source("serving.frontend.admission", move || s.to_json());
@@ -343,6 +359,8 @@ impl ScenarioRunner {
             wall_seconds: 0.0,
             recall_sum: 0.0,
             recall_samples: 0,
+            profile: QueryProfile::new(),
+            recall_obs: Vec::new(),
         };
         let fleet_generation = |replicated: &Option<Arc<ReplicatedIndex>>| {
             replicated.as_ref().map_or(0, |r| r.generation())
@@ -457,6 +475,58 @@ impl ScenarioRunner {
         };
         let traces: Vec<Json> = collect_traces(&ring, &trace_ids);
 
+        // --- SLO burn rates over virtual ticks --------------------------
+        // Replay the run's outcomes through the burn-rate tracker on the
+        // arrival-tick clock — the same count-driven evaluation the live
+        // servers run on wall time, here a pure function of
+        // `(spec, topology)` so the whole `slo` section is structural.
+        let burn = BurnConfig::default();
+        let mut tracker = SloTracker::new(
+            burn,
+            vec![
+                // Fraction of requests answered `Overloaded` (admission
+                // shed); without an admission policy every query is good.
+                Objective::new("shed_fraction", 0.05),
+                // Fraction of oracle-checked result slots missing the
+                // exact answer.
+                Objective::new("recall_deficit", 0.25),
+            ],
+        );
+        let shed_idx = tracker.index_of("shed_fraction").unwrap();
+        let recall_idx = tracker.index_of("recall_deficit").unwrap();
+        let horizon = query_ticks
+            .iter()
+            .copied()
+            .chain(state.recall_obs.iter().map(|&(t, _, _)| t))
+            .max()
+            .map_or(1, |t| t + 1);
+        let mut shed_by_tick: Vec<(u64, u64)> = vec![(0, 0); horizon];
+        for (i, &tick) in query_ticks.iter().enumerate() {
+            let admitted = admission.as_ref().is_none_or(|(o, _)| o[i].admitted);
+            if admitted {
+                shed_by_tick[tick].0 += 1;
+            } else {
+                shed_by_tick[tick].1 += 1;
+            }
+        }
+        let mut recall_by_tick: Vec<(u64, u64)> = vec![(0, 0); horizon];
+        for &(tick, hit, miss) in &state.recall_obs {
+            recall_by_tick[tick].0 += hit;
+            recall_by_tick[tick].1 += miss;
+        }
+        for tick in 0..horizon {
+            tracker.observe(shed_idx, shed_by_tick[tick].0, shed_by_tick[tick].1);
+            tracker.observe(recall_idx, recall_by_tick[tick].0, recall_by_tick[tick].1);
+            tracker.tick();
+        }
+        let slo = tracker.summary();
+        {
+            // Scrapes of a live scenario process see the latest run's SLO
+            // verdict next to its counters.
+            let snapshot = slo.clone();
+            registry.register_source("scenario.slo", move || snapshot.to_json());
+        }
+
         // --- report ----------------------------------------------------
         let queries = state.all_latencies.len() as u64;
         let synthetic = BatchReport {
@@ -505,6 +575,8 @@ impl ScenarioRunner {
                 transport_summary(&transports.iter().map(|t| t.stats()).collect::<Vec<_>>())
             }),
             admission: admission.as_ref().map(|(_, s)| *s),
+            profile: state.profile,
+            slo: Some(slo),
             trace: Some(trace_summary),
             mutations: MutationSummary {
                 inserts: inserts_applied,
@@ -555,12 +627,14 @@ impl ScenarioRunner {
         state.wall_seconds += report.qps.seconds;
         for (i, (_, q, oracle)) in segment.iter().enumerate() {
             state.tenant_indices[q.tenant as usize].push(offset + i);
+            state.profile.add(&report.responses[i].profile);
             if let Some(oracle_ids) = oracle {
                 let got = report.responses[i].ids();
-                let hit = oracle_ids.iter().filter(|id| got.contains(id)).count();
-                let denom = oracle_ids.len().max(1);
+                let hit = oracle_ids.iter().filter(|id| got.contains(id)).count() as u64;
+                let denom = oracle_ids.len().max(1) as u64;
                 state.recall_sum += hit as f64 / denom as f64;
                 state.recall_samples += 1;
+                state.recall_obs.push((q.tick, hit, denom - hit));
             }
         }
         state.all_latencies.extend(report.latencies_ms);

@@ -196,6 +196,109 @@ fn churn_lsm_accounts_for_every_mutation() {
     assert!(report.tenants.iter().all(|t| t.queries > 0));
 }
 
+/// The cost-profile acceptance gate: the `profile` section is a
+/// deterministic function of `(seed, topology)` — byte-identical across
+/// identically-seeded runs on both a cached-sharded topology and a
+/// replicated fault-storm topology — and actually counts work.
+#[test]
+fn profile_sections_are_byte_identical_per_seed() {
+    for name in ["steady_zipf", "fault_storm"] {
+        let scenario = by_name(name, true).unwrap();
+        let a = scenario.runner(7).run().expect("run a");
+        let b = scenario.runner(7).run().expect("run b");
+        let section = |report: &BenchReport| {
+            parsed(report)
+                .get("profile")
+                .expect("schema requires the profile key")
+                .to_compact_string()
+        };
+        assert_eq!(
+            section(&a),
+            section(&b),
+            "{name}: same seed + topology must reproduce the profile bytes"
+        );
+        assert!(
+            a.profile.dist_coded + a.profile.dist_exact > 0,
+            "{name}: queries must evaluate distances"
+        );
+        assert!(
+            a.profile.hops_base > 0 || a.profile.dist_exact > 0,
+            "{name}: graph hops or flat scans must be counted"
+        );
+        let slo = a.slo.as_ref().expect("runner always evaluates SLOs");
+        assert!(slo.ticks > 0, "{name}: SLO clock must advance");
+        assert_eq!(
+            parsed(&a).get("slo").unwrap().to_compact_string(),
+            parsed(&b).get("slo").unwrap().to_compact_string(),
+            "{name}: the slo section is structural"
+        );
+    }
+}
+
+/// Coordinator-side aggregated profiles must reconcile exactly with the
+/// sum of the per-node ledgers scraped over the wire: every counter the
+/// coordinator reports was counted once on exactly one node.
+#[test]
+fn coordinator_profile_reconciles_with_node_ledgers() {
+    use serving::distributed::{Message, SocketTransport, Transport};
+
+    let scenario = by_name("steady_zipf", true).unwrap();
+    let mut spec = scenario.spec.clone();
+    spec.seed = 23;
+
+    let (base, _, _) = spec.materialize();
+    let builder = spec.builder();
+    let parts = ShardedIndex::partition(&base, 2, ShardPolicy::RoundRobin);
+    let mut servers: Vec<NodeServer> = parts
+        .into_iter()
+        .map(|(set, _ids)| {
+            let index: Arc<dyn engine::AnnIndex> = Arc::from(builder.build(set));
+            NodeServer::bind(
+                &"tcp:127.0.0.1:0".parse::<NodeAddr>().unwrap(),
+                NodeHandler::new(index),
+                2,
+            )
+            .expect("bind node")
+        })
+        .collect();
+    let nodes: Vec<NodeAddr> = servers.iter().map(|s| s.addr().clone()).collect();
+
+    let report = ScenarioRunner::new(
+        "steady_zipf_reconcile",
+        spec,
+        TopologySpec::Remote {
+            nodes: nodes.clone(),
+            timeout_ms: 2_000,
+        },
+    )
+    .run()
+    .expect("remote run");
+
+    let mut ledger_sum = metrics::QueryProfile::new();
+    for addr in &nodes {
+        let transport = SocketTransport::connect(addr.clone()).expect("dial node");
+        match transport
+            .exchange(&Message::StatsRequest)
+            .expect("stats scrape")
+        {
+            Message::StatsResponse(stats) => ledger_sum.add(&stats.profile),
+            other => panic!("unexpected {other:?} answering a stats scrape"),
+        }
+    }
+    assert!(
+        ledger_sum.dist_coded + ledger_sum.dist_exact > 0,
+        "the nodes must have done the distance work"
+    );
+    assert_eq!(
+        report.profile, ledger_sum,
+        "the coordinator's aggregate must equal the sum of the node ledgers"
+    );
+
+    for server in &mut servers {
+        server.shutdown();
+    }
+}
+
 #[test]
 fn remote_topology_drives_in_process_nodes() {
     let scenario = by_name("steady_zipf", true).unwrap();

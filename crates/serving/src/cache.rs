@@ -344,7 +344,14 @@ impl CachedIndex {
                 }
             };
             lookups.push(t0.elapsed());
-            responses.push(cached.map(|c| (*c).clone()));
+            // A hit does no search work: its cost profile is all-zero, not
+            // the profile the original miss paid (so coordinator-side
+            // profile sums reconcile exactly with the work nodes performed).
+            responses.push(cached.map(|c| {
+                let mut response = (*c).clone();
+                response.profile = metrics::QueryProfile::new();
+                response
+            }));
             if let Some(ctx) = &requests[i].trace {
                 ctx.record_timed(
                     SpanKind::CacheLookup {
@@ -419,7 +426,11 @@ impl AnnIndex for CachedIndex {
                     t0.elapsed().as_nanos() as u64,
                 );
             }
-            return (*cached).clone();
+            // A hit does no search work: report an all-zero profile rather
+            // than re-reporting the work the original miss paid.
+            let mut response = (*cached).clone();
+            response.profile = metrics::QueryProfile::new();
+            return response;
         }
         if let Some(ctx) = &req.trace {
             ctx.record_timed(

@@ -427,6 +427,7 @@ pub struct EventServer {
     shutdown: Arc<AtomicBool>,
     loops: Vec<JoinHandle<()>>,
     counters: Arc<TransportCounters>,
+    handler: Arc<NodeHandler>,
     admitted: Arc<AtomicU64>,
     shed: Arc<AtomicU64>,
     unix_path: Option<PathBuf>,
@@ -472,8 +473,9 @@ impl EventServer {
         let admitted = Arc::new(AtomicU64::new(0));
         let shed = Arc::new(AtomicU64::new(0));
         let registry = MetricsRegistry::global();
+        let handler = Arc::new(handler);
         let shared = Arc::new(Shared {
-            handler: Arc::new(handler),
+            handler: Arc::clone(&handler),
             counters: Arc::clone(&counters),
             config: config.clone(),
             shutdown: Arc::clone(&shutdown),
@@ -509,10 +511,23 @@ impl EventServer {
             shutdown,
             loops: handles,
             counters,
+            handler,
             admitted,
             shed,
             unix_path,
         })
+    }
+
+    /// The hosted handler (what a [`super::ScrapeServer`] answers `/varz`
+    /// from).
+    pub fn handler(&self) -> &Arc<NodeHandler> {
+        &self.handler
+    }
+
+    /// Shared handles to the live `(admitted, shed)` counters — the
+    /// cumulative samples an SLO shed-fraction guard reads.
+    pub fn admission_counters(&self) -> (Arc<AtomicU64>, Arc<AtomicU64>) {
+        (Arc::clone(&self.admitted), Arc::clone(&self.shed))
     }
 
     /// The bound address (with TCP port 0 resolved) — what clients dial.

@@ -65,12 +65,14 @@
 mod event;
 mod node;
 mod remote;
+mod scrape;
 mod transport;
 pub mod wire;
 
 pub use event::{AdmissionStats, EventConfig, EventServer};
 pub use node::{NodeHandler, NodeServer};
 pub use remote::RemoteIndex;
+pub use scrape::ScrapeServer;
 pub use transport::{LoopbackTransport, SocketTransport, Transport};
 pub use wire::{ErrorCode, Message, NodeInfo, NodeStats, WireFault};
 

@@ -46,6 +46,10 @@ pub struct NodeHandler {
     requests: AtomicU64,
     generation: AtomicU64,
     ring: Arc<SpanRing>,
+    /// Sum of every served search's cost profile (the node-side ledger a
+    /// coordinator reconciles against; a Mutex, not atomics, so one
+    /// snapshot is never torn across fields).
+    profile: Mutex<metrics::QueryProfile>,
 }
 
 impl NodeHandler {
@@ -62,6 +66,7 @@ impl NodeHandler {
             requests: AtomicU64::new(0),
             generation: AtomicU64::new(0),
             ring: Arc::new(SpanRing::new(NODE_SPAN_RING_CAPACITY)),
+            profile: Mutex::new(metrics::QueryProfile::new()),
         }
     }
 
@@ -105,6 +110,7 @@ impl NodeHandler {
         NodeStats {
             info: self.info(),
             transport: self.counters.snapshot(),
+            profile: *self.profile.lock().unwrap(),
             spans: self.ring.snapshot(),
         }
     }
@@ -120,7 +126,10 @@ impl NodeHandler {
                     self.index.try_search(&request)
                 }));
                 match result {
-                    Ok(Ok(response)) => Message::SearchOk(response),
+                    Ok(Ok(response)) => {
+                        self.profile.lock().unwrap().add(&response.profile);
+                        Message::SearchOk(response)
+                    }
                     Ok(Err(fault)) => Message::Error(WireFault::from_fault(fault)),
                     Err(_) => Message::Error(WireFault {
                         code: ErrorCode::Internal,
@@ -175,6 +184,7 @@ impl Listener {
 /// and watch the replica layer route around the corpse.
 pub struct NodeServer {
     addr: NodeAddr,
+    handler: Arc<NodeHandler>,
     shutdown: Arc<AtomicBool>,
     /// Live connections by id; entries are pruned when their serve loop
     /// exits, and drained (severed) by [`Self::shutdown`]. The lock also
@@ -226,6 +236,7 @@ impl NodeServer {
         // StatsRequest scrape and Self::stats() answer from one ledger.
         let counters = Arc::clone(handler.counters());
         let handler = Arc::new(handler);
+        let handler_handle = Arc::clone(&handler);
         let accept = {
             let shutdown = Arc::clone(&shutdown);
             let conns = Arc::clone(&conns);
@@ -289,12 +300,19 @@ impl NodeServer {
         };
         Ok(Self {
             addr: bound_addr,
+            handler: handler_handle,
             shutdown,
             conns,
             accept: Some(accept),
             counters,
             unix_path,
         })
+    }
+
+    /// The hosted handler (what a [`super::ScrapeServer`] answers `/varz`
+    /// from).
+    pub fn handler(&self) -> &Arc<NodeHandler> {
+        &self.handler
     }
 
     /// The bound address (with TCP port 0 resolved to the real port) —

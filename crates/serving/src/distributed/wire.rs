@@ -34,8 +34,9 @@ use std::io::{Read, Write};
 /// First two bytes of every frame (`"HW"` little-endian).
 pub const WIRE_MAGIC: u16 = 0x4857;
 /// Protocol revision; bumped on any layout change (v2 added the header
-/// trace id and the stats message pair).
-pub const WIRE_VERSION: u16 = 2;
+/// trace id and the stats message pair; v3 added the per-response query
+/// cost profile and the node-side cumulative profile in stats).
+pub const WIRE_VERSION: u16 = 3;
 /// Header bytes before the payload (magic + version + kind + trace id +
 /// length).
 pub const HEADER_LEN: usize = 17;
@@ -149,6 +150,10 @@ pub struct NodeStats {
     pub info: NodeInfo,
     /// Server-side frame/byte/failure counters.
     pub transport: TransportStats,
+    /// Sum of the [`metrics::QueryProfile`]s of every search the node
+    /// served since it started — the node-side ledger a coordinator
+    /// reconciles its own aggregated profiles against.
+    pub profile: metrics::QueryProfile,
     /// Retained node-side spans, in ring claim order.
     pub spans: Vec<SpanRecord>,
 }
@@ -169,6 +174,7 @@ impl NodeStats {
                 ]),
             ),
             ("transport".into(), self.transport.to_json()),
+            ("profile".into(), self.profile.to_json()),
             (
                 "spans".into(),
                 Json::Arr(self.spans.iter().map(SpanRecord::to_json).collect()),
@@ -273,6 +279,9 @@ impl Message {
                 payload.put_u64(stats.transport.errors);
                 payload.put_u64(stats.transport.timeouts);
                 payload.put_u64(stats.transport.reconnects);
+                for x in stats.profile.as_array() {
+                    payload.put_u64(x);
+                }
                 payload.put_u32(stats.spans.len() as u32);
                 for span in &stats.spans {
                     let (a, b) = span.kind.payload();
@@ -364,6 +373,11 @@ impl Message {
                     timeouts: p.get_u64()?,
                     reconnects: p.get_u64()?,
                 };
+                let mut fields = [0u64; metrics::profile::PROFILE_FIELDS.len()];
+                for slot in &mut fields {
+                    *slot = p.get_u64()?;
+                }
+                let profile = metrics::QueryProfile::from_array(fields);
                 let count = p.get_u32()? as usize;
                 let mut spans = Vec::with_capacity(count.min(1 << 16));
                 for _ in 0..count {
@@ -387,6 +401,7 @@ impl Message {
                 Message::StatsResponse(NodeStats {
                     info,
                     transport,
+                    profile,
                     spans,
                 })
             }
@@ -511,6 +526,17 @@ mod tests {
                     errors: 1,
                     timeouts: 0,
                     reconnects: 2,
+                },
+                profile: metrics::QueryProfile {
+                    hops_upper: 10,
+                    hops_base: 120,
+                    dist_coded: 4000,
+                    dist_exact: 90,
+                    rows_scored: 130,
+                    codeword_bytes: 64_000,
+                    visited_inserts: 1500,
+                    rerank_pool: 80,
+                    scratch_checkouts: 9,
                 },
                 spans: vec![
                     SpanRecord {

@@ -249,9 +249,11 @@ impl ShardedIndex {
     ) -> Result<SearchResponse, GatherError> {
         let mut hits: Vec<Hit> = Vec::with_capacity(per_shard.iter().map(|r| r.hits.len()).sum());
         let mut stats = SearchStats::default();
+        let mut profile = metrics::QueryProfile::new();
         for (s, (shard, response)) in self.shards.iter().zip(per_shard).enumerate() {
             stats.evaluated += response.stats.evaluated;
             stats.abandoned += response.stats.abandoned;
+            profile.add(&response.profile);
             for h in response.hits {
                 let Some(&global) = shard.global_ids.get(h.id as usize) else {
                     return Err(GatherError {
@@ -268,7 +270,11 @@ impl ShardedIndex {
         }
         hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         hits.truncate(k);
-        Ok(SearchResponse { hits, stats })
+        Ok(SearchResponse {
+            hits,
+            stats,
+            profile,
+        })
     }
 
     /// Scatter-gather that reports a shard's contract violation (hits

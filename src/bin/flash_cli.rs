@@ -24,10 +24,11 @@ use hnsw_flash::prelude::*;
 use hnsw_flash::serving::distributed::wire::{read_message, write_message};
 use hnsw_flash::serving::distributed::{
     ErrorCode, EventConfig, EventServer, Message, NodeAddr, NodeHandler, NodeServer, RemoteIndex,
-    SocketTransport, Transport,
+    ScrapeServer, SocketTransport, Transport,
 };
 use metrics::{
-    collect_traces, latency_summary, trace_id_for, transport_summary, SpanRing, TraceContext,
+    collect_traces, latency_summary, trace_id_for, transport_summary, BurnConfig, Objective,
+    SloGuard, SpanRing, TraceContext,
 };
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -58,6 +59,7 @@ fn main() -> ExitCode {
         "serve-node" => cmd_serve_node(&opts),
         "bench-serve" => cmd_bench_serve(&opts),
         "stats" => cmd_stats(&opts),
+        "bench-diff" => cmd_bench_diff(&opts),
         "info" => cmd_info(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -104,11 +106,13 @@ USAGE:
   flash_cli serve-node --base <in.fvecs> --listen <addr> [--event-loop]
                      [--method ...same as build...] [--c <C>] [--r <R>]
                      [--shards <N> --shard <I>] [--threads <N>] [--seed <u64>]
+                     [--metrics-addr <host:port>]
   flash_cli bench-serve [--n <N>] [--queries <N>] [--k <K>] [--ef <EF>]
                      [--clients <N>] [--pipeline <N>] [--flood <N>]
                      [--threads <N>] [--profile <name>]
                      [--method ...same as build...] [--seed <u64>]
-  flash_cli stats    --node <addr> [--timeout-ms <N>]
+  flash_cli stats    --node <addr> [--timeout-ms <N>] [--openmetrics]
+  flash_cli bench-diff --old <a.json> --new <b.json> [--timing-ratio <F>]
   flash_cli info     --graph <in.hfg>
 
 METHODS:  legacy HNSW shorthands: flash hnsw full pq sq pca opq
@@ -170,12 +174,27 @@ HOTPATH:  `hotpath` builds a Flash HNSW index over a synthetic corpus and
           leaves a byte-stable structural report for CI diffing; --smoke
           shrinks the corpus to CI size
 
+OBSERVABILITY:
+          serve-node --metrics-addr HOST:PORT opens an HTTP scrape plane
+          next to the wire listener: GET /metrics renders the process
+          metrics registry as OpenMetrics text, /healthz answers 200 ok
+          until an SLO burn-rate guard latches a breach (event-loop
+          nodes watch their shed fraction; 503 degraded while burning),
+          and /varz dumps the node's stats snapshot as JSON. `stats
+          --node ADDR --openmetrics` renders a remote node's stats scrape
+          in the same exposition format for piping into a collector.
+          `bench-diff --old A.json --new B.json` diffs two BENCH reports:
+          structural (non-timing) fields must match exactly and timing
+          fields must agree within --timing-ratio (default 10x), exiting
+          nonzero on any regression — the CI sentinel over committed
+          baselines
+
 PROFILES: argilla-like anton-like laion-like imagenet-like cohere-like
           datacomp-like bigcode-like ssnpp-like";
 
 /// Options that are bare boolean flags — present/absent, no value.
 /// Everything else is `--key value`.
-const FLAG_OPTIONS: &[&str] = &["smoke", "event-loop"];
+const FLAG_OPTIONS: &[&str] = &["smoke", "event-loop", "openmetrics"];
 
 /// Parsed `--key value` options.
 struct Opts {
@@ -425,6 +444,7 @@ fn cmd_serve_node(opts: &Opts) -> Result<(), String> {
         "built method={} ({served}); binding {listen}...",
         spec.method_name()
     );
+    let metrics_addr = opts.str("metrics-addr").map(str::to_string);
     if opts.flag("event-loop") {
         let config = EventConfig {
             threads,
@@ -432,6 +452,26 @@ fn cmd_serve_node(opts: &Opts) -> Result<(), String> {
         };
         let server = EventServer::bind(&listen, NodeHandler::new(index), config)
             .map_err(|e| format!("cannot serve node: {e}"))?;
+        let _scrape = metrics_addr
+            .as_deref()
+            .map(|addr| {
+                // Event-loop nodes guard their shed fraction: /healthz
+                // degrades while the admission layer is burning budget.
+                let (admitted, shed) = server.admission_counters();
+                let sampler = Box::new(move || {
+                    (
+                        admitted.load(std::sync::atomic::Ordering::Relaxed),
+                        shed.load(std::sync::atomic::Ordering::Relaxed),
+                    )
+                }) as metrics::slo::Sampler;
+                let guard = Arc::new(SloGuard::new(
+                    BurnConfig::default(),
+                    Duration::from_secs(1),
+                    vec![(Objective::new("shed_fraction", 0.05), sampler)],
+                ));
+                bind_scrape(addr, Arc::clone(server.handler()), Some(guard))
+            })
+            .transpose()?;
         eprintln!(
             "node listening on {} — method={} ({served}), {threads} event loops; Ctrl-C to stop",
             server.addr(),
@@ -443,6 +483,10 @@ fn cmd_serve_node(opts: &Opts) -> Result<(), String> {
     }
     let server = NodeServer::bind(&listen, NodeHandler::new(index), threads)
         .map_err(|e| format!("cannot serve node: {e}"))?;
+    let _scrape = metrics_addr
+        .as_deref()
+        .map(|addr| bind_scrape(addr, Arc::clone(server.handler()), None))
+        .transpose()?;
     eprintln!(
         "node listening on {} — method={} ({served}), {threads} connection workers; Ctrl-C to stop",
         server.addr(),
@@ -451,6 +495,33 @@ fn cmd_serve_node(opts: &Opts) -> Result<(), String> {
     loop {
         std::thread::park();
     }
+}
+
+/// Opens the HTTP scrape plane and announces its endpoints, publishing
+/// the node's live counters into the process registry so `/metrics` has
+/// the same ledger a `StatsRequest` answers from.
+fn bind_scrape(
+    addr: &str,
+    handler: Arc<NodeHandler>,
+    guard: Option<Arc<SloGuard>>,
+) -> Result<ScrapeServer, String> {
+    let registry = metrics::MetricsRegistry::global();
+    graphs::register_scratch_metrics();
+    {
+        let h = Arc::clone(&handler);
+        registry.register_source("node.transport", move || h.counters().snapshot().to_json());
+    }
+    {
+        let h = Arc::clone(&handler);
+        registry.register_source("node.profile", move || h.stats().profile.to_json());
+    }
+    let scrape = ScrapeServer::bind(addr, handler, guard)
+        .map_err(|e| format!("cannot bind metrics endpoint: {e}"))?;
+    eprintln!(
+        "metrics on http://{0}/metrics (also /healthz, /varz)",
+        scrape.addr()
+    );
+    Ok(scrape)
 }
 
 /// What one server drill measured: throughput over the whole query set
@@ -731,8 +802,62 @@ fn cmd_bench_serve(opts: &Opts) -> Result<(), String> {
         },
     )
     .map_err(|e| format!("bind overload server: {e}"))?;
+
+    // Scrape plane over the flooded server: /metrics must serve valid
+    // OpenMetrics *while* the admission layer sheds, and /healthz must
+    // degrade once the shed fraction burns its budget. Single-bucket
+    // windows make the verdict a pure function of the cumulative
+    // counters at scrape time.
+    let (admitted_ctr, shed_ctr) = over.admission_counters();
+    let sampler = Box::new(move || {
+        (
+            admitted_ctr.load(std::sync::atomic::Ordering::Relaxed),
+            shed_ctr.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }) as metrics::slo::Sampler;
+    let guard = Arc::new(SloGuard::new(
+        BurnConfig {
+            fast_window: 1,
+            slow_window: 1,
+            fast_burn: 1.0,
+            slow_burn: 1.0,
+        },
+        Duration::from_millis(1),
+        vec![(Objective::new("shed_fraction", 0.05), sampler)],
+    ));
+    let scrape = ScrapeServer::bind("127.0.0.1:0", Arc::clone(over.handler()), Some(guard))
+        .map_err(|e| format!("bind scrape endpoint: {e}"))?;
+    let scrape_addr = scrape.addr().to_string();
+    let stop_scraping = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = {
+        let addr = scrape_addr.clone();
+        let stop = Arc::clone(&stop_scraping);
+        std::thread::spawn(move || -> Result<u64, String> {
+            let mut scrapes = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let (status, body) = http_get(&addr, "/metrics")?;
+                if status != 200 || !body.ends_with("# EOF\n") {
+                    return Err(format!(
+                        "mid-flood /metrics scrape broke: status {status}, \
+                         terminator {}",
+                        body.ends_with("# EOF\n")
+                    ));
+                }
+                scrapes += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Ok(scrapes)
+        })
+    };
+
     let (ok, overloaded) = flood_server(over.addr(), &queries, k, ef, rerank, clients, flood)?;
+    stop_scraping.store(true, std::sync::atomic::Ordering::Release);
+    let scrapes = scraper
+        .join()
+        .map_err(|_| "the concurrent scraper panicked".to_string())??;
     let stats = over.admission_stats();
+    let (health_status, _) = http_get(&scrape_addr, "/healthz")?;
+    drop(scrape);
     over.shutdown();
     let answered = ok + overloaded;
     println!(
@@ -747,7 +872,52 @@ fn cmd_bench_serve(opts: &Opts) -> Result<(), String> {
             flood - answered
         ));
     }
+    if scrapes == 0 {
+        return Err("no /metrics scrape landed during the flood".into());
+    }
+    let shed_fraction = stats.shed as f64 / (stats.admitted + stats.shed).max(1) as f64;
+    if shed_fraction > 0.05 && health_status != 503 {
+        return Err(format!(
+            "shed fraction {shed_fraction:.3} burned the 5% budget but /healthz \
+             answered {health_status}, not 503 degraded"
+        ));
+    }
+    println!(
+        "scrape: concurrent_scrapes={scrapes} healthz={} (shed_fraction={shed_fraction:.3})",
+        if health_status == 503 {
+            "degraded"
+        } else {
+            "ok"
+        }
+    );
     Ok(())
+}
+
+/// One blocking HTTP GET against a scrape endpoint: `(status, body)`.
+fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("{addr}{path}: malformed HTTP response"))?;
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
 }
 
 fn cmd_search(opts: &Opts) -> Result<(), String> {
@@ -1067,7 +1237,20 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
         .map_err(|e| format!("{addr}: {e}"))?
     {
         Message::StatsResponse(stats) => {
-            print!("{}", stats.to_json().to_pretty_string());
+            if opts.flag("openmetrics") {
+                // Re-expose the scrape through a private registry so the
+                // node's counters come out in collector-ready exposition
+                // format (spans are a trace payload, not a metric family).
+                let json = stats.to_json();
+                let registry = metrics::MetricsRegistry::new();
+                for section in ["info", "transport", "profile"] {
+                    let value = json.get(section).cloned().unwrap_or(metrics::Json::Null);
+                    registry.register_source(&format!("node.{section}"), move || value.clone());
+                }
+                print!("{}", registry.render_openmetrics());
+            } else {
+                print!("{}", stats.to_json().to_pretty_string());
+            }
             Ok(())
         }
         Message::Error(fault) => Err(format!(
@@ -1079,6 +1262,178 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
             other.kind_name()
         )),
     }
+}
+
+/// Diffs two `BENCH_*.json` reports as the CI regression sentinel:
+/// structural (non-timing) fields must match byte-for-byte after
+/// `strip_timings`, timing fields must agree within a ratio band, and any
+/// difference exits nonzero with every divergent path listed.
+fn cmd_bench_diff(opts: &Opts) -> Result<(), String> {
+    let old_path = opts.path("old")?;
+    let new_path = opts.path("new")?;
+    let ratio: f64 = opts.num("timing-ratio", 10.0)?;
+    if ratio < 1.0 || ratio.is_nan() {
+        return Err("--timing-ratio must be a number >= 1".into());
+    }
+    let load = |path: &Path| -> Result<metrics::Json, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let json = metrics::Json::parse(&text)
+            .map_err(|e| format!("{} does not parse as JSON: {e}", path.display()))?;
+        metrics::BenchReport::validate(&json)
+            .map_err(|e| format!("{} fails the BENCH schema: {e}", path.display()))?;
+        Ok(json)
+    };
+    let old = load(&old_path)?;
+    let new = load(&new_path)?;
+    let mut diffs: Vec<String> = Vec::new();
+    diff_structural(
+        &metrics::strip_timings(&old),
+        &metrics::strip_timings(&new),
+        "$",
+        &mut diffs,
+    );
+    diff_timings(&old, &new, "$", ratio, &mut diffs);
+    if diffs.is_empty() {
+        println!(
+            "bench-diff: {} and {} agree (structural exact, timings within {ratio}x)",
+            old_path.display(),
+            new_path.display()
+        );
+        return Ok(());
+    }
+    for d in &diffs {
+        eprintln!("bench-diff: {d}");
+    }
+    Err(format!(
+        "{} difference(s) between {} and {}",
+        diffs.len(),
+        old_path.display(),
+        new_path.display()
+    ))
+}
+
+/// Recursive exact comparison of two timing-stripped reports, recording
+/// every divergent JSON path.
+fn diff_structural(old: &metrics::Json, new: &metrics::Json, path: &str, diffs: &mut Vec<String>) {
+    use metrics::Json;
+    match (old, new) {
+        (Json::Obj(po), Json::Obj(_)) => {
+            for (key, vo) in po {
+                match new.get(key) {
+                    Some(vn) => diff_structural(vo, vn, &format!("{path}.{key}"), diffs),
+                    None => diffs.push(format!("{path}.{key}: missing from the new report")),
+                }
+            }
+            if let Json::Obj(pn) = new {
+                for (key, _) in pn {
+                    if old.get(key).is_none() {
+                        diffs.push(format!("{path}.{key}: only in the new report"));
+                    }
+                }
+            }
+        }
+        (Json::Arr(ao), Json::Arr(an)) => {
+            if ao.len() != an.len() {
+                diffs.push(format!("{path}: array length {} -> {}", ao.len(), an.len()));
+                return;
+            }
+            for (i, (vo, vn)) in ao.iter().zip(an).enumerate() {
+                diff_structural(vo, vn, &format!("{path}[{i}]"), diffs);
+            }
+        }
+        (a, b) => {
+            if a != b {
+                diffs.push(format!(
+                    "{path}: structural value changed: {} -> {}",
+                    a.to_pretty_string().replace('\n', " "),
+                    b.to_pretty_string().replace('\n', " ")
+                ));
+            }
+        }
+    }
+}
+
+/// Walks both reports in parallel and, under every [`metrics::TIMING_KEYS`]
+/// subtree, checks each pair of numeric leaves stays within `ratio`.
+/// Shape mismatches are the structural pass's job, not this one's.
+fn diff_timings(
+    old: &metrics::Json,
+    new: &metrics::Json,
+    path: &str,
+    ratio: f64,
+    diffs: &mut Vec<String>,
+) {
+    use metrics::Json;
+    match (old, new) {
+        (Json::Obj(po), Json::Obj(_)) => {
+            for (key, vo) in po {
+                let Some(vn) = new.get(key) else { continue };
+                let sub = format!("{path}.{key}");
+                if metrics::TIMING_KEYS.contains(&key.as_str()) {
+                    compare_timing(vo, vn, &sub, ratio, diffs);
+                } else {
+                    diff_timings(vo, vn, &sub, ratio, diffs);
+                }
+            }
+        }
+        (Json::Arr(ao), Json::Arr(an)) => {
+            for (i, (vo, vn)) in ao.iter().zip(an).enumerate() {
+                diff_timings(vo, vn, &format!("{path}[{i}]"), ratio, diffs);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Numeric tolerance inside a timing subtree: each leaf pair must be
+/// within a factor of `ratio` (values under 10µs-scale noise compare
+/// equal; latency vectors are compared by aggregate, not element).
+fn compare_timing(
+    old: &metrics::Json,
+    new: &metrics::Json,
+    path: &str,
+    ratio: f64,
+    diffs: &mut Vec<String>,
+) {
+    use metrics::Json;
+    match (old, new) {
+        (Json::Obj(po), Json::Obj(_)) => {
+            for (key, vo) in po {
+                if let Some(vn) = new.get(key) {
+                    compare_timing(vo, vn, &format!("{path}.{key}"), ratio, diffs);
+                }
+            }
+        }
+        // Per-query latency vectors differ in every element run to run;
+        // their aggregate (the latency summary object) is what the band
+        // applies to, so element lists only have to agree in magnitude.
+        (Json::Arr(ao), Json::Arr(an)) => {
+            let mean = |items: &[Json]| {
+                let xs: Vec<f64> = items.iter().filter_map(Json::as_f64).collect();
+                xs.iter().sum::<f64>() / xs.len().max(1) as f64
+            };
+            check_timing_pair(mean(ao), mean(an), &format!("{path}[mean]"), ratio, diffs);
+        }
+        (a, b) => {
+            if let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) {
+                check_timing_pair(x, y, path, ratio, diffs);
+            }
+        }
+    }
+}
+
+/// One timing leaf: both below noise floor passes, otherwise the larger
+/// magnitude must be within `ratio` times the smaller.
+fn check_timing_pair(old: f64, new: f64, path: &str, ratio: f64, diffs: &mut Vec<String>) {
+    const NOISE_FLOOR: f64 = 0.01;
+    let (lo, hi) = (old.abs().min(new.abs()), old.abs().max(new.abs()));
+    if hi < NOISE_FLOOR || hi <= lo.max(NOISE_FLOOR / ratio) * ratio {
+        return;
+    }
+    diffs.push(format!(
+        "{path}: timing drifted beyond {ratio}x: {old} -> {new}"
+    ));
 }
 
 /// Replays a named scenario workload and writes its `BENCH_*.json`,
@@ -1430,8 +1785,11 @@ fn cmd_hotpath(opts: &Opts) -> Result<(), String> {
     let speedup = hotpath_qps / reference_qps.max(1e-9);
 
     // Recall against the exact oracle is structural: same seed, same
-    // binary, same number — it pins search quality across refactors.
+    // binary, same number — it pins search quality across refactors. The
+    // same pass yields the kernel's structural cost profile (hops,
+    // distance evaluations, bytes), deterministic per seed.
     let truth = ground_truth(provider.base(), &queries, k);
+    graphs::profile_reset();
     let found: Vec<Vec<u32>> = (0..nq)
         .map(|qi| {
             graphs::search_layers_cached(provider, &graph, &payloads, queries.get(qi), k, ef)
@@ -1440,6 +1798,7 @@ fn cmd_hotpath(opts: &Opts) -> Result<(), String> {
                 .collect()
         })
         .collect();
+    let cost = graphs::profile_take();
     let recall = recall_at_k(&found, &truth, k).recall();
 
     use metrics::Json;
@@ -1488,6 +1847,8 @@ fn cmd_hotpath(opts: &Opts) -> Result<(), String> {
         failover: None,
         transport: None,
         admission: None,
+        profile: cost,
+        slo: None,
         trace: None,
         mutations: metrics::MutationSummary::default(),
         tenants: Vec::new(),

@@ -379,6 +379,97 @@
 //! summary (span counts structural, per-stage milliseconds
 //! timing-stripped).
 //!
+//! ### Query cost profiles
+//!
+//! Every [`engine::SearchResponse`] carries a
+//! [`metrics::QueryProfile`]: structural counters of the work done to
+//! serve that request, accumulated branchlessly inside the pooled
+//! search scratch, deterministic per `(seed, topology)`. The glossary:
+//!
+//! | Counter | Counts |
+//! |---|---|
+//! | `hops_upper` | node expansions above the base layer (greedy descent) |
+//! | `hops_base` | node expansions in the base-layer beam |
+//! | `dist_coded` | distance evaluations through a coded provider (PQ/SQ/PCA/OPQ/Flash) |
+//! | `dist_exact` | full-precision distance evaluations (flat scans, rerank) |
+//! | `rows_scored` | neighbor-block rows scored by the block kernel |
+//! | `codeword_bytes` | compressed payload bytes streamed through the kernel |
+//! | `visited_inserts` | visited-set insertions (frontier pressure) |
+//! | `rerank_pool` | candidates re-scored at full precision |
+//! | `scratch_checkouts` | pooled scratch checkouts (1 per frozen-graph search) |
+//!
+//! Leaf indexes measure; every aggregating layer —
+//! [`serving::ShardedIndex`], [`serving::ReplicaGroup`],
+//! [`serving::distributed::RemoteIndex`] (the nine counters ride the
+//! wire next to the hits) — *sums* the profiles of the leaf searches it
+//! fanned out to, and a [`serving::CachedIndex`] hit reports an
+//! all-zero profile, so a coordinator's aggregate reconciles exactly
+//! with the node-side ledgers ([`serving::distributed::NodeStats`]
+//! `profile`, summed over every search a node served):
+//!
+//! ```
+//! use hnsw_flash::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let (base, queries) = generate(&DatasetProfile::SsnppLike.spec(), 600, 2, 7);
+//! let builder = IndexBuilder::new(GraphKind::Hnsw, Coding::Flash).c(48).r(8).seed(1);
+//! let sharded = ShardedIndex::build(base, &builder, 2, ShardPolicy::RoundRobin, 2);
+//! let index = CachedIndex::new(Arc::new(sharded), 64);
+//!
+//! // The cache miss pays the graph walk, and its profile proves it...
+//! let miss = index.search(&SearchRequest::new(queries.get(0), 5).ef(64).rerank(8));
+//! assert!(miss.profile.hops_base > 0, "a real search hops the base layer");
+//! assert!(miss.profile.dist_coded + miss.profile.dist_exact > 0);
+//!
+//! // ...while the repeat is served from memory with an all-zero
+//! // profile, keeping coordinator sums equal to node-side work.
+//! let hit = index.search(&SearchRequest::new(queries.get(0), 5).ef(64).rerank(8));
+//! assert_eq!(hit.profile, hnsw_flash::metrics::QueryProfile::new());
+//! ```
+//!
+//! ### The scrape plane and SLO guardrails
+//!
+//! `flash_cli serve-node … --metrics-addr 127.0.0.1:9100` opens an HTTP
+//! responder ([`serving::distributed::ScrapeServer`]) next to the wire
+//! listener. `GET /metrics` renders the process registry in OpenMetrics
+//! text exposition (counters as `_total` families, log₂ histograms as
+//! cumulative `le` buckets, `# EOF` terminated), `/healthz` answers
+//! `200 ok` / `503 degraded`, `/varz` dumps the node's stats snapshot:
+//!
+//! ```text
+//! $ curl -s http://127.0.0.1:9100/metrics
+//! # TYPE graphs_scratch_checkouts gauge
+//! # HELP graphs_scratch_checkouts graphs.scratch.checkouts
+//! graphs_scratch_checkouts 4096
+//! # TYPE node_profile_dist_coded gauge
+//! ...
+//! # EOF
+//! $ curl -s http://127.0.0.1:9100/healthz
+//! ok
+//! ```
+//!
+//! The names a scrape can rely on, `layer.component.metric` dotted (the
+//! exposition sanitizes dots to underscores):
+//!
+//! | Name | Source |
+//! |---|---|
+//! | `graphs.scratch.{created,checkouts}` | pooled-scratch lifetime counters ([`graphs::scratch_stats`]) |
+//! | `node.profile.*` | the node's cumulative [`metrics::QueryProfile`] ledger |
+//! | `node.transport.*` | node-side frame/byte counters (reconcile against `StatsRequest`) |
+//! | `serving.frontend.{admitted,shed,queue_depth,admission_wait_ns}` | [`serving::EventServer`] admission control |
+//! | `serving.cache.query_cache` / `serving.replica.failover` | scenario-run stack sources |
+//! | `scenario.trace.dropped` | spans lost to ring wrap (alert when nonzero) |
+//! | `scenario.slo` | the last run's [`metrics::SloSummary`] verdict |
+//!
+//! Health is judged by multi-window burn rates ([`metrics::SloTracker`]
+//! on virtual ticks in scenarios, [`metrics::SloGuard`] on wall time in
+//! serving): an objective breaches when both its fast- and slow-window
+//! error-budget burn exceed their thresholds, which flips `/healthz` to
+//! degraded (event-loop nodes watch their shed fraction) and lands in
+//! `BenchReport.slo`. `flash_cli bench-diff --old A.json --new B.json`
+//! then gates CI: structural fields exact, timing fields within a ratio
+//! band, nonzero exit on regression.
+//!
 //! ## Memory layout
 //!
 //! Graph search is memory-bound — the paper's profiles (Table 2, Figure
